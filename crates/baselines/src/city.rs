@@ -1,0 +1,311 @@
+//! CityHash64 — Google's string hash, the paper's **City** baseline.
+//!
+//! Reimplemented from the public-domain CityHash v1.1 sources
+//! (`city.cc`). The structure — per-length specializations for 0–16, 17–32,
+//! 33–64 bytes and a 64-byte-chunk main loop with two 128-bit lanes — is
+//! preserved; correctness is checked through structural and statistical
+//! tests (the original publishes no official test vectors).
+
+use sepe_core::hash::ByteHash;
+
+const K0: u64 = 0xc3a5_c85c_97cb_3127;
+const K1: u64 = 0xb492_b66f_be98_f273;
+const K2: u64 = 0x9ae1_6a3b_2f90_404f;
+const K_MUL: u64 = 0x9ddf_ea08_eb38_2d69;
+
+#[inline]
+fn fetch64(s: &[u8], i: usize) -> u64 {
+    u64::from_le_bytes(s[i..i + 8].try_into().expect("8 bytes in range"))
+}
+
+#[inline]
+fn fetch32(s: &[u8], i: usize) -> u64 {
+    u64::from(u32::from_le_bytes(s[i..i + 4].try_into().expect("4 bytes in range")))
+}
+
+#[inline]
+fn rotate(v: u64, shift: u32) -> u64 {
+    v.rotate_right(shift)
+}
+
+#[inline]
+fn shift_mix(v: u64) -> u64 {
+    v ^ (v >> 47)
+}
+
+#[inline]
+fn hash128_to_64(lo: u64, hi: u64) -> u64 {
+    let mut a = (lo ^ hi).wrapping_mul(K_MUL);
+    a ^= a >> 47;
+    let mut b = (hi ^ a).wrapping_mul(K_MUL);
+    b ^= b >> 47;
+    b.wrapping_mul(K_MUL)
+}
+
+#[inline]
+fn hash_len_16(u: u64, v: u64) -> u64 {
+    hash128_to_64(u, v)
+}
+
+#[inline]
+fn hash_len_16_mul(u: u64, v: u64, mul: u64) -> u64 {
+    let mut a = (u ^ v).wrapping_mul(mul);
+    a ^= a >> 47;
+    let mut b = (v ^ a).wrapping_mul(mul);
+    b ^= b >> 47;
+    b.wrapping_mul(mul)
+}
+
+fn hash_len_0_to_16(s: &[u8]) -> u64 {
+    let len = s.len();
+    if len >= 8 {
+        let mul = K2.wrapping_add(len as u64 * 2);
+        let a = fetch64(s, 0).wrapping_add(K2);
+        let b = fetch64(s, len - 8);
+        let c = rotate(b, 37).wrapping_mul(mul).wrapping_add(a);
+        let d = rotate(a, 25).wrapping_add(b).wrapping_mul(mul);
+        return hash_len_16_mul(c, d, mul);
+    }
+    if len >= 4 {
+        let mul = K2.wrapping_add(len as u64 * 2);
+        let a = fetch32(s, 0);
+        return hash_len_16_mul((len as u64).wrapping_add(a << 3), fetch32(s, len - 4), mul);
+    }
+    if len > 0 {
+        let a = u64::from(s[0]);
+        let b = u64::from(s[len >> 1]);
+        let c = u64::from(s[len - 1]);
+        let y = a.wrapping_add(b << 8);
+        let z = (len as u64).wrapping_add(c << 2);
+        return shift_mix(y.wrapping_mul(K2) ^ z.wrapping_mul(K0)).wrapping_mul(K2);
+    }
+    K2
+}
+
+fn hash_len_17_to_32(s: &[u8]) -> u64 {
+    let len = s.len();
+    let mul = K2.wrapping_add(len as u64 * 2);
+    let a = fetch64(s, 0).wrapping_mul(K1);
+    let b = fetch64(s, 8);
+    let c = fetch64(s, len - 8).wrapping_mul(mul);
+    let d = fetch64(s, len - 16).wrapping_mul(K2);
+    hash_len_16_mul(
+        rotate(a.wrapping_add(b), 43)
+            .wrapping_add(rotate(c, 30))
+            .wrapping_add(d),
+        a.wrapping_add(rotate(b.wrapping_add(K2), 18)).wrapping_add(c),
+        mul,
+    )
+}
+
+fn hash_len_33_to_64(s: &[u8]) -> u64 {
+    let len = s.len();
+    let mul = K2.wrapping_add(len as u64 * 2);
+    let a = fetch64(s, 0).wrapping_mul(K2);
+    let b = fetch64(s, 8);
+    let c = fetch64(s, len - 24);
+    let d = fetch64(s, len - 32);
+    let e = fetch64(s, 16).wrapping_mul(K2);
+    let f = fetch64(s, 24).wrapping_mul(9);
+    let g = fetch64(s, len - 8);
+    let h = fetch64(s, len - 16).wrapping_mul(mul);
+
+    let u = rotate(a.wrapping_add(g), 43)
+        .wrapping_add(rotate(b, 30).wrapping_add(c).wrapping_mul(9));
+    let v = (a.wrapping_add(g) ^ d).wrapping_add(f).wrapping_add(1);
+    let w = (u.wrapping_add(v).wrapping_mul(mul)).swap_bytes().wrapping_add(h);
+    let x = rotate(e.wrapping_add(f), 42).wrapping_add(c);
+    let y = (v.wrapping_add(w).wrapping_mul(mul))
+        .swap_bytes()
+        .wrapping_add(g)
+        .wrapping_mul(mul);
+    let z = e.wrapping_add(f).wrapping_add(c);
+    let a2 = (x.wrapping_add(z).wrapping_mul(mul).wrapping_add(y))
+        .swap_bytes()
+        .wrapping_add(b);
+    let b2 = shift_mix(
+        z.wrapping_add(a2).wrapping_mul(mul).wrapping_add(d).wrapping_add(h),
+    )
+    .wrapping_mul(mul);
+    b2.wrapping_add(x)
+}
+
+#[inline]
+fn weak_hash_len_32_with_seeds_raw(
+    w: u64,
+    x: u64,
+    y: u64,
+    z: u64,
+    mut a: u64,
+    mut b: u64,
+) -> (u64, u64) {
+    a = a.wrapping_add(w);
+    b = rotate(b.wrapping_add(a).wrapping_add(z), 21);
+    let c = a;
+    a = a.wrapping_add(x);
+    a = a.wrapping_add(y);
+    b = b.wrapping_add(rotate(a, 44));
+    (a.wrapping_add(z), b.wrapping_add(c))
+}
+
+#[inline]
+fn weak_hash_len_32_with_seeds(s: &[u8], i: usize, a: u64, b: u64) -> (u64, u64) {
+    weak_hash_len_32_with_seeds_raw(
+        fetch64(s, i),
+        fetch64(s, i + 8),
+        fetch64(s, i + 16),
+        fetch64(s, i + 24),
+        a,
+        b,
+    )
+}
+
+/// Computes CityHash64 over `s`.
+#[must_use]
+pub fn city_hash_64(s: &[u8]) -> u64 {
+    let len = s.len();
+    if len <= 16 {
+        return hash_len_0_to_16(s);
+    }
+    if len <= 32 {
+        return hash_len_17_to_32(s);
+    }
+    if len <= 64 {
+        return hash_len_33_to_64(s);
+    }
+
+    // For strings over 64 bytes: hash the last 64 bytes into the seeds, then
+    // walk 64-byte chunks.
+    let mut x = fetch64(s, len - 40);
+    let mut y = fetch64(s, len - 16).wrapping_add(fetch64(s, len - 56));
+    let mut z = hash_len_16(
+        fetch64(s, len - 48).wrapping_add(len as u64),
+        fetch64(s, len - 24),
+    );
+    let mut v = weak_hash_len_32_with_seeds(s, len - 64, len as u64, z);
+    let mut w = weak_hash_len_32_with_seeds(s, len - 32, y.wrapping_add(K1), x);
+    x = x.wrapping_mul(K1).wrapping_add(fetch64(s, 0));
+
+    let mut remaining = (len - 1) & !63;
+    let mut pos = 0usize;
+    loop {
+        x = rotate(
+            x.wrapping_add(y).wrapping_add(v.0).wrapping_add(fetch64(s, pos + 8)),
+            37,
+        )
+        .wrapping_mul(K1);
+        y = rotate(y.wrapping_add(v.1).wrapping_add(fetch64(s, pos + 48)), 42)
+            .wrapping_mul(K1);
+        x ^= w.1;
+        y = y.wrapping_add(v.0).wrapping_add(fetch64(s, pos + 40));
+        z = rotate(z.wrapping_add(w.0), 33).wrapping_mul(K1);
+        v = weak_hash_len_32_with_seeds(s, pos, v.1.wrapping_mul(K1), x.wrapping_add(w.0));
+        w = weak_hash_len_32_with_seeds(
+            s,
+            pos + 32,
+            z.wrapping_add(w.1),
+            y.wrapping_add(fetch64(s, pos + 16)),
+        );
+        std::mem::swap(&mut z, &mut x);
+        pos += 64;
+        remaining -= 64;
+        if remaining == 0 {
+            break;
+        }
+    }
+    hash_len_16(
+        hash_len_16(v.0, w.0)
+            .wrapping_add(shift_mix(y).wrapping_mul(K1))
+            .wrapping_add(z),
+        hash_len_16(v.1, w.1).wrapping_add(x),
+    )
+}
+
+/// Google's CityHash64 — the paper's **City** baseline.
+///
+/// # Examples
+///
+/// ```
+/// use sepe_baselines::CityHash;
+/// use sepe_core::ByteHash;
+///
+/// let h = CityHash::new();
+/// assert_ne!(h.hash_bytes(b"hello"), h.hash_bytes(b"world"));
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CityHash;
+
+impl CityHash {
+    /// Creates the hash (CityHash64 is unseeded).
+    #[must_use]
+    pub fn new() -> Self {
+        CityHash
+    }
+}
+
+impl ByteHash for CityHash {
+    #[inline]
+    fn hash_bytes(&self, key: &[u8]) -> u64 {
+        city_hash_64(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_string_hashes_to_k2_finalization() {
+        assert_eq!(city_hash_64(b""), K2);
+    }
+
+    #[test]
+    fn every_length_bucket_is_exercised_and_injective_on_prefixes() {
+        let data: Vec<u8> = (0..200u16).map(|i| (i * 131 % 251) as u8).collect();
+        let mut seen = std::collections::BTreeSet::new();
+        for n in 0..=data.len() {
+            seen.insert(city_hash_64(&data[..n]));
+        }
+        assert_eq!(seen.len(), data.len() + 1);
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_hash() {
+        for len in [1usize, 5, 9, 17, 33, 65, 130] {
+            let base = vec![0x5Au8; len];
+            let h0 = city_hash_64(&base);
+            for i in 0..len {
+                let mut k = base.clone();
+                k[i] ^= 1;
+                assert_ne!(city_hash_64(&k), h0, "len {len}, byte {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn no_collisions_on_structured_keys() {
+        let mut hashes: Vec<u64> = (0..20_000u32)
+            .map(|i| city_hash_64(format!("{i:020}").as_bytes()))
+            .collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        assert_eq!(hashes.len(), 20_000);
+    }
+
+    #[test]
+    fn output_bits_look_balanced() {
+        // Each output bit should be ~50% over many inputs.
+        let n = 4000u32;
+        let mut ones = [0u32; 64];
+        for i in 0..n {
+            let h = city_hash_64(format!("key-{i}").as_bytes());
+            for (b, slot) in ones.iter_mut().enumerate() {
+                *slot += ((h >> b) & 1) as u32;
+            }
+        }
+        for (b, &c) in ones.iter().enumerate() {
+            let frac = f64::from(c) / f64::from(n);
+            assert!((0.43..=0.57).contains(&frac), "bit {b} frac {frac}");
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Entropy-learned hashing, after Hentschel, Sirin & Idreos (SIGMOD 2022)
+//! — the related work the paper positions itself against (Section 5).
+//!
+//! Where SEPE *generates code* that skips constant bytes, entropy-learned
+//! hashing *constrains an existing hash function* to the high-entropy byte
+//! positions of the data: estimate the Shannon entropy of every position
+//! from a sample, keep the most informative positions within a byte
+//! budget, and hash only those. No code generation, no bit-level analysis
+//! — which is exactly the contrast the paper draws ("Hentschel et al. do
+//! not generate code for hash functions; they can constrain any well-known
+//! hash function to only high entropy bits").
+//!
+//! Implemented here so the two approaches can be compared head to head on
+//! the same workloads.
+
+use sepe_core::hash::{stl_hash_bytes, ByteHash, DEFAULT_STL_SEED};
+
+/// Per-position Shannon entropy (bits) of a sample of keys.
+///
+/// Positions past a key's end contribute a distinguished "absent" symbol,
+/// so length differences carry entropy too.
+#[must_use]
+pub fn positional_entropy(keys: &[&[u8]]) -> Vec<f64> {
+    let max_len = keys.iter().map(|k| k.len()).max().unwrap_or(0);
+    let mut out = Vec::with_capacity(max_len);
+    for pos in 0..max_len {
+        let mut counts = [0u32; 257]; // 256 byte values + "absent"
+        for k in keys {
+            match k.get(pos) {
+                Some(&b) => counts[b as usize] += 1,
+                None => counts[256] += 1,
+            }
+        }
+        let n = keys.len() as f64;
+        let mut h = 0.0;
+        for &c in &counts {
+            if c > 0 {
+                let p = f64::from(c) / n;
+                h -= p * p.log2();
+            }
+        }
+        out.push(h);
+    }
+    out
+}
+
+/// A hash that reads only the most informative byte positions of its keys.
+///
+/// # Examples
+///
+/// ```
+/// use sepe_baselines::entropy::EntropyLearnedHash;
+/// use sepe_core::ByteHash;
+///
+/// // URL keys: 10 constant bytes, 4 varying ones.
+/// let keys: Vec<String> =
+///     (0..500).map(|i| format!("/static/v1{:04}", i * 97 % 10_000)).collect();
+/// let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_bytes()).collect();
+/// let h = EntropyLearnedHash::train(&refs, 4);
+/// // Only the 4 digit positions are read.
+/// assert_eq!(h.positions(), &[10, 11, 12, 13]);
+/// assert_ne!(h.hash_bytes(b"/static/v10001"), h.hash_bytes(b"/static/v10002"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct EntropyLearnedHash {
+    /// Selected byte positions, ascending.
+    positions: Vec<usize>,
+    seed: u64,
+}
+
+impl EntropyLearnedHash {
+    /// Estimates per-position entropy from `sample` and keeps the
+    /// `budget` highest-entropy positions (all positive-entropy positions
+    /// if fewer exist).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample` is empty or `budget` is zero.
+    #[must_use]
+    pub fn train(sample: &[&[u8]], budget: usize) -> Self {
+        assert!(!sample.is_empty(), "need a non-empty sample");
+        assert!(budget > 0, "need a positive byte budget");
+        let entropies = positional_entropy(sample);
+        let mut ranked: Vec<(usize, f64)> = entropies
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(_, h)| h > 0.0)
+            .collect();
+        // Highest entropy first; ties broken by position for determinism.
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1).expect("entropies are finite").then(a.0.cmp(&b.0))
+        });
+        let mut positions: Vec<usize> =
+            ranked.into_iter().take(budget).map(|(p, _)| p).collect();
+        positions.sort_unstable();
+        EntropyLearnedHash { positions, seed: DEFAULT_STL_SEED }
+    }
+
+    /// The byte positions the hash reads, ascending.
+    #[must_use]
+    pub fn positions(&self) -> &[usize] {
+        &self.positions
+    }
+}
+
+impl ByteHash for EntropyLearnedHash {
+    fn hash_bytes(&self, key: &[u8]) -> u64 {
+        // Gather the informative bytes, then run the general-purpose hash
+        // over the (much shorter) gathered buffer — plus the length, so
+        // truncated keys do not alias.
+        let mut buf = [0u8; 64];
+        let mut n = 0usize;
+        for &p in &self.positions {
+            if n == buf.len() {
+                break;
+            }
+            buf[n] = key.get(p).copied().unwrap_or(0);
+            n += 1;
+        }
+        stl_hash_bytes(&buf[..n], self.seed ^ key.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_keys(n: usize) -> Vec<String> {
+        // Multiply by a unit mod 10^6 so every digit position varies.
+        (0..n).map(|i| format!("user-{:06}@example.com", i * 997 % 1_000_000)).collect()
+    }
+
+    #[test]
+    fn entropy_is_zero_on_constant_positions() {
+        let keys = sample_keys(500);
+        let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_bytes()).collect();
+        let e = positional_entropy(&refs);
+        // "user-" prefix and "@example.com" suffix are constant.
+        for (pos, &h) in e.iter().enumerate().take(5) {
+            assert_eq!(h, 0.0, "prefix byte {pos}");
+        }
+        for (pos, &h) in e.iter().enumerate().skip(11) {
+            assert_eq!(h, 0.0, "suffix byte {pos}");
+        }
+        // Digit positions carry entropy.
+        assert!(e[10] > 1.0, "low digit: {}", e[10]);
+    }
+
+    #[test]
+    fn training_selects_the_digit_positions() {
+        let keys = sample_keys(1000);
+        let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_bytes()).collect();
+        let h = EntropyLearnedHash::train(&refs, 6);
+        assert_eq!(h.positions(), &[5, 6, 7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn budget_caps_the_positions() {
+        let keys = sample_keys(1000);
+        let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_bytes()).collect();
+        let h = EntropyLearnedHash::train(&refs, 2);
+        assert_eq!(h.positions().len(), 2);
+        // The two cheapest-to-distinguish positions are the fast-cycling
+        // low digits.
+        assert!(h.positions().iter().all(|&p| (5..=10).contains(&p)));
+    }
+
+    #[test]
+    fn collision_free_when_budget_covers_the_variation() {
+        let keys = sample_keys(10_000);
+        let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_bytes()).collect();
+        let h = EntropyLearnedHash::train(&refs, 6);
+        let mut hashes: Vec<u64> = refs.iter().map(|k| h.hash_bytes(k)).collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        assert_eq!(hashes.len(), 10_000);
+    }
+
+    #[test]
+    fn under_budget_collides_gracefully() {
+        // One informative byte cannot distinguish 1000 keys — but hashing
+        // must stay deterministic and total.
+        let keys = sample_keys(1000);
+        let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_bytes()).collect();
+        let h = EntropyLearnedHash::train(&refs, 1);
+        let mut hashes: Vec<u64> = refs.iter().map(|k| h.hash_bytes(k)).collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        assert!(hashes.len() <= 10, "one byte has at most 10 digit values");
+    }
+
+    #[test]
+    fn variable_length_keys_contribute_length_entropy() {
+        let keys: Vec<String> = (0..100)
+            .map(|i| if i % 2 == 0 { format!("k{i:03}") } else { format!("k{i:03}x") })
+            .collect();
+        let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_bytes()).collect();
+        let e = positional_entropy(&refs);
+        assert!(e[4] > 0.9, "absent-vs-'x' position entropy: {}", e[4]);
+        // And keys differing only in length hash apart.
+        let h = EntropyLearnedHash::train(&refs, 4);
+        assert_ne!(h.hash_bytes(b"k000"), h.hash_bytes(b"k000x"));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty sample")]
+    fn empty_sample_panics() {
+        let _ = EntropyLearnedHash::train(&[], 4);
+    }
+}

@@ -1,0 +1,278 @@
+//! Handwritten per-format hash functions — the paper's **Gpt** baseline.
+//!
+//! The paper prompted ChatGPT 3.5 once per key format ("produce an optimized
+//! hash function for this specific case with an unrolled for loop, the
+//! constant characters can be ignored"). This module provides hand-written
+//! functions of the same flavor: per-format, unrolled, separator-skipping,
+//! value-parsing — including the characteristic weakness the paper reports
+//! (Section 4.2: 7857 of Gpt's 7865 collisions come from IPv4 keys, because
+//! parsing three-digit octets into bytes aliases values ≥ 256).
+
+use crate::fnv::FnvHash;
+use sepe_core::hash::ByteHash;
+
+/// Which key format a [`GptHash`] was "prompted" for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GptFormat {
+    /// `ddd-dd-dddd` US Social Security numbers.
+    Ssn,
+    /// `ddd.ddd.ddd-dd` Brazilian CPF numbers.
+    Cpf,
+    /// `hh-hh-hh-hh-hh-hh` MAC addresses.
+    Mac,
+    /// `ddd.ddd.ddd.ddd` zero-padded IPv4 addresses.
+    Ipv4,
+    /// `hhhh:hhhh:…:hhhh` IPv6 addresses (eight hextets).
+    Ipv6,
+    /// 100-digit integers.
+    Ints,
+    /// URL with a constant prefix of the given length and a variable
+    /// `[a-z0-9]{20}.html` suffix.
+    Url {
+        /// Length of the constant prefix to skip.
+        prefix_len: usize,
+    },
+    /// Any other format: falls back to FNV-1a, as a chat model typically
+    /// suggests for "generic strings".
+    Generic,
+}
+
+/// The **Gpt** baseline: a handwritten, format-specific hash.
+///
+/// # Examples
+///
+/// ```
+/// use sepe_baselines::gpt::{GptFormat, GptHash};
+/// use sepe_core::ByteHash;
+///
+/// let h = GptHash::new(GptFormat::Ssn);
+/// // SSNs parse to their 9-digit value: a bijection.
+/// assert_eq!(h.hash_bytes(b"123-45-6789"), 123_45_6789);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct GptHash {
+    format: GptFormat,
+}
+
+#[inline]
+fn digit(b: u8) -> u64 {
+    u64::from(b.wrapping_sub(b'0'))
+}
+
+#[inline]
+fn hex(b: u8) -> u64 {
+    match b {
+        b'0'..=b'9' => u64::from(b - b'0'),
+        b'a'..=b'f' => u64::from(b - b'a' + 10),
+        b'A'..=b'F' => u64::from(b - b'A' + 10),
+        _ => 0,
+    }
+}
+
+impl GptHash {
+    /// Creates the handwritten hash for `format`.
+    #[must_use]
+    pub fn new(format: GptFormat) -> Self {
+        GptHash { format }
+    }
+
+    /// The format this hash was written for.
+    #[must_use]
+    pub fn format(&self) -> GptFormat {
+        self.format
+    }
+
+    fn hash_ssn(key: &[u8]) -> u64 {
+        // Unrolled digit parse, skipping the dashes at 3 and 6.
+        digit(key[0]) * 100_000_000
+            + digit(key[1]) * 10_000_000
+            + digit(key[2]) * 1_000_000
+            + digit(key[4]) * 100_000
+            + digit(key[5]) * 10_000
+            + digit(key[7]) * 1000
+            + digit(key[8]) * 100
+            + digit(key[9]) * 10
+            + digit(key[10])
+    }
+
+    fn hash_cpf(key: &[u8]) -> u64 {
+        // ddd.ddd.ddd-dd: digits at 0-2, 4-6, 8-10, 12-13.
+        let mut h = 0u64;
+        for &i in &[0usize, 1, 2, 4, 5, 6, 8, 9, 10, 12, 13] {
+            h = h * 10 + digit(key[i]);
+        }
+        h
+    }
+
+    fn hash_mac(key: &[u8]) -> u64 {
+        // hh-hh-hh-hh-hh-hh: twelve nibbles, separators at 2,5,8,11,14.
+        let mut h = 0u64;
+        for group in 0..6 {
+            let base = group * 3;
+            h = (h << 8) | (hex(key[base]) << 4) | hex(key[base + 1]);
+        }
+        h
+    }
+
+    fn hash_ipv4(key: &[u8]) -> u64 {
+        // The paper's reported weakness: each three-digit group parses into
+        // one byte, so groups >= 256 alias modulo 256 and distinct keys
+        // collide (e.g. "256" vs "000").
+        let octet = |i: usize| -> u64 {
+            (digit(key[i]) * 100 + digit(key[i + 1]) * 10 + digit(key[i + 2])) & 0xFF
+        };
+        (octet(0) << 24) | (octet(4) << 16) | (octet(8) << 8) | octet(12)
+    }
+
+    fn hash_ipv6(key: &[u8]) -> u64 {
+        // hhhh:hhhh:...: eight hextets at stride 5; fold the 128-bit value.
+        let mut hi = 0u64;
+        let mut lo = 0u64;
+        for group in 0..4 {
+            let base = group * 5;
+            hi = (hi << 16)
+                | (hex(key[base]) << 12)
+                | (hex(key[base + 1]) << 8)
+                | (hex(key[base + 2]) << 4)
+                | hex(key[base + 3]);
+        }
+        for group in 4..8 {
+            let base = group * 5;
+            lo = (lo << 16)
+                | (hex(key[base]) << 12)
+                | (hex(key[base + 1]) << 8)
+                | (hex(key[base + 2]) << 4)
+                | hex(key[base + 3]);
+        }
+        hi ^ lo.rotate_left(1)
+    }
+
+    fn hash_ints(key: &[u8]) -> u64 {
+        // Unrolled word loop with a multiply per chunk, the shape a chat
+        // model produces for "a 100-character digit string".
+        let mut h = 0u64;
+        let mut i = 0;
+        while i + 8 <= key.len() {
+            let w = u64::from_le_bytes(key[i..i + 8].try_into().expect("8 bytes"));
+            h = h.wrapping_mul(0x0100_0000_01b3).wrapping_add(w);
+            i += 8;
+        }
+        while i < key.len() {
+            h = h.wrapping_mul(31).wrapping_add(u64::from(key[i]));
+            i += 1;
+        }
+        h
+    }
+
+    fn hash_url(key: &[u8], prefix_len: usize) -> u64 {
+        // Skip the constant prefix, hash the variable suffix polynomially.
+        let mut h = 1469_5981_0393_4665_6037u128 as u64;
+        for &b in key.get(prefix_len..).unwrap_or(key) {
+            h = h.wrapping_mul(31).wrapping_add(u64::from(b));
+        }
+        h
+    }
+}
+
+impl ByteHash for GptHash {
+    fn hash_bytes(&self, key: &[u8]) -> u64 {
+        // Every format function assumes well-formed keys; guard the length
+        // so malformed input degrades to FNV instead of panicking.
+        let expected = match self.format {
+            GptFormat::Ssn => 11,
+            GptFormat::Cpf => 14,
+            GptFormat::Mac => 17,
+            GptFormat::Ipv4 => 15,
+            GptFormat::Ipv6 => 39,
+            GptFormat::Ints | GptFormat::Url { .. } | GptFormat::Generic => 0,
+        };
+        if expected != 0 && key.len() != expected {
+            return FnvHash::new().hash_bytes(key);
+        }
+        match self.format {
+            GptFormat::Ssn => Self::hash_ssn(key),
+            GptFormat::Cpf => Self::hash_cpf(key),
+            GptFormat::Mac => Self::hash_mac(key),
+            GptFormat::Ipv4 => Self::hash_ipv4(key),
+            GptFormat::Ipv6 => Self::hash_ipv6(key),
+            GptFormat::Ints => Self::hash_ints(key),
+            GptFormat::Url { prefix_len } => Self::hash_url(key, prefix_len),
+            GptFormat::Generic => FnvHash::new().hash_bytes(key),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ssn_is_a_bijection() {
+        let h = GptHash::new(GptFormat::Ssn);
+        assert_eq!(h.hash_bytes(b"000-00-0000"), 0);
+        assert_eq!(h.hash_bytes(b"999-99-9999"), 999_999_999);
+        assert_eq!(h.hash_bytes(b"123-45-6789"), 123_456_789);
+    }
+
+    #[test]
+    fn cpf_parses_all_eleven_digits() {
+        let h = GptHash::new(GptFormat::Cpf);
+        assert_eq!(h.hash_bytes(b"123.456.789-01"), 12_345_678_901);
+    }
+
+    #[test]
+    fn mac_is_a_48_bit_bijection() {
+        let h = GptHash::new(GptFormat::Mac);
+        assert_eq!(h.hash_bytes(b"00-00-00-00-00-01"), 1);
+        assert_eq!(h.hash_bytes(b"ff-ff-ff-ff-ff-ff"), 0xFFFF_FFFF_FFFF);
+        assert_eq!(h.hash_bytes(b"0A-1b-2C-3d-4E-5f"), 0x0A1B_2C3D_4E5F);
+    }
+
+    #[test]
+    fn ipv4_collides_on_aliasing_octets() {
+        // The documented weakness: 256 aliases 000.
+        let h = GptHash::new(GptFormat::Ipv4);
+        assert_eq!(
+            h.hash_bytes(b"256.001.001.001"),
+            h.hash_bytes(b"000.001.001.001")
+        );
+        assert_ne!(
+            h.hash_bytes(b"001.001.001.001"),
+            h.hash_bytes(b"001.001.001.002")
+        );
+    }
+
+    #[test]
+    fn ipv6_distinguishes_hextets() {
+        let h = GptHash::new(GptFormat::Ipv6);
+        let a = h.hash_bytes(b"2001:0db8:0000:0000:0000:0000:0000:0001");
+        let b = h.hash_bytes(b"2001:0db8:0000:0000:0000:0000:0000:0002");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn malformed_keys_degrade_to_fnv() {
+        let h = GptHash::new(GptFormat::Ssn);
+        assert_eq!(h.hash_bytes(b"short"), FnvHash::new().hash_bytes(b"short"));
+    }
+
+    #[test]
+    fn url_skips_the_constant_prefix() {
+        let h = GptHash::new(GptFormat::Url { prefix_len: 10 });
+        assert_eq!(
+            h.hash_bytes(b"http://a/xSUFFIX"),
+            h.hash_bytes(b"http://b/ySUFFIX")
+        );
+    }
+
+    #[test]
+    fn ints_hashes_100_digit_keys_apart() {
+        let h = GptHash::new(GptFormat::Ints);
+        let mut hashes: Vec<u64> = (0..5000u64)
+            .map(|i| h.hash_bytes(format!("{:0100}", i * 31).as_bytes()))
+            .collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        assert_eq!(hashes.len(), 5000);
+    }
+}

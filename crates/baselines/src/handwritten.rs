@@ -1,0 +1,112 @@
+//! The handwritten SSN hash of Figure 4 of the paper.
+//!
+//! Suggested in the reddit thread where SEPE was discussed: two overlapping
+//! eight-byte loads, a four-bit shift to pair up constant and non-constant
+//! nibbles, and an addition. The fixed SSN length allows the two loads; the
+//! digit range allows the nibble packing; the constant dots vanish into the
+//! carry-free regions of the addition. The synthesized **Pext** function
+//! generalizes exactly this construction (Figure 12), so this module exists
+//! as the human reference point the generator is measured against.
+
+use sepe_core::bits::load_u64_le;
+use sepe_core::hash::ByteHash;
+
+/// Figure 4, verbatim: `h = load(ptr) + (load(ptr + 3) << 4)`.
+///
+/// Expects 11-byte keys in the `ddd-dd-dddd` (or `ddd.dd.dddd`) format;
+/// other inputs hash safely but meaninglessly.
+///
+/// # Examples
+///
+/// ```
+/// use sepe_baselines::handwritten::figure4_ssn_hash;
+///
+/// assert_ne!(figure4_ssn_hash(b"123-45-6789"), figure4_ssn_hash(b"123-45-6780"));
+/// ```
+#[must_use]
+pub fn figure4_ssn_hash(key: &[u8]) -> u64 {
+    let hash1 = load_u64_le(key, 0);
+    let hash2 = load_u64_le(key, 3);
+    let hash3 = hash2 << 4;
+    hash1.wrapping_add(hash3)
+}
+
+/// [`figure4_ssn_hash`] as a [`ByteHash`], for use in the experiment
+/// driver and containers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Figure4SsnHash;
+
+impl Figure4SsnHash {
+    /// Creates the hash.
+    #[must_use]
+    pub fn new() -> Self {
+        Figure4SsnHash
+    }
+}
+
+impl ByteHash for Figure4SsnHash {
+    #[inline]
+    fn hash_bytes(&self, key: &[u8]) -> u64 {
+        figure4_ssn_hash(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ssn(i: u64) -> String {
+        format!("{:03}-{:02}-{:04}", i / 1_000_000, (i / 10_000) % 100, i % 10_000)
+    }
+
+    #[test]
+    fn injective_on_a_large_ssn_sample() {
+        // The figure claims a bijection of 11-byte strings to 8-byte
+        // integers; verify injectivity over a large structured sample.
+        let mut hashes: Vec<u64> =
+            (0..200_000u64).map(|i| figure4_ssn_hash(ssn(i * 4999).as_bytes())).collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        assert_eq!(hashes.len(), 200_000);
+    }
+
+    #[test]
+    fn adjacent_ssns_hash_apart() {
+        assert_ne!(
+            figure4_ssn_hash(b"123-45-6789"),
+            figure4_ssn_hash(b"123-45-6790")
+        );
+        assert_ne!(
+            figure4_ssn_hash(b"000-00-0000"),
+            figure4_ssn_hash(b"100-00-0000")
+        );
+    }
+
+    #[test]
+    fn works_with_either_separator() {
+        // Figure 4's prose uses "xxx.xx.xxxx"; the paper's key format uses
+        // dashes. The construction works for both (separators are constant
+        // either way), but the two spellings hash differently.
+        assert_ne!(
+            figure4_ssn_hash(b"123-45-6789"),
+            figure4_ssn_hash(b"123.45.6789")
+        );
+    }
+
+    #[test]
+    fn comparable_to_the_synthesized_pext_on_dispersion() {
+        use sepe_core::hash::SynthesizedHash;
+        use sepe_core::synth::Family;
+        let pext = SynthesizedHash::from_regex(r"\d{3}-\d{2}-\d{4}", Family::Pext)
+            .expect("ssn regex compiles");
+        let keys: Vec<String> = (0..50_000u64).map(|i| ssn(i * 13)).collect();
+        let count_distinct = |f: &dyn Fn(&[u8]) -> u64| {
+            let mut hs: Vec<u64> = keys.iter().map(|k| f(k.as_bytes())).collect();
+            hs.sort_unstable();
+            hs.dedup();
+            hs.len()
+        };
+        assert_eq!(count_distinct(&figure4_ssn_hash), keys.len());
+        assert_eq!(count_distinct(&|k| pext.hash_bytes(k)), keys.len());
+    }
+}

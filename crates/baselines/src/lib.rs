@@ -1,0 +1,37 @@
+//! # sepe-baselines
+//!
+//! The baseline hash functions of the SEPE evaluation (Section 4 of the
+//! paper), implemented from scratch:
+//!
+//! * [`StlHash`] — the murmur-derived `_Hash_bytes` of libstdc++ (Figure 1);
+//! * [`FnvHash`] — the 64-bit FNV-1a of libstdc++ (`_Fnv_hash_bytes`);
+//! * [`CityHash`] — Google's CityHash64 for string keys;
+//! * [`AbseilHash`] — the 128-bit-multiply mixer in the style of Abseil's
+//!   low-level hash;
+//! * [`GperfHash`] — a gperf-style perfect-hash function trained on example
+//!   keys (keyword-position selection + associated-values search);
+//! * [`gpt`] — handwritten per-format hashes standing in for the paper's
+//!   ChatGPT-generated baselines.
+//!
+//! Every type implements [`sepe_core::ByteHash`], the interface the
+//! experiment driver measures.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod abseil;
+pub mod city;
+pub mod entropy;
+pub mod fnv;
+pub mod gperf;
+pub mod gpt;
+pub mod handwritten;
+pub mod stl;
+
+pub use abseil::AbseilHash;
+pub use city::CityHash;
+pub use entropy::EntropyLearnedHash;
+pub use fnv::FnvHash;
+pub use gperf::GperfHash;
+pub use gpt::GptHash;
+pub use stl::StlHash;

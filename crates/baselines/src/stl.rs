@@ -1,0 +1,73 @@
+//! The libstdc++ default string hash (Figure 1 of the paper).
+
+use sepe_core::hash::{stl_hash_bytes, ByteHash, DEFAULT_STL_SEED};
+
+/// The murmur-derived hash used by `std::hash<std::string>` in libstdc++ —
+/// the paper's **STL** baseline. The port itself lives in
+/// [`sepe_core::hash::stl_hash_bytes`] because SEPE uses it as the fallback
+/// for sub-8-byte keys.
+///
+/// # Examples
+///
+/// ```
+/// use sepe_baselines::StlHash;
+/// use sepe_core::ByteHash;
+///
+/// let h = StlHash::new();
+/// assert_ne!(h.hash_bytes(b"abc"), h.hash_bytes(b"abd"));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct StlHash {
+    seed: u64,
+}
+
+impl StlHash {
+    /// The hash with libstdc++'s default seed (`0xc70f6907`).
+    #[must_use]
+    pub fn new() -> Self {
+        StlHash { seed: DEFAULT_STL_SEED }
+    }
+
+    /// The hash with a caller-chosen seed.
+    #[must_use]
+    pub fn with_seed(seed: u64) -> Self {
+        StlHash { seed }
+    }
+}
+
+impl Default for StlHash {
+    fn default() -> Self {
+        StlHash::new()
+    }
+}
+
+impl ByteHash for StlHash {
+    #[inline]
+    fn hash_bytes(&self, key: &[u8]) -> u64 {
+        stl_hash_bytes(key, self.seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_and_new_agree() {
+        assert_eq!(
+            StlHash::new().hash_bytes(b"key"),
+            StlHash::default().hash_bytes(b"key")
+        );
+    }
+
+    #[test]
+    fn all_lengths_hash() {
+        let h = StlHash::new();
+        let data = b"abcdefghijklmnopqrstuvwxyz";
+        let mut seen = std::collections::BTreeSet::new();
+        for n in 0..=data.len() {
+            seen.insert(h.hash_bytes(&data[..n]));
+        }
+        assert_eq!(seen.len(), data.len() + 1, "prefixes must hash apart");
+    }
+}

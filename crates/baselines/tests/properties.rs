@@ -1,0 +1,105 @@
+//! Property tests for the baseline hash functions: determinism, input
+//! sensitivity and absence of trivial structure.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use sepe_baselines::{AbseilHash, CityHash, FnvHash, StlHash};
+use sepe_core::ByteHash;
+
+fn all_baselines() -> Vec<(&'static str, Box<dyn ByteHash>)> {
+    vec![
+        ("stl", Box::new(StlHash::new())),
+        ("fnv", Box::new(FnvHash::new())),
+        ("city", Box::new(CityHash::new())),
+        ("abseil", Box::new(AbseilHash::new())),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn deterministic_on_arbitrary_input(key in vec(any::<u8>(), 0..200)) {
+        for (name, h) in all_baselines() {
+            prop_assert_eq!(h.hash_bytes(&key), h.hash_bytes(&key), "{}", name);
+        }
+    }
+
+    #[test]
+    fn single_byte_change_changes_the_hash(
+        key in vec(any::<u8>(), 1..120),
+        pos_seed in any::<usize>(),
+        delta in 1u8..=255
+    ) {
+        let pos = pos_seed % key.len();
+        let mut other = key.clone();
+        other[pos] ^= delta;
+        for (name, h) in all_baselines() {
+            prop_assert_ne!(
+                h.hash_bytes(&key),
+                h.hash_bytes(&other),
+                "{} ignored byte {} of {:?}",
+                name,
+                pos,
+                key
+            );
+        }
+    }
+
+    #[test]
+    fn length_extension_changes_the_hash(
+        key in vec(any::<u8>(), 0..100),
+        extra in any::<u8>()
+    ) {
+        let mut longer = key.clone();
+        longer.push(extra);
+        for (name, h) in all_baselines() {
+            prop_assert_ne!(h.hash_bytes(&key), h.hash_bytes(&longer), "{}", name);
+        }
+    }
+
+    #[test]
+    fn concatenation_order_matters(
+        a in vec(any::<u8>(), 1..40),
+        b in vec(any::<u8>(), 1..40)
+    ) {
+        prop_assume!(a != b);
+        let mut ab = a.clone();
+        ab.extend_from_slice(&b);
+        let mut ba = b.clone();
+        ba.extend_from_slice(&a);
+        prop_assume!(ab != ba);
+        for (name, h) in all_baselines() {
+            prop_assert_ne!(h.hash_bytes(&ab), h.hash_bytes(&ba), "{}", name);
+        }
+    }
+
+    #[test]
+    fn gperf_is_total_on_arbitrary_probes(
+        training in vec(vec(any::<u8>(), 1..20), 1..30),
+        probe in vec(any::<u8>(), 0..40)
+    ) {
+        let refs: Vec<&[u8]> = training.iter().map(Vec::as_slice).collect();
+        let g = sepe_baselines::GperfHash::train(refs.iter().copied());
+        // Never panics, deterministic.
+        prop_assert_eq!(g.hash_bytes(&probe), g.hash_bytes(&probe));
+    }
+
+    #[test]
+    fn gpt_hashes_are_total_for_every_format(
+        probe in vec(any::<u8>(), 0..60)
+    ) {
+        use sepe_baselines::gpt::{GptFormat, GptHash};
+        for format in [
+            GptFormat::Ssn,
+            GptFormat::Cpf,
+            GptFormat::Mac,
+            GptFormat::Ipv4,
+            GptFormat::Ipv6,
+            GptFormat::Ints,
+            GptFormat::Url { prefix_len: 10 },
+            GptFormat::Generic,
+        ] {
+            let h = GptHash::new(format);
+            prop_assert_eq!(h.hash_bytes(&probe), h.hash_bytes(&probe));
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! **Table 1 B-Time / Figures 13 & 15** — the full affectation workload
+//! (insert / search / remove against a bucketed container) per hash
+//! function, on native and portable instruction sets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sepe_bench::TIMED_HASHES;
+use sepe_core::Isa;
+use sepe_driver::measure::time_affectations;
+use sepe_driver::{ExperimentConfig, HashId};
+use sepe_keygen::{Distribution, KeyFormat, KeySampler};
+
+fn bench_btime(c: &mut Criterion) {
+    let format = KeyFormat::Ssn;
+    let cfg = ExperimentConfig {
+        affectations: 3000,
+        ..ExperimentConfig::quick(format, Distribution::Normal)
+    };
+    let pool = KeySampler::new(cfg.format, cfg.distribution, cfg.seed).pool(cfg.spread);
+
+    // Figure 13: x86 (native ISA).
+    let mut group = c.benchmark_group("btime/native");
+    group.sample_size(10).measurement_time(std::time::Duration::from_secs(1)).warm_up_time(std::time::Duration::from_millis(300));
+    for id in TIMED_HASHES {
+        let hash = id.build(format, Isa::Native);
+        group.bench_function(BenchmarkId::from_parameter(id.name()), |b| {
+            b.iter(|| time_affectations(&cfg, hash.as_ref(), &pool));
+        });
+    }
+    group.finish();
+
+    // Figure 15: the paper's aarch64 configuration — portable code paths,
+    // Pext excluded (no bit-extract hardware).
+    let mut group = c.benchmark_group("btime/portable");
+    group.sample_size(10).measurement_time(std::time::Duration::from_secs(1)).warm_up_time(std::time::Duration::from_millis(300));
+    for id in TIMED_HASHES.into_iter().filter(|&i| i != HashId::Pext) {
+        let hash = id.build(format, Isa::Portable);
+        group.bench_function(BenchmarkId::from_parameter(id.name()), |b| {
+            b.iter(|| time_affectations(&cfg, hash.as_ref(), &pool));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_btime);
+criterion_main!(benches);

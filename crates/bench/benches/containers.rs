@@ -1,0 +1,34 @@
+//! **Figure 20 (RQ9)** — B-Time grouped by container kind: the multi
+//! variants pay an extra indirection, maps and sets behave alike.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sepe_core::Isa;
+use sepe_driver::measure::time_affectations;
+use sepe_driver::{ContainerKind, ExperimentConfig, HashId, Mode};
+use sepe_keygen::{Distribution, KeyFormat, KeySampler};
+
+fn bench_containers(c: &mut Criterion) {
+    let format = KeyFormat::Ssn;
+    let hash = HashId::OffXor.build(format, Isa::Native);
+    let mut group = c.benchmark_group("containers");
+    group.sample_size(10).measurement_time(std::time::Duration::from_secs(1)).warm_up_time(std::time::Duration::from_millis(300));
+    for container in ContainerKind::ALL {
+        for mode in [Mode::Batched, Mode::Interweaved { p_insert: 0.6, p_search: 0.2 }] {
+            let cfg = ExperimentConfig {
+                container,
+                mode,
+                affectations: 3000,
+                ..ExperimentConfig::quick(format, Distribution::Uniform)
+            };
+            let pool = KeySampler::new(cfg.format, cfg.distribution, cfg.seed).pool(cfg.spread);
+            let label = format!("{}/{}", container.name(), mode.label());
+            group.bench_function(BenchmarkId::from_parameter(label), |b| {
+                b.iter(|| time_affectations(&cfg, hash.as_ref(), &pool));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_containers);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Extension benchmark: the `DirectMap` (bijective Pext index, no buckets)
+//! against the bucketed `UnorderedMap` and `std::collections::HashMap` on
+//! SSN-keyed lookups — quantifying the paper's future-work direction of
+//! specializing storage, not just hashing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sepe_containers::{DirectMap, UnorderedMap};
+use sepe_core::hash::SynthesizedHash;
+use sepe_core::regex::Regex;
+use sepe_core::synth::Family;
+use sepe_keygen::{Distribution, KeyFormat, KeySampler};
+use std::hint::black_box;
+
+fn bench_direct(c: &mut Criterion) {
+    let pattern = Regex::compile(&KeyFormat::Ssn.regex()).expect("ssn regex compiles");
+    let keys: Vec<String> =
+        KeySampler::new(KeyFormat::Ssn, Distribution::Uniform, 4).distinct_pool(10_000);
+
+    let mut direct: DirectMap<u32> = DirectMap::new(&pattern).expect("ssn is bijective");
+    let hash = SynthesizedHash::from_pattern(&pattern, Family::Pext);
+    let mut bucketed = UnorderedMap::with_hasher(hash);
+    let mut std_map: std::collections::HashMap<String, u32> = std::collections::HashMap::new();
+    for (i, k) in keys.iter().enumerate() {
+        direct.insert(k.as_bytes(), i as u32);
+        bucketed.insert(k.clone(), i as u32);
+        std_map.insert(k.clone(), i as u32);
+    }
+
+    let mut group = c.benchmark_group("direct/lookup");
+    group.sample_size(20).measurement_time(std::time::Duration::from_millis(900)).warm_up_time(std::time::Duration::from_millis(300));
+    group.bench_function(BenchmarkId::from_parameter("DirectMap"), |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for k in &keys[..1000] {
+                acc ^= *direct.get(black_box(k.as_bytes())).expect("present");
+            }
+            acc
+        });
+    });
+    group.bench_function(BenchmarkId::from_parameter("UnorderedMap+Pext"), |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for k in &keys[..1000] {
+                acc ^= *bucketed.get(black_box(k.as_str())).expect("present");
+            }
+            acc
+        });
+    });
+    group.bench_function(BenchmarkId::from_parameter("std HashMap"), |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for k in &keys[..1000] {
+                acc ^= *std_map.get(black_box(k.as_str())).expect("present");
+            }
+            acc
+        });
+    });
+    group.finish();
+
+    // A narrow format (20 variable bits): DirectMap switches to one flat
+    // array — the dense "key as offset" case Kraska et al. argue for,
+    // where a lookup is the hash plus a single indexed load.
+    let zip_pattern = Regex::compile(r"\d{5}-us").expect("zip regex compiles");
+    let zips: Vec<String> = (0..10_000u32).map(|i| format!("{:05}-us", i * 7 % 100_000)).collect();
+    let mut direct2: DirectMap<u32> = DirectMap::new(&zip_pattern).expect("zip is bijective");
+    assert!(direct2.is_flat());
+    let hash2 = SynthesizedHash::from_pattern(&zip_pattern, Family::Pext);
+    let mut bucketed2 = UnorderedMap::with_hasher(hash2);
+    for (i, k) in zips.iter().enumerate() {
+        direct2.insert(k.as_bytes(), i as u32);
+        bucketed2.insert(k.clone(), i as u32);
+    }
+    let mut group = c.benchmark_group("direct/lookup-flat");
+    group.sample_size(20).measurement_time(std::time::Duration::from_millis(900)).warm_up_time(std::time::Duration::from_millis(300));
+    group.bench_function(BenchmarkId::from_parameter("DirectMap(flat)"), |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for k in &zips[..1000] {
+                acc ^= *direct2.get(black_box(k.as_bytes())).expect("present");
+            }
+            acc
+        });
+    });
+    group.bench_function(BenchmarkId::from_parameter("UnorderedMap+Pext"), |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for k in &zips[..1000] {
+                acc ^= *bucketed2.get(black_box(k.as_str())).expect("present");
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_direct);
+criterion_main!(benches);

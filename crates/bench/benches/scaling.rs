@@ -1,0 +1,32 @@
+//! **Figure 19 (RQ8)** — hashing time versus key size for Pext and the
+//! standard baselines; all curves should be linear in the key length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sepe_core::{ByteHash, Isa};
+use sepe_driver::analysis::digits_hash;
+use sepe_driver::HashId;
+use sepe_keygen::KeyFormat;
+use std::hint::black_box;
+
+fn bench_scaling(c: &mut Criterion) {
+    for id in [HashId::Pext, HashId::Stl, HashId::City, HashId::Fnv, HashId::Abseil] {
+        let mut group = c.benchmark_group(format!("scaling/{}", id.name()));
+        group.sample_size(15).measurement_time(std::time::Duration::from_millis(700)).warm_up_time(std::time::Duration::from_millis(300));
+        for exp in [4u32, 7, 10, 14] {
+            let size = 1usize << exp;
+            let hash: Box<dyn ByteHash> = match id.family() {
+                Some(family) => Box::new(digits_hash(family, size, Isa::Native)),
+                None => id.build(KeyFormat::Digits(size), Isa::Native),
+            };
+            let key = KeyFormat::Digits(size).materialize(123_456_789);
+            group.throughput(Throughput::Bytes(size as u64));
+            group.bench_function(BenchmarkId::from_parameter(size), |b| {
+                b.iter(|| hash.hash_bytes(black_box(key.as_bytes())));
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

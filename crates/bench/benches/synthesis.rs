@@ -1,0 +1,25 @@
+//! **Figure 16** — synthesis time versus key size (2⁴ … 2¹⁴ all-digit
+//! keys), per synthesized family. The paper reports linear growth with
+//! Pearson ≥ 0.993.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sepe_core::synth::Family;
+use sepe_driver::analysis::synthesis_time;
+
+fn bench_synthesis(c: &mut Criterion) {
+    for family in [Family::Pext, Family::OffXor, Family::Aes] {
+        let mut group = c.benchmark_group(format!("synthesis/{family}"));
+        group.sample_size(10).measurement_time(std::time::Duration::from_millis(600)).warm_up_time(std::time::Duration::from_millis(300));
+        for exp in [4u32, 6, 8, 10, 12, 14] {
+            let size = 1usize << exp;
+            group.throughput(Throughput::Bytes(size as u64));
+            group.bench_function(BenchmarkId::from_parameter(size), |b| {
+                b.iter(|| synthesis_time(family, size));
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_synthesis);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! # sepe-bench
+//!
+//! Shared plumbing for the criterion benchmarks under `benches/`. Each
+//! bench regenerates the measurements behind one table or figure of the
+//! paper:
+//!
+//! | bench        | paper artifact |
+//! |--------------|----------------|
+//! | `htime`      | Table 1 H-Time (pure hashing speed) |
+//! | `btime`      | Table 1 B-Time / Figures 13 & 15 (container workload) |
+//! | `synthesis`  | Figure 16 (synthesis time vs key size) |
+//! | `scaling`    | Figure 19 (hashing time vs key size) |
+//! | `uniformity` | Table 2 (χ² uniformity pipeline) |
+//! | `containers` | Figure 20 (per-container B-Time) |
+//!
+//! The absolute numbers of the paper were measured on a different machine
+//! and through compiled C++; only the relative ordering is expected to
+//! transfer. `sepe-repro` prints the same data as one-shot tables.
+
+use sepe_core::Isa;
+use sepe_driver::HashId;
+use sepe_keygen::{Distribution, KeyFormat, KeySampler};
+
+/// The hash functions benched head-to-head in the timing benches. Gperf is
+/// excluded from container benches (the paper excludes it from Figure 13
+/// for being two orders of magnitude slower).
+pub const TIMED_HASHES: [HashId; 9] = [
+    HashId::Abseil,
+    HashId::Aes,
+    HashId::City,
+    HashId::Fnv,
+    HashId::Gpt,
+    HashId::Naive,
+    HashId::OffXor,
+    HashId::Pext,
+    HashId::Stl,
+];
+
+/// A deterministic pool of distinct keys for a format.
+#[must_use]
+pub fn key_pool(format: KeyFormat, n: usize) -> Vec<String> {
+    let n = n.min(usize::try_from(format.space()).unwrap_or(usize::MAX));
+    KeySampler::new(format, Distribution::Uniform, 0xBEEF).distinct_pool(n)
+}
+
+/// Builds a hash for benching, with native instructions.
+#[must_use]
+pub fn build(id: HashId, format: KeyFormat) -> Box<dyn sepe_core::ByteHash> {
+    id.build(format, Isa::Native)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_are_distinct_and_sized() {
+        let pool = key_pool(KeyFormat::Ssn, 100);
+        assert_eq!(pool.len(), 100);
+        let set: std::collections::BTreeSet<_> = pool.iter().collect();
+        assert_eq!(set.len(), 100);
+    }
+
+    #[test]
+    fn timed_hashes_exclude_gperf() {
+        assert!(!TIMED_HASHES.contains(&HashId::Gperf));
+    }
+}

@@ -1,0 +1,154 @@
+//! `keybench` — benchmark synthesized and baseline hash functions on *your*
+//! keys: the end-to-end tool a downstream user actually wants.
+//!
+//! ```text
+//! keybench my_keys.txt             # one key per line
+//! keybench --iterations 200000 my_keys.txt
+//! ```
+//!
+//! Infers the key format, synthesizes all four SEPE families, and reports
+//! hashing time (latency-chained), true collisions and bucket collisions
+//! against the general-purpose baselines.
+
+use sepe_core::hash::SynthesizedHash;
+use sepe_core::infer::{infer_pattern, infer_regex};
+use sepe_core::multi::LengthDispatchHash;
+use sepe_core::synth::Family;
+use sepe_core::{ByteHash, Isa};
+use sepe_driver::measure::collisions_of;
+use sepe_driver::HashId;
+use std::io::Read;
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Options {
+    iterations: usize,
+    path: Option<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut iterations = 100_000;
+    let mut path = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Err(String::new()),
+            "--iterations" | "-n" => {
+                iterations = args
+                    .next()
+                    .ok_or("--iterations needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad iteration count: {e}"))?;
+            }
+            other if path.is_none() && !other.starts_with('-') => {
+                path = Some(other.to_owned());
+            }
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    Ok(Options { iterations, path })
+}
+
+/// Latency-chained hashing time over the key set.
+fn chained_time(hash: &dyn ByteHash, keys: &[&[u8]], iterations: usize) -> f64 {
+    let pot = if keys.len().is_power_of_two() {
+        keys.len()
+    } else {
+        (keys.len().next_power_of_two() / 2).max(1)
+    };
+    let mask = pot - 1;
+    let mut idx = 0usize;
+    let mut acc = 0u64;
+    let start = Instant::now();
+    for _ in 0..iterations {
+        let h = hash.hash_bytes(keys[idx]);
+        acc ^= h;
+        idx = (h as usize) & mask;
+    }
+    std::hint::black_box(acc);
+    start.elapsed().as_secs_f64() * 1e9 / iterations as f64
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("keybench: {msg}");
+            }
+            eprintln!("usage: keybench [--iterations N] [FILE]   (keys on stdin or FILE, one per line)");
+            return if msg.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+        }
+    };
+
+    let mut input = String::new();
+    let read = match &opts.path {
+        Some(p) => std::fs::read_to_string(p).map(|s| {
+            input = s;
+        }),
+        None => std::io::stdin().lock().read_to_string(&mut input).map(|_| ()),
+    };
+    if let Err(e) = read {
+        eprintln!("keybench: cannot read keys: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let mut keys: Vec<&str> =
+        input.lines().map(str::trim_end).filter(|l| !l.is_empty()).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    if keys.is_empty() {
+        eprintln!("keybench: no keys given");
+        return ExitCode::FAILURE;
+    }
+    let key_bytes: Vec<&[u8]> = keys.iter().map(|k| k.as_bytes()).collect();
+    let key_strings: Vec<String> = keys.iter().map(|k| (*k).to_owned()).collect();
+
+    let pattern = infer_pattern(key_bytes.iter().copied()).expect("keys are non-empty");
+    println!(
+        "{} distinct keys, inferred format: {}",
+        keys.len(),
+        infer_regex(key_bytes.iter().copied()).expect("keys are non-empty")
+    );
+    println!(
+        "length {}..={}, {} variable bits{}\n",
+        pattern.min_len(),
+        pattern.max_len(),
+        pattern.variable_bits(),
+        if pattern.variable_bits() <= 64 && pattern.is_fixed_len() {
+            " (Pext bijection possible)"
+        } else {
+            ""
+        }
+    );
+
+    println!("{:<22} {:>12} {:>10} {:>12}", "function", "ns/hash", "T-Coll", "B-Coll");
+    let report = |name: &str, hash: &dyn ByteHash| {
+        let ns = chained_time(hash, &key_bytes, opts.iterations);
+        let (b_coll, t_coll) =
+            collisions_of(hash, &key_strings, sepe_containers::BucketPolicy::Modulo);
+        println!("{name:<22} {ns:>12.1} {t_coll:>10} {b_coll:>12}");
+    };
+
+    for family in Family::ALL {
+        let hash = SynthesizedHash::from_pattern(&pattern, family);
+        report(&format!("sepe/{family}"), &hash);
+    }
+    if !pattern.is_fixed_len() {
+        if let Ok(dispatch) = LengthDispatchHash::from_examples(key_bytes.iter().copied(), Family::OffXor) {
+            report("sepe/OffXor+dispatch", &dispatch);
+        }
+    }
+    // Related work: entropy-learned hashing (Hentschel et al.), trained on
+    // the same keys with a byte budget matching the variable region.
+    let budget = key_bytes.iter().map(|k| k.len()).max().unwrap_or(1).clamp(1, 16);
+    let elh = sepe_baselines::EntropyLearnedHash::train(&key_bytes, budget);
+    report(&format!("related/ELH({} bytes)", elh.positions().len()), &elh);
+
+    for id in [HashId::Stl, HashId::City, HashId::Abseil, HashId::Fnv] {
+        // Baselines are format-independent; any format argument works.
+        let hash = id.build(sepe_keygen::KeyFormat::Ssn, Isa::Native);
+        report(&format!("baseline/{}", id.name()), hash.as_ref());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,77 @@
+//! `keybuilder` — reads example keys from stdin, one per line, and prints
+//! the inferred regular expression (Figure 5a of the paper):
+//!
+//! ```text
+//! keysynth "$(keybuilder < file_with_keys.txt)"
+//! ```
+
+use sepe_core::infer::{example_quality, infer_regex};
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: keybuilder [--report] [FILE]\n\n\
+             Reads example keys (one per line) from FILE or stdin and prints a\n\
+             regular expression recognizing the inferred key format.\n\
+             --report additionally lists byte positions the examples may\n\
+             under-exercise (Example 3.6 of the paper: good examples cover\n\
+             every bit combination that can occur)."
+        );
+        return ExitCode::SUCCESS;
+    }
+    let report = args.iter().any(|a| a == "--report" || a == "-r");
+    args.retain(|a| a != "--report" && a != "-r");
+
+    let mut input = String::new();
+    let read = match args.first() {
+        Some(path) => std::fs::read_to_string(path).map(|s| {
+            input = s;
+        }),
+        None => std::io::stdin().lock().read_to_string(&mut input).map(|_| ()),
+    };
+    if let Err(e) = read {
+        eprintln!("keybuilder: cannot read input: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let keys: Vec<&[u8]> = input
+        .lines()
+        .map(str::trim_end)
+        .filter(|l| !l.is_empty())
+        .map(str::as_bytes)
+        .collect();
+
+    match infer_regex(keys.iter().copied()) {
+        Ok(regex) => {
+            println!("{regex}");
+            if report {
+                let reports =
+                    example_quality(keys.iter().copied()).expect("non-empty checked above");
+                let flagged: Vec<_> = reports.iter().filter(|r| r.suspicious).collect();
+                if flagged.is_empty() {
+                    eprintln!("report: every position looks well exercised");
+                } else {
+                    eprintln!(
+                        "report: {} position(s) may be under-exercised (add examples \
+                         varying these bytes):",
+                        flagged.len()
+                    );
+                    for r in flagged {
+                        eprintln!(
+                            "  byte {:>3}: {} distinct example value(s), pattern accepts {}",
+                            r.position, r.distinct_examples, r.cardinality
+                        );
+                    }
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("keybuilder: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! `keysynth` — synthesizes specialized hash functions from a regular
+//! expression (Figure 5b of the paper) and prints their source code.
+//!
+//! ```text
+//! keysynth '(([0-9]{3})\.){3}[0-9]{3}'                 # all four families, C++
+//! keysynth --family pext --lang rust '\d{3}-\d{2}-\d{4}'
+//! ```
+
+use sepe_cli::{parse_family, parse_language};
+use sepe_core::codegen::{emit, Language};
+use sepe_core::regex::Regex;
+use sepe_core::synth::{synthesize, Family};
+use std::process::ExitCode;
+
+struct Options {
+    families: Vec<Family>,
+    language: Language,
+    name: Option<String>,
+    explain: bool,
+    regex: String,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut families = Vec::new();
+    let mut language = Language::Cpp;
+    let mut name = None;
+    let mut explain = false;
+    let mut regex = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                return Err(String::new());
+            }
+            "--family" | "-f" => {
+                let v = args.next().ok_or("--family needs a value")?;
+                families.push(parse_family(&v)?);
+            }
+            "--lang" | "-l" => {
+                let v = args.next().ok_or("--lang needs a value")?;
+                language = parse_language(&v)?;
+            }
+            "--name" | "-n" => {
+                name = Some(args.next().ok_or("--name needs a value")?);
+            }
+            "--explain" | "-e" => {
+                explain = true;
+            }
+            other if regex.is_none() && !other.starts_with('-') => {
+                regex = Some(other.to_owned());
+            }
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    if families.is_empty() {
+        families = Family::ALL.to_vec();
+    }
+    Ok(Options {
+        families,
+        language,
+        name,
+        explain,
+        regex: regex.ok_or("missing the key-format regular expression")?,
+    })
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("keysynth: {msg}");
+            }
+            eprintln!(
+                "usage: keysynth [--family naive|offxor|aes|pext]... \
+                 [--lang cpp|rust] [--name NAME] [--explain] REGEX"
+            );
+            return if msg.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+        }
+    };
+
+    let pattern = match Regex::compile(&opts.regex) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("keysynth: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for family in &opts.families {
+        let plan = synthesize(&pattern, *family);
+        if opts.explain {
+            println!("{}", sepe_cli::explain_plan(&pattern, *family, &plan));
+            continue;
+        }
+        let default_name = match opts.language {
+            Language::Cpp | Language::CppAarch64 => format!("Synthesized{family}Hash"),
+            Language::Rust => format!("synthesized_{}_hash", family.name().to_lowercase()),
+        };
+        let name = opts.name.clone().unwrap_or(default_name);
+        println!("{}", emit(&plan, *family, opts.language, &name));
+    }
+    ExitCode::SUCCESS
+}

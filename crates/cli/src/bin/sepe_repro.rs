@@ -1,0 +1,130 @@
+//! `sepe-repro` — regenerates the tables and figures of the paper's
+//! evaluation section.
+//!
+//! ```text
+//! sepe-repro table1                 # Table 1 at the default scale
+//! sepe-repro --scale smoke all      # everything, fast
+//! sepe-repro --scale paper fig13    # the paper's full counts (slow)
+//! ```
+
+use sepe_cli::repro;
+use sepe_driver::analysis::RunScale;
+use std::process::ExitCode;
+
+const ARTIFACTS: [&str; 15] = [
+    "table1", "table2", "table3", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+    "fig19", "fig20", "gradual", "significance", "avalanche", "bykey",
+];
+
+fn scale_of(name: &str) -> Result<RunScale, String> {
+    match name {
+        "smoke" => Ok(RunScale::smoke()),
+        "quick" => Ok(RunScale { affectations: 4000, samples: 1, ..RunScale::default() }),
+        "default" => Ok(RunScale::default()),
+        "paper" => Ok(RunScale { affectations: 10_000, samples: 10, ..RunScale::default() }),
+        other => Err(format!("unknown scale {other:?}; expected smoke|quick|default|paper")),
+    }
+}
+
+fn run(artifact: &str, scale: &RunScale) -> Option<String> {
+    let out = match artifact {
+        "table1" => repro::table1(scale),
+        "table2" => repro::table2(scale),
+        "table3" => repro::table3(scale),
+        "fig13" => repro::fig13(scale),
+        "fig14" => repro::fig14(scale),
+        "fig15" => repro::fig15(scale),
+        "fig16" => repro::fig16(),
+        "fig17" | "fig18" => repro::fig17_18(scale),
+        "fig19" => repro::fig19(scale),
+        "fig20" => repro::fig20(scale),
+        "gradual" => repro::gradual(scale),
+        "significance" => repro::significance(scale),
+        "avalanche" => repro::avalanche(scale),
+        "bykey" => repro::bykey(scale),
+        _ => return None,
+    };
+    Some(out)
+}
+
+fn main() -> ExitCode {
+    let mut scale = RunScale::default();
+    let mut artifacts: Vec<String> = Vec::new();
+    let mut out_dir: Option<std::path::PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: sepe-repro [--scale smoke|quick|default|paper] [--out DIR] ARTIFACT...\n\
+                     artifacts: {} | all",
+                    ARTIFACTS.join(" | ")
+                );
+                return ExitCode::SUCCESS;
+            }
+            "--out" | "-o" => {
+                let v = match args.next() {
+                    Some(v) => v,
+                    None => {
+                        eprintln!("sepe-repro: --out needs a directory");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                out_dir = Some(std::path::PathBuf::from(v));
+            }
+            "--scale" | "-s" => {
+                let v = match args.next() {
+                    Some(v) => v,
+                    None => {
+                        eprintln!("sepe-repro: --scale needs a value");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                scale = match scale_of(&v) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("sepe-repro: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            other => artifacts.push(other.to_owned()),
+        }
+    }
+    if artifacts.is_empty() {
+        eprintln!("sepe-repro: no artifact given; try `sepe-repro --scale quick all`");
+        return ExitCode::FAILURE;
+    }
+    if artifacts.iter().any(|a| a == "all") {
+        artifacts = ARTIFACTS.iter().map(|s| (*s).to_owned()).collect();
+        // fig17 and fig18 print together.
+        artifacts.retain(|a| a != "fig18");
+    }
+
+    if let Some(dir) = &out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("sepe-repro: cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    for artifact in &artifacts {
+        match run(artifact, &scale) {
+            Some(out) => {
+                println!("{out}");
+                if let Some(dir) = &out_dir {
+                    let path = dir.join(format!("{artifact}.txt"));
+                    if let Err(e) = std::fs::write(&path, &out) {
+                        eprintln!("sepe-repro: cannot write {}: {e}", path.display());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            None => {
+                eprintln!("sepe-repro: unknown artifact {artifact:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

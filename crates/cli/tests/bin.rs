@@ -1,0 +1,178 @@
+//! End-to-end tests of the command-line binaries, including the composed
+//! `keysynth "$(keybuilder < keys)"` workflow of Figure 5a.
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+fn keybuilder() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_keybuilder"))
+}
+
+fn keysynth() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_keysynth"))
+}
+
+fn sepe_repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sepe-repro"))
+}
+
+fn run_with_stdin(mut cmd: Command, input: &str) -> (String, String, bool) {
+    let mut child = cmd
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(input.as_bytes())
+        .expect("write stdin");
+    let out = child.wait_with_output().expect("binary finishes");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn keybuilder_infers_ssn_regex() {
+    let (stdout, _, ok) = run_with_stdin(keybuilder(), "000-00-0000\n555-55-5555\n");
+    assert!(ok);
+    assert_eq!(stdout.trim(), r"[0-9]{3}-[0-9]{2}-[0-9]{4}");
+}
+
+#[test]
+fn keybuilder_rejects_empty_input() {
+    let (_, stderr, ok) = run_with_stdin(keybuilder(), "");
+    assert!(!ok);
+    assert!(stderr.contains("zero example keys"), "{stderr}");
+}
+
+#[test]
+fn keysynth_emits_all_four_families_by_default() {
+    let out = keysynth()
+        .arg(r"(([0-9]{3})\.){3}[0-9]{3}")
+        .output()
+        .expect("keysynth runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for family in ["Naive", "OffXor", "Aes", "Pext"] {
+        assert!(stdout.contains(&format!("Synthesized{family}Hash")), "{family} missing");
+    }
+}
+
+#[test]
+fn keysynth_rust_output_for_one_family() {
+    let out = keysynth()
+        .args(["--family", "offxor", "--lang", "rust", "--name", "my_hash", r"\d{16}"])
+        .output()
+        .expect("keysynth runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("pub fn my_hash(key: &[u8]) -> u64"));
+    assert!(!stdout.contains("Pext"));
+}
+
+#[test]
+fn keysynth_reports_regex_errors() {
+    let out = keysynth().arg("a|b").output().expect("keysynth runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("alternation"), "{stderr}");
+}
+
+#[test]
+fn figure_5a_pipeline_composes() {
+    // keysynth "$(keybuilder < keys)"
+    let (regex, _, ok) = run_with_stdin(keybuilder(), "000.000.000.000\n555.555.555.555\n");
+    assert!(ok);
+    let out = keysynth()
+        .args(["--family", "pext", regex.trim()])
+        .output()
+        .expect("keysynth runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("_pext_u64"), "{stdout}");
+}
+
+#[test]
+fn keybuilder_report_flags_thin_examples() {
+    let mut cmd = keybuilder();
+    cmd.arg("--report");
+    let (stdout, stderr, ok) = run_with_stdin(cmd, "101\n121\n");
+    assert!(ok);
+    assert!(!stdout.trim().is_empty());
+    assert!(stderr.contains("under-exercised"), "{stderr}");
+}
+
+#[test]
+fn keybuilder_report_praises_good_examples() {
+    let mut cmd = keybuilder();
+    cmd.arg("--report");
+    let (_, stderr, ok) = run_with_stdin(cmd, "000-00-0000\n555-55-5555\n912-83-1234\n384-67-6789\n");
+    assert!(ok);
+    assert!(stderr.contains("well exercised"), "{stderr}");
+}
+
+#[test]
+fn sepe_repro_out_writes_artifact_files() {
+    let dir = std::env::temp_dir().join(format!("sepe-repro-out-{}", std::process::id()));
+    let out = sepe_repro()
+        .args(["--scale", "smoke", "--out"])
+        .arg(&dir)
+        .arg("gradual")
+        .output()
+        .expect("repro runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let written = std::fs::read_to_string(dir.join("gradual.txt")).expect("artifact written");
+    assert!(written.contains("Gradual specialization"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn keybench_reports_all_families_on_stdin_keys() {
+    let keys: String = (0..256)
+        .map(|i| format!("{:03}-{:02}-{:04}\n", i % 999, i % 97, i))
+        .collect();
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_keybench"));
+    cmd.args(["--iterations", "2000"]);
+    let (stdout, stderr, ok) = run_with_stdin(cmd, &keys);
+    assert!(ok, "{stderr}");
+    for row in ["sepe/Naive", "sepe/OffXor", "sepe/Aes", "sepe/Pext", "baseline/STL"] {
+        assert!(stdout.contains(row), "{row} missing from:\n{stdout}");
+    }
+    assert!(stdout.contains("Pext bijection possible"), "{stdout}");
+}
+
+#[test]
+fn keybench_rejects_empty_input() {
+    let (_, stderr, ok) = run_with_stdin(Command::new(env!("CARGO_BIN_EXE_keybench")), "\n\n");
+    assert!(!ok);
+    assert!(stderr.contains("no keys"), "{stderr}");
+}
+
+#[test]
+fn sepe_repro_lists_usage_and_rejects_unknowns() {
+    let out = sepe_repro().arg("--help").output().expect("repro runs");
+    assert!(out.status.success());
+    let usage = String::from_utf8_lossy(&out.stderr);
+    assert!(usage.contains("table1"));
+
+    let out = sepe_repro().args(["--scale", "smoke", "nosuch"]).output().expect("repro runs");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn sepe_repro_smoke_gradual_runs() {
+    let out = sepe_repro()
+        .args(["--scale", "smoke", "gradual"])
+        .output()
+        .expect("repro runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Gradual specialization"));
+    assert!(stdout.contains("OffXor"));
+}

@@ -1,0 +1,333 @@
+//! `UnorderedMap` — the analog of `std::unordered_map`.
+
+use crate::policy::BucketPolicy;
+use crate::table::RawTable;
+use sepe_core::hash::ByteHash;
+use std::borrow::Borrow;
+
+/// A chained hash map with prime bucket counts and bucket introspection,
+/// hashing keys through a [`ByteHash`].
+///
+/// # Examples
+///
+/// ```
+/// use sepe_baselines::StlHash;
+/// use sepe_containers::UnorderedMap;
+///
+/// let mut m = UnorderedMap::with_hasher(StlHash::new());
+/// m.insert("alpha".to_owned(), 1);
+/// m.insert("beta".to_owned(), 2);
+/// assert_eq!(m.get("alpha"), Some(&1));
+/// assert_eq!(m.remove("beta"), Some(2));
+/// assert_eq!(m.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnorderedMap<K, V, H> {
+    table: RawTable<K, V, H>,
+}
+
+impl<K, V, H> UnorderedMap<K, V, H>
+where
+    K: Eq + AsRef<[u8]>,
+    H: ByteHash,
+{
+    /// Creates an empty map using `hasher` and modulo bucket indexing.
+    pub fn with_hasher(hasher: H) -> Self {
+        UnorderedMap { table: RawTable::new(hasher, BucketPolicy::Modulo) }
+    }
+
+    /// Creates an empty map with an explicit bucket-index policy (used by
+    /// the RQ7 low-mixing experiments).
+    pub fn with_hasher_and_policy(hasher: H, policy: BucketPolicy) -> Self {
+        UnorderedMap { table: RawTable::new(hasher, policy) }
+    }
+
+    /// The hash function in use.
+    pub fn hasher(&self) -> &H {
+        self.table.hasher()
+    }
+
+    /// The bucket-index policy in use.
+    pub fn policy(&self) -> BucketPolicy {
+        self.table.policy()
+    }
+
+    /// Number of key-value pairs.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.table.len() == 0
+    }
+
+    /// Inserts a pair, returning the previous value for an equal key.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        self.table.insert_unique(key, value)
+    }
+
+    /// Looks up a key.
+    pub fn get<Q>(&self, key: &Q) -> Option<&V>
+    where
+        Q: ?Sized + Eq + AsRef<[u8]>,
+        K: Borrow<Q>,
+    {
+        self.table.find(key).map(|i| &self.table.get_kv(i).1)
+    }
+
+    /// Looks up a key, returning a mutable value reference.
+    pub fn get_mut<Q>(&mut self, key: &Q) -> Option<&mut V>
+    where
+        Q: ?Sized + Eq + AsRef<[u8]>,
+        K: Borrow<Q>,
+    {
+        self.table.find(key).map(|i| &mut self.table.get_kv_mut(i).1)
+    }
+
+    /// Whether the map contains `key`.
+    pub fn contains_key<Q>(&self, key: &Q) -> bool
+    where
+        Q: ?Sized + Eq + AsRef<[u8]>,
+        K: Borrow<Q>,
+    {
+        self.table.find(key).is_some()
+    }
+
+    /// Removes a key, returning its value.
+    pub fn remove<Q>(&mut self, key: &Q) -> Option<V>
+    where
+        Q: ?Sized + Eq + AsRef<[u8]>,
+        K: Borrow<Q>,
+    {
+        self.table.remove_one(key).map(|(_, v)| v)
+    }
+
+    /// Removes every pair.
+    pub fn clear(&mut self) {
+        self.table.clear();
+    }
+
+    /// Iterates over the pairs in arena order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.table.iter()
+    }
+
+    /// Current number of buckets.
+    pub fn bucket_count(&self) -> usize {
+        self.table.bucket_count()
+    }
+
+    /// Number of live entries in bucket `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.bucket_count()`.
+    pub fn bucket_len(&self, i: usize) -> usize {
+        self.table.bucket_len(i)
+    }
+
+    /// Σ over buckets of `max(0, bucket_len − 1)` — the paper's bucket
+    /// collision count (Section 4.2).
+    pub fn bucket_collisions(&self) -> u64 {
+        self.table.bucket_collisions()
+    }
+
+    /// Current load factor.
+    pub fn load_factor(&self) -> f64 {
+        self.table.load_factor()
+    }
+
+    /// Maximum load factor before rehashing (1.0, like libstdc++).
+    pub fn max_load_factor(&self) -> f64 {
+        self.table.max_load_factor()
+    }
+
+    /// Changes the maximum load factor, rehashing if already exceeded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mlf` is not positive.
+    pub fn set_max_load_factor(&mut self, mlf: f64) {
+        self.table.set_max_load_factor(mlf);
+    }
+
+    /// Rehashes into at least `bucket_count` buckets.
+    pub fn rehash(&mut self, bucket_count: usize) {
+        self.table.rehash(bucket_count);
+    }
+
+    /// Ensures `additional` more pairs fit without rehashing, growing to a
+    /// prime bucket count if necessary.
+    pub fn reserve(&mut self, additional: usize) {
+        let required = self.len() + additional;
+        if required as f64 > self.max_load_factor() * self.bucket_count() as f64 {
+            let target = crate::primes::grow_bucket_count(
+                self.bucket_count() as u64,
+                required,
+                self.max_load_factor(),
+            );
+            self.rehash(target as usize);
+        }
+    }
+
+    /// The 64-bit hash of `key` under this map's hash function.
+    pub fn hash_of(&self, key: &[u8]) -> u64 {
+        self.table.hash_of(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sepe_baselines::StlHash;
+
+    fn map() -> UnorderedMap<String, u32, StlHash> {
+        UnorderedMap::with_hasher(StlHash::new())
+    }
+
+    #[test]
+    fn insert_get_remove_cycle() {
+        let mut m = map();
+        assert!(m.is_empty());
+        for i in 0..5000u32 {
+            assert_eq!(m.insert(format!("key-{i:06}"), i), None);
+        }
+        assert_eq!(m.len(), 5000);
+        for i in 0..5000u32 {
+            assert_eq!(m.get(&format!("key-{i:06}")), Some(&i));
+        }
+        for i in (0..5000u32).step_by(2) {
+            assert_eq!(m.remove(&format!("key-{i:06}")), Some(i));
+        }
+        assert_eq!(m.len(), 2500);
+        for i in 0..5000u32 {
+            let expect = if i % 2 == 0 { None } else { Some(&i) };
+            assert_eq!(m.get(&format!("key-{i:06}")), expect);
+        }
+    }
+
+    #[test]
+    fn insert_replaces_existing() {
+        let mut m = map();
+        assert_eq!(m.insert("k".to_owned(), 1), None);
+        assert_eq!(m.insert("k".to_owned(), 2), Some(1));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get("k"), Some(&2));
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut m = map();
+        m.insert("k".to_owned(), 10);
+        *m.get_mut("k").expect("present") += 5;
+        assert_eq!(m.get("k"), Some(&15));
+    }
+
+    #[test]
+    fn load_factor_stays_bounded() {
+        let mut m = map();
+        for i in 0..10_000u32 {
+            m.insert(format!("{i:08}"), i);
+        }
+        assert!(m.load_factor() <= m.max_load_factor() + f64::EPSILON);
+        assert!(m.bucket_count() >= 10_000);
+        assert!(crate::primes::is_prime(m.bucket_count() as u64));
+    }
+
+    #[test]
+    fn bucket_lens_sum_to_len() {
+        let mut m = map();
+        for i in 0..3000u32 {
+            m.insert(format!("{i:07}"), i);
+        }
+        let total: usize = (0..m.bucket_count()).map(|b| m.bucket_len(b)).sum();
+        assert_eq!(total, m.len());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut m = map();
+        for i in 0..100u32 {
+            m.insert(format!("{i}"), i);
+        }
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.get("50"), None);
+        m.insert("50".to_owned(), 1);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn slots_are_reused_after_removal() {
+        let mut m = map();
+        for round in 0..10u32 {
+            for i in 0..500u32 {
+                m.insert(format!("{i:05}"), round);
+            }
+            for i in 0..500u32 {
+                assert_eq!(m.remove(&format!("{i:05}")), Some(round));
+            }
+        }
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn low_mixing_policy_is_honored() {
+        let mut m: UnorderedMap<String, u32, StlHash> = UnorderedMap::with_hasher_and_policy(
+            StlHash::new(),
+            BucketPolicy::HighBits { discard_low: 32 },
+        );
+        for i in 0..1000u32 {
+            m.insert(format!("{i:06}"), i);
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000u32 {
+            assert_eq!(m.get(&format!("{i:06}")), Some(&i));
+        }
+    }
+
+    #[test]
+    fn reserve_prevents_rehashes() {
+        let mut m = map();
+        m.reserve(10_000);
+        let buckets = m.bucket_count();
+        assert!(buckets >= 10_000);
+        for i in 0..10_000u32 {
+            m.insert(format!("{i:08}"), i);
+        }
+        assert_eq!(m.bucket_count(), buckets, "no rehash after reserve");
+        assert_eq!(m.len(), 10_000);
+    }
+
+    #[test]
+    fn matches_std_hashmap_under_random_ops() {
+        // Model-based check against std::collections::HashMap.
+        let mut ours = map();
+        let mut model: std::collections::HashMap<String, u32> = std::collections::HashMap::new();
+        let mut state = 0x0123_4567_89AB_CDEF_u64;
+        for step in 0..20_000u32 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let key = format!("{:04}", (state >> 33) % 3000);
+            match state % 3 {
+                0 => {
+                    assert_eq!(ours.insert(key.clone(), step), model.insert(key, step));
+                }
+                1 => {
+                    assert_eq!(ours.get(&key), model.get(&key));
+                }
+                _ => {
+                    assert_eq!(ours.remove(&key), model.remove(&key));
+                }
+            }
+            assert_eq!(ours.len(), model.len());
+        }
+        let mut ours_sorted: Vec<(String, u32)> =
+            ours.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        ours_sorted.sort();
+        let mut model_sorted: Vec<(String, u32)> =
+            model.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        model_sorted.sort();
+        assert_eq!(ours_sorted, model_sorted);
+    }
+}

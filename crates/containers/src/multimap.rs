@@ -1,0 +1,173 @@
+//! `UnorderedMultiMap` — the analog of `std::unordered_multimap`.
+
+use crate::policy::BucketPolicy;
+use crate::table::RawTable;
+use sepe_core::hash::ByteHash;
+use std::borrow::Borrow;
+
+/// A chained hash multimap: multiple pairs may share a key. As in
+/// `std::unordered_multimap`, `remove_all` mirrors `erase(key)` (drops every
+/// pair with that key), and `get` returns *some* pair with the key.
+///
+/// # Examples
+///
+/// ```
+/// use sepe_baselines::StlHash;
+/// use sepe_containers::UnorderedMultiMap;
+///
+/// let mut m = UnorderedMultiMap::with_hasher(StlHash::new());
+/// m.insert("k".to_owned(), 1);
+/// m.insert("k".to_owned(), 2);
+/// assert_eq!(m.count("k"), 2);
+/// assert_eq!(m.remove_all("k"), 2);
+/// assert!(m.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnorderedMultiMap<K, V, H> {
+    table: RawTable<K, V, H>,
+}
+
+impl<K, V, H> UnorderedMultiMap<K, V, H>
+where
+    K: Eq + AsRef<[u8]>,
+    H: ByteHash,
+{
+    /// Creates an empty multimap using `hasher`.
+    pub fn with_hasher(hasher: H) -> Self {
+        UnorderedMultiMap { table: RawTable::new(hasher, BucketPolicy::Modulo) }
+    }
+
+    /// Creates an empty multimap with an explicit bucket-index policy.
+    pub fn with_hasher_and_policy(hasher: H, policy: BucketPolicy) -> Self {
+        UnorderedMultiMap { table: RawTable::new(hasher, policy) }
+    }
+
+    /// Number of pairs (counting duplicates).
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the multimap is empty.
+    pub fn is_empty(&self) -> bool {
+        self.table.len() == 0
+    }
+
+    /// Inserts a pair; equal keys accumulate.
+    pub fn insert(&mut self, key: K, value: V) {
+        self.table.insert_multi(key, value);
+    }
+
+    /// Some value stored under `key`, if any.
+    pub fn get<Q>(&self, key: &Q) -> Option<&V>
+    where
+        Q: ?Sized + Eq + AsRef<[u8]>,
+        K: Borrow<Q>,
+    {
+        self.table.find(key).map(|i| &self.table.get_kv(i).1)
+    }
+
+    /// Number of pairs stored under `key`.
+    pub fn count<Q>(&self, key: &Q) -> usize
+    where
+        Q: ?Sized + Eq + AsRef<[u8]>,
+        K: Borrow<Q>,
+    {
+        self.table.count(key)
+    }
+
+    /// Whether any pair is stored under `key`.
+    pub fn contains_key<Q>(&self, key: &Q) -> bool
+    where
+        Q: ?Sized + Eq + AsRef<[u8]>,
+        K: Borrow<Q>,
+    {
+        self.table.find(key).is_some()
+    }
+
+    /// Removes one pair stored under `key`.
+    pub fn remove_one<Q>(&mut self, key: &Q) -> Option<V>
+    where
+        Q: ?Sized + Eq + AsRef<[u8]>,
+        K: Borrow<Q>,
+    {
+        self.table.remove_one(key).map(|(_, v)| v)
+    }
+
+    /// Removes every pair stored under `key` (like `erase(key)`), returning
+    /// how many were removed.
+    pub fn remove_all<Q>(&mut self, key: &Q) -> usize
+    where
+        Q: ?Sized + Eq + AsRef<[u8]>,
+        K: Borrow<Q>,
+    {
+        self.table.remove_all(key)
+    }
+
+    /// Removes every pair.
+    pub fn clear(&mut self) {
+        self.table.clear();
+    }
+
+    /// Iterates over pairs in arena order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.table.iter()
+    }
+
+    /// Current number of buckets.
+    pub fn bucket_count(&self) -> usize {
+        self.table.bucket_count()
+    }
+
+    /// Number of live entries in bucket `i`.
+    pub fn bucket_len(&self, i: usize) -> usize {
+        self.table.bucket_len(i)
+    }
+
+    /// The paper's bucket-collision count (Section 4.2).
+    pub fn bucket_collisions(&self) -> u64 {
+        self.table.bucket_collisions()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sepe_baselines::StlHash;
+
+    #[test]
+    fn duplicates_accumulate_and_erase_together() {
+        let mut m = UnorderedMultiMap::with_hasher(StlHash::new());
+        for i in 0..100u32 {
+            m.insert("dup".to_owned(), i);
+            m.insert(format!("unique-{i}"), i);
+        }
+        assert_eq!(m.len(), 200);
+        assert_eq!(m.count("dup"), 100);
+        assert_eq!(m.count("unique-5"), 1);
+        assert_eq!(m.remove_all("dup"), 100);
+        assert_eq!(m.len(), 100);
+        assert_eq!(m.count("dup"), 0);
+    }
+
+    #[test]
+    fn remove_one_peels_duplicates() {
+        let mut m = UnorderedMultiMap::with_hasher(StlHash::new());
+        m.insert("k".to_owned(), 1);
+        m.insert("k".to_owned(), 2);
+        assert!(m.remove_one("k").is_some());
+        assert_eq!(m.count("k"), 1);
+        assert!(m.remove_one("k").is_some());
+        assert_eq!(m.remove_one("k"), None);
+    }
+
+    #[test]
+    fn grows_under_duplicates() {
+        let mut m = UnorderedMultiMap::with_hasher(StlHash::new());
+        for i in 0..5000u32 {
+            m.insert("same".to_owned(), i);
+        }
+        assert_eq!(m.len(), 5000);
+        assert_eq!(m.count("same"), 5000);
+        assert!(m.bucket_count() >= 5000);
+    }
+}

@@ -1,0 +1,140 @@
+//! `UnorderedMultiSet` — the analog of `std::unordered_multiset`.
+
+use crate::multimap::UnorderedMultiMap;
+use crate::policy::BucketPolicy;
+use sepe_core::hash::ByteHash;
+use std::borrow::Borrow;
+
+/// A chained hash multiset: an [`UnorderedMultiMap`] with unit values.
+///
+/// # Examples
+///
+/// ```
+/// use sepe_baselines::StlHash;
+/// use sepe_containers::UnorderedMultiSet;
+///
+/// let mut s = UnorderedMultiSet::with_hasher(StlHash::new());
+/// s.insert("x".to_owned());
+/// s.insert("x".to_owned());
+/// assert_eq!(s.count("x"), 2);
+/// assert_eq!(s.remove_all("x"), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnorderedMultiSet<K, H> {
+    inner: UnorderedMultiMap<K, (), H>,
+}
+
+impl<K, H> UnorderedMultiSet<K, H>
+where
+    K: Eq + AsRef<[u8]>,
+    H: ByteHash,
+{
+    /// Creates an empty multiset using `hasher`.
+    pub fn with_hasher(hasher: H) -> Self {
+        UnorderedMultiSet { inner: UnorderedMultiMap::with_hasher(hasher) }
+    }
+
+    /// Creates an empty multiset with an explicit bucket-index policy.
+    pub fn with_hasher_and_policy(hasher: H, policy: BucketPolicy) -> Self {
+        UnorderedMultiSet { inner: UnorderedMultiMap::with_hasher_and_policy(hasher, policy) }
+    }
+
+    /// Number of elements (counting duplicates).
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the multiset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Inserts an element; duplicates accumulate.
+    pub fn insert(&mut self, key: K) {
+        self.inner.insert(key, ());
+    }
+
+    /// Number of copies of `key`.
+    pub fn count<Q>(&self, key: &Q) -> usize
+    where
+        Q: ?Sized + Eq + AsRef<[u8]>,
+        K: Borrow<Q>,
+    {
+        self.inner.count(key)
+    }
+
+    /// Whether at least one copy of `key` is present.
+    pub fn contains<Q>(&self, key: &Q) -> bool
+    where
+        Q: ?Sized + Eq + AsRef<[u8]>,
+        K: Borrow<Q>,
+    {
+        self.inner.contains_key(key)
+    }
+
+    /// Removes one copy of `key`; returns whether one was present.
+    pub fn remove_one<Q>(&mut self, key: &Q) -> bool
+    where
+        Q: ?Sized + Eq + AsRef<[u8]>,
+        K: Borrow<Q>,
+    {
+        self.inner.remove_one(key).is_some()
+    }
+
+    /// Removes every copy of `key`, returning how many were removed.
+    pub fn remove_all<Q>(&mut self, key: &Q) -> usize
+    where
+        Q: ?Sized + Eq + AsRef<[u8]>,
+        K: Borrow<Q>,
+    {
+        self.inner.remove_all(key)
+    }
+
+    /// Removes every element.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+
+    /// Iterates over the elements in arena order.
+    pub fn iter(&self) -> impl Iterator<Item = &K> {
+        self.inner.iter().map(|(k, ())| k)
+    }
+
+    /// Current number of buckets.
+    pub fn bucket_count(&self) -> usize {
+        self.inner.bucket_count()
+    }
+
+    /// Number of live entries in bucket `i`.
+    pub fn bucket_len(&self, i: usize) -> usize {
+        self.inner.bucket_len(i)
+    }
+
+    /// The paper's bucket-collision count (Section 4.2).
+    pub fn bucket_collisions(&self) -> u64 {
+        self.inner.bucket_collisions()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sepe_baselines::StlHash;
+
+    #[test]
+    fn multiset_semantics() {
+        let mut s = UnorderedMultiSet::with_hasher(StlHash::new());
+        s.insert("a".to_owned());
+        s.insert("a".to_owned());
+        s.insert("b".to_owned());
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.count("a"), 2);
+        assert!(s.contains("b"));
+        assert!(s.remove_one("a"));
+        assert_eq!(s.count("a"), 1);
+        assert_eq!(s.remove_all("a"), 1);
+        assert!(!s.contains("a"));
+        s.clear();
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,78 @@
+//! Bucket index policies.
+//!
+//! libstdc++ indexes buckets with `hash % bucket_count`, which consumes the
+//! *entire* hash value — the reason the paper's low-dispersion synthesized
+//! functions still spread keys across buckets (Example 4.1). RQ7 stresses
+//! the opposite design: a "low-mixing" container that uses only the most
+//! significant bits, under which Naive/OffXor degrade while Pext/Aes
+//! resist (Figures 17 and 18).
+
+/// How a 64-bit hash value selects a bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BucketPolicy {
+    /// `hash % bucket_count` — the libstdc++ policy.
+    #[default]
+    Modulo,
+    /// `(hash >> discard_low) % bucket_count` — a low-mixing container that
+    /// discards the `discard_low` least significant bits and indexes with
+    /// the remaining most significant ones (Figure 17's X axis).
+    HighBits {
+        /// Number of least-significant bits discarded before indexing.
+        discard_low: u32,
+    },
+}
+
+impl BucketPolicy {
+    /// The bucket for `hash` among `bucket_count` buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_count` is zero.
+    #[inline]
+    #[must_use]
+    pub fn bucket_of(self, hash: u64, bucket_count: u64) -> u64 {
+        assert!(bucket_count > 0, "bucket_count must be non-zero");
+        match self {
+            BucketPolicy::Modulo => hash % bucket_count,
+            BucketPolicy::HighBits { discard_low } => {
+                (hash >> discard_low.min(63)) % bucket_count
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modulo_uses_low_bits() {
+        assert_eq!(BucketPolicy::Modulo.bucket_of(123_456_789, 100), 89);
+        assert_eq!(BucketPolicy::Modulo.bucket_of(123_456_790, 100), 90);
+    }
+
+    #[test]
+    fn high_bits_discard_low_ones() {
+        let p = BucketPolicy::HighBits { discard_low: 48 };
+        // Hashes differing only below bit 48 land in the same bucket.
+        assert_eq!(p.bucket_of(0x0000_1234_5678_9ABC, 97), p.bucket_of(0x0000_FFFF_FFFF_FFFF, 97));
+        assert_ne!(
+            p.bucket_of(0x0001_0000_0000_0000, 97),
+            p.bucket_of(0x0002_0000_0000_0000, 97)
+        );
+    }
+
+    #[test]
+    fn example_4_1_successive_ssns_fall_in_different_buckets() {
+        // 123456789 % 100 = 89 and 123456790 % 100 = 90.
+        let p = BucketPolicy::Modulo;
+        assert_eq!(p.bucket_of(123_456_789, 100), 89);
+        assert_eq!(p.bucket_of(123_456_790, 100), 90);
+    }
+
+    #[test]
+    fn discard_is_clamped_at_63() {
+        let p = BucketPolicy::HighBits { discard_low: 200 };
+        assert_eq!(p.bucket_of(u64::MAX, 97), (u64::MAX >> 63));
+    }
+}

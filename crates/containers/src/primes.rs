@@ -1,0 +1,98 @@
+//! Prime bucket counts, mirroring libstdc++'s growth policy
+//! (`_Prime_rehash_policy`): bucket counts are primes, and growth jumps to
+//! the first prime at least twice the current count.
+
+/// Whether `n` is prime (deterministic trial division; bucket counts stay
+/// well below the range where this matters for speed).
+#[must_use]
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    if n.is_multiple_of(2) {
+        return n == 2;
+    }
+    if n.is_multiple_of(3) {
+        return n == 3;
+    }
+    let mut d = 5u64;
+    while d.saturating_mul(d) <= n {
+        if n.is_multiple_of(d) || n.is_multiple_of(d + 2) {
+            return false;
+        }
+        d += 6;
+    }
+    true
+}
+
+/// The smallest prime greater than or equal to `n`.
+///
+/// # Examples
+///
+/// ```
+/// use sepe_containers::primes::next_prime;
+///
+/// assert_eq!(next_prime(10), 11);
+/// assert_eq!(next_prime(13), 13);
+/// ```
+#[must_use]
+pub fn next_prime(n: u64) -> u64 {
+    let mut c = n.max(2);
+    while !is_prime(c) {
+        c += 1;
+    }
+    c
+}
+
+/// The bucket count to rehash to so that `required` elements fit under the
+/// given maximum load factor: the first prime at least
+/// `max(2 * current, required / max_load_factor)`.
+#[must_use]
+pub fn grow_bucket_count(current: u64, required: usize, max_load_factor: f64) -> u64 {
+    let by_load = (required as f64 / max_load_factor).ceil() as u64;
+    next_prime((current * 2).max(by_load).max(13))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes() {
+        let primes: Vec<u64> = (0..60).filter(|&n| is_prime(n)).collect();
+        assert_eq!(
+            primes,
+            vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59]
+        );
+    }
+
+    #[test]
+    fn next_prime_is_monotone_and_prime() {
+        let mut last = 0;
+        for n in 0..2000u64 {
+            let p = next_prime(n);
+            assert!(is_prime(p));
+            assert!(p >= n);
+            assert!(p >= last);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn growth_at_least_doubles() {
+        let mut n = 13u64;
+        for _ in 0..20 {
+            let next = grow_bucket_count(n, 0, 1.0);
+            assert!(next >= n * 2);
+            assert!(is_prime(next));
+            n = next;
+        }
+    }
+
+    #[test]
+    fn growth_respects_load_factor() {
+        let n = grow_bucket_count(13, 1000, 0.5);
+        assert!(n >= 2000);
+        assert!(is_prime(n));
+    }
+}

@@ -1,0 +1,124 @@
+//! `UnorderedSet` — the analog of `std::unordered_set`.
+
+use crate::map::UnorderedMap;
+use crate::policy::BucketPolicy;
+use sepe_core::hash::ByteHash;
+use std::borrow::Borrow;
+
+/// A chained hash set: an [`UnorderedMap`] with unit values.
+///
+/// # Examples
+///
+/// ```
+/// use sepe_baselines::StlHash;
+/// use sepe_containers::UnorderedSet;
+///
+/// let mut s = UnorderedSet::with_hasher(StlHash::new());
+/// assert!(s.insert("a".to_owned()));
+/// assert!(!s.insert("a".to_owned()));
+/// assert!(s.contains("a"));
+/// assert!(s.remove("a"));
+/// assert!(s.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnorderedSet<K, H> {
+    inner: UnorderedMap<K, (), H>,
+}
+
+impl<K, H> UnorderedSet<K, H>
+where
+    K: Eq + AsRef<[u8]>,
+    H: ByteHash,
+{
+    /// Creates an empty set using `hasher`.
+    pub fn with_hasher(hasher: H) -> Self {
+        UnorderedSet { inner: UnorderedMap::with_hasher(hasher) }
+    }
+
+    /// Creates an empty set with an explicit bucket-index policy.
+    pub fn with_hasher_and_policy(hasher: H, policy: BucketPolicy) -> Self {
+        UnorderedSet { inner: UnorderedMap::with_hasher_and_policy(hasher, policy) }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Inserts an element; returns whether it was newly added.
+    pub fn insert(&mut self, key: K) -> bool {
+        self.inner.insert(key, ()).is_none()
+    }
+
+    /// Whether the set contains `key`.
+    pub fn contains<Q>(&self, key: &Q) -> bool
+    where
+        Q: ?Sized + Eq + AsRef<[u8]>,
+        K: Borrow<Q>,
+    {
+        self.inner.contains_key(key)
+    }
+
+    /// Removes an element; returns whether it was present.
+    pub fn remove<Q>(&mut self, key: &Q) -> bool
+    where
+        Q: ?Sized + Eq + AsRef<[u8]>,
+        K: Borrow<Q>,
+    {
+        self.inner.remove(key).is_some()
+    }
+
+    /// Removes every element.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+
+    /// Iterates over the elements in arena order.
+    pub fn iter(&self) -> impl Iterator<Item = &K> {
+        self.inner.iter().map(|(k, ())| k)
+    }
+
+    /// Current number of buckets.
+    pub fn bucket_count(&self) -> usize {
+        self.inner.bucket_count()
+    }
+
+    /// Number of live entries in bucket `i`.
+    pub fn bucket_len(&self, i: usize) -> usize {
+        self.inner.bucket_len(i)
+    }
+
+    /// The paper's bucket-collision count (Section 4.2).
+    pub fn bucket_collisions(&self) -> u64 {
+        self.inner.bucket_collisions()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sepe_baselines::StlHash;
+
+    #[test]
+    fn set_semantics() {
+        let mut s = UnorderedSet::with_hasher(StlHash::new());
+        for i in 0..2000u32 {
+            assert!(s.insert(format!("{i:05}")));
+        }
+        for i in 0..2000u32 {
+            assert!(!s.insert(format!("{i:05}")));
+        }
+        assert_eq!(s.len(), 2000);
+        assert!(s.contains("00042"));
+        assert!(!s.contains("99999"));
+        assert!(s.remove("00042"));
+        assert!(!s.remove("00042"));
+        assert_eq!(s.len(), 1999);
+        assert_eq!(s.iter().count(), 1999);
+    }
+}

@@ -1,0 +1,295 @@
+//! The shared chained hash table behind all four public containers.
+//!
+//! Layout follows libstdc++: an array of bucket heads pointing into an
+//! entry arena; each entry caches its full 64-bit hash (so rehashing never
+//! re-hashes keys) and links to the next entry of its bucket. Removed slots
+//! go on a free list and are reused before the arena grows.
+
+use crate::policy::BucketPolicy;
+use crate::primes::grow_bucket_count;
+use sepe_core::hash::ByteHash;
+use std::borrow::Borrow;
+
+const NONE: u32 = u32::MAX;
+
+/// Initial bucket count (the first prime of libstdc++'s table is 13 once a
+/// table grows beyond its singleton state).
+const INITIAL_BUCKETS: u64 = 13;
+
+#[derive(Debug, Clone)]
+struct Entry<K, V> {
+    hash: u64,
+    next: u32,
+    kv: Option<(K, V)>,
+}
+
+/// A separate-chaining hash table with cached hashes and bucket
+/// introspection. `K` must expose its bytes for hashing.
+#[derive(Debug, Clone)]
+pub(crate) struct RawTable<K, V, H> {
+    heads: Vec<u32>,
+    entries: Vec<Entry<K, V>>,
+    free_head: u32,
+    len: usize,
+    hasher: H,
+    policy: BucketPolicy,
+    max_load_factor: f64,
+}
+
+impl<K, V, H> RawTable<K, V, H>
+where
+    K: Eq + AsRef<[u8]>,
+    H: ByteHash,
+{
+    pub(crate) fn new(hasher: H, policy: BucketPolicy) -> Self {
+        RawTable {
+            heads: vec![NONE; INITIAL_BUCKETS as usize],
+            entries: Vec::new(),
+            free_head: NONE,
+            len: 0,
+            hasher,
+            policy,
+            max_load_factor: 1.0,
+        }
+    }
+
+    pub(crate) fn hasher(&self) -> &H {
+        &self.hasher
+    }
+
+    pub(crate) fn policy(&self) -> BucketPolicy {
+        self.policy
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    pub(crate) fn bucket_count(&self) -> usize {
+        self.heads.len()
+    }
+
+    pub(crate) fn load_factor(&self) -> f64 {
+        self.len as f64 / self.heads.len() as f64
+    }
+
+    pub(crate) fn max_load_factor(&self) -> f64 {
+        self.max_load_factor
+    }
+
+    pub(crate) fn set_max_load_factor(&mut self, mlf: f64) {
+        assert!(mlf > 0.0, "max load factor must be positive");
+        self.max_load_factor = mlf;
+        if self.load_factor() > mlf {
+            let target = grow_bucket_count(self.heads.len() as u64, self.len, mlf);
+            self.rehash(target as usize);
+        }
+    }
+
+    #[inline]
+    pub(crate) fn hash_of(&self, key: &[u8]) -> u64 {
+        self.hasher.hash_bytes(key)
+    }
+
+    #[inline]
+    fn bucket_of(&self, hash: u64) -> usize {
+        self.policy.bucket_of(hash, self.heads.len() as u64) as usize
+    }
+
+    /// Finds the arena index of the first entry matching `key`.
+    #[inline]
+    pub(crate) fn find<Q>(&self, key: &Q) -> Option<u32>
+    where
+        Q: ?Sized + Eq + AsRef<[u8]>,
+        K: Borrow<Q>,
+    {
+        let hash = self.hash_of(key.as_ref());
+        let mut at = self.heads[self.bucket_of(hash)];
+        while at != NONE {
+            let e = &self.entries[at as usize];
+            if e.hash == hash {
+                if let Some((k, _)) = &e.kv {
+                    if k.borrow() == key {
+                        return Some(at);
+                    }
+                }
+            }
+            at = e.next;
+        }
+        None
+    }
+
+    pub(crate) fn get_kv(&self, idx: u32) -> &(K, V) {
+        self.entries[idx as usize].kv.as_ref().expect("live entry")
+    }
+
+    pub(crate) fn get_kv_mut(&mut self, idx: u32) -> &mut (K, V) {
+        self.entries[idx as usize].kv.as_mut().expect("live entry")
+    }
+
+    /// Inserts without checking for an existing equal key (multimap
+    /// semantics).
+    pub(crate) fn insert_multi(&mut self, key: K, value: V) {
+        self.reserve_one();
+        let hash = self.hash_of(key.as_ref());
+        self.link_new(hash, key, value);
+    }
+
+    /// Map semantics: replaces the value of an existing equal key.
+    pub(crate) fn insert_unique(&mut self, key: K, value: V) -> Option<V> {
+        if let Some(idx) = self.find(&key) {
+            let slot = &mut self.get_kv_mut(idx).1;
+            return Some(std::mem::replace(slot, value));
+        }
+        self.insert_multi(key, value);
+        None
+    }
+
+    fn reserve_one(&mut self) {
+        if (self.len + 1) as f64 > self.max_load_factor * self.heads.len() as f64 {
+            let target =
+                grow_bucket_count(self.heads.len() as u64, self.len + 1, self.max_load_factor);
+            self.rehash(target as usize);
+        }
+    }
+
+    fn link_new(&mut self, hash: u64, key: K, value: V) {
+        let bucket = self.bucket_of(hash);
+        let idx = if self.free_head != NONE {
+            let idx = self.free_head;
+            self.free_head = self.entries[idx as usize].next;
+            self.entries[idx as usize] = Entry { hash, next: self.heads[bucket], kv: Some((key, value)) };
+            idx
+        } else {
+            let idx = u32::try_from(self.entries.len()).expect("table below 2^32 entries");
+            self.entries.push(Entry { hash, next: self.heads[bucket], kv: Some((key, value)) });
+            idx
+        };
+        self.heads[bucket] = idx;
+        self.len += 1;
+    }
+
+    /// Removes the first entry matching `key`, returning its pair.
+    pub(crate) fn remove_one<Q>(&mut self, key: &Q) -> Option<(K, V)>
+    where
+        Q: ?Sized + Eq + AsRef<[u8]>,
+        K: Borrow<Q>,
+    {
+        let hash = self.hash_of(key.as_ref());
+        let bucket = self.bucket_of(hash);
+        let mut prev = NONE;
+        let mut at = self.heads[bucket];
+        while at != NONE {
+            let matches = {
+                let e = &self.entries[at as usize];
+                e.hash == hash
+                    && e.kv.as_ref().is_some_and(|(k, _)| k.borrow() == key)
+            };
+            if matches {
+                let next = self.entries[at as usize].next;
+                if prev == NONE {
+                    self.heads[bucket] = next;
+                } else {
+                    self.entries[prev as usize].next = next;
+                }
+                let kv = self.entries[at as usize].kv.take().expect("live entry");
+                self.entries[at as usize].next = self.free_head;
+                self.free_head = at;
+                self.len -= 1;
+                return Some(kv);
+            }
+            prev = at;
+            at = self.entries[at as usize].next;
+        }
+        None
+    }
+
+    /// Removes every entry matching `key` (multimap `erase(key)`), returning
+    /// how many were removed.
+    pub(crate) fn remove_all<Q>(&mut self, key: &Q) -> usize
+    where
+        Q: ?Sized + Eq + AsRef<[u8]>,
+        K: Borrow<Q>,
+    {
+        let mut removed = 0;
+        while self.remove_one(key).is_some() {
+            removed += 1;
+        }
+        removed
+    }
+
+    /// Number of live entries equal to `key`.
+    pub(crate) fn count<Q>(&self, key: &Q) -> usize
+    where
+        Q: ?Sized + Eq + AsRef<[u8]>,
+        K: Borrow<Q>,
+    {
+        let hash = self.hash_of(key.as_ref());
+        let mut at = self.heads[self.bucket_of(hash)];
+        let mut n = 0;
+        while at != NONE {
+            let e = &self.entries[at as usize];
+            if e.hash == hash && e.kv.as_ref().is_some_and(|(k, _)| k.borrow() == key) {
+                n += 1;
+            }
+            at = e.next;
+        }
+        n
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.heads.iter_mut().for_each(|h| *h = NONE);
+        self.entries.clear();
+        self.free_head = NONE;
+        self.len = 0;
+    }
+
+    pub(crate) fn rehash(&mut self, bucket_count: usize) {
+        let bucket_count = bucket_count.max(1);
+        self.heads = vec![NONE; bucket_count];
+        let policy = self.policy;
+        for idx in 0..self.entries.len() {
+            if self.entries[idx].kv.is_none() {
+                continue;
+            }
+            let bucket = policy.bucket_of(self.entries[idx].hash, bucket_count as u64) as usize;
+            self.entries[idx].next = self.heads[bucket];
+            self.heads[bucket] = idx as u32;
+        }
+        // Rebuild the free list over dead slots.
+        self.free_head = NONE;
+        for idx in (0..self.entries.len()).rev() {
+            if self.entries[idx].kv.is_none() {
+                self.entries[idx].next = self.free_head;
+                self.free_head = idx as u32;
+            }
+        }
+    }
+
+    /// Number of live entries in bucket `i`.
+    pub(crate) fn bucket_len(&self, i: usize) -> usize {
+        let mut at = self.heads[i];
+        let mut n = 0;
+        while at != NONE {
+            let e = &self.entries[at as usize];
+            if e.kv.is_some() {
+                n += 1;
+            }
+            at = e.next;
+        }
+        n
+    }
+
+    /// Σ over buckets of `max(0, bucket_len - 1)` — the bucket-collision
+    /// count of Section 4.2 ("iterate over the buckets logging the number
+    /// of keys inside the same bucket").
+    pub(crate) fn bucket_collisions(&self) -> u64 {
+        (0..self.heads.len())
+            .map(|i| self.bucket_len(i).saturating_sub(1) as u64)
+            .sum()
+    }
+
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.entries.iter().filter_map(|e| e.kv.as_ref().map(|(k, v)| (k, v)))
+    }
+}

@@ -1,0 +1,114 @@
+//! Model-based property tests: the bucketed containers must behave exactly
+//! like `std::collections` reference models under arbitrary operation
+//! sequences, for both index policies.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use sepe_baselines::StlHash;
+use sepe_containers::{BucketPolicy, UnorderedMap, UnorderedMultiMap, UnorderedSet};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u16, u32),
+    Get(u16),
+    Remove(u16),
+    Clear,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        8 => (any::<u16>(), any::<u32>()).prop_map(|(k, v)| Op::Insert(k % 500, v)),
+        4 => any::<u16>().prop_map(|k| Op::Get(k % 500)),
+        4 => any::<u16>().prop_map(|k| Op::Remove(k % 500)),
+        1 => Just(Op::Clear),
+    ]
+}
+
+fn key_of(k: u16) -> String {
+    format!("key-{k:05}")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn map_matches_std_model(ops in vec(arb_op(), 1..400), low_mixing in any::<bool>()) {
+        let policy = if low_mixing {
+            BucketPolicy::HighBits { discard_low: 32 }
+        } else {
+            BucketPolicy::Modulo
+        };
+        let mut ours: UnorderedMap<String, u32, StlHash> =
+            UnorderedMap::with_hasher_and_policy(StlHash::new(), policy);
+        let mut model: HashMap<String, u32> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    prop_assert_eq!(ours.insert(key_of(k), v), model.insert(key_of(k), v));
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(ours.get(&key_of(k)), model.get(&key_of(k)));
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(ours.remove(&key_of(k)), model.remove(&key_of(k)));
+                }
+                Op::Clear => {
+                    ours.clear();
+                    model.clear();
+                }
+            }
+            prop_assert_eq!(ours.len(), model.len());
+        }
+        // Bucket invariants hold at the end.
+        let total: usize = (0..ours.bucket_count()).map(|b| ours.bucket_len(b)).sum();
+        prop_assert_eq!(total, ours.len());
+        prop_assert!(ours.load_factor() <= ours.max_load_factor() + f64::EPSILON);
+    }
+
+    #[test]
+    fn multimap_matches_count_model(ops in vec(arb_op(), 1..300)) {
+        let mut ours: UnorderedMultiMap<String, u32, StlHash> =
+            UnorderedMultiMap::with_hasher(StlHash::new());
+        let mut model: HashMap<String, Vec<u32>> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    ours.insert(key_of(k), v);
+                    model.entry(key_of(k)).or_default().push(v);
+                }
+                Op::Get(k) => {
+                    let key = key_of(k);
+                    prop_assert_eq!(
+                        ours.count(&key),
+                        model.get(&key).map_or(0, Vec::len)
+                    );
+                }
+                Op::Remove(k) => {
+                    let key = key_of(k);
+                    let expected = model.remove(&key).map_or(0, |v| v.len());
+                    prop_assert_eq!(ours.remove_all(&key), expected);
+                }
+                Op::Clear => {
+                    ours.clear();
+                    model.clear();
+                }
+            }
+            prop_assert_eq!(ours.len(), model.values().map(Vec::len).sum::<usize>());
+        }
+    }
+
+    #[test]
+    fn set_matches_std_model(keys in vec(any::<u16>(), 1..300)) {
+        let mut ours: UnorderedSet<String, StlHash> = UnorderedSet::with_hasher(StlHash::new());
+        let mut model: std::collections::HashSet<String> = std::collections::HashSet::new();
+        for k in keys {
+            let key = key_of(k % 100);
+            prop_assert_eq!(ours.insert(key.clone()), model.insert(key));
+        }
+        prop_assert_eq!(ours.len(), model.len());
+        for k in 0..100u16 {
+            prop_assert_eq!(ours.contains(&key_of(k)), model.contains(&key_of(k)));
+        }
+    }
+}

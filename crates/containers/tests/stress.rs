@@ -1,0 +1,114 @@
+//! Deterministic stress runs: large mixed workloads against the reference
+//! model, exercising growth, slot reuse and rehash interplay at scale.
+
+use sepe_baselines::StlHash;
+use sepe_containers::{BucketPolicy, UnorderedMap, UnorderedMultiMap};
+use std::collections::HashMap;
+
+/// Simple LCG so the workload is deterministic without pulling in a crate.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 16
+    }
+}
+
+#[test]
+fn hundred_thousand_mixed_ops_match_the_model() {
+    let mut ours: UnorderedMap<String, u64, StlHash> = UnorderedMap::with_hasher(StlHash::new());
+    let mut model: HashMap<String, u64> = HashMap::new();
+    let mut rng = Lcg(42);
+    for step in 0..100_000u64 {
+        let key = format!("stress-{:05}", rng.next() % 20_000);
+        match rng.next() % 10 {
+            0..=4 => {
+                assert_eq!(ours.insert(key.clone(), step), model.insert(key, step));
+            }
+            5..=7 => {
+                assert_eq!(ours.get(&key), model.get(&key), "step {step}");
+            }
+            8 => {
+                assert_eq!(ours.remove(&key), model.remove(&key));
+            }
+            _ => {
+                assert_eq!(ours.contains_key(&key), model.contains_key(&key));
+            }
+        }
+    }
+    assert_eq!(ours.len(), model.len());
+    // Invariants after the storm.
+    let total: usize = (0..ours.bucket_count()).map(|b| ours.bucket_len(b)).sum();
+    assert_eq!(total, ours.len());
+    assert!(ours.load_factor() <= ours.max_load_factor() + f64::EPSILON);
+}
+
+#[test]
+fn explicit_rehash_preserves_content_mid_workload() {
+    let mut ours: UnorderedMap<String, u64, StlHash> = UnorderedMap::with_hasher(StlHash::new());
+    let mut model: HashMap<String, u64> = HashMap::new();
+    let mut rng = Lcg(7);
+    for step in 0..20_000u64 {
+        let key = format!("{:06}", rng.next() % 5000);
+        if rng.next().is_multiple_of(3) {
+            ours.remove(&key);
+            model.remove(&key);
+        } else {
+            ours.insert(key.clone(), step);
+            model.insert(key, step);
+        }
+        if step.is_multiple_of(2_500) {
+            // Force rehashes both up and down in the middle of the run.
+            let target = if step.is_multiple_of(5_000) { 17 } else { 50_021 };
+            ours.rehash(target);
+            assert!(ours.bucket_count() >= target.min(17));
+        }
+    }
+    assert_eq!(ours.len(), model.len());
+    for (k, v) in &model {
+        assert_eq!(ours.get(k.as_str()), Some(v));
+    }
+}
+
+#[test]
+fn multimap_under_heavy_duplication() {
+    let mut m: UnorderedMultiMap<String, u64, StlHash> =
+        UnorderedMultiMap::with_hasher(StlHash::new());
+    let mut expected: HashMap<String, u64> = HashMap::new();
+    let mut rng = Lcg(99);
+    for i in 0..50_000u64 {
+        let key = format!("dup-{:02}", rng.next() % 50);
+        m.insert(key.clone(), i);
+        *expected.entry(key).or_insert(0) += 1;
+    }
+    assert_eq!(m.len(), 50_000);
+    for (k, &count) in &expected {
+        assert_eq!(m.count(k.as_str()), count as usize, "{k}");
+    }
+    // Drain half the keys entirely.
+    let mut removed = 0;
+    for k in expected.keys().take(25) {
+        removed += m.remove_all(k.as_str());
+    }
+    assert_eq!(m.len(), 50_000 - removed);
+}
+
+#[test]
+fn low_mixing_policy_survives_growth_cycles() {
+    let mut m: UnorderedMap<String, u32, StlHash> = UnorderedMap::with_hasher_and_policy(
+        StlHash::new(),
+        BucketPolicy::HighBits { discard_low: 40 },
+    );
+    for round in 0..4u32 {
+        for i in 0..10_000u32 {
+            m.insert(format!("{round}-{i:06}"), i);
+        }
+    }
+    assert_eq!(m.len(), 40_000);
+    for round in 0..4u32 {
+        for i in (0..10_000u32).step_by(97) {
+            assert_eq!(m.get(&format!("{round}-{i:06}")), Some(&i));
+        }
+    }
+}

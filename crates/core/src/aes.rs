@@ -1,0 +1,314 @@
+//! A from-scratch AES round primitive.
+//!
+//! The paper's **Aes** family combines key words with one AES encode round
+//! (`aesenc` on x86, `AESE`+`AESMC` on aarch64) instead of xor: the round's
+//! nonlinear S-box and MixColumns diffusion buy better hash distribution at
+//! the cost of a slower combine. This module implements the full round
+//! (SubBytes, ShiftRows, MixColumns, AddRoundKey) in portable software,
+//! dispatches to AES-NI when the host has it, and — to prove the primitive
+//! correct — implements complete AES-128 encryption on top of it, validated
+//! against the FIPS-197 known-answer vector.
+
+use crate::bits::Isa;
+
+/// The AES S-box (FIPS-197 Figure 7).
+#[rustfmt::skip]
+pub const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+    0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+    0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+    0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+    0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+    0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+    0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+    0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+    0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+    0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+    0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+];
+
+/// A 128-bit AES state / block, stored in the byte order of the `aesenc`
+/// instruction (column-major: byte `i` is row `i % 4`, column `i / 4`).
+pub type Block = [u8; 16];
+
+/// Multiplication by `x` in GF(2⁸) with the AES polynomial `x⁸+x⁴+x³+x+1`.
+#[inline]
+#[must_use]
+pub fn xtime(b: u8) -> u8 {
+    (b << 1) ^ (((b >> 7) & 1) * 0x1b)
+}
+
+/// SubBytes: applies the S-box to every state byte.
+#[must_use]
+pub fn sub_bytes(mut state: Block) -> Block {
+    for b in &mut state {
+        *b = SBOX[*b as usize];
+    }
+    state
+}
+
+/// ShiftRows: rotates row `r` left by `r` positions (column-major layout).
+#[must_use]
+pub fn shift_rows(state: Block) -> Block {
+    let mut out = [0u8; 16];
+    for col in 0..4 {
+        for row in 0..4 {
+            out[col * 4 + row] = state[((col + row) % 4) * 4 + row];
+        }
+    }
+    out
+}
+
+/// MixColumns: multiplies each state column by the fixed MDS matrix.
+#[must_use]
+pub fn mix_columns(state: Block) -> Block {
+    let mut out = [0u8; 16];
+    for col in 0..4 {
+        let a = &state[col * 4..col * 4 + 4];
+        let t = a[0] ^ a[1] ^ a[2] ^ a[3];
+        for row in 0..4 {
+            out[col * 4 + row] = a[row] ^ t ^ xtime(a[row] ^ a[(row + 1) % 4]);
+        }
+    }
+    out
+}
+
+/// One AES encode round exactly as `aesenc` computes it:
+/// `MixColumns(ShiftRows(SubBytes(state))) ^ round_key`.
+///
+/// This is the mixing primitive of the **Aes** hash family. Uses AES-NI when
+/// `isa` is [`Isa::Native`] and the CPU supports it.
+///
+/// # Examples
+///
+/// ```
+/// use sepe_core::aes::aesenc;
+/// use sepe_core::bits::Isa;
+///
+/// let mixed = aesenc([0u8; 16], [0u8; 16], Isa::Portable);
+/// assert_ne!(mixed, [0u8; 16]); // the S-box maps 0 to 0x63, then diffuses
+/// ```
+#[inline]
+#[must_use]
+pub fn aesenc(state: Block, round_key: Block, isa: Isa) -> Block {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if isa == Isa::Native && aesni_available() {
+            // SAFETY: guarded by the runtime AES-NI check above.
+            return unsafe { aesenc_hw(state, round_key) };
+        }
+    }
+    let _ = isa;
+    aesenc_soft(state, round_key)
+}
+
+/// The portable implementation of one AES encode round.
+#[must_use]
+pub fn aesenc_soft(state: Block, round_key: Block) -> Block {
+    let mut out = mix_columns(shift_rows(sub_bytes(state)));
+    for (o, k) in out.iter_mut().zip(round_key.iter()) {
+        *o ^= k;
+    }
+    out
+}
+
+/// Whether the host CPU exposes AES-NI.
+#[must_use]
+pub fn aesni_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::sync::OnceLock;
+        static AVAILABLE: OnceLock<bool> = OnceLock::new();
+        *AVAILABLE.get_or_init(|| std::arch::is_x86_feature_detected!("aes"))
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "aes")]
+unsafe fn aesenc_hw(state: Block, round_key: Block) -> Block {
+    use std::arch::x86_64::{__m128i, _mm_aesenc_si128, _mm_loadu_si128, _mm_storeu_si128};
+    let s = _mm_loadu_si128(state.as_ptr() as *const __m128i);
+    let k = _mm_loadu_si128(round_key.as_ptr() as *const __m128i);
+    let r = _mm_aesenc_si128(s, k);
+    let mut out = [0u8; 16];
+    _mm_storeu_si128(out.as_mut_ptr() as *mut __m128i, r);
+    out
+}
+
+/// The final AES round (no MixColumns), needed to validate the primitive by
+/// running full AES-128.
+#[must_use]
+pub fn aesenc_last_soft(state: Block, round_key: Block) -> Block {
+    let mut out = shift_rows(sub_bytes(state));
+    for (o, k) in out.iter_mut().zip(round_key.iter()) {
+        *o ^= k;
+    }
+    out
+}
+
+/// Expands a 128-bit key into the eleven AES-128 round keys (FIPS-197 §5.2).
+#[must_use]
+pub fn key_expansion_128(key: Block) -> [Block; 11] {
+    let mut w = [[0u8; 4]; 44];
+    for (i, word) in w.iter_mut().take(4).enumerate() {
+        word.copy_from_slice(&key[i * 4..i * 4 + 4]);
+    }
+    let mut rcon = 1u8;
+    for i in 4..44 {
+        let mut temp = w[i - 1];
+        if i % 4 == 0 {
+            temp.rotate_left(1);
+            for b in &mut temp {
+                *b = SBOX[*b as usize];
+            }
+            temp[0] ^= rcon;
+            rcon = xtime(rcon);
+        }
+        for j in 0..4 {
+            w[i][j] = w[i - 4][j] ^ temp[j];
+        }
+    }
+    let mut keys = [[0u8; 16]; 11];
+    for (r, rk) in keys.iter_mut().enumerate() {
+        for c in 0..4 {
+            rk[c * 4..c * 4 + 4].copy_from_slice(&w[r * 4 + c]);
+        }
+    }
+    keys
+}
+
+/// Full AES-128 block encryption built from the round primitives. Exists to
+/// *validate* [`aesenc_soft`] against FIPS-197; the hash families only use
+/// single rounds.
+#[must_use]
+pub fn aes128_encrypt_block(plaintext: Block, key: Block) -> Block {
+    let keys = key_expansion_128(key);
+    let mut state = plaintext;
+    for (s, k) in state.iter_mut().zip(keys[0].iter()) {
+        *s ^= k;
+    }
+    for rk in &keys[1..10] {
+        state = aesenc_soft(state, *rk);
+    }
+    aesenc_last_soft(state, keys[10])
+}
+
+/// Folds a 128-bit block into 64 bits by xoring its halves — the final step
+/// of the **Aes** hash family.
+#[inline]
+#[must_use]
+pub fn fold_block(block: Block) -> u64 {
+    let lo = u64::from_le_bytes(block[..8].try_into().expect("8 bytes"));
+    let hi = u64::from_le_bytes(block[8..].try_into().expect("8 bytes"));
+    lo ^ hi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sbox_is_a_bijection_without_fixed_points() {
+        let mut seen = [false; 256];
+        for (i, &s) in SBOX.iter().enumerate() {
+            assert!(!seen[s as usize], "S-box repeats {s:#x}");
+            seen[s as usize] = true;
+            assert_ne!(i as u8, s, "S-box has a fixed point at {i:#x}");
+        }
+    }
+
+    #[test]
+    fn shift_rows_preserves_multiset_and_row_membership() {
+        let state: Block = core::array::from_fn(|i| i as u8);
+        let shifted = shift_rows(state);
+        let mut a = state;
+        let mut b = shifted;
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        // Row 0 is untouched.
+        for col in 0..4 {
+            assert_eq!(shifted[col * 4], state[col * 4]);
+        }
+    }
+
+    #[test]
+    fn mix_columns_known_vector() {
+        // FIPS-197 / Wikipedia MixColumns test column: db 13 53 45 -> 8e 4d a1 bc.
+        let mut state = [0u8; 16];
+        state[..4].copy_from_slice(&[0xdb, 0x13, 0x53, 0x45]);
+        let out = mix_columns(state);
+        assert_eq!(&out[..4], &[0x8e, 0x4d, 0xa1, 0xbc]);
+        // Identity column: 01 01 01 01 maps to itself.
+        let mut id = [0u8; 16];
+        id[4..8].copy_from_slice(&[1, 1, 1, 1]);
+        assert_eq!(&mix_columns(id)[4..8], &[1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn fips_197_known_answer() {
+        // FIPS-197 Appendix C.1.
+        let key: Block = core::array::from_fn(|i| i as u8);
+        let plain: Block = [
+            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+            0xee, 0xff,
+        ];
+        let expected: Block = [
+            0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+            0xc5, 0x5a,
+        ];
+        assert_eq!(aes128_encrypt_block(plain, key), expected);
+    }
+
+    #[test]
+    fn key_expansion_first_round_key_matches_fips_197_a1() {
+        // FIPS-197 Appendix A.1: key 2b7e1516... expands so that w[4..8] =
+        // a0fafe17 88542cb1 23a33939 2a6c7605.
+        let key: Block = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let keys = key_expansion_128(key);
+        assert_eq!(
+            keys[1],
+            [
+                0xa0, 0xfa, 0xfe, 0x17, 0x88, 0x54, 0x2c, 0xb1, 0x23, 0xa3, 0x39, 0x39, 0x2a,
+                0x6c, 0x76, 0x05
+            ]
+        );
+    }
+
+    #[test]
+    fn hardware_and_software_rounds_agree() {
+        if !aesni_available() {
+            return;
+        }
+        let mut state: Block = core::array::from_fn(|i| (i * 17 + 3) as u8);
+        let key: Block = core::array::from_fn(|i| (i * 29 + 11) as u8);
+        for _ in 0..16 {
+            let hw = aesenc(state, key, Isa::Native);
+            let sw = aesenc(state, key, Isa::Portable);
+            assert_eq!(hw, sw);
+            state = sw;
+        }
+    }
+
+    #[test]
+    fn fold_block_xors_halves() {
+        let mut b = [0u8; 16];
+        b[0] = 0xFF;
+        b[8] = 0xFF;
+        assert_eq!(fold_block(b), 0);
+        b[8] = 0;
+        assert_eq!(fold_block(b), 0xFF);
+    }
+}

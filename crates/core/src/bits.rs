@@ -1,0 +1,299 @@
+//! Parallel bit extraction and deposit (`pext`/`pdep`).
+//!
+//! Section 3.2.3 of the paper removes constant bits from loaded words with
+//! the x86 `pext` instruction (or aarch64 `bext`). This module provides:
+//!
+//! * [`pext_reference`] / [`pdep_reference`] — the bit-by-bit loops of
+//!   Figure 11, used as the executable specification in tests;
+//! * [`pext_soft`] / [`pdep_soft`] — fast portable implementations
+//!   (Hacker's Delight §7-4 parallel-suffix method);
+//! * [`pext_u64`] / [`pdep_u64`] — runtime-dispatched entry points that use
+//!   the BMI2 instructions when the host supports them;
+//! * [`Isa`] — the architecture knob used by RQ4 (Figure 15) to force the
+//!   portable paths, emulating a machine without bit-extract hardware.
+
+/// Which instruction-set level plan evaluation may use.
+///
+/// [`Isa::Native`] picks the best available implementation at runtime;
+/// [`Isa::Portable`] forces the pure-software paths. The evaluation of RQ4
+/// uses `Portable` to reproduce the paper's aarch64 setting, where the
+/// `bext` instruction was unavailable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Isa {
+    /// Use hardware `pext`/AES instructions when the CPU supports them.
+    #[default]
+    Native,
+    /// Use only portable software implementations.
+    Portable,
+}
+
+/// The executable specification of `pext` from Figure 11 of the paper.
+///
+/// Walks the 64 bits of `mask`; every source bit under a set mask bit is
+/// copied to the next low-order position of the destination.
+///
+/// # Examples
+///
+/// ```
+/// use sepe_core::bits::pext_reference;
+///
+/// assert_eq!(pext_reference(0x1234_5678, 0x0000_FF00), 0x56);
+/// ```
+#[must_use]
+pub fn pext_reference(src: u64, mask: u64) -> u64 {
+    let mut dst = 0u64;
+    let mut k = 0u32;
+    for m in 0..64u32 {
+        if (mask >> m) & 1 == 1 {
+            dst |= ((src >> m) & 1) << k;
+            k += 1;
+        }
+    }
+    dst
+}
+
+/// The executable specification of `pdep` (inverse scatter of
+/// [`pext_reference`]).
+#[must_use]
+pub fn pdep_reference(src: u64, mask: u64) -> u64 {
+    let mut dst = 0u64;
+    let mut k = 0u32;
+    for m in 0..64u32 {
+        if (mask >> m) & 1 == 1 {
+            dst |= ((src >> k) & 1) << m;
+            k += 1;
+        }
+    }
+    dst
+}
+
+/// Fast portable `pext` (parallel-suffix method, Hacker's Delight §7-4).
+///
+/// Runs in a fixed 6-step sequence of shifts and masks — no per-bit loop —
+/// so it stays usable inside hash functions on machines without BMI2.
+#[must_use]
+pub fn pext_soft(src: u64, mut mask: u64) -> u64 {
+    let mut x = src & mask;
+    // mk counts, for each bit position, how many mask zeros are below it
+    // (mod 2^j at step j); mv is the set of bits to move at this step.
+    let mut mk = !mask << 1;
+    for i in 0..6 {
+        let mut mp = mk ^ (mk << 1);
+        mp ^= mp << 2;
+        mp ^= mp << 4;
+        mp ^= mp << 8;
+        mp ^= mp << 16;
+        mp ^= mp << 32;
+        let mv = mp & mask;
+        mask = (mask ^ mv) | (mv >> (1 << i));
+        let t = x & mv;
+        x = (x ^ t) | (t >> (1 << i));
+        mk &= !mp;
+    }
+    x
+}
+
+/// Fast portable `pdep` (inverse of [`pext_soft`]).
+///
+/// Uses the precomputed-move-masks formulation: each of the six steps
+/// scatters a group of bits left by a power of two.
+#[must_use]
+pub fn pdep_soft(src: u64, mask: u64) -> u64 {
+    // Compute the same move masks pext_soft would use, then replay them in
+    // reverse, moving bits left instead of right.
+    let mut mv = [0u64; 6];
+    let mut m = mask;
+    let mut mk = !mask << 1;
+    for (i, slot) in mv.iter_mut().enumerate() {
+        let mut mp = mk ^ (mk << 1);
+        mp ^= mp << 2;
+        mp ^= mp << 4;
+        mp ^= mp << 8;
+        mp ^= mp << 16;
+        mp ^= mp << 32;
+        *slot = mp & m;
+        m = (m ^ *slot) | (*slot >> (1 << i));
+        mk &= !mp;
+    }
+    let mut x = src;
+    for i in (0..6).rev() {
+        let shift = 1usize << i;
+        let t = x << shift;
+        x = (x & !mv[i]) | (t & mv[i]);
+    }
+    x & mask
+}
+
+#[cfg(target_arch = "x86_64")]
+mod hw {
+    /// Whether the host CPU exposes BMI2 (`pext`/`pdep`).
+    pub fn bmi2_available() -> bool {
+        use std::sync::OnceLock;
+        static AVAILABLE: OnceLock<bool> = OnceLock::new();
+        *AVAILABLE.get_or_init(|| std::arch::is_x86_feature_detected!("bmi2"))
+    }
+
+    #[target_feature(enable = "bmi2")]
+    pub unsafe fn pext_hw(src: u64, mask: u64) -> u64 {
+        std::arch::x86_64::_pext_u64(src, mask)
+    }
+
+    #[target_feature(enable = "bmi2")]
+    pub unsafe fn pdep_hw(src: u64, mask: u64) -> u64 {
+        std::arch::x86_64::_pdep_u64(src, mask)
+    }
+}
+
+/// Whether hardware parallel bit extraction is available on this host.
+#[must_use]
+pub fn hardware_pext_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        hw::bmi2_available()
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Extracts the bits of `src` selected by `mask` into the low-order bits of
+/// the result, using hardware BMI2 when `isa` allows it and the CPU has it.
+#[inline]
+#[must_use]
+pub fn pext_u64(src: u64, mask: u64, isa: Isa) -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if isa == Isa::Native && hw::bmi2_available() {
+            // SAFETY: guarded by the runtime BMI2 check above.
+            return unsafe { hw::pext_hw(src, mask) };
+        }
+    }
+    let _ = isa;
+    pext_soft(src, mask)
+}
+
+/// Deposits the low-order bits of `src` into the positions selected by
+/// `mask` (inverse of [`pext_u64`] on masked values).
+#[inline]
+#[must_use]
+pub fn pdep_u64(src: u64, mask: u64, isa: Isa) -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if isa == Isa::Native && hw::bmi2_available() {
+            // SAFETY: guarded by the runtime BMI2 check above.
+            return unsafe { hw::pdep_hw(src, mask) };
+        }
+    }
+    let _ = isa;
+    pdep_soft(src, mask)
+}
+
+/// Loads up to eight little-endian bytes starting at `key[offset]`.
+///
+/// Bytes past the end of `key` read as zero, mirroring the `load_bytes`
+/// helper of the STL murmur implementation (Figure 1, Line 13). The common
+/// in-bounds case compiles to a single unaligned 8-byte load.
+#[inline]
+#[must_use]
+pub fn load_u64_le(key: &[u8], offset: usize) -> u64 {
+    match key.get(offset..offset + 8) {
+        Some(w) => u64::from_le_bytes(w.try_into().expect("slice of length 8")),
+        None => {
+            let mut buf = [0u8; 8];
+            if let Some(tail) = key.get(offset..) {
+                buf[..tail.len()].copy_from_slice(tail);
+            }
+            u64::from_le_bytes(buf)
+        }
+    }
+}
+
+/// Loads up to sixteen little-endian bytes starting at `key[offset]`,
+/// zero-padded, as a 16-byte block for the AES combine step.
+#[inline]
+#[must_use]
+pub fn load_block_le(key: &[u8], offset: usize) -> [u8; 16] {
+    let mut buf = [0u8; 16];
+    if let Some(tail) = key.get(offset..) {
+        let n = tail.len().min(16);
+        buf[..n].copy_from_slice(&tail[..n]);
+    }
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CASES: &[(u64, u64)] = &[
+        (0, 0),
+        (u64::MAX, u64::MAX),
+        (0x1234_5678_9ABC_DEF0, 0x0F0F_0F0F_0F0F_0F0F),
+        (0xDEAD_BEEF_CAFE_BABE, 0xFFFF_0000_FFFF_0000),
+        (0x0123_4567_89AB_CDEF, 0x8000_0000_0000_0001),
+        (u64::MAX, 0),
+        (0, u64::MAX),
+        (0xAAAA_AAAA_AAAA_AAAA, 0x5555_5555_5555_5555),
+        (0x0F00_0F0F_000F_0F0F, 0x0F00_0F0F_000F_0F0F),
+    ];
+
+    #[test]
+    fn soft_pext_matches_reference() {
+        for &(src, mask) in CASES {
+            assert_eq!(pext_soft(src, mask), pext_reference(src, mask), "src={src:#x} mask={mask:#x}");
+        }
+    }
+
+    #[test]
+    fn soft_pdep_matches_reference() {
+        for &(src, mask) in CASES {
+            assert_eq!(pdep_soft(src, mask), pdep_reference(src, mask), "src={src:#x} mask={mask:#x}");
+        }
+    }
+
+    #[test]
+    fn dispatched_matches_reference_both_isas() {
+        for &(src, mask) in CASES {
+            for isa in [Isa::Native, Isa::Portable] {
+                assert_eq!(pext_u64(src, mask, isa), pext_reference(src, mask));
+                assert_eq!(pdep_u64(src, mask, isa), pdep_reference(src, mask));
+            }
+        }
+    }
+
+    #[test]
+    fn ssn_mask_from_figure_12_is_a_bijection_witness() {
+        // mk0 of Figure 12 keeps the low nibbles of the digit bytes of
+        // "ddd.dd.dd" (first eight bytes of an SSN).
+        let mk0 = 0x0F00_0F0F_000F_0F0Fu64;
+        let word = u64::from_le_bytes(*b"123.45.6");
+        let extracted = pext_u64(word, mk0, Isa::Portable);
+        // Digits 1,2,3,4,5,6 -> nibbles packed low-to-high.
+        assert_eq!(extracted, 0x0065_4321);
+    }
+
+    #[test]
+    fn pdep_then_pext_is_identity_on_compact_values() {
+        let mask = 0x0F0F_0F0F_0F0F_0F0Fu64;
+        for v in [0u64, 1, 0xFFFF_FFFF, 0x0123_4567_89AB_CDEF & 0xFFFF_FFFF] {
+            assert_eq!(pext_soft(pdep_soft(v, mask), mask), v & 0xFFFF_FFFF);
+        }
+    }
+
+    #[test]
+    fn load_u64_le_pads_with_zeros() {
+        assert_eq!(load_u64_le(b"abc", 0), u64::from_le_bytes(*b"abc\0\0\0\0\0"));
+        assert_eq!(load_u64_le(b"abc", 5), 0);
+        assert_eq!(load_u64_le(b"abcdefgh", 0), u64::from_le_bytes(*b"abcdefgh"));
+        assert_eq!(load_u64_le(b"abcdefghi", 1), u64::from_le_bytes(*b"bcdefghi"));
+    }
+
+    #[test]
+    fn load_block_le_pads_with_zeros() {
+        let b = load_block_le(b"0123456789", 2);
+        assert_eq!(&b[..8], b"23456789");
+        assert_eq!(&b[8..], &[0u8; 8]);
+    }
+}

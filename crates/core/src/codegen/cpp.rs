@@ -1,0 +1,376 @@
+//! C++ emission: functor structs compatible with `std::unordered_map`,
+//! in the style of Figure 5c of the paper.
+
+use super::combine_expr;
+use crate::synth::{Family, Plan, WordOp};
+use std::fmt::Write as _;
+
+/// Emits a C++17 functor struct named `name` implementing `plan`.
+#[must_use]
+pub fn emit_cpp(plan: &Plan, family: Family, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "// Synthesized by sepe-rs: {family} hash.");
+    emit_preamble_for(&mut out, plan, family);
+    emit_functor(&mut out, plan, family, name);
+    out
+}
+
+/// Emits one functor with per-length dispatch: a `switch` on `key.size()`
+/// routes each stratum to its fully unrolled fixed-length plan, with a
+/// fallback plan for unseen lengths — the length-stratified extension of
+/// [`crate::multi`], in C++ form.
+///
+/// # Panics
+///
+/// Panics if `strata` is empty.
+#[must_use]
+pub fn emit_dispatch_cpp(
+    strata: &[(usize, &Plan)],
+    fallback: &Plan,
+    family: Family,
+    name: &str,
+) -> String {
+    assert!(!strata.is_empty(), "need at least one stratum");
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "// Synthesized by sepe-rs: length-dispatched {family} hash ({} strata).",
+        strata.len()
+    );
+    emit_preamble_for(&mut out, fallback, family);
+    for (len, plan) in strata {
+        emit_functor(&mut out, plan, family, &format!("{name}Len{len}"));
+        out.push('\n');
+    }
+    emit_functor(&mut out, fallback, family, &format!("{name}Fallback"));
+    let _ = writeln!(
+        out,
+        "\nstruct {name} {{\n    \
+         std::size_t operator()(const std::string& key) const {{\n        \
+         switch (key.size()) {{"
+    );
+    for (len, _) in strata {
+        // The length is mixed in so equal-prefix keys of different strata
+        // cannot trivially collide.
+        let _ = writeln!(
+            out,
+            "        case {len}: return {name}Len{len}{{}}(key) ^ (static_cast<std::uint64_t>({len}) << 56 | static_cast<std::uint64_t>({len}) >> 8);"
+        );
+    }
+    let _ = writeln!(
+        out,
+        "        default: return {name}Fallback{{}}(key);\n        }}\n    }}\n}};"
+    );
+    out
+}
+
+/// Emits whatever preamble (`#include`s and helpers) the plan family needs.
+fn emit_preamble_for(out: &mut String, plan: &Plan, family: Family) {
+    match plan {
+        Plan::StlFallback => preamble(out, false, false),
+        Plan::FixedBlocks { .. } | Plan::VarBlocks { .. } => emit_aes_preamble(out),
+        Plan::FixedWords { .. } | Plan::VarWords { .. } => {
+            preamble(out, family == Family::Pext, false);
+        }
+    }
+}
+
+/// Emits a functor struct without any preamble.
+fn emit_functor(out: &mut String, plan: &Plan, family: Family, name: &str) {
+    match plan {
+        Plan::StlFallback => emit_fallback(out, name),
+        Plan::FixedWords { len, ops } => emit_fixed_words(out, name, family, *len, ops),
+        Plan::VarWords { min_len, ops, tail_start } => {
+            emit_var_words(out, name, family, *min_len, ops, *tail_start)
+        }
+        Plan::FixedBlocks { len, offsets } => emit_fixed_blocks(out, name, *len, offsets),
+        Plan::VarBlocks { min_len, offsets, tail_start } => {
+            emit_var_blocks(out, name, *min_len, offsets, *tail_start)
+        }
+    }
+}
+
+fn preamble(out: &mut String, pext: bool, aes: bool) {
+    out.push_str("#include <cstddef>\n#include <cstdint>\n#include <cstring>\n#include <string>\n");
+    if pext || aes {
+        out.push_str("#include <immintrin.h>\n");
+    }
+    out.push_str(
+        "\nstatic inline std::uint64_t load_u64_le(const char* p) {\n    \
+         std::uint64_t v;\n    std::memcpy(&v, p, sizeof(v));\n    return v;\n}\n\n",
+    );
+}
+
+fn emit_fallback(out: &mut String, name: &str) {
+    let _ = writeln!(
+        out,
+        "// Key format is shorter than 8 bytes: SEPE defaults to the STL hash.\n\
+         struct {name} {{\n    \
+         std::size_t operator()(const std::string& key) const {{\n        \
+         return std::hash<std::string>{{}}(key);\n    }}\n}};"
+    );
+}
+
+fn emit_word_loads(out: &mut String, family: Family, ops: &[WordOp]) -> Vec<(String, u8)> {
+    let mut terms = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        let var = format!("h{i}");
+        match family {
+            Family::Pext => {
+                let _ = writeln!(
+                    out,
+                    "        const std::uint64_t {var} = _pext_u64(load_u64_le(ptr + {}), {:#018x}ULL);",
+                    op.offset, op.mask
+                );
+            }
+            _ => {
+                let _ = writeln!(
+                    out,
+                    "        const std::uint64_t {var} = load_u64_le(ptr + {});",
+                    op.offset
+                );
+            }
+        }
+        terms.push((var, op.shift));
+    }
+    terms
+}
+
+fn emit_fixed_words(out: &mut String, name: &str, family: Family, len: usize, ops: &[WordOp]) {
+    let _ = writeln!(
+        out,
+        "// Fixed key length: {len} bytes; {} fully unrolled load(s).\n\
+         struct {name} {{\n    \
+         std::size_t operator()(const std::string& key) const {{\n        \
+         const char* ptr = key.c_str();",
+        ops.len()
+    );
+    let terms = emit_word_loads(out, family, ops);
+    let _ = writeln!(out, "        return {};", combine_expr(&terms));
+    out.push_str("    }\n};\n");
+}
+
+/// Above this many prefix loads, emit the explicit skip table and walk of
+/// Figure 8 instead of unrolling ("an array with offsets to skip when
+/// computing the hash").
+const SKIP_TABLE_THRESHOLD: usize = 8;
+
+fn emit_var_words(
+    out: &mut String,
+    name: &str,
+    family: Family,
+    min_len: usize,
+    ops: &[WordOp],
+    tail_start: usize,
+) {
+    let _ = writeln!(
+        out,
+        "// Variable key length (mandatory prefix: {min_len} bytes).\n\
+         struct {name} {{\n    \
+         std::size_t operator()(const std::string& key) const {{\n        \
+         const char* ptr = key.c_str();\n        \
+         std::uint64_t hash = key.size() * 0xc6a4a7935bd1e995ULL;"
+    );
+    if family != Family::Pext && ops.len() > SKIP_TABLE_THRESHOLD {
+        // Figure 8's shape: skip[0] positions the first load; skip[c]
+        // advances to the next load, jumping over any skipped constant
+        // word in between.
+        let mut skips = Vec::with_capacity(ops.len());
+        let mut at = 0u32;
+        for op in ops {
+            skips.push(op.offset - at);
+            at = op.offset;
+        }
+        let _ = writeln!(
+            out,
+            "        // Skip table (Figure 8): offsets jumping over constant words.\n        \
+             static const std::size_t skip[{}] = {{{}}};\n        \
+             const char* p = ptr + skip[0];\n        \
+             for (std::size_t c = 1; c < {}; ++c) {{\n            \
+             hash ^= load_u64_le(p);\n            \
+             p += skip[c];\n        }}\n        \
+             hash ^= load_u64_le(p);",
+            skips.len(),
+            skips.iter().map(ToString::to_string).collect::<Vec<_>>().join(", "),
+            skips.len()
+        );
+    } else {
+        let terms = emit_word_loads(out, family, ops);
+        if !terms.is_empty() {
+            let _ = writeln!(out, "        hash ^= {};", combine_expr(&terms));
+        }
+    }
+    let _ = writeln!(
+        out,
+        "        std::size_t o = {tail_start};\n        \
+         while (o + 8 <= key.size()) {{\n            \
+         std::uint64_t w = load_u64_le(ptr + o);\n            \
+         hash ^= (w << (o % 64)) | (w >> ((64 - o % 64) % 64));\n            \
+         o += 8;\n        }}\n        \
+         if (o < key.size()) {{\n            \
+         std::uint64_t w = 0;\n            \
+         std::memcpy(&w, ptr + o, key.size() - o);\n            \
+         hash ^= (w << (o % 64)) | (w >> ((64 - o % 64) % 64));\n        }}\n        \
+         return hash;\n    }}\n}};"
+    );
+}
+
+fn emit_aes_preamble(out: &mut String) {
+    preamble(out, false, true);
+    out.push_str(
+        "static inline __m128i load_block_le(const char* p, std::size_t avail) {\n    \
+         alignas(16) char buf[16] = {0};\n    \
+         std::memcpy(buf, p, avail < 16 ? avail : 16);\n    \
+         return _mm_load_si128(reinterpret_cast<const __m128i*>(buf));\n}\n\n\
+         // state = aesenc(state ^ block, RK): one AES round per block, with the\n\
+         // block xored in before SubBytes so the combination is non-linear.\n\
+         static inline __m128i aes_mix(__m128i state, __m128i block) {\n    \
+         const __m128i rk = _mm_set_epi64x(0x3c4fcf098815f7abLL, 0xa6d2ae2816157e2bLL);\n    \
+         return _mm_aesenc_si128(_mm_xor_si128(state, block), rk);\n}\n\n",
+    );
+}
+
+fn seed_block_expr() -> &'static str {
+    "_mm_set_epi64x(0x13198a2e03707344LL, 0x24386a8885a308d3LL)"
+}
+
+fn emit_fixed_blocks(out: &mut String, name: &str, len: usize, offsets: &[u32]) {
+    let _ = writeln!(
+        out,
+        "// Fixed key length: {len} bytes; AES-round combination.\n\
+         struct {name} {{\n    \
+         std::size_t operator()(const std::string& key) const {{\n        \
+         const char* ptr = key.c_str();\n        \
+         __m128i state = {};",
+        seed_block_expr()
+    );
+    if offsets.is_empty() {
+        let _ = writeln!(
+            out,
+            "        // Key shorter than one block: replicate it to 16 bytes.\n        \
+             alignas(16) char buf[16];\n        \
+             for (int i = 0; i < 16; ++i) buf[i] = ptr[i % {len}];\n        \
+             state = aes_mix(state, _mm_load_si128(reinterpret_cast<const __m128i*>(buf)));"
+        );
+    } else {
+        for off in offsets {
+            let _ = writeln!(
+                out,
+                "        state = aes_mix(state, load_block_le(ptr + {off}, {}));",
+                len - *off as usize
+            );
+        }
+    }
+    out.push_str(
+        "        return static_cast<std::size_t>(_mm_extract_epi64(state, 0) ^ _mm_extract_epi64(state, 1));\n    }\n};\n",
+    );
+}
+
+fn emit_var_blocks(out: &mut String, name: &str, min_len: usize, offsets: &[u32], tail_start: usize) {
+    let _ = writeln!(
+        out,
+        "// Variable key length (mandatory prefix: {min_len} bytes); AES-round combination.\n\
+         struct {name} {{\n    \
+         std::size_t operator()(const std::string& key) const {{\n        \
+         const char* ptr = key.c_str();\n        \
+         __m128i state = {};",
+        seed_block_expr()
+    );
+    for off in offsets {
+        let _ = writeln!(
+            out,
+            "        state = aes_mix(state, load_block_le(ptr + {off}, key.size() - {off}));"
+        );
+    }
+    let _ = writeln!(
+        out,
+        "        for (std::size_t o = {tail_start}; o < key.size(); o += 16) {{\n            \
+         state = aes_mix(state, load_block_le(ptr + o, key.size() - o));\n        }}\n        \
+         state = aes_mix(state, _mm_set_epi64x(0, static_cast<long long>(key.size())));\n        \
+         return static_cast<std::size_t>(_mm_extract_epi64(state, 0) ^ _mm_extract_epi64(state, 1));\n    }}\n}};"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::Regex;
+    use crate::synth::synthesize;
+
+    fn emit_for(re: &str, family: Family, name: &str) -> String {
+        let plan = synthesize(&Regex::compile(re).expect("regex compiles"), family);
+        emit_cpp(&plan, family, name)
+    }
+
+    #[test]
+    fn offxor_ipv4_matches_figure_5() {
+        let code = emit_for(r"(([0-9]{3})\.){3}[0-9]{3}", Family::OffXor, "SynthesizedOffXorHash");
+        assert!(code.contains("struct SynthesizedOffXorHash"));
+        assert!(code.contains("load_u64_le(ptr + 0)"));
+        assert!(code.contains("load_u64_le(ptr + 7)"));
+        assert!(code.contains("return h0 ^ h1;"));
+    }
+
+    #[test]
+    fn pext_ssn_contains_figure_12_masks() {
+        let code = emit_for(r"\d{3}\.\d{2}\.\d{4}", Family::Pext, "SsnPextHash");
+        assert!(code.contains("_pext_u64"));
+        assert!(code.contains("0x0f000f0f000f0f0f"));
+        assert!(code.contains("0x0f0f0f0000000000"));
+        assert!(code.contains("(h1 << 52)"));
+    }
+
+    #[test]
+    fn fallback_delegates_to_std_hash() {
+        let code = emit_for(r"\d{4}", Family::Pext, "ShortKeyHash");
+        assert!(code.contains("std::hash<std::string>"));
+    }
+
+    #[test]
+    fn aes_emits_intrinsics() {
+        let code = emit_for(r"[0-9]{40}", Family::Aes, "IntsAesHash");
+        assert!(code.contains("_mm_aesenc_si128"));
+        assert!(code.contains("immintrin.h"));
+    }
+
+    #[test]
+    fn long_variable_prefixes_use_a_skip_table() {
+        let code = emit_for(r"[0-9]{80}([a-z]{8})?", Family::OffXor, "LongVarHash");
+        assert!(code.contains("static const std::size_t skip["), "{code}");
+        assert!(code.contains("p += skip[c];"), "{code}");
+        // Short prefixes stay unrolled.
+        let code = emit_for(r"[0-9]{16}([a-z]{8})?", Family::OffXor, "ShortVarHash");
+        assert!(!code.contains("skip["), "{code}");
+    }
+
+    #[test]
+    fn dispatch_emits_switch_over_lengths() {
+        use crate::infer::infer_pattern;
+        let examples8: [&[u8]; 2] = [b"code=JFK", b"code=GRU"];
+        let examples9: [&[u8]; 2] = [b"code=EGLL", b"code=SBGR"];
+        let p8 = infer_pattern(examples8.iter().copied()).unwrap();
+        let p9 = infer_pattern(examples9.iter().copied()).unwrap();
+        let joined = infer_pattern(examples8.iter().chain(&examples9).copied()).unwrap();
+        let plan8 = synthesize(&p8, Family::OffXor);
+        let plan9 = synthesize(&p9, Family::OffXor);
+        let fb = synthesize(&joined, Family::OffXor);
+        let code = emit_dispatch_cpp(
+            &[(8, &plan8), (9, &plan9)],
+            &fb,
+            Family::OffXor,
+            "AirportHash",
+        );
+        assert!(code.contains("switch (key.size())"), "{code}");
+        assert!(code.contains("case 8: return AirportHashLen8"), "{code}");
+        assert!(code.contains("case 9: return AirportHashLen9"), "{code}");
+        assert!(code.contains("default: return AirportHashFallback"), "{code}");
+        // Exactly one preamble.
+        assert_eq!(code.matches("static inline std::uint64_t load_u64_le").count(), 1);
+    }
+
+    #[test]
+    fn var_plan_emits_tail_loop() {
+        let code = emit_for(r"[0-9]{16}([a-z]{8})?", Family::OffXor, "VarHash");
+        assert!(code.contains("while (o + 8 <= key.size())"));
+    }
+}

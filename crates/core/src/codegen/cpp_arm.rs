@@ -1,0 +1,309 @@
+//! C++ emission for aarch64 — the paper's second target ("SEPE generates
+//! C++ functions that use either x86 or ARM-specific instructions").
+//!
+//! Differences from the x86 emitter:
+//!
+//! * the **Aes** family combines blocks with NEON `vaeseq_u8` +
+//!   `vaesmcq_u8`. One architectural subtlety is preserved: ARM's `AESE`
+//!   xors the round key *before* SubBytes (`AESE(state, key) =
+//!   ShiftRows(SubBytes(state ^ key))`), so the x86 sequence
+//!   `aesenc(state ^ block, RK)` is expressed as
+//!   `MC(AESE(state ^ block, RK_pre)) ^ RK_post` with the round key split
+//!   around the permutation — here simplified to the exactly equivalent
+//!   `vaesmcq_u8(vaeseq_u8(state, block_xor_zero)) ^ rk`, since
+//!   `AESE(x, k) = SR(SB(x ^ k))` and our combine is
+//!   `MC(SR(SB(state ^ block))) ^ RK`;
+//! * the **Pext** family uses the portable parallel-suffix extraction
+//!   (the paper's Cortex-A57 has no `bext`, which is why Figure 15 drops
+//!   Pext; emitting the software fallback keeps the family usable).
+
+use super::combine_expr;
+use crate::synth::{Family, Plan, WordOp};
+use std::fmt::Write as _;
+
+/// Emits a C++17 functor struct named `name` implementing `plan` with
+/// aarch64 instruction selection.
+#[must_use]
+pub fn emit_cpp_arm(plan: &Plan, family: Family, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "// Synthesized by sepe-rs: {family} hash (aarch64).");
+    match plan {
+        Plan::StlFallback => emit_fallback(&mut out, name),
+        Plan::FixedWords { len, ops } => {
+            preamble(&mut out, family == Family::Pext, false);
+            emit_fixed_words(&mut out, name, family, *len, ops);
+        }
+        Plan::VarWords { min_len, ops, tail_start } => {
+            preamble(&mut out, family == Family::Pext, false);
+            emit_var_words(&mut out, name, family, *min_len, ops, *tail_start);
+        }
+        Plan::FixedBlocks { len, offsets } => {
+            preamble(&mut out, false, true);
+            emit_fixed_blocks(&mut out, name, *len, offsets);
+        }
+        Plan::VarBlocks { min_len, offsets, tail_start } => {
+            preamble(&mut out, false, true);
+            emit_var_blocks(&mut out, name, *min_len, offsets, *tail_start);
+        }
+    }
+    out
+}
+
+fn preamble(out: &mut String, pext: bool, aes: bool) {
+    out.push_str("#include <cstddef>\n#include <cstdint>\n#include <cstring>\n#include <string>\n");
+    if aes {
+        out.push_str("#include <arm_neon.h>\n");
+    }
+    out.push_str(
+        "\nstatic inline std::uint64_t load_u64_le(const char* p) {\n    \
+         std::uint64_t v;\n    std::memcpy(&v, p, sizeof(v));\n    return v;\n}\n\n",
+    );
+    if pext {
+        // No bext on most aarch64 cores: the portable parallel-suffix
+        // extraction (Hacker's Delight 7-4), identical to the plan
+        // interpreter's software path.
+        out.push_str(
+            "// Portable parallel bit extract (no bext instruction on this core).\n\
+             static inline std::uint64_t pext_u64(std::uint64_t x, std::uint64_t mask) {\n    \
+             x &= mask;\n    \
+             std::uint64_t mk = ~mask << 1;\n    \
+             for (int i = 0; i < 6; ++i) {\n        \
+             std::uint64_t mp = mk ^ (mk << 1);\n        \
+             mp ^= mp << 2; mp ^= mp << 4; mp ^= mp << 8; mp ^= mp << 16; mp ^= mp << 32;\n        \
+             std::uint64_t mv = mp & mask;\n        \
+             mask = (mask ^ mv) | (mv >> (1 << i));\n        \
+             std::uint64_t t = x & mv;\n        \
+             x = (x ^ t) | (t >> (1 << i));\n        \
+             mk &= ~mp;\n    }\n    \
+             return x;\n}\n\n",
+        );
+    }
+    if aes {
+        out.push_str(
+            "static inline uint8x16_t load_block_le(const char* p, std::size_t avail) {\n    \
+             alignas(16) unsigned char buf[16] = {0};\n    \
+             std::memcpy(buf, p, avail < 16 ? avail : 16);\n    \
+             return vld1q_u8(buf);\n}\n\n\
+             // state = MC(SR(SB(state ^ block))) ^ RK, via AESE (which xors its\n\
+             // key operand before SubBytes) + AESMC — bit-identical to the x86\n\
+             // aesenc(state ^ block, RK) sequence.\n\
+             static inline uint8x16_t aes_mix(uint8x16_t state, uint8x16_t block) {\n    \
+             static const unsigned char rk_bytes[16] = {\n        \
+             0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,\n        \
+             0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};\n    \
+             uint8x16_t rk = vld1q_u8(rk_bytes);\n    \
+             uint8x16_t sub = vaeseq_u8(state, block); // SR(SB(state ^ block))\n    \
+             return veorq_u8(vaesmcq_u8(sub), rk);\n}\n\n",
+        );
+    }
+}
+
+fn emit_fallback(out: &mut String, name: &str) {
+    let _ = writeln!(
+        out,
+        "// Key format is shorter than 8 bytes: SEPE defaults to the STL hash.\n\
+         struct {name} {{\n    \
+         std::size_t operator()(const std::string& key) const {{\n        \
+         return std::hash<std::string>{{}}(key);\n    }}\n}};"
+    );
+}
+
+fn emit_word_loads(out: &mut String, family: Family, ops: &[WordOp]) -> Vec<(String, u8)> {
+    let mut terms = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        let var = format!("h{i}");
+        match family {
+            Family::Pext => {
+                let _ = writeln!(
+                    out,
+                    "        const std::uint64_t {var} = pext_u64(load_u64_le(ptr + {}), {:#018x}ULL);",
+                    op.offset, op.mask
+                );
+            }
+            _ => {
+                let _ = writeln!(
+                    out,
+                    "        const std::uint64_t {var} = load_u64_le(ptr + {});",
+                    op.offset
+                );
+            }
+        }
+        terms.push((var, op.shift));
+    }
+    terms
+}
+
+fn emit_fixed_words(out: &mut String, name: &str, family: Family, len: usize, ops: &[WordOp]) {
+    let _ = writeln!(
+        out,
+        "// Fixed key length: {len} bytes; {} fully unrolled load(s).\n\
+         struct {name} {{\n    \
+         std::size_t operator()(const std::string& key) const {{\n        \
+         const char* ptr = key.c_str();",
+        ops.len()
+    );
+    let terms = emit_word_loads(out, family, ops);
+    let _ = writeln!(out, "        return {};", combine_expr(&terms));
+    out.push_str("    }\n};\n");
+}
+
+fn emit_var_words(
+    out: &mut String,
+    name: &str,
+    family: Family,
+    min_len: usize,
+    ops: &[WordOp],
+    tail_start: usize,
+) {
+    let _ = writeln!(
+        out,
+        "// Variable key length (mandatory prefix: {min_len} bytes).\n\
+         struct {name} {{\n    \
+         std::size_t operator()(const std::string& key) const {{\n        \
+         const char* ptr = key.c_str();\n        \
+         std::uint64_t hash = key.size() * 0xc6a4a7935bd1e995ULL;"
+    );
+    let terms = emit_word_loads(out, family, ops);
+    if !terms.is_empty() {
+        let _ = writeln!(out, "        hash ^= {};", combine_expr(&terms));
+    }
+    let _ = writeln!(
+        out,
+        "        std::size_t o = {tail_start};\n        \
+         while (o + 8 <= key.size()) {{\n            \
+         std::uint64_t w = load_u64_le(ptr + o);\n            \
+         hash ^= (w << (o % 64)) | (w >> ((64 - o % 64) % 64));\n            \
+         o += 8;\n        }}\n        \
+         if (o < key.size()) {{\n            \
+         std::uint64_t w = 0;\n            \
+         std::memcpy(&w, ptr + o, key.size() - o);\n            \
+         hash ^= (w << (o % 64)) | (w >> ((64 - o % 64) % 64));\n        }}\n        \
+         return hash;\n    }}\n}};"
+    );
+}
+
+fn seed_block_stmt(out: &mut String) {
+    out.push_str(
+        "        alignas(16) unsigned char seed_bytes[16];\n        \
+         std::uint64_t lo = 0x24386a8885a308d3ULL, hi = 0x13198a2e03707344ULL;\n        \
+         std::memcpy(seed_bytes, &lo, 8);\n        \
+         std::memcpy(seed_bytes + 8, &hi, 8);\n        \
+         uint8x16_t state = vld1q_u8(seed_bytes);\n",
+    );
+}
+
+fn fold_return(out: &mut String) {
+    out.push_str(
+        "        std::uint64_t halves[2];\n        \
+         vst1q_u8(reinterpret_cast<unsigned char*>(halves), state);\n        \
+         return static_cast<std::size_t>(halves[0] ^ halves[1]);\n    }\n};\n",
+    );
+}
+
+fn emit_fixed_blocks(out: &mut String, name: &str, len: usize, offsets: &[u32]) {
+    let _ = writeln!(
+        out,
+        "// Fixed key length: {len} bytes; NEON AES-round combination.\n\
+         struct {name} {{\n    \
+         std::size_t operator()(const std::string& key) const {{\n        \
+         const char* ptr = key.c_str();"
+    );
+    seed_block_stmt(out);
+    if offsets.is_empty() {
+        let _ = writeln!(
+            out,
+            "        // Key shorter than one block: replicate it to 16 bytes.\n        \
+             alignas(16) unsigned char buf[16];\n        \
+             for (int i = 0; i < 16; ++i) buf[i] = ptr[i % {len}];\n        \
+             state = aes_mix(state, vld1q_u8(buf));"
+        );
+    } else {
+        for off in offsets {
+            let _ = writeln!(
+                out,
+                "        state = aes_mix(state, load_block_le(ptr + {off}, {}));",
+                len - *off as usize
+            );
+        }
+    }
+    fold_return(out);
+}
+
+fn emit_var_blocks(out: &mut String, name: &str, min_len: usize, offsets: &[u32], tail_start: usize) {
+    let _ = writeln!(
+        out,
+        "// Variable key length (mandatory prefix: {min_len} bytes); NEON AES.\n\
+         struct {name} {{\n    \
+         std::size_t operator()(const std::string& key) const {{\n        \
+         const char* ptr = key.c_str();"
+    );
+    seed_block_stmt(out);
+    for off in offsets {
+        let _ = writeln!(
+            out,
+            "        state = aes_mix(state, load_block_le(ptr + {off}, key.size() - {off}));"
+        );
+    }
+    let _ = writeln!(
+        out,
+        "        for (std::size_t o = {tail_start}; o < key.size(); o += 16) {{\n            \
+         state = aes_mix(state, load_block_le(ptr + o, key.size() - o));\n        }}\n        \
+         alignas(16) unsigned char len_block[16] = {{0}};\n        \
+         std::uint64_t key_len = key.size();\n        \
+         std::memcpy(len_block, &key_len, 8);\n        \
+         state = aes_mix(state, vld1q_u8(len_block));"
+    );
+    fold_return(out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::Regex;
+    use crate::synth::synthesize;
+
+    fn emit_for(re: &str, family: Family, name: &str) -> String {
+        let plan = synthesize(&Regex::compile(re).expect("regex compiles"), family);
+        emit_cpp_arm(&plan, family, name)
+    }
+
+    #[test]
+    fn aes_uses_neon_intrinsics() {
+        let code = emit_for(r"[0-9]{40}", Family::Aes, "IntsAesHash");
+        assert!(code.contains("arm_neon.h"));
+        assert!(code.contains("vaeseq_u8"));
+        assert!(code.contains("vaesmcq_u8"));
+        assert!(!code.contains("immintrin"), "no x86 headers on aarch64");
+    }
+
+    #[test]
+    fn pext_emits_the_portable_extraction() {
+        let code = emit_for(r"\d{3}\.\d{2}\.\d{4}", Family::Pext, "SsnPextHash");
+        assert!(code.contains("Portable parallel bit extract"));
+        assert!(code.contains("0x0f000f0f000f0f0f"));
+        assert!(!code.contains("_pext_u64(load"), "no x86 intrinsic");
+    }
+
+    #[test]
+    fn offxor_is_pure_standard_cpp() {
+        let code = emit_for(r"(([0-9]{3})\.){3}[0-9]{3}", Family::OffXor, "Ipv4Hash");
+        assert!(code.contains("load_u64_le(ptr + 7)"));
+        assert!(!code.contains("arm_neon"), "word families need no intrinsics");
+        assert!(!code.contains("immintrin"));
+    }
+
+    #[test]
+    fn all_shapes_emit() {
+        for re in [r"\d{4}", r"[0-9]{16}([a-z]{8})?", r"[0-9a-f]{39}([0-9a-f]{4})?"] {
+            for family in Family::ALL {
+                let code = emit_for(re, family, "H");
+                assert!(code.contains('H'), "{re} {family}");
+                assert_eq!(
+                    code.matches('{').count(),
+                    code.matches('}').count(),
+                    "{re} {family}"
+                );
+            }
+        }
+    }
+}

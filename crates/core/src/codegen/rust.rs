@@ -1,0 +1,226 @@
+//! Rust emission: free functions mirroring the C++ functors, using the same
+//! instruction selection through `std::arch`.
+
+use super::combine_expr;
+use crate::synth::{Family, Plan, WordOp};
+use std::fmt::Write as _;
+
+/// Emits a Rust function named `name` implementing `plan`.
+#[must_use]
+pub fn emit_rust(plan: &Plan, family: Family, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "// Synthesized by sepe-rs: {family} hash.");
+    match plan {
+        Plan::StlFallback => emit_fallback(&mut out, name),
+        Plan::FixedWords { len, ops } => emit_fixed_words(&mut out, name, family, *len, ops),
+        Plan::VarWords { min_len, ops, tail_start } => {
+            emit_var_words(&mut out, name, family, *min_len, ops, *tail_start)
+        }
+        Plan::FixedBlocks { len, offsets } => emit_blocks(&mut out, name, Some(*len), offsets, 0),
+        Plan::VarBlocks { min_len, offsets, tail_start } => {
+            let _ = writeln!(out, "// Variable key length (mandatory prefix: {min_len} bytes).");
+            emit_blocks(&mut out, name, None, offsets, *tail_start)
+        }
+    }
+    out
+}
+
+fn helpers(out: &mut String, pext: bool) {
+    out.push_str(
+        "#[inline]\nfn load_u64_le(key: &[u8], offset: usize) -> u64 {\n    \
+         let mut buf = [0u8; 8];\n    \
+         let end = key.len().min(offset + 8);\n    \
+         if offset < end {\n        buf[..end - offset].copy_from_slice(&key[offset..end]);\n    }\n    \
+         u64::from_le_bytes(buf)\n}\n\n",
+    );
+    if pext {
+        out.push_str(
+            "#[inline]\n#[cfg(target_arch = \"x86_64\")]\nfn pext_u64(src: u64, mask: u64) -> u64 {\n    \
+             // Requires a bmi2 target; compile with RUSTFLAGS=\"-C target-feature=+bmi2\".\n    \
+             unsafe { core::arch::x86_64::_pext_u64(src, mask) }\n}\n\n",
+        );
+    }
+}
+
+fn emit_fallback(out: &mut String, name: &str) {
+    let _ = writeln!(
+        out,
+        "// Key format is shorter than 8 bytes: SEPE defaults to the standard hash.\n\
+         pub fn {name}(key: &[u8]) -> u64 {{\n    \
+         use std::hash::{{BuildHasher, Hasher}};\n    \
+         let mut h = std::collections::hash_map::RandomState::new().build_hasher();\n    \
+         h.write(key);\n    h.finish()\n}}"
+    );
+}
+
+fn emit_word_loads(out: &mut String, family: Family, ops: &[WordOp]) -> Vec<(String, u8)> {
+    let mut terms = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        let var = format!("h{i}");
+        match family {
+            Family::Pext => {
+                let _ = writeln!(
+                    out,
+                    "    let {var} = pext_u64(load_u64_le(key, {}), {:#018x});",
+                    op.offset, op.mask
+                );
+            }
+            _ => {
+                let _ = writeln!(out, "    let {var} = load_u64_le(key, {});", op.offset);
+            }
+        }
+        terms.push((var, op.shift));
+    }
+    terms
+}
+
+fn emit_fixed_words(out: &mut String, name: &str, family: Family, len: usize, ops: &[WordOp]) {
+    helpers(out, family == Family::Pext);
+    let _ = writeln!(
+        out,
+        "/// Fixed key length: {len} bytes; {} fully unrolled load(s).\n\
+         pub fn {name}(key: &[u8]) -> u64 {{",
+        ops.len()
+    );
+    let terms = emit_word_loads(out, family, ops);
+    let _ = writeln!(out, "    {}\n}}", combine_expr(&terms));
+}
+
+fn emit_var_words(
+    out: &mut String,
+    name: &str,
+    family: Family,
+    min_len: usize,
+    ops: &[WordOp],
+    tail_start: usize,
+) {
+    helpers(out, family == Family::Pext);
+    let _ = writeln!(
+        out,
+        "/// Variable key length (mandatory prefix: {min_len} bytes).\n\
+         pub fn {name}(key: &[u8]) -> u64 {{\n    \
+         let mut hash = (key.len() as u64).wrapping_mul(0xc6a4_a793_5bd1_e995);"
+    );
+    let terms = emit_word_loads(out, family, ops);
+    if !terms.is_empty() {
+        let _ = writeln!(out, "    hash ^= {};", combine_expr(&terms));
+    }
+    let _ = writeln!(
+        out,
+        "    let mut o = {tail_start};\n    \
+         while o + 8 <= key.len() {{\n        \
+         hash ^= load_u64_le(key, o).rotate_left((o % 64) as u32);\n        o += 8;\n    }}\n    \
+         if o < key.len() {{\n        \
+         hash ^= load_u64_le(key, o).rotate_left((o % 64) as u32);\n    }}\n    \
+         hash\n}}"
+    );
+}
+
+fn emit_blocks(out: &mut String, name: &str, len: Option<usize>, offsets: &[u32], tail_start: usize) {
+    out.push_str(
+        "const AES_ROUND_KEY: [u8; 16] = [\n    \
+         0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c,\n];\n\n\
+         /// state = aesenc(state ^ block, RK): non-linear in the block.\n\
+         #[inline]\n#[cfg(target_arch = \"x86_64\")]\nfn aes_mix(state: [u8; 16], block: [u8; 16]) -> [u8; 16] {\n    \
+         // Requires an aes target; compile with RUSTFLAGS=\"-C target-feature=+aes\".\n    \
+         unsafe {\n        use core::arch::x86_64::*;\n        \
+         let s = _mm_loadu_si128(state.as_ptr().cast());\n        \
+         let b = _mm_loadu_si128(block.as_ptr().cast());\n        \
+         let k = _mm_loadu_si128(AES_ROUND_KEY.as_ptr().cast());\n        \
+         let r = _mm_aesenc_si128(_mm_xor_si128(s, b), k);\n        \
+         let mut out = [0u8; 16];\n        \
+         _mm_storeu_si128(out.as_mut_ptr().cast(), r);\n        out\n    }\n}\n\n\
+         #[inline]\nfn load_block_le(key: &[u8], offset: usize) -> [u8; 16] {\n    \
+         let mut buf = [0u8; 16];\n    \
+         let end = key.len().min(offset + 16);\n    \
+         if offset < end {\n        buf[..end - offset].copy_from_slice(&key[offset..end]);\n    }\n    \
+         buf\n}\n\n",
+    );
+    match len {
+        Some(len) => {
+            let _ = writeln!(
+                out,
+                "/// Fixed key length: {len} bytes; AES-round combination.\n\
+                 pub fn {name}(key: &[u8]) -> u64 {{"
+            );
+        }
+        None => {
+            let _ = writeln!(out, "pub fn {name}(key: &[u8]) -> u64 {{");
+        }
+    }
+    out.push_str(
+        "    let mut state = [0u8; 16];\n    \
+         state[..8].copy_from_slice(&0x2438_6A88_85A3_08D3u64.to_le_bytes());\n    \
+         state[8..].copy_from_slice(&0x1319_8A2E_0370_7344u64.to_le_bytes());\n",
+    );
+    if let (true, Some(n)) = (offsets.is_empty(), len) {
+        let _ = writeln!(
+            out,
+            "    // Key shorter than one block: replicate it to 16 bytes.\n    \
+             let mut block = [0u8; 16];\n    \
+             for i in 0..16 {{\n        block[i] = key[i % {n}];\n    }}\n    \
+             state = aes_mix(state, block);"
+        );
+    } else {
+        for off in offsets {
+            let _ = writeln!(out, "    state = aes_mix(state, load_block_le(key, {off}));");
+        }
+    }
+    if len.is_none() {
+        let _ = writeln!(
+            out,
+            "    let mut o = {tail_start};\n    \
+             while o < key.len() {{\n        \
+             state = aes_mix(state, load_block_le(key, o));\n        o += 16;\n    }}\n    \
+             let mut len_block = [0u8; 16];\n    \
+             len_block[..8].copy_from_slice(&(key.len() as u64).to_le_bytes());\n    \
+             state = aes_mix(state, len_block);"
+        );
+    }
+    out.push_str(
+        "    let lo = u64::from_le_bytes(state[..8].try_into().unwrap());\n    \
+         let hi = u64::from_le_bytes(state[8..].try_into().unwrap());\n    \
+         lo ^ hi\n}\n",
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::Regex;
+    use crate::synth::synthesize;
+
+    fn emit_for(re: &str, family: Family, name: &str) -> String {
+        let plan = synthesize(&Regex::compile(re).expect("regex compiles"), family);
+        emit_rust(&plan, family, name)
+    }
+
+    #[test]
+    fn offxor_ipv4_emits_two_loads() {
+        let code = emit_for(r"(([0-9]{3})\.){3}[0-9]{3}", Family::OffXor, "ipv4_offxor");
+        assert!(code.contains("pub fn ipv4_offxor"));
+        assert!(code.contains("load_u64_le(key, 0)"));
+        assert!(code.contains("load_u64_le(key, 7)"));
+        assert!(code.contains("h0 ^ h1"));
+    }
+
+    #[test]
+    fn pext_ssn_emits_masks_and_shift() {
+        let code = emit_for(r"\d{3}\.\d{2}\.\d{4}", Family::Pext, "ssn_pext");
+        assert!(code.contains("0x0f000f0f000f0f0f"));
+        assert!(code.contains("(h1 << 52)"));
+    }
+
+    #[test]
+    fn aes_emits_round_calls() {
+        let code = emit_for(r"[0-9]{40}", Family::Aes, "ints_aes");
+        assert!(code.contains("aes_mix(state, load_block_le(key, 0))"));
+        assert!(code.contains("aes_mix(state, load_block_le(key, 24))"));
+    }
+
+    #[test]
+    fn fallback_emits_standard_hash() {
+        let code = emit_for(r"\d{4}", Family::Naive, "short_hash");
+        assert!(code.contains("RandomState"));
+    }
+}

@@ -1,0 +1,120 @@
+//! Bridging [`ByteHash`] to `std::hash`, so a synthesized function drops
+//! into `std::collections::HashMap` the way SEPE's C++ functors drop into
+//! `std::unordered_map` (Figure 5d of the paper).
+
+use crate::hash::ByteHash;
+use std::hash::{BuildHasher, Hasher};
+use std::sync::Arc;
+
+/// A [`BuildHasher`] that routes every hashed value through a [`ByteHash`].
+///
+/// The produced [`Hasher`] buffers the bytes written by `Hash::hash` and
+/// applies the byte hash in `finish`. Note that `std` feeds `&str`/`String`
+/// keys through `Hash` with a trailing `0xFF` marker byte; the synthesized
+/// plans tolerate the extra byte (loads never read past their offsets), but
+/// the hash value differs from calling [`ByteHash::hash_bytes`] directly.
+/// Measurements in this repository always call `hash_bytes`.
+///
+/// # Examples
+///
+/// ```
+/// use sepe_core::hash::adapter::SepeBuildHasher;
+/// use sepe_core::hash::SynthesizedHash;
+/// use sepe_core::synth::Family;
+/// use std::collections::HashMap;
+///
+/// let hash = SynthesizedHash::from_regex(r"(([0-9]{3})\.){3}[0-9]{3}", Family::Pext)?;
+/// let mut map: HashMap<String, u32, _> = HashMap::with_hasher(SepeBuildHasher::new(hash));
+/// map.insert("192.168.000.001".to_owned(), 1);
+/// assert_eq!(map.get("192.168.000.001"), Some(&1));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SepeBuildHasher<H> {
+    inner: Arc<H>,
+}
+
+impl<H: ByteHash> SepeBuildHasher<H> {
+    /// Wraps a byte hash for use with `std` collections.
+    pub fn new(hash: H) -> Self {
+        SepeBuildHasher { inner: Arc::new(hash) }
+    }
+
+    /// The wrapped byte hash.
+    #[must_use]
+    pub fn inner(&self) -> &H {
+        &self.inner
+    }
+}
+
+impl<H: ByteHash> BuildHasher for SepeBuildHasher<H> {
+    type Hasher = SepeHasher<H>;
+
+    fn build_hasher(&self) -> Self::Hasher {
+        SepeHasher { inner: Arc::clone(&self.inner), buf: Vec::new() }
+    }
+}
+
+/// The streaming [`Hasher`] produced by [`SepeBuildHasher`]; buffers writes
+/// and defers to the byte hash on `finish`.
+#[derive(Debug)]
+pub struct SepeHasher<H> {
+    inner: Arc<H>,
+    buf: Vec<u8>,
+}
+
+impl<H: ByteHash> Hasher for SepeHasher<H> {
+    fn finish(&self) -> u64 {
+        self.inner.hash_bytes(&self.buf)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::SynthesizedHash;
+    use crate::synth::Family;
+    use std::collections::{HashMap, HashSet};
+
+    fn build() -> SepeBuildHasher<SynthesizedHash> {
+        let hash =
+            SynthesizedHash::from_regex(r"\d{3}-\d{2}-\d{4}", Family::Pext).expect("ssn regex");
+        SepeBuildHasher::new(hash)
+    }
+
+    #[test]
+    fn hash_map_inserts_and_finds() {
+        let mut map: HashMap<String, u32, _> = HashMap::with_hasher(build());
+        for i in 0..1000u32 {
+            map.insert(format!("{:03}-{:02}-{:04}", i % 500, i % 100, i), i);
+        }
+        assert_eq!(map.len(), 1000);
+        assert_eq!(map.get("000-00-0000"), Some(&0));
+        assert_eq!(map.get("123-23-0123"), Some(&123));
+        assert_eq!(map.get("999-99-9999"), None);
+        assert_eq!(map.remove("000-00-0000"), Some(0));
+        assert_eq!(map.len(), 999);
+    }
+
+    #[test]
+    fn hash_set_deduplicates() {
+        let mut set: HashSet<String, _> = HashSet::with_hasher(build());
+        assert!(set.insert("123-45-6789".to_owned()));
+        assert!(!set.insert("123-45-6789".to_owned()));
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn hasher_is_consistent_across_builds() {
+        let bh = build();
+        let mut a = bh.build_hasher();
+        let mut b = bh.build_hasher();
+        std::hash::Hash::hash("123-45-6789", &mut a);
+        std::hash::Hash::hash("123-45-6789", &mut b);
+        assert_eq!(a.finish(), b.finish());
+    }
+}

@@ -1,0 +1,58 @@
+//! Runtime-executable hash functions.
+//!
+//! [`ByteHash`] is the common interface of every hash function in this
+//! repository — synthesized and baseline alike. [`SynthesizedHash`] executes
+//! a [`crate::synth::Plan`] directly: the same loads, masks and shifts the
+//! emitted C++/Rust source performs, so measurements on the plan transfer to
+//! the generated code. [`adapter`] bridges to `std::hash` so synthesized
+//! functions drop into `HashMap`/`HashSet` the way SEPE's C++ functors drop
+//! into `std::unordered_map` (Figure 5d).
+
+pub mod adapter;
+mod stl;
+mod synthesized;
+
+pub use stl::{stl_hash_bytes, DEFAULT_STL_SEED};
+pub use synthesized::SynthesizedHash;
+
+/// A hash function over byte strings.
+///
+/// This is the shape of every function the paper evaluates: keys go in as
+/// bytes, a 64-bit hash code comes out. Implementations are expected to be
+/// deterministic and cheap to call.
+///
+/// # Examples
+///
+/// ```
+/// use sepe_core::hash::{stl_hash_bytes, ByteHash, DEFAULT_STL_SEED};
+///
+/// struct Stl;
+/// impl ByteHash for Stl {
+///     fn hash_bytes(&self, key: &[u8]) -> u64 {
+///         stl_hash_bytes(key, DEFAULT_STL_SEED)
+///     }
+/// }
+/// assert_eq!(Stl.hash_bytes(b"abc"), Stl.hash_bytes(b"abc"));
+/// ```
+pub trait ByteHash {
+    /// Hashes `key` to a 64-bit code.
+    fn hash_bytes(&self, key: &[u8]) -> u64;
+}
+
+impl<T: ByteHash + ?Sized> ByteHash for &T {
+    fn hash_bytes(&self, key: &[u8]) -> u64 {
+        (**self).hash_bytes(key)
+    }
+}
+
+impl<T: ByteHash + ?Sized> ByteHash for Box<T> {
+    fn hash_bytes(&self, key: &[u8]) -> u64 {
+        (**self).hash_bytes(key)
+    }
+}
+
+impl<T: ByteHash + ?Sized> ByteHash for std::sync::Arc<T> {
+    fn hash_bytes(&self, key: &[u8]) -> u64 {
+        (**self).hash_bytes(key)
+    }
+}

@@ -1,0 +1,105 @@
+//! A faithful port of the murmur-derived `_Hash_bytes` of libstdc++
+//! (Figure 1 of the paper) — the "STL" baseline, and the function SEPE
+//! falls back to for keys shorter than eight bytes.
+
+/// The multiplier of Figure 1, Line 2: `(0xc6a4a793 << 32) + 0x5bd1e995`.
+pub const MUL: u64 = 0xc6a4_a793_5bd1_e995;
+
+/// The seed libstdc++ passes to `_Hash_bytes` for `std::hash<std::string>`.
+pub const DEFAULT_STL_SEED: u64 = 0xc70f_6907;
+
+#[inline]
+fn shift_mix(v: u64) -> u64 {
+    v ^ (v >> 47)
+}
+
+/// Loads `n < 8` trailing bytes, little-endian, zero-padded — the
+/// `load_bytes` helper of Figure 1, Line 13.
+#[inline]
+fn load_partial(bytes: &[u8]) -> u64 {
+    debug_assert!(bytes.len() < 8);
+    let mut buf = [0u8; 8];
+    buf[..bytes.len()].copy_from_slice(bytes);
+    u64::from_le_bytes(buf)
+}
+
+/// Hashes `key` exactly as Figure 1 of the paper (libstdc++
+/// `hash_bytes.cc:138`): eight bytes at a time through a multiply/shift-mix
+/// loop, a partial tail load, then two finalization rounds.
+///
+/// # Examples
+///
+/// ```
+/// use sepe_core::hash::{stl_hash_bytes, DEFAULT_STL_SEED};
+///
+/// let h = stl_hash_bytes(b"192.168.000.001", DEFAULT_STL_SEED);
+/// assert_ne!(h, stl_hash_bytes(b"192.168.000.002", DEFAULT_STL_SEED));
+/// ```
+#[must_use]
+pub fn stl_hash_bytes(key: &[u8], seed: u64) -> u64 {
+    let len = key.len();
+    let len_aligned = len & !0x7;
+    let mut hash = seed ^ (len as u64).wrapping_mul(MUL);
+    for chunk in key[..len_aligned].chunks_exact(8) {
+        let word = u64::from_le_bytes(chunk.try_into().expect("chunk of 8"));
+        let data = shift_mix(word.wrapping_mul(MUL)).wrapping_mul(MUL);
+        hash ^= data;
+        hash = hash.wrapping_mul(MUL);
+    }
+    if len & 0x7 != 0 {
+        let data = load_partial(&key[len_aligned..]);
+        hash ^= data;
+        hash = hash.wrapping_mul(MUL);
+    }
+    hash = shift_mix(hash).wrapping_mul(MUL);
+    shift_mix(hash)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            stl_hash_bytes(b"hello world", 1),
+            stl_hash_bytes(b"hello world", 1)
+        );
+    }
+
+    #[test]
+    fn seed_changes_the_hash() {
+        assert_ne!(stl_hash_bytes(b"hello", 1), stl_hash_bytes(b"hello", 2));
+    }
+
+    #[test]
+    fn empty_key_hashes() {
+        // len = 0: no loop, no tail, just finalization of the seed.
+        let h = stl_hash_bytes(b"", DEFAULT_STL_SEED);
+        assert_eq!(h, shift_mix(shift_mix(DEFAULT_STL_SEED).wrapping_mul(MUL)));
+    }
+
+    #[test]
+    fn tail_bytes_affect_the_hash() {
+        // Nine bytes: one full word plus a one-byte tail.
+        assert_ne!(
+            stl_hash_bytes(b"12345678a", 0),
+            stl_hash_bytes(b"12345678b", 0)
+        );
+    }
+
+    #[test]
+    fn length_affects_the_hash() {
+        assert_ne!(stl_hash_bytes(b"abc", 0), stl_hash_bytes(b"abc\0", 0));
+    }
+
+    #[test]
+    fn no_trivial_collisions_on_close_keys() {
+        let keys: Vec<String> = (0..1000).map(|i| format!("{i:011}")).collect();
+        let mut hashes: Vec<u64> =
+            keys.iter().map(|k| stl_hash_bytes(k.as_bytes(), DEFAULT_STL_SEED)).collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        assert_eq!(hashes.len(), 1000);
+    }
+}

@@ -1,0 +1,189 @@
+//! Length-stratified synthesis — an extension beyond the paper.
+//!
+//! SEPE's lattice treats a missing byte as `⊤`, so joining keys of mixed
+//! lengths (Example 3.4's IATA ∨ ICAO airport codes) erases most constant
+//! structure and forces the slower skip-table plan. A production tool can
+//! do better when the key set is a *union of a few fixed-length formats*:
+//! stratify the examples by length, infer one pattern per length, and
+//! dispatch on `key.len()` — each branch then gets the fully unrolled
+//! fixed-length specialization of Section 3.2.2.
+//!
+//! This mirrors what hand-tuned hashes like Polymur (Figure 2 of the
+//! paper) do with their per-length branches, but synthesized.
+
+use crate::hash::{ByteHash, SynthesizedHash};
+use crate::infer::{infer_pattern, EmptyExampleSetError};
+use crate::synth::Family;
+use std::collections::BTreeMap;
+
+/// A hash function that dispatches on key length to per-length
+/// specializations, falling back to the general variable-length plan for
+/// unseen lengths.
+///
+/// # Examples
+///
+/// ```
+/// use sepe_core::hash::ByteHash;
+/// use sepe_core::multi::LengthDispatchHash;
+/// use sepe_core::synth::Family;
+///
+/// // IATA (3 letters) and ICAO (4 letters) airport codes mixed together.
+/// let examples: [&[u8]; 4] = [b"JFKx-page", b"GRUx-page", b"EGLLx-page", b"SBGRx-page"];
+/// let hash = LengthDispatchHash::from_examples(examples, Family::OffXor)?;
+/// assert_eq!(hash.strata().count(), 2);
+/// assert_ne!(hash.hash_bytes(b"LAXx-page"), hash.hash_bytes(b"KDENx-page"));
+/// # Ok::<(), sepe_core::infer::EmptyExampleSetError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LengthDispatchHash {
+    per_len: BTreeMap<usize, SynthesizedHash>,
+    fallback: SynthesizedHash,
+    family: Family,
+}
+
+impl LengthDispatchHash {
+    /// Stratifies `keys` by length, synthesizes one fixed-length hash per
+    /// stratum plus a joined fallback for unseen lengths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmptyExampleSetError`] when `keys` is empty.
+    pub fn from_examples<'a, I>(keys: I, family: Family) -> Result<Self, EmptyExampleSetError>
+    where
+        I: IntoIterator<Item = &'a [u8]>,
+    {
+        let keys: Vec<&[u8]> = keys.into_iter().collect();
+        if keys.is_empty() {
+            return Err(EmptyExampleSetError);
+        }
+        let mut strata: BTreeMap<usize, Vec<&[u8]>> = BTreeMap::new();
+        for k in &keys {
+            strata.entry(k.len()).or_default().push(k);
+        }
+        let per_len = strata
+            .into_iter()
+            .map(|(len, stratum)| {
+                let pattern =
+                    infer_pattern(stratum.iter().copied()).expect("stratum is non-empty");
+                debug_assert!(pattern.is_fixed_len());
+                (len, SynthesizedHash::from_pattern(&pattern, family))
+            })
+            .collect();
+        let joined = infer_pattern(keys.iter().copied()).expect("key set is non-empty");
+        Ok(LengthDispatchHash {
+            per_len,
+            fallback: SynthesizedHash::from_pattern(&joined, family),
+            family,
+        })
+    }
+
+    /// The synthesized family of every branch.
+    #[must_use]
+    pub fn family(&self) -> Family {
+        self.family
+    }
+
+    /// Iterates over the (length, specialized hash) strata.
+    pub fn strata(&self) -> impl Iterator<Item = (usize, &SynthesizedHash)> {
+        self.per_len.iter().map(|(&len, h)| (len, h))
+    }
+
+    /// The fallback hash used for lengths outside every stratum.
+    #[must_use]
+    pub fn fallback(&self) -> &SynthesizedHash {
+        &self.fallback
+    }
+}
+
+impl ByteHash for LengthDispatchHash {
+    #[inline]
+    fn hash_bytes(&self, key: &[u8]) -> u64 {
+        match self.per_len.get(&key.len()) {
+            // Mix the length in: different strata may produce identical
+            // word xors for their respective keys.
+            Some(h) => h.hash_bytes(key) ^ (key.len() as u64).rotate_left(56),
+            None => self.fallback.hash_bytes(key),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const AIRPORT_KEYS: [&[u8]; 6] = [
+        b"code=JFK", b"code=GRU", b"code=LAX", // 8 bytes
+        b"code=EGLL", b"code=SBGR", b"code=KDEN", // 9 bytes
+    ];
+
+    #[test]
+    fn stratifies_by_length() {
+        let h = LengthDispatchHash::from_examples(AIRPORT_KEYS, Family::OffXor).unwrap();
+        let lens: Vec<usize> = h.strata().map(|(l, _)| l).collect();
+        assert_eq!(lens, vec![8, 9]);
+        // Each stratum got a fixed-length plan, not the skip-table one.
+        for (_, hash) in h.strata() {
+            assert!(
+                matches!(hash.plan(), crate::synth::Plan::FixedWords { .. }),
+                "{:?}",
+                hash.plan()
+            );
+        }
+    }
+
+    #[test]
+    fn per_length_plans_beat_the_joined_plan_in_specificity() {
+        let h = LengthDispatchHash::from_examples(AIRPORT_KEYS, Family::OffXor).unwrap();
+        // The joined fallback is variable-length.
+        assert!(matches!(h.fallback().plan(), crate::synth::Plan::VarWords { .. }));
+    }
+
+    #[test]
+    fn dispatch_is_deterministic_and_length_aware() {
+        let h = LengthDispatchHash::from_examples(AIRPORT_KEYS, Family::OffXor).unwrap();
+        assert_eq!(h.hash_bytes(b"code=ABC"), h.hash_bytes(b"code=ABC"));
+        // Same leading bytes, different stratum: must differ.
+        assert_ne!(h.hash_bytes(b"code=ABC"), h.hash_bytes(b"code=ABCD"));
+    }
+
+    #[test]
+    fn unseen_lengths_use_the_fallback() {
+        let h = LengthDispatchHash::from_examples(AIRPORT_KEYS, Family::OffXor).unwrap();
+        let fallback_value = h.fallback().hash_bytes(b"code=TOOLONGCODE");
+        assert_eq!(h.hash_bytes(b"code=TOOLONGCODE"), fallback_value);
+    }
+
+    #[test]
+    fn no_cross_stratum_trivial_collisions() {
+        let h = LengthDispatchHash::from_examples(AIRPORT_KEYS, Family::Naive).unwrap();
+        // Zero-padded Naive loads could make "X" and "X\0" collide without
+        // the length mix-in.
+        let mut hashes: Vec<u64> = Vec::new();
+        for code in [&b"AAA"[..], b"AAB", b"ABA", b"BAA"] {
+            let mut k8 = b"code=".to_vec();
+            k8.extend_from_slice(code);
+            hashes.push(h.hash_bytes(&k8));
+            let mut k9 = k8.clone();
+            k9.push(b'Z');
+            hashes.push(h.hash_bytes(&k9));
+        }
+        hashes.sort_unstable();
+        hashes.dedup();
+        assert_eq!(hashes.len(), 8);
+    }
+
+    #[test]
+    fn empty_example_set_errors() {
+        assert!(LengthDispatchHash::from_examples(std::iter::empty(), Family::Pext).is_err());
+    }
+
+    #[test]
+    fn single_length_degenerates_to_one_stratum() {
+        let h = LengthDispatchHash::from_examples(
+            [&b"00-00"[..], b"55-55", b"99-99"],
+            Family::Pext,
+        )
+        .unwrap();
+        assert_eq!(h.strata().count(), 1);
+    }
+}

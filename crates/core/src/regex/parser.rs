@@ -1,0 +1,423 @@
+//! Recursive-descent parser for the SEPE regular-expression subset.
+
+use super::{ByteClass, Regex};
+use std::fmt;
+
+/// Error produced while parsing a regular expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRegexError {
+    /// Byte offset in the source where the error was detected.
+    pub position: usize,
+    /// What went wrong.
+    pub kind: ParseRegexErrorKind,
+}
+
+/// The kinds of [`ParseRegexError`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseRegexErrorKind {
+    /// The source ended in the middle of a construct.
+    UnexpectedEnd,
+    /// A character that cannot start or continue a construct here.
+    Unexpected(char),
+    /// `*` or `+`: unbounded repetition does not pin byte positions.
+    UnboundedRepetition(char),
+    /// `|`: alternation produces formats without fixed byte positions.
+    Alternation,
+    /// A repetition like `{3,1}` with min > max, or `{0}`.
+    BadRepetition,
+    /// An empty character class `[]`.
+    EmptyClass,
+    /// A class range like `[9-0]` with the bounds reversed.
+    BadClassRange(u8, u8),
+    /// A repetition operator with nothing to repeat (e.g. `{3}` at start).
+    NothingToRepeat,
+    /// A non-ASCII character; SEPE works on byte formats.
+    NonAscii(char),
+}
+
+impl fmt::Display for ParseRegexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex parse error at offset {}: ", self.position)?;
+        match &self.kind {
+            ParseRegexErrorKind::UnexpectedEnd => write!(f, "unexpected end of pattern"),
+            ParseRegexErrorKind::Unexpected(c) => write!(f, "unexpected character {c:?}"),
+            ParseRegexErrorKind::UnboundedRepetition(c) => write!(
+                f,
+                "unbounded repetition {c:?} is not supported; specialized hashes need fixed byte positions, use {{n}} instead"
+            ),
+            ParseRegexErrorKind::Alternation => write!(
+                f,
+                "alternation '|' is not supported; synthesize one hash per alternative instead"
+            ),
+            ParseRegexErrorKind::BadRepetition => write!(f, "invalid repetition bounds"),
+            ParseRegexErrorKind::EmptyClass => write!(f, "empty character class"),
+            ParseRegexErrorKind::BadClassRange(lo, hi) => write!(
+                f,
+                "invalid class range {}-{} (bounds reversed)",
+                *lo as char, *hi as char
+            ),
+            ParseRegexErrorKind::NothingToRepeat => write!(f, "repetition with nothing to repeat"),
+            ParseRegexErrorKind::NonAscii(c) => {
+                write!(f, "non-ASCII character {c:?}; key formats are byte formats")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseRegexError {}
+
+/// Parses `source` into a [`Regex`].
+///
+/// # Errors
+///
+/// Returns [`ParseRegexError`] for syntax outside the supported subset; the
+/// message explains why the construct is incompatible with specialization.
+///
+/// # Examples
+///
+/// ```
+/// use sepe_core::regex::parse;
+///
+/// let r = parse(r"\d{3}-\d{2}-\d{4}")?; // the paper's SSN format
+/// let e = r.expand()?;
+/// assert_eq!(e.classes.len(), 11);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn parse(source: &str) -> Result<Regex, ParseRegexError> {
+    let mut p = Parser { src: source.as_bytes(), pos: 0 };
+    let r = p.parse_concat()?;
+    if p.pos != p.src.len() {
+        return Err(p.err_here());
+    }
+    Ok(r)
+}
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn error(&self, kind: ParseRegexErrorKind) -> ParseRegexError {
+        ParseRegexError { position: self.pos, kind }
+    }
+
+    fn err_here(&self) -> ParseRegexError {
+        match self.peek() {
+            Some(b) => self.error(ParseRegexErrorKind::Unexpected(b as char)),
+            None => self.error(ParseRegexErrorKind::UnexpectedEnd),
+        }
+    }
+
+    fn parse_concat(&mut self) -> Result<Regex, ParseRegexError> {
+        let mut parts: Vec<Regex> = Vec::new();
+        while let Some(b) = self.peek() {
+            match b {
+                b')' => break,
+                b'|' => return Err(self.error(ParseRegexErrorKind::Alternation)),
+                b'*' | b'+' => {
+                    return Err(self.error(ParseRegexErrorKind::UnboundedRepetition(b as char)))
+                }
+                b'{' | b'?' => {
+                    let Some(last) = parts.pop() else {
+                        return Err(self.error(ParseRegexErrorKind::NothingToRepeat));
+                    };
+                    let (min, max) = self.parse_repetition()?;
+                    parts.push(Regex::Repeat { body: Box::new(last), min, max });
+                }
+                _ => {
+                    let atom = self.parse_atom()?;
+                    parts.push(atom);
+                }
+            }
+        }
+        Ok(match parts.len() {
+            0 => Regex::Empty,
+            1 => parts.pop().expect("one part"),
+            _ => Regex::Concat(parts),
+        })
+    }
+
+    fn parse_repetition(&mut self) -> Result<(usize, usize), ParseRegexError> {
+        match self.bump() {
+            Some(b'?') => Ok((0, 1)),
+            Some(b'{') => {
+                let min = self.parse_number()?;
+                let max = match self.peek() {
+                    Some(b',') => {
+                        self.pos += 1;
+                        self.parse_number()?
+                    }
+                    _ => min,
+                };
+                if self.bump() != Some(b'}') {
+                    return Err(self.err_here());
+                }
+                if min > max || max == 0 {
+                    return Err(self.error(ParseRegexErrorKind::BadRepetition));
+                }
+                Ok((min, max))
+            }
+            _ => Err(self.err_here()),
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<usize, ParseRegexError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err_here());
+        }
+        std::str::from_utf8(&self.src[start..self.pos])
+            .expect("digits are UTF-8")
+            .parse()
+            .map_err(|_| self.error(ParseRegexErrorKind::BadRepetition))
+    }
+
+    fn parse_atom(&mut self) -> Result<Regex, ParseRegexError> {
+        match self.bump().ok_or_else(|| self.error(ParseRegexErrorKind::UnexpectedEnd))? {
+            b'(' => {
+                let inner = self.parse_concat()?;
+                if self.bump() != Some(b')') {
+                    return Err(self.err_here());
+                }
+                Ok(inner)
+            }
+            b'[' => self.parse_class().map(Regex::Class),
+            b'.' => Ok(Regex::Class(ByteClass::ANY)),
+            b'\\' => self.parse_escape().map(Regex::Class),
+            b if b.is_ascii() => Ok(Regex::Class(ByteClass::literal(b))),
+            b => Err(self.error(ParseRegexErrorKind::NonAscii(b as char))),
+        }
+    }
+
+    fn parse_escape(&mut self) -> Result<ByteClass, ParseRegexError> {
+        match self.bump().ok_or_else(|| self.error(ParseRegexErrorKind::UnexpectedEnd))? {
+            b'd' => Ok(ByteClass::range(b'0', b'9')),
+            b'w' => Ok(ByteClass::range(b'a', b'z')
+                .union(&ByteClass::range(b'A', b'Z'))
+                .union(&ByteClass::range(b'0', b'9'))
+                .union(&ByteClass::literal(b'_'))),
+            b's' => {
+                let mut c = ByteClass::literal(b' ');
+                for ws in [b'\t', b'\n', b'\r', 0x0B, 0x0C] {
+                    c.insert(ws);
+                }
+                Ok(c)
+            }
+            b'n' => Ok(ByteClass::literal(b'\n')),
+            b't' => Ok(ByteClass::literal(b'\t')),
+            b'r' => Ok(ByteClass::literal(b'\r')),
+            b'0' => Ok(ByteClass::literal(0)),
+            b'x' => {
+                let hi = self.parse_hex_digit()?;
+                let lo = self.parse_hex_digit()?;
+                Ok(ByteClass::literal(hi * 16 + lo))
+            }
+            // Any punctuation escape stands for itself: \. \- \\ \[ etc.
+            b if b.is_ascii() && !b.is_ascii_alphanumeric() => Ok(ByteClass::literal(b)),
+            b if b.is_ascii() => Err(self.error(ParseRegexErrorKind::Unexpected(b as char))),
+            b => Err(self.error(ParseRegexErrorKind::NonAscii(b as char))),
+        }
+    }
+
+    fn parse_hex_digit(&mut self) -> Result<u8, ParseRegexError> {
+        match self.bump() {
+            Some(b @ b'0'..=b'9') => Ok(b - b'0'),
+            Some(b @ b'a'..=b'f') => Ok(b - b'a' + 10),
+            Some(b @ b'A'..=b'F') => Ok(b - b'A' + 10),
+            _ => Err(self.err_here()),
+        }
+    }
+
+    /// Parses one class member: a literal byte or an escape (which may
+    /// denote a multi-byte shorthand like `\d`).
+    fn parse_class_member(&mut self) -> Result<ByteClass, ParseRegexError> {
+        match self.bump().ok_or_else(|| self.error(ParseRegexErrorKind::UnexpectedEnd))? {
+            b'\\' => self.parse_escape(),
+            b if b.is_ascii() => Ok(ByteClass::literal(b)),
+            b => Err(self.error(ParseRegexErrorKind::NonAscii(b as char))),
+        }
+    }
+
+    fn parse_class(&mut self) -> Result<ByteClass, ParseRegexError> {
+        let negated = if self.peek() == Some(b'^') {
+            self.pos += 1;
+            true
+        } else {
+            false
+        };
+        let mut class = ByteClass::EMPTY;
+        loop {
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                break;
+            }
+            let lo_class = self.parse_class_member()?;
+            // A range needs a singleton start, a '-', and a non-']' end;
+            // otherwise '-' is a literal member ([a-] style).
+            let starts_range = lo_class.as_literal().is_some()
+                && self.peek() == Some(b'-')
+                && self.src.get(self.pos + 1) != Some(&b']')
+                && self.src.get(self.pos + 1).is_some();
+            if starts_range {
+                self.pos += 1; // consume '-'
+                let lo = lo_class.as_literal().expect("singleton checked");
+                let hi_class = self.parse_class_member()?;
+                let Some(hi) = hi_class.as_literal() else {
+                    return Err(self.err_here());
+                };
+                if lo > hi {
+                    return Err(self.error(ParseRegexErrorKind::BadClassRange(lo, hi)));
+                }
+                class = class.union(&ByteClass::range(lo, hi));
+            } else {
+                class = class.union(&lo_class);
+            }
+        }
+        if class.is_empty() {
+            return Err(self.error(ParseRegexErrorKind::EmptyClass));
+        }
+        if negated {
+            class = class.complement();
+            if class.is_empty() {
+                return Err(self.error(ParseRegexErrorKind::EmptyClass));
+            }
+        }
+        Ok(class)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn expand_len(src: &str) -> usize {
+        parse(src).unwrap().expand().unwrap().classes.len()
+    }
+
+    #[test]
+    fn paper_key_formats_parse_to_the_right_lengths() {
+        assert_eq!(expand_len(r"\d{3}-\d{2}-\d{4}"), 11); // SSN
+        assert_eq!(expand_len(r"\d{3}\.\d{3}\.\d{3}-\d{2}"), 14); // CPF
+        assert_eq!(expand_len(r"([0-9a-fA-F]{2}-){5}[0-9a-fA-F]{2}"), 17); // MAC
+        assert_eq!(expand_len(r"(([0-9]{3})\.){3}[0-9]{3}"), 15); // IPv4
+        assert_eq!(expand_len(r"([0-9a-f]{4}:){7}[0-9a-f]{4}"), 39); // IPv6
+        assert_eq!(expand_len(r"[0-9]{100}"), 100); // INTS
+    }
+
+    #[test]
+    fn ssn_expansion_matches_and_rejects() {
+        let e = parse(r"\d{3}-\d{2}-\d{4}").unwrap().expand().unwrap();
+        assert!(e.matches(b"123-45-6789"));
+        assert!(!e.matches(b"123-45-678"));
+        assert!(!e.matches(b"123.45.6789"));
+    }
+
+    #[test]
+    fn mac_class_includes_both_cases() {
+        let e = parse(r"([0-9a-fA-F]{2}-){5}[0-9a-fA-F]{2}").unwrap().expand().unwrap();
+        assert!(e.matches(b"0a-1B-2c-3D-4e-5F"));
+        assert!(!e.matches(b"0a-1B-2c-3D-4e-5G"));
+    }
+
+    #[test]
+    fn nested_groups_expand() {
+        let e = parse(r"((ab){2}c){3}").unwrap().expand().unwrap();
+        assert_eq!(e.classes.len(), 15);
+        assert!(e.matches(b"ababcababcababc"));
+    }
+
+    #[test]
+    fn optional_suffix_parses() {
+        let e = parse(r"abc(def)?").unwrap().expand().unwrap();
+        assert_eq!(e.min_len, 3);
+        assert_eq!(e.classes.len(), 6);
+        assert!(e.matches(b"abc"));
+        assert!(e.matches(b"abcdef"));
+    }
+
+    #[test]
+    fn repetition_range_parses() {
+        let e = parse(r"a{2,4}").unwrap().expand().unwrap();
+        assert_eq!(e.min_len, 2);
+        assert_eq!(e.classes.len(), 4);
+    }
+
+    #[test]
+    fn unsupported_constructs_error_clearly() {
+        assert!(matches!(
+            parse("a*").unwrap_err().kind,
+            ParseRegexErrorKind::UnboundedRepetition('*')
+        ));
+        assert!(matches!(
+            parse("a+").unwrap_err().kind,
+            ParseRegexErrorKind::UnboundedRepetition('+')
+        ));
+        assert!(matches!(parse("a|b").unwrap_err().kind, ParseRegexErrorKind::Alternation));
+        assert!(matches!(parse("{3}").unwrap_err().kind, ParseRegexErrorKind::NothingToRepeat));
+        assert!(matches!(parse("[]").unwrap_err().kind, ParseRegexErrorKind::EmptyClass));
+        assert!(matches!(
+            parse("[9-0]").unwrap_err().kind,
+            ParseRegexErrorKind::BadClassRange(b'9', b'0')
+        ));
+        assert!(matches!(parse("(ab").unwrap_err().kind, ParseRegexErrorKind::UnexpectedEnd));
+        assert!(matches!(parse("a{0}").unwrap_err().kind, ParseRegexErrorKind::BadRepetition));
+        assert!(matches!(parse("a{3,1}").unwrap_err().kind, ParseRegexErrorKind::BadRepetition));
+    }
+
+    #[test]
+    fn negated_classes_complement() {
+        let e = parse(r"[^0-9]").unwrap().expand().unwrap();
+        assert_eq!(e.classes[0].len(), 246);
+        assert!(!e.matches(b"5"));
+        assert!(e.matches(b"a"));
+        assert!(e.matches(&[0xFF]));
+
+        // '^' not in first position is a literal member.
+        let e = parse(r"[a^]").unwrap().expand().unwrap();
+        assert!(e.matches(b"a"));
+        assert!(e.matches(b"^"));
+        assert!(!e.matches(b"b"));
+
+        // Negating everything is an empty class.
+        assert!(matches!(
+            parse(r"[^\x00-\xff]").unwrap_err().kind,
+            ParseRegexErrorKind::EmptyClass
+        ));
+    }
+
+    #[test]
+    fn negated_class_in_a_format() {
+        // "everything but the separator": a CSV-ish field.
+        let e = parse(r"[^,]{3},[^,]{3}").unwrap().expand().unwrap();
+        assert!(e.matches(b"abc,def"));
+        assert!(!e.matches(b"ab,,def"));
+    }
+
+    #[test]
+    fn hex_escape_and_dash_literal() {
+        let e = parse(r"\x41[a-]").unwrap().expand().unwrap();
+        assert!(e.matches(b"Aa"));
+        assert!(e.matches(b"A-"));
+        assert!(!e.matches(b"Ab"));
+    }
+
+    #[test]
+    fn dot_matches_any_byte() {
+        let e = parse(".").unwrap().expand().unwrap();
+        assert_eq!(e.classes[0].len(), 256);
+    }
+}

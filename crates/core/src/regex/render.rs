@@ -1,0 +1,228 @@
+//! Rendering [`KeyPattern`]s back into regular-expression strings.
+//!
+//! The `keybuilder` tool of Figure 5 converts example keys into a regular
+//! expression. Inference produces a [`KeyPattern`] (a lattice element per
+//! byte); this module pretty-prints that pattern as a regex that *joins back
+//! to the same lattice element* — the round-trip property
+//! `compile(render(p)) == p` is guaranteed and property-tested.
+//!
+//! Each byte position renders as a canonical representative of its lattice
+//! element: fully constant bytes render as escaped literals, the digit
+//! element (`const 0011` upper nibble) renders as `[0-9]`, the letter
+//! element (`const 01` top pair) as `[A-Za-z]`, anything else as an exact
+//! character class over the bytes compatible with the constant bits.
+
+use crate::pattern::{BytePattern, KeyPattern};
+
+/// Renders `pattern` as a regular expression accepted by
+/// [`crate::regex::parse`].
+///
+/// # Examples
+///
+/// ```
+/// use sepe_core::infer::infer_pattern;
+/// use sepe_core::regex::render::render;
+///
+/// let pattern = infer_pattern([&b"000-00-0000"[..], b"555-55-5555"]).unwrap();
+/// assert_eq!(render(&pattern), r"[0-9]{3}-[0-9]{2}-[0-9]{4}");
+/// ```
+#[must_use]
+pub fn render(pattern: &KeyPattern) -> String {
+    let mandatory = &pattern.bytes()[..pattern.min_len()];
+    let optional = &pattern.bytes()[pattern.min_len()..];
+    let mut out = render_run_length(mandatory);
+    // Optional suffix: nested `( .. )?` groups so that any prefix length is
+    // accepted, matching the lattice treatment of missing bytes.
+    for b in optional {
+        out.push('(');
+        out.push_str(&render_byte(*b));
+    }
+    for _ in optional {
+        out.push_str(")?");
+    }
+    out
+}
+
+fn render_run_length(bytes: &[BytePattern]) -> String {
+    let mut out = String::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let mut j = i + 1;
+        while j < bytes.len() && bytes[j] == bytes[i] {
+            j += 1;
+        }
+        let run = j - i;
+        let rendered = render_byte(bytes[i]);
+        let is_class = rendered.len() > 1 || rendered.starts_with('[');
+        // `[0-9]{3}` reads better than `[0-9][0-9][0-9]`; short literal runs
+        // like "ab" stay verbatim.
+        if run >= 2 && (is_class || run >= 4) {
+            out.push_str(&rendered);
+            out.push_str(&format!("{{{run}}}"));
+        } else {
+            for _ in 0..run {
+                out.push_str(&rendered);
+            }
+        }
+        i = j;
+    }
+    out
+}
+
+fn render_byte(b: BytePattern) -> String {
+    if b.is_any() {
+        return ".".to_owned();
+    }
+    if b.is_const() {
+        return escape_literal(b.const_bits());
+    }
+    // Canonical friendly classes for the two lattice elements ASCII text
+    // produces (Example 3.5 of the paper).
+    if b.const_mask() == 0xF0 && b.const_bits() == 0x30 {
+        return "[0-9]".to_owned();
+    }
+    if b.const_mask() == 0xC0 && b.const_bits() == 0x40 {
+        return "[A-Za-z]".to_owned();
+    }
+    // Exact class over the coset of bytes compatible with the constant bits.
+    let mut out = String::from("[");
+    let mut cur: Option<(u8, u8)> = None;
+    let flush = |range: (u8, u8), out: &mut String| {
+        let (lo, hi) = range;
+        out.push_str(&escape_in_class(lo));
+        if hi > lo {
+            if hi > lo + 1 {
+                out.push('-');
+            }
+            out.push_str(&escape_in_class(hi));
+        }
+    };
+    for byte in b.possible_bytes() {
+        match cur {
+            Some((lo, hi)) if hi.checked_add(1) == Some(byte) => cur = Some((lo, byte)),
+            Some(done) => {
+                flush(done, &mut out);
+                cur = Some((byte, byte));
+            }
+            None => cur = Some((byte, byte)),
+        }
+    }
+    if let Some(done) = cur {
+        flush(done, &mut out);
+    }
+    out.push(']');
+    out
+}
+
+fn escape_literal(b: u8) -> String {
+    match b {
+        b'.' | b'(' | b')' | b'[' | b']' | b'{' | b'}' | b'*' | b'+' | b'?' | b'|' | b'\\'
+        | b'^' | b'$' => format!("\\{}", b as char),
+        b'\n' => "\\n".to_owned(),
+        b'\t' => "\\t".to_owned(),
+        b'\r' => "\\r".to_owned(),
+        0x20..=0x7E => (b as char).to_string(),
+        _ => format!("\\x{b:02x}"),
+    }
+}
+
+fn escape_in_class(b: u8) -> String {
+    match b {
+        b']' | b'\\' | b'-' | b'^' => format!("\\{}", b as char),
+        b'\n' => "\\n".to_owned(),
+        b'\t' => "\\t".to_owned(),
+        b'\r' => "\\r".to_owned(),
+        0x20..=0x7E => (b as char).to_string(),
+        _ => format!("\\x{b:02x}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer::infer_pattern;
+    use crate::regex::{parse, Regex};
+
+    fn round_trips(p: &KeyPattern) {
+        let rendered = render(p);
+        let reparsed = Regex::compile(&rendered)
+            .unwrap_or_else(|e| panic!("render produced unparseable {rendered:?}: {e}"));
+        assert_eq!(&reparsed, p, "round-trip failed for {rendered:?}");
+    }
+
+    #[test]
+    fn ssn_pattern_renders_like_the_paper() {
+        let p = infer_pattern([&b"000-00-0000"[..], b"555-55-5555"]).unwrap();
+        assert_eq!(render(&p), r"[0-9]{3}-[0-9]{2}-[0-9]{4}");
+        round_trips(&p);
+    }
+
+    #[test]
+    fn ipv4_pattern_renders_like_the_paper() {
+        let p = infer_pattern([&b"000.000.000.000"[..], b"555.555.555.555"]).unwrap();
+        assert_eq!(render(&p), r"[0-9]{3}\.[0-9]{3}\.[0-9]{3}\.[0-9]{3}");
+        round_trips(&p);
+    }
+
+    #[test]
+    fn constant_prefix_renders_as_literal() {
+        let p = infer_pattern([&b"https://x.com/a"[..], b"https://x.com/b"]).unwrap();
+        let r = render(&p);
+        assert!(r.starts_with("https://x"), "got {r:?}");
+        round_trips(&p);
+    }
+
+    #[test]
+    fn letters_render_as_friendly_class() {
+        let p = infer_pattern([&b"JFK"[..], b"LaX", b"GRu"]).unwrap();
+        let r = render(&p);
+        assert!(r.contains("[A-Za-z]"), "got {r:?}");
+        round_trips(&p);
+    }
+
+    #[test]
+    fn variable_length_renders_optional_suffix() {
+        let p = infer_pattern([&b"JFK"[..], b"RJTT"]).unwrap();
+        let r = render(&p);
+        assert!(r.ends_with(")?"), "got {r:?}");
+        round_trips(&p);
+    }
+
+    #[test]
+    fn fully_variable_byte_renders_as_dot() {
+        let p = infer_pattern([&[0x00u8][..], &[0xFF], &[0x55], &[0xAA]]).unwrap();
+        assert_eq!(render(&p), ".");
+        round_trips(&p);
+    }
+
+    #[test]
+    fn metacharacters_escape() {
+        let p = KeyPattern::of_key(b"a.b(c)*");
+        let r = render(&p);
+        assert_eq!(r, r"a\.b\(c\)\*");
+        round_trips(&p);
+    }
+
+    #[test]
+    fn exact_class_round_trips() {
+        // Lattice element with only the low pair constant (mask 0x03).
+        let p = KeyPattern::fixed(vec![crate::pattern::BytePattern::from_bytes([0x00, 0xFC])
+            .unwrap()]);
+        round_trips(&p);
+    }
+
+    #[test]
+    fn long_literal_runs_use_repetition() {
+        let p = KeyPattern::of_key(b"aaaaaaaa");
+        assert_eq!(render(&p), "a{8}");
+        round_trips(&p);
+    }
+
+    #[test]
+    fn parses_back_with_parse_entry_point() {
+        let p = infer_pattern([&b"00:00"[..], b"ff:ff", b"5a:a5"]).unwrap();
+        let r = render(&p);
+        assert!(parse(&r).is_ok());
+        round_trips(&p);
+    }
+}

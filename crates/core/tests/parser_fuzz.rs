@@ -1,0 +1,84 @@
+//! Robustness fuzzing for the regex front end: the parser and expander must
+//! be total (return `Ok` or a structured error, never panic) on arbitrary
+//! input, and everything they accept must go through synthesis and hashing
+//! without trouble.
+
+use proptest::prelude::*;
+use sepe_core::hash::{ByteHash, SynthesizedHash};
+use sepe_core::regex::{parse, Regex};
+use sepe_core::synth::Family;
+
+/// Strings biased toward regex metacharacters so the parser's corners get
+/// hit far more often than uniform ASCII would manage.
+fn regexish() -> impl Strategy<Value = String> {
+    let atom = prop_oneof![
+        4 => prop::char::range('a', 'z').prop_map(|c| c.to_string()),
+        4 => prop::char::range('0', '9').prop_map(|c| c.to_string()),
+        1 => Just(r"\d".to_owned()),
+        1 => Just(r"\.".to_owned()),
+        1 => Just(r"\x4a".to_owned()),
+        2 => Just("[0-9]".to_owned()),
+        2 => Just("[a-f0-9]".to_owned()),
+        1 => Just("[^,]".to_owned()),
+        1 => Just(".".to_owned()),
+        1 => Just("(".to_owned()),
+        1 => Just(")".to_owned()),
+        1 => Just("{2}".to_owned()),
+        1 => Just("{1,3}".to_owned()),
+        1 => Just("?".to_owned()),
+        1 => Just("[".to_owned()),
+        1 => Just("]".to_owned()),
+        1 => Just("-".to_owned()),
+        1 => Just("^".to_owned()),
+        1 => Just("\\".to_owned()),
+        1 => Just("|".to_owned()),
+        1 => Just("*".to_owned()),
+    ];
+    prop::collection::vec(atom, 0..24).prop_map(|parts| parts.concat())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn parser_is_total_on_metacharacter_soup(src in regexish()) {
+        // Must not panic; errors are fine.
+        let _ = parse(&src);
+    }
+
+    #[test]
+    fn parser_is_total_on_arbitrary_ascii(src in "[ -~]{0,40}") {
+        let _ = parse(&src);
+    }
+
+    #[test]
+    fn accepted_expressions_synthesize_and_hash(src in regexish()) {
+        let Ok(pattern) = Regex::compile(&src) else {
+            return Ok(());
+        };
+        prop_assume!(pattern.max_len() <= 512);
+        for family in Family::ALL {
+            let hash = SynthesizedHash::from_pattern(&pattern, family);
+            // Hash a key of minimum and maximum plausible length.
+            let short = vec![b'0'; pattern.min_len().max(1)];
+            let long = vec![b'z'; pattern.max_len().max(1)];
+            prop_assert_eq!(hash.hash_bytes(&short), hash.hash_bytes(&short));
+            prop_assert_eq!(hash.hash_bytes(&long), hash.hash_bytes(&long));
+        }
+    }
+
+    #[test]
+    fn expansion_respects_declared_length_bounds(src in regexish()) {
+        let Ok(regex) = parse(&src) else {
+            return Ok(());
+        };
+        let Ok(expansion) = regex.expand() else {
+            return Ok(());
+        };
+        prop_assert!(expansion.min_len <= expansion.classes.len());
+        // Every class an accepted expression produced is non-empty.
+        for c in &expansion.classes {
+            prop_assert!(!c.is_empty());
+        }
+    }
+}

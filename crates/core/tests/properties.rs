@@ -1,0 +1,161 @@
+//! Property-based tests for the SEPE core: lattice laws, inference
+//! soundness, regex round-trips, bit-extraction correctness and the Pext
+//! bijection guarantee.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use sepe_core::bits::{
+    pdep_reference, pdep_soft, pext_reference, pext_soft, pext_u64, Isa,
+};
+use sepe_core::hash::{ByteHash, SynthesizedHash};
+use sepe_core::infer::infer_pattern;
+use sepe_core::lattice::{quads_of_byte, Quad};
+use sepe_core::pattern::{BytePattern, KeyPattern};
+use sepe_core::regex::render::render;
+use sepe_core::regex::Regex;
+use sepe_core::synth::Family;
+
+fn arb_quad() -> impl Strategy<Value = Quad> {
+    prop_oneof![
+        (0u8..4).prop_map(Quad::new),
+        Just(Quad::Top),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn quad_join_is_a_semilattice(a in arb_quad(), b in arb_quad(), c in arb_quad()) {
+        prop_assert_eq!(a.join(a), a);
+        prop_assert_eq!(a.join(b), b.join(a));
+        prop_assert_eq!(a.join(b).join(c), a.join(b.join(c)));
+        prop_assert_eq!(a.join(Quad::Top), Quad::Top);
+    }
+
+    #[test]
+    fn quads_of_byte_are_consistent_with_byte_pattern(byte in any::<u8>()) {
+        let p = BytePattern::literal(byte);
+        prop_assert_eq!(p.quads(), quads_of_byte(byte));
+        prop_assert!(p.matches(byte));
+        prop_assert_eq!(p.cardinality(), 1);
+    }
+
+    #[test]
+    fn byte_pattern_join_is_upper_bound(a in any::<u8>(), b in any::<u8>()) {
+        let j = BytePattern::literal(a).join_byte(b);
+        prop_assert!(j.matches(a));
+        prop_assert!(j.matches(b));
+        // Join never invents constants: cardinality is a power of 4 of the
+        // number of top pairs.
+        prop_assert!(j.cardinality().is_power_of_two());
+    }
+
+    #[test]
+    fn inferred_pattern_accepts_every_example(
+        keys in vec(vec(any::<u8>(), 0..24), 1..12)
+    ) {
+        let refs: Vec<&[u8]> = keys.iter().map(Vec::as_slice).collect();
+        let p = infer_pattern(refs.iter().copied()).expect("non-empty key set");
+        for k in &refs {
+            prop_assert!(p.matches(k), "pattern {p} must accept example {k:?}");
+        }
+    }
+
+    #[test]
+    fn render_round_trips_through_the_parser(
+        keys in vec(vec(any::<u8>(), 1..24), 1..8)
+    ) {
+        let refs: Vec<&[u8]> = keys.iter().map(Vec::as_slice).collect();
+        let p = infer_pattern(refs.iter().copied()).expect("non-empty key set");
+        let rendered = render(&p);
+        let reparsed = Regex::compile(&rendered)
+            .unwrap_or_else(|e| panic!("unparseable render {rendered:?}: {e}"));
+        prop_assert_eq!(reparsed, p);
+    }
+
+    #[test]
+    fn soft_pext_matches_the_figure_11_reference(src in any::<u64>(), mask in any::<u64>()) {
+        prop_assert_eq!(pext_soft(src, mask), pext_reference(src, mask));
+    }
+
+    #[test]
+    fn soft_pdep_matches_the_reference(src in any::<u64>(), mask in any::<u64>()) {
+        prop_assert_eq!(pdep_soft(src, mask), pdep_reference(src, mask));
+    }
+
+    #[test]
+    fn dispatched_pext_is_isa_independent(src in any::<u64>(), mask in any::<u64>()) {
+        prop_assert_eq!(pext_u64(src, mask, Isa::Native), pext_u64(src, mask, Isa::Portable));
+    }
+
+    #[test]
+    fn pext_pdep_are_inverse_on_masked_values(src in any::<u64>(), mask in any::<u64>()) {
+        let extracted = pext_soft(src, mask);
+        prop_assert_eq!(pdep_soft(extracted, mask), src & mask);
+    }
+
+    #[test]
+    fn pext_preserves_popcount_of_masked_bits(src in any::<u64>(), mask in any::<u64>()) {
+        prop_assert_eq!(pext_soft(src, mask).count_ones(), (src & mask).count_ones());
+    }
+
+    #[test]
+    fn pext_family_is_injective_when_bits_fit(
+        digits in vec(0u8..10, 16..=16),
+        other in vec(0u8..10, 16..=16)
+    ) {
+        // 16 digits = 64 variable bits: Section 4.2 promises a bijection.
+        let to_key = |ds: &[u8]| -> Vec<u8> { ds.iter().map(|d| b'0' + d).collect() };
+        let h = SynthesizedHash::from_regex(r"[0-9]{16}", Family::Pext)
+            .expect("regex compiles");
+        let (a, b) = (to_key(&digits), to_key(&other));
+        if a != b {
+            prop_assert_ne!(h.hash_bytes(&a), h.hash_bytes(&b));
+        } else {
+            prop_assert_eq!(h.hash_bytes(&a), h.hash_bytes(&b));
+        }
+    }
+
+    #[test]
+    fn families_are_deterministic_and_isa_independent(
+        digits in vec(0u8..10, 11..=11)
+    ) {
+        let key: Vec<u8> = format!(
+            "{}{}{}-{}{}-{}{}{}{}",
+            digits[0], digits[1], digits[2], digits[3], digits[4],
+            digits[5], digits[6], digits[7], digits[8]
+        ).into_bytes();
+        for family in Family::ALL {
+            let native = SynthesizedHash::from_regex(r"\d{3}-\d{2}-\d{4}", family)
+                .expect("regex compiles");
+            let portable = native.clone().with_isa(Isa::Portable);
+            prop_assert_eq!(native.hash_bytes(&key), portable.hash_bytes(&key));
+        }
+    }
+
+    #[test]
+    fn matching_is_stable_under_join(
+        keys in vec(vec(any::<u8>(), 1..16), 2..6),
+        extra in vec(any::<u8>(), 1..16)
+    ) {
+        // Joining one more key never makes previously matching keys fail.
+        let refs: Vec<&[u8]> = keys.iter().map(Vec::as_slice).collect();
+        let mut p = infer_pattern(refs.iter().copied()).expect("non-empty");
+        let before: Vec<bool> = refs.iter().map(|k| p.matches(k)).collect();
+        prop_assert!(before.iter().all(|&m| m));
+        p.join_key(&extra);
+        for k in &refs {
+            prop_assert!(p.matches(k));
+        }
+        prop_assert!(p.matches(&extra));
+    }
+
+    #[test]
+    fn key_pattern_of_key_matches_only_that_length(key in vec(any::<u8>(), 1..32)) {
+        let p = KeyPattern::of_key(&key);
+        prop_assert!(p.matches(&key));
+        prop_assert!(p.is_fixed_len());
+        let mut longer = key.clone();
+        longer.push(0);
+        prop_assert!(!p.matches(&longer));
+    }
+}

@@ -1,0 +1,159 @@
+//! Property tests over the synthesis pipeline itself: whatever pattern
+//! goes in, the produced plan respects the structural invariants the
+//! evaluator and the code generators rely on.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use sepe_core::hash::{ByteHash, SynthesizedHash};
+use sepe_core::infer::infer_pattern;
+use sepe_core::pattern::KeyPattern;
+use sepe_core::synth::{synthesize, synthesize_unchecked, Family, Plan};
+use sepe_core::Isa;
+
+fn pattern_from_keys(keys: &[Vec<u8>]) -> KeyPattern {
+    let refs: Vec<&[u8]> = keys.iter().map(Vec::as_slice).collect();
+    infer_pattern(refs.iter().copied()).expect("non-empty key set")
+}
+
+/// Structural invariants every plan must satisfy for its pattern.
+fn check_plan(plan: &Plan, pattern: &KeyPattern, family: Family) {
+    match plan {
+        Plan::StlFallback => {
+            assert!(pattern.max_len() < 8, "fallback only for sub-word formats");
+        }
+        Plan::FixedWords { len, ops } => {
+            assert_eq!(*len, pattern.max_len());
+            assert!(pattern.is_fixed_len());
+            for op in ops {
+                // Loads stay within the key (or clamp to zero for forced
+                // short keys).
+                assert!(
+                    (op.offset as usize) + 8 <= *len || *len < 8,
+                    "load at {} exceeds len {len}",
+                    op.offset
+                );
+                assert!(op.shift < 64);
+                if family != Family::Pext {
+                    assert_eq!(op.mask, u64::MAX);
+                    assert_eq!(op.shift, 0);
+                }
+            }
+            if family == Family::Pext {
+                // Masks cover every variable bit of the key exactly once.
+                let total: u32 = ops.iter().map(|o| o.mask.count_ones()).sum();
+                assert_eq!(total as usize, pattern.variable_bits());
+            }
+            if family == Family::OffXor || family == Family::Pext {
+                // Every variable byte is covered by some load.
+                for (i, b) in pattern.bytes().iter().enumerate() {
+                    if !b.is_const() {
+                        assert!(
+                            ops.iter().any(|o| {
+                                let o = o.offset as usize;
+                                i >= o && i < o + 8
+                            }),
+                            "variable byte {i} uncovered"
+                        );
+                    }
+                }
+            }
+        }
+        Plan::VarWords { min_len, ops, tail_start } => {
+            assert!(!pattern.is_fixed_len());
+            assert_eq!(*min_len, pattern.min_len());
+            assert!(*tail_start <= pattern.min_len());
+            for op in ops {
+                assert!((op.offset as usize) + 8 <= *min_len);
+            }
+        }
+        Plan::FixedBlocks { len, offsets } => {
+            assert_eq!(family, Family::Aes);
+            if offsets.is_empty() {
+                // Replication is for sub-block keys; a fully constant
+                // format also yields no loads (nothing varies).
+                assert!(
+                    *len < 16 || pattern.variable_bits() == 0,
+                    "no block loads despite variable bytes"
+                );
+            }
+            for off in offsets {
+                assert!((*off as usize) + 16 <= *len);
+            }
+        }
+        Plan::VarBlocks { min_len, offsets, .. } => {
+            assert_eq!(family, Family::Aes);
+            for off in offsets {
+                assert!((*off as usize) + 16 <= *min_len);
+            }
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn plans_satisfy_invariants_for_random_example_sets(
+        keys in vec(vec(any::<u8>(), 0..40), 1..10)
+    ) {
+        let pattern = pattern_from_keys(&keys);
+        for family in Family::ALL {
+            let plan = synthesize(&pattern, family);
+            check_plan(&plan, &pattern, family);
+        }
+    }
+
+    #[test]
+    fn evaluation_never_panics_on_arbitrary_input(
+        keys in vec(vec(any::<u8>(), 1..40), 1..6),
+        probe in vec(any::<u8>(), 0..80)
+    ) {
+        // Even keys that do NOT match the pattern hash safely.
+        let pattern = pattern_from_keys(&keys);
+        for family in Family::ALL {
+            let hash = SynthesizedHash::from_pattern(&pattern, family);
+            let _ = hash.hash_bytes(&probe);
+            let portable = hash.clone().with_isa(Isa::Portable);
+            prop_assert_eq!(hash.hash_bytes(&probe), portable.hash_bytes(&probe));
+        }
+    }
+
+    #[test]
+    fn forced_synthesis_handles_any_fixed_length(key in vec(any::<u8>(), 1..40)) {
+        let pattern = KeyPattern::of_key(&key);
+        for family in Family::ALL {
+            let plan = synthesize_unchecked(&pattern, family);
+            let hash = SynthesizedHash::new(plan, family, Isa::Native);
+            // A fully constant pattern maps its only key deterministically.
+            prop_assert_eq!(hash.hash_bytes(&key), hash.hash_bytes(&key));
+        }
+    }
+
+    #[test]
+    fn matching_keys_hash_equal_iff_equal_under_pext_when_bits_fit(
+        a in vec(0u8..10, 12..=12),
+        b in vec(0u8..10, 12..=12)
+    ) {
+        // 12 digits = 48 variable bits <= 64: bijection guaranteed.
+        let to_key = |ds: &[u8]| -> Vec<u8> { ds.iter().map(|d| b'0' + d).collect() };
+        let pattern = sepe_core::regex::Regex::compile("[0-9]{12}").expect("regex compiles");
+        let plan = synthesize(&pattern, Family::Pext);
+        prop_assert!(plan.bijection_bits().is_some());
+        let hash = SynthesizedHash::new(plan, Family::Pext, Isa::Native);
+        let (ka, kb) = (to_key(&a), to_key(&b));
+        prop_assert_eq!(ka == kb, hash.hash_bytes(&ka) == hash.hash_bytes(&kb));
+    }
+
+    #[test]
+    fn bijection_bits_never_exceed_64_and_match_masks(
+        keys in vec(vec(any::<u8>(), 8..24), 1..6)
+    ) {
+        let pattern = pattern_from_keys(&keys);
+        let plan = synthesize(&pattern, Family::Pext);
+        if let Some(bits) = plan.bijection_bits() {
+            prop_assert!(bits <= 64);
+            if let Plan::FixedWords { ops, .. } = &plan {
+                let total: u32 = ops.iter().map(|o| o.mask.count_ones()).sum();
+                prop_assert_eq!(bits, total);
+            }
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Experiment parameterization: the driver grid of Section 4.
+
+use sepe_containers::BucketPolicy;
+use sepe_keygen::{Distribution, KeyFormat};
+
+/// The four STL-style containers the driver exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ContainerKind {
+    /// `std::unordered_map` analog.
+    Map,
+    /// `std::unordered_set` analog.
+    Set,
+    /// `std::unordered_multimap` analog.
+    MultiMap,
+    /// `std::unordered_multiset` analog.
+    MultiSet,
+}
+
+impl ContainerKind {
+    /// All four containers, in the paper's order.
+    pub const ALL: [ContainerKind; 4] = [
+        ContainerKind::Map,
+        ContainerKind::Set,
+        ContainerKind::MultiMap,
+        ContainerKind::MultiSet,
+    ];
+
+    /// Display name matching Figure 20's labels.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ContainerKind::Map => "UMap",
+            ContainerKind::Set => "USet",
+            ContainerKind::MultiMap => "UMMap",
+            ContainerKind::MultiSet => "UMSet",
+        }
+    }
+}
+
+impl std::fmt::Display for ContainerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The execution mode of an experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Mode {
+    /// All operations in batches: inserts, then searches, then removals.
+    Batched,
+    /// 50% of the insertions first, then a random interweaving: insert
+    /// with probability `p_insert`, search with `p_search`, remove with
+    /// the rest.
+    Interweaved {
+        /// Probability of an insertion.
+        p_insert: f64,
+        /// Probability of a search.
+        p_search: f64,
+    },
+}
+
+impl Mode {
+    /// The paper's four modes: batched plus the three probability mixes
+    /// `(0.7, 0.2)`, `(0.6, 0.2)`, `(0.4, 0.3)`.
+    pub const ALL: [Mode; 4] = [
+        Mode::Batched,
+        Mode::Interweaved { p_insert: 0.7, p_search: 0.2 },
+        Mode::Interweaved { p_insert: 0.6, p_search: 0.2 },
+        Mode::Interweaved { p_insert: 0.4, p_search: 0.3 },
+    ];
+
+    /// Short label for reports.
+    #[must_use]
+    pub fn label(self) -> String {
+        match self {
+            Mode::Batched => "batched".to_owned(),
+            Mode::Interweaved { p_insert, p_search } => {
+                format!("mix({p_insert:.1},{p_search:.1})")
+            }
+        }
+    }
+}
+
+/// The spreads (number of keys in the working pool) of the grid.
+pub const SPREADS: [usize; 3] = [500, 2000, 10_000];
+
+/// Affectations per experiment ("Experiments always run 10000
+/// affectations").
+pub const AFFECTATIONS: usize = 10_000;
+
+/// Number of keys used for the collision counts of Table 1 ("considering
+/// 10,000 keys").
+pub const COLLISION_KEYS: usize = 10_000;
+
+/// A full parameterization of the driver.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Which container to exercise.
+    pub container: ContainerKind,
+    /// Key distribution.
+    pub distribution: Distribution,
+    /// Number of keys in the working pool.
+    pub spread: usize,
+    /// Execution mode.
+    pub mode: Mode,
+    /// Key format.
+    pub format: KeyFormat,
+    /// Number of affectations to run.
+    pub affectations: usize,
+    /// Bucket-index policy of the container (modulo except in RQ7).
+    pub policy: BucketPolicy,
+    /// Seed for key generation and operation interleaving.
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// A small, fast configuration for tests and doctests.
+    #[must_use]
+    pub fn quick(format: KeyFormat, distribution: Distribution) -> Self {
+        ExperimentConfig {
+            container: ContainerKind::Map,
+            distribution,
+            spread: 500,
+            mode: Mode::Batched,
+            format,
+            affectations: 1500,
+            policy: BucketPolicy::Modulo,
+            seed: 42,
+        }
+    }
+
+    /// The paper's 144-experiment grid for one key format: 4 containers ×
+    /// 3 distributions × 3 spreads × 4 modes.
+    #[must_use]
+    pub fn grid(format: KeyFormat, affectations: usize, seed: u64) -> Vec<ExperimentConfig> {
+        let mut out = Vec::with_capacity(144);
+        for container in ContainerKind::ALL {
+            for distribution in Distribution::ALL {
+                for spread in SPREADS {
+                    for mode in Mode::ALL {
+                        out.push(ExperimentConfig {
+                            container,
+                            distribution,
+                            spread,
+                            mode,
+                            format,
+                            affectations,
+                            policy: BucketPolicy::Modulo,
+                            seed,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_has_144_experiments() {
+        let grid = ExperimentConfig::grid(KeyFormat::Ssn, AFFECTATIONS, 1);
+        assert_eq!(grid.len(), 144);
+    }
+
+    #[test]
+    fn grid_covers_every_dimension() {
+        let grid = ExperimentConfig::grid(KeyFormat::Mac, 100, 1);
+        for container in ContainerKind::ALL {
+            assert!(grid.iter().any(|c| c.container == container));
+        }
+        for spread in SPREADS {
+            assert!(grid.iter().any(|c| c.spread == spread));
+        }
+        for mode in Mode::ALL {
+            assert!(grid.iter().any(|c| c.mode == mode));
+        }
+        for dist in Distribution::ALL {
+            assert!(grid.iter().any(|c| c.distribution == dist));
+        }
+    }
+
+    #[test]
+    fn mode_probabilities_are_the_papers() {
+        let probs: Vec<(f64, f64)> = Mode::ALL
+            .iter()
+            .filter_map(|m| match m {
+                Mode::Interweaved { p_insert, p_search } => Some((*p_insert, *p_search)),
+                Mode::Batched => None,
+            })
+            .collect();
+        assert_eq!(probs, vec![(0.7, 0.2), (0.6, 0.2), (0.4, 0.3)]);
+    }
+}

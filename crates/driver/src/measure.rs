@@ -1,0 +1,366 @@
+//! Running one experiment and collecting the paper's four metrics.
+
+use crate::config::{ContainerKind, ExperimentConfig, Mode, COLLISION_KEYS};
+use sepe_containers::{
+    BucketPolicy, UnorderedMap, UnorderedMultiMap, UnorderedMultiSet, UnorderedSet,
+};
+use sepe_core::ByteHash;
+use sepe_keygen::{KeySampler, SplitMix64};
+use std::time::{Duration, Instant};
+
+/// The metrics of one experiment, matching Table 1's columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Measurement {
+    /// Wall time of the whole affectation loop (**B-Time**).
+    pub b_time: Duration,
+    /// Wall time of hashing the affectation keys alone (**H-Time**).
+    pub h_time: Duration,
+    /// Bucket collisions of a container filled with
+    /// [`COLLISION_KEYS`] keys (**B-Coll**).
+    pub bucket_collisions: u64,
+    /// Distinct keys sharing a 64-bit hash code among
+    /// [`COLLISION_KEYS`] distinct keys (**T-Coll**).
+    pub true_collisions: u64,
+}
+
+/// One of the four containers, erased behind a common op interface.
+enum Container<'h> {
+    Map(UnorderedMap<String, u64, &'h dyn ByteHash>),
+    Set(UnorderedSet<String, &'h dyn ByteHash>),
+    MultiMap(UnorderedMultiMap<String, u64, &'h dyn ByteHash>),
+    MultiSet(UnorderedMultiSet<String, &'h dyn ByteHash>),
+}
+
+impl<'h> Container<'h> {
+    fn new(kind: ContainerKind, hash: &'h dyn ByteHash, policy: BucketPolicy) -> Self {
+        match kind {
+            ContainerKind::Map => {
+                Container::Map(UnorderedMap::with_hasher_and_policy(hash, policy))
+            }
+            ContainerKind::Set => {
+                Container::Set(UnorderedSet::with_hasher_and_policy(hash, policy))
+            }
+            ContainerKind::MultiMap => {
+                Container::MultiMap(UnorderedMultiMap::with_hasher_and_policy(hash, policy))
+            }
+            ContainerKind::MultiSet => {
+                Container::MultiSet(UnorderedMultiSet::with_hasher_and_policy(hash, policy))
+            }
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, key: &str, value: u64) {
+        match self {
+            Container::Map(c) => {
+                c.insert(key.to_owned(), value);
+            }
+            Container::Set(c) => {
+                c.insert(key.to_owned());
+            }
+            Container::MultiMap(c) => c.insert(key.to_owned(), value),
+            Container::MultiSet(c) => c.insert(key.to_owned()),
+        }
+    }
+
+    #[inline]
+    fn search(&self, key: &str) -> bool {
+        match self {
+            Container::Map(c) => c.get(key).is_some(),
+            Container::Set(c) => c.contains(key),
+            Container::MultiMap(c) => c.get(key).is_some(),
+            Container::MultiSet(c) => c.contains(key),
+        }
+    }
+
+    /// `erase(key)` semantics: maps/sets remove the one entry, multi
+    /// containers remove every entry with the key.
+    #[inline]
+    fn remove(&mut self, key: &str) {
+        match self {
+            Container::Map(c) => {
+                c.remove(key);
+            }
+            Container::Set(c) => {
+                c.remove(key);
+            }
+            Container::MultiMap(c) => {
+                c.remove_all(key);
+            }
+            Container::MultiSet(c) => {
+                c.remove_all(key);
+            }
+        }
+    }
+}
+
+/// Runs one experiment: times the affectation loop (B-Time), times hashing
+/// alone (H-Time), and counts bucket and true collisions over
+/// [`COLLISION_KEYS`] keys.
+#[must_use]
+pub fn run_experiment(cfg: &ExperimentConfig, hash: &dyn ByteHash) -> Measurement {
+    let mut sampler = KeySampler::new(cfg.format, cfg.distribution, cfg.seed);
+    let pool = sampler.pool(cfg.spread.max(1));
+
+    let b_time = time_affectations(cfg, hash, &pool);
+    let h_time = time_hashing(cfg, hash, &pool);
+    let (bucket_collisions, true_collisions) = count_collisions(
+        cfg.format,
+        cfg.distribution,
+        hash,
+        cfg.policy,
+        COLLISION_KEYS,
+        cfg.seed,
+    );
+
+    Measurement { b_time, h_time, bucket_collisions, true_collisions }
+}
+
+/// Times the affectation loop: `cfg.affectations` operations against a
+/// fresh container (the **B-Time** of RQ1).
+#[must_use]
+pub fn time_affectations(
+    cfg: &ExperimentConfig,
+    hash: &dyn ByteHash,
+    pool: &[String],
+) -> Duration {
+    let mut container = Container::new(cfg.container, hash, cfg.policy);
+    let mut rng = SplitMix64::new(cfg.seed ^ 0x5EED);
+    let n = cfg.affectations;
+
+    let start = Instant::now();
+    match cfg.mode {
+        Mode::Batched => {
+            // Batches: insertions, then searches, then eliminations, keys
+            // taken in pool order (ascending for the incremental
+            // distribution).
+            let third = n / 3;
+            for i in 0..third {
+                container.insert(&pool[i % pool.len()], i as u64);
+            }
+            for i in third..2 * third {
+                std::hint::black_box(container.search(&pool[i % pool.len()]));
+            }
+            for i in 2 * third..n {
+                container.remove(&pool[i % pool.len()]);
+            }
+        }
+        Mode::Interweaved { p_insert, p_search } => {
+            // First 50% of the insertions, then the random mix.
+            let half = n / 2;
+            for i in 0..half {
+                container.insert(&pool[i % pool.len()], i as u64);
+            }
+            for i in half..n {
+                let key = &pool[(rng.next_u64() as usize) % pool.len()];
+                let p = rng.next_f64();
+                if p < p_insert {
+                    container.insert(key, i as u64);
+                } else if p < p_insert + p_search {
+                    std::hint::black_box(container.search(key));
+                } else {
+                    container.remove(key);
+                }
+            }
+        }
+    }
+    start.elapsed()
+}
+
+/// Times hashing alone: `cfg.affectations` hash computations over the pool
+/// (the **H-Time** of RQ1).
+#[must_use]
+pub fn time_hashing(cfg: &ExperimentConfig, hash: &dyn ByteHash, pool: &[String]) -> Duration {
+    // Latency-chained measurement: the next key index depends on the
+    // previous hash value, exactly as a hash-table consumer depends on the
+    // hash to pick a bucket. Without the chain, out-of-order execution
+    // pipelines the calls and the measurement collapses into call-overhead
+    // throughput, hiding the differences RQ1 is after.
+    let keys: Vec<&[u8]> = pool.iter().map(|s| s.as_bytes()).collect();
+    // Index with a power-of-two mask so the chain costs one AND.
+    let pot = if keys.len().is_power_of_two() {
+        keys.len()
+    } else {
+        (keys.len().next_power_of_two() / 2).max(1)
+    };
+    let mask = pot - 1;
+    let mut idx = 0usize;
+    let mut acc = 0u64;
+    let start = Instant::now();
+    for _ in 0..cfg.affectations {
+        let h = hash.hash_bytes(keys[idx]);
+        acc ^= h;
+        idx = (h as usize) & mask;
+    }
+    std::hint::black_box(acc);
+    start.elapsed()
+}
+
+/// Counts bucket collisions (container-level, Section 4.2) and true
+/// collisions (64-bit hash duplicates) over `n` distinct keys.
+#[must_use]
+pub fn count_collisions(
+    format: sepe_keygen::KeyFormat,
+    distribution: sepe_keygen::Distribution,
+    hash: &dyn ByteHash,
+    policy: BucketPolicy,
+    n: usize,
+    seed: u64,
+) -> (u64, u64) {
+    let n = n.min(usize::try_from(format.space()).unwrap_or(usize::MAX));
+    let mut sampler = KeySampler::new(format, distribution, seed ^ 0xC011);
+    let keys = sampler.distinct_pool(n);
+    collisions_of(hash, &keys, policy)
+}
+
+/// Bucket and true collisions of an explicit key set.
+#[must_use]
+pub fn collisions_of(
+    hash: &dyn ByteHash,
+    distinct_keys: &[String],
+    policy: BucketPolicy,
+) -> (u64, u64) {
+    let mut map: UnorderedMap<String, (), &dyn ByteHash> =
+        UnorderedMap::with_hasher_and_policy(hash, policy);
+    for k in distinct_keys {
+        map.insert(k.clone(), ());
+    }
+    let bucket = map.bucket_collisions();
+
+    let mut hashes: Vec<u64> =
+        distinct_keys.iter().map(|k| hash.hash_bytes(k.as_bytes())).collect();
+    hashes.sort_unstable();
+    let true_coll = hashes.windows(2).filter(|w| w[0] == w[1]).count() as u64;
+    (bucket, true_coll)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExperimentConfig;
+    use crate::registry::HashId;
+    use sepe_core::Isa;
+    use sepe_keygen::{Distribution, KeyFormat};
+
+    #[test]
+    fn quick_experiment_produces_sane_measurements() {
+        let cfg = ExperimentConfig::quick(KeyFormat::Ssn, Distribution::Normal);
+        for id in [HashId::Stl, HashId::Pext, HashId::Gperf] {
+            let hash = id.build(cfg.format, Isa::Native);
+            let m = run_experiment(&cfg, hash.as_ref());
+            assert!(m.b_time.as_nanos() > 0, "{id}");
+            assert!(m.h_time.as_nanos() > 0, "{id}");
+        }
+    }
+
+    #[test]
+    fn pext_has_zero_true_collisions_on_ssn() {
+        let hash = HashId::Pext.build(KeyFormat::Ssn, Isa::Native);
+        let (_, t_coll) = count_collisions(
+            KeyFormat::Ssn,
+            Distribution::Uniform,
+            hash.as_ref(),
+            sepe_containers::BucketPolicy::Modulo,
+            5000,
+            1,
+        );
+        assert_eq!(t_coll, 0);
+    }
+
+    #[test]
+    fn gperf_has_many_true_collisions() {
+        // The paper's Table 1 reports tens of thousands; anything large
+        // confirms the mechanism.
+        let hash = HashId::Gperf.build(KeyFormat::Ssn, Isa::Native);
+        let (b_coll, t_coll) = count_collisions(
+            KeyFormat::Ssn,
+            Distribution::Uniform,
+            hash.as_ref(),
+            sepe_containers::BucketPolicy::Modulo,
+            5000,
+            1,
+        );
+        assert!(t_coll > 1000, "gperf t_coll {t_coll}");
+        assert!(b_coll > 1000, "gperf b_coll {b_coll}");
+    }
+
+    #[test]
+    fn every_mode_and_container_runs() {
+        let hash = HashId::OffXor.build(KeyFormat::Ipv4, Isa::Native);
+        for container in ContainerKind::ALL {
+            for mode in Mode::ALL {
+                let cfg = ExperimentConfig {
+                    container,
+                    mode,
+                    ..ExperimentConfig::quick(KeyFormat::Ipv4, Distribution::Uniform)
+                };
+                let pool =
+                    KeySampler::new(cfg.format, cfg.distribution, cfg.seed).pool(cfg.spread);
+                let t = time_affectations(&cfg, hash.as_ref(), &pool);
+                assert!(t.as_nanos() > 0, "{container} {mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn interweaved_probabilities_shape_the_final_container() {
+        // With a higher insert probability the container ends up fuller.
+        // Run the loop manually so we can inspect the container afterwards.
+        let format = KeyFormat::Ssn;
+        let hash = HashId::Stl.build(format, Isa::Native);
+        let final_len = |p_insert: f64, p_search: f64| -> usize {
+            let cfg = ExperimentConfig {
+                mode: Mode::Interweaved { p_insert, p_search },
+                spread: 5000,
+                affectations: 8000,
+                ..ExperimentConfig::quick(format, Distribution::Uniform)
+            };
+            let pool = KeySampler::new(cfg.format, cfg.distribution, cfg.seed).pool(cfg.spread);
+            // Reproduce the loop with an inspectable container.
+            let mut c: sepe_containers::UnorderedMap<String, u64, &dyn ByteHash> =
+                sepe_containers::UnorderedMap::with_hasher(hash.as_ref());
+            let mut rng = SplitMix64::new(cfg.seed ^ 0x5EED);
+            let (p_insert, p_search) = match cfg.mode {
+                Mode::Interweaved { p_insert, p_search } => (p_insert, p_search),
+                Mode::Batched => unreachable!("configured interweaved"),
+            };
+            let half = cfg.affectations / 2;
+            for i in 0..half {
+                c.insert(pool[i % pool.len()].clone(), i as u64);
+            }
+            for i in half..cfg.affectations {
+                let key = &pool[(rng.next_u64() as usize) % pool.len()];
+                let p = rng.next_f64();
+                if p < p_insert {
+                    c.insert(key.clone(), i as u64);
+                } else if p >= p_insert + p_search {
+                    c.remove(key.as_str());
+                }
+            }
+            c.len()
+        };
+        let heavy_insert = final_len(0.7, 0.2);
+        let heavy_remove = final_len(0.4, 0.3);
+        assert!(
+            heavy_insert > heavy_remove,
+            "(0.7,0.2) -> {heavy_insert} should exceed (0.4,0.3) -> {heavy_remove}"
+        );
+    }
+
+    #[test]
+    fn collision_counter_caps_at_the_key_space() {
+        let hash = HashId::Stl.build(KeyFormat::FourDigits, Isa::Native);
+        // FourDigits has only 10 000 keys; asking for COLLISION_KEYS must
+        // not hang.
+        let (b, t) = count_collisions(
+            KeyFormat::FourDigits,
+            Distribution::Uniform,
+            hash.as_ref(),
+            sepe_containers::BucketPolicy::Modulo,
+            COLLISION_KEYS,
+            3,
+        );
+        assert_eq!(t, 0, "STL should not collide on 10k keys");
+        let _ = b;
+    }
+}

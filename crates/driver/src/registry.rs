@@ -1,0 +1,218 @@
+//! The registry of the ten hash functions the evaluation compares.
+
+use sepe_baselines::gpt::{GptFormat, GptHash};
+use sepe_baselines::{AbseilHash, CityHash, FnvHash, GperfHash, StlHash};
+use sepe_core::hash::SynthesizedHash;
+use sepe_core::synth::Family;
+use sepe_core::{ByteHash, Isa};
+use sepe_keygen::{Distribution, KeyFormat, KeySampler};
+
+/// Number of training keys fed to the gperf generator, as in the paper
+/// ("using 1000 random keys").
+pub const GPERF_TRAINING_KEYS: usize = 1000;
+
+/// One of the ten hash functions of the evaluation (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum HashId {
+    /// Google Abseil's low-level hash.
+    Abseil,
+    /// Synthesized: AES-round combination.
+    Aes,
+    /// Google's CityHash64.
+    City,
+    /// libstdc++ FNV-1a.
+    Fnv,
+    /// gperf-style perfect hash trained on 1000 random keys.
+    Gperf,
+    /// Handwritten per-format hash (the paper's ChatGPT stand-in).
+    Gpt,
+    /// Synthesized: unrolled xor over all bytes.
+    Naive,
+    /// Synthesized: unrolled xor over non-constant words.
+    OffXor,
+    /// Synthesized: parallel bit extraction of non-constant bits.
+    Pext,
+    /// libstdc++ default string hash (murmur-derived, Figure 1).
+    Stl,
+}
+
+impl HashId {
+    /// All ten functions, in the alphabetical order of the paper's tables.
+    pub const ALL: [HashId; 10] = [
+        HashId::Abseil,
+        HashId::Aes,
+        HashId::City,
+        HashId::Fnv,
+        HashId::Gperf,
+        HashId::Gpt,
+        HashId::Naive,
+        HashId::OffXor,
+        HashId::Pext,
+        HashId::Stl,
+    ];
+
+    /// The four synthesized families.
+    pub const SYNTHETIC: [HashId; 4] =
+        [HashId::Aes, HashId::Naive, HashId::OffXor, HashId::Pext];
+
+    /// The six baselines.
+    pub const BASELINES: [HashId; 6] = [
+        HashId::Abseil,
+        HashId::City,
+        HashId::Fnv,
+        HashId::Gperf,
+        HashId::Gpt,
+        HashId::Stl,
+    ];
+
+    /// The name used in the paper's tables.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            HashId::Abseil => "Abseil",
+            HashId::Aes => "Aes",
+            HashId::City => "City",
+            HashId::Fnv => "FNV",
+            HashId::Gperf => "Gperf",
+            HashId::Gpt => "Gpt",
+            HashId::Naive => "Naive",
+            HashId::OffXor => "OffXor",
+            HashId::Pext => "Pext",
+            HashId::Stl => "STL",
+        }
+    }
+
+    /// Whether this is one of the four synthesized families.
+    #[must_use]
+    pub fn is_synthetic(self) -> bool {
+        matches!(self, HashId::Aes | HashId::Naive | HashId::OffXor | HashId::Pext)
+    }
+
+    /// The synthesized family, when [`HashId::is_synthetic`].
+    #[must_use]
+    pub fn family(self) -> Option<Family> {
+        match self {
+            HashId::Aes => Some(Family::Aes),
+            HashId::Naive => Some(Family::Naive),
+            HashId::OffXor => Some(Family::OffXor),
+            HashId::Pext => Some(Family::Pext),
+            _ => None,
+        }
+    }
+
+    /// Builds the hash function, specialized (when applicable) to `format`.
+    ///
+    /// Synthesized functions are generated from the format's regular
+    /// expression; gperf trains on [`GPERF_TRAINING_KEYS`] uniform keys;
+    /// Gpt selects its handwritten per-format function. `isa` restricts
+    /// the instruction set of the synthesized functions (RQ4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a format regex fails to compile, which would be a bug in
+    /// [`KeyFormat::regex`].
+    #[must_use]
+    pub fn build(self, format: KeyFormat, isa: Isa) -> Box<dyn ByteHash> {
+        match self {
+            HashId::Stl => Box::new(StlHash::new()),
+            HashId::Fnv => Box::new(FnvHash::new()),
+            HashId::City => Box::new(CityHash::new()),
+            HashId::Abseil => Box::new(AbseilHash::new()),
+            HashId::Gperf => {
+                let mut sampler = KeySampler::new(format, Distribution::Uniform, 0xC0FFEE);
+                let keys = sampler.pool(GPERF_TRAINING_KEYS);
+                Box::new(GperfHash::train(keys.iter().map(String::as_bytes)))
+            }
+            HashId::Gpt => Box::new(GptHash::new(gpt_format_of(format))),
+            HashId::Naive | HashId::OffXor | HashId::Aes | HashId::Pext => {
+                let family = self.family().expect("synthetic ids have a family");
+                let hash = SynthesizedHash::from_regex(&format.regex(), family)
+                    .expect("key-format regexes compile")
+                    .with_isa(isa);
+                Box::new(hash)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for HashId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+fn gpt_format_of(format: KeyFormat) -> GptFormat {
+    match format {
+        KeyFormat::Ssn => GptFormat::Ssn,
+        KeyFormat::Cpf => GptFormat::Cpf,
+        KeyFormat::Mac => GptFormat::Mac,
+        KeyFormat::Ipv4 => GptFormat::Ipv4,
+        KeyFormat::Ipv6 => GptFormat::Ipv6,
+        KeyFormat::Ints => GptFormat::Ints,
+        KeyFormat::Url1 => {
+            GptFormat::Url { prefix_len: sepe_keygen::format::URL1_PREFIX.len() }
+        }
+        KeyFormat::Url2 => {
+            GptFormat::Url { prefix_len: sepe_keygen::format::URL2_PREFIX.len() }
+        }
+        KeyFormat::FourDigits | KeyFormat::Uuid | KeyFormat::Digits(_) => GptFormat::Generic,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_id_builds_for_every_format() {
+        for id in HashId::ALL {
+            for format in KeyFormat::EVALUATED {
+                let h = id.build(format, Isa::Native);
+                let key = format.materialize(12345);
+                // Deterministic and total.
+                assert_eq!(h.hash_bytes(key.as_bytes()), h.hash_bytes(key.as_bytes()));
+            }
+        }
+    }
+
+    #[test]
+    fn synthetic_ids_have_families() {
+        for id in HashId::SYNTHETIC {
+            assert!(id.is_synthetic());
+            assert!(id.family().is_some());
+        }
+        for id in HashId::BASELINES {
+            assert!(!id.is_synthetic());
+            assert!(id.family().is_none());
+        }
+    }
+
+    #[test]
+    fn pext_build_is_collision_free_on_ssns() {
+        let h = HashId::Pext.build(KeyFormat::Ssn, Isa::Native);
+        let mut hashes: Vec<u64> = (0..5000u128)
+            .map(|i| h.hash_bytes(KeyFormat::Ssn.materialize(i * 131).as_bytes()))
+            .collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        assert_eq!(hashes.len(), 5000);
+    }
+
+    #[test]
+    fn gperf_differs_from_general_hashes_in_range() {
+        let g = HashId::Gperf.build(KeyFormat::Ssn, Isa::Native);
+        let max = (0..1000u128)
+            .map(|i| g.hash_bytes(KeyFormat::Ssn.materialize(i).as_bytes()))
+            .max()
+            .expect("non-empty");
+        assert!(max < 1 << 24, "gperf values cluster near zero, got {max}");
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = HashId::ALL.iter().map(|i| i.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), HashId::ALL.len());
+    }
+}

@@ -1,0 +1,253 @@
+//! Key distributions: incremental (ascending), uniform, and normal.
+//!
+//! A distribution draws indices from a format's key space; the format
+//! materializes them ([`KeyFormat::materialize`]). The incremental
+//! distribution counts upward (the paper's "ascending order"); uniform
+//! draws are equiprobable across the whole space; normal draws cluster
+//! around the middle of the space (mean `space/2`, deviation `space/16`).
+
+use crate::format::KeyFormat;
+use crate::rng::SplitMix64;
+
+/// A key distribution of the evaluation grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Distribution {
+    /// Keys in ascending order: `000-00-0000`, `000-00-0001`, … (RQ3).
+    Incremental,
+    /// Uniform draws over the key space.
+    Uniform,
+    /// Normal draws centered on the middle of the key space.
+    Normal,
+}
+
+impl Distribution {
+    /// The three distributions, in the paper's table order.
+    pub const ALL: [Distribution; 3] =
+        [Distribution::Incremental, Distribution::Uniform, Distribution::Normal];
+
+    /// The distribution name as used in the paper's tables.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Distribution::Incremental => "Inc",
+            Distribution::Uniform => "Uniform",
+            Distribution::Normal => "Normal",
+        }
+    }
+}
+
+impl std::fmt::Display for Distribution {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Draws keys of one format under one distribution, deterministically from
+/// a seed.
+///
+/// # Examples
+///
+/// ```
+/// use sepe_keygen::{Distribution, KeyFormat, KeySampler};
+///
+/// let mut s = KeySampler::new(KeyFormat::Cpf, Distribution::Normal, 7);
+/// let k = s.next_key();
+/// assert_eq!(k.len(), 14);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KeySampler {
+    format: KeyFormat,
+    dist: Distribution,
+    rng: SplitMix64,
+    counter: u128,
+}
+
+impl KeySampler {
+    /// Creates a sampler.
+    #[must_use]
+    pub fn new(format: KeyFormat, dist: Distribution, seed: u64) -> Self {
+        KeySampler { format, dist, rng: SplitMix64::new(seed), counter: 0 }
+    }
+
+    /// The format being sampled.
+    #[must_use]
+    pub fn format(&self) -> KeyFormat {
+        self.format
+    }
+
+    /// The distribution in effect.
+    #[must_use]
+    pub fn distribution(&self) -> Distribution {
+        self.dist
+    }
+
+    /// Draws the next index.
+    pub fn next_index(&mut self) -> u128 {
+        let space = self.format.space().max(1);
+        match self.dist {
+            Distribution::Incremental => {
+                let idx = self.counter % space;
+                self.counter += 1;
+                idx
+            }
+            Distribution::Uniform => self.rng.below_u128(space),
+            Distribution::Normal => self.normal_index(space),
+        }
+    }
+
+    /// Draws the next key.
+    pub fn next_key(&mut self) -> String {
+        let idx = self.next_index();
+        self.format.materialize(idx)
+    }
+
+    /// Draws a pool of `n` keys (duplicates possible under uniform/normal
+    /// draws, exactly as when the paper's driver generates keys).
+    pub fn pool(&mut self, n: usize) -> Vec<String> {
+        (0..n).map(|_| self.next_key()).collect()
+    }
+
+    /// Draws until `n` *distinct* keys have been collected (used for
+    /// collision counting over a fixed number of distinct keys).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key space holds fewer than `n` keys.
+    pub fn distinct_pool(&mut self, n: usize) -> Vec<String> {
+        assert!(
+            u128::try_from(n).is_ok_and(|n| n <= self.format.space()),
+            "key space too small for {n} distinct keys"
+        );
+        let mut seen = std::collections::BTreeSet::new();
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            let k = self.next_key();
+            if seen.insert(k.clone()) {
+                out.push(k);
+            }
+        }
+        out
+    }
+
+    /// A normal draw over `[0, space)`: mean `space/2`, deviation
+    /// `space/16`, computed in fixed point so wide key spaces (IPv6's
+    /// 2¹²⁸) keep full low-bit granularity, with a uniform 32-bit jitter
+    /// so materialized keys do not share frozen low digits.
+    fn normal_index(&mut self, space: u128) -> u128 {
+        let z = self.rng.next_standard_normal().clamp(-7.9, 7.9);
+        let z_fp = (z * f64::from(1u32 << 24)) as i128; // Q24 fixed point
+        let sd = (space / 16).max(1);
+        let offset = mul_q24(sd, z_fp);
+        let mean = (space / 2) as i128 as u128;
+        // The fixed-point offset moves in steps of sd / 2^24; a uniform
+        // jitter one order finer than sd fills the low bits without
+        // distorting the distribution.
+        let jitter = self.rng.below_u128((sd >> 20).max(1));
+        let idx = if offset >= 0 {
+            mean.wrapping_add(offset as u128)
+        } else {
+            mean.wrapping_sub(offset.unsigned_abs())
+        };
+        idx.wrapping_add(jitter) % space
+    }
+}
+
+/// `(a * b) >> 24` with `b` a signed Q24 fixed-point factor, computed
+/// without overflowing 128 bits.
+fn mul_q24(a: u128, b: i128) -> i128 {
+    let neg = b < 0;
+    let b = b.unsigned_abs();
+    let hi = (a >> 24).wrapping_mul(b);
+    let lo = (a & 0xFF_FFFF).wrapping_mul(b) >> 24;
+    let m = hi.wrapping_add(lo);
+    let m = i128::try_from(m.min(i128::MAX as u128)).expect("clamped to i128 range");
+    if neg {
+        -m
+    } else {
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incremental_counts_upward() {
+        let mut s = KeySampler::new(KeyFormat::Ssn, Distribution::Incremental, 0);
+        assert_eq!(s.next_key(), "000-00-0000");
+        assert_eq!(s.next_key(), "000-00-0001");
+        assert_eq!(s.next_key(), "000-00-0002");
+    }
+
+    #[test]
+    fn uniform_is_deterministic_per_seed() {
+        let mut a = KeySampler::new(KeyFormat::Mac, Distribution::Uniform, 9);
+        let mut b = KeySampler::new(KeyFormat::Mac, Distribution::Uniform, 9);
+        for _ in 0..50 {
+            assert_eq!(a.next_key(), b.next_key());
+        }
+        let mut c = KeySampler::new(KeyFormat::Mac, Distribution::Uniform, 10);
+        let same = (0..50).filter(|_| a.next_key() == c.next_key()).count();
+        assert!(same < 5, "different seeds should diverge");
+    }
+
+    #[test]
+    fn normal_clusters_around_the_middle() {
+        let mut s = KeySampler::new(KeyFormat::Ssn, Distribution::Normal, 3);
+        let n = 10_000;
+        let space = KeyFormat::Ssn.space() as f64;
+        let indices: Vec<f64> = (0..n).map(|_| s.next_index() as f64 / space).collect();
+        let mean = indices.iter().sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean fraction {mean}");
+        let within_2sd =
+            indices.iter().filter(|&&x| (x - 0.5).abs() < 2.0 / 16.0).count() as f64 / n as f64;
+        assert!(within_2sd > 0.90, "only {within_2sd} within 2 sd");
+    }
+
+    #[test]
+    fn normal_fills_low_bits_of_wide_spaces() {
+        let mut s = KeySampler::new(KeyFormat::Ipv6, Distribution::Normal, 4);
+        let keys = s.pool(1000);
+        let distinct: std::collections::BTreeSet<_> = keys.iter().collect();
+        assert_eq!(distinct.len(), 1000, "wide-space normal draws must not collide");
+    }
+
+    #[test]
+    fn distinct_pool_is_distinct() {
+        let mut s = KeySampler::new(KeyFormat::FourDigits, Distribution::Uniform, 5);
+        let pool = s.distinct_pool(5000);
+        let distinct: std::collections::BTreeSet<_> = pool.iter().collect();
+        assert_eq!(distinct.len(), 5000);
+    }
+
+    #[test]
+    #[should_panic(expected = "key space too small")]
+    fn distinct_pool_panics_when_space_is_too_small() {
+        let mut s = KeySampler::new(KeyFormat::FourDigits, Distribution::Uniform, 5);
+        let _ = s.distinct_pool(10_001);
+    }
+
+    #[test]
+    fn all_indices_stay_in_space() {
+        for dist in Distribution::ALL {
+            for format in [KeyFormat::FourDigits, KeyFormat::Ssn, KeyFormat::Ipv6] {
+                let mut s = KeySampler::new(format, dist, 11);
+                for _ in 0..500 {
+                    assert!(s.next_index() < format.space());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mul_q24_matches_f64_on_small_values() {
+        for (a, z) in [(1_000_000u128, 1.5f64), (16u128, -0.5), (1 << 40, 3.25)] {
+            let b = (z * f64::from(1u32 << 24)) as i128;
+            let got = mul_q24(a, b);
+            let want = (a as f64 * z) as i128;
+            let tol = (want.abs() / 1000).max(2);
+            assert!((got - want).abs() <= tol, "a={a} z={z} got={got} want={want}");
+        }
+    }
+}

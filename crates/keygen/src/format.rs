@@ -1,0 +1,444 @@
+//! The key formats of the evaluation (Section 4, "Keys").
+//!
+//! Each format maps an integer *index* within its key space to a key
+//! string. Indices are what the distributions of [`crate::dist`] draw, so
+//! "ascending", "uniform" and "normal" describe the index, exactly as the
+//! paper's incremental distribution produces `000-00-0000`, `000-00-0001`,
+//! … for SSNs.
+
+/// The constant URL1 prefix (23 characters, as in the paper).
+pub const URL1_PREFIX: &str = "https://www.example.us/";
+
+/// The constant URL2 prefix (36 characters, as in the paper).
+pub const URL2_PREFIX: &str = "https://www.longer-example-site.us/p";
+
+/// Number of variable `[a-z0-9]` characters in the URL formats.
+const URL_SUFFIX_VARIABLE: usize = 20;
+
+/// A key format of the SEPE evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KeyFormat {
+    /// US Social Security numbers: `\d{3}-\d{2}-\d{4}` (11 bytes).
+    Ssn,
+    /// Brazilian CPF numbers: `\d{3}\.\d{3}\.\d{3}-\d{2}` (14 bytes).
+    Cpf,
+    /// MAC addresses: `([0-9a-f]{2}-){5}[0-9a-f]{2}` (17 bytes).
+    Mac,
+    /// Dotted digit triples: `(([0-9]{3})\.){3}[0-9]{3}` (15 bytes). As in
+    /// the paper's regex, each group ranges over 000–999, not 0–255 — which
+    /// is what trips the octet-parsing Gpt baseline (Section 4.2).
+    Ipv4,
+    /// IPv6 addresses: `([0-9a-f]{4}:){7}[0-9a-f]{4}` (39 bytes).
+    Ipv6,
+    /// 100-digit integers: `[0-9]{100}`.
+    Ints,
+    /// Constant 23-character URL plus `[a-z0-9]{20}\.html` (48 bytes).
+    Url1,
+    /// Constant 36-character URL plus `[a-z0-9]{20}\.html` (61 bytes).
+    Url2,
+    /// Four-digit integers (`\d{4}`): the RQ7 worst-case key type.
+    FourDigits,
+    /// Hyphenated lowercase-hex UUIDs (`8-4-4-4-12`, 36 bytes). Not part
+    /// of the paper's grid — an extension format showcasing a wide,
+    /// separator-rich key.
+    Uuid,
+    /// `n` digits with no constant subsequences: the synthesis-complexity
+    /// workload of RQ6 (Figure 16).
+    Digits(
+        /// Number of digit characters.
+        usize,
+    ),
+}
+
+impl KeyFormat {
+    /// The eight key formats of the main evaluation grid, in the paper's
+    /// order.
+    pub const EVALUATED: [KeyFormat; 8] = [
+        KeyFormat::Ssn,
+        KeyFormat::Cpf,
+        KeyFormat::Mac,
+        KeyFormat::Ipv4,
+        KeyFormat::Ipv6,
+        KeyFormat::Ints,
+        KeyFormat::Url1,
+        KeyFormat::Url2,
+    ];
+
+    /// The format name as used in the paper's tables and figures.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            KeyFormat::Ssn => "SSN",
+            KeyFormat::Cpf => "CPF",
+            KeyFormat::Mac => "MAC",
+            KeyFormat::Ipv4 => "IPv4",
+            KeyFormat::Ipv6 => "IPv6",
+            KeyFormat::Ints => "INTS",
+            KeyFormat::Url1 => "URL1",
+            KeyFormat::Url2 => "URL2",
+            KeyFormat::FourDigits => "INT4",
+            KeyFormat::Uuid => "UUID",
+            KeyFormat::Digits(_) => "DIGITS",
+        }
+    }
+
+    /// The key length in bytes (all formats are fixed-length).
+    #[must_use]
+    pub fn len(self) -> usize {
+        match self {
+            KeyFormat::Ssn => 11,
+            KeyFormat::Cpf => 14,
+            KeyFormat::Mac => 17,
+            KeyFormat::Ipv4 => 15,
+            KeyFormat::Ipv6 => 39,
+            KeyFormat::Ints => 100,
+            KeyFormat::Url1 => URL1_PREFIX.len() + URL_SUFFIX_VARIABLE + 5,
+            KeyFormat::Url2 => URL2_PREFIX.len() + URL_SUFFIX_VARIABLE + 5,
+            KeyFormat::FourDigits => 4,
+            KeyFormat::Uuid => 36,
+            KeyFormat::Digits(n) => n,
+        }
+    }
+
+    /// Always false: formats describe non-empty keys. Present for
+    /// `len`/`is_empty` API symmetry.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        false
+    }
+
+    /// The number of distinct keys, saturating at `u128::MAX` for spaces
+    /// (IPv6, INTS, long digit strings) wider than 128 bits.
+    #[must_use]
+    pub fn space(self) -> u128 {
+        match self {
+            KeyFormat::Ssn => 1_000_000_000,
+            KeyFormat::Cpf => 100_000_000_000,
+            KeyFormat::Mac => 1 << 48,
+            KeyFormat::Ipv4 => 1_000_000_000_000,
+            KeyFormat::Ipv6 => u128::MAX,
+            KeyFormat::Ints => u128::MAX,
+            KeyFormat::Url1 | KeyFormat::Url2 => 36u128.pow(URL_SUFFIX_VARIABLE as u32),
+            KeyFormat::FourDigits => 10_000,
+            KeyFormat::Uuid => u128::MAX,
+            KeyFormat::Digits(n) => {
+                10u128.checked_pow(n.min(38) as u32).unwrap_or(u128::MAX)
+            }
+        }
+    }
+
+    /// The regular expression of the format, as listed in the paper.
+    #[must_use]
+    pub fn regex(self) -> String {
+        match self {
+            KeyFormat::Ssn => r"\d{3}-\d{2}-\d{4}".to_owned(),
+            KeyFormat::Cpf => r"\d{3}\.\d{3}\.\d{3}-\d{2}".to_owned(),
+            KeyFormat::Mac => r"([0-9a-f]{2}-){5}[0-9a-f]{2}".to_owned(),
+            KeyFormat::Ipv4 => r"(([0-9]{3})\.){3}[0-9]{3}".to_owned(),
+            KeyFormat::Ipv6 => r"([0-9a-f]{4}:){7}[0-9a-f]{4}".to_owned(),
+            KeyFormat::Ints => r"[0-9]{100}".to_owned(),
+            KeyFormat::Url1 => format!("{}[a-z0-9]{{20}}\\.html", escape(URL1_PREFIX)),
+            KeyFormat::Url2 => format!("{}[a-z0-9]{{20}}\\.html", escape(URL2_PREFIX)),
+            KeyFormat::FourDigits => r"\d{4}".to_owned(),
+            KeyFormat::Uuid => {
+                r"[0-9a-f]{8}-[0-9a-f]{4}-[0-9a-f]{4}-[0-9a-f]{4}-[0-9a-f]{12}".to_owned()
+            }
+            KeyFormat::Digits(n) => format!("[0-9]{{{n}}}"),
+        }
+    }
+
+    /// Materializes the key at `index` within the key space.
+    ///
+    /// Indices at or above [`KeyFormat::space`] wrap around.
+    #[must_use]
+    pub fn materialize(self, index: u128) -> String {
+        let index = index % self.space().max(1);
+        match self {
+            KeyFormat::Ssn => {
+                format!(
+                    "{:03}-{:02}-{:04}",
+                    index / 1_000_000,
+                    (index / 10_000) % 100,
+                    index % 10_000
+                )
+            }
+            KeyFormat::Cpf => {
+                format!(
+                    "{:03}.{:03}.{:03}-{:02}",
+                    index / 100_000_000,
+                    (index / 100_000) % 1000,
+                    (index / 100) % 1000,
+                    index % 100
+                )
+            }
+            KeyFormat::Mac => {
+                let mut out = String::with_capacity(17);
+                for group in (0..6).rev() {
+                    let byte = ((index >> (group * 8)) & 0xFF) as u8;
+                    out.push_str(&format!("{byte:02x}"));
+                    if group > 0 {
+                        out.push('-');
+                    }
+                }
+                out
+            }
+            KeyFormat::Ipv4 => {
+                format!(
+                    "{:03}.{:03}.{:03}.{:03}",
+                    index / 1_000_000_000,
+                    (index / 1_000_000) % 1000,
+                    (index / 1000) % 1000,
+                    index % 1000
+                )
+            }
+            KeyFormat::Ipv6 => {
+                let mut out = String::with_capacity(39);
+                for group in (0..8).rev() {
+                    let hextet = ((index >> (group * 16)) & 0xFFFF) as u16;
+                    out.push_str(&format!("{hextet:04x}"));
+                    if group > 0 {
+                        out.push(':');
+                    }
+                }
+                out
+            }
+            KeyFormat::Ints => format!("{index:0100}"),
+            KeyFormat::Url1 => url_key(URL1_PREFIX, index),
+            KeyFormat::Url2 => url_key(URL2_PREFIX, index),
+            KeyFormat::FourDigits => format!("{index:04}"),
+            KeyFormat::Uuid => {
+                let hex = format!("{index:032x}");
+                format!(
+                    "{}-{}-{}-{}-{}",
+                    &hex[0..8],
+                    &hex[8..12],
+                    &hex[12..16],
+                    &hex[16..20],
+                    &hex[20..32]
+                )
+            }
+            KeyFormat::Digits(n) => {
+                let digits = format!("{index}");
+                let mut out = String::with_capacity(n);
+                for _ in 0..n.saturating_sub(digits.len()) {
+                    out.push('0');
+                }
+                out.push_str(&digits[digits.len().saturating_sub(n)..]);
+                out
+            }
+        }
+    }
+
+    /// Two "good" example keys (Example 3.6): together they exercise every
+    /// quad that can vary at each position, so inference from these
+    /// examples matches inference from the format's regular expression.
+    #[must_use]
+    pub fn good_examples(self) -> Vec<String> {
+        match self {
+            KeyFormat::Mac | KeyFormat::Ipv6 | KeyFormat::Uuid => {
+                // Hex spans two leading-quad classes; exercise 0, 5, a, f.
+                let zero = self.materialize(0);
+                let five = self.key_of_repeated(b'5');
+                let aa = self.key_of_repeated(b'a');
+                let ff = self.key_of_repeated(b'f');
+                vec![zero, five, aa, ff]
+            }
+            KeyFormat::Url1 | KeyFormat::Url2 => {
+                // The suffix alphabet [a-z0-9] spans two leading-quad
+                // classes; exercise 0, 5, a and z.
+                vec![
+                    self.materialize(0),
+                    self.materialize(self.space() - 1), // all-'z' suffix
+                    self.key_of_url_suffix(b'5'),
+                    self.key_of_url_suffix(b'a'),
+                ]
+            }
+            _ => {
+                // Digit formats: all-0s and all-5s (Example 3.6).
+                let zeros = self.materialize(0);
+                let fives: String = zeros
+                    .chars()
+                    .map(|c| if c.is_ascii_digit() { '5' } else { c })
+                    .collect();
+                vec![zeros, fives]
+            }
+        }
+    }
+
+    fn key_of_repeated(self, ch: u8) -> String {
+        self.materialize(0)
+            .bytes()
+            .map(|b| if b.is_ascii_hexdigit() { ch as char } else { b as char })
+            .collect()
+    }
+
+    fn key_of_url_suffix(self, ch: u8) -> String {
+        let prefix = match self {
+            KeyFormat::Url1 => URL1_PREFIX,
+            KeyFormat::Url2 => URL2_PREFIX,
+            _ => unreachable!("only URL formats have suffixes"),
+        };
+        let mut out = String::from(prefix);
+        for _ in 0..URL_SUFFIX_VARIABLE {
+            out.push(ch as char);
+        }
+        out.push_str(".html");
+        out
+    }
+}
+
+/// Escapes regex metacharacters in a literal prefix.
+fn escape(literal: &str) -> String {
+    let mut out = String::with_capacity(literal.len() * 2);
+    for c in literal.chars() {
+        if "\\.(){}[]*+?|^$".contains(c) {
+            out.push('\\');
+        }
+        out.push(c);
+    }
+    out
+}
+
+fn url_key(prefix: &str, index: u128) -> String {
+    let mut out = String::with_capacity(prefix.len() + URL_SUFFIX_VARIABLE + 5);
+    out.push_str(prefix);
+    // Base-36 digits, most significant first, zero-padded to 20 chars.
+    let mut digits = [0u8; URL_SUFFIX_VARIABLE];
+    let mut v = index;
+    for slot in digits.iter_mut().rev() {
+        *slot = (v % 36) as u8;
+        v /= 36;
+    }
+    for d in digits {
+        out.push(if d < 10 { (b'0' + d) as char } else { (b'a' + d - 10) as char });
+    }
+    out.push_str(".html");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sepe_core::regex::Regex;
+
+    #[test]
+    fn prefixes_have_the_paper_lengths() {
+        assert_eq!(URL1_PREFIX.len(), 23);
+        assert_eq!(URL2_PREFIX.len(), 36);
+    }
+
+    #[test]
+    fn materialized_keys_have_the_declared_length() {
+        for f in KeyFormat::EVALUATED {
+            for idx in [0u128, 1, 12345, 99999999] {
+                let k = f.materialize(idx);
+                assert_eq!(k.len(), f.len(), "{f:?} index {idx}: {k:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn materialized_keys_match_their_regex() {
+        for f in KeyFormat::EVALUATED {
+            let pattern = Regex::compile(&f.regex()).expect("format regex compiles");
+            for idx in [0u128, 7, 1_000_000, u64::MAX as u128] {
+                let k = f.materialize(idx);
+                assert!(pattern.matches(k.as_bytes()), "{f:?}: {k:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn materialization_is_injective_within_the_space() {
+        for f in [KeyFormat::Ssn, KeyFormat::FourDigits, KeyFormat::Ipv4, KeyFormat::Mac] {
+            let mut keys: Vec<String> = (0..2000u128).map(|i| f.materialize(i * 7)).collect();
+            keys.sort_unstable();
+            keys.dedup();
+            assert_eq!(keys.len(), 2000, "{f:?}");
+        }
+    }
+
+    #[test]
+    fn indices_wrap_at_the_space() {
+        assert_eq!(
+            KeyFormat::FourDigits.materialize(10_000),
+            KeyFormat::FourDigits.materialize(0)
+        );
+    }
+
+    #[test]
+    fn incremental_keys_ascend_lexicographically() {
+        for f in KeyFormat::EVALUATED {
+            let a = f.materialize(100);
+            let b = f.materialize(101);
+            assert!(a < b, "{f:?}: {a:?} !< {b:?}");
+        }
+    }
+
+    #[test]
+    fn ssn_examples_from_rq3() {
+        assert_eq!(KeyFormat::Ssn.materialize(0), "000-00-0000");
+        assert_eq!(KeyFormat::Ssn.materialize(1), "000-00-0001");
+        assert_eq!(KeyFormat::Ssn.materialize(2), "000-00-0002");
+        assert_eq!(KeyFormat::Ssn.materialize(999_999_999), "999-99-9999");
+    }
+
+    #[test]
+    fn good_examples_infer_the_same_pattern_as_the_regex() {
+        for f in KeyFormat::EVALUATED {
+            let from_regex = Regex::compile(&f.regex()).expect("format regex compiles");
+            let examples = f.good_examples();
+            let refs: Vec<&[u8]> = examples.iter().map(|k| k.as_bytes()).collect();
+            let inferred =
+                sepe_core::infer::infer_pattern(refs.iter().copied()).expect("examples exist");
+            assert_eq!(
+                inferred.max_len(),
+                from_regex.max_len(),
+                "{f:?} lengths disagree"
+            );
+            // Inference can only be at least as general as the regex on
+            // every position the examples exercise.
+            for (i, (a, b)) in
+                inferred.bytes().iter().zip(from_regex.bytes()).enumerate()
+            {
+                assert_eq!(
+                    a.join(*b),
+                    *a,
+                    "{f:?} byte {i}: inferred {a} is narrower than regex {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn url_keys_decode_base36() {
+        let k = KeyFormat::Url1.materialize(35);
+        assert!(k.ends_with("0000000000000000000z.html"), "{k}");
+        let k = KeyFormat::Url1.materialize(36);
+        assert!(k.ends_with("00000000000000000010.html"), "{k}");
+    }
+
+    #[test]
+    fn uuid_extension_format_round_trips() {
+        let f = KeyFormat::Uuid;
+        let k = f.materialize(0x1234_5678_9ABC_DEF0_1122_3344_5566_7788u128);
+        assert_eq!(k, "12345678-9abc-def0-1122-334455667788");
+        assert_eq!(k.len(), f.len());
+        let pattern = Regex::compile(&f.regex()).expect("uuid regex compiles");
+        assert!(pattern.matches(k.as_bytes()));
+        let examples = f.good_examples();
+        let refs: Vec<&[u8]> = examples.iter().map(|e| e.as_bytes()).collect();
+        let inferred = sepe_core::infer::infer_pattern(refs.iter().copied()).expect("examples");
+        assert_eq!(inferred.max_len(), 36);
+        assert!(inferred.bytes()[8].is_const(), "dash at 8 is constant");
+    }
+
+    #[test]
+    fn digits_format_supports_large_sizes() {
+        let f = KeyFormat::Digits(1 << 14);
+        let k = f.materialize(12345);
+        assert_eq!(k.len(), 1 << 14);
+        assert!(k.ends_with("12345"));
+        assert!(k.starts_with("000"));
+    }
+}

@@ -1,0 +1,32 @@
+//! # sepe-keygen
+//!
+//! Workload generation for the SEPE evaluation: the eight key formats of
+//! Section 4 ("Keys") and the three key distributions (ascending /
+//! incremental, uniform, normal). Key spaces are modeled as integer ranges;
+//! a distribution draws an index, and the format materializes it into a key
+//! string — so "ascending SSNs" really are `000-00-0000`, `000-00-0001`, …
+//! as RQ3 prescribes.
+//!
+//! ## Examples
+//!
+//! ```
+//! use sepe_keygen::{Distribution, KeyFormat, KeySampler};
+//!
+//! let mut s = KeySampler::new(KeyFormat::Ssn, Distribution::Incremental, 42);
+//! assert_eq!(s.next_key(), "000-00-0000");
+//! assert_eq!(s.next_key(), "000-00-0001");
+//!
+//! let mut u = KeySampler::new(KeyFormat::Ipv4, Distribution::Uniform, 42);
+//! assert_eq!(u.next_key().len(), 15);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod dist;
+pub mod format;
+pub mod rng;
+
+pub use dist::{Distribution, KeySampler};
+pub use format::KeyFormat;
+pub use rng::SplitMix64;

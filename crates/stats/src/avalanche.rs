@@ -1,0 +1,149 @@
+//! Avalanche analysis.
+//!
+//! Section 2 of the paper lists the avalanche effect — "a slight input
+//! change results in a significantly different output" — among the
+//! properties *cryptographic* hashes have and SEPE's synthesized functions
+//! deliberately trade away. This module quantifies that trade: for each
+//! input bit, flip it and record which output bits change; a well-mixing
+//! hash flips every output bit with probability ½.
+
+/// Summary of an avalanche experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AvalancheSummary {
+    /// Mean, over (input bit, output bit) pairs, of |P(flip) − ½| · 2 —
+    /// 0 for ideal mixing, 1 for a function that ignores or passes
+    /// through its input.
+    pub bias: f64,
+    /// Fraction of output bits that *never* flip for any input-bit flip —
+    /// dead output positions (the constant quads SEPE discards produce
+    /// these in Naive/OffXor).
+    pub dead_output_fraction: f64,
+    /// Mean fraction of output bits flipped per single input-bit flip
+    /// (½ for ideal mixing).
+    pub mean_flip_rate: f64,
+}
+
+/// Runs an avalanche experiment: for every key and every input bit,
+/// compare `hash(key)` against `hash(key with bit flipped)`.
+///
+/// `hash` is any function of byte strings; `keys` should be sampled from
+/// the format of interest. Flipped keys generally fall *outside* the
+/// format — which is exactly how avalanche is defined, and safe for every
+/// hash in this repository.
+///
+/// # Panics
+///
+/// Panics if `keys` is empty or contains an empty key.
+#[must_use]
+pub fn avalanche<F: Fn(&[u8]) -> u64>(hash: F, keys: &[Vec<u8>]) -> AvalancheSummary {
+    assert!(!keys.is_empty(), "need at least one key");
+    let mut flip_counts = vec![0u64; 64]; // per output bit
+    let mut pair_flips: Vec<Vec<u64>> = Vec::new(); // [input bit][output bit]
+    let mut trials_per_input_bit: Vec<u64> = Vec::new();
+    let mut total_flips = 0u64;
+    let mut total_trials = 0u64;
+
+    for key in keys {
+        assert!(!key.is_empty(), "keys must be non-empty");
+        let base = hash(key);
+        let mut flipped = key.clone();
+        for bit in 0..key.len() * 8 {
+            if pair_flips.len() <= bit {
+                pair_flips.resize_with(bit + 1, || vec![0u64; 64]);
+                trials_per_input_bit.resize(bit + 1, 0);
+            }
+            flipped[bit / 8] ^= 1 << (bit % 8);
+            let delta = base ^ hash(&flipped);
+            flipped[bit / 8] ^= 1 << (bit % 8); // restore
+            trials_per_input_bit[bit] += 1;
+            total_trials += 1;
+            for (out_bit, slot) in flip_counts.iter_mut().enumerate() {
+                if (delta >> out_bit) & 1 == 1 {
+                    *slot += 1;
+                    pair_flips[bit][out_bit] += 1;
+                }
+            }
+            total_flips += u64::from(delta.count_ones());
+        }
+    }
+
+    let mut bias_sum = 0.0;
+    let mut bias_pairs = 0usize;
+    for (bit, outs) in pair_flips.iter().enumerate() {
+        let trials = trials_per_input_bit[bit];
+        if trials == 0 {
+            continue;
+        }
+        for &c in outs {
+            let p = c as f64 / trials as f64;
+            bias_sum += (p - 0.5).abs() * 2.0;
+            bias_pairs += 1;
+        }
+    }
+
+    let dead = flip_counts.iter().filter(|&&c| c == 0).count();
+    AvalancheSummary {
+        bias: bias_sum / bias_pairs as f64,
+        dead_output_fraction: dead as f64 / 64.0,
+        mean_flip_rate: total_flips as f64 / (total_trials as f64 * 64.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_like_function_has_full_bias() {
+        // hash = first 8 bytes: each input bit flips exactly one output
+        // bit with probability 1 -> bias 1 for in-range bits.
+        let f = |k: &[u8]| {
+            let mut b = [0u8; 8];
+            b[..k.len().min(8)].copy_from_slice(&k[..k.len().min(8)]);
+            u64::from_le_bytes(b)
+        };
+        let keys = vec![vec![0x55u8; 8], vec![0xAAu8; 8]];
+        let s = avalanche(f, &keys);
+        assert!(s.bias > 0.95, "bias {}", s.bias);
+        assert!(s.mean_flip_rate < 0.05, "flip rate {}", s.mean_flip_rate);
+        assert_eq!(s.dead_output_fraction, 0.0);
+    }
+
+    #[test]
+    fn constant_function_is_all_dead() {
+        let s = avalanche(|_| 42, &[vec![1u8; 4], vec![2u8; 4]]);
+        assert_eq!(s.dead_output_fraction, 1.0);
+        assert_eq!(s.mean_flip_rate, 0.0);
+        assert!(s.bias > 0.999);
+    }
+
+    #[test]
+    fn good_mixer_has_low_bias() {
+        // A multiply-xorshift mixer approximates ideal avalanche.
+        let f = |k: &[u8]| {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for &b in k {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            h ^= h >> 33;
+            h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+            h ^= h >> 33;
+            h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+            h ^ (h >> 33)
+        };
+        // Enough keys that the binomial noise of the per-bit flip
+        // probability (E|p̂ − ½| ≈ 0.4/√n) stays well under the threshold.
+        let keys: Vec<Vec<u8>> = (0..200u8).map(|i| vec![i, i ^ 0x5A, 3, i, 9, i, 1, i, i, 2, i]).collect();
+        let s = avalanche(f, &keys);
+        assert!(s.bias < 0.12, "bias {}", s.bias);
+        assert!((s.mean_flip_rate - 0.5).abs() < 0.05, "flip rate {}", s.mean_flip_rate);
+        assert_eq!(s.dead_output_fraction, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one key")]
+    fn empty_key_set_panics() {
+        let _ = avalanche(|_| 0, &[]);
+    }
+}

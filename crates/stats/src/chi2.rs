@@ -1,0 +1,99 @@
+//! The χ² goodness-of-fit test of the uniformity analysis (RQ3, Table 2):
+//! "Use the Chi-Square Goodness-of-Fit test to compare h to a perfect
+//! distribution".
+
+use crate::special::gamma_q;
+
+/// Outcome of a χ² goodness-of-fit test against the uniform distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Chi2Result {
+    /// The χ² statistic, `Σ (observed − expected)² / expected`.
+    pub statistic: f64,
+    /// Degrees of freedom (`bins − 1`).
+    pub degrees_of_freedom: usize,
+    /// Upper-tail p-value (`Q(df/2, χ²/2)`); values above 0.05 mean the
+    /// sample is statistically indistinguishable from uniform.
+    pub p_value: f64,
+}
+
+impl Chi2Result {
+    /// Whether the sample passes a uniformity test at the given
+    /// significance level (the paper uses `p > 0.05`).
+    #[must_use]
+    pub fn is_uniform_at(&self, alpha: f64) -> bool {
+        self.p_value > alpha
+    }
+}
+
+/// χ² goodness-of-fit of observed bin counts against equal expected counts.
+///
+/// # Panics
+///
+/// Panics if fewer than two bins are given or the total count is zero.
+///
+/// # Examples
+///
+/// ```
+/// use sepe_stats::chi_square_gof;
+///
+/// let perfectly_uniform = vec![100u64; 10];
+/// let r = chi_square_gof(&perfectly_uniform);
+/// assert_eq!(r.statistic, 0.0);
+/// assert!(r.is_uniform_at(0.05));
+/// ```
+#[must_use]
+pub fn chi_square_gof(observed: &[u64]) -> Chi2Result {
+    assert!(observed.len() >= 2, "need at least two bins");
+    let n: u64 = observed.iter().sum();
+    assert!(n > 0, "need at least one observation");
+    let expected = n as f64 / observed.len() as f64;
+    let statistic: f64 = observed
+        .iter()
+        .map(|&o| {
+            let d = o as f64 - expected;
+            d * d / expected
+        })
+        .sum();
+    let df = observed.len() - 1;
+    let p_value = gamma_q(df as f64 / 2.0, statistic / 2.0);
+    Chi2Result { statistic, degrees_of_freedom: df, p_value }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_example() {
+        // Classic die example: observed [5,8,9,8,10,20] over 60 rolls.
+        let r = chi_square_gof(&[5, 8, 9, 8, 10, 20]);
+        assert_eq!(r.degrees_of_freedom, 5);
+        assert!((r.statistic - 13.4).abs() < 1e-9);
+        // p ≈ 0.0199: not uniform at 5%.
+        assert!((r.p_value - 0.0199).abs() < 5e-4, "p={}", r.p_value);
+        assert!(!r.is_uniform_at(0.05));
+        assert!(r.is_uniform_at(0.01));
+    }
+
+    #[test]
+    fn uniform_sample_has_high_p() {
+        let r = chi_square_gof(&[99, 101, 100, 98, 102, 100]);
+        assert!(r.p_value > 0.99);
+    }
+
+    #[test]
+    fn skewed_sample_has_tiny_p() {
+        let mut bins = vec![0u64; 100];
+        bins[0] = 10_000;
+        let r = chi_square_gof(&bins);
+        assert!(r.p_value < 1e-12);
+        assert!(r.statistic > 100_000.0);
+    }
+
+    #[test]
+    fn statistic_scales_with_deviation() {
+        let a = chi_square_gof(&[90, 110]).statistic;
+        let b = chi_square_gof(&[80, 120]).statistic;
+        assert!(b > a);
+    }
+}

@@ -1,0 +1,160 @@
+//! Descriptive statistics: means, geometric means and boxplot summaries.
+
+/// Arithmetic mean. Returns `None` for an empty slice.
+#[must_use]
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    Some(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Geometric mean — the aggregation the paper uses for every table
+/// ("Throughout this Section, we use geometric means"). Returns `None` for
+/// an empty slice or any non-positive value.
+///
+/// # Examples
+///
+/// ```
+/// use sepe_stats::geometric_mean;
+///
+/// assert_eq!(geometric_mean(&[2.0, 8.0]), Some(4.0));
+/// assert_eq!(geometric_mean(&[]), None);
+/// assert_eq!(geometric_mean(&[1.0, 0.0]), None);
+/// ```
+#[must_use]
+pub fn geometric_mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() || xs.iter().any(|&x| x <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = xs.iter().map(|x| x.ln()).sum();
+    Some((log_sum / xs.len() as f64).exp())
+}
+
+/// Sample standard deviation (n − 1 denominator). `None` below two samples.
+#[must_use]
+pub fn std_dev(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let m = mean(xs)?;
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    Some(var.sqrt())
+}
+
+/// The five-number summary plus the mean — the data behind each box of
+/// Figures 13, 15 and 20 (green triangles are means; middle lines are
+/// medians).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoxplotSummary {
+    /// Smallest observation.
+    pub min: f64,
+    /// First quartile (linear interpolation).
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile (linear interpolation).
+    pub q3: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl BoxplotSummary {
+    /// Summarizes a sample. Returns `None` for an empty slice.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sepe_stats::BoxplotSummary;
+    ///
+    /// let s = BoxplotSummary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+    /// assert_eq!(s.median, 3.0);
+    /// assert_eq!(s.q1, 2.0);
+    /// assert_eq!(s.q3, 4.0);
+    /// ```
+    #[must_use]
+    pub fn of(xs: &[f64]) -> Option<Self> {
+        if xs.is_empty() {
+            return None;
+        }
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
+        Some(BoxplotSummary {
+            min: sorted[0],
+            q1: quantile(&sorted, 0.25),
+            median: quantile(&sorted, 0.5),
+            q3: quantile(&sorted, 0.75),
+            max: sorted[sorted.len() - 1],
+            mean: mean(xs).expect("non-empty"),
+        })
+    }
+
+    /// The interquartile range.
+    #[must_use]
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+/// Linear-interpolation quantile of an already sorted slice.
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty() && (0.0..=1.0).contains(&q));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_geomean_basics() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), Some(2.0));
+        assert_eq!(mean(&[]), None);
+        let g = geometric_mean(&[1.0, 10.0, 100.0]).unwrap();
+        assert!((g - 10.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[-1.0, 2.0]), None);
+    }
+
+    #[test]
+    fn geomean_is_below_mean_for_spread_data() {
+        let xs = [1.0, 100.0];
+        assert!(geometric_mean(&xs).unwrap() < mean(&xs).unwrap());
+    }
+
+    #[test]
+    fn std_dev_known_value() {
+        let s = std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((s - 2.138_089_935).abs() < 1e-6);
+        assert_eq!(std_dev(&[1.0]), None);
+    }
+
+    #[test]
+    fn boxplot_of_even_sample() {
+        let s = BoxplotSummary::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.median, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.q1 - 1.75).abs() < 1e-12);
+        assert!((s.q3 - 3.25).abs() < 1e-12);
+        assert!((s.iqr() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boxplot_is_order_independent() {
+        let a = BoxplotSummary::of(&[5.0, 1.0, 3.0, 2.0, 4.0]).unwrap();
+        let b = BoxplotSummary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn singleton_boxplot_collapses() {
+        let s = BoxplotSummary::of(&[7.0]).unwrap();
+        assert_eq!((s.min, s.q1, s.median, s.q3, s.max, s.mean), (7.0, 7.0, 7.0, 7.0, 7.0, 7.0));
+    }
+}

@@ -1,0 +1,134 @@
+//! Fixed-bin histograms over the 64-bit hash range (RQ3 step 3: "build a
+//! histogram h with the values stored in v").
+
+/// Bins 64-bit hash values into `bins` equal-width buckets spanning the
+/// whole `u64` range.
+///
+/// # Panics
+///
+/// Panics if `bins` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use sepe_stats::hash_histogram;
+///
+/// let h = hash_histogram(&[0, 1, u64::MAX], 2);
+/// assert_eq!(h, vec![2, 1]);
+/// ```
+#[must_use]
+pub fn hash_histogram(hashes: &[u64], bins: usize) -> Vec<u64> {
+    assert!(bins > 0, "bins must be positive");
+    let mut counts = vec![0u64; bins];
+    // Bin width as u128 so the last bin closes exactly at 2^64.
+    let width = (1u128 << 64).div_ceil(bins as u128);
+    for &h in hashes {
+        let bin = (u128::from(h) / width) as usize;
+        counts[bin.min(bins - 1)] += 1;
+    }
+    counts
+}
+
+/// Bins hash values into `bins` equal-width buckets spanning the *observed*
+/// range `[min, max]` — the RQ3 methodology ("save all the hashes in a
+/// sorted vector v; build a histogram h with the values stored in v").
+///
+/// Range-relative binning is what lets the paper's Pext score *well* on
+/// incremental keys: consecutive integers are perfectly uniform over their
+/// own span even though they sit in a sliver of the 64-bit range.
+///
+/// # Panics
+///
+/// Panics if `bins` is zero or `hashes` is empty.
+#[must_use]
+pub fn hash_histogram_range(hashes: &[u64], bins: usize) -> Vec<u64> {
+    assert!(bins > 0, "bins must be positive");
+    assert!(!hashes.is_empty(), "need at least one hash");
+    let min = *hashes.iter().min().expect("non-empty");
+    let max = *hashes.iter().max().expect("non-empty");
+    let span = u128::from(max - min) + 1;
+    let width = span.div_ceil(bins as u128);
+    let mut counts = vec![0u64; bins];
+    for &h in hashes {
+        let bin = (u128::from(h - min) / width) as usize;
+        counts[bin.min(bins - 1)] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_sum_to_input_len() {
+        let hashes: Vec<u64> = (0..1000u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
+        for bins in [1usize, 2, 7, 64, 1024] {
+            let h = hash_histogram(&hashes, bins);
+            assert_eq!(h.len(), bins);
+            assert_eq!(h.iter().sum::<u64>(), 1000);
+        }
+    }
+
+    #[test]
+    fn extremes_land_in_first_and_last_bins() {
+        let h = hash_histogram(&[0, u64::MAX], 16);
+        assert_eq!(h[0], 1);
+        assert_eq!(h[15], 1);
+    }
+
+    #[test]
+    fn uniform_multiplier_spreads_evenly() {
+        let hashes: Vec<u64> =
+            (0..64_000u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
+        let h = hash_histogram(&hashes, 64);
+        let expected = 1000.0;
+        for (i, &c) in h.iter().enumerate() {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.15, "bin {i} count {c}");
+        }
+    }
+
+    #[test]
+    fn clustered_values_land_in_one_bin() {
+        let hashes: Vec<u64> = (0..100).collect();
+        let h = hash_histogram(&hashes, 4);
+        assert_eq!(h, vec![100, 0, 0, 0]);
+    }
+
+    #[test]
+    fn range_histogram_sees_consecutive_values_as_uniform() {
+        // The paper's incremental-Pext effect: consecutive integers are
+        // uniform over their own range.
+        let hashes: Vec<u64> = (1000..2000).collect();
+        let h = hash_histogram_range(&hashes, 10);
+        assert_eq!(h, vec![100; 10]);
+    }
+
+    #[test]
+    fn range_histogram_counts_sum() {
+        let hashes: Vec<u64> = (0..997u64).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+        for bins in [1usize, 3, 64] {
+            let h = hash_histogram_range(&hashes, bins);
+            assert_eq!(h.iter().sum::<u64>(), 997);
+        }
+    }
+
+    #[test]
+    fn range_histogram_handles_identical_values() {
+        let h = hash_histogram_range(&[42, 42, 42], 4);
+        assert_eq!(h.iter().sum::<u64>(), 3);
+        assert_eq!(h[0], 3);
+    }
+
+    #[test]
+    fn range_histogram_exposes_gappy_values() {
+        // Values with forced zero nibbles are non-uniform over their range.
+        let hashes: Vec<u64> = (0..4096u64).map(|i| (i & 0xF) | ((i >> 4) << 8)).collect();
+        // Bins finer than the cluster spacing reveal the forced-zero gaps.
+        let h = hash_histogram_range(&hashes, 4096);
+        let max = h.iter().max().copied().unwrap_or(0);
+        let min = h.iter().min().copied().unwrap_or(0);
+        assert!(max > min, "gaps must skew the histogram: {h:?}");
+    }
+}

@@ -1,0 +1,32 @@
+//! # sepe-stats
+//!
+//! The statistics behind the SEPE evaluation, implemented from scratch:
+//!
+//! * [`descriptive`] — means, geometric means (the paper aggregates every
+//!   table with geometric means), and the five-number boxplot summaries of
+//!   Figures 13/15/20;
+//! * [`mann_whitney`] — the Mann–Whitney U test the paper uses to decide
+//!   whether two hash functions differ significantly (RQ1, RQ4);
+//! * [`chi2`] — the χ² goodness-of-fit test of the uniformity analysis
+//!   (Table 2), with its own regularized incomplete gamma;
+//! * [`pearson`] — the linear-correlation coefficient of the complexity
+//!   analyses (RQ6, RQ8);
+//! * [`histogram`] — fixed-bin histograms over the 64-bit hash range.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod avalanche;
+pub mod chi2;
+pub mod descriptive;
+pub mod histogram;
+pub mod mann_whitney;
+pub mod pearson;
+pub mod special;
+
+pub use avalanche::{avalanche, AvalancheSummary};
+pub use chi2::{chi_square_gof, Chi2Result};
+pub use descriptive::{geometric_mean, mean, BoxplotSummary};
+pub use histogram::{hash_histogram, hash_histogram_range};
+pub use mann_whitney::{mann_whitney_u, MannWhitneyResult};
+pub use pearson::pearson_correlation;

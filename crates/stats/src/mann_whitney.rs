@@ -1,0 +1,157 @@
+//! The Mann–Whitney U test (rank-sum), the significance test of RQ1/RQ4:
+//! e.g. "OffXor and Naive are statistically equivalent (p-value 0.51)".
+
+use crate::special::normal_cdf;
+
+/// Outcome of a two-sided Mann–Whitney U test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MannWhitneyResult {
+    /// The U statistic of the first sample.
+    pub u: f64,
+    /// The standardized statistic under the normal approximation (with tie
+    /// correction and continuity correction).
+    pub z: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+}
+
+impl MannWhitneyResult {
+    /// Whether the two samples differ significantly at level `alpha`.
+    #[must_use]
+    pub fn is_significant_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Two-sided Mann–Whitney U test with average ranks for ties and the
+/// normal approximation (adequate for the paper's sample sizes of ten and
+/// above).
+///
+/// # Panics
+///
+/// Panics if either sample is empty.
+///
+/// # Examples
+///
+/// ```
+/// use sepe_stats::mann_whitney_u;
+///
+/// let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+/// let b = [101.0, 102.0, 103.0, 104.0, 105.0, 106.0, 107.0, 108.0];
+/// let r = mann_whitney_u(&a, &b);
+/// assert!(r.is_significant_at(0.05));
+/// ```
+#[must_use]
+pub fn mann_whitney_u(a: &[f64], b: &[f64]) -> MannWhitneyResult {
+    assert!(!a.is_empty() && !b.is_empty(), "samples must be non-empty");
+    let n1 = a.len() as f64;
+    let n2 = b.len() as f64;
+
+    // Rank the pooled sample, averaging tied ranks.
+    let mut pooled: Vec<(f64, usize)> = a
+        .iter()
+        .map(|&x| (x, 0usize))
+        .chain(b.iter().map(|&x| (x, 1usize)))
+        .collect();
+    pooled.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("no NaN in samples"));
+
+    let mut ranks = vec![0.0f64; pooled.len()];
+    let mut tie_term = 0.0f64; // Σ (t³ − t) over tie groups
+    let mut i = 0;
+    while i < pooled.len() {
+        let mut j = i + 1;
+        while j < pooled.len() && pooled[j].0 == pooled[i].0 {
+            j += 1;
+        }
+        let avg_rank = (i + 1 + j) as f64 / 2.0; // ranks are 1-based
+        for r in ranks.iter_mut().take(j).skip(i) {
+            *r = avg_rank;
+        }
+        let t = (j - i) as f64;
+        tie_term += t * t * t - t;
+        i = j;
+    }
+
+    let r1: f64 = pooled
+        .iter()
+        .zip(&ranks)
+        .filter(|((_, g), _)| *g == 0)
+        .map(|(_, &r)| r)
+        .sum();
+    let u1 = r1 - n1 * (n1 + 1.0) / 2.0;
+
+    let mu = n1 * n2 / 2.0;
+    let n = n1 + n2;
+    let sigma2 = n1 * n2 / 12.0 * ((n + 1.0) - tie_term / (n * (n - 1.0)));
+    let sigma = sigma2.max(0.0).sqrt();
+
+    let (z, p_value) = if sigma == 0.0 {
+        // All observations identical: no evidence of difference.
+        (0.0, 1.0)
+    } else {
+        // Continuity correction toward the mean.
+        let diff = u1 - mu;
+        let corrected = diff - 0.5 * diff.signum();
+        let z = corrected / sigma;
+        (z, 2.0 * (1.0 - normal_cdf(z.abs())).clamp(0.0, 0.5))
+    };
+
+    MannWhitneyResult { u: u1, z, p_value }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_are_not_significant() {
+        let a = [3.0, 3.0, 3.0, 3.0];
+        let r = mann_whitney_u(&a, &a);
+        assert_eq!(r.p_value, 1.0);
+        assert!(!r.is_significant_at(0.05));
+    }
+
+    #[test]
+    fn disjoint_samples_are_significant() {
+        let a: Vec<f64> = (0..20).map(f64::from).collect();
+        let b: Vec<f64> = (100..120).map(f64::from).collect();
+        let r = mann_whitney_u(&a, &b);
+        assert!(r.p_value < 1e-6);
+        assert_eq!(r.u, 0.0);
+    }
+
+    #[test]
+    fn symmetric_in_its_arguments() {
+        let a = [1.0, 5.0, 9.0, 13.0, 2.0, 8.0];
+        let b = [3.0, 4.0, 10.0, 11.0, 6.0, 7.0];
+        let ra = mann_whitney_u(&a, &b);
+        let rb = mann_whitney_u(&b, &a);
+        assert!((ra.p_value - rb.p_value).abs() < 1e-12);
+        // U1 + U2 = n1 * n2.
+        assert!((ra.u + rb.u - 36.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlapping_samples_have_moderate_p() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        let b = [1.5, 2.5, 3.5, 4.5, 5.5, 6.5, 7.5, 8.5, 9.5, 10.5];
+        let r = mann_whitney_u(&a, &b);
+        assert!(r.p_value > 0.4, "p={}", r.p_value);
+    }
+
+    #[test]
+    fn known_u_statistic() {
+        // Classic example: a = {7,3}, b = {5,1,9}: ranks 1..5, U1 via rank
+        // sum of a = rank(7)=4, rank(3)=2 => R1=6, U1 = 6 - 3 = 3.
+        let r = mann_whitney_u(&[7.0, 3.0], &[5.0, 1.0, 9.0]);
+        assert_eq!(r.u, 3.0);
+    }
+
+    #[test]
+    fn heavy_ties_do_not_crash() {
+        let a = [1.0, 1.0, 1.0, 2.0, 2.0];
+        let b = [1.0, 2.0, 2.0, 2.0, 1.0];
+        let r = mann_whitney_u(&a, &b);
+        assert!((0.0..=1.0).contains(&r.p_value));
+    }
+}

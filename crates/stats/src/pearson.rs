@@ -1,0 +1,72 @@
+//! Pearson correlation, used to establish the linear asymptotics of
+//! synthesis time (RQ6, "the smallest Pearson correlation … is 0.993") and
+//! hashing time (RQ8, "0.9979").
+
+/// Pearson correlation coefficient of two equal-length samples.
+///
+/// Returns `None` when the samples differ in length, hold fewer than two
+/// points, or either sample has zero variance.
+///
+/// # Examples
+///
+/// ```
+/// use sepe_stats::pearson_correlation;
+///
+/// let x = [1.0, 2.0, 3.0, 4.0];
+/// let y = [10.0, 20.0, 30.0, 40.0];
+/// assert!((pearson_correlation(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn pearson_correlation(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        sxy += (a - mx) * (b - my);
+        sxx += (a - mx) * (a - mx);
+        syy += (b - my) * (b - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_positive_and_negative() {
+        let x = [1.0, 2.0, 3.0];
+        assert!((pearson_correlation(&x, &[2.0, 4.0, 6.0]).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pearson_correlation(&x, &[6.0, 4.0, 2.0]).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncorrelated_symmetric_data() {
+        let x = [-2.0, -1.0, 0.0, 1.0, 2.0];
+        let y = [4.0, 1.0, 0.0, 1.0, 4.0]; // y = x², symmetric: r = 0
+        assert!(pearson_correlation(&x, &y).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_none() {
+        assert_eq!(pearson_correlation(&[1.0], &[2.0]), None);
+        assert_eq!(pearson_correlation(&[1.0, 2.0], &[3.0]), None);
+        assert_eq!(pearson_correlation(&[1.0, 1.0], &[1.0, 2.0]), None);
+    }
+
+    #[test]
+    fn linear_with_noise_is_near_one() {
+        let x: Vec<f64> = (0..100).map(f64::from).collect();
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v + ((v * 7.0).sin())).collect();
+        assert!(pearson_correlation(&x, &y).unwrap() > 0.999);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests for the statistics crate: structural invariants that
+//! must hold for arbitrary inputs.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use sepe_stats::{
+    chi_square_gof, geometric_mean, hash_histogram, hash_histogram_range, mann_whitney_u,
+    mean, pearson_correlation, BoxplotSummary,
+};
+
+fn finite_positive() -> impl Strategy<Value = f64> {
+    (1e-6f64..1e12).prop_filter("finite", |x| x.is_finite())
+}
+
+proptest! {
+    #[test]
+    fn boxplot_is_ordered(xs in vec(-1e9f64..1e9, 1..200)) {
+        let s = BoxplotSummary::of(&xs).expect("non-empty");
+        prop_assert!(s.min <= s.q1 + 1e-9);
+        prop_assert!(s.q1 <= s.median + 1e-9);
+        prop_assert!(s.median <= s.q3 + 1e-9);
+        prop_assert!(s.q3 <= s.max + 1e-9);
+        prop_assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
+        prop_assert!(s.iqr() >= -1e-9);
+    }
+
+    #[test]
+    fn am_gm_inequality(xs in vec(finite_positive(), 1..100)) {
+        let gm = geometric_mean(&xs).expect("positive inputs");
+        let am = mean(&xs).expect("non-empty");
+        prop_assert!(gm <= am * (1.0 + 1e-9), "gm {gm} > am {am}");
+    }
+
+    #[test]
+    fn chi2_statistic_nonnegative_and_p_in_unit(counts in vec(0u64..10_000, 2..200)) {
+        prop_assume!(counts.iter().sum::<u64>() > 0);
+        let r = chi_square_gof(&counts);
+        prop_assert!(r.statistic >= 0.0);
+        prop_assert!((0.0..=1.0).contains(&r.p_value), "p {}", r.p_value);
+        prop_assert_eq!(r.degrees_of_freedom, counts.len() - 1);
+    }
+
+    #[test]
+    fn chi2_is_zero_iff_perfectly_uniform(count in 1u64..1000, bins in 2usize..50) {
+        let r = chi_square_gof(&vec![count; bins]);
+        prop_assert_eq!(r.statistic, 0.0);
+        prop_assert!(r.p_value > 0.999);
+    }
+
+    #[test]
+    fn mann_whitney_p_is_symmetric_and_bounded(
+        a in vec(-1e6f64..1e6, 1..60),
+        b in vec(-1e6f64..1e6, 1..60)
+    ) {
+        let r1 = mann_whitney_u(&a, &b);
+        let r2 = mann_whitney_u(&b, &a);
+        prop_assert!((0.0..=1.0).contains(&r1.p_value));
+        prop_assert!((r1.p_value - r2.p_value).abs() < 1e-9);
+        // U1 + U2 = n1 * n2.
+        prop_assert!((r1.u + r2.u - (a.len() * b.len()) as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pearson_is_bounded_and_scale_invariant(
+        pairs in vec((-1e6f64..1e6, -1e6f64..1e6), 3..100),
+        scale in 0.001f64..1000.0
+    ) {
+        let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        if let Some(r) = pearson_correlation(&x, &y) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r), "r {r}");
+            let y_scaled: Vec<f64> = y.iter().map(|v| v * scale).collect();
+            if let Some(r2) = pearson_correlation(&x, &y_scaled) {
+                prop_assert!((r - r2).abs() < 1e-6, "scaling changed r: {r} vs {r2}");
+            }
+        }
+    }
+
+    #[test]
+    fn histograms_conserve_mass(hashes in vec(any::<u64>(), 1..500), bins in 1usize..128) {
+        let h = hash_histogram(&hashes, bins);
+        prop_assert_eq!(h.iter().sum::<u64>(), hashes.len() as u64);
+        let hr = hash_histogram_range(&hashes, bins);
+        prop_assert_eq!(hr.iter().sum::<u64>(), hashes.len() as u64);
+    }
+
+    #[test]
+    fn range_histogram_is_shift_invariant(
+        hashes in vec(0u64..1_000_000, 2..200),
+        shift in 0u64..1_000_000_000,
+        bins in 2usize..64
+    ) {
+        let shifted: Vec<u64> = hashes.iter().map(|&h| h + shift).collect();
+        prop_assert_eq!(
+            hash_histogram_range(&hashes, bins),
+            hash_histogram_range(&shifted, bins)
+        );
+    }
+}

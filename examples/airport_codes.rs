@@ -1,0 +1,66 @@
+//! Mixed-length keys: IATA (3-letter) and ICAO (4-letter) airport codes —
+//! the motivating case of the paper's Example 3.4 — handled two ways:
+//!
+//! 1. the paper's join (missing bytes become `⊤`, one variable-length
+//!    plan), and
+//! 2. this repo's length-dispatch extension (one fully unrolled plan per
+//!    length, dispatched on `key.len()`).
+//!
+//! ```text
+//! cargo run --release --example airport_codes
+//! ```
+
+use sepe::core::hash::SynthesizedHash;
+use sepe::core::infer::{infer_pattern, infer_regex};
+use sepe::core::multi::LengthDispatchHash;
+use sepe::core::synth::Family;
+use sepe::containers::UnorderedMap;
+
+const IATA: [&str; 8] = ["JFK", "LAX", "GRU", "EGK", "DEN", "SEA", "BOS", "MIA"];
+const ICAO: [&str; 8] = ["KJFK", "KLAX", "SBGR", "EGLL", "KDEN", "KSEA", "KBOS", "KMIA"];
+
+/// Keys as they appear in the application: a constant route prefix plus
+/// the code. (Bare 3-byte codes would fall below SEPE's 8-byte minimum and
+/// take the STL fallback — footnote 5 of the paper.)
+fn route(code: &str) -> String {
+    format!("/airport/{code}")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let routes: Vec<String> = IATA.iter().chain(ICAO.iter()).map(|c| route(c)).collect();
+    let examples: Vec<&[u8]> = routes.iter().map(|s| s.as_bytes()).collect();
+
+    // The paper's treatment: one joined pattern; byte 3 becomes ⊤ because
+    // it is missing from every IATA key.
+    let joined = infer_pattern(examples.iter().copied())?;
+    println!("joined format: {}", infer_regex(examples.iter().copied())?);
+    println!(
+        "joined pattern spans {}..={} bytes; plan: {:?}",
+        joined.min_len(),
+        joined.max_len(),
+        SynthesizedHash::from_pattern(&joined, Family::OffXor).plan()
+    );
+
+    // The extension: stratify by length, one fixed-length plan each.
+    let dispatch = LengthDispatchHash::from_examples(examples.iter().copied(), Family::OffXor)?;
+    for (len, hash) in dispatch.strata() {
+        println!("stratum len {len}: {:?}", hash.plan());
+    }
+
+    // Use it as a route table over both code families at once.
+    let mut airports = UnorderedMap::with_hasher(dispatch);
+    for (i, r) in routes.iter().enumerate() {
+        airports.insert(r.clone(), i);
+    }
+    println!("stored {} airports", airports.len());
+    assert_eq!(airports.len(), IATA.len() + ICAO.len());
+    assert!(airports.contains_key(route("EGLL").as_str()));
+    assert!(airports.contains_key(route("JFK").as_str()));
+    assert!(!airports.contains_key(route("XXXXX").as_str()));
+    println!(
+        "lookups across both strata work: JFK={:?}, EGLL={:?}",
+        airports.get(route("JFK").as_str()),
+        airports.get(route("EGLL").as_str())
+    );
+    Ok(())
+}

@@ -1,0 +1,91 @@
+//! The tutorial scenario end to end, in code: a custom order-identifier
+//! format (`ORD-yyyymmdd-hhhhhh`) goes from examples, through quality
+//! checking and synthesis, into a measured comparison — everything
+//! `docs/TUTORIAL.md` does on the command line.
+//!
+//! ```text
+//! cargo run --release --example order_ids
+//! ```
+
+use sepe::baselines::StlHash;
+use sepe::core::hash::{ByteHash, SynthesizedHash};
+use sepe::core::infer::{example_quality, infer_regex};
+use sepe::core::regex::Regex;
+use sepe::core::synth::Family;
+use sepe::containers::UnorderedMap;
+use std::time::Instant;
+
+fn order_id(i: u64) -> String {
+    format!(
+        "ORD-{:04}{:02}{:02}-{:06x}",
+        2000 + i % 100,
+        1 + (i / 7) % 12,
+        1 + (i / 11) % 28,
+        i * 0x9E37 % 0x100_0000
+    )
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Good examples: every digit and hex quad exercised.
+    let examples: Vec<String> = vec![
+        "ORD-20000101-000000".into(),
+        "ORD-25551231-555555".into(),
+        "ORD-29731118-aaaaaa".into(),
+        "ORD-21640925-ffffff".into(),
+    ];
+    let refs: Vec<&[u8]> = examples.iter().map(|s| s.as_bytes()).collect();
+    println!("inferred: {}", infer_regex(refs.iter().copied())?);
+
+    let flagged = example_quality(refs.iter().copied())?
+        .into_iter()
+        .filter(|r| r.suspicious)
+        .count();
+    println!("quality report: {flagged} position(s) flagged");
+
+    // 2. Synthesize from the intended format (more general than any finite
+    //    example set).
+    let regex = r"ORD-[0-9]{8}-[0-9a-f]{6}";
+    let pattern = Regex::compile(regex)?;
+    println!(
+        "format: {} bytes, {} variable bits",
+        pattern.max_len(),
+        pattern.variable_bits()
+    );
+    let hash = SynthesizedHash::from_regex(regex, Family::OffXor)?;
+
+    // 3. Measure on realistic keys.
+    let keys: Vec<String> = (0..50_000).map(order_id).collect();
+    let t = Instant::now();
+    let mut acc = 0u64;
+    for k in &keys {
+        acc ^= hash.hash_bytes(k.as_bytes());
+    }
+    std::hint::black_box(acc);
+    let specialized = t.elapsed();
+    let stl = StlHash::new();
+    let t = Instant::now();
+    let mut acc = 0u64;
+    for k in &keys {
+        acc ^= stl.hash_bytes(k.as_bytes());
+    }
+    std::hint::black_box(acc);
+    let general = t.elapsed();
+    println!("hashing 50k order ids: OffXor {specialized:?} vs STL {general:?}");
+
+    // 4. Deploy in a container.
+    let mut index = UnorderedMap::with_hasher(hash);
+    index.reserve(keys.len());
+    for (i, k) in keys.iter().enumerate() {
+        index.insert(k.clone(), i);
+    }
+    println!(
+        "order index: {} entries, {} buckets, {} bucket collisions",
+        index.len(),
+        index.bucket_count(),
+        index.bucket_collisions()
+    );
+    let probe = order_id(31_415);
+    assert_eq!(index.get(probe.as_str()), Some(&31_415));
+    println!("lookup {probe} -> found");
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! Quickstart: synthesize a specialized hash from example keys and use it
+//! in a hash map — the workflow of Figure 5 of the paper.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use sepe::baselines::StlHash;
+use sepe::containers::UnorderedMap;
+use sepe::core::hash::{ByteHash, SynthesizedHash};
+use sepe::core::infer::infer_regex;
+use sepe::core::synth::Family;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Infer the key format from examples (what `keybuilder` does).
+    //    Good examples exercise every bit pair that can vary (the paper's
+    //    Example 3.6): all-0s and all-5s cover every digit quad.
+    let examples: [&[u8]; 2] = [b"000.000.000.000", b"555.555.555.555"];
+    let regex = infer_regex(examples)?;
+    println!("inferred key format: {regex}");
+
+    // 2. Synthesize a specialized hash function (what `keysynth` does).
+    let hash = SynthesizedHash::from_regex(&regex, Family::Pext)?;
+    println!("synthesized plan: {:?}", hash.plan());
+
+    // 3. Use it with a container, like the std::unordered_map of Fig 5d.
+    let mut map = UnorderedMap::with_hasher(hash.clone());
+    for i in 0..10_000u32 {
+        let key = format!(
+            "{:03}.{:03}.{:03}.{:03}",
+            i % 256,
+            (i / 7) % 256,
+            (i / 3) % 256,
+            i % 250
+        );
+        map.insert(key, i);
+    }
+    println!("inserted {} distinct IPv4 keys", map.len());
+    println!(
+        "bucket count {}, bucket collisions {}",
+        map.bucket_count(),
+        map.bucket_collisions()
+    );
+
+    // 4. Compare hashing speed against the general-purpose STL hash.
+    let stl = StlHash::new();
+    let keys: Vec<String> =
+        (0..10_000u32).map(|i| format!("{:03}.{:03}.{:03}.{:03}", i % 256, i % 199, i % 251, i % 250)).collect();
+    let t_syn = time(|| {
+        let mut acc = 0u64;
+        for k in &keys {
+            acc ^= hash.hash_bytes(k.as_bytes());
+        }
+        acc
+    });
+    let t_stl = time(|| {
+        let mut acc = 0u64;
+        for k in &keys {
+            acc ^= stl.hash_bytes(k.as_bytes());
+        }
+        acc
+    });
+    println!("hashing 10k keys: synthesized {t_syn:?}, STL {t_stl:?}");
+    Ok(())
+}
+
+fn time<R>(f: impl FnOnce() -> R) -> std::time::Duration {
+    let start = std::time::Instant::now();
+    std::hint::black_box(f());
+    start.elapsed()
+}

@@ -1,0 +1,34 @@
+//! # sepe
+//!
+//! Facade crate for **sepe-rs**, a Rust reproduction of *Automatic Synthesis
+//! of Specialized Hash Functions* (CGO 2025). Re-exports every sub-crate:
+//!
+//! * [`core`] — pattern inference and hash synthesis;
+//! * [`baselines`] — the general-purpose hash functions the paper compares
+//!   against;
+//! * [`containers`] — bucketed unordered containers with bucket
+//!   introspection;
+//! * [`keygen`] — the eight key formats and three distributions of the
+//!   evaluation;
+//! * [`stats`] — the statistics behind the paper's tables;
+//! * [`driver`] — the experiment driver reproducing the evaluation grid.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use sepe::core::hash::{ByteHash, SynthesizedHash};
+//! use sepe::core::synth::Family;
+//!
+//! let hash = SynthesizedHash::from_regex(r"\d{3}-\d{2}-\d{4}", Family::Pext)?;
+//! assert_ne!(hash.hash_bytes(b"123-45-6789"), hash.hash_bytes(b"123-45-6780"));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use sepe_baselines as baselines;
+pub use sepe_containers as containers;
+pub use sepe_core as core;
+pub use sepe_driver as driver;
+pub use sepe_keygen as keygen;
+pub use sepe_stats as stats;

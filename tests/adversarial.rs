@@ -1,0 +1,116 @@
+//! Adversarial collisions — why SEPE functions are only for settings
+//! "where an adversary is not expected to force collisions" (Section 1).
+//!
+//! The xor-combining families are *linear*: flipping the same bit in two
+//! bytes that land at the same position of two different loads cancels
+//! exactly. These tests construct such collisions deterministically, and
+//! show the general-purpose baselines resist the same manipulation.
+
+use sepe::baselines::{CityHash, StlHash};
+use sepe::core::hash::{ByteHash, SynthesizedHash};
+use sepe::core::synth::{Family, Plan};
+use sepe::keygen::KeyFormat;
+
+/// Builds a pair of distinct 15-byte keys that collide under the IPv4
+/// OffXor plan (loads at offsets 0 and 7): flipping the same bit in byte
+/// `i` (only in load 0) and byte `i + 7` (only in load 1, same lane)
+/// cancels in the xor.
+fn forged_ipv4_pair() -> (Vec<u8>, Vec<u8>) {
+    let base = b"000.000.000.000".to_vec();
+    let mut forged = base.clone();
+    forged[3] ^= 1; // '.' -> '/' — lane 3 of load 0
+    forged[10] ^= 1; // '0' -> '1' — lane 3 of load 1
+    (base, forged)
+}
+
+#[test]
+fn offxor_collides_on_the_forged_pair() {
+    let hash = SynthesizedHash::from_regex(&KeyFormat::Ipv4.regex(), Family::OffXor)
+        .expect("ipv4 regex compiles");
+    // Confirm the plan shape the forgery assumes.
+    let Plan::FixedWords { ops, .. } = hash.plan() else { panic!("fixed plan") };
+    assert_eq!(ops.iter().map(|o| o.offset).collect::<Vec<_>>(), vec![0, 7]);
+
+    let (a, b) = forged_ipv4_pair();
+    assert_ne!(a, b);
+    assert_eq!(
+        hash.hash_bytes(&a),
+        hash.hash_bytes(&b),
+        "linearity lets an adversary cancel the two loads"
+    );
+}
+
+#[test]
+fn naive_collides_on_the_same_pair() {
+    let hash = SynthesizedHash::from_regex(&KeyFormat::Ipv4.regex(), Family::Naive)
+        .expect("ipv4 regex compiles");
+    let (a, b) = forged_ipv4_pair();
+    // Naive loads at 0 and 7 too (15-byte key): same cancellation.
+    assert_eq!(hash.hash_bytes(&a), hash.hash_bytes(&b));
+}
+
+#[test]
+fn general_purpose_hashes_resist_the_forgery() {
+    let (a, b) = forged_ipv4_pair();
+    assert_ne!(StlHash::new().hash_bytes(&a), StlHash::new().hash_bytes(&b));
+    assert_ne!(CityHash::new().hash_bytes(&a), CityHash::new().hash_bytes(&b));
+}
+
+#[test]
+fn aes_family_resists_the_xor_forgery() {
+    // The AES round's SubBytes breaks linearity: the same trick fails.
+    let hash = SynthesizedHash::from_regex(&KeyFormat::Ipv4.regex(), Family::Aes)
+        .expect("ipv4 regex compiles");
+    let (a, b) = forged_ipv4_pair();
+    assert_ne!(hash.hash_bytes(&a), hash.hash_bytes(&b));
+}
+
+#[test]
+fn pext_resists_this_particular_forgery_but_not_in_format_ones() {
+    let hash = SynthesizedHash::from_regex(&KeyFormat::Ipv4.regex(), Family::Pext)
+        .expect("ipv4 regex compiles");
+    let (a, b) = forged_ipv4_pair();
+    // The flipped separator bit is masked out, but the digit bit is kept:
+    // the pair no longer cancels.
+    assert_ne!(hash.hash_bytes(&a), hash.hash_bytes(&b));
+
+    // Within the format, Pext on IPv4 is a 48-bit bijection: no forgery
+    // with format-conforming keys exists at all.
+    assert_eq!(hash.plan().bijection_bits(), Some(48));
+}
+
+#[test]
+fn forged_keys_flood_one_bucket() {
+    // The practical attack: many distinct keys, one hash value, one bucket.
+    use sepe::containers::UnorderedMap;
+    let hash = SynthesizedHash::from_regex(&KeyFormat::Ipv4.regex(), Family::OffXor)
+        .expect("ipv4 regex compiles");
+    let mut keys: Vec<Vec<u8>> = Vec::new();
+    let base = b"000.000.000.000".to_vec();
+    // Flip matching bit pairs across lanes 1..=6 in all combinations
+    // (byte 7 sits in *both* overlapping loads, so lane 0 is unusable).
+    for mask in 0..64u32 {
+        let mut k = base.clone();
+        for bit in 0..6 {
+            if (mask >> bit) & 1 == 1 {
+                let lane = bit + 1;
+                k[lane] ^= 1;
+                k[lane + 7] ^= 1;
+            }
+        }
+        keys.push(k);
+    }
+    keys.sort();
+    keys.dedup();
+    assert_eq!(keys.len(), 64);
+
+    let h0 = hash.hash_bytes(&keys[0]);
+    assert!(keys.iter().all(|k| hash.hash_bytes(k) == h0), "all forged keys collide");
+
+    let mut map = UnorderedMap::with_hasher(hash);
+    for (i, k) in keys.iter().enumerate() {
+        map.insert(String::from_utf8_lossy(k).into_owned(), i);
+    }
+    assert_eq!(map.len(), 64);
+    assert_eq!(map.bucket_collisions(), 63, "all 64 keys share one bucket");
+}

@@ -1,0 +1,87 @@
+//! API-guideline conformance checks that are worth enforcing in CI:
+//! public types are `Send`/`Sync` (C-SEND-SYNC), implement `Debug`
+//! (C-DEBUG) with non-empty output (C-DEBUG-NONEMPTY), and `Clone` where
+//! users will share them across threads.
+
+use sepe::baselines::{AbseilHash, CityHash, FnvHash, GperfHash, GptHash, StlHash};
+use sepe::containers::{DirectMap, UnorderedMap, UnorderedMultiMap};
+use sepe::core::hash::SynthesizedHash;
+use sepe::core::multi::LengthDispatchHash;
+use sepe::core::pattern::{BytePattern, KeyPattern};
+use sepe::core::synth::{Family, Plan};
+use sepe::driver::{ExperimentConfig, HashId, Measurement};
+use sepe::keygen::{KeyFormat, KeySampler};
+use sepe::stats::{BoxplotSummary, Chi2Result, MannWhitneyResult};
+
+fn assert_send_sync<T: Send + Sync>() {}
+fn assert_clone<T: Clone>() {}
+
+#[test]
+fn core_types_are_send_sync_and_clone() {
+    assert_send_sync::<SynthesizedHash>();
+    assert_send_sync::<LengthDispatchHash>();
+    assert_send_sync::<KeyPattern>();
+    assert_send_sync::<BytePattern>();
+    assert_send_sync::<Plan>();
+    assert_clone::<SynthesizedHash>();
+    assert_clone::<KeyPattern>();
+    assert_clone::<Plan>();
+}
+
+#[test]
+fn baseline_types_are_send_sync() {
+    assert_send_sync::<StlHash>();
+    assert_send_sync::<FnvHash>();
+    assert_send_sync::<CityHash>();
+    assert_send_sync::<AbseilHash>();
+    assert_send_sync::<GperfHash>();
+    assert_send_sync::<GptHash>();
+}
+
+#[test]
+fn containers_are_send_sync_with_send_sync_hashers() {
+    assert_send_sync::<UnorderedMap<String, u32, StlHash>>();
+    assert_send_sync::<UnorderedMultiMap<String, u32, SynthesizedHash>>();
+    assert_send_sync::<DirectMap<u32>>();
+}
+
+#[test]
+fn driver_and_stats_types_are_send_sync() {
+    assert_send_sync::<HashId>();
+    assert_send_sync::<ExperimentConfig>();
+    assert_send_sync::<Measurement>();
+    assert_send_sync::<KeyFormat>();
+    assert_send_sync::<KeySampler>();
+    assert_send_sync::<BoxplotSummary>();
+    assert_send_sync::<Chi2Result>();
+    assert_send_sync::<MannWhitneyResult>();
+}
+
+#[test]
+fn debug_representations_are_non_empty() {
+    let hash = SynthesizedHash::from_regex(r"\d{3}-\d{2}-\d{4}", Family::Pext)
+        .expect("ssn regex compiles");
+    assert!(!format!("{hash:?}").is_empty());
+    assert!(!format!("{:?}", BytePattern::ANY).is_empty());
+    assert!(!format!("{:?}", HashId::Pext).is_empty());
+    assert!(!format!("{:?}", KeyFormat::Ssn).is_empty());
+}
+
+#[test]
+fn hashes_can_be_shared_across_threads() {
+    use sepe::core::ByteHash;
+    let hash = std::sync::Arc::new(
+        SynthesizedHash::from_regex(r"(([0-9]{3})\.){3}[0-9]{3}", Family::Pext)
+            .expect("ipv4 regex compiles"),
+    );
+    let expected = hash.hash_bytes(b"123.456.789.012");
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let h = std::sync::Arc::clone(&hash);
+            std::thread::spawn(move || h.hash_bytes(b"123.456.789.012"))
+        })
+        .collect();
+    for handle in handles {
+        assert_eq!(handle.join().expect("thread joins"), expected);
+    }
+}

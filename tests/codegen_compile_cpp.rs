@@ -1,0 +1,248 @@
+//! Compile-and-run equivalence for the *C++* emitter — the paper's actual
+//! deliverable. The emitted functor is compiled with `g++ -O2 -mbmi2 -maes`
+//! (the paper's compiler and optimization level) and must produce exactly
+//! the hash values of the runtime plan evaluator.
+//!
+//! Skipped gracefully when no `g++` is on PATH or the CPU lacks the
+//! required instructions.
+
+use sepe::core::codegen::{emit, Language};
+use sepe::core::hash::{ByteHash, SynthesizedHash};
+use sepe::core::regex::Regex;
+use sepe::core::synth::{synthesize, Family, Plan};
+use sepe::core::Isa;
+use sepe::keygen::{Distribution, KeyFormat, KeySampler};
+use std::process::Command;
+
+fn gxx_available() -> bool {
+    Command::new("g++").arg("--version").output().is_ok_and(|o| o.status.success())
+}
+
+fn hardware_available(family: Family) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        match family {
+            Family::Pext => std::arch::is_x86_feature_detected!("bmi2"),
+            Family::Aes => std::arch::is_x86_feature_detected!("aes"),
+            _ => true,
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = family;
+        false
+    }
+}
+
+fn compile_and_run_cpp(regex: &str, family: Family, keys: &[String]) -> Vec<u64> {
+    let pattern = Regex::compile(regex).expect("test regex compiles");
+    let plan = synthesize(&pattern, family);
+    let functor = emit(&plan, family, Language::Cpp, "GeneratedHash");
+
+    let program = format!(
+        "{functor}\n\
+         #include <iostream>\n\
+         int main() {{\n    \
+         GeneratedHash h;\n    \
+         std::string line;\n    \
+         while (std::getline(std::cin, line)) {{\n        \
+         std::cout << h(line) << \"\\n\";\n    }}\n    \
+         return 0;\n}}\n"
+    );
+
+    let dir = std::env::temp_dir().join(format!(
+        "sepe-codegen-cpp-{}-{}",
+        family.name().to_lowercase(),
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).expect("temp dir creates");
+    let src = dir.join("gen.cpp");
+    let bin = dir.join("gen_bin");
+    std::fs::write(&src, program).expect("source writes");
+
+    // The paper's setup: g++, -O2. BMI2/AES intrinsics need their flags.
+    let compile = Command::new("g++")
+        .args(["-O2", "-std=c++17", "-mbmi2", "-maes", "-msse4.1", "-o"])
+        .arg(&bin)
+        .arg(&src)
+        .output()
+        .expect("g++ runs");
+    assert!(
+        compile.status.success(),
+        "emitted C++ failed to compile:\n{}",
+        String::from_utf8_lossy(&compile.stderr)
+    );
+
+    use std::io::Write as _;
+    let mut child = Command::new(&bin)
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("generated binary runs");
+    {
+        let stdin = child.stdin.as_mut().expect("stdin piped");
+        for k in keys {
+            writeln!(stdin, "{k}").expect("write key");
+        }
+    }
+    let out = child.wait_with_output().expect("binary finishes");
+    assert!(out.status.success());
+    let hashes = String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .map(|l| l.parse().expect("decimal hash"))
+        .collect();
+    let _ = std::fs::remove_dir_all(&dir);
+    hashes
+}
+
+fn check_cpp_equivalence(format: KeyFormat, family: Family) {
+    if !gxx_available() {
+        eprintln!("skipping: g++ not available");
+        return;
+    }
+    if !hardware_available(family) {
+        eprintln!("skipping {family}: required instructions unavailable");
+        return;
+    }
+    let regex = format.regex();
+    let mut sampler = KeySampler::new(format, Distribution::Uniform, 177);
+    let keys = sampler.distinct_pool(200);
+    let generated = compile_and_run_cpp(&regex, family, &keys);
+    let hash = SynthesizedHash::from_regex(&regex, family)
+        .expect("format regex compiles")
+        .with_isa(Isa::Native);
+    for (k, &g) in keys.iter().zip(&generated) {
+        assert_eq!(
+            hash.hash_bytes(k.as_bytes()),
+            g,
+            "{format:?} {family}: plan and generated C++ disagree on {k:?}"
+        );
+    }
+}
+
+#[test]
+fn emitted_cpp_offxor_matches_plan() {
+    check_cpp_equivalence(KeyFormat::Ipv4, Family::OffXor);
+    check_cpp_equivalence(KeyFormat::Url2, Family::OffXor);
+}
+
+#[test]
+fn emitted_cpp_naive_matches_plan() {
+    check_cpp_equivalence(KeyFormat::Mac, Family::Naive);
+}
+
+#[test]
+fn emitted_cpp_pext_matches_plan() {
+    check_cpp_equivalence(KeyFormat::Ssn, Family::Pext);
+    check_cpp_equivalence(KeyFormat::Cpf, Family::Pext);
+    check_cpp_equivalence(KeyFormat::Ints, Family::Pext);
+}
+
+#[test]
+fn emitted_cpp_aes_matches_plan() {
+    check_cpp_equivalence(KeyFormat::Ipv6, Family::Aes);
+    check_cpp_equivalence(KeyFormat::Ssn, Family::Aes);
+}
+
+#[test]
+fn emitted_dispatch_cpp_matches_the_length_dispatch_hash() {
+    use sepe::core::codegen::emit_dispatch_cpp;
+    use sepe::core::multi::LengthDispatchHash;
+
+    if !gxx_available() {
+        eprintln!("skipping: g++ not available");
+        return;
+    }
+    let examples: [&[u8]; 6] = [
+        b"code=JFK", b"code=GRU", b"code=LAX", b"code=EGLL", b"code=SBGR", b"code=KDEN",
+    ];
+    let runtime =
+        LengthDispatchHash::from_examples(examples.iter().copied(), Family::OffXor)
+            .expect("examples are non-empty");
+
+    let strata: Vec<(usize, &Plan)> =
+        runtime.strata().map(|(len, h)| (len, h.plan())).collect();
+    let functor =
+        emit_dispatch_cpp(&strata, runtime.fallback().plan(), Family::OffXor, "AirportHash");
+
+    let program = format!(
+        "{functor}\n\
+         #include <iostream>\n\
+         int main() {{\n    \
+         AirportHash h;\n    \
+         std::string line;\n    \
+         while (std::getline(std::cin, line)) {{\n        \
+         std::cout << h(line) << \"\\n\";\n    }}\n    \
+         return 0;\n}}\n"
+    );
+    let dir = std::env::temp_dir().join(format!("sepe-dispatch-cpp-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir creates");
+    let src = dir.join("gen.cpp");
+    let bin = dir.join("gen_bin");
+    std::fs::write(&src, program).expect("source writes");
+    let compile = Command::new("g++")
+        .args(["-O2", "-std=c++17", "-o"])
+        .arg(&bin)
+        .arg(&src)
+        .output()
+        .expect("g++ runs");
+    assert!(
+        compile.status.success(),
+        "dispatch code failed to compile:\n{}",
+        String::from_utf8_lossy(&compile.stderr)
+    );
+
+    // Keys from both strata plus an unseen length (fallback path).
+    let keys = ["code=AAA", "code=ZZZ", "code=ABCD", "code=WXYZ", "code=FIVEE"];
+    use std::io::Write as _;
+    let mut child = Command::new(&bin)
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    {
+        let stdin = child.stdin.as_mut().expect("stdin piped");
+        for k in keys {
+            writeln!(stdin, "{k}").expect("write key");
+        }
+    }
+    let out = child.wait_with_output().expect("binary finishes");
+    assert!(out.status.success());
+    let produced: Vec<u64> = String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .map(|l| l.parse().expect("decimal hash"))
+        .collect();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    use sepe::core::ByteHash;
+    for (k, &g) in keys.iter().zip(&produced) {
+        assert_eq!(runtime.hash_bytes(k.as_bytes()), g, "disagree on {k:?}");
+    }
+}
+
+#[test]
+fn emitted_skip_table_cpp_matches_the_plan() {
+    // A variable-length format whose prefix needs more than eight loads:
+    // the emitter switches to the Figure 8 skip-table walk, which must
+    // still agree with the runtime plan on both key lengths.
+    if !gxx_available() {
+        eprintln!("skipping: g++ not available");
+        return;
+    }
+    let regex = r"[0-9]{80}([a-z]{8})?";
+    let keys: Vec<String> = (0..100)
+        .map(|i: u64| {
+            let digits = format!("{:080}", i * 1_000_003);
+            if i.is_multiple_of(2) {
+                digits
+            } else {
+                format!("{digits}{}", "qwertyui")
+            }
+        })
+        .collect();
+    let generated = compile_and_run_cpp(regex, Family::OffXor, &keys);
+    let hash = SynthesizedHash::from_regex(regex, Family::OffXor).expect("regex compiles");
+    for (k, &g) in keys.iter().zip(&generated) {
+        assert_eq!(hash.hash_bytes(k.as_bytes()), g, "skip-table disagrees on {k:?}");
+    }
+}

@@ -1,0 +1,117 @@
+//! Cross-crate integration: example keys → inferred format → synthesized
+//! plan → hash function → bucketed container, for every key format and
+//! family of the evaluation.
+
+use sepe::containers::{UnorderedMap, UnorderedMultiSet, UnorderedSet};
+use sepe::core::hash::{ByteHash, SynthesizedHash};
+use sepe::core::infer::infer_pattern;
+use sepe::core::regex::render::render;
+use sepe::core::regex::Regex;
+use sepe::core::synth::Family;
+use sepe::keygen::{Distribution, KeyFormat, KeySampler};
+
+#[test]
+fn examples_to_container_for_every_format_and_family() {
+    for format in KeyFormat::EVALUATED {
+        let examples = format.good_examples();
+        let refs: Vec<&[u8]> = examples.iter().map(String::as_bytes).collect();
+        let pattern = infer_pattern(refs.iter().copied()).expect("examples exist");
+
+        // Every materialized key matches the inferred pattern.
+        for idx in [0u128, 9, 123_456] {
+            let key = format.materialize(idx);
+            assert!(pattern.matches(key.as_bytes()), "{format:?}: {key:?}");
+        }
+
+        for family in Family::ALL {
+            let hash = SynthesizedHash::from_pattern(&pattern, family);
+            let mut map = UnorderedMap::with_hasher(hash);
+            let mut sampler = KeySampler::new(format, Distribution::Uniform, 3);
+            let keys = sampler.distinct_pool(500);
+            for (i, k) in keys.iter().enumerate() {
+                map.insert(k.clone(), i);
+            }
+            assert_eq!(map.len(), 500, "{format:?} {family}");
+            for (i, k) in keys.iter().enumerate() {
+                assert_eq!(map.get(k), Some(&i), "{format:?} {family} lost {k:?}");
+            }
+            for k in &keys {
+                assert!(map.remove(k).is_some());
+            }
+            assert!(map.is_empty());
+        }
+    }
+}
+
+#[test]
+fn rendered_regex_reproduces_the_same_hash_function() {
+    // infer -> render -> compile must yield the same plan as infer alone.
+    for format in KeyFormat::EVALUATED {
+        let examples = format.good_examples();
+        let refs: Vec<&[u8]> = examples.iter().map(String::as_bytes).collect();
+        let pattern = infer_pattern(refs.iter().copied()).expect("examples exist");
+        let reparsed = Regex::compile(&render(&pattern)).expect("render is parseable");
+        for family in Family::ALL {
+            let direct = SynthesizedHash::from_pattern(&pattern, family);
+            let via_regex = SynthesizedHash::from_pattern(&reparsed, family);
+            assert_eq!(direct.plan(), via_regex.plan(), "{format:?} {family}");
+        }
+    }
+}
+
+#[test]
+fn sets_and_multisets_work_with_synthesized_hashes() {
+    let hash = SynthesizedHash::from_regex(&KeyFormat::Mac.regex(), Family::OffXor)
+        .expect("mac regex compiles");
+    let mut set = UnorderedSet::with_hasher(hash.clone());
+    let mut multi = UnorderedMultiSet::with_hasher(hash);
+    let mut sampler = KeySampler::new(KeyFormat::Mac, Distribution::Uniform, 17);
+    let keys = sampler.distinct_pool(1000);
+    for k in &keys {
+        assert!(set.insert(k.clone()));
+        multi.insert(k.clone());
+        multi.insert(k.clone());
+    }
+    assert_eq!(set.len(), 1000);
+    assert_eq!(multi.len(), 2000);
+    for k in &keys {
+        assert!(set.contains(k));
+        assert_eq!(multi.count(k), 2);
+    }
+}
+
+#[test]
+fn all_families_agree_on_key_identity() {
+    // Hashing is deterministic and equal keys hash equal across clones.
+    let regex = KeyFormat::Ipv6.regex();
+    for family in Family::ALL {
+        let a = SynthesizedHash::from_regex(&regex, family).expect("regex compiles");
+        let b = a.clone();
+        let mut sampler = KeySampler::new(KeyFormat::Ipv6, Distribution::Normal, 23);
+        for _ in 0..200 {
+            let k = sampler.next_key();
+            assert_eq!(a.hash_bytes(k.as_bytes()), b.hash_bytes(k.as_bytes()));
+        }
+    }
+}
+
+#[test]
+fn variable_length_pipeline_works() {
+    // Mixed-length keys: inference, synthesis and hashing cooperate.
+    let keys: [&[u8]; 4] = [
+        b"GET /index",
+        b"GET /index?user=12345678",
+        b"GET /inbox",
+        b"GET /inbox?user=87654321",
+    ];
+    let pattern = infer_pattern(keys.iter().copied()).expect("non-empty");
+    assert!(!pattern.is_fixed_len());
+    for family in Family::ALL {
+        let hash = SynthesizedHash::from_pattern(&pattern, family);
+        let hashes: Vec<u64> = keys.iter().map(|k| hash.hash_bytes(k)).collect();
+        let mut dedup = hashes.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), keys.len(), "{family} collided on {hashes:?}");
+    }
+}

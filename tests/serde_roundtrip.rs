@@ -1,0 +1,73 @@
+//! Round-trip tests for the optional `serde` feature: synthesized plans
+//! and inferred patterns can be cached to disk (JSON here) and reloaded
+//! into an identical, equally-behaving hash function.
+
+use sepe_core::hash::{ByteHash, SynthesizedHash};
+use sepe_core::pattern::KeyPattern;
+use sepe_core::regex::Regex;
+use sepe_core::synth::{synthesize, Family, Plan};
+use sepe_core::Isa;
+
+fn ssn_pattern() -> KeyPattern {
+    Regex::compile(r"\d{3}-\d{2}-\d{4}").expect("ssn regex compiles")
+}
+
+#[test]
+fn key_pattern_round_trips_through_json() {
+    let pattern = ssn_pattern();
+    let json = serde_json::to_string(&pattern).expect("serializes");
+    let back: KeyPattern = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(back, pattern);
+    assert!(back.matches(b"123-45-6789"));
+}
+
+#[test]
+fn plans_round_trip_for_every_family_and_shape() {
+    let shapes = [
+        r"\d{3}-\d{2}-\d{4}",
+        r"[0-9]{100}",
+        r"[0-9]{16}([a-z]{4})?",
+        r"\d{4}",
+    ];
+    for shape in shapes {
+        let pattern = Regex::compile(shape).expect("regex compiles");
+        for family in Family::ALL {
+            let plan = synthesize(&pattern, family);
+            let json = serde_json::to_string(&plan).expect("serializes");
+            let back: Plan = serde_json::from_str(&json).expect("deserializes");
+            assert_eq!(back, plan, "{shape} {family}");
+        }
+    }
+}
+
+#[test]
+fn cached_plan_hashes_identically() {
+    let pattern = ssn_pattern();
+    let plan = synthesize(&pattern, Family::Pext);
+    let json = serde_json::to_string(&plan).expect("serializes");
+
+    // "A different process" reloads the plan and rebuilds the hash.
+    let reloaded: Plan = serde_json::from_str(&json).expect("deserializes");
+    let original = SynthesizedHash::new(plan, Family::Pext, Isa::Native);
+    let restored = SynthesizedHash::new(reloaded, Family::Pext, Isa::Native);
+    for i in 0..2000u32 {
+        let key = format!("{:03}-{:02}-{:04}", i % 999, i % 97, i);
+        assert_eq!(
+            original.hash_bytes(key.as_bytes()),
+            restored.hash_bytes(key.as_bytes())
+        );
+    }
+}
+
+#[test]
+fn plan_json_is_stable_for_the_figure_12_example() {
+    // A readable, reviewable representation of the SSN Pext plan.
+    let plan = synthesize(
+        &Regex::compile(r"\d{3}\.\d{2}\.\d{4}").expect("compiles"),
+        Family::Pext,
+    );
+    let json = serde_json::to_value(&plan).expect("serializes");
+    assert_eq!(json["FixedWords"]["len"], 11);
+    assert_eq!(json["FixedWords"]["ops"][0]["offset"], 0);
+    assert_eq!(json["FixedWords"]["ops"][1]["shift"], 52);
+}

@@ -1,0 +1,62 @@
+//! Interop with `std::collections` through the `BuildHasher` adapter —
+//! the Rust analog of dropping a SEPE functor into `std::unordered_map`
+//! (Figure 5d).
+
+use sepe::baselines::{CityHash, StlHash};
+use sepe::core::hash::adapter::SepeBuildHasher;
+use sepe::core::hash::SynthesizedHash;
+use sepe::core::synth::Family;
+use sepe::keygen::{Distribution, KeyFormat, KeySampler};
+use std::collections::{HashMap, HashSet};
+
+#[test]
+fn std_hashmap_with_every_family() {
+    for family in Family::ALL {
+        let hash = SynthesizedHash::from_regex(&KeyFormat::Ssn.regex(), family)
+            .expect("ssn regex compiles");
+        let mut map: HashMap<String, usize, _> =
+            HashMap::with_hasher(SepeBuildHasher::new(hash));
+        let mut sampler = KeySampler::new(KeyFormat::Ssn, Distribution::Uniform, 31);
+        let keys = sampler.distinct_pool(2000);
+        for (i, k) in keys.iter().enumerate() {
+            map.insert(k.clone(), i);
+        }
+        assert_eq!(map.len(), 2000, "{family}");
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(map.get(k.as_str()), Some(&i), "{family}");
+        }
+    }
+}
+
+#[test]
+fn std_hashset_with_baseline_hashes() {
+    let mut set: HashSet<String, _> = HashSet::with_hasher(SepeBuildHasher::new(CityHash::new()));
+    for i in 0..1000 {
+        set.insert(format!("key-{i}"));
+    }
+    assert_eq!(set.len(), 1000);
+    assert!(set.contains("key-500"));
+
+    let mut set2: HashSet<String, _> = HashSet::with_hasher(SepeBuildHasher::new(StlHash::new()));
+    set2.extend(set.iter().cloned());
+    assert_eq!(set2.len(), 1000);
+}
+
+#[test]
+fn adapter_survives_rehashes() {
+    let hash = SynthesizedHash::from_regex(&KeyFormat::Ipv4.regex(), Family::Pext)
+        .expect("ipv4 regex compiles");
+    let mut map: HashMap<String, u32, _> =
+        HashMap::with_capacity_and_hasher(1, SepeBuildHasher::new(hash));
+    for i in 0..50_000u32 {
+        let key = format!("{:03}.{:03}.{:03}.{:03}", i % 256, (i / 256) % 256, i % 199, i % 251);
+        map.insert(key, i);
+    }
+    let expect: std::collections::BTreeSet<String> = (0..50_000u32)
+        .map(|i| format!("{:03}.{:03}.{:03}.{:03}", i % 256, (i / 256) % 256, i % 199, i % 251))
+        .collect();
+    assert_eq!(map.len(), expect.len());
+    for k in expect {
+        assert!(map.contains_key(k.as_str()));
+    }
+}
