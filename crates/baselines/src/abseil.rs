@@ -34,7 +34,9 @@ fn fetch64(s: &[u8], i: usize) -> u64 {
 
 #[inline]
 fn fetch32(s: &[u8], i: usize) -> u64 {
-    u64::from(u32::from_le_bytes(s[i..i + 4].try_into().expect("4 bytes in range")))
+    u64::from(u32::from_le_bytes(
+        s[i..i + 4].try_into().expect("4 bytes in range"),
+    ))
 }
 
 /// Computes the low-level hash of `data` under `seed`.

@@ -20,7 +20,9 @@ fn fetch64(s: &[u8], i: usize) -> u64 {
 
 #[inline]
 fn fetch32(s: &[u8], i: usize) -> u64 {
-    u64::from(u32::from_le_bytes(s[i..i + 4].try_into().expect("4 bytes in range")))
+    u64::from(u32::from_le_bytes(
+        s[i..i + 4].try_into().expect("4 bytes in range"),
+    ))
 }
 
 #[inline]
@@ -93,7 +95,8 @@ fn hash_len_17_to_32(s: &[u8]) -> u64 {
         rotate(a.wrapping_add(b), 43)
             .wrapping_add(rotate(c, 30))
             .wrapping_add(d),
-        a.wrapping_add(rotate(b.wrapping_add(K2), 18)).wrapping_add(c),
+        a.wrapping_add(rotate(b.wrapping_add(K2), 18))
+            .wrapping_add(c),
         mul,
     )
 }
@@ -110,10 +113,12 @@ fn hash_len_33_to_64(s: &[u8]) -> u64 {
     let g = fetch64(s, len - 8);
     let h = fetch64(s, len - 16).wrapping_mul(mul);
 
-    let u = rotate(a.wrapping_add(g), 43)
-        .wrapping_add(rotate(b, 30).wrapping_add(c).wrapping_mul(9));
+    let u =
+        rotate(a.wrapping_add(g), 43).wrapping_add(rotate(b, 30).wrapping_add(c).wrapping_mul(9));
     let v = (a.wrapping_add(g) ^ d).wrapping_add(f).wrapping_add(1);
-    let w = (u.wrapping_add(v).wrapping_mul(mul)).swap_bytes().wrapping_add(h);
+    let w = (u.wrapping_add(v).wrapping_mul(mul))
+        .swap_bytes()
+        .wrapping_add(h);
     let x = rotate(e.wrapping_add(f), 42).wrapping_add(c);
     let y = (v.wrapping_add(w).wrapping_mul(mul))
         .swap_bytes()
@@ -124,7 +129,10 @@ fn hash_len_33_to_64(s: &[u8]) -> u64 {
         .swap_bytes()
         .wrapping_add(b);
     let b2 = shift_mix(
-        z.wrapping_add(a2).wrapping_mul(mul).wrapping_add(d).wrapping_add(h),
+        z.wrapping_add(a2)
+            .wrapping_mul(mul)
+            .wrapping_add(d)
+            .wrapping_add(h),
     )
     .wrapping_mul(mul);
     b2.wrapping_add(x)
@@ -190,12 +198,13 @@ pub fn city_hash_64(s: &[u8]) -> u64 {
     let mut pos = 0usize;
     loop {
         x = rotate(
-            x.wrapping_add(y).wrapping_add(v.0).wrapping_add(fetch64(s, pos + 8)),
+            x.wrapping_add(y)
+                .wrapping_add(v.0)
+                .wrapping_add(fetch64(s, pos + 8)),
             37,
         )
         .wrapping_mul(K1);
-        y = rotate(y.wrapping_add(v.1).wrapping_add(fetch64(s, pos + 48)), 42)
-            .wrapping_mul(K1);
+        y = rotate(y.wrapping_add(v.1).wrapping_add(fetch64(s, pos + 48)), 42).wrapping_mul(K1);
         x ^= w.1;
         y = y.wrapping_add(v.0).wrapping_add(fetch64(s, pos + 40));
         z = rotate(z.wrapping_add(w.0), 33).wrapping_mul(K1);

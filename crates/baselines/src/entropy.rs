@@ -89,12 +89,16 @@ impl EntropyLearnedHash {
             .collect();
         // Highest entropy first; ties broken by position for determinism.
         ranked.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1).expect("entropies are finite").then(a.0.cmp(&b.0))
+            b.1.partial_cmp(&a.1)
+                .expect("entropies are finite")
+                .then(a.0.cmp(&b.0))
         });
-        let mut positions: Vec<usize> =
-            ranked.into_iter().take(budget).map(|(p, _)| p).collect();
+        let mut positions: Vec<usize> = ranked.into_iter().take(budget).map(|(p, _)| p).collect();
         positions.sort_unstable();
-        EntropyLearnedHash { positions, seed: DEFAULT_STL_SEED }
+        EntropyLearnedHash {
+            positions,
+            seed: DEFAULT_STL_SEED,
+        }
     }
 
     /// The byte positions the hash reads, ascending.
@@ -128,7 +132,9 @@ mod tests {
 
     fn sample_keys(n: usize) -> Vec<String> {
         // Multiply by a unit mod 10^6 so every digit position varies.
-        (0..n).map(|i| format!("user-{:06}@example.com", i * 997 % 1_000_000)).collect()
+        (0..n)
+            .map(|i| format!("user-{:06}@example.com", i * 997 % 1_000_000))
+            .collect()
     }
 
     #[test]
@@ -193,7 +199,13 @@ mod tests {
     #[test]
     fn variable_length_keys_contribute_length_entropy() {
         let keys: Vec<String> = (0..100)
-            .map(|i| if i % 2 == 0 { format!("k{i:03}") } else { format!("k{i:03}x") })
+            .map(|i| {
+                if i % 2 == 0 {
+                    format!("k{i:03}")
+                } else {
+                    format!("k{i:03}x")
+                }
+            })
             .collect();
         let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_bytes()).collect();
         let e = positional_entropy(&refs);

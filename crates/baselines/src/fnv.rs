@@ -30,7 +30,9 @@ impl FnvHash {
     /// FNV-1a with the standard offset basis.
     #[must_use]
     pub fn new() -> Self {
-        FnvHash { basis: FNV_OFFSET_BASIS }
+        FnvHash {
+            basis: FNV_OFFSET_BASIS,
+        }
     }
 
     /// FNV-1a with a caller-chosen basis (libstdc++ mixes the seed here).

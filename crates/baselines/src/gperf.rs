@@ -56,7 +56,11 @@ impl GperfHash {
         keys.dedup();
         let positions = select_positions(&keys);
         let (asso, perfect) = search_asso_values(&keys, &positions);
-        GperfHash { positions, asso, perfect }
+        GperfHash {
+            positions,
+            asso,
+            perfect,
+        }
     }
 
     /// The keyword positions the function inspects.
@@ -120,8 +124,16 @@ fn select_positions(keys: &[&[u8]]) -> Vec<usize> {
     chosen
 }
 
-/// Number of keys whose (positions, length) signature is shared with
-/// another key.
+/// Number of keys that share their (positions, length) signature with an
+/// *earlier* key — the collisions no associated-value search can repair.
+///
+/// Counting excess keys per group (size − 1) rather than every member of a
+/// shared group matters for the greedy selection: on a large training set a
+/// single position rarely makes any signature unique (1000 keys over 10
+/// digit values leave every signature shared), but it always shrinks the
+/// excess. The per-member count plateaus, the greedy concludes no position
+/// helps, and training degenerates to the constant `hash = len` — the
+/// single-bucket pileup `repro_output.txt` recorded for Gperf.
 fn duplicate_signatures(keys: &[&[u8]], positions: &[usize]) -> usize {
     let mut sigs: Vec<Vec<u8>> = keys
         .iter()
@@ -143,9 +155,7 @@ fn duplicate_signatures(keys: &[&[u8]], positions: &[usize]) -> usize {
         while j < sigs.len() && sigs[j] == sigs[i] {
             j += 1;
         }
-        if j - i > 1 {
-            dups += j - i;
-        }
+        dups += j - i - 1;
         i = j;
     }
     dups
@@ -156,7 +166,26 @@ fn duplicate_signatures(keys: &[&[u8]], positions: &[usize]) -> usize {
 /// them. Bounded by [`MAX_REPAIR_SWEEPS`]; returns whether the final table
 /// is collision-free on the training set.
 fn search_asso_values(keys: &[&[u8]], positions: &[usize]) -> (Box<[u32; 256]>, bool) {
+    // Scrambled per-character seeds, for two reasons. From an all-zero
+    // table the repair is symmetric — every sweep bumps every colliding
+    // character by the same step, so the table can stay equal across
+    // characters forever, and `len + Σ asso` is then *constant* on a
+    // fixed-length format (the single-bucket pileup recorded in
+    // repro_output.txt). And an arithmetic progression (`v * c`) makes the
+    // sum see only the character *sum*, collapsing the range to a few
+    // dozen values. Irregular 13-bit seeds separate distinct character
+    // multisets while keeping the hash range tiny, as gperf tables are;
+    // keys that *permute* the selected characters still collide — the
+    // pathology the paper's evaluation depends on.
+    // A single multiply-shift would not do: over consecutive character
+    // codes it is affine, which collapses the sums all the same.
     let mut asso = Box::new([0u32; 256]);
+    for (v, slot) in asso.iter_mut().enumerate() {
+        let mut z = (v as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        *slot = ((z >> 31) as u32) & 0x1FFF;
+    }
     if keys.is_empty() || positions.is_empty() {
         return (asso, duplicate_signatures(keys, positions) == 0);
     }
@@ -171,8 +200,11 @@ fn search_asso_values(keys: &[&[u8]], positions: &[usize]) -> (Box<[u32; 256]>, 
     };
     let mut step = 1u32;
     for _sweep in 0..MAX_REPAIR_SWEEPS {
-        let mut hashed: Vec<(u64, usize)> =
-            keys.iter().enumerate().map(|(i, k)| (hash(k, &asso), i)).collect();
+        let mut hashed: Vec<(u64, usize)> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (hash(k, &asso), i))
+            .collect();
         hashed.sort_unstable();
         let mut any_collision = false;
         let mut bumped = [false; 256];
@@ -213,8 +245,16 @@ mod tests {
     fn small_keyword_set_becomes_perfect() {
         // The classic gperf use case: a handful of reserved words.
         let words: [&[u8]; 10] = [
-            b"auto", b"break", b"case", b"char", b"const", b"continue", b"default", b"do",
-            b"double", b"else",
+            b"auto",
+            b"break",
+            b"case",
+            b"char",
+            b"const",
+            b"continue",
+            b"default",
+            b"do",
+            b"double",
+            b"else",
         ];
         let h = GperfHash::train(words.iter().copied());
         assert!(h.is_perfect());
@@ -231,7 +271,11 @@ mod tests {
         // uniformity (Table 2).
         let keys: Vec<String> = (0..50).map(|i| format!("{i:04}")).collect();
         let h = GperfHash::train(keys.iter().map(|k| k.as_bytes()));
-        let max = keys.iter().map(|k| h.hash_bytes(k.as_bytes())).max().unwrap();
+        let max = keys
+            .iter()
+            .map(|k| h.hash_bytes(k.as_bytes()))
+            .max()
+            .unwrap();
         assert!(max < 1 << 20, "gperf range stays small, got {max}");
     }
 
@@ -256,6 +300,42 @@ mod tests {
         let h = GperfHash::train(keys.iter().map(|k| k.as_bytes()));
         assert!(h.positions().len() <= MAX_POSITIONS);
         assert!(h.positions().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn large_random_training_sets_are_not_constant() {
+        // Regression: the greedy position selection used to count every
+        // member of a shared-signature group, so on 1000 keys no single
+        // position ever "reduced duplicates" and it gave up with an empty
+        // position list — a constant hash per key length, which is the
+        // 9,999-key single-bucket pileup recorded in repro_output.txt.
+        let mut state = 0x5EEDu64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let keys: Vec<String> = (0..1000)
+            .map(|_| {
+                (0..11)
+                    .map(|_| char::from(b'0' + (next() % 10) as u8))
+                    .collect()
+            })
+            .collect();
+        let h = GperfHash::train(keys.iter().map(|k| k.as_bytes()));
+        assert!(
+            !h.positions().is_empty(),
+            "greedy selection must keep making progress"
+        );
+        let mut hashes: Vec<u64> = keys.iter().map(|k| h.hash_bytes(k.as_bytes())).collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        assert!(
+            hashes.len() > 500,
+            "training keys should mostly hash apart, got {} distinct of 1000",
+            hashes.len()
+        );
     }
 
     #[test]

@@ -56,15 +56,21 @@ mod tests {
     use super::*;
 
     fn ssn(i: u64) -> String {
-        format!("{:03}-{:02}-{:04}", i / 1_000_000, (i / 10_000) % 100, i % 10_000)
+        format!(
+            "{:03}-{:02}-{:04}",
+            i / 1_000_000,
+            (i / 10_000) % 100,
+            i % 10_000
+        )
     }
 
     #[test]
     fn injective_on_a_large_ssn_sample() {
         // The figure claims a bijection of 11-byte strings to 8-byte
         // integers; verify injectivity over a large structured sample.
-        let mut hashes: Vec<u64> =
-            (0..200_000u64).map(|i| figure4_ssn_hash(ssn(i * 4999).as_bytes())).collect();
+        let mut hashes: Vec<u64> = (0..200_000u64)
+            .map(|i| figure4_ssn_hash(ssn(i * 4999).as_bytes()))
+            .collect();
         hashes.sort_unstable();
         hashes.dedup();
         assert_eq!(hashes.len(), 200_000);

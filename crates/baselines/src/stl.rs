@@ -25,7 +25,9 @@ impl StlHash {
     /// The hash with libstdc++'s default seed (`0xc70f6907`).
     #[must_use]
     pub fn new() -> Self {
-        StlHash { seed: DEFAULT_STL_SEED }
+        StlHash {
+            seed: DEFAULT_STL_SEED,
+        }
     }
 
     /// The hash with a caller-chosen seed.

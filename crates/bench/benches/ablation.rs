@@ -33,7 +33,10 @@ fn bench_isa_ablation(c: &mut Criterion) {
     let keys: Vec<&[u8]> = pool.iter().map(|s| s.as_bytes()).collect();
 
     let mut group = c.benchmark_group("ablation/isa");
-    group.sample_size(20).measurement_time(std::time::Duration::from_millis(800)).warm_up_time(std::time::Duration::from_millis(300));
+    group
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_millis(800))
+        .warm_up_time(std::time::Duration::from_millis(300));
     for family in [Family::Pext, Family::Aes] {
         for (label, isa) in [("hw", Isa::Native), ("sw", Isa::Portable)] {
             let hash = SynthesizedHash::from_regex(&KeyFormat::Ints.regex(), family)
@@ -50,7 +53,10 @@ fn bench_isa_ablation(c: &mut Criterion) {
 
 fn bench_gradual_ladder(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/gradual");
-    group.sample_size(20).measurement_time(std::time::Duration::from_millis(800)).warm_up_time(std::time::Duration::from_millis(300));
+    group
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_millis(800))
+        .warm_up_time(std::time::Duration::from_millis(300));
     for format in [KeyFormat::Ssn, KeyFormat::Url2] {
         let pool: Vec<String> =
             KeySampler::new(format, Distribution::Uniform, 3).distinct_pool(256);
@@ -69,7 +75,10 @@ fn bench_gradual_ladder(c: &mut Criterion) {
 
 fn bench_gperf_training(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/gperf-training");
-    group.sample_size(10).measurement_time(std::time::Duration::from_secs(1)).warm_up_time(std::time::Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(1))
+        .warm_up_time(std::time::Duration::from_millis(300));
     for n in [50usize, 200, 1000] {
         let pool: Vec<String> =
             KeySampler::new(KeyFormat::Ssn, Distribution::Uniform, 3).distinct_pool(n);
@@ -94,7 +103,10 @@ fn bench_related_work(c: &mut Criterion) {
     let stl = StlHash::new();
 
     let mut group = c.benchmark_group("ablation/related-work");
-    group.sample_size(20).measurement_time(std::time::Duration::from_millis(800)).warm_up_time(std::time::Duration::from_millis(300));
+    group
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_millis(800))
+        .warm_up_time(std::time::Duration::from_millis(300));
     group.bench_function(BenchmarkId::from_parameter("sepe-offxor"), |b| {
         b.iter(|| chained(&offxor, &keys));
     });

@@ -19,7 +19,10 @@ fn bench_btime(c: &mut Criterion) {
 
     // Figure 13: x86 (native ISA).
     let mut group = c.benchmark_group("btime/native");
-    group.sample_size(10).measurement_time(std::time::Duration::from_secs(1)).warm_up_time(std::time::Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(1))
+        .warm_up_time(std::time::Duration::from_millis(300));
     for id in TIMED_HASHES {
         let hash = id.build(format, Isa::Native);
         group.bench_function(BenchmarkId::from_parameter(id.name()), |b| {
@@ -31,7 +34,10 @@ fn bench_btime(c: &mut Criterion) {
     // Figure 15: the paper's aarch64 configuration — portable code paths,
     // Pext excluded (no bit-extract hardware).
     let mut group = c.benchmark_group("btime/portable");
-    group.sample_size(10).measurement_time(std::time::Duration::from_secs(1)).warm_up_time(std::time::Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(1))
+        .warm_up_time(std::time::Duration::from_millis(300));
     for id in TIMED_HASHES.into_iter().filter(|&i| i != HashId::Pext) {
         let hash = id.build(format, Isa::Portable);
         group.bench_function(BenchmarkId::from_parameter(id.name()), |b| {

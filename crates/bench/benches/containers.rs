@@ -11,9 +11,18 @@ fn bench_containers(c: &mut Criterion) {
     let format = KeyFormat::Ssn;
     let hash = HashId::OffXor.build(format, Isa::Native);
     let mut group = c.benchmark_group("containers");
-    group.sample_size(10).measurement_time(std::time::Duration::from_secs(1)).warm_up_time(std::time::Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(1))
+        .warm_up_time(std::time::Duration::from_millis(300));
     for container in ContainerKind::ALL {
-        for mode in [Mode::Batched, Mode::Interweaved { p_insert: 0.6, p_search: 0.2 }] {
+        for mode in [
+            Mode::Batched,
+            Mode::Interweaved {
+                p_insert: 0.6,
+                p_search: 0.2,
+            },
+        ] {
             let cfg = ExperimentConfig {
                 container,
                 mode,

@@ -27,7 +27,10 @@ fn bench_direct(c: &mut Criterion) {
     }
 
     let mut group = c.benchmark_group("direct/lookup");
-    group.sample_size(20).measurement_time(std::time::Duration::from_millis(900)).warm_up_time(std::time::Duration::from_millis(300));
+    group
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_millis(900))
+        .warm_up_time(std::time::Duration::from_millis(300));
     group.bench_function(BenchmarkId::from_parameter("DirectMap"), |b| {
         b.iter(|| {
             let mut acc = 0u32;
@@ -61,7 +64,9 @@ fn bench_direct(c: &mut Criterion) {
     // array — the dense "key as offset" case Kraska et al. argue for,
     // where a lookup is the hash plus a single indexed load.
     let zip_pattern = Regex::compile(r"\d{5}-us").expect("zip regex compiles");
-    let zips: Vec<String> = (0..10_000u32).map(|i| format!("{:05}-us", i * 7 % 100_000)).collect();
+    let zips: Vec<String> = (0..10_000u32)
+        .map(|i| format!("{:05}-us", i * 7 % 100_000))
+        .collect();
     let mut direct2: DirectMap<u32> = DirectMap::new(&zip_pattern).expect("zip is bijective");
     assert!(direct2.is_flat());
     let hash2 = SynthesizedHash::from_pattern(&zip_pattern, Family::Pext);
@@ -71,7 +76,10 @@ fn bench_direct(c: &mut Criterion) {
         bucketed2.insert(k.clone(), i as u32);
     }
     let mut group = c.benchmark_group("direct/lookup-flat");
-    group.sample_size(20).measurement_time(std::time::Duration::from_millis(900)).warm_up_time(std::time::Duration::from_millis(300));
+    group
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_millis(900))
+        .warm_up_time(std::time::Duration::from_millis(300));
     group.bench_function(BenchmarkId::from_parameter("DirectMap(flat)"), |b| {
         b.iter(|| {
             let mut acc = 0u32;

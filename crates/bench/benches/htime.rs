@@ -11,7 +11,10 @@ use std::hint::black_box;
 fn bench_htime(c: &mut Criterion) {
     for format in [KeyFormat::Ssn, KeyFormat::Url1, KeyFormat::Ints] {
         let mut group = c.benchmark_group(format!("htime/{}", format.name()));
-        group.sample_size(20).measurement_time(std::time::Duration::from_millis(800)).warm_up_time(std::time::Duration::from_millis(300));
+        group
+            .sample_size(20)
+            .measurement_time(std::time::Duration::from_millis(800))
+            .warm_up_time(std::time::Duration::from_millis(300));
         let pool = key_pool(format, 1024);
         let keys: Vec<&[u8]> = pool.iter().map(|s| s.as_bytes()).collect();
         for id in TIMED_HASHES.into_iter().chain([HashId::Gperf]) {

@@ -9,9 +9,18 @@ use sepe_keygen::KeyFormat;
 use std::hint::black_box;
 
 fn bench_scaling(c: &mut Criterion) {
-    for id in [HashId::Pext, HashId::Stl, HashId::City, HashId::Fnv, HashId::Abseil] {
+    for id in [
+        HashId::Pext,
+        HashId::Stl,
+        HashId::City,
+        HashId::Fnv,
+        HashId::Abseil,
+    ] {
         let mut group = c.benchmark_group(format!("scaling/{}", id.name()));
-        group.sample_size(15).measurement_time(std::time::Duration::from_millis(700)).warm_up_time(std::time::Duration::from_millis(300));
+        group
+            .sample_size(15)
+            .measurement_time(std::time::Duration::from_millis(700))
+            .warm_up_time(std::time::Duration::from_millis(300));
         for exp in [4u32, 7, 10, 14] {
             let size = 1usize << exp;
             let hash: Box<dyn ByteHash> = match id.family() {

@@ -9,7 +9,10 @@ use sepe_driver::analysis::synthesis_time;
 fn bench_synthesis(c: &mut Criterion) {
     for family in [Family::Pext, Family::OffXor, Family::Aes] {
         let mut group = c.benchmark_group(format!("synthesis/{family}"));
-        group.sample_size(10).measurement_time(std::time::Duration::from_millis(600)).warm_up_time(std::time::Duration::from_millis(300));
+        group
+            .sample_size(10)
+            .measurement_time(std::time::Duration::from_millis(600))
+            .warm_up_time(std::time::Duration::from_millis(300));
         for exp in [4u32, 6, 8, 10, 12, 14] {
             let size = 1usize << exp;
             group.throughput(Throughput::Bytes(size as u64));

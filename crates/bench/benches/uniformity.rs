@@ -11,8 +11,17 @@ fn bench_uniformity(c: &mut Criterion) {
     let format = KeyFormat::Ssn;
     for dist in Distribution::ALL {
         let mut group = c.benchmark_group(format!("uniformity/{dist}"));
-        group.sample_size(10).measurement_time(std::time::Duration::from_millis(800)).warm_up_time(std::time::Duration::from_millis(300));
-        for id in [HashId::Stl, HashId::Pext, HashId::OffXor, HashId::Aes, HashId::City] {
+        group
+            .sample_size(10)
+            .measurement_time(std::time::Duration::from_millis(800))
+            .warm_up_time(std::time::Duration::from_millis(300));
+        for id in [
+            HashId::Stl,
+            HashId::Pext,
+            HashId::OffXor,
+            HashId::Aes,
+            HashId::City,
+        ] {
             let hash = id.build(format, Isa::Native);
             group.bench_function(BenchmarkId::from_parameter(id.name()), |b| {
                 b.iter(|| uniformity_chi2(hash.as_ref(), format, dist, 10_000, 256, 5));

@@ -76,8 +76,14 @@ fn main() -> ExitCode {
             if !msg.is_empty() {
                 eprintln!("keybench: {msg}");
             }
-            eprintln!("usage: keybench [--iterations N] [FILE]   (keys on stdin or FILE, one per line)");
-            return if msg.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+            eprintln!(
+                "usage: keybench [--iterations N] [FILE]   (keys on stdin or FILE, one per line)"
+            );
+            return if msg.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            };
         }
     };
 
@@ -86,15 +92,21 @@ fn main() -> ExitCode {
         Some(p) => std::fs::read_to_string(p).map(|s| {
             input = s;
         }),
-        None => std::io::stdin().lock().read_to_string(&mut input).map(|_| ()),
+        None => std::io::stdin()
+            .lock()
+            .read_to_string(&mut input)
+            .map(|_| ()),
     };
     if let Err(e) = read {
         eprintln!("keybench: cannot read keys: {e}");
         return ExitCode::FAILURE;
     }
 
-    let mut keys: Vec<&str> =
-        input.lines().map(str::trim_end).filter(|l| !l.is_empty()).collect();
+    let mut keys: Vec<&str> = input
+        .lines()
+        .map(str::trim_end)
+        .filter(|l| !l.is_empty())
+        .collect();
     keys.sort_unstable();
     keys.dedup();
     if keys.is_empty() {
@@ -122,7 +134,10 @@ fn main() -> ExitCode {
         }
     );
 
-    println!("{:<22} {:>12} {:>10} {:>12}", "function", "ns/hash", "T-Coll", "B-Coll");
+    println!(
+        "{:<22} {:>12} {:>10} {:>12}",
+        "function", "ns/hash", "T-Coll", "B-Coll"
+    );
     let report = |name: &str, hash: &dyn ByteHash| {
         let ns = chained_time(hash, &key_bytes, opts.iterations);
         let (b_coll, t_coll) =
@@ -135,15 +150,25 @@ fn main() -> ExitCode {
         report(&format!("sepe/{family}"), &hash);
     }
     if !pattern.is_fixed_len() {
-        if let Ok(dispatch) = LengthDispatchHash::from_examples(key_bytes.iter().copied(), Family::OffXor) {
+        if let Ok(dispatch) =
+            LengthDispatchHash::from_examples(key_bytes.iter().copied(), Family::OffXor)
+        {
             report("sepe/OffXor+dispatch", &dispatch);
         }
     }
     // Related work: entropy-learned hashing (Hentschel et al.), trained on
     // the same keys with a byte budget matching the variable region.
-    let budget = key_bytes.iter().map(|k| k.len()).max().unwrap_or(1).clamp(1, 16);
+    let budget = key_bytes
+        .iter()
+        .map(|k| k.len())
+        .max()
+        .unwrap_or(1)
+        .clamp(1, 16);
     let elh = sepe_baselines::EntropyLearnedHash::train(&key_bytes, budget);
-    report(&format!("related/ELH({} bytes)", elh.positions().len()), &elh);
+    report(
+        &format!("related/ELH({} bytes)", elh.positions().len()),
+        &elh,
+    );
 
     for id in [HashId::Stl, HashId::City, HashId::Abseil, HashId::Fnv] {
         // Baselines are format-independent; any format argument works.

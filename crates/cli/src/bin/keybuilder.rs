@@ -30,7 +30,10 @@ fn main() -> ExitCode {
         Some(path) => std::fs::read_to_string(path).map(|s| {
             input = s;
         }),
-        None => std::io::stdin().lock().read_to_string(&mut input).map(|_| ()),
+        None => std::io::stdin()
+            .lock()
+            .read_to_string(&mut input)
+            .map(|_| ()),
     };
     if let Err(e) = read {
         eprintln!("keybuilder: cannot read input: {e}");

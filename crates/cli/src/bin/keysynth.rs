@@ -75,7 +75,11 @@ fn main() -> ExitCode {
                 "usage: keysynth [--family naive|offxor|aes|pext]... \
                  [--lang cpp|rust] [--name NAME] [--explain] REGEX"
             );
-            return if msg.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+            return if msg.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            };
         }
     };
 

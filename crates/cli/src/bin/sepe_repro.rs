@@ -12,17 +12,40 @@ use sepe_driver::analysis::RunScale;
 use std::process::ExitCode;
 
 const ARTIFACTS: [&str; 15] = [
-    "table1", "table2", "table3", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
-    "fig19", "fig20", "gradual", "significance", "avalanche", "bykey",
+    "table1",
+    "table2",
+    "table3",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "fig20",
+    "gradual",
+    "significance",
+    "avalanche",
+    "bykey",
 ];
 
 fn scale_of(name: &str) -> Result<RunScale, String> {
     match name {
         "smoke" => Ok(RunScale::smoke()),
-        "quick" => Ok(RunScale { affectations: 4000, samples: 1, ..RunScale::default() }),
+        "quick" => Ok(RunScale {
+            affectations: 4000,
+            samples: 1,
+            ..RunScale::default()
+        }),
         "default" => Ok(RunScale::default()),
-        "paper" => Ok(RunScale { affectations: 10_000, samples: 10, ..RunScale::default() }),
-        other => Err(format!("unknown scale {other:?}; expected smoke|quick|default|paper")),
+        "paper" => Ok(RunScale {
+            affectations: 10_000,
+            samples: 10,
+            ..RunScale::default()
+        }),
+        other => Err(format!(
+            "unknown scale {other:?}; expected smoke|quick|default|paper"
+        )),
     }
 }
 

@@ -48,9 +48,9 @@ pub fn parse_language(s: &str) -> Result<sepe_core::codegen::Language, String> {
             Ok(sepe_core::codegen::Language::CppAarch64)
         }
         "rust" | "rs" => Ok(sepe_core::codegen::Language::Rust),
-        other => {
-            Err(format!("unknown language {other:?}; expected cpp, cpp-arm or rust"))
-        }
+        other => Err(format!(
+            "unknown language {other:?}; expected cpp, cpp-arm or rust"
+        )),
     }
 }
 

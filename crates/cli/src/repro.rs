@@ -17,8 +17,7 @@ use sepe_stats::{pearson_correlation, BoxplotSummary};
 use std::fmt::Write as _;
 
 /// Key sizes of the scaling experiments (2⁴ … 2¹⁴, Figures 16 and 19).
-pub const SCALING_SIZES: [usize; 11] =
-    [16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384];
+pub const SCALING_SIZES: [usize; 11] = [16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384];
 
 fn boxplot_row(name: &str, values: &[f64]) -> String {
     match BoxplotSummary::of(values) {
@@ -70,18 +69,17 @@ pub fn fig13(scale: &RunScale) -> String {
 /// collisions across key formats).
 #[must_use]
 pub fn fig14(scale: &RunScale) -> String {
-    let mut out =
-        String::from("Figure 14: bucket collisions per function (across key formats)\n");
+    let mut out = String::from("Figure 14: bucket collisions per function (across key formats)\n");
     for id in HashId::ALL {
         let mut per_format = Vec::new();
         for &format in &scale.formats {
-            let hash = id.build(format, scale.isa);
             let n = scale
                 .collision_keys
                 .min(usize::try_from(format.space()).unwrap_or(usize::MAX));
-            let mut sampler =
-                sepe_keygen::KeySampler::new(format, Distribution::Normal, 0xC011);
+            let mut sampler = sepe_keygen::KeySampler::new(format, Distribution::Normal, 0xC011);
             let keys = sampler.distinct_pool(n);
+            // Gperf trains on a prefix of the measured pool, like the tool.
+            let hash = id.build_trained(format, scale.isa, &keys);
             let (b, _) = sepe_driver::measure::collisions_of(
                 hash.as_ref(),
                 &keys,
@@ -156,7 +154,10 @@ pub fn table2(scale: &RunScale) -> String {
             .iter()
             .map(|&id| s.spawn(move || (id, chi_cells(id))))
             .collect();
-        handles.into_iter().map(|h| h.join().expect("chi2 worker joins")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("chi2 worker joins"))
+            .collect()
     });
     let stl_cells = &all
         .iter()
@@ -197,7 +198,11 @@ pub fn table3(scale: &RunScale) -> String {
     );
     for id in HashId::ALL {
         let mut cells = String::new();
-        for dist in [Distribution::Incremental, Distribution::Normal, Distribution::Uniform] {
+        for dist in [
+            Distribution::Incremental,
+            Distribution::Normal,
+            Distribution::Uniform,
+        ] {
             let agg = run_grid(id, scale, Some(dist));
             let _ = write!(cells, " {:>12.3} {:>9}", agg.b_time_geomean(), agg.t_coll);
         }
@@ -220,8 +225,9 @@ pub fn fig16() -> String {
         let mut row = format!("{size:<8}");
         for (fi, &family) in families.iter().enumerate() {
             // Median of a few runs to steady the tiny timings.
-            let mut times: Vec<f64> =
-                (0..5).map(|_| synthesis_time(family, size).as_secs_f64()).collect();
+            let mut times: Vec<f64> = (0..5)
+                .map(|_| synthesis_time(family, size).as_secs_f64())
+                .collect();
             times.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
             let t = times[times.len() / 2];
             per_family[fi].push(t);
@@ -254,8 +260,12 @@ pub fn fig17_18(scale: &RunScale) -> String {
     );
     let mut rows_bc = String::new();
     let mut rows_tc = String::new();
+    // The low-mixing sweep measures a uniform distinct pool with seed 23
+    // (see `low_mixing_point`); Gperf trains on a prefix of the same pool.
+    let training = sepe_keygen::KeySampler::new(format, Distribution::Uniform, 23)
+        .distinct_pool(sepe_driver::registry::GPERF_TRAINING_KEYS.min(n));
     for id in HashId::ALL {
-        let hash = id.build(format, scale.isa);
+        let hash = id.build_trained(format, scale.isa, &training);
         let mut bc_row = format!("{:<9} BC:", id.name());
         let mut tc_row = format!("{:<9} TC:", id.name());
         for &x in &discards {
@@ -309,7 +319,13 @@ pub fn four_digit_worst_case() -> String {
 #[must_use]
 pub fn fig19(scale: &RunScale) -> String {
     const ITERS: usize = 20_000;
-    let ids = [HashId::Pext, HashId::Stl, HashId::City, HashId::Fnv, HashId::Abseil];
+    let ids = [
+        HashId::Pext,
+        HashId::Stl,
+        HashId::City,
+        HashId::Fnv,
+        HashId::Abseil,
+    ];
     let mut out = format!(
         "Figure 19: hashing time vs key size ({ITERS} hashes, seconds)\n\
          size     {}\n",
@@ -346,10 +362,16 @@ pub fn fig20(scale: &RunScale) -> String {
     let mut per_container: std::collections::BTreeMap<&str, Vec<f64>> = Default::default();
     for id in ids {
         for (container, times) in per_container_times(id, format, scale) {
-            per_container.entry(container.name()).or_default().extend(times);
+            per_container
+                .entry(container.name())
+                .or_default()
+                .extend(times);
         }
     }
-    let mut out = format!("Figure 20: B-Time by container ({} keys, ms)\n", format.name());
+    let mut out = format!(
+        "Figure 20: B-Time by container ({} keys, ms)\n",
+        format.name()
+    );
     for (name, times) in per_container {
         out.push_str(&boxplot_row(name, &times));
     }
@@ -391,8 +413,11 @@ pub fn avalanche(scale: &RunScale) -> String {
     use sepe_stats::avalanche as run_avalanche;
     let format = scale.formats.first().copied().unwrap_or(KeyFormat::Ssn);
     let mut sampler = sepe_keygen::KeySampler::new(format, Distribution::Uniform, 41);
-    let keys: Vec<Vec<u8>> =
-        sampler.distinct_pool(64).into_iter().map(String::into_bytes).collect();
+    let keys: Vec<Vec<u8>> = sampler
+        .distinct_pool(64)
+        .into_iter()
+        .map(String::into_bytes)
+        .collect();
     let mut out = format!(
         "Avalanche on {} keys (ideal: bias 0, flip rate 0.5, no dead bits)\n\
          Function      bias   flip-rate   dead-output-bits\n",
@@ -440,7 +465,11 @@ pub fn significance(scale: &RunScale) -> String {
                 .or_insert_with(|| run_grid(id, scale, None).b_times_ms);
         }
         let r = mann_whitney_u(&cache[&a], &cache[&b]);
-        let verdict = if r.is_significant_at(0.05) { "different" } else { "equivalent" };
+        let verdict = if r.is_significant_at(0.05) {
+            "different"
+        } else {
+            "equivalent"
+        };
         let _ = writeln!(
             out,
             "{:<8} vs {:<8} {:>12.1} {:>12.3} {:>12.4}   {verdict}",

@@ -60,14 +60,19 @@ fn keysynth_emits_all_four_families_by_default() {
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     for family in ["Naive", "OffXor", "Aes", "Pext"] {
-        assert!(stdout.contains(&format!("Synthesized{family}Hash")), "{family} missing");
+        assert!(
+            stdout.contains(&format!("Synthesized{family}Hash")),
+            "{family} missing"
+        );
     }
 }
 
 #[test]
 fn keysynth_rust_output_for_one_family() {
     let out = keysynth()
-        .args(["--family", "offxor", "--lang", "rust", "--name", "my_hash", r"\d{16}"])
+        .args([
+            "--family", "offxor", "--lang", "rust", "--name", "my_hash", r"\d{16}",
+        ])
         .output()
         .expect("keysynth runs");
     assert!(out.status.success());
@@ -112,7 +117,8 @@ fn keybuilder_report_flags_thin_examples() {
 fn keybuilder_report_praises_good_examples() {
     let mut cmd = keybuilder();
     cmd.arg("--report");
-    let (_, stderr, ok) = run_with_stdin(cmd, "000-00-0000\n555-55-5555\n912-83-1234\n384-67-6789\n");
+    let (_, stderr, ok) =
+        run_with_stdin(cmd, "000-00-0000\n555-55-5555\n912-83-1234\n384-67-6789\n");
     assert!(ok);
     assert!(stderr.contains("well exercised"), "{stderr}");
 }
@@ -126,7 +132,11 @@ fn sepe_repro_out_writes_artifact_files() {
         .arg("gradual")
         .output()
         .expect("repro runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let written = std::fs::read_to_string(dir.join("gradual.txt")).expect("artifact written");
     assert!(written.contains("Gradual specialization"));
     let _ = std::fs::remove_dir_all(&dir);
@@ -141,7 +151,13 @@ fn keybench_reports_all_families_on_stdin_keys() {
     cmd.args(["--iterations", "2000"]);
     let (stdout, stderr, ok) = run_with_stdin(cmd, &keys);
     assert!(ok, "{stderr}");
-    for row in ["sepe/Naive", "sepe/OffXor", "sepe/Aes", "sepe/Pext", "baseline/STL"] {
+    for row in [
+        "sepe/Naive",
+        "sepe/OffXor",
+        "sepe/Aes",
+        "sepe/Pext",
+        "baseline/STL",
+    ] {
         assert!(stdout.contains(row), "{row} missing from:\n{stdout}");
     }
     assert!(stdout.contains("Pext bijection possible"), "{stdout}");
@@ -161,7 +177,10 @@ fn sepe_repro_lists_usage_and_rejects_unknowns() {
     let usage = String::from_utf8_lossy(&out.stderr);
     assert!(usage.contains("table1"));
 
-    let out = sepe_repro().args(["--scale", "smoke", "nosuch"]).output().expect("repro runs");
+    let out = sepe_repro()
+        .args(["--scale", "smoke", "nosuch"])
+        .output()
+        .expect("repro runs");
     assert!(!out.status.success());
 }
 
@@ -171,7 +190,11 @@ fn sepe_repro_smoke_gradual_runs() {
         .args(["--scale", "smoke", "gradual"])
         .output()
         .expect("repro runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("Gradual specialization"));
     assert!(stdout.contains("OffXor"));

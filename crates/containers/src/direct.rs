@@ -138,12 +138,16 @@ impl<V> DirectMap<V> {
             if plan.is_fallback() || !pattern.is_fixed_len() {
                 return Err(DirectMapError::UnsupportedShape);
             }
-            return Err(DirectMapError::NotBijective { variable_bits: pattern.variable_bits() });
+            return Err(DirectMapError::NotBijective {
+                variable_bits: pattern.variable_bits(),
+            });
         };
         // The plan must account for every variable bit, or two distinct
         // keys could still coincide.
         if bits as usize != pattern.variable_bits() {
-            return Err(DirectMapError::NotBijective { variable_bits: pattern.variable_bits() });
+            return Err(DirectMapError::NotBijective {
+                variable_bits: pattern.variable_bits(),
+            });
         }
         let store = if bits <= FLAT_BITS {
             Store::Flat((0..1usize << bits).map(|_| None).collect())
@@ -250,9 +254,11 @@ impl<V> DirectMap<V> {
     pub fn values(&self) -> Box<dyn Iterator<Item = &V> + '_> {
         match &self.store {
             Store::Flat(v) => Box::new(v.iter().filter_map(Option::as_ref)),
-            Store::Paged(pages) => {
-                Box::new(pages.values().flat_map(|p| p.iter().filter_map(Option::as_ref)))
-            }
+            Store::Paged(pages) => Box::new(
+                pages
+                    .values()
+                    .flat_map(|p| p.iter().filter_map(Option::as_ref)),
+            ),
         }
     }
 }
@@ -370,7 +376,11 @@ mod tests {
             m.insert(key.as_bytes(), 1);
         }
         assert_eq!(m.len(), 1000);
-        assert!(m.page_count() <= 2, "clustered keys share pages, got {}", m.page_count());
+        assert!(
+            m.page_count() <= 2,
+            "clustered keys share pages, got {}",
+            m.page_count()
+        );
         assert_eq!(m.values().count(), m.len());
     }
 }

@@ -33,13 +33,17 @@ where
 {
     /// Creates an empty map using `hasher` and modulo bucket indexing.
     pub fn with_hasher(hasher: H) -> Self {
-        UnorderedMap { table: RawTable::new(hasher, BucketPolicy::Modulo) }
+        UnorderedMap {
+            table: RawTable::new(hasher, BucketPolicy::Modulo),
+        }
     }
 
     /// Creates an empty map with an explicit bucket-index policy (used by
     /// the RQ7 low-mixing experiments).
     pub fn with_hasher_and_policy(hasher: H, policy: BucketPolicy) -> Self {
-        UnorderedMap { table: RawTable::new(hasher, policy) }
+        UnorderedMap {
+            table: RawTable::new(hasher, policy),
+        }
     }
 
     /// The hash function in use.
@@ -82,7 +86,9 @@ where
         Q: ?Sized + Eq + AsRef<[u8]>,
         K: Borrow<Q>,
     {
-        self.table.find(key).map(|i| &mut self.table.get_kv_mut(i).1)
+        self.table
+            .find(key)
+            .map(|i| &mut self.table.get_kv_mut(i).1)
     }
 
     /// Whether the map contains `key`.
@@ -307,7 +313,9 @@ mod tests {
         let mut model: std::collections::HashMap<String, u32> = std::collections::HashMap::new();
         let mut state = 0x0123_4567_89AB_CDEF_u64;
         for step in 0..20_000u32 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let key = format!("{:04}", (state >> 33) % 3000);
             match state % 3 {
                 0 => {

@@ -34,12 +34,16 @@ where
 {
     /// Creates an empty multimap using `hasher`.
     pub fn with_hasher(hasher: H) -> Self {
-        UnorderedMultiMap { table: RawTable::new(hasher, BucketPolicy::Modulo) }
+        UnorderedMultiMap {
+            table: RawTable::new(hasher, BucketPolicy::Modulo),
+        }
     }
 
     /// Creates an empty multimap with an explicit bucket-index policy.
     pub fn with_hasher_and_policy(hasher: H, policy: BucketPolicy) -> Self {
-        UnorderedMultiMap { table: RawTable::new(hasher, policy) }
+        UnorderedMultiMap {
+            table: RawTable::new(hasher, policy),
+        }
     }
 
     /// Number of pairs (counting duplicates).

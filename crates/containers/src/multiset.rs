@@ -31,12 +31,16 @@ where
 {
     /// Creates an empty multiset using `hasher`.
     pub fn with_hasher(hasher: H) -> Self {
-        UnorderedMultiSet { inner: UnorderedMultiMap::with_hasher(hasher) }
+        UnorderedMultiSet {
+            inner: UnorderedMultiMap::with_hasher(hasher),
+        }
     }
 
     /// Creates an empty multiset with an explicit bucket-index policy.
     pub fn with_hasher_and_policy(hasher: H, policy: BucketPolicy) -> Self {
-        UnorderedMultiSet { inner: UnorderedMultiMap::with_hasher_and_policy(hasher, policy) }
+        UnorderedMultiSet {
+            inner: UnorderedMultiMap::with_hasher_and_policy(hasher, policy),
+        }
     }
 
     /// Number of elements (counting duplicates).

@@ -34,9 +34,7 @@ impl BucketPolicy {
         assert!(bucket_count > 0, "bucket_count must be non-zero");
         match self {
             BucketPolicy::Modulo => hash % bucket_count,
-            BucketPolicy::HighBits { discard_low } => {
-                (hash >> discard_low.min(63)) % bucket_count
-            }
+            BucketPolicy::HighBits { discard_low } => (hash >> discard_low.min(63)) % bucket_count,
         }
     }
 }
@@ -55,7 +53,10 @@ mod tests {
     fn high_bits_discard_low_ones() {
         let p = BucketPolicy::HighBits { discard_low: 48 };
         // Hashes differing only below bit 48 land in the same bucket.
-        assert_eq!(p.bucket_of(0x0000_1234_5678_9ABC, 97), p.bucket_of(0x0000_FFFF_FFFF_FFFF, 97));
+        assert_eq!(
+            p.bucket_of(0x0000_1234_5678_9ABC, 97),
+            p.bucket_of(0x0000_FFFF_FFFF_FFFF, 97)
+        );
         assert_ne!(
             p.bucket_of(0x0001_0000_0000_0000, 97),
             p.bucket_of(0x0002_0000_0000_0000, 97)

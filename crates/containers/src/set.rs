@@ -32,12 +32,16 @@ where
 {
     /// Creates an empty set using `hasher`.
     pub fn with_hasher(hasher: H) -> Self {
-        UnorderedSet { inner: UnorderedMap::with_hasher(hasher) }
+        UnorderedSet {
+            inner: UnorderedMap::with_hasher(hasher),
+        }
     }
 
     /// Creates an empty set with an explicit bucket-index policy.
     pub fn with_hasher_and_policy(hasher: H, policy: BucketPolicy) -> Self {
-        UnorderedSet { inner: UnorderedMap::with_hasher_and_policy(hasher, policy) }
+        UnorderedSet {
+            inner: UnorderedMap::with_hasher_and_policy(hasher, policy),
+        }
     }
 
     /// Number of elements.

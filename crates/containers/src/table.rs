@@ -158,11 +158,19 @@ where
         let idx = if self.free_head != NONE {
             let idx = self.free_head;
             self.free_head = self.entries[idx as usize].next;
-            self.entries[idx as usize] = Entry { hash, next: self.heads[bucket], kv: Some((key, value)) };
+            self.entries[idx as usize] = Entry {
+                hash,
+                next: self.heads[bucket],
+                kv: Some((key, value)),
+            };
             idx
         } else {
             let idx = u32::try_from(self.entries.len()).expect("table below 2^32 entries");
-            self.entries.push(Entry { hash, next: self.heads[bucket], kv: Some((key, value)) });
+            self.entries.push(Entry {
+                hash,
+                next: self.heads[bucket],
+                kv: Some((key, value)),
+            });
             idx
         };
         self.heads[bucket] = idx;
@@ -182,8 +190,7 @@ where
         while at != NONE {
             let matches = {
                 let e = &self.entries[at as usize];
-                e.hash == hash
-                    && e.kv.as_ref().is_some_and(|(k, _)| k.borrow() == key)
+                e.hash == hash && e.kv.as_ref().is_some_and(|(k, _)| k.borrow() == key)
             };
             if matches {
                 let next = self.entries[at as usize].next;
@@ -290,6 +297,8 @@ where
     }
 
     pub(crate) fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
-        self.entries.iter().filter_map(|e| e.kv.as_ref().map(|(k, v)| (k, v)))
+        self.entries
+            .iter()
+            .filter_map(|e| e.kv.as_ref().map(|(k, v)| (k, v)))
     }
 }

@@ -10,7 +10,10 @@ struct Lcg(u64);
 
 impl Lcg {
     fn next(&mut self) -> u64 {
-        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         self.0 >> 16
     }
 }
@@ -60,7 +63,11 @@ fn explicit_rehash_preserves_content_mid_workload() {
         }
         if step.is_multiple_of(2_500) {
             // Force rehashes both up and down in the middle of the run.
-            let target = if step.is_multiple_of(5_000) { 17 } else { 50_021 };
+            let target = if step.is_multiple_of(5_000) {
+                17
+            } else {
+                50_021
+            };
             ours.rehash(target);
             assert!(ours.bucket_count() >= target.min(17));
         }

@@ -281,8 +281,8 @@ mod tests {
         assert_eq!(
             keys[1],
             [
-                0xa0, 0xfa, 0xfe, 0x17, 0x88, 0x54, 0x2c, 0xb1, 0x23, 0xa3, 0x39, 0x39, 0x2a,
-                0x6c, 0x76, 0x05
+                0xa0, 0xfa, 0xfe, 0x17, 0x88, 0x54, 0x2c, 0xb1, 0x23, 0xa3, 0x39, 0x39, 0x2a, 0x6c,
+                0x76, 0x05
             ]
         );
     }

@@ -19,7 +19,6 @@
 /// uses `Portable` to reproduce the paper's aarch64 setting, where the
 /// `bext` instruction was unavailable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Isa {
     /// Use hardware `pext`/AES instructions when the CPU supports them.
     #[default]
@@ -242,14 +241,22 @@ mod tests {
     #[test]
     fn soft_pext_matches_reference() {
         for &(src, mask) in CASES {
-            assert_eq!(pext_soft(src, mask), pext_reference(src, mask), "src={src:#x} mask={mask:#x}");
+            assert_eq!(
+                pext_soft(src, mask),
+                pext_reference(src, mask),
+                "src={src:#x} mask={mask:#x}"
+            );
         }
     }
 
     #[test]
     fn soft_pdep_matches_reference() {
         for &(src, mask) in CASES {
-            assert_eq!(pdep_soft(src, mask), pdep_reference(src, mask), "src={src:#x} mask={mask:#x}");
+            assert_eq!(
+                pdep_soft(src, mask),
+                pdep_reference(src, mask),
+                "src={src:#x} mask={mask:#x}"
+            );
         }
     }
 
@@ -282,12 +289,125 @@ mod tests {
         }
     }
 
+    /// SplitMix64 step — the test RNG, kept local so `sepe-core` stays
+    /// dependency-free.
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Masks in the shapes that stress the parallel-suffix steps: uniform,
+    /// sparse (AND of three draws), dense (OR of two), and the per-byte
+    /// nibble/full patterns synthesis actually produces.
+    fn random_mask(rng: &mut u64, round: usize) -> u64 {
+        match round % 4 {
+            0 => splitmix(rng),
+            1 => splitmix(rng) & splitmix(rng) & splitmix(rng),
+            2 => splitmix(rng) | splitmix(rng),
+            _ => {
+                let mut mask = 0u64;
+                for byte in 0..8 {
+                    let lane = match splitmix(rng) % 3 {
+                        0 => 0x00u64,
+                        1 => 0x0F,
+                        _ => 0xFF,
+                    };
+                    mask |= lane << (8 * byte);
+                }
+                mask
+            }
+        }
+    }
+
+    #[test]
+    fn soft_implementations_match_reference_on_random_sweeps() {
+        let mut rng = 0x5E9E_D17Fu64;
+        for round in 0..2000 {
+            let src = splitmix(&mut rng);
+            let mask = random_mask(&mut rng, round);
+            assert_eq!(
+                pext_soft(src, mask),
+                pext_reference(src, mask),
+                "pext src={src:#x} mask={mask:#x}"
+            );
+            assert_eq!(
+                pdep_soft(src, mask),
+                pdep_reference(src, mask),
+                "pdep src={src:#x} mask={mask:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn dispatched_matches_reference_on_random_sweeps_for_both_isas() {
+        let mut rng = 0xB17_5EEDu64;
+        for round in 0..500 {
+            let src = splitmix(&mut rng);
+            let mask = random_mask(&mut rng, round);
+            for isa in [Isa::Native, Isa::Portable] {
+                assert_eq!(
+                    pext_u64(src, mask, isa),
+                    pext_reference(src, mask),
+                    "pext {isa:?} src={src:#x} mask={mask:#x}"
+                );
+                assert_eq!(
+                    pdep_u64(src, mask, isa),
+                    pdep_reference(src, mask),
+                    "pdep {isa:?} src={src:#x} mask={mask:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pdep_pext_roundtrips_on_random_masked_and_compact_values() {
+        let mut rng = 0x1DEA_A5A5u64;
+        for round in 0..500 {
+            let src = splitmix(&mut rng);
+            let mask = random_mask(&mut rng, round);
+            let bits = mask.count_ones();
+            let compact = if bits == 64 {
+                src
+            } else {
+                src & ((1u64 << bits) - 1)
+            };
+            let masked = src & mask;
+            for isa in [Isa::Native, Isa::Portable] {
+                // pdep ∘ pext is the identity on mask-confined values…
+                assert_eq!(
+                    pdep_u64(pext_u64(masked, mask, isa), mask, isa),
+                    masked,
+                    "{isa:?} masked={masked:#x} mask={mask:#x}"
+                );
+                // …and pext ∘ pdep on popcount-compact ones (§3.2.3's
+                // bijectivity argument in both directions).
+                assert_eq!(
+                    pext_u64(pdep_u64(compact, mask, isa), mask, isa),
+                    compact,
+                    "{isa:?} compact={compact:#x} mask={mask:#x}"
+                );
+            }
+        }
+    }
+
     #[test]
     fn load_u64_le_pads_with_zeros() {
-        assert_eq!(load_u64_le(b"abc", 0), u64::from_le_bytes(*b"abc\0\0\0\0\0"));
+        assert_eq!(
+            load_u64_le(b"abc", 0),
+            u64::from_le_bytes(*b"abc\0\0\0\0\0")
+        );
         assert_eq!(load_u64_le(b"abc", 5), 0);
-        assert_eq!(load_u64_le(b"abcdefgh", 0), u64::from_le_bytes(*b"abcdefgh"));
-        assert_eq!(load_u64_le(b"abcdefghi", 1), u64::from_le_bytes(*b"bcdefghi"));
+        assert_eq!(
+            load_u64_le(b"abcdefgh", 0),
+            u64::from_le_bytes(*b"abcdefgh")
+        );
+        assert_eq!(
+            load_u64_le(b"abcdefghi", 1),
+            u64::from_le_bytes(*b"bcdefghi")
+        );
     }
 
     #[test]

@@ -80,13 +80,17 @@ fn emit_functor(out: &mut String, plan: &Plan, family: Family, name: &str) {
     match plan {
         Plan::StlFallback => emit_fallback(out, name),
         Plan::FixedWords { len, ops } => emit_fixed_words(out, name, family, *len, ops),
-        Plan::VarWords { min_len, ops, tail_start } => {
-            emit_var_words(out, name, family, *min_len, ops, *tail_start)
-        }
+        Plan::VarWords {
+            min_len,
+            ops,
+            tail_start,
+        } => emit_var_words(out, name, family, *min_len, ops, *tail_start),
         Plan::FixedBlocks { len, offsets } => emit_fixed_blocks(out, name, *len, offsets),
-        Plan::VarBlocks { min_len, offsets, tail_start } => {
-            emit_var_blocks(out, name, *min_len, offsets, *tail_start)
-        }
+        Plan::VarBlocks {
+            min_len,
+            offsets,
+            tail_start,
+        } => emit_var_blocks(out, name, *min_len, offsets, *tail_start),
     }
 }
 
@@ -124,11 +128,26 @@ fn emit_word_loads(out: &mut String, family: Family, ops: &[WordOp]) -> Vec<(Str
                 );
             }
             _ => {
-                let _ = writeln!(
-                    out,
-                    "        const std::uint64_t {var} = load_u64_le(ptr + {});",
-                    op.offset
-                );
+                // A nonzero shift on a xor-family load is the clamped-load
+                // rotation, applied here so the combine below stays a xor.
+                if op.shift == 0 {
+                    let _ = writeln!(
+                        out,
+                        "        const std::uint64_t {var} = load_u64_le(ptr + {});",
+                        op.offset
+                    );
+                } else {
+                    let _ = writeln!(
+                        out,
+                        "        const std::uint64_t {var}w = load_u64_le(ptr + {});\n        \
+                         const std::uint64_t {var} = ({var}w << {}) | ({var}w >> {});",
+                        op.offset,
+                        op.shift,
+                        64 - u32::from(op.shift)
+                    );
+                }
+                terms.push((var, 0));
+                continue;
             }
         }
         terms.push((var, op.shift));
@@ -171,7 +190,12 @@ fn emit_var_words(
          const char* ptr = key.c_str();\n        \
          std::uint64_t hash = key.size() * 0xc6a4a7935bd1e995ULL;"
     );
-    if family != Family::Pext && ops.len() > SKIP_TABLE_THRESHOLD {
+    // The uniform skip-table walk cannot express per-load rotations, so any
+    // clamped (rotated) load keeps the prefix unrolled.
+    if family != Family::Pext
+        && ops.len() > SKIP_TABLE_THRESHOLD
+        && ops.iter().all(|op| op.shift == 0)
+    {
         // Figure 8's shape: skip[0] positions the first load; skip[c]
         // advances to the next load, jumping over any skipped constant
         // word in between.
@@ -191,7 +215,11 @@ fn emit_var_words(
              p += skip[c];\n        }}\n        \
              hash ^= load_u64_le(p);",
             skips.len(),
-            skips.iter().map(ToString::to_string).collect::<Vec<_>>().join(", "),
+            skips
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(", "),
             skips.len()
         );
     } else {
@@ -266,7 +294,13 @@ fn emit_fixed_blocks(out: &mut String, name: &str, len: usize, offsets: &[u32]) 
     );
 }
 
-fn emit_var_blocks(out: &mut String, name: &str, min_len: usize, offsets: &[u32], tail_start: usize) {
+fn emit_var_blocks(
+    out: &mut String,
+    name: &str,
+    min_len: usize,
+    offsets: &[u32],
+    tail_start: usize,
+) {
     let _ = writeln!(
         out,
         "// Variable key length (mandatory prefix: {min_len} bytes); AES-round combination.\n\
@@ -304,7 +338,11 @@ mod tests {
 
     #[test]
     fn offxor_ipv4_matches_figure_5() {
-        let code = emit_for(r"(([0-9]{3})\.){3}[0-9]{3}", Family::OffXor, "SynthesizedOffXorHash");
+        let code = emit_for(
+            r"(([0-9]{3})\.){3}[0-9]{3}",
+            Family::OffXor,
+            "SynthesizedOffXorHash",
+        );
         assert!(code.contains("struct SynthesizedOffXorHash"));
         assert!(code.contains("load_u64_le(ptr + 0)"));
         assert!(code.contains("load_u64_le(ptr + 7)"));
@@ -363,9 +401,16 @@ mod tests {
         assert!(code.contains("switch (key.size())"), "{code}");
         assert!(code.contains("case 8: return AirportHashLen8"), "{code}");
         assert!(code.contains("case 9: return AirportHashLen9"), "{code}");
-        assert!(code.contains("default: return AirportHashFallback"), "{code}");
+        assert!(
+            code.contains("default: return AirportHashFallback"),
+            "{code}"
+        );
         // Exactly one preamble.
-        assert_eq!(code.matches("static inline std::uint64_t load_u64_le").count(), 1);
+        assert_eq!(
+            code.matches("static inline std::uint64_t load_u64_le")
+                .count(),
+            1
+        );
     }
 
     #[test]

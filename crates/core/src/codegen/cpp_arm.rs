@@ -33,7 +33,11 @@ pub fn emit_cpp_arm(plan: &Plan, family: Family, name: &str) -> String {
             preamble(&mut out, family == Family::Pext, false);
             emit_fixed_words(&mut out, name, family, *len, ops);
         }
-        Plan::VarWords { min_len, ops, tail_start } => {
+        Plan::VarWords {
+            min_len,
+            ops,
+            tail_start,
+        } => {
             preamble(&mut out, family == Family::Pext, false);
             emit_var_words(&mut out, name, family, *min_len, ops, *tail_start);
         }
@@ -41,7 +45,11 @@ pub fn emit_cpp_arm(plan: &Plan, family: Family, name: &str) -> String {
             preamble(&mut out, false, true);
             emit_fixed_blocks(&mut out, name, *len, offsets);
         }
-        Plan::VarBlocks { min_len, offsets, tail_start } => {
+        Plan::VarBlocks {
+            min_len,
+            offsets,
+            tail_start,
+        } => {
             preamble(&mut out, false, true);
             emit_var_blocks(&mut out, name, *min_len, offsets, *tail_start);
         }
@@ -121,11 +129,26 @@ fn emit_word_loads(out: &mut String, family: Family, ops: &[WordOp]) -> Vec<(Str
                 );
             }
             _ => {
-                let _ = writeln!(
-                    out,
-                    "        const std::uint64_t {var} = load_u64_le(ptr + {});",
-                    op.offset
-                );
+                // A nonzero shift on a xor-family load is the clamped-load
+                // rotation, applied here so the combine below stays a xor.
+                if op.shift == 0 {
+                    let _ = writeln!(
+                        out,
+                        "        const std::uint64_t {var} = load_u64_le(ptr + {});",
+                        op.offset
+                    );
+                } else {
+                    let _ = writeln!(
+                        out,
+                        "        const std::uint64_t {var}w = load_u64_le(ptr + {});\n        \
+                         const std::uint64_t {var} = ({var}w << {}) | ({var}w >> {});",
+                        op.offset,
+                        op.shift,
+                        64 - u32::from(op.shift)
+                    );
+                }
+                terms.push((var, 0));
+                continue;
             }
         }
         terms.push((var, op.shift));
@@ -229,7 +252,13 @@ fn emit_fixed_blocks(out: &mut String, name: &str, len: usize, offsets: &[u32]) 
     fold_return(out);
 }
 
-fn emit_var_blocks(out: &mut String, name: &str, min_len: usize, offsets: &[u32], tail_start: usize) {
+fn emit_var_blocks(
+    out: &mut String,
+    name: &str,
+    min_len: usize,
+    offsets: &[u32],
+    tail_start: usize,
+) {
     let _ = writeln!(
         out,
         "// Variable key length (mandatory prefix: {min_len} bytes); NEON AES.\n\
@@ -288,13 +317,20 @@ mod tests {
     fn offxor_is_pure_standard_cpp() {
         let code = emit_for(r"(([0-9]{3})\.){3}[0-9]{3}", Family::OffXor, "Ipv4Hash");
         assert!(code.contains("load_u64_le(ptr + 7)"));
-        assert!(!code.contains("arm_neon"), "word families need no intrinsics");
+        assert!(
+            !code.contains("arm_neon"),
+            "word families need no intrinsics"
+        );
         assert!(!code.contains("immintrin"));
     }
 
     #[test]
     fn all_shapes_emit() {
-        for re in [r"\d{4}", r"[0-9]{16}([a-z]{8})?", r"[0-9a-f]{39}([0-9a-f]{4})?"] {
+        for re in [
+            r"\d{4}",
+            r"[0-9]{16}([a-z]{8})?",
+            r"[0-9a-f]{39}([0-9a-f]{4})?",
+        ] {
             for family in Family::ALL {
                 let code = emit_for(re, family, "H");
                 assert!(code.contains('H'), "{re} {family}");

@@ -100,10 +100,10 @@ mod tests {
     #[test]
     fn both_languages_emit_for_all_families_and_shapes() {
         let shapes = [
-            r"\d{3}-\d{2}-\d{4}",          // fixed, with const bytes
-            r"[0-9]{100}",                 // fixed, no const bytes
-            r"[0-9]{16}([a-z]{8})?",       // variable length
-            r"\d{4}",                      // fallback
+            r"\d{3}-\d{2}-\d{4}",    // fixed, with const bytes
+            r"[0-9]{100}",           // fixed, no const bytes
+            r"[0-9]{16}([a-z]{8})?", // variable length
+            r"\d{4}",                // fallback
         ];
         for re in shapes {
             for family in Family::ALL {

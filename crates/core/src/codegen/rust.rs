@@ -13,12 +13,21 @@ pub fn emit_rust(plan: &Plan, family: Family, name: &str) -> String {
     match plan {
         Plan::StlFallback => emit_fallback(&mut out, name),
         Plan::FixedWords { len, ops } => emit_fixed_words(&mut out, name, family, *len, ops),
-        Plan::VarWords { min_len, ops, tail_start } => {
-            emit_var_words(&mut out, name, family, *min_len, ops, *tail_start)
-        }
+        Plan::VarWords {
+            min_len,
+            ops,
+            tail_start,
+        } => emit_var_words(&mut out, name, family, *min_len, ops, *tail_start),
         Plan::FixedBlocks { len, offsets } => emit_blocks(&mut out, name, Some(*len), offsets, 0),
-        Plan::VarBlocks { min_len, offsets, tail_start } => {
-            let _ = writeln!(out, "// Variable key length (mandatory prefix: {min_len} bytes).");
+        Plan::VarBlocks {
+            min_len,
+            offsets,
+            tail_start,
+        } => {
+            let _ = writeln!(
+                out,
+                "// Variable key length (mandatory prefix: {min_len} bytes)."
+            );
             emit_blocks(&mut out, name, None, offsets, *tail_start)
         }
     }
@@ -66,7 +75,19 @@ fn emit_word_loads(out: &mut String, family: Family, ops: &[WordOp]) -> Vec<(Str
                 );
             }
             _ => {
-                let _ = writeln!(out, "    let {var} = load_u64_le(key, {});", op.offset);
+                // A nonzero shift on a xor-family load is the clamped-load
+                // rotation, applied here so the combine below stays a xor.
+                if op.shift == 0 {
+                    let _ = writeln!(out, "    let {var} = load_u64_le(key, {});", op.offset);
+                } else {
+                    let _ = writeln!(
+                        out,
+                        "    let {var} = load_u64_le(key, {}).rotate_left({});",
+                        op.offset, op.shift
+                    );
+                }
+                terms.push((var, 0));
+                continue;
             }
         }
         terms.push((var, op.shift));
@@ -116,7 +137,13 @@ fn emit_var_words(
     );
 }
 
-fn emit_blocks(out: &mut String, name: &str, len: Option<usize>, offsets: &[u32], tail_start: usize) {
+fn emit_blocks(
+    out: &mut String,
+    name: &str,
+    len: Option<usize>,
+    offsets: &[u32],
+    tail_start: usize,
+) {
     out.push_str(
         "const AES_ROUND_KEY: [u8; 16] = [\n    \
          0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c,\n];\n\n\
@@ -163,7 +190,10 @@ fn emit_blocks(out: &mut String, name: &str, len: Option<usize>, offsets: &[u32]
         );
     } else {
         for off in offsets {
-            let _ = writeln!(out, "    state = aes_mix(state, load_block_le(key, {off}));");
+            let _ = writeln!(
+                out,
+                "    state = aes_mix(state, load_block_le(key, {off}));"
+            );
         }
     }
     if len.is_none() {

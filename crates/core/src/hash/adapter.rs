@@ -37,7 +37,9 @@ pub struct SepeBuildHasher<H> {
 impl<H: ByteHash> SepeBuildHasher<H> {
     /// Wraps a byte hash for use with `std` collections.
     pub fn new(hash: H) -> Self {
-        SepeBuildHasher { inner: Arc::new(hash) }
+        SepeBuildHasher {
+            inner: Arc::new(hash),
+        }
     }
 
     /// The wrapped byte hash.
@@ -51,7 +53,10 @@ impl<H: ByteHash> BuildHasher for SepeBuildHasher<H> {
     type Hasher = SepeHasher<H>;
 
     fn build_hasher(&self) -> Self::Hasher {
-        SepeHasher { inner: Arc::clone(&self.inner), buf: Vec::new() }
+        SepeHasher {
+            inner: Arc::clone(&self.inner),
+            buf: Vec::new(),
+        }
     }
 }
 

@@ -96,8 +96,10 @@ mod tests {
     #[test]
     fn no_trivial_collisions_on_close_keys() {
         let keys: Vec<String> = (0..1000).map(|i| format!("{i:011}")).collect();
-        let mut hashes: Vec<u64> =
-            keys.iter().map(|k| stl_hash_bytes(k.as_bytes(), DEFAULT_STL_SEED)).collect();
+        let mut hashes: Vec<u64> = keys
+            .iter()
+            .map(|k| stl_hash_bytes(k.as_bytes(), DEFAULT_STL_SEED))
+            .collect();
         hashes.sort_unstable();
         hashes.dedup();
         assert_eq!(hashes.len(), 1000);

@@ -52,8 +52,9 @@ enum FastOps {
     /// Plan shape without a fast path (variable length, blocks, fallback,
     /// or more than [`FAST_OPS`] loads).
     None,
-    /// Fixed-length xor of `n` loads (Naive / OffXor).
-    Xor { n: u8, offsets: [u32; FAST_OPS] },
+    /// Fixed-length xor of `n` rotated loads (Naive / OffXor). `shift` is
+    /// the rotation of a clamped final load; zero elsewhere.
+    Xor { n: u8, ops: [WordOp; FAST_OPS] },
     /// Fixed-length masked extraction of `n` loads (Pext).
     Pext { n: u8, ops: [WordOp; FAST_OPS] },
 }
@@ -67,17 +68,18 @@ fn fast_ops_of(plan: &Plan, family: Family) -> FastOps {
     }
     let n = ops.len() as u8;
     match family {
-        Family::Naive | Family::OffXor => {
-            let mut offsets = [0u32; FAST_OPS];
-            for (slot, op) in offsets.iter_mut().zip(ops) {
-                *slot = op.offset;
-            }
-            FastOps::Xor { n, offsets }
-        }
-        Family::Pext => {
-            let mut buf = [WordOp { offset: 0, mask: 0, shift: 0 }; FAST_OPS];
+        Family::Naive | Family::OffXor | Family::Pext => {
+            let mut buf = [WordOp {
+                offset: 0,
+                mask: 0,
+                shift: 0,
+            }; FAST_OPS];
             buf[..ops.len()].copy_from_slice(ops);
-            FastOps::Pext { n, ops: buf }
+            if family == Family::Pext {
+                FastOps::Pext { n, ops: buf }
+            } else {
+                FastOps::Xor { n, ops: buf }
+            }
         }
         Family::Aes => FastOps::None,
     }
@@ -89,7 +91,14 @@ impl SynthesizedHash {
     pub fn new(plan: Plan, family: Family, isa: Isa) -> Self {
         let hw_pext = isa == Isa::Native && crate::bits::hardware_pext_available();
         let fast = fast_ops_of(&plan, family);
-        SynthesizedHash { family, plan, isa, seed: 0, hw_pext, fast }
+        SynthesizedHash {
+            family,
+            plan,
+            isa,
+            seed: 0,
+            hw_pext,
+            fast,
+        }
     }
 
     /// Synthesizes a hash for a key pattern.
@@ -103,11 +112,11 @@ impl SynthesizedHash {
     /// # Errors
     ///
     /// Returns an error when the expression cannot be parsed or expanded.
-    pub fn from_regex(
-        source: &str,
-        family: Family,
-    ) -> Result<Self, Box<dyn std::error::Error>> {
-        Ok(SynthesizedHash::from_pattern(&Regex::compile(source)?, family))
+    pub fn from_regex(source: &str, family: Family) -> Result<Self, Box<dyn std::error::Error>> {
+        Ok(SynthesizedHash::from_pattern(
+            &Regex::compile(source)?,
+            family,
+        ))
     }
 
     /// Synthesizes a hash from example keys (Figure 5a).
@@ -185,14 +194,16 @@ impl SynthesizedHash {
         crate::codegen::emit(&self.plan, self.family, language, name)
     }
 
+    /// Combines the word loads of a plan, without the seed — shared by the
+    /// fixed and variable paths so the seed is mixed exactly once.
     #[inline]
-    fn eval_words_fixed(&self, key: &[u8], ops: &[WordOp]) -> u64 {
-        let mut h = self.seed;
+    fn combine_words(&self, key: &[u8], ops: &[WordOp]) -> u64 {
+        let mut h = 0u64;
         if self.family == Family::Pext {
             #[cfg(target_arch = "x86_64")]
             if self.hw_pext {
                 // SAFETY: hw_pext is only true when BMI2 was detected.
-                return h ^ unsafe { eval_pext_hw(key, ops) };
+                return unsafe { eval_pext_hw(key, ops) };
             }
             for op in ops {
                 let w = load_u64_le(key, op.offset as usize);
@@ -200,10 +211,16 @@ impl SynthesizedHash {
             }
         } else {
             for op in ops {
-                h ^= load_u64_le(key, op.offset as usize);
+                let w = load_u64_le(key, op.offset as usize);
+                h ^= w.rotate_left(u32::from(op.shift));
             }
         }
         h
+    }
+
+    #[inline]
+    fn eval_words_fixed(&self, key: &[u8], ops: &[WordOp]) -> u64 {
+        self.seed ^ self.combine_words(key, ops)
     }
 
     #[inline]
@@ -211,7 +228,7 @@ impl SynthesizedHash {
         // Variable-length keys mix the length in, as Figure 8's
         // initialize_hash(len, seed) does.
         let mut h = self.seed ^ (key.len() as u64).wrapping_mul(MUL);
-        h ^= self.eval_words_fixed(key, ops);
+        h ^= self.combine_words(key, ops);
         let mut o = tail_start;
         while o + 8 <= key.len() {
             h ^= load_u64_le(key, o).rotate_left((o % 64) as u32);
@@ -270,10 +287,10 @@ impl ByteHash for SynthesizedHash {
         // Fast paths first: short fixed-word plans run without touching
         // the heap-allocated plan at all.
         match &self.fast {
-            FastOps::Xor { n, offsets } => {
+            FastOps::Xor { n, ops } => {
                 let mut h = self.seed;
-                for &o in &offsets[..*n as usize] {
-                    h ^= load_u64_le(key, o as usize);
+                for op in &ops[..*n as usize] {
+                    h ^= load_u64_le(key, op.offset as usize).rotate_left(u32::from(op.shift));
                 }
                 return h;
             }
@@ -296,21 +313,22 @@ impl ByteHash for SynthesizedHash {
         match &self.plan {
             Plan::StlFallback => stl_hash_bytes(key, self.seed),
             Plan::FixedWords { ops, .. } => self.eval_words_fixed(key, ops),
-            Plan::VarWords { ops, tail_start, .. } => {
-                self.eval_words_var(key, ops, *tail_start)
-            }
+            Plan::VarWords {
+                ops, tail_start, ..
+            } => self.eval_words_var(key, ops, *tail_start),
             Plan::FixedBlocks { offsets, .. } => self.eval_blocks(key, offsets, None),
-            Plan::VarBlocks { offsets, tail_start, .. } => {
-                self.eval_blocks(key, offsets, Some(*tail_start))
-            }
+            Plan::VarBlocks {
+                offsets,
+                tail_start,
+                ..
+            } => self.eval_blocks(key, offsets, Some(*tail_start)),
         }
     }
 }
 
 /// The fixed round key of the Aes family (hex digits of e).
 const AES_ROUND_KEY: Block = [
-    0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f,
-    0x3c,
+    0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c,
 ];
 
 /// Hot path for hardware extraction: one `pext` per load, fully inlined
@@ -357,7 +375,9 @@ mod tests {
     use super::*;
 
     fn ssn_keys() -> Vec<String> {
-        (0..2000u64).map(|i| format!("{:03}-{:02}-{:04}", i % 1000, (i / 7) % 100, i % 10000)).collect()
+        (0..2000u64)
+            .map(|i| format!("{:03}-{:02}-{:04}", i % 1000, (i / 7) % 100, i % 10000))
+            .collect()
     }
 
     fn distinct<I: IntoIterator<Item = u64>>(hashes: I) -> usize {
@@ -379,7 +399,11 @@ mod tests {
     fn pext_is_a_bijection_on_ssns() {
         // 36 variable bits <= 64: Pext must be collision-free (Section 4.2).
         let h = SynthesizedHash::from_regex(r"\d{3}-\d{2}-\d{4}", Family::Pext).unwrap();
-        let keys: Vec<String> = ssn_keys().into_iter().collect::<std::collections::BTreeSet<_>>().into_iter().collect();
+        let keys: Vec<String> = ssn_keys()
+            .into_iter()
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
         let n = keys.len();
         assert_eq!(distinct(keys.iter().map(|k| h.hash_bytes(k.as_bytes()))), n);
     }
@@ -389,7 +413,10 @@ mod tests {
         let native = SynthesizedHash::from_regex(r"\d{3}-\d{2}-\d{4}", Family::Pext).unwrap();
         let portable = native.clone().with_isa(Isa::Portable);
         for k in ssn_keys().iter().take(500) {
-            assert_eq!(native.hash_bytes(k.as_bytes()), portable.hash_bytes(k.as_bytes()));
+            assert_eq!(
+                native.hash_bytes(k.as_bytes()),
+                portable.hash_bytes(k.as_bytes())
+            );
         }
     }
 
@@ -399,8 +426,17 @@ mod tests {
             SynthesizedHash::from_regex(r"(([0-9]{3})\.){3}[0-9]{3}", Family::Aes).unwrap();
         let portable = native.clone().with_isa(Isa::Portable);
         for i in 0..200u32 {
-            let k = format!("{:03}.{:03}.{:03}.{:03}", i % 256, (i * 7) % 256, i % 100, i);
-            assert_eq!(native.hash_bytes(k.as_bytes()), portable.hash_bytes(k.as_bytes()));
+            let k = format!(
+                "{:03}.{:03}.{:03}.{:03}",
+                i % 256,
+                (i * 7) % 256,
+                i % 100,
+                i
+            );
+            assert_eq!(
+                native.hash_bytes(k.as_bytes()),
+                portable.hash_bytes(k.as_bytes())
+            );
         }
     }
 
@@ -413,12 +449,47 @@ mod tests {
 
     #[test]
     fn offxor_matches_the_figure_5_shape() {
-        // Figure 5c: OffXor for 15-byte IPv4 is load(0) ^ load(7).
-        let h =
-            SynthesizedHash::from_regex(r"(([0-9]{3})\.){3}[0-9]{3}", Family::OffXor).unwrap();
+        // Figure 5c: OffXor for 15-byte IPv4 loads at 0 and 7; the clamped
+        // load at 7 additionally carries the anti-cancellation rotation.
+        let h = SynthesizedHash::from_regex(r"(([0-9]{3})\.){3}[0-9]{3}", Family::OffXor).unwrap();
         let key = b"192.168.001.017";
-        let expected = load_u64_le(key, 0) ^ load_u64_le(key, 7);
+        let expected = load_u64_le(key, 0)
+            ^ load_u64_le(key, 7).rotate_left(u32::from(crate::synth::OVERLAP_ROTATION));
         assert_eq!(h.hash_bytes(key), expected);
+    }
+
+    #[test]
+    fn clamped_load_rotation_blocks_xor_cancellation() {
+        // Without the rotation, the SSN plan's loads at 0 and 3 xor byte
+        // pairs three apart into the same lane: "123-45-6789" and
+        // "133-55-7788" (the same +1/-1 nibble flips at string positions
+        // 1,4,7,10) collided. This is the regression test for the seed's
+        // spurious Naive/OffXor T-Coll under the normal distribution.
+        for family in [Family::Naive, Family::OffXor] {
+            let h = SynthesizedHash::from_regex(r"\d{3}-\d{2}-\d{4}", family).unwrap();
+            assert_ne!(
+                h.hash_bytes(b"123-45-6789"),
+                h.hash_bytes(b"133-55-7788"),
+                "{family}"
+            );
+        }
+    }
+
+    #[test]
+    fn naive_and_offxor_are_injective_on_ssns() {
+        // 9 digit bytes x 4 variable bits = 36 < 64: with the overlap
+        // rotation the xor of loads is injective on the format, so a large
+        // key sample must hash distinctly.
+        for family in [Family::Naive, Family::OffXor] {
+            let h = SynthesizedHash::from_regex(r"\d{3}-\d{2}-\d{4}", family).unwrap();
+            let keys: std::collections::BTreeSet<String> = ssn_keys().into_iter().collect();
+            let n = keys.len();
+            assert_eq!(
+                distinct(keys.iter().map(|k| h.hash_bytes(k.as_bytes()))),
+                n,
+                "{family}"
+            );
+        }
     }
 
     #[test]
@@ -437,7 +508,10 @@ mod tests {
         for family in Family::ALL {
             let a = SynthesizedHash::from_regex(r"[0-9]{16}", family).unwrap();
             let b = a.clone().with_seed(0xDEAD_BEEF);
-            assert_ne!(a.hash_bytes(b"1234567890123456"), b.hash_bytes(b"1234567890123456"));
+            assert_ne!(
+                a.hash_bytes(b"1234567890123456"),
+                b.hash_bytes(b"1234567890123456")
+            );
         }
     }
 
@@ -456,7 +530,10 @@ mod tests {
     #[test]
     fn variable_length_keys_hash_by_length_and_content() {
         let h = SynthesizedHash::from_examples(
-            [&b"user=00000000"[..], b"user=99999999&session=aaaaaaaaaaaaaaaa"],
+            [
+                &b"user=00000000"[..],
+                b"user=99999999&session=aaaaaaaaaaaaaaaa",
+            ],
             Family::OffXor,
         )
         .unwrap();
@@ -470,18 +547,14 @@ mod tests {
     #[test]
     fn var_plan_distinguishes_padded_lengths() {
         // Keys that agree on all loaded words but differ in length.
-        let h = SynthesizedHash::from_examples(
-            [&b"k:0000"[..], b"k:000000000000"],
-            Family::Naive,
-        )
-        .unwrap();
+        let h = SynthesizedHash::from_examples([&b"k:0000"[..], b"k:000000000000"], Family::Naive)
+            .unwrap();
         assert_ne!(h.hash_bytes(b"k:00000000"), h.hash_bytes(b"k:0000000000"));
     }
 
     #[test]
     fn fully_constant_format_hashes_to_seed() {
-        let h = SynthesizedHash::from_examples([&b"only-one-key-fmt"[..]], Family::OffXor)
-            .unwrap();
+        let h = SynthesizedHash::from_examples([&b"only-one-key-fmt"[..]], Family::OffXor).unwrap();
         assert_eq!(h.hash_bytes(b"only-one-key-fmt"), 0);
     }
 
@@ -490,6 +563,9 @@ mod tests {
         // The paper reports zero T-Coll for INTS despite 400 relevant bits.
         let h = SynthesizedHash::from_regex(r"[0-9]{100}", Family::Pext).unwrap();
         let keys: Vec<String> = (0..2000u64).map(|i| format!("{:0100}", i * 977)).collect();
-        assert_eq!(distinct(keys.iter().map(|k| h.hash_bytes(k.as_bytes()))), keys.len());
+        assert_eq!(
+            distinct(keys.iter().map(|k| h.hash_bytes(k.as_bytes()))),
+            keys.len()
+        );
     }
 }

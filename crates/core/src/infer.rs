@@ -152,8 +152,12 @@ mod tests {
 
     #[test]
     fn inferred_pattern_accepts_all_examples() {
-        let keys: [&[u8]; 4] =
-            [b"123-45-6789", b"000-00-0000", b"999-99-9999", b"555-55-5555"];
+        let keys: [&[u8]; 4] = [
+            b"123-45-6789",
+            b"000-00-0000",
+            b"999-99-9999",
+            b"555-55-5555",
+        ];
         let p = infer_pattern(keys).unwrap();
         for k in keys {
             assert!(p.matches(k), "pattern must accept example {:?}", k);
@@ -179,8 +183,7 @@ mod tests {
         // Two digit examples per Example 3.6: all-0s and all-5s saturate
         // the digit quads, yet still only show 2 distinct bytes; the flag
         // is advisory.
-        let reports =
-            example_quality([&b"000"[..], b"555", b"912", b"384"]).unwrap();
+        let reports = example_quality([&b"000"[..], b"555", b"912", b"384"]).unwrap();
         assert_eq!(reports.len(), 3);
         for r in &reports {
             assert_eq!(r.distinct_examples, 4);

@@ -28,7 +28,6 @@ use std::fmt;
 /// assert_eq!(a.join(Quad::new(0b10)), Quad::Top);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Quad {
     /// A constant bit pair; the payload is one of `0b00..=0b11`.
     Const(u8),
@@ -45,7 +44,10 @@ impl Quad {
     /// Panics if `bits` does not fit in two bits.
     #[must_use]
     pub fn new(bits: u8) -> Self {
-        assert!(bits <= 0b11, "quad value {bits:#04b} does not fit in two bits");
+        assert!(
+            bits <= 0b11,
+            "quad value {bits:#04b} does not fit in two bits"
+        );
         Quad::Const(bits)
     }
 
@@ -212,7 +214,11 @@ mod tests {
         // (01, the letter prefix), everything else varies except where the
         // three example bytes agree.
         let keys: [&[u8]; 3] = [b"JFK", b"LaX", b"GRu"];
-        let mut joined = [quads_of_byte(keys[0][0]), quads_of_byte(keys[0][1]), quads_of_byte(keys[0][2])];
+        let mut joined = [
+            quads_of_byte(keys[0][0]),
+            quads_of_byte(keys[0][1]),
+            quads_of_byte(keys[0][2]),
+        ];
         for key in &keys[1..] {
             for (i, q) in joined.iter_mut().enumerate() {
                 *q = join_bytes(*q, key[i]);

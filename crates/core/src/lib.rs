@@ -51,6 +51,7 @@ pub mod infer;
 pub mod lattice;
 pub mod multi;
 pub mod pattern;
+pub mod plan_io;
 pub mod regex;
 pub mod synth;
 

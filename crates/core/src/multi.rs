@@ -63,8 +63,7 @@ impl LengthDispatchHash {
         let per_len = strata
             .into_iter()
             .map(|(len, stratum)| {
-                let pattern =
-                    infer_pattern(stratum.iter().copied()).expect("stratum is non-empty");
+                let pattern = infer_pattern(stratum.iter().copied()).expect("stratum is non-empty");
                 debug_assert!(pattern.is_fixed_len());
                 (len, SynthesizedHash::from_pattern(&pattern, family))
             })
@@ -112,8 +111,12 @@ mod tests {
     use super::*;
 
     const AIRPORT_KEYS: [&[u8]; 6] = [
-        b"code=JFK", b"code=GRU", b"code=LAX", // 8 bytes
-        b"code=EGLL", b"code=SBGR", b"code=KDEN", // 9 bytes
+        b"code=JFK",
+        b"code=GRU",
+        b"code=LAX", // 8 bytes
+        b"code=EGLL",
+        b"code=SBGR",
+        b"code=KDEN", // 9 bytes
     ];
 
     #[test]
@@ -135,7 +138,10 @@ mod tests {
     fn per_length_plans_beat_the_joined_plan_in_specificity() {
         let h = LengthDispatchHash::from_examples(AIRPORT_KEYS, Family::OffXor).unwrap();
         // The joined fallback is variable-length.
-        assert!(matches!(h.fallback().plan(), crate::synth::Plan::VarWords { .. }));
+        assert!(matches!(
+            h.fallback().plan(),
+            crate::synth::Plan::VarWords { .. }
+        ));
     }
 
     #[test]
@@ -179,11 +185,9 @@ mod tests {
 
     #[test]
     fn single_length_degenerates_to_one_stratum() {
-        let h = LengthDispatchHash::from_examples(
-            [&b"00-00"[..], b"55-55", b"99-99"],
-            Family::Pext,
-        )
-        .unwrap();
+        let h =
+            LengthDispatchHash::from_examples([&b"00-00"[..], b"55-55", b"99-99"], Family::Pext)
+                .unwrap();
         assert_eq!(h.strata().count(), 1);
     }
 }

@@ -30,7 +30,6 @@ use std::fmt;
 /// assert!(!digit.is_const());
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BytePattern {
     const_mask: u8,
     const_bits: u8,
@@ -38,12 +37,18 @@ pub struct BytePattern {
 
 impl BytePattern {
     /// A fully variable byte (all four bit pairs are `⊤`).
-    pub const ANY: BytePattern = BytePattern { const_mask: 0, const_bits: 0 };
+    pub const ANY: BytePattern = BytePattern {
+        const_mask: 0,
+        const_bits: 0,
+    };
 
     /// Creates a pattern for a fully constant byte.
     #[must_use]
     pub fn literal(byte: u8) -> Self {
-        BytePattern { const_mask: 0xFF, const_bits: byte }
+        BytePattern {
+            const_mask: 0xFF,
+            const_bits: byte,
+        }
     }
 
     /// Creates a pattern from four lattice quads, most significant first.
@@ -58,7 +63,10 @@ impl BytePattern {
                 bits |= v << shift;
             }
         }
-        BytePattern { const_mask: mask, const_bits: bits }
+        BytePattern {
+            const_mask: mask,
+            const_bits: bits,
+        }
     }
 
     /// Joins an iterator of example bytes in the quad-semilattice.
@@ -154,7 +162,9 @@ impl BytePattern {
     /// Iterates over every byte value compatible with this pattern, in
     /// ascending order.
     pub fn possible_bytes(self) -> impl Iterator<Item = u8> {
-        (0u16..=255).map(|b| b as u8).filter(move |&b| self.matches(b))
+        (0u16..=255)
+            .map(|b| b as u8)
+            .filter(move |&b| self.matches(b))
     }
 }
 
@@ -182,7 +192,6 @@ impl fmt::Display for BytePattern {
 /// fixed-length strategy (Section 3.2.2) and the skip-table strategy
 /// (Section 3.2.1).
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct KeyPattern {
     bytes: Vec<BytePattern>,
     min_len: usize,
@@ -247,7 +256,10 @@ impl KeyPattern {
     /// `pext` bijection.
     #[must_use]
     pub fn variable_bits(&self) -> usize {
-        self.bytes.iter().map(|b| b.variable_mask().count_ones() as usize).sum()
+        self.bytes
+            .iter()
+            .map(|b| b.variable_mask().count_ones() as usize)
+            .sum()
     }
 
     /// Whether `key` matches this pattern: its length is within range and

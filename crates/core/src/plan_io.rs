@@ -1,0 +1,697 @@
+//! JSON serialization for patterns and plans, with no external
+//! dependencies.
+//!
+//! Synthesized plans are cheap to recompute but caching them to disk (and
+//! shipping them between processes) keeps cold starts off the profile and
+//! makes plans reviewable in code review. The encoding matches what
+//! serde's derive would produce so cached files stay readable:
+//!
+//! * [`KeyPattern`] — `{"bytes":[{"const_mask":240,"const_bits":48},…],"min_len":11}`
+//! * [`Plan`] — externally tagged enum, e.g.
+//!   `{"FixedWords":{"len":11,"ops":[{"offset":0,"mask":…,"shift":0},…]}}`,
+//!   with the unit variant as the bare string `"StlFallback"`.
+//!
+//! The module exposes a tiny [`Json`] value type plus a strict parser;
+//! both are general-purpose enough for the test suites and the `sepe-verify`
+//! tooling to reuse.
+
+use crate::pattern::{BytePattern, KeyPattern};
+use crate::synth::{Plan, WordOp};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON value. Objects use a [`BTreeMap`] so encoding is
+/// deterministic regardless of insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number. Stored as `f64`, which is exact for the `u64`
+    /// values this module produces only up to 2^53; masks are therefore
+    /// encoded as [`Json::Str`] decimal strings, never as numbers.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Member access on objects; [`Json::Null`] on anything else or when
+    /// the key is absent. Mirrors `serde_json::Value`'s indexing, which the
+    /// tests rely on for shape assertions.
+    #[must_use]
+    pub fn get(&self, key: &str) -> &Json {
+        match self {
+            Json::Obj(map) => map.get(key).unwrap_or(&Json::Null),
+            _ => &Json::Null,
+        }
+    }
+
+    /// Element access on arrays; [`Json::Null`] out of range.
+    #[must_use]
+    pub fn at(&self, index: usize) -> &Json {
+        match self {
+            Json::Arr(items) => items.get(index).unwrap_or(&Json::Null),
+            _ => &Json::Null,
+        }
+    }
+
+    /// The value as a `u64`, accepting both numbers and the decimal
+    /// strings used for 64-bit masks.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 9_007_199_254_740_992.0 => {
+                Some(*n as u64)
+            }
+            Json::Str(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Parses a JSON document. The whole input must be consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a byte offset plus message for malformed input.
+    pub fn parse(text: &str) -> Result<Json, ParseError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters"));
+        }
+        Ok(value)
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 9e15 {
+                    write!(f, "{}", *n as i64)
+                } else {
+                    write!(f, "{n}")
+                }
+            }
+            Json::Str(s) => {
+                f.write_str("\"")?;
+                for c in s.chars() {
+                    match c {
+                        '"' => f.write_str("\\\"")?,
+                        '\\' => f.write_str("\\\\")?,
+                        '\n' => f.write_str("\\n")?,
+                        '\r' => f.write_str("\\r")?,
+                        '\t' => f.write_str("\\t")?,
+                        c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+                        c => write!(f, "{c}")?,
+                    }
+                }
+                f.write_str("\"")
+            }
+            Json::Arr(items) => {
+                f.write_str("[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(map) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{}:{v}", Json::Str(k.clone()))?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// A malformed JSON document or a well-formed document of the wrong shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset the error was detected at (0 for shape errors).
+    pub at: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.at)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn shape_err(message: impl Into<String>) -> ParseError {
+    ParseError {
+        at: 0,
+        message: message.into(),
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> ParseError {
+        ParseError {
+            at: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, word: &str) -> Result<(), ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, ParseError> {
+        match self.peek() {
+            Some(b'n') => self.eat_keyword("null").map(|()| Json::Null),
+            Some(b't') => self.eat_keyword("true").map(|()| Json::Bool(true)),
+            Some(b'f') => self.eat_keyword("false").map(|()| Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            // Surrogate pairs are not needed for plan files.
+                            let c =
+                                char::from_u32(hex).ok_or_else(|| self.err("bad \\u escape"))?;
+                            out.push(c);
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Copy the full UTF-8 sequence starting here.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("bad number"))
+    }
+
+    fn array(&mut self) -> Result<Json, ParseError> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, ParseError> {
+        self.eat(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+fn num(n: usize) -> Json {
+    Json::Num(n as f64)
+}
+
+fn obj(entries: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+    Json::Obj(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Encodes a [`KeyPattern`] as a JSON value.
+#[must_use]
+pub fn key_pattern_to_json(pattern: &KeyPattern) -> Json {
+    let bytes = pattern
+        .bytes()
+        .iter()
+        .map(|b| {
+            obj([
+                ("const_mask", num(usize::from(b.const_mask()))),
+                ("const_bits", num(usize::from(b.const_bits()))),
+            ])
+        })
+        .collect();
+    obj([
+        ("bytes", Json::Arr(bytes)),
+        ("min_len", num(pattern.min_len())),
+    ])
+}
+
+/// Decodes a [`KeyPattern`] from a JSON value.
+///
+/// # Errors
+///
+/// Returns a shape error when required members are missing or malformed.
+pub fn key_pattern_from_json(json: &Json) -> Result<KeyPattern, ParseError> {
+    let bytes = json
+        .get("bytes")
+        .as_arr()
+        .ok_or_else(|| shape_err("KeyPattern: missing 'bytes' array"))?;
+    let mut out = Vec::with_capacity(bytes.len());
+    for b in bytes {
+        let mask = b
+            .get("const_mask")
+            .as_u64()
+            .ok_or_else(|| shape_err("BytePattern: missing 'const_mask'"))?;
+        let bits = b
+            .get("const_bits")
+            .as_u64()
+            .ok_or_else(|| shape_err("BytePattern: missing 'const_bits'"))?;
+        if mask > 0xFF || bits > 0xFF {
+            return Err(shape_err("BytePattern: byte out of range"));
+        }
+        out.push(byte_pattern_from_parts(mask as u8, bits as u8)?);
+    }
+    let min_len = json
+        .get("min_len")
+        .as_u64()
+        .ok_or_else(|| shape_err("KeyPattern: missing 'min_len'"))? as usize;
+    if min_len > out.len() {
+        return Err(shape_err("KeyPattern: min_len exceeds byte count"));
+    }
+    Ok(KeyPattern::with_min_len(out, min_len))
+}
+
+/// Rebuilds a [`BytePattern`] from its mask/bits representation, validating
+/// the lattice invariants (whole two-bit groups; no constant bits outside
+/// the mask).
+fn byte_pattern_from_parts(const_mask: u8, const_bits: u8) -> Result<BytePattern, ParseError> {
+    if const_bits & !const_mask != 0 {
+        return Err(shape_err("BytePattern: const_bits outside const_mask"));
+    }
+    let mut quads = [crate::lattice::Quad::Top; 4];
+    for (i, q) in quads.iter_mut().enumerate() {
+        let shift = 6 - 2 * i as u8;
+        match (const_mask >> shift) & 0b11 {
+            0b11 => *q = crate::lattice::Quad::Const((const_bits >> shift) & 0b11),
+            0b00 => {}
+            _ => return Err(shape_err("BytePattern: const_mask not pair-aligned")),
+        }
+    }
+    let rebuilt = BytePattern::from_quads(quads);
+    if rebuilt.const_mask() != const_mask || rebuilt.const_bits() != const_bits {
+        return Err(shape_err("BytePattern: inconsistent mask/bits"));
+    }
+    Ok(rebuilt)
+}
+
+fn word_op_to_json(op: &WordOp) -> Json {
+    obj([
+        ("offset", num(op.offset as usize)),
+        // 64-bit masks exceed f64's exact integer range; keep them as
+        // decimal strings so round-trips are lossless.
+        ("mask", Json::Str(op.mask.to_string())),
+        ("shift", num(usize::from(op.shift))),
+    ])
+}
+
+fn word_op_from_json(json: &Json) -> Result<WordOp, ParseError> {
+    let offset = json
+        .get("offset")
+        .as_u64()
+        .ok_or_else(|| shape_err("WordOp: missing 'offset'"))?;
+    let mask = json
+        .get("mask")
+        .as_u64()
+        .ok_or_else(|| shape_err("WordOp: missing 'mask'"))?;
+    let shift = json
+        .get("shift")
+        .as_u64()
+        .ok_or_else(|| shape_err("WordOp: missing 'shift'"))?;
+    if offset > u64::from(u32::MAX) || shift > 63 {
+        return Err(shape_err("WordOp: field out of range"));
+    }
+    Ok(WordOp {
+        offset: offset as u32,
+        mask,
+        shift: shift as u8,
+    })
+}
+
+fn word_ops_to_json(ops: &[WordOp]) -> Json {
+    Json::Arr(ops.iter().map(word_op_to_json).collect())
+}
+
+fn word_ops_from_json(json: &Json) -> Result<Vec<WordOp>, ParseError> {
+    json.as_arr()
+        .ok_or_else(|| shape_err("Plan: 'ops' is not an array"))?
+        .iter()
+        .map(word_op_from_json)
+        .collect()
+}
+
+fn offsets_to_json(offsets: &[u32]) -> Json {
+    Json::Arr(offsets.iter().map(|&o| num(o as usize)).collect())
+}
+
+fn offsets_from_json(json: &Json) -> Result<Vec<u32>, ParseError> {
+    json.as_arr()
+        .ok_or_else(|| shape_err("Plan: 'offsets' is not an array"))?
+        .iter()
+        .map(|v| {
+            v.as_u64()
+                .filter(|&o| o <= u64::from(u32::MAX))
+                .map(|o| o as u32)
+                .ok_or_else(|| shape_err("Plan: bad offset"))
+        })
+        .collect()
+}
+
+/// Encodes a [`Plan`] as a JSON value (externally tagged, like serde).
+#[must_use]
+pub fn plan_to_json(plan: &Plan) -> Json {
+    match plan {
+        Plan::FixedWords { len, ops } => obj([(
+            "FixedWords",
+            obj([("len", num(*len)), ("ops", word_ops_to_json(ops))]),
+        )]),
+        Plan::FixedBlocks { len, offsets } => obj([(
+            "FixedBlocks",
+            obj([("len", num(*len)), ("offsets", offsets_to_json(offsets))]),
+        )]),
+        Plan::VarWords {
+            min_len,
+            ops,
+            tail_start,
+        } => obj([(
+            "VarWords",
+            obj([
+                ("min_len", num(*min_len)),
+                ("ops", word_ops_to_json(ops)),
+                ("tail_start", num(*tail_start)),
+            ]),
+        )]),
+        Plan::VarBlocks {
+            min_len,
+            offsets,
+            tail_start,
+        } => obj([(
+            "VarBlocks",
+            obj([
+                ("min_len", num(*min_len)),
+                ("offsets", offsets_to_json(offsets)),
+                ("tail_start", num(*tail_start)),
+            ]),
+        )]),
+        Plan::StlFallback => Json::Str("StlFallback".to_string()),
+    }
+}
+
+/// Decodes a [`Plan`] from a JSON value.
+///
+/// # Errors
+///
+/// Returns a shape error for unknown variants or malformed members.
+pub fn plan_from_json(json: &Json) -> Result<Plan, ParseError> {
+    if json.as_str() == Some("StlFallback") {
+        return Ok(Plan::StlFallback);
+    }
+    let Json::Obj(map) = json else {
+        return Err(shape_err("Plan: expected an object or 'StlFallback'"));
+    };
+    if map.len() != 1 {
+        return Err(shape_err("Plan: expected exactly one variant tag"));
+    }
+    let (tag, body) = map.iter().next().unwrap();
+    let usize_member = |name: &str| -> Result<usize, ParseError> {
+        body.get(name)
+            .as_u64()
+            .map(|v| v as usize)
+            .ok_or_else(|| shape_err(format!("Plan::{tag}: missing '{name}'")))
+    };
+    match tag.as_str() {
+        "FixedWords" => Ok(Plan::FixedWords {
+            len: usize_member("len")?,
+            ops: word_ops_from_json(body.get("ops"))?,
+        }),
+        "FixedBlocks" => Ok(Plan::FixedBlocks {
+            len: usize_member("len")?,
+            offsets: offsets_from_json(body.get("offsets"))?,
+        }),
+        "VarWords" => Ok(Plan::VarWords {
+            min_len: usize_member("min_len")?,
+            ops: word_ops_from_json(body.get("ops"))?,
+            tail_start: usize_member("tail_start")?,
+        }),
+        "VarBlocks" => Ok(Plan::VarBlocks {
+            min_len: usize_member("min_len")?,
+            offsets: offsets_from_json(body.get("offsets"))?,
+            tail_start: usize_member("tail_start")?,
+        }),
+        other => Err(shape_err(format!("Plan: unknown variant '{other}'"))),
+    }
+}
+
+/// Encodes a plan to a JSON string.
+#[must_use]
+pub fn plan_to_string(plan: &Plan) -> String {
+    plan_to_json(plan).to_string()
+}
+
+/// Decodes a plan from a JSON string.
+///
+/// # Errors
+///
+/// Returns a parse or shape error for malformed input.
+pub fn plan_from_str(text: &str) -> Result<Plan, ParseError> {
+    plan_from_json(&Json::parse(text)?)
+}
+
+/// Encodes a key pattern to a JSON string.
+#[must_use]
+pub fn key_pattern_to_string(pattern: &KeyPattern) -> String {
+    key_pattern_to_json(pattern).to_string()
+}
+
+/// Decodes a key pattern from a JSON string.
+///
+/// # Errors
+///
+/// Returns a parse or shape error for malformed input.
+pub fn key_pattern_from_str(text: &str) -> Result<KeyPattern, ParseError> {
+    key_pattern_from_json(&Json::parse(text)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_parser_handles_nesting_and_escapes() {
+        let v = Json::parse(r#"{"a":[1,2.5,"x\n\"y"],"b":{"c":null,"d":true}}"#).unwrap();
+        assert_eq!(v.get("a").at(0).as_u64(), Some(1));
+        assert_eq!(v.get("a").at(1), &Json::Num(2.5));
+        assert_eq!(v.get("a").at(2).as_str(), Some("x\n\"y"));
+        assert_eq!(v.get("b").get("c"), &Json::Null);
+        assert_eq!(v.get("b").get("d"), &Json::Bool(true));
+        assert_eq!(v.get("missing"), &Json::Null);
+    }
+
+    #[test]
+    fn json_parser_rejects_garbage() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("1 2").is_err());
+        assert!(Json::parse(r#""open"#).is_err());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let text = r#"{"a":[1,"m",true],"b":null}"#;
+        let v = Json::parse(text).unwrap();
+        assert_eq!(Json::parse(&v.to_string()).unwrap(), v);
+    }
+
+    #[test]
+    fn masks_round_trip_exactly() {
+        let op = WordOp {
+            offset: 3,
+            mask: u64::MAX - 1,
+            shift: 52,
+        };
+        let back = word_op_from_json(&word_op_to_json(&op)).unwrap();
+        assert_eq!(back, op);
+    }
+
+    #[test]
+    fn malformed_plans_are_rejected() {
+        assert!(plan_from_str(r#"{"NoSuchPlan":{}}"#).is_err());
+        assert!(plan_from_str(r#"{"FixedWords":{"len":4}}"#).is_err());
+        assert!(plan_from_str(r#"{"FixedWords":{"len":4,"ops":[]},"Extra":1}"#).is_err());
+        // shift out of range
+        assert!(plan_from_str(
+            r#"{"FixedWords":{"len":8,"ops":[{"offset":0,"mask":"1","shift":64}]}}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn bad_byte_patterns_are_rejected() {
+        // Constant bit outside the mask.
+        assert!(byte_pattern_from_parts(0x00, 0x01).is_err());
+        // Mask not aligned to two-bit lattice groups.
+        assert!(byte_pattern_from_parts(0x01, 0x00).is_err());
+        // Valid digit byte.
+        let p = byte_pattern_from_parts(0xF0, 0x30).unwrap();
+        assert_eq!(p.variable_mask(), 0x0F);
+    }
+}

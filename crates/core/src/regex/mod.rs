@@ -39,7 +39,9 @@ impl ByteClass {
     pub const EMPTY: ByteClass = ByteClass { bits: [0; 4] };
 
     /// The class containing every byte.
-    pub const ANY: ByteClass = ByteClass { bits: [u64::MAX; 4] };
+    pub const ANY: ByteClass = ByteClass {
+        bits: [u64::MAX; 4],
+    };
 
     /// The class containing a single byte.
     #[must_use]
@@ -105,7 +107,9 @@ impl ByteClass {
 
     /// Iterates over the members of the class in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = u8> + '_ {
-        (0u16..=255).map(|b| b as u8).filter(move |&b| self.contains(b))
+        (0u16..=255)
+            .map(|b| b as u8)
+            .filter(move |&b| self.contains(b))
     }
 
     /// The single member, if the class is a singleton.
@@ -309,8 +313,11 @@ impl Expansion {
     /// synthesizer consumes.
     #[must_use]
     pub fn to_key_pattern(&self) -> KeyPattern {
-        let bytes: Vec<BytePattern> =
-            self.classes.iter().map(ByteClass::to_byte_pattern).collect();
+        let bytes: Vec<BytePattern> = self
+            .classes
+            .iter()
+            .map(ByteClass::to_byte_pattern)
+            .collect();
         KeyPattern::with_min_len(bytes, self.min_len)
     }
 

@@ -84,7 +84,10 @@ impl std::error::Error for ParseRegexError {}
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn parse(source: &str) -> Result<Regex, ParseRegexError> {
-    let mut p = Parser { src: source.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        src: source.as_bytes(),
+        pos: 0,
+    };
     let r = p.parse_concat()?;
     if p.pos != p.src.len() {
         return Err(p.err_here());
@@ -109,7 +112,10 @@ impl Parser<'_> {
     }
 
     fn error(&self, kind: ParseRegexErrorKind) -> ParseRegexError {
-        ParseRegexError { position: self.pos, kind }
+        ParseRegexError {
+            position: self.pos,
+            kind,
+        }
     }
 
     fn err_here(&self) -> ParseRegexError {
@@ -133,7 +139,11 @@ impl Parser<'_> {
                         return Err(self.error(ParseRegexErrorKind::NothingToRepeat));
                     };
                     let (min, max) = self.parse_repetition()?;
-                    parts.push(Regex::Repeat { body: Box::new(last), min, max });
+                    parts.push(Regex::Repeat {
+                        body: Box::new(last),
+                        min,
+                        max,
+                    });
                 }
                 _ => {
                     let atom = self.parse_atom()?;
@@ -187,7 +197,10 @@ impl Parser<'_> {
     }
 
     fn parse_atom(&mut self) -> Result<Regex, ParseRegexError> {
-        match self.bump().ok_or_else(|| self.error(ParseRegexErrorKind::UnexpectedEnd))? {
+        match self
+            .bump()
+            .ok_or_else(|| self.error(ParseRegexErrorKind::UnexpectedEnd))?
+        {
             b'(' => {
                 let inner = self.parse_concat()?;
                 if self.bump() != Some(b')') {
@@ -204,7 +217,10 @@ impl Parser<'_> {
     }
 
     fn parse_escape(&mut self) -> Result<ByteClass, ParseRegexError> {
-        match self.bump().ok_or_else(|| self.error(ParseRegexErrorKind::UnexpectedEnd))? {
+        match self
+            .bump()
+            .ok_or_else(|| self.error(ParseRegexErrorKind::UnexpectedEnd))?
+        {
             b'd' => Ok(ByteClass::range(b'0', b'9')),
             b'w' => Ok(ByteClass::range(b'a', b'z')
                 .union(&ByteClass::range(b'A', b'Z'))
@@ -245,7 +261,10 @@ impl Parser<'_> {
     /// Parses one class member: a literal byte or an escape (which may
     /// denote a multi-byte shorthand like `\d`).
     fn parse_class_member(&mut self) -> Result<ByteClass, ParseRegexError> {
-        match self.bump().ok_or_else(|| self.error(ParseRegexErrorKind::UnexpectedEnd))? {
+        match self
+            .bump()
+            .ok_or_else(|| self.error(ParseRegexErrorKind::UnexpectedEnd))?
+        {
             b'\\' => self.parse_escape(),
             b if b.is_ascii() => Ok(ByteClass::literal(b)),
             b => Err(self.error(ParseRegexErrorKind::NonAscii(b as char))),
@@ -328,7 +347,10 @@ mod tests {
 
     #[test]
     fn mac_class_includes_both_cases() {
-        let e = parse(r"([0-9a-fA-F]{2}-){5}[0-9a-fA-F]{2}").unwrap().expand().unwrap();
+        let e = parse(r"([0-9a-fA-F]{2}-){5}[0-9a-fA-F]{2}")
+            .unwrap()
+            .expand()
+            .unwrap();
         assert!(e.matches(b"0a-1B-2c-3D-4e-5F"));
         assert!(!e.matches(b"0a-1B-2c-3D-4e-5G"));
     }
@@ -366,16 +388,34 @@ mod tests {
             parse("a+").unwrap_err().kind,
             ParseRegexErrorKind::UnboundedRepetition('+')
         ));
-        assert!(matches!(parse("a|b").unwrap_err().kind, ParseRegexErrorKind::Alternation));
-        assert!(matches!(parse("{3}").unwrap_err().kind, ParseRegexErrorKind::NothingToRepeat));
-        assert!(matches!(parse("[]").unwrap_err().kind, ParseRegexErrorKind::EmptyClass));
+        assert!(matches!(
+            parse("a|b").unwrap_err().kind,
+            ParseRegexErrorKind::Alternation
+        ));
+        assert!(matches!(
+            parse("{3}").unwrap_err().kind,
+            ParseRegexErrorKind::NothingToRepeat
+        ));
+        assert!(matches!(
+            parse("[]").unwrap_err().kind,
+            ParseRegexErrorKind::EmptyClass
+        ));
         assert!(matches!(
             parse("[9-0]").unwrap_err().kind,
             ParseRegexErrorKind::BadClassRange(b'9', b'0')
         ));
-        assert!(matches!(parse("(ab").unwrap_err().kind, ParseRegexErrorKind::UnexpectedEnd));
-        assert!(matches!(parse("a{0}").unwrap_err().kind, ParseRegexErrorKind::BadRepetition));
-        assert!(matches!(parse("a{3,1}").unwrap_err().kind, ParseRegexErrorKind::BadRepetition));
+        assert!(matches!(
+            parse("(ab").unwrap_err().kind,
+            ParseRegexErrorKind::UnexpectedEnd
+        ));
+        assert!(matches!(
+            parse("a{0}").unwrap_err().kind,
+            ParseRegexErrorKind::BadRepetition
+        ));
+        assert!(matches!(
+            parse("a{3,1}").unwrap_err().kind,
+            ParseRegexErrorKind::BadRepetition
+        ));
     }
 
     #[test]

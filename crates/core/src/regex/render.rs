@@ -206,8 +206,9 @@ mod tests {
     #[test]
     fn exact_class_round_trips() {
         // Lattice element with only the low pair constant (mask 0x03).
-        let p = KeyPattern::fixed(vec![crate::pattern::BytePattern::from_bytes([0x00, 0xFC])
-            .unwrap()]);
+        let p = KeyPattern::fixed(vec![
+            crate::pattern::BytePattern::from_bytes([0x00, 0xFC]).unwrap()
+        ]);
         round_trips(&p);
     }
 

@@ -25,7 +25,6 @@ use crate::pattern::KeyPattern;
 /// The four synthesized hash families of the paper, in increasing order of
 /// exploited constraints (Figure 3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Family {
     /// Xor of *all* key bytes, eight at a time, fully unrolled for
     /// fixed-length keys. Exploits only the length constraint.
@@ -66,25 +65,42 @@ impl std::fmt::Display for Family {
 
 /// One eight-byte load plus its bit-extraction mask and packing shift.
 ///
-/// For the Naive and OffXor families `mask` is all-ones and `shift` is zero;
-/// the load is xor-ed in unchanged. For Pext, `mask` selects the variable
-/// bits (excluding bytes already covered by earlier loads, exactly as the
-/// `mk1` mask of Figure 12 does) and `shift` packs the extracted bits
-/// towards the top of the 64-bit range.
+/// For the Naive and OffXor families `mask` is all-ones and `shift` is a
+/// *left-rotation* applied to the loaded word before xor-ing it in. It is
+/// zero on every load except a clamped final load (one that re-reads bytes
+/// an earlier load covered), which is rotated by [`OVERLAP_ROTATION`] to
+/// break nibble alignment with the loads it overlaps — without the
+/// rotation, every pair of positions read by two loads into the same
+/// result lane forms an xor-cancellation kernel: two keys differing by the
+/// same nibble flip at both positions collide, which is where the seed's
+/// spurious Naive/OffXor T-Coll on small-space formats came from.
+///
+/// For Pext, `mask` selects the variable bits (excluding bytes already
+/// covered by earlier loads, exactly as the `mk1` mask of Figure 12 does)
+/// and `shift` packs the extracted bits towards the top of the 64-bit
+/// range.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct WordOp {
     /// Byte offset of the load within the key.
     pub offset: u32,
     /// `pext` mask applied to the loaded word.
     pub mask: u64,
-    /// Left shift applied to the extracted bits.
+    /// Left shift applied to the extracted bits (Pext), or left rotation
+    /// applied to the loaded word (Naive/OffXor).
     pub shift: u8,
 }
 
+/// Left rotation applied to a clamped Naive/OffXor load.
+///
+/// Half a byte: on byte formats whose per-byte variance lives in one nibble
+/// (digits, lowercase hex), the rotation aligns the variable nibbles of the
+/// overlapping load with the *constant* nibbles of the loads under it, so
+/// no in-format key difference can cancel across the overlap. A whole-byte
+/// rotation would merely re-pair the cancellation kernels.
+pub const OVERLAP_ROTATION: u8 = 4;
+
 /// The shape of a synthesized hash function.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Plan {
     /// Fixed-length key, word-combining families (Naive, OffXor, Pext):
     /// a fully unrolled sequence of loads (Section 3.2.2, Figure 10/12).
@@ -265,7 +281,10 @@ fn synthesize_words(pattern: &KeyPattern, family: Family) -> Plan {
 
     let (offsets, tail_start) = if region_len >= 8 {
         let offsets = cover_with_loads(&targets, region_len, 8);
-        let tail = offsets.last().map_or(0, |&o| o as usize + 8).max(region_len.min(min_len));
+        let tail = offsets
+            .last()
+            .map_or(0, |&o| o as usize + 8)
+            .max(region_len.min(min_len));
         (offsets, tail)
     } else if fixed && !targets.is_empty() {
         // Force-synthesized sub-word format (synthesize_unchecked): one
@@ -277,12 +296,14 @@ fn synthesize_words(pattern: &KeyPattern, family: Family) -> Plan {
 
     // Masks: Pext keeps only variable bits of bytes not already covered by
     // an earlier load (Figure 12's mk1 zeroes the overlap). Other families
-    // use the identity mask.
+    // use the identity mask and rotate clamped (overlapping) loads by a
+    // half byte so the overlap cannot cancel against the earlier load.
     let mut ops = Vec::with_capacity(offsets.len());
     let mut covered_until = 0usize;
     for &offset in &offsets {
         let offset_us = offset as usize;
-        let mask = if family == Family::Pext {
+        let overlaps = offset_us < covered_until;
+        let (mask, shift) = if family == Family::Pext {
             let mut m = 0u64;
             for i in 0..8 {
                 let pos = offset_us + i;
@@ -290,12 +311,16 @@ fn synthesize_words(pattern: &KeyPattern, family: Family) -> Plan {
                     m |= u64::from(pattern.bytes()[pos].variable_mask()) << (8 * i);
                 }
             }
-            m
+            (m, 0)
         } else {
-            u64::MAX
+            (u64::MAX, if overlaps { OVERLAP_ROTATION } else { 0 })
         };
         covered_until = covered_until.max(offset_us + 8);
-        ops.push(WordOp { offset, mask, shift: 0 });
+        ops.push(WordOp {
+            offset,
+            mask,
+            shift,
+        });
     }
 
     if family == Family::Pext {
@@ -303,9 +328,16 @@ fn synthesize_words(pattern: &KeyPattern, family: Family) -> Plan {
     }
 
     if fixed {
-        Plan::FixedWords { len: pattern.max_len(), ops }
+        Plan::FixedWords {
+            len: pattern.max_len(),
+            ops,
+        }
     } else {
-        Plan::VarWords { min_len, ops, tail_start }
+        Plan::VarWords {
+            min_len,
+            ops,
+            tail_start,
+        }
     }
 }
 
@@ -332,9 +364,16 @@ fn synthesize_blocks(pattern: &KeyPattern) -> Plan {
         // block (the paper: "Aes requires two 16 byte values; thus, we
         // replicate the key").
         return if fixed {
-            Plan::FixedBlocks { len: pattern.max_len(), offsets: Vec::new() }
+            Plan::FixedBlocks {
+                len: pattern.max_len(),
+                offsets: Vec::new(),
+            }
         } else {
-            Plan::VarBlocks { min_len, offsets: Vec::new(), tail_start: 0 }
+            Plan::VarBlocks {
+                min_len,
+                offsets: Vec::new(),
+                tail_start: 0,
+            }
         };
     }
 
@@ -342,12 +381,22 @@ fn synthesize_blocks(pattern: &KeyPattern) -> Plan {
         .filter(|&i| !pattern.bytes()[i].is_const())
         .collect();
     let offsets = cover_with_loads(&targets, region_len, 16);
-    let tail_start = offsets.last().map_or(0, |&o| o as usize + 16).max(min_len.min(region_len));
+    let tail_start = offsets
+        .last()
+        .map_or(0, |&o| o as usize + 16)
+        .max(min_len.min(region_len));
 
     if fixed {
-        Plan::FixedBlocks { len: pattern.max_len(), offsets }
+        Plan::FixedBlocks {
+            len: pattern.max_len(),
+            offsets,
+        }
     } else {
-        Plan::VarBlocks { min_len, offsets, tail_start }
+        Plan::VarBlocks {
+            min_len,
+            offsets,
+            tail_start,
+        }
     }
 }
 
@@ -378,7 +427,31 @@ mod tests {
         };
         assert_eq!(len, 15);
         assert_eq!(ops.iter().map(|o| o.offset).collect::<Vec<_>>(), vec![0, 7]);
-        assert!(ops.iter().all(|o| o.mask == u64::MAX && o.shift == 0));
+        assert!(ops.iter().all(|o| o.mask == u64::MAX));
+        // The final load is clamped to 15 - 8 = 7 and re-reads byte 7, so
+        // it carries the anti-cancellation rotation; the first does not.
+        assert_eq!(ops[0].shift, 0);
+        assert_eq!(ops[1].shift, OVERLAP_ROTATION);
+    }
+
+    #[test]
+    fn only_clamped_loads_are_rotated() {
+        // 16 digits tile exactly: no clamp, no rotation anywhere.
+        let p = pattern(r"[0-9]{16}");
+        let Plan::FixedWords { ops, .. } = synthesize(&p, Family::Naive) else {
+            panic!("expected fixed plan");
+        };
+        assert_eq!(ops.iter().map(|o| o.offset).collect::<Vec<_>>(), vec![0, 8]);
+        assert!(ops.iter().all(|o| o.shift == 0));
+        // 20 digits clamp the final load to 12 (overlapping 12..16).
+        let p = pattern(r"[0-9]{20}");
+        let Plan::FixedWords { ops, .. } = synthesize(&p, Family::Naive) else {
+            panic!("expected fixed plan");
+        };
+        assert_eq!(
+            ops.iter().map(|o| o.shift).collect::<Vec<_>>(),
+            vec![0, 0, OVERLAP_ROTATION]
+        );
     }
 
     #[test]
@@ -387,7 +460,10 @@ mod tests {
         let Plan::FixedWords { ops, .. } = synthesize(&p, Family::Naive) else {
             panic!("expected fixed plan");
         };
-        assert_eq!(ops.iter().map(|o| o.offset).collect::<Vec<_>>(), vec![0, 8, 12]);
+        assert_eq!(
+            ops.iter().map(|o| o.offset).collect::<Vec<_>>(),
+            vec![0, 8, 12]
+        );
     }
 
     #[test]
@@ -401,7 +477,10 @@ mod tests {
         let Plan::FixedWords { ops, .. } = synthesize(&p, Family::OffXor) else {
             panic!("expected fixed plan");
         };
-        assert_eq!(ops.iter().map(|o| o.offset).collect::<Vec<_>>(), vec![23, 31, 39]);
+        assert_eq!(
+            ops.iter().map(|o| o.offset).collect::<Vec<_>>(),
+            vec![23, 31, 39]
+        );
     }
 
     #[test]
@@ -455,7 +534,12 @@ mod tests {
         ])
         .unwrap();
         let plan = synthesize(&p, Family::OffXor);
-        let Plan::VarWords { min_len, ops, tail_start } = plan else {
+        let Plan::VarWords {
+            min_len,
+            ops,
+            tail_start,
+        } = plan
+        else {
             panic!("expected var plan, got {plan:?}");
         };
         assert_eq!(min_len, 17);

@@ -37,13 +37,21 @@ const CORPUS: &[FormatCase] = &[
     },
     FormatCase {
         name: "isbn13",
-        examples: &[b"978-0-000-00000-0", b"979-5-555-55555-5", b"978-9-999-99999-9"],
+        examples: &[
+            b"978-0-000-00000-0",
+            b"979-5-555-55555-5",
+            b"978-9-999-99999-9",
+        ],
         members: &[b"978-0-306-40615-7"],
         non_members: &[b"978 0 306 40615 7", b"9780306406157"],
     },
     FormatCase {
         name: "credit-card-grouped",
-        examples: &[b"0000 0000 0000 0000", b"5555 5555 5555 5555", b"9999 9999 9999 9999"],
+        examples: &[
+            b"0000 0000 0000 0000",
+            b"5555 5555 5555 5555",
+            b"9999 9999 9999 9999",
+        ],
         members: &[b"4242 4242 4242 4242"],
         non_members: &[b"4242-4242-4242-4242", b"4242424242424242"],
     },
@@ -121,10 +129,7 @@ fn corpus_pext_bijections_where_bits_allow() {
     for case in CORPUS {
         let pattern = infer_pattern(case.examples.iter().copied()).expect("non-empty");
         let plan = sepe_core::synth::synthesize(&pattern, Family::Pext);
-        if pattern.is_fixed_len()
-            && pattern.max_len() >= 8
-            && pattern.variable_bits() <= 64
-        {
+        if pattern.is_fixed_len() && pattern.max_len() >= 8 && pattern.variable_bits() <= 64 {
             assert!(
                 plan.bijection_bits().is_some(),
                 "{}: {} variable bits should admit a bijection",

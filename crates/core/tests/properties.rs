@@ -4,9 +4,7 @@
 
 use proptest::collection::vec;
 use proptest::prelude::*;
-use sepe_core::bits::{
-    pdep_reference, pdep_soft, pext_reference, pext_soft, pext_u64, Isa,
-};
+use sepe_core::bits::{pdep_reference, pdep_soft, pext_reference, pext_soft, pext_u64, Isa};
 use sepe_core::hash::{ByteHash, SynthesizedHash};
 use sepe_core::infer::infer_pattern;
 use sepe_core::lattice::{quads_of_byte, Quad};
@@ -16,10 +14,7 @@ use sepe_core::regex::Regex;
 use sepe_core::synth::Family;
 
 fn arb_quad() -> impl Strategy<Value = Quad> {
-    prop_oneof![
-        (0u8..4).prop_map(Quad::new),
-        Just(Quad::Top),
-    ]
+    prop_oneof![(0u8..4).prop_map(Quad::new), Just(Quad::Top),]
 }
 
 proptest! {

@@ -35,7 +35,22 @@ fn check_plan(plan: &Plan, pattern: &KeyPattern, family: Family) {
                 assert!(op.shift < 64);
                 if family != Family::Pext {
                     assert_eq!(op.mask, u64::MAX);
-                    assert_eq!(op.shift, 0);
+                }
+            }
+            if family != Family::Pext {
+                // The shift of a xor-family load is the anti-cancellation
+                // rotation: present exactly on loads that re-read bytes an
+                // earlier load covered (only ever the clamped final one).
+                let mut covered_until = 0usize;
+                for op in ops {
+                    let offset = op.offset as usize;
+                    let expected = if offset < covered_until {
+                        sepe_core::synth::OVERLAP_ROTATION
+                    } else {
+                        0
+                    };
+                    assert_eq!(op.shift, expected, "rotation on load at {offset}");
+                    covered_until = covered_until.max(offset + 8);
                 }
             }
             if family == Family::Pext {
@@ -58,7 +73,11 @@ fn check_plan(plan: &Plan, pattern: &KeyPattern, family: Family) {
                 }
             }
         }
-        Plan::VarWords { min_len, ops, tail_start } => {
+        Plan::VarWords {
+            min_len,
+            ops,
+            tail_start,
+        } => {
             assert!(!pattern.is_fixed_len());
             assert_eq!(*min_len, pattern.min_len());
             assert!(*tail_start <= pattern.min_len());
@@ -80,7 +99,9 @@ fn check_plan(plan: &Plan, pattern: &KeyPattern, family: Family) {
                 assert!((*off as usize) + 16 <= *len);
             }
         }
-        Plan::VarBlocks { min_len, offsets, .. } => {
+        Plan::VarBlocks {
+            min_len, offsets, ..
+        } => {
             assert_eq!(family, Family::Aes);
             for off in offsets {
                 assert!((*off as usize) + 16 <= *min_len);

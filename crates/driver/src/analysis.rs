@@ -107,13 +107,26 @@ pub fn run_grid(
     let mut t_coll_total = 0u64;
 
     for &format in &scale.formats {
-        let hash = id.build(format, scale.isa);
+        // Collision counts depend only on (hash, format, distribution):
+        // counted once per format, over distinct keys. The pool doubles as
+        // the training set for the data-dependent Gperf baseline, the way
+        // GNU gperf is handed the keywords it will serve.
+        let dist = only_distribution.unwrap_or(Distribution::Normal);
+        let n = scale
+            .collision_keys
+            .min(usize::try_from(format.space()).unwrap_or(usize::MAX));
+        let mut sampler = KeySampler::new(format, dist, 0xC011);
+        let keys = sampler.distinct_pool(n);
+        let hash = id.build_trained(format, scale.isa, &keys);
         for cfg in ExperimentConfig::grid(format, scale.affectations, 7) {
             if only_distribution.is_some_and(|d| d != cfg.distribution) {
                 continue;
             }
             for sample in 0..scale.samples {
-                let cfg = ExperimentConfig { seed: cfg.seed ^ (sample as u64) << 32, ..cfg.clone() };
+                let cfg = ExperimentConfig {
+                    seed: cfg.seed ^ (sample as u64) << 32,
+                    ..cfg.clone()
+                };
                 let mut sampler = KeySampler::new(cfg.format, cfg.distribution, cfg.seed);
                 let pool = sampler.pool(cfg.spread);
                 let b = time_affectations(&cfg, hash.as_ref(), &pool);
@@ -122,14 +135,6 @@ pub fn run_grid(
                 h_times_ms.push(h.as_secs_f64() * 1e3);
             }
         }
-        // Collision counts depend only on (hash, format, distribution):
-        // count once per format, over distinct keys.
-        let dist = only_distribution.unwrap_or(Distribution::Normal);
-        let n = scale
-            .collision_keys
-            .min(usize::try_from(format.space()).unwrap_or(usize::MAX));
-        let mut sampler = KeySampler::new(format, dist, 0xC011);
-        let keys = sampler.distinct_pool(n);
         let (b, t) = collisions_of(hash.as_ref(), &keys, BucketPolicy::Modulo);
         b_colls.push(b.max(1) as f64);
         t_coll_total += t;
@@ -157,8 +162,9 @@ pub fn uniformity_chi2(
     seed: u64,
 ) -> f64 {
     let mut sampler = KeySampler::new(format, distribution, seed);
-    let hashes: Vec<u64> =
-        (0..n_keys).map(|_| hash.hash_bytes(sampler.next_key().as_bytes())).collect();
+    let hashes: Vec<u64> = (0..n_keys)
+        .map(|_| hash.hash_bytes(sampler.next_key().as_bytes()))
+        .collect();
     let histogram = hash_histogram_range(&hashes, bins);
     chi_square_gof(&histogram).statistic
 }
@@ -209,8 +215,10 @@ pub fn low_mixing_point(
     let keys = sampler.distinct_pool(n);
     // True collisions under a low-mixing container are collisions of the
     // *retained* bits: hash >> discard_low (Figure 18).
-    let mut truncated: Vec<u64> =
-        keys.iter().map(|k| hash.hash_bytes(k.as_bytes()) >> discard_low).collect();
+    let mut truncated: Vec<u64> = keys
+        .iter()
+        .map(|k| hash.hash_bytes(k.as_bytes()) >> discard_low)
+        .collect();
     truncated.sort_unstable();
     let t_coll = truncated.windows(2).filter(|w| w[0] == w[1]).count() as u64;
     let (b_coll, _) = collisions_of(hash, &keys, BucketPolicy::HighBits { discard_low });
@@ -268,13 +276,27 @@ fn run_fast(cfg: &ExperimentConfig, hash: &dyn ByteHash) -> Measurement {
     let mut sampler = KeySampler::new(cfg.format, cfg.distribution, cfg.seed);
     let pool = sampler.pool(cfg.spread);
     let b_time = time_affectations(cfg, hash, &pool);
-    Measurement { b_time, h_time: Duration::ZERO, bucket_collisions: 0, true_collisions: 0 }
+    Measurement {
+        b_time,
+        h_time: Duration::ZERO,
+        bucket_collisions: 0,
+        true_collisions: 0,
+    }
 }
 
 /// Convenience wrapper running the complete [`run_experiment`] for tests.
+///
+/// Gperf is trained on the prefix of the very key pool the experiment's
+/// collision counts measure (see [`crate::measure::collision_pool`]).
 #[must_use]
 pub fn run_one(cfg: &ExperimentConfig, id: HashId, isa: Isa) -> Measurement {
-    let hash = id.build(cfg.format, isa);
+    let training = crate::measure::collision_pool(
+        cfg.format,
+        cfg.distribution,
+        crate::registry::GPERF_TRAINING_KEYS,
+        cfg.seed,
+    );
+    let hash = id.build_trained(cfg.format, isa, &training);
     run_experiment(cfg, hash.as_ref())
 }
 
@@ -299,10 +321,22 @@ mod tests {
     fn uniformity_ranks_stl_far_better_than_pext_on_incremental_keys() {
         let stl = HashId::Stl.build(KeyFormat::Ssn, Isa::Native);
         let pext = HashId::Pext.build(KeyFormat::Ssn, Isa::Native);
-        let c_stl =
-            uniformity_chi2(stl.as_ref(), KeyFormat::Ssn, Distribution::Normal, 20_000, 256, 1);
-        let c_pext =
-            uniformity_chi2(pext.as_ref(), KeyFormat::Ssn, Distribution::Normal, 20_000, 256, 1);
+        let c_stl = uniformity_chi2(
+            stl.as_ref(),
+            KeyFormat::Ssn,
+            Distribution::Normal,
+            20_000,
+            256,
+            1,
+        );
+        let c_pext = uniformity_chi2(
+            pext.as_ref(),
+            KeyFormat::Ssn,
+            Distribution::Normal,
+            20_000,
+            256,
+            1,
+        );
         assert!(
             c_pext > c_stl * 10.0,
             "pext chi2 {c_pext} should dwarf stl chi2 {c_stl}"

@@ -64,9 +64,18 @@ impl Mode {
     /// `(0.7, 0.2)`, `(0.6, 0.2)`, `(0.4, 0.3)`.
     pub const ALL: [Mode; 4] = [
         Mode::Batched,
-        Mode::Interweaved { p_insert: 0.7, p_search: 0.2 },
-        Mode::Interweaved { p_insert: 0.6, p_search: 0.2 },
-        Mode::Interweaved { p_insert: 0.4, p_search: 0.3 },
+        Mode::Interweaved {
+            p_insert: 0.7,
+            p_search: 0.2,
+        },
+        Mode::Interweaved {
+            p_insert: 0.6,
+            p_search: 0.2,
+        },
+        Mode::Interweaved {
+            p_insert: 0.4,
+            p_search: 0.3,
+        },
     ];
 
     /// Short label for reports.

@@ -113,17 +113,18 @@ pub fn run_experiment(cfg: &ExperimentConfig, hash: &dyn ByteHash) -> Measuremen
         cfg.seed,
     );
 
-    Measurement { b_time, h_time, bucket_collisions, true_collisions }
+    Measurement {
+        b_time,
+        h_time,
+        bucket_collisions,
+        true_collisions,
+    }
 }
 
 /// Times the affectation loop: `cfg.affectations` operations against a
 /// fresh container (the **B-Time** of RQ1).
 #[must_use]
-pub fn time_affectations(
-    cfg: &ExperimentConfig,
-    hash: &dyn ByteHash,
-    pool: &[String],
-) -> Duration {
+pub fn time_affectations(cfg: &ExperimentConfig, hash: &dyn ByteHash, pool: &[String]) -> Duration {
     let mut container = Container::new(cfg.container, hash, cfg.policy);
     let mut rng = SplitMix64::new(cfg.seed ^ 0x5EED);
     let n = cfg.affectations;
@@ -196,6 +197,25 @@ pub fn time_hashing(cfg: &ExperimentConfig, hash: &dyn ByteHash, pool: &[String]
     start.elapsed()
 }
 
+/// The distinct key pool the collision counts of an experiment measure.
+///
+/// Deterministic in `(format, distribution, seed)`, and `distinct_pool`
+/// yields keys in encounter order — so the pool for a smaller `n` is a
+/// prefix of the pool for a larger one. Data-dependent baselines (Gperf)
+/// train on such a prefix via [`crate::registry::HashId::build_trained`],
+/// mirroring how GNU gperf is handed the key set it will actually serve.
+#[must_use]
+pub fn collision_pool(
+    format: sepe_keygen::KeyFormat,
+    distribution: sepe_keygen::Distribution,
+    n: usize,
+    seed: u64,
+) -> Vec<String> {
+    let n = n.min(usize::try_from(format.space()).unwrap_or(usize::MAX));
+    let mut sampler = KeySampler::new(format, distribution, seed ^ 0xC011);
+    sampler.distinct_pool(n)
+}
+
 /// Counts bucket collisions (container-level, Section 4.2) and true
 /// collisions (64-bit hash duplicates) over `n` distinct keys.
 #[must_use]
@@ -207,9 +227,7 @@ pub fn count_collisions(
     n: usize,
     seed: u64,
 ) -> (u64, u64) {
-    let n = n.min(usize::try_from(format.space()).unwrap_or(usize::MAX));
-    let mut sampler = KeySampler::new(format, distribution, seed ^ 0xC011);
-    let keys = sampler.distinct_pool(n);
+    let keys = collision_pool(format, distribution, n, seed);
     collisions_of(hash, &keys, policy)
 }
 
@@ -227,8 +245,10 @@ pub fn collisions_of(
     }
     let bucket = map.bucket_collisions();
 
-    let mut hashes: Vec<u64> =
-        distinct_keys.iter().map(|k| hash.hash_bytes(k.as_bytes())).collect();
+    let mut hashes: Vec<u64> = distinct_keys
+        .iter()
+        .map(|k| hash.hash_bytes(k.as_bytes()))
+        .collect();
     hashes.sort_unstable();
     let true_coll = hashes.windows(2).filter(|w| w[0] == w[1]).count() as u64;
     (bucket, true_coll)
@@ -285,6 +305,47 @@ mod tests {
     }
 
     #[test]
+    fn gperf_trained_on_the_measured_pool_no_longer_degenerates() {
+        // Regression for the seed's repro_output.txt Gperf row: a constant
+        // hash (empty position set, trained on a detached pool) put all
+        // 10,000 keys of every format into one bucket — 9,999 B-Coll and
+        // 8 × 9,999 = 79,992 T-Coll. Trained on a prefix of the measured
+        // pool, gperf hashes that prefix (near-)perfectly and degrades to
+        // ordinary heavy collisions — not a single value — beyond it.
+        let n = 5000;
+        let pool = collision_pool(KeyFormat::Ssn, Distribution::Normal, n, 42);
+        let hash = HashId::Gperf.build_trained(KeyFormat::Ssn, Isa::Native, &pool);
+
+        let train = &pool[..crate::registry::GPERF_TRAINING_KEYS];
+        let mut trained: Vec<u64> = train
+            .iter()
+            .map(|k| hash.hash_bytes(k.as_bytes()))
+            .collect();
+        trained.sort_unstable();
+        trained.dedup();
+        // Keys permuting the same characters at the selected positions
+        // collide unavoidably under a per-value table, so "near-perfect"
+        // on random training keys means "mostly distinct", not perfect.
+        assert!(
+            trained.len() > train.len() * 3 / 4,
+            "training prefix should be mostly distinct, got {} of {}",
+            trained.len(),
+            train.len()
+        );
+
+        let (b_coll, t_coll) =
+            collisions_of(hash.as_ref(), &pool, sepe_containers::BucketPolicy::Modulo);
+        assert!(
+            t_coll < (n as u64) - u64::try_from(trained.len()).unwrap() + 1,
+            "hash must not be constant on the pool: t_coll {t_coll}"
+        );
+        assert!(
+            b_coll < (n as u64) - 1,
+            "keys must spread over buckets: b_coll {b_coll}"
+        );
+    }
+
+    #[test]
     fn every_mode_and_container_runs() {
         let hash = HashId::OffXor.build(KeyFormat::Ipv4, Isa::Native);
         for container in ContainerKind::ALL {
@@ -294,8 +355,7 @@ mod tests {
                     mode,
                     ..ExperimentConfig::quick(KeyFormat::Ipv4, Distribution::Uniform)
                 };
-                let pool =
-                    KeySampler::new(cfg.format, cfg.distribution, cfg.seed).pool(cfg.spread);
+                let pool = KeySampler::new(cfg.format, cfg.distribution, cfg.seed).pool(cfg.spread);
                 let t = time_affectations(&cfg, hash.as_ref(), &pool);
                 assert!(t.as_nanos() > 0, "{container} {mode:?}");
             }

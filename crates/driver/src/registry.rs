@@ -52,8 +52,7 @@ impl HashId {
     ];
 
     /// The four synthesized families.
-    pub const SYNTHETIC: [HashId; 4] =
-        [HashId::Aes, HashId::Naive, HashId::OffXor, HashId::Pext];
+    pub const SYNTHETIC: [HashId; 4] = [HashId::Aes, HashId::Naive, HashId::OffXor, HashId::Pext];
 
     /// The six baselines.
     pub const BASELINES: [HashId; 6] = [
@@ -85,7 +84,10 @@ impl HashId {
     /// Whether this is one of the four synthesized families.
     #[must_use]
     pub fn is_synthetic(self) -> bool {
-        matches!(self, HashId::Aes | HashId::Naive | HashId::OffXor | HashId::Pext)
+        matches!(
+            self,
+            HashId::Aes | HashId::Naive | HashId::OffXor | HashId::Pext
+        )
     }
 
     /// The synthesized family, when [`HashId::is_synthetic`].
@@ -133,6 +135,34 @@ impl HashId {
             }
         }
     }
+
+    /// Like [`HashId::build`], but trains the data-dependent Gperf baseline
+    /// on (the first [`GPERF_TRAINING_KEYS`] of) `training_keys` instead of
+    /// a detached uniform pool.
+    ///
+    /// GNU gperf is handed the actual keyword set it will serve, so an
+    /// experiment that measures a specific key pool must train over that
+    /// pool — training on unrelated keys leaves the function near-constant
+    /// on the measured set and produced the degenerate single-bucket
+    /// numbers in `repro_output.txt`. Every other function is key-set
+    /// independent and ignores `training_keys`.
+    #[must_use]
+    pub fn build_trained(
+        self,
+        format: KeyFormat,
+        isa: Isa,
+        training_keys: &[String],
+    ) -> Box<dyn ByteHash> {
+        match self {
+            HashId::Gperf => {
+                let n = GPERF_TRAINING_KEYS.min(training_keys.len());
+                Box::new(GperfHash::train(
+                    training_keys[..n].iter().map(String::as_bytes),
+                ))
+            }
+            _ => self.build(format, isa),
+        }
+    }
 }
 
 impl std::fmt::Display for HashId {
@@ -149,12 +179,12 @@ fn gpt_format_of(format: KeyFormat) -> GptFormat {
         KeyFormat::Ipv4 => GptFormat::Ipv4,
         KeyFormat::Ipv6 => GptFormat::Ipv6,
         KeyFormat::Ints => GptFormat::Ints,
-        KeyFormat::Url1 => {
-            GptFormat::Url { prefix_len: sepe_keygen::format::URL1_PREFIX.len() }
-        }
-        KeyFormat::Url2 => {
-            GptFormat::Url { prefix_len: sepe_keygen::format::URL2_PREFIX.len() }
-        }
+        KeyFormat::Url1 => GptFormat::Url {
+            prefix_len: sepe_keygen::format::URL1_PREFIX.len(),
+        },
+        KeyFormat::Url2 => GptFormat::Url {
+            prefix_len: sepe_keygen::format::URL2_PREFIX.len(),
+        },
         KeyFormat::FourDigits | KeyFormat::Uuid | KeyFormat::Digits(_) => GptFormat::Generic,
     }
 }

@@ -22,8 +22,11 @@ pub enum Distribution {
 
 impl Distribution {
     /// The three distributions, in the paper's table order.
-    pub const ALL: [Distribution; 3] =
-        [Distribution::Incremental, Distribution::Uniform, Distribution::Normal];
+    pub const ALL: [Distribution; 3] = [
+        Distribution::Incremental,
+        Distribution::Uniform,
+        Distribution::Normal,
+    ];
 
     /// The distribution name as used in the paper's tables.
     #[must_use]
@@ -66,7 +69,12 @@ impl KeySampler {
     /// Creates a sampler.
     #[must_use]
     pub fn new(format: KeyFormat, dist: Distribution, seed: u64) -> Self {
-        KeySampler { format, dist, rng: SplitMix64::new(seed), counter: 0 }
+        KeySampler {
+            format,
+            dist,
+            rng: SplitMix64::new(seed),
+            counter: 0,
+        }
     }
 
     /// The format being sampled.
@@ -200,8 +208,11 @@ mod tests {
         let indices: Vec<f64> = (0..n).map(|_| s.next_index() as f64 / space).collect();
         let mean = indices.iter().sum::<f64>() / n as f64;
         assert!((mean - 0.5).abs() < 0.01, "mean fraction {mean}");
-        let within_2sd =
-            indices.iter().filter(|&&x| (x - 0.5).abs() < 2.0 / 16.0).count() as f64 / n as f64;
+        let within_2sd = indices
+            .iter()
+            .filter(|&&x| (x - 0.5).abs() < 2.0 / 16.0)
+            .count() as f64
+            / n as f64;
         assert!(within_2sd > 0.90, "only {within_2sd} within 2 sd");
     }
 
@@ -210,7 +221,11 @@ mod tests {
         let mut s = KeySampler::new(KeyFormat::Ipv6, Distribution::Normal, 4);
         let keys = s.pool(1000);
         let distinct: std::collections::BTreeSet<_> = keys.iter().collect();
-        assert_eq!(distinct.len(), 1000, "wide-space normal draws must not collide");
+        assert_eq!(
+            distinct.len(),
+            1000,
+            "wide-space normal draws must not collide"
+        );
     }
 
     #[test]
@@ -247,7 +262,10 @@ mod tests {
             let got = mul_q24(a, b);
             let want = (a as f64 * z) as i128;
             let tol = (want.abs() / 1000).max(2);
-            assert!((got - want).abs() <= tol, "a={a} z={z} got={got} want={want}");
+            assert!(
+                (got - want).abs() <= tol,
+                "a={a} z={z} got={got} want={want}"
+            );
         }
     }
 }

@@ -121,9 +121,7 @@ impl KeyFormat {
             KeyFormat::Url1 | KeyFormat::Url2 => 36u128.pow(URL_SUFFIX_VARIABLE as u32),
             KeyFormat::FourDigits => 10_000,
             KeyFormat::Uuid => u128::MAX,
-            KeyFormat::Digits(n) => {
-                10u128.checked_pow(n.min(38) as u32).unwrap_or(u128::MAX)
-            }
+            KeyFormat::Digits(n) => 10u128.checked_pow(n.min(38) as u32).unwrap_or(u128::MAX),
         }
     }
 
@@ -268,7 +266,13 @@ impl KeyFormat {
     fn key_of_repeated(self, ch: u8) -> String {
         self.materialize(0)
             .bytes()
-            .map(|b| if b.is_ascii_hexdigit() { ch as char } else { b as char })
+            .map(|b| {
+                if b.is_ascii_hexdigit() {
+                    ch as char
+                } else {
+                    b as char
+                }
+            })
             .collect()
     }
 
@@ -310,7 +314,11 @@ fn url_key(prefix: &str, index: u128) -> String {
         v /= 36;
     }
     for d in digits {
-        out.push(if d < 10 { (b'0' + d) as char } else { (b'a' + d - 10) as char });
+        out.push(if d < 10 {
+            (b'0' + d) as char
+        } else {
+            (b'a' + d - 10) as char
+        });
     }
     out.push_str(".html");
     out
@@ -350,7 +358,12 @@ mod tests {
 
     #[test]
     fn materialization_is_injective_within_the_space() {
-        for f in [KeyFormat::Ssn, KeyFormat::FourDigits, KeyFormat::Ipv4, KeyFormat::Mac] {
+        for f in [
+            KeyFormat::Ssn,
+            KeyFormat::FourDigits,
+            KeyFormat::Ipv4,
+            KeyFormat::Mac,
+        ] {
             let mut keys: Vec<String> = (0..2000u128).map(|i| f.materialize(i * 7)).collect();
             keys.sort_unstable();
             keys.dedup();
@@ -398,9 +411,7 @@ mod tests {
             );
             // Inference can only be at least as general as the regex on
             // every position the examples exercise.
-            for (i, (a, b)) in
-                inferred.bytes().iter().zip(from_regex.bytes()).enumerate()
-            {
+            for (i, (a, b)) in inferred.bytes().iter().zip(from_regex.bytes()).enumerate() {
                 assert_eq!(
                     a.join(*b),
                     *a,

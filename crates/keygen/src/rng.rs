@@ -52,7 +52,7 @@ impl SplitMix64 {
         assert!(bound > 0, "bound must be positive");
         // Multiply-shift reduction (Lemire); the modulo bias of 2^128 to a
         // bound well below it is negligible for workload generation.
-        
+
         self.next_u128() % bound
     }
 

@@ -1,0 +1,496 @@
+//! Value-generation strategies for the offline proptest subset.
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike the real proptest, a strategy here is just a seeded generator:
+/// no value trees, no shrinking.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Produces one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through a function.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Rejects values failing a predicate (bounded retries).
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence,
+            f,
+        }
+    }
+}
+
+/// `prop_map` adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// `prop_filter` adapter.
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter exhausted retries: {}", self.whence)
+    }
+}
+
+/// Always generates a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical full-range strategy (`any::<T>()`).
+pub trait Arbitrary {
+    /// Generates an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> u128 {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite values spanning many magnitudes (no NaN/inf: the real
+        // crate generates them rarely and no test here relies on them).
+        let mantissa = rng.next_f64() * 2.0 - 1.0;
+        let exp = (rng.below(605) as i32 - 302) as f64;
+        mantissa * 10f64.powf(exp)
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        char::from_u32(rng.below(0xD800) as u32).unwrap_or('\u{FFFD}')
+    }
+}
+
+/// The `any::<T>()` strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Full-range strategy for `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_possible_wrap)]
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_possible_wrap)]
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo + 1) as u64; // never called on full u64 ranges
+                (lo + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+/// Character range strategy (`prop::char::range`).
+#[must_use]
+pub fn char_range(lo: char, hi: char) -> CharRange {
+    CharRange {
+        lo: lo as u32,
+        hi: hi as u32,
+    }
+}
+
+/// Inclusive character range.
+#[derive(Debug, Clone, Copy)]
+pub struct CharRange {
+    lo: u32,
+    hi: u32,
+}
+
+impl Strategy for CharRange {
+    type Value = char;
+
+    fn generate(&self, rng: &mut TestRng) -> char {
+        let span = u64::from(self.hi - self.lo + 1);
+        char::from_u32(self.lo + rng.below(span) as u32).unwrap_or('\u{FFFD}')
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($n:tt $s:ident),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (0 S0, 1 S1);
+    (0 S0, 1 S1, 2 S2);
+    (0 S0, 1 S1, 2 S2, 3 S3);
+}
+
+/// Size bounds for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // inclusive
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+/// `Vec` strategy (`prop::collection::vec`).
+#[must_use]
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Generates vectors with lengths drawn from a [`SizeRange`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.hi - self.size.lo + 1) as u64;
+        let n = self.size.lo + rng.below(span) as usize;
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Object-safe strategy, used by [`Union`] arms.
+pub trait DynStrategy<T> {
+    /// Produces one value.
+    fn generate_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// Boxes a strategy for use in a [`Union`] (the `prop_oneof!` macro calls
+/// this).
+#[must_use]
+pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn DynStrategy<S::Value>> {
+    Box::new(s)
+}
+
+/// Weighted choice between strategies (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<(u32, Box<dyn DynStrategy<T>>)>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union from weighted arms.
+    #[must_use]
+    pub fn new(arms: Vec<(u32, Box<dyn DynStrategy<T>>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let total: u64 = self.arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        let mut pick = rng.below(total);
+        for (w, arm) in &self.arms {
+            let w = u64::from(*w);
+            if pick < w {
+                return arm.generate_dyn(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weighted pick within total")
+    }
+}
+
+/// String literals act as simplified regex strategies: sequences of
+/// literal characters or `[...]` classes, each optionally repeated by
+/// `{n}`, `{n,m}`, `?` or `*`. This covers patterns like `"[ -~]{0,40}"`;
+/// anything fancier should build an explicit strategy instead.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_simple_regex(self)
+            .unwrap_or_else(|| panic!("unsupported regex strategy literal {self:?}"));
+        let mut out = String::new();
+        for atom in &atoms {
+            let span = (atom.max_reps - atom.min_reps + 1) as u64;
+            let reps = atom.min_reps + rng.below(span) as usize;
+            for _ in 0..reps {
+                let c = atom.chars[rng.below(atom.chars.len() as u64) as usize];
+                out.push(c);
+            }
+        }
+        out
+    }
+}
+
+struct RegexAtom {
+    chars: Vec<char>,
+    min_reps: usize,
+    max_reps: usize,
+}
+
+fn parse_simple_regex(src: &str) -> Option<Vec<RegexAtom>> {
+    let mut atoms = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let set: Vec<char> = match chars[i] {
+            '[' => {
+                let close = chars[i..].iter().position(|&c| c == ']')? + i;
+                let inner = &chars[i + 1..close];
+                i = close + 1;
+                expand_class(inner)?
+            }
+            '\\' => {
+                let c = *chars.get(i + 1)?;
+                i += 2;
+                match c {
+                    'd' => ('0'..='9').collect(),
+                    _ => vec![c],
+                }
+            }
+            c if !"(){}?*+|".contains(c) => {
+                i += 1;
+                vec![c]
+            }
+            _ => return None,
+        };
+        // Optional repetition suffix.
+        let (min_reps, max_reps) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..].iter().position(|&c| c == '}')? + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (lo.parse().ok()?, hi.parse().ok()?),
+                None => {
+                    let n = body.parse().ok()?;
+                    (n, n)
+                }
+            }
+        } else if i < chars.len() && chars[i] == '?' {
+            i += 1;
+            (0, 1)
+        } else if i < chars.len() && chars[i] == '*' {
+            i += 1;
+            (0, 8)
+        } else {
+            (1, 1)
+        };
+        atoms.push(RegexAtom {
+            chars: set,
+            min_reps,
+            max_reps,
+        });
+    }
+    Some(atoms)
+}
+
+fn expand_class(inner: &[char]) -> Option<Vec<char>> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < inner.len() {
+        if i + 2 < inner.len() && inner[i + 1] == '-' {
+            let (lo, hi) = (inner[i] as u32, inner[i + 2] as u32);
+            if lo > hi {
+                return None;
+            }
+            out.extend((lo..=hi).filter_map(char::from_u32));
+            i += 3;
+        } else {
+            out.push(inner[i]);
+            i += 1;
+        }
+    }
+    if out.is_empty() {
+        return None;
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..200 {
+            let v = (3u8..7).generate(&mut rng);
+            assert!((3..7).contains(&v));
+            let w = (5usize..=5).generate(&mut rng);
+            assert_eq!(w, 5);
+            let f = (1.5f64..2.5).generate(&mut rng);
+            assert!((1.5..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size() {
+        let mut rng = TestRng::from_seed(2);
+        for _ in 0..100 {
+            let v = vec(any::<u8>(), 2..5).generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn regex_literal_strategy_generates_matching_strings() {
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..100 {
+            let s = "[ -~]{0,40}".generate(&mut rng);
+            assert!(s.len() <= 40);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn union_draws_every_arm() {
+        let u = crate::prop_oneof![1 => Just(0u8), 1 => Just(1u8)];
+        let mut rng = TestRng::from_seed(4);
+        let mut seen = [false; 2];
+        for _ in 0..100 {
+            seen[u.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+}

@@ -1,0 +1,90 @@
+//! Deterministic case generation for the offline proptest subset.
+
+/// Error type property bodies may return early with (`prop_assume!` uses
+/// it); assertion macros panic instead, so this mostly stays `Ok`.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Number of cases to run per property.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Seeded-random cases evaluated per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Overrides the case count.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real proptest defaults to 256; 128 keeps the tier-1 suite
+        // fast while still sweeping a meaningful sample.
+        ProptestConfig { cases: 128 }
+    }
+}
+
+/// SplitMix64: tiny, fast, full-period; deterministic per test name.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator from a test's name so every run of the suite
+    /// explores the same cases (reproducible failures).
+    #[must_use]
+    pub fn for_test(name: &str) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Seeds from an explicit value.
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw below `n` (zero when `n` is zero).
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        // Rejection sampling to avoid modulo bias.
+        let zone = u64::MAX - (u64::MAX % n);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % n;
+            }
+        }
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}

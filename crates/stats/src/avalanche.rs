@@ -134,10 +134,16 @@ mod tests {
         };
         // Enough keys that the binomial noise of the per-bit flip
         // probability (E|p̂ − ½| ≈ 0.4/√n) stays well under the threshold.
-        let keys: Vec<Vec<u8>> = (0..200u8).map(|i| vec![i, i ^ 0x5A, 3, i, 9, i, 1, i, i, 2, i]).collect();
+        let keys: Vec<Vec<u8>> = (0..200u8)
+            .map(|i| vec![i, i ^ 0x5A, 3, i, 9, i, 1, i, i, 2, i])
+            .collect();
         let s = avalanche(f, &keys);
         assert!(s.bias < 0.12, "bias {}", s.bias);
-        assert!((s.mean_flip_rate - 0.5).abs() < 0.05, "flip rate {}", s.mean_flip_rate);
+        assert!(
+            (s.mean_flip_rate - 0.5).abs() < 0.05,
+            "flip rate {}",
+            s.mean_flip_rate
+        );
         assert_eq!(s.dead_output_fraction, 0.0);
     }
 

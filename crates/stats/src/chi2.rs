@@ -56,7 +56,11 @@ pub fn chi_square_gof(observed: &[u64]) -> Chi2Result {
         .sum();
     let df = observed.len() - 1;
     let p_value = gamma_q(df as f64 / 2.0, statistic / 2.0);
-    Chi2Result { statistic, degrees_of_freedom: df, p_value }
+    Chi2Result {
+        statistic,
+        degrees_of_freedom: df,
+        p_value,
+    }
 }
 
 #[cfg(test)]

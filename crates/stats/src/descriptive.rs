@@ -155,6 +155,9 @@ mod tests {
     #[test]
     fn singleton_boxplot_collapses() {
         let s = BoxplotSummary::of(&[7.0]).unwrap();
-        assert_eq!((s.min, s.q1, s.median, s.q3, s.max, s.mean), (7.0, 7.0, 7.0, 7.0, 7.0, 7.0));
+        assert_eq!(
+            (s.min, s.q1, s.median, s.q3, s.max, s.mean),
+            (7.0, 7.0, 7.0, 7.0, 7.0, 7.0)
+        );
     }
 }

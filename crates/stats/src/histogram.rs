@@ -62,7 +62,9 @@ mod tests {
 
     #[test]
     fn counts_sum_to_input_len() {
-        let hashes: Vec<u64> = (0..1000u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
+        let hashes: Vec<u64> = (0..1000u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect();
         for bins in [1usize, 2, 7, 64, 1024] {
             let h = hash_histogram(&hashes, bins);
             assert_eq!(h.len(), bins);
@@ -79,8 +81,9 @@ mod tests {
 
     #[test]
     fn uniform_multiplier_spreads_evenly() {
-        let hashes: Vec<u64> =
-            (0..64_000u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
+        let hashes: Vec<u64> = (0..64_000u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect();
         let h = hash_histogram(&hashes, 64);
         let expected = 1000.0;
         for (i, &c) in h.iter().enumerate() {

@@ -4,8 +4,8 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 use sepe_stats::{
-    chi_square_gof, geometric_mean, hash_histogram, hash_histogram_range, mann_whitney_u,
-    mean, pearson_correlation, BoxplotSummary,
+    chi_square_gof, geometric_mean, hash_histogram, hash_histogram_range, mann_whitney_u, mean,
+    pearson_correlation, BoxplotSummary,
 };
 
 fn finite_positive() -> impl Strategy<Value = f64> {

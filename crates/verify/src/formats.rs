@@ -1,0 +1,191 @@
+//! Seeded random key-format generation.
+//!
+//! Hand-picked formats (SSN, IPv4, ...) only exercise the plan shapes
+//! someone thought of. [`RandomFormat`] builds arbitrary formats out of
+//! literal runs and character-class runs — optionally with an optional
+//! suffix, yielding variable-length patterns — and can sample keys that
+//! match them, all deterministically from a seed.
+
+use sepe_core::pattern::{BytePattern, KeyPattern};
+use sepe_keygen::SplitMix64;
+
+/// One run of a random format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Segment {
+    /// Exact constant bytes.
+    Literal(Vec<u8>),
+    /// `len` positions, each drawn uniformly from `alphabet`.
+    Class {
+        /// The bytes a position may take.
+        alphabet: Vec<u8>,
+        /// How many positions the run spans.
+        len: usize,
+    },
+}
+
+impl Segment {
+    fn len(&self) -> usize {
+        match self {
+            Segment::Literal(bytes) => bytes.len(),
+            Segment::Class { len, .. } => *len,
+        }
+    }
+
+    fn push_pattern(&self, out: &mut Vec<BytePattern>) {
+        match self {
+            Segment::Literal(bytes) => {
+                out.extend(bytes.iter().map(|&b| BytePattern::literal(b)));
+            }
+            Segment::Class { alphabet, len } => {
+                let joined = BytePattern::from_bytes(alphabet.iter().copied())
+                    .expect("class alphabets are non-empty");
+                out.extend(std::iter::repeat_n(joined, *len));
+            }
+        }
+    }
+
+    fn sample_into(&self, rng: &mut SplitMix64, out: &mut Vec<u8>) {
+        match self {
+            Segment::Literal(bytes) => out.extend_from_slice(bytes),
+            Segment::Class { alphabet, len } => {
+                for _ in 0..*len {
+                    let i = rng.below_u128(alphabet.len() as u128) as usize;
+                    out.push(alphabet[i]);
+                }
+            }
+        }
+    }
+}
+
+/// A randomly generated key format: a mandatory run of segments plus an
+/// optional suffix (making the format variable-length when present).
+#[derive(Debug, Clone)]
+pub struct RandomFormat {
+    mandatory: Vec<Segment>,
+    suffix: Vec<Segment>,
+}
+
+const ALPHABETS: &[&[u8]] = &[
+    b"0123456789",
+    b"0123456789abcdef",
+    b"abcdefghijklmnopqrstuvwxyz",
+    b"ABCDEFGHIJKLMNOPQRSTUVWXYZ",
+    b"ACGT",
+    b"01",
+    b"0123456789ABCDEF",
+];
+
+const LITERAL_BYTES: &[u8] = b"-.:/_=#@ ";
+
+impl RandomFormat {
+    /// Generates a random format. Mandatory part: 1–6 segments; total
+    /// mandatory length is padded to at least eight bytes so synthesis does
+    /// not fall back to the STL hash. With probability ~1/3 the format gets
+    /// a 1–2 segment optional suffix (variable length).
+    #[must_use]
+    pub fn generate(rng: &mut SplitMix64) -> RandomFormat {
+        let n_segments = 1 + (rng.next_u64() % 6) as usize;
+        let mut mandatory: Vec<Segment> = (0..n_segments).map(|_| random_segment(rng)).collect();
+        let mandatory_len: usize = mandatory.iter().map(Segment::len).sum();
+        if mandatory_len < 8 {
+            mandatory.push(Segment::Class {
+                alphabet: b"0123456789".to_vec(),
+                len: 8 - mandatory_len,
+            });
+        }
+        let suffix = if rng.next_u64().is_multiple_of(3) {
+            let n = 1 + (rng.next_u64() % 2) as usize;
+            (0..n).map(|_| random_segment(rng)).collect()
+        } else {
+            Vec::new()
+        };
+        RandomFormat { mandatory, suffix }
+    }
+
+    /// Whether every key of this format has the same length.
+    #[must_use]
+    pub fn is_fixed_len(&self) -> bool {
+        self.suffix.is_empty()
+    }
+
+    /// The length of the mandatory part.
+    #[must_use]
+    pub fn min_len(&self) -> usize {
+        self.mandatory.iter().map(Segment::len).sum()
+    }
+
+    /// The [`KeyPattern`] every sampled key matches.
+    #[must_use]
+    pub fn pattern(&self) -> KeyPattern {
+        let mut bytes = Vec::new();
+        for seg in self.mandatory.iter().chain(&self.suffix) {
+            seg.push_pattern(&mut bytes);
+        }
+        if self.is_fixed_len() {
+            KeyPattern::fixed(bytes)
+        } else {
+            KeyPattern::with_min_len(bytes, self.min_len())
+        }
+    }
+
+    /// Samples one key matching the format. Variable-length formats include
+    /// the suffix in half of the samples.
+    #[must_use]
+    pub fn sample_key(&self, rng: &mut SplitMix64) -> Vec<u8> {
+        let mut key = Vec::new();
+        for seg in &self.mandatory {
+            seg.sample_into(rng, &mut key);
+        }
+        if !self.suffix.is_empty() && rng.next_u64().is_multiple_of(2) {
+            for seg in &self.suffix {
+                seg.sample_into(rng, &mut key);
+            }
+        }
+        key
+    }
+
+    /// Samples `n` keys matching the format.
+    #[must_use]
+    pub fn sample_keys(&self, rng: &mut SplitMix64, n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|_| self.sample_key(rng)).collect()
+    }
+}
+
+fn random_segment(rng: &mut SplitMix64) -> Segment {
+    if rng.next_u64().is_multiple_of(4) {
+        let n = 1 + (rng.next_u64() % 4) as usize;
+        let bytes = (0..n)
+            .map(|_| LITERAL_BYTES[(rng.next_u64() % LITERAL_BYTES.len() as u64) as usize])
+            .collect();
+        Segment::Literal(bytes)
+    } else {
+        let alphabet = ALPHABETS[(rng.next_u64() % ALPHABETS.len() as u64) as usize].to_vec();
+        let len = 1 + (rng.next_u64() % 8) as usize;
+        Segment::Class { alphabet, len }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampled_keys_match_the_pattern() {
+        let mut rng = SplitMix64::new(0xF0F0);
+        for _ in 0..200 {
+            let format = RandomFormat::generate(&mut rng);
+            let pattern = format.pattern();
+            assert!(pattern.max_len() >= 8);
+            for key in format.sample_keys(&mut rng, 20) {
+                assert!(pattern.matches(&key), "{format:?} key {key:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        let a = RandomFormat::generate(&mut SplitMix64::new(7)).pattern();
+        let b = RandomFormat::generate(&mut SplitMix64::new(7)).pattern();
+        assert_eq!(a, b);
+    }
+}

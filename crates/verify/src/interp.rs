@@ -1,0 +1,236 @@
+//! An independent plan interpreter — the executable specification.
+//!
+//! [`interpret`] evaluates a [`Plan`] the way the paper describes it, not
+//! the way `sepe-core` optimizes it: word loads are assembled byte by byte,
+//! bit extraction runs the one-bit-at-a-time reference loop of Figure 11
+//! ([`pext_reference`]), and the AES round is composed from the table-driven
+//! `SubBytes`/`ShiftRows`/`MixColumns` primitives. Every constant the hash
+//! depends on (the length multiplier, the round key, the seed block) is
+//! re-declared here from its published source so that a transcription error
+//! in `sepe-core` shows up as a differential mismatch instead of being
+//! copied into the checker.
+
+use sepe_core::aes::{mix_columns, shift_rows, sub_bytes, Block};
+use sepe_core::bits::pext_reference;
+use sepe_core::hash::stl_hash_bytes;
+use sepe_core::synth::{Family, Plan, WordOp};
+
+/// The length multiplier of variable-length plans: the 64-bit MurmurHash2
+/// constant, as used by `initialize_hash(len, seed)` in Figure 8.
+pub const SPEC_MUL: u64 = 0xc6a4_a793_5bd1_e995;
+
+/// The fixed AES round key: the first 16 bytes of the FIPS-197 appendix key
+/// schedule example (hex digits of e).
+pub const SPEC_AES_ROUND_KEY: Block = [
+    0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c,
+];
+
+/// Low half of the AES seed block: the first 16 hex digits of pi.
+pub const SPEC_SEED_LO: u64 = 0x2438_6A88_85A3_08D3;
+
+/// High half of the AES seed block: the next 16 hex digits of pi.
+pub const SPEC_SEED_HI: u64 = 0x1319_8A2E_0370_7344;
+
+/// Loads eight key bytes little-endian, reading past the end as zero —
+/// assembled one byte at a time, independently of `bits::load_u64_le`.
+#[must_use]
+pub fn spec_load_word(key: &[u8], offset: usize) -> u64 {
+    let mut w = 0u64;
+    for i in 0..8 {
+        if let Some(&b) = key.get(offset + i) {
+            w |= u64::from(b) << (8 * i);
+        }
+    }
+    w
+}
+
+/// Loads a 16-byte block, reading past the end as zero.
+#[must_use]
+pub fn spec_load_block(key: &[u8], offset: usize) -> Block {
+    let mut b = [0u8; 16];
+    for (i, slot) in b.iter_mut().enumerate() {
+        if let Some(&byte) = key.get(offset + i) {
+            *slot = byte;
+        }
+    }
+    b
+}
+
+/// One AES encode round composed from its FIPS-197 steps:
+/// `MixColumns(ShiftRows(SubBytes(state ^ block))) ^ round_key`.
+#[must_use]
+pub fn spec_aes_mix(state: Block, block: Block) -> Block {
+    let mut x = state;
+    for (s, b) in x.iter_mut().zip(block.iter()) {
+        *s ^= b;
+    }
+    let mut out = mix_columns(shift_rows(sub_bytes(x)));
+    for (o, k) in out.iter_mut().zip(SPEC_AES_ROUND_KEY.iter()) {
+        *o ^= k;
+    }
+    out
+}
+
+/// The seed block of the Aes family: pi digits perturbed by the seed.
+#[must_use]
+pub fn spec_seed_block(seed: u64) -> Block {
+    let lo = SPEC_SEED_LO ^ seed;
+    let hi = SPEC_SEED_HI ^ seed.rotate_left(32);
+    let mut b = [0u8; 16];
+    b[..8].copy_from_slice(&lo.to_le_bytes());
+    b[8..].copy_from_slice(&hi.to_le_bytes());
+    b
+}
+
+/// Folds an AES state to 64 bits: low half xor high half.
+#[must_use]
+pub fn spec_fold(state: Block) -> u64 {
+    let lo = u64::from_le_bytes(state[..8].try_into().expect("8 bytes"));
+    let hi = u64::from_le_bytes(state[8..].try_into().expect("8 bytes"));
+    lo ^ hi
+}
+
+/// Combines the word loads of a plan, seedless.
+///
+/// For Pext, each load is extracted through the reference loop and packed
+/// by its shift; for Naive/OffXor, each load is rotated left by its shift
+/// (the clamped-load anti-cancellation rotation) and xored in.
+#[must_use]
+pub fn spec_combine_words(family: Family, key: &[u8], ops: &[WordOp]) -> u64 {
+    let mut h = 0u64;
+    for op in ops {
+        let w = spec_load_word(key, op.offset as usize);
+        if family == Family::Pext {
+            h ^= pext_reference(w, op.mask) << op.shift;
+        } else {
+            h ^= w.rotate_left(u32::from(op.shift));
+        }
+    }
+    h
+}
+
+fn spec_words_tail(key: &[u8], tail_start: usize) -> u64 {
+    let mut h = 0u64;
+    let mut o = tail_start;
+    while o + 8 <= key.len() {
+        h ^= spec_load_word(key, o).rotate_left((o % 64) as u32);
+        o += 8;
+    }
+    if o < key.len() {
+        h ^= spec_load_word(key, o).rotate_left((o % 64) as u32);
+    }
+    h
+}
+
+fn spec_replicate_block(key: &[u8]) -> Block {
+    let mut b = [0u8; 16];
+    if key.is_empty() {
+        return b;
+    }
+    for (i, slot) in b.iter_mut().enumerate() {
+        *slot = key[i % key.len()];
+    }
+    b
+}
+
+fn spec_blocks(key: &[u8], seed: u64, offsets: &[u32], tail_start: Option<usize>) -> u64 {
+    let mut state = spec_seed_block(seed);
+    if offsets.is_empty() && tail_start.is_none() {
+        state = spec_aes_mix(state, spec_replicate_block(key));
+    } else {
+        for &off in offsets {
+            state = spec_aes_mix(state, spec_load_block(key, off as usize));
+        }
+    }
+    if let Some(tail) = tail_start {
+        let mut o = tail;
+        while o < key.len() {
+            state = spec_aes_mix(state, spec_load_block(key, o));
+            o += 16;
+        }
+        let mut len_block = [0u8; 16];
+        len_block[..8].copy_from_slice(&(key.len() as u64).to_le_bytes());
+        state = spec_aes_mix(state, len_block);
+    }
+    spec_fold(state)
+}
+
+/// Evaluates `plan` on `key` with `seed`, per the specification.
+///
+/// This must agree bit for bit with
+/// `SynthesizedHash::new(plan, family, isa).with_seed(seed).hash_bytes(key)`
+/// for **both** ISA paths — that agreement is what [`crate::differential`]
+/// checks.
+///
+/// The [`Plan::StlFallback`] case is not synthesized code (the paper
+/// "defaults to the standard function" below eight bytes), so it is the one
+/// case delegated to `sepe-core` rather than re-derived.
+#[must_use]
+pub fn interpret(plan: &Plan, family: Family, seed: u64, key: &[u8]) -> u64 {
+    match plan {
+        Plan::StlFallback => stl_hash_bytes(key, seed),
+        Plan::FixedWords { ops, .. } => seed ^ spec_combine_words(family, key, ops),
+        Plan::VarWords {
+            ops, tail_start, ..
+        } => {
+            seed ^ (key.len() as u64).wrapping_mul(SPEC_MUL)
+                ^ spec_combine_words(family, key, ops)
+                ^ spec_words_tail(key, *tail_start)
+        }
+        Plan::FixedBlocks { offsets, .. } => spec_blocks(key, seed, offsets, None),
+        Plan::VarBlocks {
+            offsets,
+            tail_start,
+            ..
+        } => spec_blocks(key, seed, offsets, Some(*tail_start)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sepe_core::aes::aesenc;
+    use sepe_core::Isa;
+
+    #[test]
+    fn spec_load_word_zero_pads() {
+        assert_eq!(
+            spec_load_word(b"ab", 0),
+            u64::from(b'a') | u64::from(b'b') << 8
+        );
+        assert_eq!(spec_load_word(b"ab", 5), 0);
+        assert_eq!(
+            spec_load_word(b"abcdefgh", 0),
+            u64::from_le_bytes(*b"abcdefgh")
+        );
+    }
+
+    #[test]
+    fn spec_aes_mix_matches_the_intrinsic_semantics() {
+        // The composed round equals aesenc(state ^ block, RK).
+        let state: Block = *b"0123456789abcdef";
+        let block: Block = *b"fedcba9876543210";
+        let mut x = state;
+        for (s, b) in x.iter_mut().zip(block.iter()) {
+            *s ^= b;
+        }
+        let expected = aesenc(x, SPEC_AES_ROUND_KEY, Isa::Portable);
+        assert_eq!(spec_aes_mix(state, block), expected);
+    }
+
+    #[test]
+    fn interpret_ssn_pext_extracts_nibbles() {
+        use sepe_core::regex::Regex;
+        use sepe_core::synth::synthesize;
+        let p = Regex::compile(r"\d{3}\.\d{2}\.\d{4}").unwrap();
+        let plan = synthesize(&p, Family::Pext);
+        // All-zero digits extract to 0; the seed passes through.
+        assert_eq!(interpret(&plan, Family::Pext, 0, b"000.00.0000"), 0);
+        assert_eq!(interpret(&plan, Family::Pext, 7, b"000.00.0000"), 7);
+        // Distinct SSNs get distinct codes (Pext is a bijection here).
+        assert_ne!(
+            interpret(&plan, Family::Pext, 0, b"123.45.6789"),
+            interpret(&plan, Family::Pext, 0, b"123.45.6788"),
+        );
+    }
+}

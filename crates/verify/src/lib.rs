@@ -1,0 +1,35 @@
+//! # sepe-verify
+//!
+//! Differential-correctness harness for the SEPE reproduction.
+//!
+//! The fast hash implementations in `sepe-core` are tuned code: fully
+//! unrolled fast paths, hardware `pext`/AES-NI dispatch, clamped overlapping
+//! loads. This crate re-derives what each synthesized [`Plan`] *means* from
+//! first principles and checks the tuned code against that meaning:
+//!
+//! * [`interp`] — an independent, deliberately slow plan interpreter built
+//!   on the bit-level reference loops (`pext_reference`, `pdep_reference`)
+//!   and the table-driven AES round primitives, with every spec constant
+//!   re-declared locally so a typo in `sepe-core` cannot silently agree
+//!   with itself;
+//! * [`invariants`] — paper-derived structural checks on plans: load
+//!   coverage, mask/shift disjointness, the Pext bijection of Section 4.2
+//!   (verified constructively, by inverting hashes back into keys), and
+//!   soundness of the inference lattice;
+//! * [`formats`] — a seeded random key-format generator, so the checks run
+//!   over hundreds of formats nobody hand-picked;
+//! * [`differential`] — the cross-check driver: tuned hash vs. interpreter,
+//!   over both ISA paths and multiple seeds;
+//! * [`model`] — a model checker replaying random operation sequences
+//!   against `std::collections::HashMap` to validate the container layer.
+//!
+//! [`Plan`]: sepe_core::synth::Plan
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod differential;
+pub mod formats;
+pub mod interp;
+pub mod invariants;
+pub mod model;

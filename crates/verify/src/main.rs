@@ -1,0 +1,242 @@
+//! `sepe-verify` — run the differential-correctness harness from the
+//! command line.
+//!
+//! ```text
+//! sepe-verify [--formats N] [--keys N] [--ops N] [--seed S] [--suite NAME]
+//! ```
+//!
+//! Suites: `differential` (tuned hashes vs. the plan interpreter over
+//! random and paper formats), `invariants` (structural plan checks, Pext
+//! bijection inversion, lattice soundness), `model` (container operations
+//! vs. `std::collections::HashMap`), or `all` (default). Exits non-zero on
+//! the first failing suite.
+
+use sepe_core::pattern::KeyPattern;
+use sepe_core::regex::Regex;
+use sepe_core::synth::{synthesize, Family};
+use sepe_core::Isa;
+use sepe_keygen::{KeyFormat, SplitMix64};
+use sepe_verify::{differential, formats::RandomFormat, invariants, model};
+
+struct Options {
+    formats: usize,
+    keys: usize,
+    ops: usize,
+    seed: u64,
+    suite: String,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        formats: 100,
+        keys: 40,
+        ops: 4_000,
+        seed: 0x5E9E,
+        suite: "all".to_owned(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--formats" => {
+                opts.formats = value("--formats")?
+                    .parse()
+                    .map_err(|e| format!("--formats: {e}"))?
+            }
+            "--keys" => {
+                opts.keys = value("--keys")?
+                    .parse()
+                    .map_err(|e| format!("--keys: {e}"))?
+            }
+            "--ops" => opts.ops = value("--ops")?.parse().map_err(|e| format!("--ops: {e}"))?,
+            "--seed" => {
+                let v = value("--seed")?;
+                opts.seed = parse_u64(&v).map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--suite" => opts.suite = value("--suite")?,
+            "--help" | "-h" => {
+                println!(
+                    "usage: sepe-verify [--formats N] [--keys N] [--ops N] [--seed S] \
+                     [--suite differential|invariants|model|all]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn parse_u64(s: &str) -> Result<u64, String> {
+    let parsed = if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        s.parse()
+    };
+    parsed.map_err(|e| e.to_string())
+}
+
+fn paper_patterns() -> Vec<(String, KeyPattern)> {
+    KeyFormat::EVALUATED
+        .iter()
+        .map(|f| {
+            let pattern = Regex::compile(&f.regex()).expect("evaluated formats compile");
+            (f.name().to_owned(), pattern)
+        })
+        .collect()
+}
+
+fn sample_pattern_keys(pattern: &KeyPattern, rng: &mut SplitMix64, n: usize) -> Vec<Vec<u8>> {
+    (0..n)
+        .map(|_| {
+            let len = if pattern.is_fixed_len() || rng.next_u64().is_multiple_of(2) {
+                pattern.max_len()
+            } else {
+                pattern.min_len()
+            };
+            (0..len)
+                .map(|i| {
+                    let choices: Vec<u8> = pattern.bytes()[i].possible_bytes().collect();
+                    choices[(rng.next_u64() % choices.len() as u64) as usize]
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn run_differential(opts: &Options) -> Result<String, String> {
+    let mut rng = SplitMix64::new(opts.seed);
+    let mut checked = 0usize;
+    let mut hashes = 0usize;
+    for (name, pattern) in paper_patterns() {
+        let keys = sample_pattern_keys(&pattern, &mut rng, opts.keys);
+        let mismatches = differential::check_pattern(&pattern, &keys, &differential::DEFAULT_SEEDS);
+        if let Some(m) = mismatches.first() {
+            return Err(format!("{name}: {m} ({} total)", mismatches.len()));
+        }
+        checked += 1;
+        hashes += keys.len() * Family::ALL.len() * differential::DEFAULT_SEEDS.len() * 2;
+    }
+    for i in 0..opts.formats {
+        let format = RandomFormat::generate(&mut rng);
+        let pattern = format.pattern();
+        let keys = format.sample_keys(&mut rng, opts.keys);
+        let mismatches = differential::check_pattern(&pattern, &keys, &differential::DEFAULT_SEEDS);
+        if let Some(m) = mismatches.first() {
+            return Err(format!(
+                "random format {i} ({format:?}): {m} ({} total)",
+                mismatches.len()
+            ));
+        }
+        checked += 1;
+        hashes += keys.len() * Family::ALL.len() * differential::DEFAULT_SEEDS.len() * 2;
+    }
+    Ok(format!(
+        "{checked} formats, {hashes} hash evaluations, 0 mismatches"
+    ))
+}
+
+fn run_invariants(opts: &Options) -> Result<String, String> {
+    let mut rng = SplitMix64::new(opts.seed ^ 0x17F);
+    let mut plans = 0usize;
+    let mut roundtrips = 0usize;
+    let mut format_set: Vec<(String, KeyPattern, Vec<Vec<u8>>)> = paper_patterns()
+        .into_iter()
+        .map(|(name, p)| {
+            let keys = sample_pattern_keys(&p, &mut rng, opts.keys);
+            (name, p, keys)
+        })
+        .collect();
+    for i in 0..opts.formats {
+        let format = RandomFormat::generate(&mut rng);
+        let pattern = format.pattern();
+        let keys = format.sample_keys(&mut rng, opts.keys);
+        format_set.push((format!("random format {i}"), pattern, keys));
+    }
+
+    for (name, pattern, keys) in &format_set {
+        for family in Family::ALL {
+            let plan = synthesize(pattern, family);
+            let violations = invariants::plan_violations(pattern, family, &plan);
+            if let Some(v) = violations.first() {
+                return Err(format!("{name}: {v} ({} total)", violations.len()));
+            }
+            plans += 1;
+            if family == Family::Pext && plan.bijection_bits().is_some() {
+                invariants::check_pext_roundtrip(pattern, &plan, keys)
+                    .map_err(|e| format!("{name}: Pext inversion: {e}"))?;
+                roundtrips += 1;
+            }
+            if matches!(family, Family::Naive | Family::OffXor)
+                && invariants::xor_injectivity_applies(pattern, &plan)
+            {
+                invariants::check_sampled_injectivity(&plan, family, keys)
+                    .map_err(|e| format!("{name}: {e}"))?;
+            }
+        }
+        invariants::check_lattice_soundness(keys).map_err(|e| format!("{name}: {e}"))?;
+    }
+    Ok(format!(
+        "{plans} plans structurally sound, {roundtrips} Pext inversions exact"
+    ))
+}
+
+fn run_model(opts: &Options) -> Result<String, String> {
+    use sepe_core::hash::SynthesizedHash;
+    let mut total = model::ModelStats::default();
+    for format in [KeyFormat::Ssn, KeyFormat::Ipv4, KeyFormat::Uuid] {
+        let pattern = Regex::compile(&format.regex()).expect("compiles");
+        for family in Family::ALL {
+            for isa in [Isa::Native, Isa::Portable] {
+                let hasher = SynthesizedHash::from_pattern(&pattern, family).with_isa(isa);
+                let stats = model::check_container(hasher, format, opts.ops, opts.seed)
+                    .map_err(|e| format!("{} {family} {isa:?}: {e}", format.name()))?;
+                total.inserts += stats.inserts;
+                total.lookups += stats.lookups;
+                total.erases += stats.erases;
+                total.structural += stats.structural;
+                total.checkpoints += stats.checkpoints;
+            }
+        }
+    }
+    Ok(format!(
+        "{} inserts, {} lookups, {} erases, {} structural ops, {} checkpoints — all agreed with std::collections::HashMap",
+        total.inserts, total.lookups, total.erases, total.structural, total.checkpoints
+    ))
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("sepe-verify: {e}");
+            std::process::exit(2);
+        }
+    };
+    type Suite = fn(&Options) -> Result<String, String>;
+    let suites: Vec<(&str, Suite)> = match opts.suite.as_str() {
+        "differential" => vec![("differential", run_differential)],
+        "invariants" => vec![("invariants", run_invariants)],
+        "model" => vec![("model", run_model)],
+        "all" => vec![
+            ("differential", run_differential),
+            ("invariants", run_invariants),
+            ("model", run_model),
+        ],
+        other => {
+            eprintln!("sepe-verify: unknown suite {other}");
+            std::process::exit(2);
+        }
+    };
+    let mut failed = false;
+    for (name, run) in suites {
+        match run(&opts) {
+            Ok(summary) => println!("PASS {name}: {summary}"),
+            Err(e) => {
+                println!("FAIL {name}: {e}");
+                failed = true;
+            }
+        }
+    }
+    std::process::exit(i32::from(failed));
+}

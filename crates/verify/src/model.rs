@@ -1,0 +1,177 @@
+//! Container model checking: `UnorderedMap` vs. `std::collections::HashMap`.
+//!
+//! A seeded random operation sequence — inserts, lookups, erases, clears,
+//! explicit rehashes and reservations — is replayed simultaneously against
+//! the repository's [`UnorderedMap`] and against `std::collections::HashMap`
+//! as the model. After every operation the return values must agree and the
+//! sizes must match; at checkpoints the full contents are compared. Keys are
+//! drawn from a small pool so the sequence revisits, overwrites and
+//! re-inserts the same keys many times.
+
+use sepe_containers::UnorderedMap;
+use sepe_core::hash::ByteHash;
+use sepe_keygen::{Distribution, KeyFormat, KeySampler, SplitMix64};
+use std::collections::HashMap;
+
+/// Statistics of one model-checking run (all operations agreed).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ModelStats {
+    /// Insert operations replayed.
+    pub inserts: usize,
+    /// Lookup operations replayed.
+    pub lookups: usize,
+    /// Erase operations replayed.
+    pub erases: usize,
+    /// Rehash / reserve / clear operations replayed.
+    pub structural: usize,
+    /// Full-content checkpoints passed.
+    pub checkpoints: usize,
+}
+
+/// Replays `n_ops` random operations against both containers.
+///
+/// # Errors
+///
+/// Returns a description of the first divergence between the map under
+/// test and the `HashMap` model, including the operation index.
+pub fn check_container<H: ByteHash>(
+    hasher: H,
+    format: KeyFormat,
+    n_ops: usize,
+    seed: u64,
+) -> Result<ModelStats, String> {
+    let pool = KeySampler::new(format, Distribution::Uniform, seed ^ 0x5EED).distinct_pool(64);
+    let mut rng = SplitMix64::new(seed);
+    let mut sut: UnorderedMap<String, u64, H> = UnorderedMap::with_hasher(hasher);
+    let mut model: HashMap<String, u64> = HashMap::new();
+    let mut stats = ModelStats::default();
+    let mut next_value = 0u64;
+
+    for step in 0..n_ops {
+        let key = &pool[(rng.next_u64() % pool.len() as u64) as usize];
+        match rng.next_u64() % 100 {
+            0..=39 => {
+                next_value += 1;
+                let a = sut.insert(key.clone(), next_value);
+                let b = model.insert(key.clone(), next_value);
+                if a != b {
+                    return Err(format!(
+                        "step {step}: insert({key:?}) -> {a:?}, model {b:?}"
+                    ));
+                }
+                stats.inserts += 1;
+            }
+            40..=64 => {
+                let a = sut.get(key.as_str()).copied();
+                let b = model.get(key).copied();
+                if a != b {
+                    return Err(format!("step {step}: get({key:?}) -> {a:?}, model {b:?}"));
+                }
+                stats.lookups += 1;
+            }
+            65..=74 => {
+                let a = sut.contains_key(key.as_str());
+                let b = model.contains_key(key);
+                if a != b {
+                    return Err(format!("step {step}: contains({key:?}) -> {a}, model {b}"));
+                }
+                stats.lookups += 1;
+            }
+            75..=89 => {
+                let a = sut.remove(key.as_str());
+                let b = model.remove(key);
+                if a != b {
+                    return Err(format!(
+                        "step {step}: remove({key:?}) -> {a:?}, model {b:?}"
+                    ));
+                }
+                stats.erases += 1;
+            }
+            90..=93 => {
+                let buckets = 1 + (rng.next_u64() % 512) as usize;
+                sut.rehash(buckets);
+                stats.structural += 1;
+            }
+            94..=96 => {
+                sut.reserve((rng.next_u64() % 256) as usize);
+                stats.structural += 1;
+            }
+            97 => {
+                sut.clear();
+                model.clear();
+                stats.structural += 1;
+            }
+            _ => {
+                check_contents(step, &sut, &model)?;
+                stats.checkpoints += 1;
+            }
+        }
+        if sut.len() != model.len() {
+            return Err(format!(
+                "step {step}: len {} != model {}",
+                sut.len(),
+                model.len()
+            ));
+        }
+    }
+    check_contents(n_ops, &sut, &model)?;
+    stats.checkpoints += 1;
+    Ok(stats)
+}
+
+fn check_contents<H: ByteHash>(
+    step: usize,
+    sut: &UnorderedMap<String, u64, H>,
+    model: &HashMap<String, u64>,
+) -> Result<(), String> {
+    let mut seen = 0usize;
+    for (k, v) in sut.iter() {
+        match model.get(k) {
+            Some(mv) if mv == v => seen += 1,
+            Some(mv) => {
+                return Err(format!("step {step}: {k:?} holds {v}, model holds {mv}"));
+            }
+            None => return Err(format!("step {step}: {k:?} present but absent from model")),
+        }
+    }
+    if seen != model.len() {
+        return Err(format!(
+            "step {step}: iterated {seen} pairs, model holds {}",
+            model.len()
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sepe_core::hash::SynthesizedHash;
+    use sepe_core::regex::Regex;
+    use sepe_core::synth::Family;
+    use sepe_core::Isa;
+
+    #[test]
+    fn synthesized_hashers_pass_the_model() {
+        let pattern = Regex::compile(&KeyFormat::Ssn.regex()).expect("compiles");
+        for family in Family::ALL {
+            let hasher = SynthesizedHash::from_pattern(&pattern, family).with_isa(Isa::Portable);
+            let stats = check_container(hasher, KeyFormat::Ssn, 2_000, 0xA11C_E5ED)
+                .unwrap_or_else(|e| panic!("{family}: {e}"));
+            assert!(stats.inserts > 0 && stats.erases > 0 && stats.checkpoints > 0);
+        }
+    }
+
+    #[test]
+    fn a_degenerate_hash_still_behaves_correctly() {
+        // Correctness must not depend on hash quality: a constant hash
+        // degrades every operation to a linear scan but changes no answers.
+        struct Constant;
+        impl ByteHash for Constant {
+            fn hash_bytes(&self, _key: &[u8]) -> u64 {
+                42
+            }
+        }
+        check_container(Constant, KeyFormat::FourDigits, 1_500, 7).expect("model holds");
+    }
+}

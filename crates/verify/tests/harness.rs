@@ -1,0 +1,118 @@
+//! Bounded end-to-end runs of the verification harness — these are the
+//! tier-1 differential-correctness gates.
+
+use sepe_core::regex::Regex;
+use sepe_core::synth::{synthesize, Family};
+use sepe_keygen::{Distribution, KeyFormat, KeySampler, SplitMix64};
+use sepe_verify::formats::RandomFormat;
+use sepe_verify::{differential, invariants};
+
+/// All four families, both ISA paths, three seeds, 120 seeded-random
+/// formats: the tuned hashes and the specification interpreter must agree
+/// on every key.
+#[test]
+fn tuned_hashes_match_the_interpreter_on_random_formats() {
+    let mut rng = SplitMix64::new(0xD1FF_E2E2);
+    for i in 0..120 {
+        let format = RandomFormat::generate(&mut rng);
+        let pattern = format.pattern();
+        let keys = format.sample_keys(&mut rng, 24);
+        let mismatches = differential::check_pattern(&pattern, &keys, &differential::DEFAULT_SEEDS);
+        assert!(
+            mismatches.is_empty(),
+            "random format {i} ({format:?}): {}",
+            mismatches[0]
+        );
+    }
+}
+
+/// The eight evaluated formats of the paper, with keys drawn the way the
+/// experiments draw them.
+#[test]
+fn tuned_hashes_match_the_interpreter_on_paper_formats() {
+    for format in KeyFormat::EVALUATED {
+        let pattern = Regex::compile(&format.regex()).expect("evaluated formats compile");
+        for dist in Distribution::ALL {
+            let keys: Vec<Vec<u8>> = KeySampler::new(format, dist, 0xC0DE)
+                .pool(60)
+                .into_iter()
+                .map(String::into_bytes)
+                .collect();
+            let mismatches =
+                differential::check_pattern(&pattern, &keys, &differential::DEFAULT_SEEDS);
+            assert!(
+                mismatches.is_empty(),
+                "{} {}: {}",
+                format.name(),
+                dist.name(),
+                mismatches[0]
+            );
+        }
+    }
+}
+
+/// Structural invariants and the constructive Pext bijection over random
+/// formats.
+#[test]
+fn plans_satisfy_the_paper_invariants_on_random_formats() {
+    let mut rng = SplitMix64::new(0x1337_BEEF);
+    let mut inversions = 0usize;
+    for i in 0..120 {
+        let format = RandomFormat::generate(&mut rng);
+        let pattern = format.pattern();
+        let keys = format.sample_keys(&mut rng, 24);
+        for family in Family::ALL {
+            let plan = synthesize(&pattern, family);
+            let violations = invariants::plan_violations(&pattern, family, &plan);
+            assert!(
+                violations.is_empty(),
+                "random format {i} {family}: {violations:?}"
+            );
+            if family == Family::Pext && plan.bijection_bits().is_some() {
+                invariants::check_pext_roundtrip(&pattern, &plan, &keys)
+                    .unwrap_or_else(|e| panic!("random format {i}: {e}"));
+                inversions += 1;
+            }
+            if matches!(family, Family::Naive | Family::OffXor)
+                && invariants::xor_injectivity_applies(&pattern, &plan)
+            {
+                invariants::check_sampled_injectivity(&plan, family, &keys)
+                    .unwrap_or_else(|e| panic!("random format {i}: {e}"));
+            }
+        }
+        invariants::check_lattice_soundness(&keys)
+            .unwrap_or_else(|e| panic!("random format {i}: {e}"));
+    }
+    assert!(
+        inversions > 10,
+        "expected plenty of bijective Pext plans, got {inversions}"
+    );
+}
+
+/// The fixed small-space paper formats are where the seed's Naive/OffXor
+/// collisions lived: with the clamp rotation they must be injective, and
+/// Pext must invert exactly.
+#[test]
+fn small_paper_formats_are_injective_for_every_word_family() {
+    for format in [KeyFormat::Ssn, KeyFormat::Cpf, KeyFormat::Ipv4] {
+        let pattern = Regex::compile(&format.regex()).expect("compiles");
+        let keys: Vec<Vec<u8>> = KeySampler::new(format, Distribution::Normal, 0xFEED)
+            .distinct_pool(3_000)
+            .into_iter()
+            .map(String::into_bytes)
+            .collect();
+        for family in [Family::Naive, Family::OffXor] {
+            let plan = synthesize(&pattern, family);
+            assert!(
+                invariants::xor_injectivity_applies(&pattern, &plan),
+                "{} {family}",
+                format.name()
+            );
+            invariants::check_sampled_injectivity(&plan, family, &keys)
+                .unwrap_or_else(|e| panic!("{}: {e}", format.name()));
+        }
+        let plan = synthesize(&pattern, Family::Pext);
+        invariants::check_pext_roundtrip(&pattern, &plan, &keys)
+            .unwrap_or_else(|e| panic!("{}: {e}", format.name()));
+    }
+}

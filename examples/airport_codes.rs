@@ -10,14 +10,16 @@
 //! cargo run --release --example airport_codes
 //! ```
 
+use sepe::containers::UnorderedMap;
 use sepe::core::hash::SynthesizedHash;
 use sepe::core::infer::{infer_pattern, infer_regex};
 use sepe::core::multi::LengthDispatchHash;
 use sepe::core::synth::Family;
-use sepe::containers::UnorderedMap;
 
 const IATA: [&str; 8] = ["JFK", "LAX", "GRU", "EGK", "DEN", "SEA", "BOS", "MIA"];
-const ICAO: [&str; 8] = ["KJFK", "KLAX", "SBGR", "EGLL", "KDEN", "KSEA", "KBOS", "KMIA"];
+const ICAO: [&str; 8] = [
+    "KJFK", "KLAX", "SBGR", "EGLL", "KDEN", "KSEA", "KBOS", "KMIA",
+];
 
 /// Keys as they appear in the application: a constant route prefix plus
 /// the code. (Bare 3-byte codes would fall below SEPE's 8-byte minimum and

@@ -45,7 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             files += 2;
         }
     }
-    println!("wrote {files} generated source files to {}", out_dir.display());
+    println!(
+        "wrote {files} generated source files to {}",
+        out_dir.display()
+    );
 
     // Show one of them, the SSN Pext hash of Figure 12.
     let sample = std::fs::read_to_string(out_dir.join("ssn_pext.hpp"))?;

@@ -55,8 +55,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for k in &keys {
             m.insert(k.clone(), ());
         }
-        println!("{:<8} {} bucket collisions", family.name(), m.bucket_collisions());
+        println!(
+            "{:<8} {} bucket collisions",
+            family.name(),
+            m.bucket_collisions()
+        );
     }
-    println!("(the paper's advice: do not pair SEPE functions with containers that discard hash bits)");
+    println!(
+        "(the paper's advice: do not pair SEPE functions with containers that discard hash bits)"
+    );
     Ok(())
 }

@@ -8,11 +8,11 @@
 //! ```
 
 use sepe::baselines::StlHash;
+use sepe::containers::UnorderedMap;
 use sepe::core::hash::{ByteHash, SynthesizedHash};
 use sepe::core::infer::{example_quality, infer_regex};
 use sepe::core::regex::Regex;
 use sepe::core::synth::Family;
-use sepe::containers::UnorderedMap;
 use std::time::Instant;
 
 fn order_id(i: u64) -> String {

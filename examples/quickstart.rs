@@ -44,8 +44,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. Compare hashing speed against the general-purpose STL hash.
     let stl = StlHash::new();
-    let keys: Vec<String> =
-        (0..10_000u32).map(|i| format!("{:03}.{:03}.{:03}.{:03}", i % 256, i % 199, i % 251, i % 250)).collect();
+    let keys: Vec<String> = (0..10_000u32)
+        .map(|i| {
+            format!(
+                "{:03}.{:03}.{:03}.{:03}",
+                i % 256,
+                i % 199,
+                i % 251,
+                i % 250
+            )
+        })
+        .collect();
     let t_syn = time(|| {
         let mut acc = 0u64;
         for k in &keys {

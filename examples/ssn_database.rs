@@ -32,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The generated artifact: C++ source for the Pext hash (Figure 12).
     let plan = synthesize(&pattern, Family::Pext);
     println!("--- generated C++ (Figure 12 analog) ---");
-    println!("{}", emit(&plan, Family::Pext, Language::Cpp, "SsnPextHash"));
+    println!(
+        "{}",
+        emit(&plan, Family::Pext, Language::Cpp, "SsnPextHash")
+    );
 
     // Build the directory.
     let hash = SynthesizedHash::new(plan, Family::Pext, Isa::Native);
@@ -50,8 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("directory holds {} employees", directory.len());
 
     // Pext is a bijection on SSNs: distinct keys, distinct hashes.
-    let mut hashes: Vec<u64> =
-        directory.iter().map(|(ssn, _)| hash.hash_bytes(ssn.as_bytes())).collect();
+    let mut hashes: Vec<u64> = directory
+        .iter()
+        .map(|(ssn, _)| hash.hash_bytes(ssn.as_bytes()))
+        .collect();
     hashes.sort_unstable();
     let dups = hashes.windows(2).filter(|w| w[0] == w[1]).count();
     println!("true hash collisions with Pext: {dups} (bijection on 36 variable bits)");
@@ -63,7 +68,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .next()
         .map(|(k, v)| (k.clone(), v.name.clone()))
         .expect("directory is non-empty");
-    let found = directory.get(&some_ssn).expect("inserted key must be found");
+    let found = directory
+        .get(&some_ssn)
+        .expect("inserted key must be found");
     assert_eq!(found.name, expected);
     println!("lookup {some_ssn} -> {} ({})", found.name, found.department);
 

@@ -34,10 +34,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (i, url) in urls.iter().enumerate() {
         routes.insert(url.clone(), format!("handler-{i}"));
     }
-    println!("route table holds {} URLs in {} buckets", routes.len(), routes.bucket_count());
+    println!(
+        "route table holds {} URLs in {} buckets",
+        routes.len(),
+        routes.bucket_count()
+    );
 
     // Route 200k requests with the specialized hash and with STL.
-    let requests: Vec<&str> = urls.iter().cycle().take(200_000).map(String::as_str).collect();
+    let requests: Vec<&str> = urls
+        .iter()
+        .cycle()
+        .take(200_000)
+        .map(String::as_str)
+        .collect();
     let t0 = Instant::now();
     let mut hits = 0usize;
     for r in &requests {
@@ -81,6 +90,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     std::hint::black_box(acc);
     let gen = t.elapsed();
-    println!("hashing the same {}-byte URL {n} times: OffXor {syn:?}, STL {gen:?}", url.len());
+    println!(
+        "hashing the same {}-byte URL {n} times: OffXor {syn:?}, STL {gen:?}",
+        url.len()
+    );
     Ok(())
 }

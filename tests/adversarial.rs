@@ -12,14 +12,17 @@ use sepe::core::synth::{Family, Plan};
 use sepe::keygen::KeyFormat;
 
 /// Builds a pair of distinct 15-byte keys that collide under the IPv4
-/// OffXor plan (loads at offsets 0 and 7): flipping the same bit in byte
-/// `i` (only in load 0) and byte `i + 7` (only in load 1, same lane)
-/// cancels in the xor.
+/// OffXor plan (loads at offsets 0 and 7, the second rotated left by 4 for
+/// being clamped): the rotation stops *in-format* differences from
+/// cancelling, but the combination stays linear over GF(2), so an adversary
+/// free to flip arbitrary bits simply pre-rotates the second flip — bit 4
+/// of byte `i` (lane `i` of load 0) cancels against bit 0 of byte `i + 8`
+/// (lane `i + 1` of load 1, rotated onto the same position).
 fn forged_ipv4_pair() -> (Vec<u8>, Vec<u8>) {
     let base = b"000.000.000.000".to_vec();
     let mut forged = base.clone();
-    forged[3] ^= 1; // '.' -> '/' — lane 3 of load 0
-    forged[10] ^= 1; // '0' -> '1' — lane 3 of load 1
+    forged[1] ^= 0x10; // '0' -> ' ' — bit 12 of load 0
+    forged[8] ^= 0x01; // '0' -> '1' — bit 8 of load 1, bit 12 after rotation
     (base, forged)
 }
 
@@ -28,7 +31,9 @@ fn offxor_collides_on_the_forged_pair() {
     let hash = SynthesizedHash::from_regex(&KeyFormat::Ipv4.regex(), Family::OffXor)
         .expect("ipv4 regex compiles");
     // Confirm the plan shape the forgery assumes.
-    let Plan::FixedWords { ops, .. } = hash.plan() else { panic!("fixed plan") };
+    let Plan::FixedWords { ops, .. } = hash.plan() else {
+        panic!("fixed plan")
+    };
     assert_eq!(ops.iter().map(|o| o.offset).collect::<Vec<_>>(), vec![0, 7]);
 
     let (a, b) = forged_ipv4_pair();
@@ -53,7 +58,10 @@ fn naive_collides_on_the_same_pair() {
 fn general_purpose_hashes_resist_the_forgery() {
     let (a, b) = forged_ipv4_pair();
     assert_ne!(StlHash::new().hash_bytes(&a), StlHash::new().hash_bytes(&b));
-    assert_ne!(CityHash::new().hash_bytes(&a), CityHash::new().hash_bytes(&b));
+    assert_ne!(
+        CityHash::new().hash_bytes(&a),
+        CityHash::new().hash_bytes(&b)
+    );
 }
 
 #[test]
@@ -87,15 +95,18 @@ fn forged_keys_flood_one_bucket() {
         .expect("ipv4 regex compiles");
     let mut keys: Vec<Vec<u8>> = Vec::new();
     let base = b"000.000.000.000".to_vec();
-    // Flip matching bit pairs across lanes 1..=6 in all combinations
-    // (byte 7 sits in *both* overlapping loads, so lane 0 is unusable).
+    // Flip rotation-compensated bit pairs across bytes 1..=6 in all
+    // combinations: bit 4 of byte `p` cancels bit 0 of byte `p + 7` once
+    // the clamped load's rotation is accounted for (byte 7 sits in *both*
+    // overlapping loads, so byte 0's pair — which lands there — is
+    // unusable).
     for mask in 0..64u32 {
         let mut k = base.clone();
         for bit in 0..6 {
             if (mask >> bit) & 1 == 1 {
-                let lane = bit + 1;
-                k[lane] ^= 1;
-                k[lane + 7] ^= 1;
+                let p = bit + 1;
+                k[p] ^= 0x10;
+                k[p + 7] ^= 0x01;
             }
         }
         keys.push(k);
@@ -105,7 +116,10 @@ fn forged_keys_flood_one_bucket() {
     assert_eq!(keys.len(), 64);
 
     let h0 = hash.hash_bytes(&keys[0]);
-    assert!(keys.iter().all(|k| hash.hash_bytes(k) == h0), "all forged keys collide");
+    assert!(
+        keys.iter().all(|k| hash.hash_bytes(k) == h0),
+        "all forged keys collide"
+    );
 
     let mut map = UnorderedMap::with_hasher(hash);
     for (i, k) in keys.iter().enumerate() {

@@ -29,7 +29,12 @@ fn reference_pext_eval(plan: &Plan, key: &[u8]) -> u64 {
 
 #[test]
 fn production_evaluator_matches_the_reference_interpreter() {
-    for format in [KeyFormat::Ssn, KeyFormat::Cpf, KeyFormat::Ipv4, KeyFormat::Ints] {
+    for format in [
+        KeyFormat::Ssn,
+        KeyFormat::Cpf,
+        KeyFormat::Ipv4,
+        KeyFormat::Ints,
+    ] {
         let pattern = Regex::compile(&format.regex()).expect("format regex compiles");
         let plan = synthesize(&pattern, Family::Pext);
         let hash = SynthesizedHash::from_pattern(&pattern, Family::Pext);
@@ -63,7 +68,9 @@ fn sixteen_digit_pext_is_invertible() {
     let pattern = Regex::compile(r"[0-9]{16}").expect("regex compiles");
     let plan = synthesize(&pattern, Family::Pext);
     let hash = SynthesizedHash::from_pattern(&pattern, Family::Pext);
-    let Plan::FixedWords { ops, .. } = &plan else { panic!("fixed plan") };
+    let Plan::FixedWords { ops, .. } = &plan else {
+        panic!("fixed plan")
+    };
     assert_eq!(ops.len(), 2);
 
     let key = b"9182736450192837";
@@ -105,7 +112,10 @@ fn forced_short_key_pext_matches_reference_too() {
     let hash = SynthesizedHash::new(plan.clone(), Family::Pext, sepe::core::Isa::Native);
     for i in 0..10_000u128 {
         let key = KeyFormat::FourDigits.materialize(i);
-        assert_eq!(hash.hash_bytes(key.as_bytes()), reference_pext_eval(&plan, key.as_bytes()));
+        assert_eq!(
+            hash.hash_bytes(key.as_bytes()),
+            reference_pext_eval(&plan, key.as_bytes())
+        );
     }
     // And it is a bijection on the full 4-digit space.
     let mut hashes: Vec<u64> = (0..10_000u128)

@@ -15,7 +15,10 @@ use sepe::keygen::{Distribution, KeyFormat, KeySampler};
 use std::process::Command;
 
 fn gxx_available() -> bool {
-    Command::new("g++").arg("--version").output().is_ok_and(|o| o.status.success())
+    Command::new("g++")
+        .arg("--version")
+        .output()
+        .is_ok_and(|o| o.status.success())
 }
 
 fn hardware_available(family: Family) -> bool {
@@ -154,16 +157,23 @@ fn emitted_dispatch_cpp_matches_the_length_dispatch_hash() {
         return;
     }
     let examples: [&[u8]; 6] = [
-        b"code=JFK", b"code=GRU", b"code=LAX", b"code=EGLL", b"code=SBGR", b"code=KDEN",
+        b"code=JFK",
+        b"code=GRU",
+        b"code=LAX",
+        b"code=EGLL",
+        b"code=SBGR",
+        b"code=KDEN",
     ];
-    let runtime =
-        LengthDispatchHash::from_examples(examples.iter().copied(), Family::OffXor)
-            .expect("examples are non-empty");
+    let runtime = LengthDispatchHash::from_examples(examples.iter().copied(), Family::OffXor)
+        .expect("examples are non-empty");
 
-    let strata: Vec<(usize, &Plan)> =
-        runtime.strata().map(|(len, h)| (len, h.plan())).collect();
-    let functor =
-        emit_dispatch_cpp(&strata, runtime.fallback().plan(), Family::OffXor, "AirportHash");
+    let strata: Vec<(usize, &Plan)> = runtime.strata().map(|(len, h)| (len, h.plan())).collect();
+    let functor = emit_dispatch_cpp(
+        &strata,
+        runtime.fallback().plan(),
+        Family::OffXor,
+        "AirportHash",
+    );
 
     let program = format!(
         "{functor}\n\
@@ -193,7 +203,13 @@ fn emitted_dispatch_cpp_matches_the_length_dispatch_hash() {
     );
 
     // Keys from both strata plus an unseen length (fallback path).
-    let keys = ["code=AAA", "code=ZZZ", "code=ABCD", "code=WXYZ", "code=FIVEE"];
+    let keys = [
+        "code=AAA",
+        "code=ZZZ",
+        "code=ABCD",
+        "code=WXYZ",
+        "code=FIVEE",
+    ];
     use std::io::Write as _;
     let mut child = Command::new(&bin)
         .stdin(std::process::Stdio::piped())
@@ -243,6 +259,10 @@ fn emitted_skip_table_cpp_matches_the_plan() {
     let generated = compile_and_run_cpp(regex, Family::OffXor, &keys);
     let hash = SynthesizedHash::from_regex(regex, Family::OffXor).expect("regex compiles");
     for (k, &g) in keys.iter().zip(&generated) {
-        assert_eq!(hash.hash_bytes(k.as_bytes()), g, "skip-table disagrees on {k:?}");
+        assert_eq!(
+            hash.hash_bytes(k.as_bytes()),
+            g,
+            "skip-table disagrees on {k:?}"
+        );
     }
 }

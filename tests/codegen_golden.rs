@@ -37,7 +37,8 @@ struct synthesizedOffXorHash {
     std::size_t operator()(const std::string& key) const {
         const char* ptr = key.c_str();
         const std::uint64_t h0 = load_u64_le(ptr + 0);
-        const std::uint64_t h1 = load_u64_le(ptr + 7);
+        const std::uint64_t h1w = load_u64_le(ptr + 7);
+        const std::uint64_t h1 = (h1w << 4) | (h1w >> 60);
         return h0 ^ h1;
     }
 };
@@ -47,7 +48,12 @@ struct synthesizedOffXorHash {
 
 #[test]
 fn ssn_pext_cpp_matches_figure_12_masks() {
-    let code = emit_for(r"\d{3}\.\d{2}\.\d{4}", Family::Pext, Language::Cpp, "SsnPextHash");
+    let code = emit_for(
+        r"\d{3}\.\d{2}\.\d{4}",
+        Family::Pext,
+        Language::Cpp,
+        "SsnPextHash",
+    );
     let expected = "\
 // Synthesized by sepe-rs: Pext hash.
 #include <cstddef>
@@ -77,8 +83,12 @@ struct SsnPextHash {
 
 #[test]
 fn ipv4_offxor_rust_is_stable() {
-    let code =
-        emit_for(r"(([0-9]{3})\.){3}[0-9]{3}", Family::OffXor, Language::Rust, "ipv4_offxor");
+    let code = emit_for(
+        r"(([0-9]{3})\.){3}[0-9]{3}",
+        Family::OffXor,
+        Language::Rust,
+        "ipv4_offxor",
+    );
     let expected = "\
 // Synthesized by sepe-rs: OffXor hash.
 #[inline]
@@ -94,7 +104,7 @@ fn load_u64_le(key: &[u8], offset: usize) -> u64 {
 /// Fixed key length: 15 bytes; 2 fully unrolled load(s).
 pub fn ipv4_offxor(key: &[u8]) -> u64 {
     let h0 = load_u64_le(key, 0);
-    let h1 = load_u64_le(key, 7);
+    let h1 = load_u64_le(key, 7).rotate_left(4);
     h0 ^ h1
 }
 ";

@@ -117,12 +117,21 @@ fn low_mixing_containers_break_naive_and_offxor_but_not_aes() {
     let (_, off_tc) = point(HashId::OffXor);
     let (_, naive_tc) = point(HashId::Naive);
     let (_, aes_tc) = point(HashId::Aes);
-    assert!(off_tc > stl_tc.max(1) * 10, "OffXor {off_tc} vs STL {stl_tc}");
-    assert!(naive_tc > stl_tc.max(1) * 10, "Naive {naive_tc} vs STL {stl_tc}");
+    assert!(
+        off_tc > stl_tc.max(1) * 10,
+        "OffXor {off_tc} vs STL {stl_tc}"
+    );
+    assert!(
+        naive_tc > stl_tc.max(1) * 10,
+        "Naive {naive_tc} vs STL {stl_tc}"
+    );
     // "Greater resistance" is relative: the paper itself reports Pext at
     // 7.1x the STL collisions under low mixing. Aes must sit well below
     // the xor families, not at the STL baseline.
-    assert!(aes_tc < off_tc / 3, "Aes {aes_tc} should resist vs OffXor {off_tc}");
+    assert!(
+        aes_tc < off_tc / 3,
+        "Aes {aes_tc} should resist vs OffXor {off_tc}"
+    );
 }
 
 #[test]

@@ -1,11 +1,12 @@
-//! Round-trip tests for the optional `serde` feature: synthesized plans
-//! and inferred patterns can be cached to disk (JSON here) and reloaded
-//! into an identical, equally-behaving hash function.
+//! Round-trip tests for plan/pattern serialization: synthesized plans and
+//! inferred patterns can be cached to disk (JSON) and reloaded into an
+//! identical, equally-behaving hash function.
 
 use sepe_core::hash::{ByteHash, SynthesizedHash};
 use sepe_core::pattern::KeyPattern;
+use sepe_core::plan_io;
 use sepe_core::regex::Regex;
-use sepe_core::synth::{synthesize, Family, Plan};
+use sepe_core::synth::{synthesize, Family};
 use sepe_core::Isa;
 
 fn ssn_pattern() -> KeyPattern {
@@ -15,8 +16,8 @@ fn ssn_pattern() -> KeyPattern {
 #[test]
 fn key_pattern_round_trips_through_json() {
     let pattern = ssn_pattern();
-    let json = serde_json::to_string(&pattern).expect("serializes");
-    let back: KeyPattern = serde_json::from_str(&json).expect("deserializes");
+    let json = plan_io::key_pattern_to_string(&pattern);
+    let back = plan_io::key_pattern_from_str(&json).expect("deserializes");
     assert_eq!(back, pattern);
     assert!(back.matches(b"123-45-6789"));
 }
@@ -33,8 +34,8 @@ fn plans_round_trip_for_every_family_and_shape() {
         let pattern = Regex::compile(shape).expect("regex compiles");
         for family in Family::ALL {
             let plan = synthesize(&pattern, family);
-            let json = serde_json::to_string(&plan).expect("serializes");
-            let back: Plan = serde_json::from_str(&json).expect("deserializes");
+            let json = plan_io::plan_to_string(&plan);
+            let back = plan_io::plan_from_str(&json).expect("deserializes");
             assert_eq!(back, plan, "{shape} {family}");
         }
     }
@@ -44,10 +45,10 @@ fn plans_round_trip_for_every_family_and_shape() {
 fn cached_plan_hashes_identically() {
     let pattern = ssn_pattern();
     let plan = synthesize(&pattern, Family::Pext);
-    let json = serde_json::to_string(&plan).expect("serializes");
+    let json = plan_io::plan_to_string(&plan);
 
     // "A different process" reloads the plan and rebuilds the hash.
-    let reloaded: Plan = serde_json::from_str(&json).expect("deserializes");
+    let reloaded = plan_io::plan_from_str(&json).expect("deserializes");
     let original = SynthesizedHash::new(plan, Family::Pext, Isa::Native);
     let restored = SynthesizedHash::new(reloaded, Family::Pext, Isa::Native);
     for i in 0..2000u32 {
@@ -66,8 +67,9 @@ fn plan_json_is_stable_for_the_figure_12_example() {
         &Regex::compile(r"\d{3}\.\d{2}\.\d{4}").expect("compiles"),
         Family::Pext,
     );
-    let json = serde_json::to_value(&plan).expect("serializes");
-    assert_eq!(json["FixedWords"]["len"], 11);
-    assert_eq!(json["FixedWords"]["ops"][0]["offset"], 0);
-    assert_eq!(json["FixedWords"]["ops"][1]["shift"], 52);
+    let json = plan_io::plan_to_json(&plan);
+    let words = json.get("FixedWords");
+    assert_eq!(words.get("len").as_u64(), Some(11));
+    assert_eq!(words.get("ops").at(0).get("offset").as_u64(), Some(0));
+    assert_eq!(words.get("ops").at(1).get("shift").as_u64(), Some(52));
 }

@@ -14,8 +14,7 @@ fn std_hashmap_with_every_family() {
     for family in Family::ALL {
         let hash = SynthesizedHash::from_regex(&KeyFormat::Ssn.regex(), family)
             .expect("ssn regex compiles");
-        let mut map: HashMap<String, usize, _> =
-            HashMap::with_hasher(SepeBuildHasher::new(hash));
+        let mut map: HashMap<String, usize, _> = HashMap::with_hasher(SepeBuildHasher::new(hash));
         let mut sampler = KeySampler::new(KeyFormat::Ssn, Distribution::Uniform, 31);
         let keys = sampler.distinct_pool(2000);
         for (i, k) in keys.iter().enumerate() {
@@ -49,11 +48,25 @@ fn adapter_survives_rehashes() {
     let mut map: HashMap<String, u32, _> =
         HashMap::with_capacity_and_hasher(1, SepeBuildHasher::new(hash));
     for i in 0..50_000u32 {
-        let key = format!("{:03}.{:03}.{:03}.{:03}", i % 256, (i / 256) % 256, i % 199, i % 251);
+        let key = format!(
+            "{:03}.{:03}.{:03}.{:03}",
+            i % 256,
+            (i / 256) % 256,
+            i % 199,
+            i % 251
+        );
         map.insert(key, i);
     }
     let expect: std::collections::BTreeSet<String> = (0..50_000u32)
-        .map(|i| format!("{:03}.{:03}.{:03}.{:03}", i % 256, (i / 256) % 256, i % 199, i % 251))
+        .map(|i| {
+            format!(
+                "{:03}.{:03}.{:03}.{:03}",
+                i % 256,
+                (i / 256) % 256,
+                i % 199,
+                i % 251
+            )
+        })
         .collect();
     assert_eq!(map.len(), expect.len());
     for k in expect {
