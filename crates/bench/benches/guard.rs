@@ -1,0 +1,57 @@
+//! **Robustness overhead** — guarded vs. unguarded hashing speed for all
+//! four synthesized families on the paper key formats, latency-chained as
+//! a hash-table consumer would be. The acceptance bar for the format-guard
+//! fast path is <2x the unguarded specialized hash on in-format keys.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sepe_baselines::CityHash;
+use sepe_bench::key_pool;
+use sepe_core::guard::GuardedHash;
+use sepe_core::hash::SynthesizedHash;
+use sepe_core::regex::Regex;
+use sepe_core::synth::Family;
+use sepe_core::ByteHash;
+use sepe_keygen::KeyFormat;
+use std::hint::black_box;
+
+fn chain(hash: &dyn ByteHash, keys: &[&[u8]]) -> u64 {
+    // Dependent chain across 256 keys per iteration.
+    let mut idx = 0usize;
+    let mut acc = 0u64;
+    for _ in 0..256 {
+        let h = hash.hash_bytes(black_box(keys[idx]));
+        acc ^= h;
+        idx = (h as usize) & 1023;
+    }
+    acc
+}
+
+fn bench_guard(c: &mut Criterion) {
+    for format in [KeyFormat::Ssn, KeyFormat::Ipv4, KeyFormat::Uuid] {
+        let mut group = c.benchmark_group(format!("guard/{}", format.name()));
+        group
+            .sample_size(20)
+            .measurement_time(std::time::Duration::from_millis(800))
+            .warm_up_time(std::time::Duration::from_millis(300));
+        let pattern = Regex::compile(&format.regex()).expect("paper formats compile");
+        let pool = key_pool(format, 1024);
+        let keys: Vec<&[u8]> = pool.iter().map(|s| s.as_bytes()).collect();
+        for family in Family::ALL {
+            let plain = SynthesizedHash::from_pattern(&pattern, family);
+            group.bench_function(BenchmarkId::from_parameter(format!("{family}")), |b| {
+                b.iter(|| chain(&plain, &keys));
+            });
+            let guarded = GuardedHash::from_pattern(&pattern, family, CityHash::new());
+            group.bench_function(
+                BenchmarkId::from_parameter(format!("{family}+guard")),
+                |b| {
+                    b.iter(|| chain(&guarded, &keys));
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_guard);
+criterion_main!(benches);

@@ -10,11 +10,14 @@
 //! hashing time (latency-chained), true collisions and bucket collisions
 //! against the general-purpose baselines.
 
+use sepe_baselines::CityHash;
+use sepe_containers::{DriftPolicy, UnorderedMap};
+use sepe_core::guard::GuardedHash;
 use sepe_core::hash::SynthesizedHash;
 use sepe_core::infer::{infer_pattern, infer_regex};
 use sepe_core::multi::LengthDispatchHash;
 use sepe_core::synth::Family;
-use sepe_core::{ByteHash, Isa};
+use sepe_core::{ByteHash, Isa, KeyPattern};
 use sepe_driver::measure::collisions_of;
 use sepe_driver::HashId;
 use std::io::Read;
@@ -23,11 +26,15 @@ use std::time::Instant;
 
 struct Options {
     iterations: usize,
+    guard: bool,
+    drift_threshold: Option<f64>,
     path: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
     let mut iterations = 100_000;
+    let mut guard = false;
+    let mut drift_threshold = None;
     let mut path = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -40,13 +47,30 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("bad iteration count: {e}"))?;
             }
+            "--guard" | "-g" => guard = true,
+            "--drift-threshold" => {
+                let t: f64 = args
+                    .next()
+                    .ok_or("--drift-threshold needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad drift threshold: {e}"))?;
+                if !(0.0..=1.0).contains(&t) {
+                    return Err(format!("drift threshold {t} is outside 0..=1"));
+                }
+                drift_threshold = Some(t);
+            }
             other if path.is_none() && !other.starts_with('-') => {
                 path = Some(other.to_owned());
             }
             other => return Err(format!("unexpected argument {other:?}")),
         }
     }
-    Ok(Options { iterations, path })
+    Ok(Options {
+        iterations,
+        guard,
+        drift_threshold,
+        path,
+    })
 }
 
 /// Latency-chained hashing time over the key set.
@@ -77,7 +101,8 @@ fn main() -> ExitCode {
                 eprintln!("keybench: {msg}");
             }
             eprintln!(
-                "usage: keybench [--iterations N] [FILE]   (keys on stdin or FILE, one per line)"
+                "usage: keybench [--iterations N] [--guard] [--drift-threshold T] [FILE]\n\
+                 \x20      (keys on stdin or FILE, one per line)"
             );
             return if msg.is_empty() {
                 ExitCode::SUCCESS
@@ -116,12 +141,21 @@ fn main() -> ExitCode {
     let key_bytes: Vec<&[u8]> = keys.iter().map(|k| k.as_bytes()).collect();
     let key_strings: Vec<String> = keys.iter().map(|k| (*k).to_owned()).collect();
 
-    let pattern = infer_pattern(key_bytes.iter().copied()).expect("keys are non-empty");
-    println!(
-        "{} distinct keys, inferred format: {}",
-        keys.len(),
-        infer_regex(key_bytes.iter().copied()).expect("keys are non-empty")
-    );
+    let pattern = match infer_pattern(key_bytes.iter().copied()) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("keybench: cannot infer a key format: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let regex = match infer_regex(key_bytes.iter().copied()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("keybench: cannot infer a key format: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{} distinct keys, inferred format: {}", keys.len(), regex);
     println!(
         "length {}..={}, {} variable bits{}\n",
         pattern.min_len(),
@@ -149,6 +183,23 @@ fn main() -> ExitCode {
         let hash = SynthesizedHash::from_pattern(&pattern, family);
         report(&format!("sepe/{family}"), &hash);
     }
+    let mut drift_line = None;
+    if opts.guard {
+        for family in Family::ALL {
+            let hash = GuardedHash::from_pattern(&pattern, family, CityHash::new());
+            report(&format!("sepe/{family}+guard"), &hash);
+            if family == Family::OffXor {
+                let stats = hash.stats();
+                drift_line = Some(format!(
+                    "guard drift: {} in-format, {} off-format of {} keys seen ({:.1}% drift)",
+                    stats.in_format(),
+                    stats.off_format(),
+                    stats.total(),
+                    stats.off_rate() * 100.0
+                ));
+            }
+        }
+    }
     if !pattern.is_fixed_len() {
         if let Ok(dispatch) =
             LengthDispatchHash::from_examples(key_bytes.iter().copied(), Family::OffXor)
@@ -175,5 +226,55 @@ fn main() -> ExitCode {
         let hash = id.build(sepe_keygen::KeyFormat::Ssn, Isa::Native);
         report(&format!("baseline/{}", id.name()), hash.as_ref());
     }
+    if let Some(line) = drift_line {
+        println!("\n{line}");
+    }
+    if let Some(threshold) = opts.drift_threshold {
+        println!();
+        drift_demo(&pattern, &key_strings, threshold);
+    }
     ExitCode::SUCCESS
+}
+
+/// Demonstrates the degradation state machine: fills a guarded map with the
+/// user's keys, then streams progressively off-format traffic through it
+/// until the drift policy flips the table to the fallback hasher.
+fn drift_demo(pattern: &KeyPattern, keys: &[String], threshold: f64) {
+    let policy = DriftPolicy::with_threshold(threshold);
+    let hasher = GuardedHash::from_pattern(pattern, Family::OffXor, CityHash::new());
+    let mut map: UnorderedMap<String, usize, _> = UnorderedMap::with_hasher(hasher);
+    for (i, key) in keys.iter().enumerate() {
+        map.insert(key.clone(), i);
+    }
+    println!(
+        "drift demo: {} keys inserted, mode {:?}, threshold {:.0}%",
+        map.len(),
+        map.guard_mode(),
+        threshold * 100.0
+    );
+    // Off-format traffic: the same keys with a marker byte appended.
+    let mut flipped_at = None;
+    for (i, key) in keys.iter().enumerate() {
+        map.insert(format!("{key}!"), i);
+        if map.maybe_degrade(&policy) {
+            flipped_at = Some(i + 1);
+            break;
+        }
+    }
+    let stats = map.drift_stats();
+    match flipped_at {
+        Some(n) => println!(
+            "degraded to the fallback hasher after {n} off-format keys \
+             ({:.1}% drift over {} observations); table rehashed, mode {:?}",
+            stats.off_rate() * 100.0,
+            stats.total(),
+            map.guard_mode()
+        ),
+        None => println!(
+            "threshold never exceeded ({:.1}% drift over {} observations); mode {:?}",
+            stats.off_rate() * 100.0,
+            stats.total(),
+            map.guard_mode()
+        ),
+    }
 }

@@ -11,7 +11,7 @@ use sepe_cli::repro;
 use sepe_driver::analysis::RunScale;
 use std::process::ExitCode;
 
-const ARTIFACTS: [&str; 15] = [
+const ARTIFACTS: [&str; 16] = [
     "table1",
     "table2",
     "table3",
@@ -27,6 +27,7 @@ const ARTIFACTS: [&str; 15] = [
     "significance",
     "avalanche",
     "bykey",
+    "guard",
 ];
 
 fn scale_of(name: &str) -> Result<RunScale, String> {
@@ -49,7 +50,7 @@ fn scale_of(name: &str) -> Result<RunScale, String> {
     }
 }
 
-fn run(artifact: &str, scale: &RunScale) -> Option<String> {
+fn run(artifact: &str, scale: &RunScale, drift_threshold: f64) -> Option<String> {
     let out = match artifact {
         "table1" => repro::table1(scale),
         "table2" => repro::table2(scale),
@@ -65,6 +66,7 @@ fn run(artifact: &str, scale: &RunScale) -> Option<String> {
         "significance" => repro::significance(scale),
         "avalanche" => repro::avalanche(scale),
         "bykey" => repro::bykey(scale),
+        "guard" => repro::guard(scale, drift_threshold),
         _ => return None,
     };
     Some(out)
@@ -74,16 +76,34 @@ fn main() -> ExitCode {
     let mut scale = RunScale::default();
     let mut artifacts: Vec<String> = Vec::new();
     let mut out_dir: Option<std::path::PathBuf> = None;
+    let mut drift_threshold = 0.10;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: sepe-repro [--scale smoke|quick|default|paper] [--out DIR] ARTIFACT...\n\
+                    "usage: sepe-repro [--scale smoke|quick|default|paper] [--out DIR] \
+                     [--drift-threshold T] ARTIFACT...\n\
                      artifacts: {} | all",
                     ARTIFACTS.join(" | ")
                 );
                 return ExitCode::SUCCESS;
+            }
+            "--drift-threshold" => {
+                let v = match args.next() {
+                    Some(v) => v,
+                    None => {
+                        eprintln!("sepe-repro: --drift-threshold needs a value");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                drift_threshold = match v.parse::<f64>() {
+                    Ok(t) if (0.0..=1.0).contains(&t) => t,
+                    _ => {
+                        eprintln!("sepe-repro: bad drift threshold {v:?}; expected 0..=1");
+                        return ExitCode::FAILURE;
+                    }
+                };
             }
             "--out" | "-o" => {
                 let v = match args.next() {
@@ -132,7 +152,7 @@ fn main() -> ExitCode {
     }
 
     for artifact in &artifacts {
-        match run(artifact, &scale) {
+        match run(artifact, &scale, drift_threshold) {
             Some(out) => {
                 println!("{out}");
                 if let Some(dir) = &out_dir {

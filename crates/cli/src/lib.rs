@@ -18,6 +18,74 @@
 pub mod repro;
 
 use sepe_core::synth::Family;
+use std::fmt;
+
+/// A diagnostic error carried out of a CLI binary: the message the binary
+/// prints (prefixed with its own name) before exiting nonzero.
+///
+/// Built either directly from a message or by attaching context to an
+/// underlying error via the [`Context`] extension trait, anyhow-style:
+/// `std::fs::read_to_string(p).context(format!("cannot read {p}"))` renders
+/// as `cannot read FILE: No such file or directory`.
+#[derive(Debug)]
+pub struct CliError(String);
+
+impl CliError {
+    /// Wraps a plain diagnostic message.
+    #[must_use]
+    pub fn msg(message: impl Into<String>) -> Self {
+        CliError(message.into())
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError(message)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(message: &str) -> Self {
+        CliError(message.to_owned())
+    }
+}
+
+/// Extension trait attaching human-readable context to fallible operations
+/// on user-input paths, so binaries report `context: cause` and exit
+/// nonzero instead of panicking.
+pub trait Context<T> {
+    /// Converts the error to a [`CliError`] prefixed with `context`.
+    ///
+    /// # Errors
+    ///
+    /// Forwards the original error, rendered as `context: cause`.
+    fn context(self, context: impl fmt::Display) -> Result<T, CliError>;
+
+    /// Like [`Context::context`], but builds the context lazily.
+    ///
+    /// # Errors
+    ///
+    /// Forwards the original error, rendered as `context: cause`.
+    fn with_context<C: fmt::Display>(self, f: impl FnOnce() -> C) -> Result<T, CliError>;
+}
+
+impl<T, E: fmt::Display> Context<T> for Result<T, E> {
+    fn context(self, context: impl fmt::Display) -> Result<T, CliError> {
+        self.map_err(|e| CliError(format!("{context}: {e}")))
+    }
+
+    fn with_context<C: fmt::Display>(self, f: impl FnOnce() -> C) -> Result<T, CliError> {
+        self.map_err(|e| CliError(format!("{}: {e}", f())))
+    }
+}
 
 /// Parses a `--family` argument.
 ///
@@ -180,5 +248,18 @@ mod tests {
         assert!(parse_language("cpp").is_ok());
         assert!(parse_language("rust").is_ok());
         assert!(parse_language("fortran").is_err());
+    }
+
+    #[test]
+    fn context_chains_render_cause_after_context() {
+        let err: Result<(), _> = Err("No such file or directory");
+        let chained = err.context("cannot read keys.txt").unwrap_err();
+        assert_eq!(
+            chained.to_string(),
+            "cannot read keys.txt: No such file or directory"
+        );
+        let lazy: Result<(), _> = Err("bad digit");
+        let chained = lazy.with_context(|| format!("line {}", 3)).unwrap_err();
+        assert_eq!(chained.to_string(), "line 3: bad digit");
     }
 }

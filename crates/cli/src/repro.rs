@@ -519,6 +519,64 @@ pub fn gradual(scale: &RunScale) -> String {
     out
 }
 
+/// **Robustness artifact** — the format-drift degradation state machine:
+/// per key format, a guarded OffXor map absorbs clean traffic, then
+/// off-format traffic (one marker byte appended) until the drift policy
+/// flips the table to the CityHash fallback. The table reports the flip
+/// point and the observed drift rate at the transition.
+#[must_use]
+pub fn guard(scale: &RunScale, threshold: f64) -> String {
+    use sepe_baselines::CityHash;
+    use sepe_containers::{DriftPolicy, UnorderedMap};
+    use sepe_core::guard::GuardedHash;
+    use sepe_core::regex::Regex;
+
+    let policy = DriftPolicy::with_threshold(threshold);
+    let clean_keys = scale.collision_keys.clamp(64, 4096);
+    let mut out = format!(
+        "Format-drift degradation (threshold {:.0}%, {clean_keys} clean keys per format)\n\
+         Format    clean-drift  flip-after  drift-at-flip  mode-after\n",
+        threshold * 100.0
+    );
+    for format in &scale.formats {
+        let pattern = Regex::compile(&format.regex()).expect("paper formats compile");
+        let hasher = GuardedHash::from_pattern(&pattern, Family::OffXor, CityHash::new());
+        let mut map: UnorderedMap<String, u64, _> = UnorderedMap::with_hasher(hasher);
+        let step = (format.space() / clean_keys as u128).max(1);
+        for i in 0..clean_keys {
+            map.insert(format.materialize(i as u128 * step), i as u64);
+        }
+        let clean_drift = map.drift_stats().off_rate();
+        let mut flip_after = None;
+        for i in 0..clean_keys * 2 {
+            let key = format!(
+                "{}!",
+                format.materialize((i as u128 * step) % format.space())
+            );
+            map.insert(key, i as u64);
+            if map.maybe_degrade(&policy) {
+                flip_after = Some(i + 1);
+                break;
+            }
+        }
+        let stats = map.drift_stats();
+        let _ = writeln!(
+            out,
+            "{:<9} {:>10.1}% {:>11} {:>13.1}% {:>11}",
+            format.name(),
+            clean_drift * 100.0,
+            flip_after.map_or_else(|| "never".to_owned(), |n| n.to_string()),
+            stats.off_rate() * 100.0,
+            format!("{:?}", map.guard_mode())
+        );
+    }
+    out.push_str(
+        "(Off-format keys route to CityHash under a separated tag until the drift\n\
+         threshold trips; then the whole table rehashes with the fallback hasher.)\n",
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -572,6 +630,20 @@ mod tests {
             .and_then(|s| s.trim().parse().ok())
             .expect("TC value");
         assert!(tc > 9000, "{pext_line}");
+    }
+
+    #[test]
+    fn guard_artifact_reports_a_flip_for_every_format() {
+        let mut s = tiny_scale();
+        s.formats = vec![KeyFormat::Ssn, KeyFormat::Ipv4];
+        s.collision_keys = 200;
+        let t = guard(&s, 0.10);
+        assert!(t.contains("Format-drift degradation"), "{t}");
+        for line in t.lines().filter(|l| l.contains("Degraded")) {
+            assert!(!line.contains("never"), "{line}");
+        }
+        assert!(t.contains("SSN") && t.contains("IPv4"), "{t}");
+        assert!(t.matches("Degraded").count() == 2, "{t}");
     }
 
     #[test]

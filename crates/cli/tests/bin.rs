@@ -90,6 +90,62 @@ fn keysynth_reports_regex_errors() {
 }
 
 #[test]
+fn keysynth_plan_round_trips_through_a_file() {
+    let out = keysynth()
+        .args(["--family", "pext", "--emit-plan", r"\d{16}"])
+        .output()
+        .expect("keysynth runs");
+    assert!(out.status.success());
+    let bundle = String::from_utf8_lossy(&out.stdout);
+    assert!(bundle.contains("\"family\""), "{bundle}");
+
+    let path = std::env::temp_dir().join(format!("keysynth-plan-{}.json", std::process::id()));
+    std::fs::write(&path, bundle.trim()).expect("plan written");
+    let out = keysynth()
+        .args(["--lang", "rust", "--name", "replayed", "--plan"])
+        .arg(&path)
+        .output()
+        .expect("keysynth runs");
+    let _ = std::fs::remove_file(&path);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("pub fn replayed(key: &[u8]) -> u64"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn keysynth_reports_unreadable_plan_files() {
+    let out = keysynth()
+        .args(["--plan", "/nonexistent/plan.json"])
+        .output()
+        .expect("keysynth runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot read plan"), "{stderr}");
+}
+
+#[test]
+fn keysynth_reports_malformed_plan_files() {
+    let path = std::env::temp_dir().join(format!("keysynth-bad-plan-{}.json", std::process::id()));
+    std::fs::write(&path, "{\"pattern\": 42}").expect("file written");
+    let out = keysynth()
+        .args(["--plan"])
+        .arg(&path)
+        .output()
+        .expect("keysynth runs");
+    let _ = std::fs::remove_file(&path);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("not a synthesis bundle"), "{stderr}");
+}
+
+#[test]
 fn figure_5a_pipeline_composes() {
     // keysynth "$(keybuilder < keys)"
     let (regex, _, ok) = run_with_stdin(keybuilder(), "000.000.000.000\n555.555.555.555\n");
@@ -161,6 +217,48 @@ fn keybench_reports_all_families_on_stdin_keys() {
         assert!(stdout.contains(row), "{row} missing from:\n{stdout}");
     }
     assert!(stdout.contains("Pext bijection possible"), "{stdout}");
+}
+
+#[test]
+fn keybench_guard_reports_guarded_rows_and_drift_transition() {
+    let keys: String = (0..256)
+        .map(|i| format!("{:03}-{:02}-{:04}\n", i % 999, i % 97, i))
+        .collect();
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_keybench"));
+    cmd.args([
+        "--iterations",
+        "2000",
+        "--guard",
+        "--drift-threshold",
+        "0.1",
+    ]);
+    let (stdout, stderr, ok) = run_with_stdin(cmd, &keys);
+    assert!(ok, "{stderr}");
+    for row in ["sepe/Naive+guard", "sepe/OffXor+guard", "sepe/Pext+guard"] {
+        assert!(stdout.contains(row), "{row} missing from:\n{stdout}");
+    }
+    assert!(stdout.contains("guard drift:"), "{stdout}");
+    assert!(
+        stdout.contains("degraded to the fallback hasher"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("mode Degraded"), "{stdout}");
+}
+
+#[test]
+fn sepe_repro_guard_artifact_shows_the_state_machine() {
+    let out = sepe_repro()
+        .args(["--scale", "smoke", "--drift-threshold", "0.2", "guard"])
+        .output()
+        .expect("repro runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Format-drift degradation"), "{stdout}");
+    assert!(stdout.contains("Degraded"), "{stdout}");
 }
 
 #[test]

@@ -47,5 +47,5 @@ pub use direct::DirectMap;
 pub use map::UnorderedMap;
 pub use multimap::UnorderedMultiMap;
 pub use multiset::UnorderedMultiSet;
-pub use policy::BucketPolicy;
+pub use policy::{BucketPolicy, DriftPolicy};
 pub use set::UnorderedSet;

@@ -1,7 +1,8 @@
 //! `UnorderedMap` — the analog of `std::unordered_map`.
 
-use crate::policy::BucketPolicy;
+use crate::policy::{BucketPolicy, DriftPolicy};
 use crate::table::RawTable;
+use sepe_core::guard::{GuardMode, GuardStats, GuardedHash};
 use sepe_core::hash::ByteHash;
 use std::borrow::Borrow;
 
@@ -183,6 +184,64 @@ where
     }
 }
 
+impl<K, V, F, G> UnorderedMap<K, V, GuardedHash<F, G>>
+where
+    K: Eq + AsRef<[u8]>,
+    F: ByteHash,
+    G: ByteHash,
+{
+    /// The drift counters of the guarded hasher.
+    pub fn drift_stats(&self) -> &GuardStats {
+        self.hasher().stats()
+    }
+
+    /// The guarded hasher's current routing mode.
+    pub fn guard_mode(&self) -> GuardMode {
+        self.hasher().mode()
+    }
+
+    /// Degrades unconditionally: flips the hasher to fallback-for-all-keys
+    /// and rebuilds the stored hashes so lookups stay consistent.
+    pub fn degrade_now(&mut self) {
+        self.table.hasher().degrade();
+        self.table.rebuild_hashes();
+    }
+
+    /// Checks the drift counters against `policy` and degrades when the
+    /// off-format rate exceeds its threshold. Returns whether a transition
+    /// happened during this call. Idempotent once degraded.
+    pub fn maybe_degrade(&mut self, policy: &DriftPolicy) -> bool {
+        let stats = self.drift_stats();
+        if self.hasher().is_degraded() || !policy.should_degrade(stats.off_format(), stats.total())
+        {
+            return false;
+        }
+        self.degrade_now();
+        true
+    }
+}
+
+impl<K, V, G> UnorderedMap<K, V, GuardedHash<sepe_core::SynthesizedHash, G>>
+where
+    K: Eq + AsRef<[u8]>,
+    G: ByteHash,
+{
+    /// Re-synthesizes the specialized hash from the reservoir of off-format
+    /// keys the guard sampled, re-arms the guard, and rebuilds the stored
+    /// hashes. Returns `false` (and changes nothing) when no off-format
+    /// keys were observed.
+    pub fn resynthesize(&mut self) -> bool {
+        if !self.table.hasher_mut().resynthesize() {
+            return false;
+        }
+        self.table.rebuild_hashes();
+        // Rebuilding re-hashed every stored key through the guard; those are
+        // not observed traffic, so start drift accounting from zero.
+        self.drift_stats().reset();
+        true
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -304,6 +363,86 @@ mod tests {
         }
         assert_eq!(m.bucket_count(), buckets, "no rehash after reserve");
         assert_eq!(m.len(), 10_000);
+    }
+
+    fn guarded_ssn_map(
+        family: sepe_core::Family,
+    ) -> UnorderedMap<String, u32, GuardedHash<sepe_core::SynthesizedHash, StlHash>> {
+        let pattern = sepe_core::regex::Regex::compile(r"\d{3}-\d{2}-\d{4}").expect("compiles");
+        UnorderedMap::with_hasher(GuardedHash::from_pattern(&pattern, family, StlHash::new()))
+    }
+
+    #[test]
+    fn drift_threshold_flips_the_table_to_the_fallback() {
+        let mut m = guarded_ssn_map(sepe_core::Family::Pext);
+        let policy = DriftPolicy {
+            threshold: 0.10,
+            min_samples: 16,
+        };
+        for i in 0..64u32 {
+            m.insert(format!("{:03}-{:02}-{:04}", i, i % 100, i * 7 % 10_000), i);
+        }
+        assert!(!m.maybe_degrade(&policy), "no drift yet");
+        assert_eq!(m.guard_mode(), GuardMode::Guarded);
+        // 20% of subsequent traffic is off-format.
+        for i in 0..40u32 {
+            m.insert(format!("off-format key {i}"), i);
+        }
+        assert!(m.drift_stats().off_rate() > policy.threshold);
+        assert!(m.maybe_degrade(&policy), "transition happens exactly once");
+        assert_eq!(m.guard_mode(), GuardMode::Degraded);
+        assert!(!m.maybe_degrade(&policy), "idempotent once degraded");
+        // Every key is still found after the wholesale rehash: the cached
+        // hashes were rebuilt under the fallback hasher.
+        for i in 0..64u32 {
+            let key = format!("{:03}-{:02}-{:04}", i, i % 100, i * 7 % 10_000);
+            assert_eq!(m.get(key.as_str()), Some(&i), "{key}");
+        }
+        for i in 0..40u32 {
+            assert_eq!(m.get(format!("off-format key {i}").as_str()), Some(&i));
+        }
+    }
+
+    #[test]
+    fn degraded_map_keeps_working_through_growth() {
+        let mut m = guarded_ssn_map(sepe_core::Family::OffXor);
+        for i in 0..100u32 {
+            m.insert(format!("{i:03}-00-0000"), i);
+        }
+        m.degrade_now();
+        // Inserts after the flip use the fallback hash; growth rehashes mix
+        // cached pre-flip and post-flip hashes only if rebuild missed one.
+        for i in 0..5_000u32 {
+            m.insert(format!("post-{i:06}"), i);
+        }
+        for i in 0..100u32 {
+            assert_eq!(m.get(format!("{i:03}-00-0000").as_str()), Some(&i));
+        }
+        for i in 0..5_000u32 {
+            assert_eq!(m.get(format!("post-{i:06}").as_str()), Some(&i));
+        }
+    }
+
+    #[test]
+    fn resynthesis_rearms_the_guard_and_preserves_contents() {
+        let mut m = guarded_ssn_map(sepe_core::Family::OffXor);
+        for i in 0..50u32 {
+            m.insert(format!("{i:03}-11-2222"), i);
+        }
+        // Drifted keys share the SSN shape except for a trailing letter.
+        for i in 0..50u32 {
+            m.insert(format!("{i:03}-11-222x"), i);
+        }
+        assert!(m.resynthesize());
+        assert_eq!(m.guard_mode(), GuardMode::Guarded);
+        assert_eq!(m.drift_stats().total(), 0, "counters reset");
+        // The widened guard accepts the previously drifted shape...
+        assert!(m.hasher().guard().matches(b"123-11-222x"));
+        // ...and every pair survived the rebuild.
+        for i in 0..50u32 {
+            assert_eq!(m.get(format!("{i:03}-11-2222").as_str()), Some(&i));
+            assert_eq!(m.get(format!("{i:03}-11-222x").as_str()), Some(&i));
+        }
     }
 
     #[test]

@@ -39,6 +39,68 @@ impl BucketPolicy {
     }
 }
 
+/// When a guarded container should give up on its specialized hash.
+///
+/// A [`sepe_core::GuardedHash`] counts how many observed keys fell outside
+/// the trained format. Once the off-format fraction crosses `threshold`
+/// (after at least `min_samples` observations, so a handful of stray keys
+/// cannot flip a fresh table) the container degrades: it switches every key
+/// to the fallback hasher and rebuilds its stored hashes.
+///
+/// # Examples
+///
+/// ```
+/// use sepe_containers::DriftPolicy;
+///
+/// let policy = DriftPolicy::default();
+/// assert!(!policy.should_degrade(1, 10));       // below min_samples
+/// assert!(policy.should_degrade(30, 100));      // 30% drift
+/// assert!(!policy.should_degrade(2, 100));      // 2% drift tolerated
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftPolicy {
+    /// Off-format fraction above which the container degrades.
+    pub threshold: f64,
+    /// Minimum number of observed keys before the threshold applies.
+    pub min_samples: u64,
+}
+
+impl Default for DriftPolicy {
+    /// Degrade at 10% off-format traffic, judged over at least 64 keys.
+    fn default() -> Self {
+        DriftPolicy {
+            threshold: 0.10,
+            min_samples: 64,
+        }
+    }
+}
+
+impl DriftPolicy {
+    /// Creates a policy with `threshold` and the default sample floor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= threshold <= 1.0`.
+    #[must_use]
+    pub fn with_threshold(threshold: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&threshold),
+            "drift threshold must be a fraction, got {threshold}"
+        );
+        DriftPolicy {
+            threshold,
+            ..DriftPolicy::default()
+        }
+    }
+
+    /// Whether `off_format` failures out of `total` observed keys warrant
+    /// degradation.
+    #[must_use]
+    pub fn should_degrade(&self, off_format: u64, total: u64) -> bool {
+        total >= self.min_samples.max(1) && off_format as f64 / total as f64 > self.threshold
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -75,5 +137,24 @@ mod tests {
     fn discard_is_clamped_at_63() {
         let p = BucketPolicy::HighBits { discard_low: 200 };
         assert_eq!(p.bucket_of(u64::MAX, 97), (u64::MAX >> 63));
+    }
+
+    #[test]
+    fn drift_policy_waits_for_samples() {
+        let p = DriftPolicy::with_threshold(0.5);
+        assert!(!p.should_degrade(63, 63), "under the sample floor");
+        assert!(p.should_degrade(64, 64));
+        assert!(!p.should_degrade(32, 64), "exactly at threshold tolerated");
+        assert!(p.should_degrade(33, 64));
+    }
+
+    #[test]
+    fn zero_threshold_degrades_on_any_drift() {
+        let p = DriftPolicy {
+            threshold: 0.0,
+            min_samples: 1,
+        };
+        assert!(p.should_degrade(1, 1));
+        assert!(!p.should_degrade(0, 100));
     }
 }

@@ -1,7 +1,8 @@
 //! `UnorderedSet` — the analog of `std::unordered_set`.
 
 use crate::map::UnorderedMap;
-use crate::policy::BucketPolicy;
+use crate::policy::{BucketPolicy, DriftPolicy};
+use sepe_core::guard::{GuardMode, GuardStats, GuardedHash};
 use sepe_core::hash::ByteHash;
 use std::borrow::Borrow;
 
@@ -100,6 +101,34 @@ where
     /// The paper's bucket-collision count (Section 4.2).
     pub fn bucket_collisions(&self) -> u64 {
         self.inner.bucket_collisions()
+    }
+}
+
+impl<K, F, G> UnorderedSet<K, GuardedHash<F, G>>
+where
+    K: Eq + AsRef<[u8]>,
+    F: ByteHash,
+    G: ByteHash,
+{
+    /// The drift counters of the guarded hasher.
+    pub fn drift_stats(&self) -> &GuardStats {
+        self.inner.drift_stats()
+    }
+
+    /// The guarded hasher's current routing mode.
+    pub fn guard_mode(&self) -> GuardMode {
+        self.inner.guard_mode()
+    }
+
+    /// Degrades unconditionally and rebuilds the stored hashes.
+    pub fn degrade_now(&mut self) {
+        self.inner.degrade_now();
+    }
+
+    /// Degrades when drift exceeds `policy`; returns whether this call
+    /// performed the transition.
+    pub fn maybe_degrade(&mut self, policy: &DriftPolicy) -> bool {
+        self.inner.maybe_degrade(policy)
     }
 }
 

@@ -57,6 +57,25 @@ where
         &self.hasher
     }
 
+    pub(crate) fn hasher_mut(&mut self) -> &mut H {
+        &mut self.hasher
+    }
+
+    /// Recomputes every cached entry hash from its key and relinks the
+    /// buckets. `rehash` deliberately reuses cached hashes; this is the one
+    /// operation that must not, because the hash *function* itself changed
+    /// (a guarded hasher degraded to its fallback, or was re-synthesized).
+    pub(crate) fn rebuild_hashes(&mut self) {
+        for idx in 0..self.entries.len() {
+            let Some((key, _)) = &self.entries[idx].kv else {
+                continue;
+            };
+            let h = self.hasher.hash_bytes(key.as_ref());
+            self.entries[idx].hash = h;
+        }
+        self.rehash(self.heads.len());
+    }
+
     pub(crate) fn policy(&self) -> BucketPolicy {
         self.policy
     }

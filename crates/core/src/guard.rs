@@ -1,0 +1,661 @@
+//! Format guards: cheap membership checks compiled from a [`KeyPattern`],
+//! and a [`GuardedHash`] wrapper that degrades gracefully on format drift.
+//!
+//! A synthesized hash (Section 3.2 of the paper) is only well-dispersed on
+//! keys of its trained format: a Pext plan discards the byte positions and
+//! bits the lattice proved constant, so one off-format key silently
+//! collapses onto a small hash subset or aliases with in-format keys.
+//! [`FormatGuard`] validates the format constraints at hash time — a length
+//! check plus the per-byte constant-bit test of [`BytePattern::matches`],
+//! evaluated word-at-a-time over the same clamped load schedule the plans
+//! use — and [`GuardedHash`] routes keys that fail the guard to a general
+//! fallback hasher under a distinct domain tag, while counting drift so a
+//! container can flip wholesale to the fallback once the mismatch rate
+//! crosses a threshold.
+
+use crate::bits::load_u64_le;
+use crate::hash::ByteHash;
+use crate::infer::infer_pattern;
+use crate::pattern::KeyPattern;
+use crate::synth::Family;
+use crate::SynthesizedHash;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One precompiled 8-byte membership check: the conjunction of eight
+/// [`BytePattern::matches`] tests, evaluated as
+/// `(load_u64_le(key, offset) & mask) ^ bits == 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct GuardWord {
+    offset: u32,
+    mask: u64,
+    bits: u64,
+}
+
+/// A compiled membership test for a key format.
+///
+/// `matches` returns exactly [`KeyPattern::matches`] — the guard is an
+/// implementation of the same predicate, not an approximation — but the
+/// mandatory prefix (`0..min_len`) is checked eight bytes at a time with
+/// the clamped, possibly overlapping load schedule synthesized plans use,
+/// so the common in-format case costs a handful of masked loads. Words
+/// whose eight positions are all fully variable compile away entirely.
+///
+/// # Examples
+///
+/// ```
+/// use sepe_core::guard::FormatGuard;
+/// use sepe_core::regex::Regex;
+///
+/// let pattern = Regex::compile(r"\d{3}-\d{2}-\d{4}")?;
+/// let guard = FormatGuard::compile(&pattern);
+/// assert!(guard.matches(b"123-45-6789"));
+/// assert!(!guard.matches(b"123-45-678"));   // wrong length
+/// assert!(!guard.matches(b"123_45-6789"));  // '_' breaks the '-' literal
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FormatGuard {
+    pattern: KeyPattern,
+    words: Vec<GuardWord>,
+    /// Whether the word schedule covers the whole mandatory prefix (always
+    /// true when `min_len >= 8`; short formats fall back to bytes).
+    words_cover_prefix: bool,
+}
+
+impl FormatGuard {
+    /// Compiles a guard for `pattern`.
+    #[must_use]
+    pub fn compile(pattern: &KeyPattern) -> Self {
+        let min_len = pattern.min_len();
+        let mut words = Vec::new();
+        let words_cover_prefix = min_len >= 8;
+        if words_cover_prefix {
+            // The plans' load schedule: words at 0, 8, 16, … with a final
+            // clamped (overlapping) load so no position past min_len is read.
+            let mut offset = 0usize;
+            loop {
+                let off = offset.min(min_len - 8);
+                let (mask, bits) = word_test(pattern, off);
+                if mask != 0 {
+                    words.push(GuardWord {
+                        offset: off as u32,
+                        mask,
+                        bits,
+                    });
+                }
+                if off + 8 >= min_len {
+                    break;
+                }
+                offset += 8;
+            }
+        }
+        FormatGuard {
+            pattern: pattern.clone(),
+            words,
+            words_cover_prefix,
+        }
+    }
+
+    /// The pattern this guard was compiled from.
+    #[must_use]
+    pub fn pattern(&self) -> &KeyPattern {
+        &self.pattern
+    }
+
+    /// Whether `key` belongs to the format. Agrees bit-for-bit with
+    /// [`KeyPattern::matches`] on the source pattern.
+    #[inline]
+    #[must_use]
+    pub fn matches(&self, key: &[u8]) -> bool {
+        let min_len = self.pattern.min_len();
+        if key.len() < min_len || key.len() > self.pattern.max_len() {
+            return false;
+        }
+        let mut tail_start = 0usize;
+        if self.words_cover_prefix {
+            // Every load offset is <= min_len - 8 <= key.len() - 8, so the
+            // loads stay in bounds. Accumulate branchlessly: in the expected
+            // in-format case no early exit is worth a branch per word.
+            let mut acc = 0u64;
+            for w in &self.words {
+                acc |= (load_u64_le(key, w.offset as usize) & w.mask) ^ w.bits;
+            }
+            if acc != 0 {
+                return false;
+            }
+            tail_start = min_len;
+        }
+        key[tail_start..]
+            .iter()
+            .zip(&self.pattern.bytes()[tail_start..])
+            .all(|(&b, p)| p.matches(b))
+    }
+
+    /// Number of word-level checks the fast path performs.
+    #[must_use]
+    pub fn word_checks(&self) -> usize {
+        self.words.len()
+    }
+}
+
+/// Builds the `(mask, bits)` pair testing the eight byte patterns at
+/// `offset..offset + 8` against a little-endian load.
+fn word_test(pattern: &KeyPattern, offset: usize) -> (u64, u64) {
+    let mut mask = 0u64;
+    let mut bits = 0u64;
+    for i in 0..8 {
+        let p = pattern.bytes()[offset + i];
+        mask |= u64::from(p.const_mask()) << (8 * i);
+        bits |= u64::from(p.const_bits()) << (8 * i);
+    }
+    (mask, bits)
+}
+
+/// Drift counters shared by every clone of a [`GuardedHash`].
+///
+/// The counters are updated with relaxed load/store pairs rather than
+/// `fetch_add`: a locked read-modify-write per hash would dominate the cost
+/// of the cheap families, and drift accounting only needs to be
+/// *statistically* accurate — concurrent increments may occasionally
+/// coalesce, which biases the rate by at most the thread count.
+#[derive(Debug, Default)]
+pub struct GuardStats {
+    in_format: AtomicU64,
+    off_format: AtomicU64,
+}
+
+impl GuardStats {
+    #[inline]
+    fn bump(counter: &AtomicU64) {
+        let v = counter.load(Ordering::Relaxed);
+        counter.store(v + 1, Ordering::Relaxed);
+    }
+
+    /// Keys that passed the guard.
+    #[must_use]
+    pub fn in_format(&self) -> u64 {
+        self.in_format.load(Ordering::Relaxed)
+    }
+
+    /// Keys that failed the guard and were routed to the fallback.
+    #[must_use]
+    pub fn off_format(&self) -> u64 {
+        self.off_format.load(Ordering::Relaxed)
+    }
+
+    /// Total keys observed.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.in_format() + self.off_format()
+    }
+
+    /// Fraction of observed keys that were off-format (0 when none seen).
+    #[must_use]
+    pub fn off_rate(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.off_format() as f64 / total as f64
+        }
+    }
+
+    /// Resets both counters (used after a degradation or resynthesis).
+    pub fn reset(&self) {
+        self.in_format.store(0, Ordering::Relaxed);
+        self.off_format.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The routing state of a [`GuardedHash`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum GuardMode {
+    /// In-format keys use the specialized hash; off-format keys use the
+    /// tagged fallback.
+    Guarded = 0,
+    /// Every key uses the tagged fallback (the table has flipped).
+    Degraded = 1,
+}
+
+/// Capacity of the off-format reservoir sample.
+const RESERVOIR_CAP: usize = 64;
+
+/// A bounded uniform sample of recently observed off-format keys, kept so a
+/// degraded table can re-synthesize a widened pattern that covers the
+/// drifted traffic.
+#[derive(Debug, Default)]
+struct Reservoir {
+    keys: Vec<Vec<u8>>,
+    seen: u64,
+}
+
+impl Reservoir {
+    fn offer(&mut self, key: &[u8]) {
+        self.seen += 1;
+        if self.keys.len() < RESERVOIR_CAP {
+            self.keys.push(key.to_vec());
+            return;
+        }
+        // Algorithm R with a splitmix-style hash of the arrival index as
+        // the randomness source, so sampling is deterministic per sequence.
+        let mut z = self.seen.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let slot = z % self.seen;
+        if (slot as usize) < RESERVOIR_CAP {
+            self.keys[slot as usize] = key.to_vec();
+        }
+    }
+}
+
+/// Domain-separation tag xored into fallback hashes so an off-format key can
+/// never be engineered to collide with a chosen in-format key's specialized
+/// hash (the two domains go through different finalizers).
+const OFF_FORMAT_TAG: u64 = 0x0FF0_F0E5_EC7E_D000;
+
+/// Murmur3-style finalizer applied to tagged fallback hashes.
+#[inline]
+fn fmix64(mut h: u64) -> u64 {
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    h ^= h >> 33;
+    h
+}
+
+/// A hasher that validates each key against a [`FormatGuard`] and routes it
+/// to either the specialized function `F` (in-format) or a safe general
+/// fallback `G` (off-format), with drift accounting.
+///
+/// Clones share their statistics, mode and reservoir through [`Arc`]s: a
+/// container can own one clone while the caller keeps another to observe
+/// drift, and flipping the mode on any clone flips all of them.
+///
+/// # Examples
+///
+/// ```
+/// use sepe_core::guard::GuardedHash;
+/// use sepe_core::hash::{stl_hash_bytes, ByteHash, SynthesizedHash};
+/// use sepe_core::regex::Regex;
+/// use sepe_core::synth::Family;
+///
+/// struct Stl;
+/// impl ByteHash for Stl {
+///     fn hash_bytes(&self, key: &[u8]) -> u64 {
+///         stl_hash_bytes(key, 0)
+///     }
+/// }
+///
+/// let pattern = Regex::compile(r"\d{3}-\d{2}-\d{4}")?;
+/// let inner = SynthesizedHash::from_pattern(&pattern, Family::Pext);
+/// let guarded = GuardedHash::new(&pattern, inner.clone(), Stl);
+///
+/// // In-format keys hash exactly as the unguarded specialized function.
+/// assert_eq!(guarded.hash_bytes(b"123-45-6789"), inner.hash_bytes(b"123-45-6789"));
+/// // Off-format keys are rerouted instead of mis-hashed.
+/// let _ = guarded.hash_bytes(b"not an ssn");
+/// assert_eq!(guarded.stats().off_format(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GuardedHash<F, G> {
+    guard: FormatGuard,
+    specialized: F,
+    fallback: G,
+    stats: Arc<GuardStats>,
+    mode: Arc<AtomicU8>,
+    reservoir: Arc<Mutex<Reservoir>>,
+}
+
+impl<F, G> GuardedHash<F, G> {
+    /// Wraps `specialized` (synthesized for `pattern`) with a format guard
+    /// that reroutes non-matching keys to `fallback`.
+    #[must_use]
+    pub fn new(pattern: &KeyPattern, specialized: F, fallback: G) -> Self {
+        GuardedHash {
+            guard: FormatGuard::compile(pattern),
+            specialized,
+            fallback,
+            stats: Arc::new(GuardStats::default()),
+            mode: Arc::new(AtomicU8::new(GuardMode::Guarded as u8)),
+            reservoir: Arc::new(Mutex::new(Reservoir::default())),
+        }
+    }
+
+    /// The compiled guard.
+    #[must_use]
+    pub fn guard(&self) -> &FormatGuard {
+        &self.guard
+    }
+
+    /// The specialized (in-format) hasher.
+    #[must_use]
+    pub fn specialized(&self) -> &F {
+        &self.specialized
+    }
+
+    /// The fallback (off-format) hasher.
+    #[must_use]
+    pub fn fallback(&self) -> &G {
+        &self.fallback
+    }
+
+    /// The drift counters, shared with every clone.
+    #[must_use]
+    pub fn stats(&self) -> &GuardStats {
+        &self.stats
+    }
+
+    /// The current routing mode.
+    #[must_use]
+    pub fn mode(&self) -> GuardMode {
+        if self.mode.load(Ordering::Relaxed) == GuardMode::Degraded as u8 {
+            GuardMode::Degraded
+        } else {
+            GuardMode::Guarded
+        }
+    }
+
+    /// Whether the hasher has flipped to fallback-for-everything.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.mode() == GuardMode::Degraded
+    }
+
+    /// Flips this hasher (and every clone) to the fallback for all keys.
+    ///
+    /// Callers holding a container keyed by this hasher must rebuild the
+    /// stored hashes afterwards — see `UnorderedMap::maybe_degrade` in
+    /// `sepe-containers`, which performs the flip and the rehash together.
+    pub fn degrade(&self) {
+        self.mode
+            .store(GuardMode::Degraded as u8, Ordering::Relaxed);
+    }
+
+    /// Off-format keys sampled since the last reset, oldest-biased uniform.
+    #[must_use]
+    pub fn reservoir_keys(&self) -> Vec<Vec<u8>> {
+        self.reservoir
+            .lock()
+            .map(|r| r.keys.clone())
+            .unwrap_or_default()
+    }
+
+    /// A pattern widened to cover both the original format and the sampled
+    /// off-format keys, or `None` when the reservoir is empty.
+    #[must_use]
+    pub fn resynthesize_pattern(&self) -> Option<KeyPattern> {
+        let sampled = self.reservoir_keys();
+        if sampled.is_empty() {
+            return None;
+        }
+        let mut widened = self.guard.pattern().clone();
+        for key in &sampled {
+            widened.join_key(key);
+        }
+        Some(widened)
+    }
+
+    /// The hash used for off-format keys (and, in degraded mode, for all
+    /// keys): the fallback mixed under [`OFF_FORMAT_TAG`] and finalized, so
+    /// the two routing domains cannot alias by construction.
+    #[inline]
+    fn off_format_hash(&self, key: &[u8]) -> u64
+    where
+        G: ByteHash,
+    {
+        fmix64(self.fallback.hash_bytes(key) ^ OFF_FORMAT_TAG)
+    }
+}
+
+impl<G> GuardedHash<SynthesizedHash, G> {
+    /// Re-synthesizes the specialized hash from the reservoir-widened
+    /// pattern and arms the guard again (mode returns to
+    /// [`GuardMode::Guarded`], counters reset). Returns `false` when no
+    /// off-format keys have been sampled.
+    ///
+    /// As with [`GuardedHash::degrade`], containers must rebuild stored
+    /// hashes after this succeeds.
+    pub fn resynthesize(&mut self) -> bool {
+        let Some(widened) = self.resynthesize_pattern() else {
+            return false;
+        };
+        let family = self.specialized.family();
+        let isa = self.specialized.isa();
+        let seed = self.specialized.seed();
+        self.specialized = SynthesizedHash::from_pattern(&widened, family)
+            .with_isa(isa)
+            .with_seed(seed);
+        self.guard = FormatGuard::compile(&widened);
+        if let Ok(mut r) = self.reservoir.lock() {
+            r.keys.clear();
+            r.seen = 0;
+        }
+        self.stats.reset();
+        self.mode.store(GuardMode::Guarded as u8, Ordering::Relaxed);
+        true
+    }
+
+    /// Builds a guarded hash by synthesizing `family` for `pattern`.
+    #[must_use]
+    pub fn from_pattern(pattern: &KeyPattern, family: Family, fallback: G) -> Self {
+        GuardedHash::new(
+            pattern,
+            SynthesizedHash::from_pattern(pattern, family),
+            fallback,
+        )
+    }
+
+    /// Builds a guarded hash by inferring a pattern from example keys.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::hash::SynthError::EmptyExampleSet`] when `keys` is
+    /// empty.
+    pub fn from_examples<'a, I>(
+        keys: I,
+        family: Family,
+        fallback: G,
+    ) -> Result<Self, crate::hash::SynthError>
+    where
+        I: IntoIterator<Item = &'a [u8]>,
+    {
+        let pattern = infer_pattern(keys).map_err(|_| crate::hash::SynthError::EmptyExampleSet)?;
+        Ok(GuardedHash::from_pattern(&pattern, family, fallback))
+    }
+}
+
+impl<F: ByteHash, G: ByteHash> ByteHash for GuardedHash<F, G> {
+    #[inline]
+    fn hash_bytes(&self, key: &[u8]) -> u64 {
+        if self.mode.load(Ordering::Relaxed) == GuardMode::Degraded as u8 {
+            return self.off_format_hash(key);
+        }
+        if self.guard.matches(key) {
+            GuardStats::bump(&self.stats.in_format);
+            self.specialized.hash_bytes(key)
+        } else {
+            GuardStats::bump(&self.stats.off_format);
+            // Sampling must never block the hash path: skip when contended.
+            if let Ok(mut r) = self.reservoir.try_lock() {
+                r.offer(key);
+            }
+            self.off_format_hash(key)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::stl_hash_bytes;
+    use crate::regex::Regex;
+    use crate::synth::Family;
+
+    #[derive(Clone)]
+    struct Stl;
+    impl ByteHash for Stl {
+        fn hash_bytes(&self, key: &[u8]) -> u64 {
+            stl_hash_bytes(key, 0)
+        }
+    }
+
+    fn guard_of(regex: &str) -> (KeyPattern, FormatGuard) {
+        let pattern = Regex::compile(regex).expect("compiles");
+        let guard = FormatGuard::compile(&pattern);
+        (pattern, guard)
+    }
+
+    #[test]
+    fn guard_agrees_with_pattern_on_ssns() {
+        let (pattern, guard) = guard_of(r"\d{3}-\d{2}-\d{4}");
+        let cases: [&[u8]; 8] = [
+            b"123-45-6789",
+            b"000-00-0000",
+            b"123-45-678",
+            b"123-45-67890",
+            b"123_45-6789",
+            b"abc-de-fghi",
+            b"",
+            b"123-45-678\xFF",
+        ];
+        for key in cases {
+            assert_eq!(guard.matches(key), pattern.matches(key), "{key:?}");
+        }
+    }
+
+    #[test]
+    fn guard_checks_every_prefix_position() {
+        // Mutating any single byte to a value outside its class must flip
+        // the verdict, including positions only covered by the clamped load.
+        let (pattern, guard) = guard_of(r"(([0-9]{3})\.){3}[0-9]{3}");
+        let base = b"192.168.001.017".to_vec();
+        assert!(guard.matches(&base));
+        for i in 0..base.len() {
+            let mut k = base.clone();
+            k[i] = 0xFF; // outside both the digit and the '.' classes
+            assert!(!pattern.matches(&k), "position {i} should be constrained");
+            assert_eq!(guard.matches(&k), pattern.matches(&k), "position {i}");
+        }
+    }
+
+    #[test]
+    fn guard_handles_variable_length_tails() {
+        let (pattern, guard) = guard_of(r"[a-z]{8}[0-9]{0,4}");
+        for key in [
+            &b"abcdefgh"[..],
+            b"abcdefgh1",
+            b"abcdefgh1234",
+            b"abcdefgh12345",
+            b"abcdefg",
+            b"abcdefgh123x",
+        ] {
+            assert_eq!(guard.matches(key), pattern.matches(key), "{key:?}");
+        }
+    }
+
+    #[test]
+    fn short_formats_use_the_byte_path() {
+        let (pattern, guard) = guard_of(r"\d{4}");
+        assert_eq!(guard.word_checks(), 0);
+        assert!(guard.matches(b"1234"));
+        assert!(!guard.matches(b"123a"));
+        assert!(!guard.matches(b"12345"));
+        assert_eq!(guard.matches(b"0000"), pattern.matches(b"0000"));
+    }
+
+    #[test]
+    fn fully_variable_words_compile_away() {
+        // 16 fully variable bytes: no constant bits anywhere, so the word
+        // list is empty and only the length check remains.
+        let pattern = KeyPattern::fixed(vec![crate::BytePattern::ANY; 16]);
+        let guard = FormatGuard::compile(&pattern);
+        assert_eq!(guard.word_checks(), 0);
+        assert!(guard.matches(&[0xFF; 16]));
+        assert!(!guard.matches(&[0xFF; 15]));
+    }
+
+    #[test]
+    fn guarded_hash_routes_and_counts() {
+        let pattern = Regex::compile(r"\d{3}-\d{2}-\d{4}").unwrap();
+        let inner = SynthesizedHash::from_pattern(&pattern, Family::OffXor);
+        let guarded = GuardedHash::new(&pattern, inner.clone(), Stl);
+        assert_eq!(
+            guarded.hash_bytes(b"123-45-6789"),
+            inner.hash_bytes(b"123-45-6789")
+        );
+        let off = guarded.hash_bytes(b"drifted key!");
+        assert_ne!(off, inner.hash_bytes(b"drifted key!"));
+        assert_eq!(guarded.stats().in_format(), 1);
+        assert_eq!(guarded.stats().off_format(), 1);
+        assert!((guarded.stats().off_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn off_format_domain_is_tagged() {
+        let pattern = Regex::compile(r"\d{11}").unwrap();
+        let guarded = GuardedHash::from_pattern(&pattern, Family::Naive, Stl);
+        let key = b"hello world"; // same length as the format, off-format bytes
+        assert_ne!(guarded.hash_bytes(key), stl_hash_bytes(key, 0));
+    }
+
+    #[test]
+    fn degraded_mode_uses_the_fallback_for_everything() {
+        let pattern = Regex::compile(r"\d{3}-\d{2}-\d{4}").unwrap();
+        let inner = SynthesizedHash::from_pattern(&pattern, Family::Pext);
+        let guarded = GuardedHash::new(&pattern, inner.clone(), Stl);
+        let clone = guarded.clone();
+        guarded.degrade();
+        assert!(clone.is_degraded(), "mode is shared across clones");
+        assert_ne!(
+            clone.hash_bytes(b"123-45-6789"),
+            inner.hash_bytes(b"123-45-6789")
+        );
+        // Degraded hashing is still deterministic.
+        assert_eq!(
+            clone.hash_bytes(b"123-45-6789"),
+            guarded.hash_bytes(b"123-45-6789")
+        );
+    }
+
+    #[test]
+    fn reservoir_samples_off_format_keys() {
+        let pattern = Regex::compile(r"\d{8}").unwrap();
+        let guarded = GuardedHash::from_pattern(&pattern, Family::Naive, Stl);
+        for i in 0..200u32 {
+            let key = format!("drift-{i:04}");
+            let _ = guarded.hash_bytes(key.as_bytes());
+        }
+        let sample = guarded.reservoir_keys();
+        assert_eq!(sample.len(), RESERVOIR_CAP);
+        assert!(sample.iter().all(|k| k.starts_with(b"drift-")));
+    }
+
+    #[test]
+    fn resynthesis_widens_the_pattern_and_rearms() {
+        let pattern = Regex::compile(r"\d{8}").unwrap();
+        let mut guarded = GuardedHash::from_pattern(&pattern, Family::OffXor, Stl);
+        for i in 0..50u32 {
+            let _ = guarded.hash_bytes(format!("{i:07}x").as_bytes());
+        }
+        guarded.degrade();
+        assert!(guarded.resynthesize());
+        assert!(!guarded.is_degraded());
+        assert_eq!(guarded.stats().total(), 0);
+        // Both the original and the drifted shape now pass the guard.
+        assert!(guarded.guard().matches(b"12345678"));
+        assert!(guarded.guard().matches(b"0000000x"));
+    }
+
+    #[test]
+    fn resynthesize_without_drift_is_a_no_op() {
+        let pattern = Regex::compile(r"\d{8}").unwrap();
+        let mut guarded = GuardedHash::from_pattern(&pattern, Family::OffXor, Stl);
+        let _ = guarded.hash_bytes(b"12345678");
+        assert!(!guarded.resynthesize());
+    }
+}

@@ -13,7 +13,7 @@ mod stl;
 mod synthesized;
 
 pub use stl::{stl_hash_bytes, DEFAULT_STL_SEED};
-pub use synthesized::SynthesizedHash;
+pub use synthesized::{SynthError, SynthesizedHash};
 
 /// A hash function over byte strings.
 ///

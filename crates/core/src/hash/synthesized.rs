@@ -4,10 +4,73 @@ use crate::aes::{aesenc, fold_block, Block};
 use crate::bits::{load_block_le, load_u64_le, pext_u64, Isa};
 use crate::hash::stl::{stl_hash_bytes, MUL};
 use crate::hash::ByteHash;
-use crate::infer::{infer_pattern, EmptyExampleSetError};
+use crate::infer::infer_pattern;
 use crate::pattern::KeyPattern;
-use crate::regex::Regex;
+use crate::regex::{parse, ExpandError, ParseRegexError};
 use crate::synth::{synthesize, Family, Plan, WordOp};
+use std::fmt;
+
+/// Why a [`SynthesizedHash`] could not be constructed.
+///
+/// Each variant names one rejected input shape, so callers (the CLI, the
+/// verification harness) can report a precise diagnostic instead of a
+/// catch-all boxed error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SynthError {
+    /// [`SynthesizedHash::from_examples`] was given no keys. The join of
+    /// zero keys is undefined in the quad-semilattice (Section 3.1), so
+    /// there is no pattern to synthesize from.
+    EmptyExampleSet,
+    /// The format describes only the empty key (zero maximum length), which
+    /// admits no loads and no hash plan.
+    EmptyFormat,
+    /// The regular expression could not be parsed (syntax error, or a
+    /// construct outside the supported fixed-shape subset such as `|`, `*`
+    /// or `+`).
+    Parse(ParseRegexError),
+    /// The parsed expression could not be expanded into byte positions: an
+    /// oversized `{n}` repetition past the expansion limit, or an optional
+    /// part before a mandatory one.
+    Expand(ExpandError),
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::EmptyExampleSet => {
+                write!(f, "cannot infer a key pattern from zero example keys")
+            }
+            SynthError::EmptyFormat => {
+                write!(f, "key format is empty (matches only the zero-length key)")
+            }
+            SynthError::Parse(e) => write!(f, "regex parse error: {e}"),
+            SynthError::Expand(e) => write!(f, "regex expansion error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SynthError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SynthError::Parse(e) => Some(e),
+            SynthError::Expand(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseRegexError> for SynthError {
+    fn from(e: ParseRegexError) -> Self {
+        SynthError::Parse(e)
+    }
+}
+
+impl From<ExpandError> for SynthError {
+    fn from(e: ExpandError) -> Self {
+        SynthError::Expand(e)
+    }
+}
 
 /// A specialized hash function synthesized for one key format.
 ///
@@ -111,24 +174,33 @@ impl SynthesizedHash {
     ///
     /// # Errors
     ///
-    /// Returns an error when the expression cannot be parsed or expanded.
-    pub fn from_regex(source: &str, family: Family) -> Result<Self, Box<dyn std::error::Error>> {
-        Ok(SynthesizedHash::from_pattern(
-            &Regex::compile(source)?,
-            family,
-        ))
+    /// Returns [`SynthError::Parse`] for syntax errors, [`SynthError::Expand`]
+    /// when the expression cannot be pinned to byte positions (oversized
+    /// `{n}` repetition, optional prefix), and [`SynthError::EmptyFormat`]
+    /// when it expands to a zero-length format.
+    pub fn from_regex(source: &str, family: Family) -> Result<Self, SynthError> {
+        let pattern = parse(source)?.expand()?.to_key_pattern();
+        if pattern.is_empty() {
+            return Err(SynthError::EmptyFormat);
+        }
+        Ok(SynthesizedHash::from_pattern(&pattern, family))
     }
 
     /// Synthesizes a hash from example keys (Figure 5a).
     ///
     /// # Errors
     ///
-    /// Returns [`EmptyExampleSetError`] when `keys` is empty.
-    pub fn from_examples<'a, I>(keys: I, family: Family) -> Result<Self, EmptyExampleSetError>
+    /// Returns [`SynthError::EmptyExampleSet`] when `keys` is empty and
+    /// [`SynthError::EmptyFormat`] when every example is the empty key.
+    pub fn from_examples<'a, I>(keys: I, family: Family) -> Result<Self, SynthError>
     where
         I: IntoIterator<Item = &'a [u8]>,
     {
-        Ok(SynthesizedHash::from_pattern(&infer_pattern(keys)?, family))
+        let pattern = infer_pattern(keys).map_err(|_| SynthError::EmptyExampleSet)?;
+        if pattern.is_empty() {
+            return Err(SynthError::EmptyFormat);
+        }
+        Ok(SynthesizedHash::from_pattern(&pattern, family))
     }
 
     /// Restricts the instruction set the plan may use; [`Isa::Portable`]

@@ -46,6 +46,7 @@
 pub mod aes;
 pub mod bits;
 pub mod codegen;
+pub mod guard;
 pub mod hash;
 pub mod infer;
 pub mod lattice;
@@ -56,6 +57,7 @@ pub mod regex;
 pub mod synth;
 
 pub use bits::Isa;
-pub use hash::{ByteHash, SynthesizedHash};
+pub use guard::{FormatGuard, GuardMode, GuardedHash};
+pub use hash::{ByteHash, SynthError, SynthesizedHash};
 pub use pattern::{BytePattern, KeyPattern};
 pub use synth::{synthesize, Family, Plan};

@@ -16,7 +16,7 @@
 //! tooling to reuse.
 
 use crate::pattern::{BytePattern, KeyPattern};
-use crate::synth::{Plan, WordOp};
+use crate::synth::{Family, Plan, WordOp};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -631,6 +631,73 @@ pub fn key_pattern_from_str(text: &str) -> Result<KeyPattern, ParseError> {
     key_pattern_from_json(&Json::parse(text)?)
 }
 
+/// Everything one synthesis run produces: the inferred pattern, the family
+/// chosen, and the plan — enough to reconstruct both the specialized hash
+/// and its [`crate::guard::FormatGuard`] in another process.
+///
+/// This is the payload `keysynth --emit-plan` writes and `keysynth --plan`
+/// reads back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SynthBundle {
+    /// The key format the plan was synthesized for.
+    pub pattern: KeyPattern,
+    /// The hash family of the plan.
+    pub family: Family,
+    /// The synthesized plan itself.
+    pub plan: Plan,
+}
+
+/// Encodes a [`SynthBundle`] as a JSON value.
+#[must_use]
+pub fn bundle_to_json(bundle: &SynthBundle) -> Json {
+    obj([
+        ("pattern", key_pattern_to_json(&bundle.pattern)),
+        ("family", Json::Str(bundle.family.name().to_string())),
+        ("plan", plan_to_json(&bundle.plan)),
+    ])
+}
+
+/// Decodes a [`SynthBundle`] from a JSON value.
+///
+/// # Errors
+///
+/// Returns a shape error when members are missing, the family name is
+/// unknown, or the nested pattern/plan are malformed.
+pub fn bundle_from_json(json: &Json) -> Result<SynthBundle, ParseError> {
+    let pattern = key_pattern_from_json(json.get("pattern"))
+        .map_err(|e| shape_err(format!("SynthBundle: {}", e.message)))?;
+    let family_name = json
+        .get("family")
+        .as_str()
+        .ok_or_else(|| shape_err("SynthBundle: missing 'family'"))?;
+    let family = Family::ALL
+        .into_iter()
+        .find(|f| f.name() == family_name)
+        .ok_or_else(|| shape_err(format!("SynthBundle: unknown family '{family_name}'")))?;
+    let plan = plan_from_json(json.get("plan"))
+        .map_err(|e| shape_err(format!("SynthBundle: {}", e.message)))?;
+    Ok(SynthBundle {
+        pattern,
+        family,
+        plan,
+    })
+}
+
+/// Encodes a synthesis bundle to a JSON string.
+#[must_use]
+pub fn bundle_to_string(bundle: &SynthBundle) -> String {
+    bundle_to_json(bundle).to_string()
+}
+
+/// Decodes a synthesis bundle from a JSON string.
+///
+/// # Errors
+///
+/// Returns a parse or shape error for malformed input.
+pub fn bundle_from_str(text: &str) -> Result<SynthBundle, ParseError> {
+    bundle_from_json(&Json::parse(text)?)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -693,5 +760,29 @@ mod tests {
         // Valid digit byte.
         let p = byte_pattern_from_parts(0xF0, 0x30).unwrap();
         assert_eq!(p.variable_mask(), 0x0F);
+    }
+
+    #[test]
+    fn bundles_round_trip_for_every_family() {
+        let pattern = crate::regex::Regex::compile(r"\d{3}-\d{2}-\d{4}").unwrap();
+        for family in Family::ALL {
+            let bundle = SynthBundle {
+                plan: crate::synth::synthesize(&pattern, family),
+                pattern: pattern.clone(),
+                family,
+            };
+            let back = bundle_from_str(&bundle_to_string(&bundle)).unwrap();
+            assert_eq!(back, bundle, "{family}");
+        }
+    }
+
+    #[test]
+    fn malformed_bundles_are_rejected() {
+        assert!(bundle_from_str("not json").is_err());
+        assert!(bundle_from_str(r#"{"pattern":{"bytes":[],"min_len":0}}"#).is_err());
+        assert!(bundle_from_str(
+            r#"{"pattern":{"bytes":[],"min_len":0},"family":"Md5","plan":"StlFallback"}"#
+        )
+        .is_err());
     }
 }

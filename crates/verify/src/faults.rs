@@ -1,0 +1,432 @@
+//! Fault injection: mutate keys off-format and verify guarded containers
+//! survive.
+//!
+//! The guard layer promises two things: a [`GuardedHash`]-backed container
+//! stays semantically a map no matter how many keys fall outside the
+//! trained format, and the degradation threshold really flips the table to
+//! its fallback hasher. This module checks both the hard way — it
+//! *manufactures* drift. [`mutate_off_format`] edits a valid key so it
+//! provably leaves the format (length edits past the bounds, byte flips out
+//! of the allowed ranges); [`mutate_in_format`] resamples a byte inside its
+//! range as a control. [`check_guarded_container`] replays random operation
+//! sequences with a configurable fraction of injected faults against
+//! `std::collections::HashMap`, and [`check_degradation`] drives a guarded
+//! map over the drift threshold and asserts the state transition.
+
+use crate::interp::spec_matches;
+use sepe_containers::{DriftPolicy, UnorderedMap};
+use sepe_core::guard::{FormatGuard, GuardMode, GuardedHash};
+use sepe_core::hash::ByteHash;
+use sepe_core::pattern::KeyPattern;
+use sepe_core::synth::Family;
+use sepe_core::SynthesizedHash;
+use sepe_keygen::SplitMix64;
+use std::collections::HashMap;
+
+/// Mutates `key` so that it no longer matches `pattern`.
+///
+/// Three fault classes, chosen by the rng: grow past `max_len`, truncate
+/// below `min_len` (when the format has a nonempty minimum), or flip one
+/// constrained byte to a value outside its allowed range. The result is
+/// checked against the pattern before being returned, so callers may rely
+/// on it being off-format.
+#[must_use]
+pub fn mutate_off_format(pattern: &KeyPattern, key: &[u8], rng: &mut SplitMix64) -> Vec<u8> {
+    let constrained: Vec<usize> = key
+        .iter()
+        .zip(pattern.bytes())
+        .enumerate()
+        .filter(|(_, (_, p))| p.const_mask() != 0)
+        .map(|(i, _)| i)
+        .collect();
+    let mut choices = vec![FaultKind::Lengthen];
+    if pattern.min_len() > 0 {
+        choices.push(FaultKind::Truncate);
+    }
+    if !constrained.is_empty() {
+        choices.push(FaultKind::ByteFlip);
+    }
+    let fault = choices[(rng.next_u64() % choices.len() as u64) as usize];
+    let mutated = match fault {
+        FaultKind::Lengthen => {
+            let mut k = key.to_vec();
+            let extra = 1 + (rng.next_u64() % 4) as usize;
+            k.resize(pattern.max_len() + extra, b'!');
+            k
+        }
+        FaultKind::Truncate => key[..(rng.next_u64() % pattern.min_len() as u64) as usize].to_vec(),
+        FaultKind::ByteFlip => {
+            let i = constrained[(rng.next_u64() % constrained.len() as u64) as usize];
+            let p = pattern.bytes()[i];
+            let mut k = key.to_vec();
+            // Invert one constant bit: the byte now disagrees with the
+            // pattern at exactly that position.
+            let bit = p.const_mask().trailing_zeros();
+            k[i] ^= 1 << bit;
+            k
+        }
+    };
+    debug_assert!(
+        !pattern.matches(&mutated),
+        "{fault:?} left {mutated:?} in-format"
+    );
+    mutated
+}
+
+#[derive(Debug, Clone, Copy)]
+enum FaultKind {
+    Lengthen,
+    Truncate,
+    ByteFlip,
+}
+
+/// Resamples one byte of `key` to a different value still inside its
+/// allowed range, when the position admits one — an in-format mutation that
+/// must *not* trip the guard.
+#[must_use]
+pub fn mutate_in_format(pattern: &KeyPattern, key: &[u8], rng: &mut SplitMix64) -> Vec<u8> {
+    let mut k = key.to_vec();
+    if k.is_empty() {
+        return k;
+    }
+    let i = (rng.next_u64() % k.len() as u64) as usize;
+    let choices: Vec<u8> = pattern.bytes()[i]
+        .possible_bytes()
+        .filter(|&b| b != k[i])
+        .collect();
+    if let Some(&b) = choices.get((rng.next_u64() % choices.len().max(1) as u64) as usize) {
+        k[i] = b;
+    }
+    k
+}
+
+/// Checks that [`FormatGuard`] decides membership exactly like the
+/// independent quad-level specification ([`spec_matches`]) on `keys`,
+/// their single-byte out-of-range mutations, and their in-format
+/// mutations. Returns the number of membership decisions compared.
+///
+/// # Errors
+///
+/// Describes the first key the guard and the specification disagree on.
+pub fn check_guard_agreement(
+    pattern: &KeyPattern,
+    keys: &[Vec<u8>],
+    rng: &mut SplitMix64,
+) -> Result<usize, String> {
+    let guard = FormatGuard::compile(pattern);
+    let mut checked = 0usize;
+    let verdict = |key: &[u8], expect: Option<bool>| -> Result<(), String> {
+        let spec = spec_matches(pattern, key);
+        if let Some(e) = expect {
+            if spec != e {
+                return Err(format!("spec_matches({key:?}) = {spec}, expected {e}"));
+            }
+        }
+        if guard.matches(key) != spec {
+            return Err(format!(
+                "guard.matches({key:?}) = {}, spec says {spec}",
+                guard.matches(key)
+            ));
+        }
+        Ok(())
+    };
+    for key in keys {
+        verdict(key, Some(true))?;
+        verdict(&mutate_off_format(pattern, key, rng), Some(false))?;
+        verdict(&mutate_in_format(pattern, key, rng), Some(true))?;
+        checked += 3;
+    }
+    Ok(checked)
+}
+
+/// Checks that a [`GuardedHash`] equals its specialized hash on every
+/// in-format key (the guard reroutes, it must never *change* an in-format
+/// hash).
+///
+/// # Errors
+///
+/// Describes the first in-format key the two hashes disagree on.
+pub fn check_in_format_identity<G: ByteHash>(
+    guarded: &GuardedHash<SynthesizedHash, G>,
+    keys: &[Vec<u8>],
+) -> Result<(), String> {
+    for key in keys {
+        let g = guarded.hash_bytes(key);
+        let s = guarded.specialized().hash_bytes(key);
+        if g != s {
+            return Err(format!(
+                "guarded hash {g:#x} != specialized hash {s:#x} on in-format key {key:?}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Statistics of one fault-injected model-checking run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultStats {
+    /// Operations replayed.
+    pub ops: usize,
+    /// Off-format keys injected into the pool.
+    pub injected: usize,
+    /// Degradation transitions observed.
+    pub transitions: usize,
+    /// Full-content checkpoints passed.
+    pub checkpoints: usize,
+}
+
+/// Builds a key pool with `fault_fraction` of the entries mutated
+/// off-format.
+#[must_use]
+pub fn faulted_pool(
+    pattern: &KeyPattern,
+    clean: &[Vec<u8>],
+    fault_fraction: f64,
+    rng: &mut SplitMix64,
+) -> (Vec<Vec<u8>>, usize) {
+    let mut pool = Vec::with_capacity(clean.len());
+    let mut injected = 0usize;
+    for key in clean {
+        // Threshold comparison on the raw 64-bit draw keeps the fraction
+        // exact in expectation without floats in the loop.
+        if (rng.next_u64() as f64 / u64::MAX as f64) < fault_fraction {
+            pool.push(mutate_off_format(pattern, key, rng));
+            injected += 1;
+        } else {
+            pool.push(key.clone());
+        }
+    }
+    (pool, injected)
+}
+
+/// Replays `n_ops` random operations against a [`GuardedHash`]-backed
+/// [`UnorderedMap`] and `std::collections::HashMap` simultaneously, drawing
+/// keys from `pool` (which may contain off-format, non-UTF-8 keys — the
+/// model uses `Vec<u8>` keys for exactly that reason). Every 512 steps the
+/// drift policy is consulted, so a pool over the threshold exercises the
+/// degradation transition mid-sequence.
+///
+/// # Errors
+///
+/// Returns a description of the first divergence from the model.
+pub fn check_guarded_container<G: ByteHash>(
+    hasher: GuardedHash<SynthesizedHash, G>,
+    pool: &[Vec<u8>],
+    policy: &DriftPolicy,
+    n_ops: usize,
+    seed: u64,
+) -> Result<FaultStats, String> {
+    let mut rng = SplitMix64::new(seed);
+    let mut sut: UnorderedMap<Vec<u8>, u64, _> = UnorderedMap::with_hasher(hasher);
+    let mut model: HashMap<Vec<u8>, u64> = HashMap::new();
+    let mut stats = FaultStats::default();
+    let mut next_value = 0u64;
+
+    for step in 0..n_ops {
+        let key = &pool[(rng.next_u64() % pool.len() as u64) as usize];
+        match rng.next_u64() % 100 {
+            0..=39 => {
+                next_value += 1;
+                let a = sut.insert(key.clone(), next_value);
+                let b = model.insert(key.clone(), next_value);
+                if a != b {
+                    return Err(format!(
+                        "step {step}: insert({key:?}) -> {a:?}, model {b:?}"
+                    ));
+                }
+            }
+            40..=64 => {
+                let a = sut.get(key.as_slice()).copied();
+                let b = model.get(key).copied();
+                if a != b {
+                    return Err(format!("step {step}: get({key:?}) -> {a:?}, model {b:?}"));
+                }
+            }
+            65..=74 => {
+                if sut.contains_key(key.as_slice()) != model.contains_key(key) {
+                    return Err(format!("step {step}: contains({key:?}) diverged"));
+                }
+            }
+            75..=89 => {
+                let a = sut.remove(key.as_slice());
+                let b = model.remove(key);
+                if a != b {
+                    return Err(format!(
+                        "step {step}: remove({key:?}) -> {a:?}, model {b:?}"
+                    ));
+                }
+            }
+            90..=93 => {
+                sut.rehash(1 + (rng.next_u64() % 512) as usize);
+            }
+            94..=96 => {
+                sut.reserve((rng.next_u64() % 256) as usize);
+            }
+            97 => {
+                sut.clear();
+                model.clear();
+            }
+            _ => {
+                check_contents(step, &sut, &model)?;
+                stats.checkpoints += 1;
+            }
+        }
+        if sut.len() != model.len() {
+            return Err(format!(
+                "step {step}: len {} != model {}",
+                sut.len(),
+                model.len()
+            ));
+        }
+        if step % 512 == 511 && sut.maybe_degrade(policy) {
+            stats.transitions += 1;
+            check_contents(step, &sut, &model).map_err(|e| format!("after degradation: {e}"))?;
+        }
+        stats.ops += 1;
+    }
+    check_contents(n_ops, &sut, &model)?;
+    stats.checkpoints += 1;
+    Ok(stats)
+}
+
+fn check_contents<H: ByteHash>(
+    step: usize,
+    sut: &UnorderedMap<Vec<u8>, u64, H>,
+    model: &HashMap<Vec<u8>, u64>,
+) -> Result<(), String> {
+    let mut seen = 0usize;
+    for (k, v) in sut.iter() {
+        match model.get(k) {
+            Some(mv) if mv == v => seen += 1,
+            Some(mv) => return Err(format!("step {step}: {k:?} holds {v}, model holds {mv}")),
+            None => return Err(format!("step {step}: {k:?} present but absent from model")),
+        }
+    }
+    if seen != model.len() {
+        return Err(format!(
+            "step {step}: iterated {seen} pairs, model holds {}",
+            model.len()
+        ));
+    }
+    Ok(())
+}
+
+/// Drives a guarded map over the drift threshold with ≥10% injected
+/// off-format keys and asserts the full degradation state machine:
+/// `Guarded` before the threshold, exactly one transition to `Degraded`,
+/// and no key lost across the wholesale rehash.
+///
+/// # Errors
+///
+/// Describes the first violated transition or lost key.
+pub fn check_degradation<G: ByteHash + Clone>(
+    pattern: &KeyPattern,
+    family: Family,
+    fallback: G,
+    clean: &[Vec<u8>],
+    seed: u64,
+) -> Result<(), String> {
+    let mut rng = SplitMix64::new(seed);
+    let policy = DriftPolicy {
+        threshold: 0.10,
+        min_samples: 32,
+    };
+    let hasher = GuardedHash::from_pattern(pattern, family, fallback);
+    let mut map: UnorderedMap<Vec<u8>, u64, _> = UnorderedMap::with_hasher(hasher);
+    if map.guard_mode() != GuardMode::Guarded {
+        return Err("fresh guarded map is not in Guarded mode".to_owned());
+    }
+    for (i, key) in clean.iter().enumerate() {
+        map.insert(key.clone(), i as u64);
+    }
+    if map.maybe_degrade(&policy) {
+        return Err("map degraded on purely in-format traffic".to_owned());
+    }
+    // 25% injected faults pushes drift well past the 10% threshold.
+    let (pool, injected) = faulted_pool(pattern, clean, 0.25, &mut rng);
+    if (injected as f64) < 0.10 * pool.len() as f64 {
+        return Err(format!(
+            "injection produced only {injected}/{} off-format keys",
+            pool.len()
+        ));
+    }
+    for (i, key) in pool.iter().enumerate() {
+        map.insert(key.clone(), (clean.len() + i) as u64);
+    }
+    if !map.maybe_degrade(&policy) {
+        return Err(format!(
+            "drift {:.1}% did not flip the table (threshold {:.1}%)",
+            map.drift_stats().off_rate() * 100.0,
+            policy.threshold * 100.0
+        ));
+    }
+    if map.guard_mode() != GuardMode::Degraded {
+        return Err("transition reported but mode is not Degraded".to_owned());
+    }
+    if map.maybe_degrade(&policy) {
+        return Err("degradation transition was not idempotent".to_owned());
+    }
+    // Every key must survive the flip-and-rebuild.
+    for key in clean.iter().chain(&pool) {
+        if !map.contains_key(key.as_slice()) {
+            return Err(format!("key {key:?} lost across the degradation rehash"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formats::RandomFormat;
+    use sepe_core::hash::stl_hash_bytes;
+
+    #[derive(Clone)]
+    struct Stl;
+    impl ByteHash for Stl {
+        fn hash_bytes(&self, key: &[u8]) -> u64 {
+            stl_hash_bytes(key, 0)
+        }
+    }
+
+    #[test]
+    fn mutations_leave_and_keep_the_format() {
+        let mut rng = SplitMix64::new(0xFA_017);
+        for _ in 0..100 {
+            let format = RandomFormat::generate(&mut rng);
+            let pattern = format.pattern();
+            for key in format.sample_keys(&mut rng, 10) {
+                let off = mutate_off_format(&pattern, &key, &mut rng);
+                assert!(!pattern.matches(&off), "{pattern} accepted {off:?}");
+                let on = mutate_in_format(&pattern, &key, &mut rng);
+                assert!(pattern.matches(&on), "{pattern} rejected {on:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn guarded_container_model_holds_under_faults() {
+        let mut rng = SplitMix64::new(0xBAD_C0DE);
+        let format = RandomFormat::generate(&mut rng);
+        let pattern = format.pattern();
+        let clean = format.sample_keys(&mut rng, 48);
+        let (pool, injected) = faulted_pool(&pattern, &clean, 0.25, &mut rng);
+        assert!(injected > 0);
+        for family in Family::ALL {
+            let hasher = GuardedHash::from_pattern(&pattern, family, Stl);
+            let stats =
+                check_guarded_container(hasher, &pool, &DriftPolicy::default(), 3_000, 0x5EED)
+                    .unwrap_or_else(|e| panic!("{family}: {e}"));
+            assert!(stats.checkpoints > 0);
+        }
+    }
+
+    #[test]
+    fn degradation_state_machine_is_exercised() {
+        let mut rng = SplitMix64::new(0xD1F7);
+        let format = RandomFormat::generate(&mut rng);
+        let pattern = format.pattern();
+        let clean = format.sample_keys(&mut rng, 200);
+        check_degradation(&pattern, Family::Pext, Stl, &clean, 0x0FF).expect("state machine");
+    }
+}

@@ -186,6 +186,31 @@ pub fn interpret(plan: &Plan, family: Family, seed: u64, key: &[u8]) -> u64 {
     }
 }
 
+/// Independent format-membership specification: whether `key` belongs to
+/// the language of `pattern`.
+///
+/// Re-derived from the lattice quads, two bits at a time, rather than from
+/// the `const_mask`/`const_bits` byte test — so `FormatGuard::matches` (the
+/// word-at-a-time fast path) and `KeyPattern::matches` (the byte loop) are
+/// both checked against a third route through the definition.
+#[must_use]
+pub fn spec_matches(pattern: &sepe_core::KeyPattern, key: &[u8]) -> bool {
+    if key.len() < pattern.min_len() || key.len() > pattern.max_len() {
+        return false;
+    }
+    for (&byte, p) in key.iter().zip(pattern.bytes()) {
+        for (i, q) in p.quads().into_iter().enumerate() {
+            let shift = 6 - 2 * i as u8;
+            if let sepe_core::lattice::Quad::Const(v) = q {
+                if (byte >> shift) & 0b11 != v {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -21,7 +21,11 @@
 //! * [`differential`] — the cross-check driver: tuned hash vs. interpreter,
 //!   over both ISA paths and multiple seeds;
 //! * [`model`] — a model checker replaying random operation sequences
-//!   against `std::collections::HashMap` to validate the container layer.
+//!   against `std::collections::HashMap` to validate the container layer;
+//! * [`faults`] — a fault injector that mutates pool keys off-format
+//!   (length edits, byte flips out of the allowed ranges) and model-checks
+//!   `GuardedHash`-backed containers, including the drift-triggered
+//!   degradation transition, under injected faults.
 //!
 //! [`Plan`]: sepe_core::synth::Plan
 
@@ -29,6 +33,7 @@
 #![warn(clippy::all)]
 
 pub mod differential;
+pub mod faults;
 pub mod formats;
 pub mod interp;
 pub mod invariants;

@@ -8,15 +8,19 @@
 //! Suites: `differential` (tuned hashes vs. the plan interpreter over
 //! random and paper formats), `invariants` (structural plan checks, Pext
 //! bijection inversion, lattice soundness), `model` (container operations
-//! vs. `std::collections::HashMap`), or `all` (default). Exits non-zero on
-//! the first failing suite.
+//! vs. `std::collections::HashMap`), `faults` (fault-injected guarded
+//! containers and the degradation state machine; `--inject-faults` is a
+//! shorthand), or `all` (default, faults included). Exits non-zero on the
+//! first failing suite.
 
+use sepe_baselines::CityHash;
+use sepe_core::guard::GuardedHash;
 use sepe_core::pattern::KeyPattern;
 use sepe_core::regex::Regex;
 use sepe_core::synth::{synthesize, Family};
 use sepe_core::Isa;
 use sepe_keygen::{KeyFormat, SplitMix64};
-use sepe_verify::{differential, formats::RandomFormat, invariants, model};
+use sepe_verify::{differential, faults, formats::RandomFormat, invariants, model};
 
 struct Options {
     formats: usize,
@@ -54,10 +58,11 @@ fn parse_args() -> Result<Options, String> {
                 opts.seed = parse_u64(&v).map_err(|e| format!("--seed: {e}"))?;
             }
             "--suite" => opts.suite = value("--suite")?,
+            "--inject-faults" => opts.suite = "faults".to_owned(),
             "--help" | "-h" => {
                 println!(
                     "usage: sepe-verify [--formats N] [--keys N] [--ops N] [--seed S] \
-                     [--suite differential|invariants|model|all]"
+                     [--suite differential|invariants|model|faults|all] [--inject-faults]"
                 );
                 std::process::exit(0);
             }
@@ -205,6 +210,84 @@ fn run_model(opts: &Options) -> Result<String, String> {
     ))
 }
 
+fn run_faults(opts: &Options) -> Result<String, String> {
+    let mut rng = SplitMix64::new(opts.seed ^ 0xFA17);
+    let mut agreement_checks = 0usize;
+    let mut identity_keys = 0usize;
+
+    // Guard/spec agreement and in-format hash identity, over the paper
+    // formats and the seeded random ones.
+    let mut format_set: Vec<(String, KeyPattern, Vec<Vec<u8>>)> = paper_patterns()
+        .into_iter()
+        .map(|(name, p)| {
+            let keys = sample_pattern_keys(&p, &mut rng, opts.keys);
+            (name, p, keys)
+        })
+        .collect();
+    for i in 0..opts.formats {
+        let format = RandomFormat::generate(&mut rng);
+        let pattern = format.pattern();
+        let keys = format.sample_keys(&mut rng, opts.keys);
+        format_set.push((format!("random format {i}"), pattern, keys));
+    }
+    for (name, pattern, keys) in &format_set {
+        agreement_checks += faults::check_guard_agreement(pattern, keys, &mut rng)
+            .map_err(|e| format!("{name}: {e}"))?;
+        for family in Family::ALL {
+            let guarded = GuardedHash::from_pattern(pattern, family, CityHash::new());
+            faults::check_in_format_identity(&guarded, keys)
+                .map_err(|e| format!("{name} {family}: {e}"))?;
+            identity_keys += keys.len();
+        }
+    }
+
+    // Fault-injected container model checks: ≥10% of pool keys mutated
+    // off-format, all four families, paper formats.
+    let mut stats = faults::FaultStats::default();
+    let policy = sepe_containers::DriftPolicy::default();
+    for format in [KeyFormat::Ssn, KeyFormat::Ipv4, KeyFormat::Uuid] {
+        let pattern = Regex::compile(&format.regex()).expect("compiles");
+        let clean = sample_pattern_keys(&pattern, &mut rng, 48);
+        let (pool, injected) = faults::faulted_pool(&pattern, &clean, 0.25, &mut rng);
+        if (injected as f64) < 0.10 * pool.len() as f64 {
+            return Err(format!(
+                "{}: only {injected}/{} keys injected",
+                format.name(),
+                pool.len()
+            ));
+        }
+        for family in Family::ALL {
+            let hasher = GuardedHash::from_pattern(&pattern, family, CityHash::new());
+            let s = faults::check_guarded_container(hasher, &pool, &policy, opts.ops, opts.seed)
+                .map_err(|e| format!("{} {family}: {e}", format.name()))?;
+            stats.ops += s.ops;
+            stats.transitions += s.transitions;
+            stats.checkpoints += s.checkpoints;
+            stats.injected += injected;
+        }
+    }
+
+    // The degradation state machine, end to end.
+    let mut degradations = 0usize;
+    for i in 0..3usize {
+        let format = RandomFormat::generate(&mut rng);
+        let pattern = format.pattern();
+        let clean = format.sample_keys(&mut rng, 200);
+        for family in Family::ALL {
+            faults::check_degradation(&pattern, family, CityHash::new(), &clean, opts.seed)
+                .map_err(|e| format!("degradation format {i} {family}: {e}"))?;
+            degradations += 1;
+        }
+    }
+
+    Ok(format!(
+        "{agreement_checks} guard/spec agreements, {identity_keys} in-format hash identities, \
+         {} faulted container ops ({} transitions, {} checkpoints), \
+         {degradations} degradation state machines — all agreed with std::collections::HashMap",
+        stats.ops, stats.transitions, stats.checkpoints
+    ))
+}
+
 fn main() {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -218,10 +301,12 @@ fn main() {
         "differential" => vec![("differential", run_differential)],
         "invariants" => vec![("invariants", run_invariants)],
         "model" => vec![("model", run_model)],
+        "faults" => vec![("faults", run_faults)],
         "all" => vec![
             ("differential", run_differential),
             ("invariants", run_invariants),
             ("model", run_model),
+            ("faults", run_faults),
         ],
         other => {
             eprintln!("sepe-verify: unknown suite {other}");

@@ -1,0 +1,97 @@
+//! Property-based tests for the format-guard layer: for seeded-random
+//! formats, `FormatGuard::matches` agrees with the interpreter's
+//! independent notion of format membership, every generated in-format key
+//! is accepted, and every single-byte out-of-range mutation is rejected.
+
+use proptest::prelude::*;
+use sepe_core::guard::{FormatGuard, GuardedHash};
+use sepe_core::hash::{stl_hash_bytes, ByteHash};
+use sepe_core::synth::Family;
+use sepe_keygen::SplitMix64;
+use sepe_verify::formats::RandomFormat;
+use sepe_verify::interp::spec_matches;
+
+#[derive(Clone)]
+struct Stl;
+impl ByteHash for Stl {
+    fn hash_bytes(&self, key: &[u8]) -> u64 {
+        stl_hash_bytes(key, 0)
+    }
+}
+
+proptest! {
+    #[test]
+    fn guard_agrees_with_the_spec_on_random_formats(seed in any::<u64>()) {
+        let mut rng = SplitMix64::new(seed);
+        let format = RandomFormat::generate(&mut rng);
+        let pattern = format.pattern();
+        let guard = FormatGuard::compile(&pattern);
+        for key in format.sample_keys(&mut rng, 8) {
+            prop_assert!(spec_matches(&pattern, &key), "sampled key must be in-format");
+            prop_assert!(guard.matches(&key), "guard must accept in-format key {key:?}");
+        }
+        // Arbitrary byte strings of plausible lengths: the guard and the
+        // spec must agree whatever the verdict is.
+        for _ in 0..8 {
+            let len = (rng.next_u64() % (pattern.max_len() as u64 + 3)) as usize;
+            let key: Vec<u8> = (0..len).map(|_| (rng.next_u64() & 0xFF) as u8).collect();
+            prop_assert_eq!(guard.matches(&key), spec_matches(&pattern, &key), "{:?}", key);
+        }
+    }
+
+    #[test]
+    fn single_byte_out_of_range_mutations_are_rejected(seed in any::<u64>()) {
+        let mut rng = SplitMix64::new(seed);
+        let format = RandomFormat::generate(&mut rng);
+        let pattern = format.pattern();
+        let guard = FormatGuard::compile(&pattern);
+        let key = format.sample_key(&mut rng);
+        for i in 0..key.len() {
+            let p = pattern.bytes()[i];
+            if p.const_mask() == 0 {
+                continue; // fully variable position: no out-of-range value exists
+            }
+            // Flip one constant bit — the smallest possible range violation.
+            let mut mutated = key.clone();
+            mutated[i] ^= 1 << p.const_mask().trailing_zeros();
+            prop_assert!(!spec_matches(&pattern, &mutated));
+            prop_assert!(
+                !guard.matches(&mutated),
+                "guard must reject out-of-range byte at {i} in {mutated:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn length_edits_are_rejected(seed in any::<u64>()) {
+        let mut rng = SplitMix64::new(seed);
+        let format = RandomFormat::generate(&mut rng);
+        let pattern = format.pattern();
+        let guard = FormatGuard::compile(&pattern);
+        let mut long = format.sample_key(&mut rng);
+        long.resize(pattern.max_len() + 1, b'0');
+        prop_assert!(!guard.matches(&long));
+        let key = format.sample_key(&mut rng);
+        if pattern.min_len() > 0 {
+            let short = &key[..pattern.min_len() - 1];
+            prop_assert!(!guard.matches(short));
+        }
+    }
+
+    #[test]
+    fn guarded_hash_preserves_in_format_hashes(seed in any::<u64>()) {
+        let mut rng = SplitMix64::new(seed);
+        let format = RandomFormat::generate(&mut rng);
+        let pattern = format.pattern();
+        for family in Family::ALL {
+            let guarded = GuardedHash::from_pattern(&pattern, family, Stl);
+            for key in format.sample_keys(&mut rng, 4) {
+                prop_assert_eq!(
+                    guarded.hash_bytes(&key),
+                    guarded.specialized().hash_bytes(&key),
+                    "{} on {:?}", family, key
+                );
+            }
+        }
+    }
+}
