@@ -252,6 +252,11 @@ impl CityHash {
     }
 }
 
+// Baselines take the default scalar batch loop: they have no common
+// per-key op schedule to interleave, and the benchmark suite uses them
+// as the scalar reference.
+impl sepe_core::hash::HashBatch for CityHash {}
+
 impl ByteHash for CityHash {
     #[inline]
     fn hash_bytes(&self, key: &[u8]) -> u64 {

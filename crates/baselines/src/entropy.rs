@@ -108,6 +108,11 @@ impl EntropyLearnedHash {
     }
 }
 
+// Baselines take the default scalar batch loop: they have no common
+// per-key op schedule to interleave, and the benchmark suite uses them
+// as the scalar reference.
+impl sepe_core::hash::HashBatch for EntropyLearnedHash {}
+
 impl ByteHash for EntropyLearnedHash {
     fn hash_bytes(&self, key: &[u8]) -> u64 {
         // Gather the informative bytes, then run the general-purpose hash

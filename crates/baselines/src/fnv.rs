@@ -48,6 +48,11 @@ impl Default for FnvHash {
     }
 }
 
+// Baselines take the default scalar batch loop: they have no common
+// per-key op schedule to interleave, and the benchmark suite uses them
+// as the scalar reference.
+impl sepe_core::hash::HashBatch for FnvHash {}
+
 impl ByteHash for FnvHash {
     #[inline]
     fn hash_bytes(&self, key: &[u8]) -> u64 {

@@ -87,6 +87,11 @@ impl GperfHash {
     }
 }
 
+// Baselines take the default scalar batch loop: they have no common
+// per-key op schedule to interleave, and the benchmark suite uses them
+// as the scalar reference.
+impl sepe_core::hash::HashBatch for GperfHash {}
+
 impl ByteHash for GperfHash {
     #[inline]
     fn hash_bytes(&self, key: &[u8]) -> u64 {

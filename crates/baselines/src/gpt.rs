@@ -174,6 +174,11 @@ impl GptHash {
     }
 }
 
+// Baselines take the default scalar batch loop: they have no common
+// per-key op schedule to interleave, and the benchmark suite uses them
+// as the scalar reference.
+impl sepe_core::hash::HashBatch for GptHash {}
+
 impl ByteHash for GptHash {
     fn hash_bytes(&self, key: &[u8]) -> u64 {
         // Every format function assumes well-formed keys; guard the length

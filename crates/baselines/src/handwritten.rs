@@ -44,6 +44,11 @@ impl Figure4SsnHash {
     }
 }
 
+// Baselines take the default scalar batch loop: they have no common
+// per-key op schedule to interleave, and the benchmark suite uses them
+// as the scalar reference.
+impl sepe_core::hash::HashBatch for Figure4SsnHash {}
+
 impl ByteHash for Figure4SsnHash {
     #[inline]
     fn hash_bytes(&self, key: &[u8]) -> u64 {

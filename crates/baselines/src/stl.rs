@@ -43,6 +43,11 @@ impl Default for StlHash {
     }
 }
 
+// Baselines take the default scalar batch loop: they have no common
+// per-key op schedule to interleave, and the benchmark suite uses them
+// as the scalar reference.
+impl sepe_core::hash::HashBatch for StlHash {}
+
 impl ByteHash for StlHash {
     #[inline]
     fn hash_bytes(&self, key: &[u8]) -> u64 {

@@ -28,6 +28,7 @@ struct Options {
     iterations: usize,
     guard: bool,
     drift_threshold: Option<f64>,
+    batch: Option<usize>,
     path: Option<String>,
 }
 
@@ -35,6 +36,7 @@ fn parse_args() -> Result<Options, String> {
     let mut iterations = 100_000;
     let mut guard = false;
     let mut drift_threshold = None;
+    let mut batch = None;
     let mut path = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -46,6 +48,17 @@ fn parse_args() -> Result<Options, String> {
                     .ok_or("--iterations needs a value")?
                     .parse()
                     .map_err(|e| format!("bad iteration count: {e}"))?;
+            }
+            "--batch" | "-b" => {
+                let w: usize = args
+                    .next()
+                    .ok_or("--batch needs a width")?
+                    .parse()
+                    .map_err(|e| format!("bad batch width: {e}"))?;
+                if w < 2 {
+                    return Err(format!("batch width {w} must be at least 2"));
+                }
+                batch = Some(w);
             }
             "--guard" | "-g" => guard = true,
             "--drift-threshold" => {
@@ -69,8 +82,61 @@ fn parse_args() -> Result<Options, String> {
         iterations,
         guard,
         drift_threshold,
+        batch,
         path,
     })
+}
+
+/// `--batch W`: machine-readable batched-vs-scalar comparison. Prints a
+/// pure-JSON `sepe-keybench/v1` document (no prose, so the output pipes
+/// straight into tooling): per family, ns/key at width 1 (latency-chained)
+/// and width `W` (interleaved kernels).
+fn batch_report(pattern: &KeyPattern, key_bytes: &[&[u8]], width: usize, iterations: usize) {
+    use sepe_core::plan_io::Json;
+    use sepe_driver::bench_json::{batched_ns_per_key, scalar_ns_per_key};
+    use std::collections::BTreeMap;
+
+    // The chained measurements mask indices, so use the largest
+    // power-of-two prefix of the key pool.
+    let pot = if key_bytes.len().is_power_of_two() {
+        key_bytes.len()
+    } else {
+        (key_bytes.len().next_power_of_two() / 2).max(1)
+    };
+    let pool = &key_bytes[..pot];
+
+    let mut rows = Vec::new();
+    for family in Family::ALL {
+        let hash = SynthesizedHash::from_pattern(pattern, family);
+        for w in [1usize, width] {
+            let ns = if w <= 1 {
+                scalar_ns_per_key(&hash, pool, iterations)
+            } else {
+                batched_ns_per_key(&hash, pool, w, iterations)
+            };
+            let mut row = BTreeMap::new();
+            row.insert(
+                "family".to_string(),
+                Json::Str(family.to_string().to_ascii_lowercase()),
+            );
+            row.insert("width".to_string(), Json::Num(w as f64));
+            row.insert("ns_per_key".to_string(), Json::Num(ns));
+            row.insert(
+                "throughput_mkeys".to_string(),
+                Json::Num(if ns > 0.0 { 1e3 / ns } else { 0.0 }),
+            );
+            rows.push(Json::Obj(row));
+        }
+    }
+    let mut doc = BTreeMap::new();
+    doc.insert(
+        "schema".to_string(),
+        Json::Str("sepe-keybench/v1".to_string()),
+    );
+    doc.insert("batch_width".to_string(), Json::Num(width as f64));
+    doc.insert("keys".to_string(), Json::Num(pool.len() as f64));
+    doc.insert("records".to_string(), Json::Arr(rows));
+    println!("{}", Json::Obj(doc));
 }
 
 /// Latency-chained hashing time over the key set.
@@ -101,7 +167,8 @@ fn main() -> ExitCode {
                 eprintln!("keybench: {msg}");
             }
             eprintln!(
-                "usage: keybench [--iterations N] [--guard] [--drift-threshold T] [FILE]\n\
+                "usage: keybench [--iterations N] [--guard] [--drift-threshold T] \
+                 [--batch W] [FILE]\n\
                  \x20      (keys on stdin or FILE, one per line)"
             );
             return if msg.is_empty() {
@@ -155,6 +222,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(width) = opts.batch {
+        batch_report(&pattern, &key_bytes, width, opts.iterations);
+        return ExitCode::SUCCESS;
+    }
+
     println!("{} distinct keys, inferred format: {}", keys.len(), regex);
     println!(
         "length {}..={}, {} variable bits{}\n",

@@ -11,7 +11,7 @@ use sepe_cli::repro;
 use sepe_driver::analysis::RunScale;
 use std::process::ExitCode;
 
-const ARTIFACTS: [&str; 16] = [
+const ARTIFACTS: [&str; 17] = [
     "table1",
     "table2",
     "table3",
@@ -28,6 +28,7 @@ const ARTIFACTS: [&str; 16] = [
     "avalanche",
     "bykey",
     "guard",
+    "bench-json",
 ];
 
 fn scale_of(name: &str) -> Result<RunScale, String> {
@@ -67,6 +68,7 @@ fn run(artifact: &str, scale: &RunScale, drift_threshold: f64) -> Option<String>
         "avalanche" => repro::avalanche(scale),
         "bykey" => repro::bykey(scale),
         "guard" => repro::guard(scale, drift_threshold),
+        "bench-json" => repro::bench_json(scale),
         _ => return None,
     };
     Some(out)
@@ -155,8 +157,21 @@ fn main() -> ExitCode {
         match run(artifact, &scale, drift_threshold) {
             Some(out) => {
                 println!("{out}");
-                if let Some(dir) = &out_dir {
-                    let path = dir.join(format!("{artifact}.txt"));
+                // bench-json is the machine-readable perf baseline: it goes
+                // to BENCH_<date>.json (in --out or the working directory)
+                // so successive runs build a dated trajectory.
+                let path = if artifact == "bench-json" {
+                    let name = format!("BENCH_{}.json", sepe_driver::bench_json::today_utc());
+                    Some(match &out_dir {
+                        Some(dir) => dir.join(name),
+                        None => std::path::PathBuf::from(name),
+                    })
+                } else {
+                    out_dir
+                        .as_ref()
+                        .map(|dir| dir.join(format!("{artifact}.txt")))
+                };
+                if let Some(path) = path {
                     if let Err(e) = std::fs::write(&path, &out) {
                         eprintln!("sepe-repro: cannot write {}: {e}", path.display());
                         return ExitCode::FAILURE;

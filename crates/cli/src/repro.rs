@@ -577,6 +577,17 @@ pub fn guard(scale: &RunScale, threshold: f64) -> String {
     out
 }
 
+/// **Benchmark baseline** — the `sepe-bench/v1` JSON document: batched vs
+/// scalar ns/key for every family × format × width cell. `sepe-repro`
+/// writes it as `BENCH_<date>.json`, the machine-readable perf trajectory.
+#[must_use]
+pub fn bench_json(scale: &RunScale) -> String {
+    use sepe_driver::bench_json::{run_suite, to_json, today_utc, BenchConfig};
+    let config = BenchConfig::from_scale(scale);
+    let records = run_suite(scale, &config);
+    to_json(&today_utc(), &records).to_string()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

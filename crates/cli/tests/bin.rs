@@ -297,3 +297,132 @@ fn sepe_repro_smoke_gradual_runs() {
     assert!(stdout.contains("Gradual specialization"));
     assert!(stdout.contains("OffXor"));
 }
+
+#[test]
+fn keybench_batch_emits_valid_keybench_json() {
+    let keys: String = (0..256)
+        .map(|i| format!("{:03}-{:02}-{:04}\n", i % 999, i % 97, i))
+        .collect();
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_keybench"));
+    cmd.args(["--iterations", "2000", "--batch", "8"]);
+    let (stdout, stderr, ok) = run_with_stdin(cmd, &keys);
+    assert!(ok, "{stderr}");
+
+    let doc = sepe_core::plan_io::Json::parse(&stdout).expect("stdout is pure JSON");
+    assert_eq!(doc.get("schema").as_str(), Some("sepe-keybench/v1"));
+    assert_eq!(doc.get("batch_width").as_u64(), Some(8));
+    assert_eq!(doc.get("keys").as_u64(), Some(256));
+    let records = doc.get("records").as_arr().expect("records array");
+    // Every family, at widths 1 and 8.
+    assert_eq!(records.len(), 4 * 2);
+    for rec in records {
+        let family = rec.get("family").as_str().expect("family string");
+        assert!(
+            ["naive", "offxor", "aes", "pext"].contains(&family),
+            "unexpected family {family}"
+        );
+        let width = rec.get("width").as_u64().expect("width number");
+        assert!(width == 1 || width == 8, "unexpected width {width}");
+        for field in ["ns_per_key", "throughput_mkeys"] {
+            let v = match rec.get(field) {
+                sepe_core::plan_io::Json::Num(n) => *n,
+                other => panic!("{field} is not a number: {other:?}"),
+            };
+            assert!(v > 0.0 && v.is_finite(), "{field} = {v} not positive");
+        }
+    }
+}
+
+#[test]
+fn keybench_batch_rejects_width_below_two() {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_keybench"));
+    cmd.args(["--batch", "1"]);
+    let (_, stderr, ok) = run_with_stdin(cmd, "000-00-0000\n");
+    assert!(!ok);
+    assert!(stderr.contains("at least 2"), "{stderr}");
+}
+
+#[test]
+fn sepe_repro_bench_json_writes_a_dated_parseable_baseline() {
+    let dir = std::env::temp_dir().join(format!("sepe-bench-json-{}", std::process::id()));
+    let out = sepe_repro()
+        .args(["--scale", "smoke", "--out"])
+        .arg(&dir)
+        .arg("bench-json")
+        .output()
+        .expect("repro runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let bench_file = std::fs::read_dir(&dir)
+        .expect("out dir exists")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .find(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .expect("a BENCH_<date>.json was written");
+    let text = std::fs::read_to_string(&bench_file).expect("baseline readable");
+    let doc = sepe_core::plan_io::Json::parse(&text).expect("baseline is valid JSON");
+
+    // Golden schema fixture: the emitted document must carry exactly the
+    // fields the fixture pins, so downstream consumers can rely on them.
+    let fixture = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/bench_schema.json"
+    ))
+    .expect("fixture readable");
+    let schema = sepe_core::plan_io::Json::parse(&fixture).expect("fixture is valid JSON");
+
+    assert_eq!(doc.get("schema").as_str(), schema.get("schema").as_str());
+    if let sepe_core::plan_io::Json::Obj(map) = &doc {
+        let keys: Vec<&str> = map.keys().map(String::as_str).collect();
+        let want: Vec<&str> = schema
+            .get("top_level")
+            .as_arr()
+            .expect("top_level list")
+            .iter()
+            .filter_map(|j| j.as_str())
+            .collect();
+        assert_eq!(keys, want, "top-level fields drifted from the fixture");
+    } else {
+        panic!("baseline is not a JSON object");
+    }
+    let date = doc.get("date").as_str().expect("date string");
+    assert_eq!(date.len(), 10, "date {date} is not YYYY-MM-DD");
+    let record_fields: Vec<&str> = schema
+        .get("record_fields")
+        .as_arr()
+        .expect("record_fields list")
+        .iter()
+        .filter_map(|j| j.as_str())
+        .collect();
+    let records = doc.get("records").as_arr().expect("records array");
+    assert!(!records.is_empty(), "baseline has no records");
+    for rec in records {
+        if let sepe_core::plan_io::Json::Obj(map) = rec {
+            let keys: Vec<&str> = map.keys().map(String::as_str).collect();
+            assert_eq!(
+                keys, record_fields,
+                "record fields drifted from the fixture"
+            );
+        } else {
+            panic!("record is not a JSON object");
+        }
+        let ns = rec.get("ns_per_key");
+        let tp = rec.get("throughput_mkeys");
+        match (ns, tp) {
+            (sepe_core::plan_io::Json::Num(ns), sepe_core::plan_io::Json::Num(tp)) => {
+                assert!(*ns > 0.0 && ns.is_finite(), "ns_per_key {ns}");
+                assert!(*tp > 0.0 && tp.is_finite(), "throughput {tp}");
+            }
+            other => panic!("non-numeric measurements: {other:?}"),
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

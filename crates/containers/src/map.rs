@@ -3,7 +3,7 @@
 use crate::policy::{BucketPolicy, DriftPolicy};
 use crate::table::RawTable;
 use sepe_core::guard::{GuardMode, GuardStats, GuardedHash};
-use sepe_core::hash::ByteHash;
+use sepe_core::hash::{ByteHash, HashBatch};
 use std::borrow::Borrow;
 
 /// A chained hash map with prime bucket counts and bucket introspection,
@@ -181,6 +181,71 @@ where
     /// The 64-bit hash of `key` under this map's hash function.
     pub fn hash_of(&self, key: &[u8]) -> u64 {
         self.table.hash_of(key)
+    }
+}
+
+/// Width of a lookup/insert batch chunk: matches the widest hash kernel, and
+/// eight outstanding prefetches sit comfortably within the fill buffers of
+/// any recent core.
+const BATCH_CHUNK: usize = 8;
+
+impl<K, V, H> UnorderedMap<K, V, H>
+where
+    K: Eq + AsRef<[u8]>,
+    H: HashBatch,
+{
+    /// Batched lookup: hashes up to eight keys with one [`HashBatch`] call,
+    /// prefetches every target bucket, then probes. `result[i]` is the value
+    /// for `keys[i]`, as if by [`UnorderedMap::get`].
+    pub fn get_batch(&self, keys: &[&[u8]]) -> Vec<Option<&V>> {
+        let mut results = Vec::with_capacity(keys.len());
+        let mut hashes = [0u64; BATCH_CHUNK];
+        for chunk in keys.chunks(BATCH_CHUNK) {
+            let hashes = &mut hashes[..chunk.len()];
+            self.table.hasher().hash_batch(chunk, hashes);
+            for &h in hashes.iter() {
+                self.table.prefetch_bucket(h);
+            }
+            for (&h, &key) in hashes.iter().zip(chunk) {
+                results.push(
+                    self.table
+                        .find_hashed(h, key)
+                        .map(|i| &self.table.get_kv(i).1),
+                );
+            }
+        }
+        results
+    }
+
+    /// Batched insert: reserves room for the whole batch, then hashes eight
+    /// pairs at a time before probing. `result[i]` is the previous value for
+    /// `pairs[i].0`, as if by [`UnorderedMap::insert`] in order.
+    pub fn insert_batch(&mut self, pairs: Vec<(K, V)>) -> Vec<Option<V>> {
+        // Reserving up front keeps the bucket array stable across the batch;
+        // the cached hashes are bucket-count independent either way.
+        self.reserve(pairs.len());
+        let mut results = Vec::with_capacity(pairs.len());
+        let mut hashes = [0u64; BATCH_CHUNK];
+        let mut chunk: Vec<(K, V)> = Vec::with_capacity(BATCH_CHUNK);
+        let mut iter = pairs.into_iter();
+        loop {
+            chunk.extend(iter.by_ref().take(BATCH_CHUNK));
+            if chunk.is_empty() {
+                break;
+            }
+            {
+                let keyrefs: Vec<&[u8]> = chunk.iter().map(|(k, _)| k.as_ref()).collect();
+                let hashes = &mut hashes[..keyrefs.len()];
+                self.table.hasher().hash_batch(&keyrefs, hashes);
+            }
+            for &h in &hashes[..chunk.len()] {
+                self.table.prefetch_bucket(h);
+            }
+            for (i, (key, value)) in chunk.drain(..).enumerate() {
+                results.push(self.table.insert_unique_hashed(hashes[i], key, value));
+            }
+        }
+        results
     }
 }
 
@@ -442,6 +507,74 @@ mod tests {
         for i in 0..50u32 {
             assert_eq!(m.get(format!("{i:03}-11-2222").as_str()), Some(&i));
             assert_eq!(m.get(format!("{i:03}-11-222x").as_str()), Some(&i));
+        }
+    }
+
+    #[test]
+    fn get_batch_agrees_with_scalar_get() {
+        let mut m = guarded_ssn_map(sepe_core::Family::Pext);
+        for i in 0..500u32 {
+            m.insert(format!("{:03}-{:02}-{:04}", i % 1000, i % 100, i), i);
+        }
+        let queries: Vec<String> = (0..137u32)
+            .map(|i| {
+                if i % 4 == 1 {
+                    format!("missing query {i}")
+                } else {
+                    format!("{:03}-{:02}-{:04}", i % 1000, i % 100, i)
+                }
+            })
+            .collect();
+        let refs: Vec<&[u8]> = queries.iter().map(String::as_bytes).collect();
+        let batched = m.get_batch(&refs);
+        assert_eq!(batched.len(), queries.len());
+        for (q, got) in queries.iter().zip(batched) {
+            assert_eq!(got, m.get(q.as_str()), "{q}");
+        }
+    }
+
+    #[test]
+    fn insert_batch_agrees_with_scalar_insert() {
+        let mut batched = guarded_ssn_map(sepe_core::Family::OffXor);
+        let mut scalar = guarded_ssn_map(sepe_core::Family::OffXor);
+        // Duplicates inside the batch (i % 150) exercise the replace path;
+        // off-format keys exercise the guard inside the batch hasher.
+        let pairs: Vec<(String, u32)> = (0..300u32)
+            .map(|i| {
+                let key = if i % 7 == 3 {
+                    format!("off format {}", i % 150)
+                } else {
+                    format!("{:03}-{:02}-{:04}", i % 150, i % 100, i % 150)
+                };
+                (key, i)
+            })
+            .collect();
+        let scalar_results: Vec<Option<u32>> = pairs
+            .iter()
+            .map(|(k, v)| scalar.insert(k.clone(), *v))
+            .collect();
+        let batch_results = batched.insert_batch(pairs.clone());
+        assert_eq!(batch_results, scalar_results);
+        assert_eq!(batched.len(), scalar.len());
+        for (k, _) in &pairs {
+            assert_eq!(batched.get(k.as_str()), scalar.get(k.as_str()), "{k}");
+        }
+    }
+
+    #[test]
+    fn batch_ops_work_through_growth_and_plain_hashers() {
+        let mut m = map();
+        let pairs: Vec<(String, u32)> = (0..10_000u32).map(|i| (format!("{i:08}"), i)).collect();
+        let prev = m.insert_batch(pairs);
+        assert!(prev.iter().all(Option::is_none));
+        assert_eq!(m.len(), 10_000);
+        let queries: Vec<String> = (0..10_000u32)
+            .step_by(97)
+            .map(|i| format!("{i:08}"))
+            .collect();
+        let refs: Vec<&[u8]> = queries.iter().map(String::as_bytes).collect();
+        for (q, got) in queries.iter().zip(m.get_batch(&refs)) {
+            assert_eq!(got.copied(), q.parse::<u32>().ok(), "{q}");
         }
     }
 

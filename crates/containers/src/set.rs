@@ -104,6 +104,31 @@ where
     }
 }
 
+impl<K, H> UnorderedSet<K, H>
+where
+    K: Eq + AsRef<[u8]>,
+    H: sepe_core::hash::HashBatch,
+{
+    /// Batched membership: `result[i] == self.contains(keys[i])`, with the
+    /// hashing and bucket prefetching of [`UnorderedMap::get_batch`].
+    pub fn contains_batch(&self, keys: &[&[u8]]) -> Vec<bool> {
+        self.inner
+            .get_batch(keys)
+            .into_iter()
+            .map(|v| v.is_some())
+            .collect()
+    }
+
+    /// Batched insert; returns how many elements were newly added.
+    pub fn insert_batch(&mut self, keys: Vec<K>) -> usize {
+        self.inner
+            .insert_batch(keys.into_iter().map(|k| (k, ())).collect())
+            .into_iter()
+            .filter(Option::is_none)
+            .count()
+    }
+}
+
 impl<K, F, G> UnorderedSet<K, GuardedHash<F, G>>
 where
     K: Eq + AsRef<[u8]>,
@@ -153,5 +178,18 @@ mod tests {
         assert!(!s.remove("00042"));
         assert_eq!(s.len(), 1999);
         assert_eq!(s.iter().count(), 1999);
+    }
+
+    #[test]
+    fn batch_ops_agree_with_scalar() {
+        let mut s = UnorderedSet::with_hasher(StlHash::new());
+        let keys: Vec<String> = (0..300u32).map(|i| format!("{:05}", i % 250)).collect();
+        assert_eq!(s.insert_batch(keys.clone()), 250, "250 distinct keys");
+        assert_eq!(s.len(), 250);
+        let queries: Vec<String> = (0..400u32).map(|i| format!("{i:05}")).collect();
+        let refs: Vec<&[u8]> = queries.iter().map(String::as_bytes).collect();
+        for (q, got) in queries.iter().zip(s.contains_batch(&refs)) {
+            assert_eq!(got, s.contains(q.as_str()), "{q}");
+        }
     }
 }

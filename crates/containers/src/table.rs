@@ -115,6 +115,73 @@ where
         self.policy.bucket_of(hash, self.heads.len() as u64) as usize
     }
 
+    /// Issues a software prefetch for the bucket `hash` maps to: the head
+    /// slot and, when already resident, the first chain entry. Batched
+    /// lookups hash a whole batch first, prefetch every target bucket, then
+    /// probe — by probe time the cache misses have overlapped instead of
+    /// serializing.
+    #[inline]
+    pub(crate) fn prefetch_bucket(&self, hash: u64) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            let bucket = self.bucket_of(hash);
+            // SAFETY: prefetch has no memory effects; any address is safe.
+            unsafe {
+                _mm_prefetch(
+                    std::ptr::addr_of!(self.heads[bucket]).cast::<i8>(),
+                    _MM_HINT_T0,
+                );
+            }
+            let at = self.heads[bucket];
+            if at != NONE {
+                // SAFETY: as above; `at` indexes the entry arena.
+                unsafe {
+                    _mm_prefetch(
+                        std::ptr::addr_of!(self.entries[at as usize]).cast::<i8>(),
+                        _MM_HINT_T0,
+                    );
+                }
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let _ = hash;
+        }
+    }
+
+    /// [`RawTable::find`] with the hash already computed (batched lookups
+    /// hash up front). Compares keys by their bytes, which agrees with `Eq`
+    /// for every key type the containers accept.
+    #[inline]
+    pub(crate) fn find_hashed(&self, hash: u64, key_bytes: &[u8]) -> Option<u32> {
+        let mut at = self.heads[self.bucket_of(hash)];
+        while at != NONE {
+            let e = &self.entries[at as usize];
+            if e.hash == hash {
+                if let Some((k, _)) = &e.kv {
+                    if k.as_ref() == key_bytes {
+                        return Some(at);
+                    }
+                }
+            }
+            at = e.next;
+        }
+        None
+    }
+
+    /// [`RawTable::insert_unique`] with the hash already computed. The
+    /// caller must have computed `hash` with this table's hasher.
+    pub(crate) fn insert_unique_hashed(&mut self, hash: u64, key: K, value: V) -> Option<V> {
+        if let Some(idx) = self.find_hashed(hash, key.as_ref()) {
+            let slot = &mut self.get_kv_mut(idx).1;
+            return Some(std::mem::replace(slot, value));
+        }
+        self.reserve_one();
+        self.link_new(hash, key, value);
+        None
+    }
+
     /// Finds the arena index of the first entry matching `key`.
     #[inline]
     pub(crate) fn find<Q>(&self, key: &Q) -> Option<u32>

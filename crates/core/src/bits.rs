@@ -124,6 +124,34 @@ pub fn pdep_soft(src: u64, mask: u64) -> u64 {
     x & mask
 }
 
+/// Process-wide override that forces the software `pext`/`pdep` paths even
+/// when BMI2 hardware is present.
+///
+/// This only ever *disables* hardware dispatch — it cannot enable BMI2 on a
+/// machine without it, so flipping it is always safe. Tests use it to
+/// exercise the software fallback on BMI2 CI machines; both paths compute
+/// the same function, so concurrent tests observing either setting stay
+/// correct.
+static FORCE_SOFTWARE_PEXT: std::sync::atomic::AtomicBool =
+    std::sync::atomic::AtomicBool::new(false);
+
+/// Forces (or un-forces) the portable software `pext`/`pdep` paths
+/// process-wide, regardless of hardware support.
+///
+/// Intended for tests and differential verification: on a BMI2 machine the
+/// software fallback is otherwise dead code. Note that
+/// [`crate::SynthesizedHash`] caches the dispatch decision at construction,
+/// so the flag must be set *before* building hashes that should observe it.
+pub fn force_software_pext(force: bool) {
+    FORCE_SOFTWARE_PEXT.store(force, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Whether [`force_software_pext`] is currently in effect.
+#[must_use]
+pub fn software_pext_forced() -> bool {
+    FORCE_SOFTWARE_PEXT.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 #[cfg(target_arch = "x86_64")]
 mod hw {
     /// Whether the host CPU exposes BMI2 (`pext`/`pdep`).
@@ -147,6 +175,9 @@ mod hw {
 /// Whether hardware parallel bit extraction is available on this host.
 #[must_use]
 pub fn hardware_pext_available() -> bool {
+    if software_pext_forced() {
+        return false;
+    }
     #[cfg(target_arch = "x86_64")]
     {
         hw::bmi2_available()
@@ -164,7 +195,7 @@ pub fn hardware_pext_available() -> bool {
 pub fn pext_u64(src: u64, mask: u64, isa: Isa) -> u64 {
     #[cfg(target_arch = "x86_64")]
     {
-        if isa == Isa::Native && hw::bmi2_available() {
+        if isa == Isa::Native && hw::bmi2_available() && !software_pext_forced() {
             // SAFETY: guarded by the runtime BMI2 check above.
             return unsafe { hw::pext_hw(src, mask) };
         }
@@ -180,7 +211,7 @@ pub fn pext_u64(src: u64, mask: u64, isa: Isa) -> u64 {
 pub fn pdep_u64(src: u64, mask: u64, isa: Isa) -> u64 {
     #[cfg(target_arch = "x86_64")]
     {
-        if isa == Isa::Native && hw::bmi2_available() {
+        if isa == Isa::Native && hw::bmi2_available() && !software_pext_forced() {
             // SAFETY: guarded by the runtime BMI2 check above.
             return unsafe { hw::pdep_hw(src, mask) };
         }
@@ -391,6 +422,44 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn hardware_and_software_pext_agree_on_10k_random_pairs() {
+        // On a BMI2 host `pext_u64(.., Isa::Native)` takes the hardware
+        // path (unless force_software_pext is set by a concurrently running
+        // test — in which case both sides take the soft path and the
+        // comparison is vacuous but still true). On other hosts both sides
+        // are the soft path. Either way: 10k (src, mask) pairs must agree.
+        let mut rng = 0xFEED_BEEFu64;
+        for round in 0..10_000 {
+            let src = splitmix(&mut rng);
+            let mask = random_mask(&mut rng, round);
+            assert_eq!(
+                pext_u64(src, mask, Isa::Native),
+                pext_soft(src, mask),
+                "pext src={src:#x} mask={mask:#x}"
+            );
+            assert_eq!(
+                pdep_u64(src, mask, Isa::Native),
+                pdep_soft(src, mask),
+                "pdep src={src:#x} mask={mask:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn force_software_pext_disables_hardware_dispatch() {
+        force_software_pext(true);
+        assert!(software_pext_forced());
+        assert!(!hardware_pext_available());
+        // Dispatch still computes the right function through the override.
+        assert_eq!(
+            pext_u64(0x1234_5678, 0x0000_FF00, Isa::Native),
+            pext_reference(0x1234_5678, 0x0000_FF00)
+        );
+        force_software_pext(false);
+        assert!(!software_pext_forced());
     }
 
     #[test]

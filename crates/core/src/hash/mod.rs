@@ -9,9 +9,11 @@
 //! into `std::unordered_map` (Figure 5d).
 
 pub mod adapter;
+mod batch;
 mod stl;
 mod synthesized;
 
+pub use batch::HashBatch;
 pub use stl::{stl_hash_bytes, DEFAULT_STL_SEED};
 pub use synthesized::{SynthError, SynthesizedHash};
 

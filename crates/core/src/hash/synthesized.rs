@@ -353,6 +353,93 @@ impl SynthesizedHash {
     }
 }
 
+impl SynthesizedHash {
+    /// Evaluates exactly `W` keys with the interleaved (ops-outer,
+    /// lanes-inner) schedule. Falls back to the scalar path for plan shapes
+    /// whose per-key control flow diverges (variable-length tails, STL
+    /// fallback).
+    fn hash_lanes<const W: usize>(&self, keys: &[&[u8]], out: &mut [u64]) {
+        use crate::hash::batch::xor_lanes;
+        match &self.fast {
+            FastOps::Xor { n, ops } => {
+                return xor_lanes::<W>(self.seed, &ops[..*n as usize], keys, out);
+            }
+            FastOps::Pext { n, ops } => {
+                return self.pext_lanes::<W>(&ops[..*n as usize], keys, out);
+            }
+            FastOps::None => {}
+        }
+        match &self.plan {
+            Plan::FixedWords { ops, .. } => {
+                if self.family == Family::Pext {
+                    self.pext_lanes::<W>(ops, keys, out);
+                } else {
+                    xor_lanes::<W>(self.seed, ops, keys, out);
+                }
+            }
+            Plan::FixedBlocks { offsets, .. } => self.blocks_lanes::<W>(offsets, keys, out),
+            Plan::StlFallback | Plan::VarWords { .. } | Plan::VarBlocks { .. } => {
+                // Per-key tail lengths differ, so there is no common op
+                // schedule to interleave; stay scalar, stay correct.
+                for (key, slot) in keys.iter().zip(out.iter_mut()) {
+                    *slot = self.hash_bytes(key);
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn pext_lanes<const W: usize>(&self, ops: &[WordOp], keys: &[&[u8]], out: &mut [u64]) {
+        #[cfg(target_arch = "x86_64")]
+        if self.hw_pext {
+            // SAFETY: hw_pext is only true when BMI2 was detected.
+            return unsafe { crate::hash::batch::pext_hw_lanes::<W>(self.seed, ops, keys, out) };
+        }
+        crate::hash::batch::pext_soft_lanes::<W>(self.seed, ops, keys, out)
+    }
+
+    /// Interleaved AES combine: `W` independent 16-byte states advance
+    /// through the block schedule together, so the `aesenc` latency of one
+    /// lane overlaps the loads and rounds of the others.
+    fn blocks_lanes<const W: usize>(&self, offsets: &[u32], keys: &[&[u8]], out: &mut [u64]) {
+        debug_assert!(keys.len() == W && out.len() == W);
+        let mut states = [seed_block(self.seed); W];
+        if offsets.is_empty() {
+            for lane in 0..W {
+                states[lane] = self.mix_block(states[lane], replicate_block(keys[lane]));
+            }
+        } else {
+            for &off in offsets {
+                for lane in 0..W {
+                    states[lane] =
+                        self.mix_block(states[lane], load_block_le(keys[lane], off as usize));
+                }
+            }
+        }
+        for lane in 0..W {
+            out[lane] = fold_block(states[lane]);
+        }
+    }
+}
+
+impl crate::hash::HashBatch for SynthesizedHash {
+    fn hash_batch(&self, keys: &[&[u8]], out: &mut [u64]) {
+        assert_eq!(keys.len(), out.len(), "batch output length mismatch");
+        let mut i = 0usize;
+        while keys.len() - i >= 8 {
+            self.hash_lanes::<8>(&keys[i..i + 8], &mut out[i..i + 8]);
+            i += 8;
+        }
+        if keys.len() - i >= 4 {
+            self.hash_lanes::<4>(&keys[i..i + 4], &mut out[i..i + 4]);
+            i += 4;
+        }
+        for j in i..keys.len() {
+            out[j] = self.hash_bytes(keys[j]);
+        }
+    }
+}
+
 impl ByteHash for SynthesizedHash {
     #[inline]
     fn hash_bytes(&self, key: &[u8]) -> u64 {

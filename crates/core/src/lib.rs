@@ -58,6 +58,6 @@ pub mod synth;
 
 pub use bits::Isa;
 pub use guard::{FormatGuard, GuardMode, GuardedHash};
-pub use hash::{ByteHash, SynthError, SynthesizedHash};
+pub use hash::{ByteHash, HashBatch, SynthError, SynthesizedHash};
 pub use pattern::{BytePattern, KeyPattern};
 pub use synth::{synthesize, Family, Plan};

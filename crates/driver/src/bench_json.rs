@@ -1,0 +1,280 @@
+//! Machine-readable benchmark pipeline: batched vs scalar hashing
+//! throughput, emitted as `BENCH_<date>.json` so the perf trajectory of the
+//! repository is diffable across commits.
+//!
+//! The scalar measurement is latency-chained (the next key index depends on
+//! the previous hash), the way the H-Time measurements chain affectations:
+//! it reports the true serial latency of one hash. The batched measurement
+//! runs `width` independent chains that advance together through
+//! [`HashBatch::hash_batch`], so it reports the throughput the interleaved
+//! kernels reach when the out-of-order window has independent work. The
+//! ratio of the two is the headline number of this subsystem.
+
+use crate::analysis::RunScale;
+use sepe_core::hash::{ByteHash, HashBatch};
+use sepe_core::plan_io::Json;
+use sepe_core::synth::Family;
+use sepe_core::SynthesizedHash;
+use sepe_keygen::{Distribution, KeySampler};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// One (family, format, width) measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Hash family name (`naive`, `offxor`, `aes`, `pext`).
+    pub family: String,
+    /// Key format name (`ssn`, `ipv4`, …).
+    pub format: String,
+    /// Batch width; 1 is the scalar latency-chained reference.
+    pub width: usize,
+    /// Nanoseconds per hashed key, median over the sample runs.
+    pub ns_per_key: f64,
+    /// Million keys per second (1000 / ns_per_key).
+    pub throughput_mkeys: f64,
+}
+
+/// Iteration budget and sampling plan, derived from a [`RunScale`].
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Batch widths to measure (1 = scalar reference).
+    pub widths: Vec<usize>,
+    /// Distinct keys in the measurement pool (power of two, so chaining can
+    /// mask instead of mod).
+    pub pool_size: usize,
+    /// Keys hashed per sample run.
+    pub iterations: usize,
+    /// Timed sample runs per cell; the median is reported.
+    pub samples: usize,
+}
+
+impl BenchConfig {
+    /// Maps a reproduction scale onto an iteration budget: `smoke` stays
+    /// under a second for the whole suite, `default` gives stable medians.
+    #[must_use]
+    pub fn from_scale(scale: &RunScale) -> Self {
+        BenchConfig {
+            widths: vec![1, 4, 8, 32],
+            pool_size: 1024,
+            iterations: (scale.affectations * 16).max(1024),
+            samples: (scale.samples * 2).clamp(3, 9) | 1,
+        }
+    }
+}
+
+/// Serial latency: nanoseconds per key when each lookup depends on the
+/// previous hash (one dependency chain).
+#[must_use]
+pub fn scalar_ns_per_key<H: ByteHash>(hash: &H, pool: &[&[u8]], iterations: usize) -> f64 {
+    debug_assert!(pool.len().is_power_of_two());
+    let mask = (pool.len() - 1) as u64;
+    let mut idx = 0usize;
+    let mut acc = 0u64;
+    let start = Instant::now();
+    for _ in 0..iterations {
+        let h = hash.hash_bytes(pool[idx]);
+        acc ^= h;
+        idx = (h & mask) as usize;
+    }
+    let elapsed = start.elapsed();
+    std::hint::black_box(acc);
+    elapsed.as_secs_f64() * 1e9 / iterations as f64
+}
+
+/// Batched throughput: `width` independent chains advance together through
+/// one [`HashBatch::hash_batch`] call per step.
+#[must_use]
+pub fn batched_ns_per_key<H: HashBatch>(
+    hash: &H,
+    pool: &[&[u8]],
+    width: usize,
+    iterations: usize,
+) -> f64 {
+    debug_assert!(pool.len().is_power_of_two());
+    let mask = (pool.len() - 1) as u64;
+    let steps = (iterations / width).max(1);
+    let mut idx: Vec<usize> = (0..width).collect();
+    let mut out = vec![0u64; width];
+    let mut keys: Vec<&[u8]> = vec![pool[0]; width];
+    let start = Instant::now();
+    for _ in 0..steps {
+        for lane in 0..width {
+            keys[lane] = pool[idx[lane]];
+        }
+        hash.hash_batch(&keys, &mut out);
+        for lane in 0..width {
+            idx[lane] = (out[lane] & mask) as usize;
+        }
+    }
+    let elapsed = start.elapsed();
+    std::hint::black_box(&out);
+    elapsed.as_secs_f64() * 1e9 / (steps * width) as f64
+}
+
+/// Runs `measure` with one warmup pass plus `samples` timed passes and
+/// returns the median.
+fn median_of_k(samples: usize, mut measure: impl FnMut() -> f64) -> f64 {
+    let _warmup = measure();
+    let mut runs: Vec<f64> = (0..samples.max(1)).map(|_| measure()).collect();
+    runs.sort_by(f64::total_cmp);
+    runs[runs.len() / 2]
+}
+
+/// Measures every (family, format, width) cell of `config` over
+/// `scale.formats`.
+#[must_use]
+pub fn run_suite(scale: &RunScale, config: &BenchConfig) -> Vec<BenchRecord> {
+    let mut records = Vec::new();
+    for &format in &scale.formats {
+        let cap = usize::try_from(format.space()).unwrap_or(usize::MAX).max(1);
+        let mut pool_size = config.pool_size.next_power_of_two().max(1);
+        while pool_size > cap {
+            pool_size /= 2;
+        }
+        let mut sampler = KeySampler::new(format, Distribution::Normal, 0xBE7C);
+        let keys = sampler.distinct_pool(pool_size);
+        let pool: Vec<&[u8]> = keys.iter().map(String::as_bytes).collect();
+        for family in Family::ALL {
+            let hash = SynthesizedHash::from_regex(&format.regex(), family)
+                .map(|h| h.with_isa(scale.isa))
+                .unwrap_or_else(|_| {
+                    SynthesizedHash::from_examples(
+                        format.good_examples().iter().map(String::as_bytes),
+                        family,
+                    )
+                    .expect("formats have examples")
+                });
+            for &width in &config.widths {
+                let ns = median_of_k(config.samples, || {
+                    if width <= 1 {
+                        scalar_ns_per_key(&hash, &pool, config.iterations)
+                    } else {
+                        batched_ns_per_key(&hash, &pool, width, config.iterations)
+                    }
+                });
+                records.push(BenchRecord {
+                    family: family.to_string().to_ascii_lowercase(),
+                    format: format.name().to_string(),
+                    width,
+                    ns_per_key: ns,
+                    throughput_mkeys: if ns > 0.0 { 1e3 / ns } else { 0.0 },
+                });
+            }
+        }
+    }
+    records
+}
+
+/// Renders records as the `sepe-bench/v1` JSON document.
+#[must_use]
+pub fn to_json(date: &str, records: &[BenchRecord]) -> Json {
+    let rows: Vec<Json> = records
+        .iter()
+        .map(|r| {
+            let mut obj = BTreeMap::new();
+            obj.insert("family".to_string(), Json::Str(r.family.clone()));
+            obj.insert("format".to_string(), Json::Str(r.format.clone()));
+            obj.insert("width".to_string(), Json::Num(r.width as f64));
+            obj.insert("ns_per_key".to_string(), Json::Num(r.ns_per_key));
+            obj.insert(
+                "throughput_mkeys".to_string(),
+                Json::Num(r.throughput_mkeys),
+            );
+            Json::Obj(obj)
+        })
+        .collect();
+    let mut doc = BTreeMap::new();
+    doc.insert("schema".to_string(), Json::Str("sepe-bench/v1".to_string()));
+    doc.insert("date".to_string(), Json::Str(date.to_string()));
+    doc.insert("records".to_string(), Json::Arr(rows));
+    Json::Obj(doc)
+}
+
+/// Today's UTC date as `YYYY-MM-DD`, from the system clock (no chrono
+/// dependency; Howard Hinnant's `civil_from_days`).
+#[must_use]
+pub fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let days = (secs / 86_400) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sepe_core::Isa;
+    use sepe_keygen::KeyFormat;
+
+    fn tiny_scale() -> RunScale {
+        RunScale {
+            affectations: 64,
+            samples: 1,
+            formats: vec![KeyFormat::Ssn],
+            collision_keys: 64,
+            uniformity_keys: 64,
+            isa: Isa::Native,
+        }
+    }
+
+    #[test]
+    fn suite_covers_every_cell_with_positive_numbers() {
+        let scale = tiny_scale();
+        let config = BenchConfig::from_scale(&scale);
+        let records = run_suite(&scale, &config);
+        assert_eq!(records.len(), Family::ALL.len() * config.widths.len());
+        for r in &records {
+            assert!(r.ns_per_key > 0.0, "{r:?}");
+            assert!(r.throughput_mkeys > 0.0, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn json_document_round_trips() {
+        let records = vec![BenchRecord {
+            family: "pext".to_string(),
+            format: "ssn".to_string(),
+            width: 8,
+            ns_per_key: 1.25,
+            throughput_mkeys: 800.0,
+        }];
+        let doc = to_json("2026-01-01", &records);
+        let parsed = Json::parse(&doc.to_string()).expect("emitted JSON parses");
+        assert_eq!(parsed.get("schema").as_str(), Some("sepe-bench/v1"));
+        assert_eq!(parsed.get("date").as_str(), Some("2026-01-01"));
+        let rows = parsed.get("records").as_arr().expect("records array");
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("width").as_u64(), Some(8));
+        assert_eq!(rows[0].get("family").as_str(), Some("pext"));
+    }
+
+    #[test]
+    fn today_utc_is_well_formed() {
+        let d = today_utc();
+        assert_eq!(d.len(), 10);
+        assert_eq!(&d[4..5], "-");
+        assert_eq!(&d[7..8], "-");
+        assert!(d[..4].parse::<u32>().expect("year") >= 2024);
+    }
+
+    #[test]
+    fn measurement_helpers_accept_any_hasher() {
+        let keys: Vec<String> = (0..64).map(|i| format!("{i:03}-00-0000")).collect();
+        let pool: Vec<&[u8]> = keys.iter().map(String::as_bytes).collect();
+        let hash = SynthesizedHash::from_regex(r"\d{3}-\d{2}-\d{4}", Family::OffXor).unwrap();
+        assert!(scalar_ns_per_key(&hash, &pool, 512) > 0.0);
+        assert!(batched_ns_per_key(&hash, &pool, 8, 512) > 0.0);
+    }
+}

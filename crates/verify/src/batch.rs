@@ -1,0 +1,133 @@
+//! Batch-vs-scalar differential: `hash_batch` must be bit-identical to the
+//! per-key path *and* to the plan interpreter, at every width.
+//!
+//! The interleaved kernels in `sepe-core` reorder operations across lanes;
+//! this module is the proof that reordering never changes a hash. Widths 1,
+//! 3, 4, 7 and 8 cover every dispatch shape: pure scalar, the 4-wide
+//! kernel, the 8-wide kernel, and both ragged tails. On BMI2 hosts the
+//! caller runs the whole check twice — once natively and once under
+//! [`sepe_core::bits::force_software_pext`] — so the soft-`pext` kernels
+//! are exercised even where the hardware path would win the dispatch.
+
+use crate::differential::Mismatch;
+use crate::interp;
+use sepe_core::hash::{ByteHash, HashBatch, SynthesizedHash};
+use sepe_core::pattern::KeyPattern;
+use sepe_core::synth::{synthesize, Family};
+use sepe_core::Isa;
+
+/// The batch widths every check runs: scalar, the two kernel widths, and
+/// ragged tails on either side of the 4-wide kernel.
+pub const WIDTHS: [usize; 5] = [1, 3, 4, 7, 8];
+
+/// Cross-checks `hash_batch` against the scalar path and the interpreter
+/// for all four families on one pattern, at every width in [`WIDTHS`].
+///
+/// Returns every disagreement; an empty vector means the batched kernels
+/// are exact.
+#[must_use]
+pub fn check_pattern_batched(
+    pattern: &KeyPattern,
+    keys: &[Vec<u8>],
+    seeds: &[u64],
+) -> Vec<Mismatch> {
+    let mut out = Vec::new();
+    for family in Family::ALL {
+        let plan = synthesize(pattern, family);
+        for &seed in seeds {
+            for isa in [Isa::Native, Isa::Portable] {
+                let tuned = SynthesizedHash::new(plan.clone(), family, isa).with_seed(seed);
+                for &width in &WIDTHS {
+                    for chunk in keys.chunks(width) {
+                        let refs: Vec<&[u8]> = chunk.iter().map(Vec::as_slice).collect();
+                        let mut got = vec![0u64; refs.len()];
+                        tuned.hash_batch(&refs, &mut got);
+                        for (key, &actual) in chunk.iter().zip(&got) {
+                            let spec = interp::interpret(&plan, family, seed, key);
+                            let scalar = tuned.hash_bytes(key);
+                            // The scalar path is itself checked against the
+                            // spec by the `differential` suite; here both
+                            // comparisons run so a batch mismatch reports
+                            // which side it diverged from.
+                            if actual != spec || actual != scalar {
+                                out.push(Mismatch {
+                                    family,
+                                    isa,
+                                    seed,
+                                    key: key.clone(),
+                                    expected: spec,
+                                    actual,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Runs `f` with hardware `pext` dispatch forcibly disabled, restoring the
+/// previous setting afterwards (also on panic). Hashes constructed inside
+/// `f` take the software kernels even on BMI2 hosts.
+pub fn with_forced_software_pext<T>(f: impl FnOnce() -> T) -> T {
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            sepe_core::bits::force_software_pext(self.0);
+        }
+    }
+    let _restore = Restore(sepe_core::bits::software_pext_forced());
+    sepe_core::bits::force_software_pext(true);
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::differential::DEFAULT_SEEDS;
+    use crate::formats::RandomFormat;
+    use sepe_core::regex::Regex;
+    use sepe_keygen::SplitMix64;
+
+    #[test]
+    fn paper_formats_batch_exactly_on_both_dispatch_paths() {
+        for re in [
+            r"\d{3}-\d{2}-\d{4}",
+            r"(([0-9]{3})\.){3}[0-9]{3}",
+            r"[0-9]{16}([a-z]{4})?",
+        ] {
+            let pattern = Regex::compile(re).expect("compiles");
+            let mut rng = SplitMix64::new(0xBA7C);
+            let keys: Vec<Vec<u8>> = (0..17)
+                .map(|_| {
+                    (0..pattern.min_len())
+                        .map(|i| {
+                            let choices: Vec<u8> = pattern.bytes()[i].possible_bytes().collect();
+                            choices[(rng.next_u64() % choices.len() as u64) as usize]
+                        })
+                        .collect()
+                })
+                .collect();
+            let native = check_pattern_batched(&pattern, &keys, &DEFAULT_SEEDS);
+            assert!(native.is_empty(), "{re}: {:?}", native.first());
+            let soft = with_forced_software_pext(|| {
+                check_pattern_batched(&pattern, &keys, &DEFAULT_SEEDS)
+            });
+            assert!(soft.is_empty(), "{re} (soft pext): {:?}", soft.first());
+        }
+    }
+
+    #[test]
+    fn random_formats_batch_exactly() {
+        let mut rng = SplitMix64::new(0xBA7C_0002);
+        for _ in 0..10 {
+            let format = RandomFormat::generate(&mut rng);
+            let pattern = format.pattern();
+            let keys = format.sample_keys(&mut rng, 11);
+            let mismatches = check_pattern_batched(&pattern, &keys, &[0, u64::MAX]);
+            assert!(mismatches.is_empty(), "{:?}", mismatches.first());
+        }
+    }
+}

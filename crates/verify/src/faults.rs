@@ -139,6 +139,100 @@ pub fn check_guard_agreement(
     Ok(checked)
 }
 
+/// Checks that the *batched* guard path treats injected faults exactly
+/// like the scalar one.
+///
+/// Builds mixed batches (clean keys interleaved with [`mutate_off_format`]
+/// mutations) and asserts, across batch widths 1/3/4/7/8:
+///
+/// * [`FormatGuard::check_batch`] flags exactly the indices that
+///   `guard.matches` and [`spec_matches`] flag;
+/// * driving a [`GuardedHash`] through `hash_batch` yields the same hash
+///   values as a scalar twin, and leaves the drift counters (`in_format`,
+///   `off_format`) with the same increments.
+///
+/// Returns the number of membership decisions compared.
+///
+/// # Errors
+///
+/// Describes the first batch index where the batched and scalar guards
+/// diverge.
+pub fn check_batch_guard_agreement(
+    pattern: &KeyPattern,
+    keys: &[Vec<u8>],
+    rng: &mut SplitMix64,
+) -> Result<usize, String> {
+    use sepe_baselines::CityHash;
+    use sepe_core::hash::HashBatch;
+
+    let guard = FormatGuard::compile(pattern);
+    // Mixed pool: every third key mutated off-format, the rest clean.
+    let pool: Vec<Vec<u8>> = keys
+        .iter()
+        .enumerate()
+        .map(|(i, k)| {
+            if i % 3 == 2 {
+                mutate_off_format(pattern, k, rng)
+            } else {
+                k.clone()
+            }
+        })
+        .collect();
+    let refs: Vec<&[u8]> = pool.iter().map(Vec::as_slice).collect();
+
+    let mut checked = 0usize;
+    for width in [1usize, 3, 4, 7, 8] {
+        for chunk in refs.chunks(width) {
+            let mut verdicts = vec![false; chunk.len()];
+            guard.check_batch(chunk, &mut verdicts);
+            for (i, (&key, &batched)) in chunk.iter().zip(&verdicts).enumerate() {
+                let scalar = guard.matches(key);
+                let spec = spec_matches(pattern, key);
+                if batched != scalar || batched != spec {
+                    return Err(format!(
+                        "width {width} lane {i}: check_batch says {batched}, \
+                         guard.matches says {scalar}, spec says {spec} on {key:?}"
+                    ));
+                }
+                checked += 1;
+            }
+        }
+    }
+
+    // Same drift accounting: a batched GuardedHash vs. a scalar twin.
+    for family in Family::ALL {
+        let batched = GuardedHash::from_pattern(pattern, family, CityHash::new());
+        let scalar = GuardedHash::from_pattern(pattern, family, CityHash::new());
+        for width in [3usize, 8] {
+            for chunk in refs.chunks(width) {
+                let mut out = vec![0u64; chunk.len()];
+                batched.hash_batch(chunk, &mut out);
+                for (i, (&key, &got)) in chunk.iter().zip(&out).enumerate() {
+                    let want = scalar.hash_bytes(key);
+                    if got != want {
+                        return Err(format!(
+                            "{family} width {width} lane {i}: batched guarded hash \
+                             {got:#x} != scalar {want:#x} on {key:?}"
+                        ));
+                    }
+                }
+            }
+        }
+        let (b, s) = (batched.stats(), scalar.stats());
+        if b.in_format() != s.in_format() || b.off_format() != s.off_format() {
+            return Err(format!(
+                "{family}: batched drift counters ({} in, {} off) != scalar \
+                 ({} in, {} off)",
+                b.in_format(),
+                b.off_format(),
+                s.in_format(),
+                s.off_format()
+            ));
+        }
+    }
+    Ok(checked)
+}
+
 /// Checks that a [`GuardedHash`] equals its specialized hash on every
 /// in-format key (the guard reroutes, it must never *change* an in-format
 /// hash).

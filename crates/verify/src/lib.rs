@@ -20,6 +20,9 @@
 //!   over hundreds of formats nobody hand-picked;
 //! * [`differential`] — the cross-check driver: tuned hash vs. interpreter,
 //!   over both ISA paths and multiple seeds;
+//! * [`batch`] — the batched twin of `differential`: `hash_batch` vs. the
+//!   scalar path vs. the interpreter at widths 1/3/4/7/8 (ragged tails
+//!   included), with hardware `pext` dispatch forced both on and off;
 //! * [`model`] — a model checker replaying random operation sequences
 //!   against `std::collections::HashMap` to validate the container layer;
 //! * [`faults`] — a fault injector that mutates pool keys off-format
@@ -32,6 +35,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod batch;
 pub mod differential;
 pub mod faults;
 pub mod formats;

@@ -6,12 +6,14 @@
 //! ```
 //!
 //! Suites: `differential` (tuned hashes vs. the plan interpreter over
-//! random and paper formats), `invariants` (structural plan checks, Pext
-//! bijection inversion, lattice soundness), `model` (container operations
-//! vs. `std::collections::HashMap`), `faults` (fault-injected guarded
-//! containers and the degradation state machine; `--inject-faults` is a
-//! shorthand), or `all` (default, faults included). Exits non-zero on the
-//! first failing suite.
+//! random and paper formats), `batch` (`hash_batch` vs. the scalar path
+//! and the interpreter at widths 1/3/4/7/8, with hardware `pext` forced
+//! both on and off), `invariants` (structural plan checks, Pext bijection
+//! inversion, lattice soundness), `model` (container operations vs.
+//! `std::collections::HashMap`), `faults` (fault-injected guarded
+//! containers and the degradation state machine, including batched guard
+//! checks; `--inject-faults` is a shorthand), or `all` (default, faults
+//! included). Exits non-zero on the first failing suite.
 
 use sepe_baselines::CityHash;
 use sepe_core::guard::GuardedHash;
@@ -20,7 +22,7 @@ use sepe_core::regex::Regex;
 use sepe_core::synth::{synthesize, Family};
 use sepe_core::Isa;
 use sepe_keygen::{KeyFormat, SplitMix64};
-use sepe_verify::{differential, faults, formats::RandomFormat, invariants, model};
+use sepe_verify::{batch, differential, faults, formats::RandomFormat, invariants, model};
 
 struct Options {
     formats: usize,
@@ -62,7 +64,7 @@ fn parse_args() -> Result<Options, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: sepe-verify [--formats N] [--keys N] [--ops N] [--seed S] \
-                     [--suite differential|invariants|model|faults|all] [--inject-faults]"
+                     [--suite differential|batch|invariants|model|faults|all] [--inject-faults]"
                 );
                 std::process::exit(0);
             }
@@ -138,6 +140,56 @@ fn run_differential(opts: &Options) -> Result<String, String> {
     }
     Ok(format!(
         "{checked} formats, {hashes} hash evaluations, 0 mismatches"
+    ))
+}
+
+fn run_batch(opts: &Options) -> Result<String, String> {
+    let mut rng = SplitMix64::new(opts.seed ^ 0xBA7C);
+    let mut format_set: Vec<(String, KeyPattern, Vec<Vec<u8>>)> = paper_patterns()
+        .into_iter()
+        .map(|(name, p)| {
+            let keys = sample_pattern_keys(&p, &mut rng, opts.keys);
+            (name, p, keys)
+        })
+        .collect();
+    // Random formats are cheaper per key than the full differential run,
+    // so a quarter of the differential's format budget keeps the suite
+    // proportionate while still covering formats nobody hand-picked.
+    for i in 0..(opts.formats / 4).max(4) {
+        let format = RandomFormat::generate(&mut rng);
+        let pattern = format.pattern();
+        let keys = format.sample_keys(&mut rng, opts.keys);
+        format_set.push((format!("random format {i}"), pattern, keys));
+    }
+
+    let mut checked = 0usize;
+    let mut hashes = 0usize;
+    for (name, pattern, keys) in &format_set {
+        let mismatches = batch::check_pattern_batched(pattern, keys, &differential::DEFAULT_SEEDS);
+        if let Some(m) = mismatches.first() {
+            return Err(format!("{name}: {m} ({} total)", mismatches.len()));
+        }
+        let soft = batch::with_forced_software_pext(|| {
+            batch::check_pattern_batched(pattern, keys, &differential::DEFAULT_SEEDS)
+        });
+        if let Some(m) = soft.first() {
+            return Err(format!(
+                "{name} (software pext forced): {m} ({} total)",
+                soft.len()
+            ));
+        }
+        checked += 1;
+        hashes += 2
+            * keys.len()
+            * Family::ALL.len()
+            * differential::DEFAULT_SEEDS.len()
+            * 2
+            * batch::WIDTHS.len();
+    }
+    Ok(format!(
+        "{checked} formats, {hashes} batched hash evaluations across widths {:?} \
+         (hardware and software pext), 0 mismatches",
+        batch::WIDTHS
     ))
 }
 
@@ -230,9 +282,12 @@ fn run_faults(opts: &Options) -> Result<String, String> {
         let keys = format.sample_keys(&mut rng, opts.keys);
         format_set.push((format!("random format {i}"), pattern, keys));
     }
+    let mut batch_checks = 0usize;
     for (name, pattern, keys) in &format_set {
         agreement_checks += faults::check_guard_agreement(pattern, keys, &mut rng)
             .map_err(|e| format!("{name}: {e}"))?;
+        batch_checks += faults::check_batch_guard_agreement(pattern, keys, &mut rng)
+            .map_err(|e| format!("{name} (batched): {e}"))?;
         for family in Family::ALL {
             let guarded = GuardedHash::from_pattern(pattern, family, CityHash::new());
             faults::check_in_format_identity(&guarded, keys)
@@ -281,7 +336,8 @@ fn run_faults(opts: &Options) -> Result<String, String> {
     }
 
     Ok(format!(
-        "{agreement_checks} guard/spec agreements, {identity_keys} in-format hash identities, \
+        "{agreement_checks} guard/spec agreements, {batch_checks} batched guard verdicts, \
+         {identity_keys} in-format hash identities, \
          {} faulted container ops ({} transitions, {} checkpoints), \
          {degradations} degradation state machines — all agreed with std::collections::HashMap",
         stats.ops, stats.transitions, stats.checkpoints
@@ -299,11 +355,13 @@ fn main() {
     type Suite = fn(&Options) -> Result<String, String>;
     let suites: Vec<(&str, Suite)> = match opts.suite.as_str() {
         "differential" => vec![("differential", run_differential)],
+        "batch" => vec![("batch", run_batch)],
         "invariants" => vec![("invariants", run_invariants)],
         "model" => vec![("model", run_model)],
         "faults" => vec![("faults", run_faults)],
         "all" => vec![
             ("differential", run_differential),
+            ("batch", run_batch),
             ("invariants", run_invariants),
             ("model", run_model),
             ("faults", run_faults),
