@@ -29,6 +29,7 @@ struct Options {
     guard: bool,
     drift_threshold: Option<f64>,
     batch: Option<usize>,
+    churn: Option<usize>,
     path: Option<String>,
 }
 
@@ -37,6 +38,7 @@ fn parse_args() -> Result<Options, String> {
     let mut guard = false;
     let mut drift_threshold = None;
     let mut batch = None;
+    let mut churn = None;
     let mut path = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -59,6 +61,17 @@ fn parse_args() -> Result<Options, String> {
                     return Err(format!("batch width {w} must be at least 2"));
                 }
                 batch = Some(w);
+            }
+            "--churn" => {
+                let n: usize = args
+                    .next()
+                    .ok_or("--churn needs an op count")?
+                    .parse()
+                    .map_err(|e| format!("bad churn op count: {e}"))?;
+                if n == 0 {
+                    return Err("churn op count must be positive".to_owned());
+                }
+                churn = Some(n);
             }
             "--guard" | "-g" => guard = true,
             "--drift-threshold" => {
@@ -83,6 +96,7 @@ fn parse_args() -> Result<Options, String> {
         guard,
         drift_threshold,
         batch,
+        churn,
         path,
     })
 }
@@ -168,7 +182,7 @@ fn main() -> ExitCode {
             }
             eprintln!(
                 "usage: keybench [--iterations N] [--guard] [--drift-threshold T] \
-                 [--batch W] [FILE]\n\
+                 [--batch W] [--churn N] [FILE]\n\
                  \x20      (keys on stdin or FILE, one per line)"
             );
             return if msg.is_empty() {
@@ -224,6 +238,10 @@ fn main() -> ExitCode {
     };
     if let Some(width) = opts.batch {
         batch_report(&pattern, &key_bytes, width, opts.iterations);
+        return ExitCode::SUCCESS;
+    }
+    if let Some(n_ops) = opts.churn {
+        churn_report(&pattern, &key_strings, n_ops);
         return ExitCode::SUCCESS;
     }
 
@@ -306,6 +324,90 @@ fn main() -> ExitCode {
         drift_demo(&pattern, &key_strings, threshold);
     }
     ExitCode::SUCCESS
+}
+
+/// `--churn N`: measures the latency-cliff fix. Fills a guarded map with
+/// the user's keys, runs `N` churn operations (get/insert/remove mix) at
+/// steady state, then triggers `degrade_now()` and keeps churning while
+/// the epoch migration drains incrementally — reporting ops/sec at steady
+/// state, ops/sec while the migration is in flight, and how many
+/// operations the amortized drain took.
+fn churn_report(pattern: &KeyPattern, keys: &[String], n_ops: usize) {
+    use sepe_keygen::SplitMix64;
+
+    let hasher = GuardedHash::from_pattern(pattern, Family::OffXor, CityHash::new());
+    let mut map: UnorderedMap<String, usize, _> = UnorderedMap::with_hasher(hasher);
+    for (i, key) in keys.iter().enumerate() {
+        map.insert(key.clone(), i);
+    }
+    let mut rng = SplitMix64::new(0xC4A0_5EED);
+    let mut churn = |map: &mut UnorderedMap<String, usize, _>, ops: usize| -> f64 {
+        let start = Instant::now();
+        for i in 0..ops {
+            let key = &keys[(rng.next_u64() % keys.len() as u64) as usize];
+            match rng.next_u64() % 10 {
+                0..=4 => {
+                    std::hint::black_box(map.get(key.as_str()));
+                }
+                5..=7 => {
+                    map.insert(key.clone(), i);
+                }
+                _ => {
+                    map.remove(key.as_str());
+                    map.insert(key.clone(), i);
+                }
+            }
+        }
+        start.elapsed().as_secs_f64() * 1e9 / ops as f64
+    };
+
+    println!(
+        "churn workload: {} keys resident, {} ops per phase, mode {:?}",
+        map.len(),
+        n_ops,
+        map.guard_mode()
+    );
+    // Warm-up pass, then the measured steady-state phase.
+    churn(&mut map, n_ops.min(10_000));
+    let steady_ns = churn(&mut map, n_ops);
+    println!(
+        "  steady state          {steady_ns:>10.1} ns/op  ({:.2} Mops/s)",
+        1e3 / steady_ns
+    );
+
+    map.degrade_now();
+    let entries = map.len();
+    // Measure while the epoch is actually in flight: churn in small slices
+    // until the amortized drain completes.
+    let mut inflight_ops = 0usize;
+    let start = Instant::now();
+    while map.migration_in_flight() && inflight_ops < n_ops {
+        churn(&mut map, 64);
+        inflight_ops += 64;
+    }
+    let inflight_ns = start.elapsed().as_secs_f64() * 1e9 / inflight_ops.max(1) as f64;
+    let drained = !map.migration_in_flight();
+    println!(
+        "  migration in flight   {inflight_ns:>10.1} ns/op  ({:.2} Mops/s)",
+        1e3 / inflight_ns
+    );
+    match drained {
+        true => println!(
+            "  drain: {entries} entries re-filed across {inflight_ops} ops \
+             (progress 100%, no stop-the-world rebuild)"
+        ),
+        false => println!(
+            "  drain: still in flight after {inflight_ops} ops \
+             (progress {:.0}%)",
+            map.migration_progress() * 100.0
+        ),
+    }
+
+    let after_ns = churn(&mut map, n_ops);
+    println!(
+        "  degraded steady state {after_ns:>10.1} ns/op  ({:.2} Mops/s)",
+        1e3 / after_ns
+    );
 }
 
 /// Demonstrates the degradation state machine: fills a guarded map with the

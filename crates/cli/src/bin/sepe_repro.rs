@@ -51,7 +51,12 @@ fn scale_of(name: &str) -> Result<RunScale, String> {
     }
 }
 
-fn run(artifact: &str, scale: &RunScale, drift_threshold: f64) -> Option<String> {
+fn run(
+    artifact: &str,
+    scale: &RunScale,
+    drift_threshold: f64,
+    bundle: Option<&sepe_core::plan_io::SynthBundle>,
+) -> Option<String> {
     let out = match artifact {
         "table1" => repro::table1(scale),
         "table2" => repro::table2(scale),
@@ -67,7 +72,7 @@ fn run(artifact: &str, scale: &RunScale, drift_threshold: f64) -> Option<String>
         "significance" => repro::significance(scale),
         "avalanche" => repro::avalanche(scale),
         "bykey" => repro::bykey(scale),
-        "guard" => repro::guard(scale, drift_threshold),
+        "guard" => repro::guard(scale, drift_threshold, bundle),
         "bench-json" => repro::bench_json(scale),
         _ => return None,
     };
@@ -79,17 +84,28 @@ fn main() -> ExitCode {
     let mut artifacts: Vec<String> = Vec::new();
     let mut out_dir: Option<std::path::PathBuf> = None;
     let mut drift_threshold = 0.10;
+    let mut plan_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: sepe-repro [--scale smoke|quick|default|paper] [--out DIR] \
-                     [--drift-threshold T] ARTIFACT...\n\
+                     [--drift-threshold T] [--plan FILE] ARTIFACT...\n\
                      artifacts: {} | all",
                     ARTIFACTS.join(" | ")
                 );
                 return ExitCode::SUCCESS;
+            }
+            "--plan" => {
+                let v = match args.next() {
+                    Some(v) => v,
+                    None => {
+                        eprintln!("sepe-repro: --plan needs a file");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                plan_path = Some(v);
             }
             "--drift-threshold" => {
                 let v = match args.next() {
@@ -153,8 +169,32 @@ fn main() -> ExitCode {
         }
     }
 
+    // The plan trust boundary: a bundle is version-checked, checksummed and
+    // semantically validated here, before any artifact evaluates a hash
+    // with it. A corrupted or hostile file is a typed error and a nonzero
+    // exit, never a panic and never a loaded plan.
+    let bundle = match &plan_path {
+        None => None,
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("sepe-repro: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match sepe_core::plan_io::bundle_from_str(&text) {
+                Ok(b) => Some(b),
+                Err(e) => {
+                    eprintln!("sepe-repro: {path} is not a usable synthesis bundle: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+
     for artifact in &artifacts {
-        match run(artifact, &scale, drift_threshold) {
+        match run(artifact, &scale, drift_threshold, bundle.as_ref()) {
             Some(out) => {
                 println!("{out}");
                 // bench-json is the machine-readable perf baseline: it goes

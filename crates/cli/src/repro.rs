@@ -524,8 +524,19 @@ pub fn gradual(scale: &RunScale) -> String {
 /// off-format traffic (one marker byte appended) until the drift policy
 /// flips the table to the CityHash fallback. The table reports the flip
 /// point and the observed drift rate at the transition.
+///
+/// When a validated [`SynthBundle`] is supplied (`sepe-repro --plan FILE
+/// guard`), an extra row drives the *loaded* plan — specialized hash,
+/// guard pattern and family all from the bundle — through the same drill,
+/// on keys sampled from the bundle's own pattern.
+///
+/// [`SynthBundle`]: sepe_core::plan_io::SynthBundle
 #[must_use]
-pub fn guard(scale: &RunScale, threshold: f64) -> String {
+pub fn guard(
+    scale: &RunScale,
+    threshold: f64,
+    bundle: Option<&sepe_core::plan_io::SynthBundle>,
+) -> String {
     use sepe_baselines::CityHash;
     use sepe_containers::{DriftPolicy, UnorderedMap};
     use sepe_core::guard::GuardedHash;
@@ -570,22 +581,67 @@ pub fn guard(scale: &RunScale, threshold: f64) -> String {
             format!("{:?}", map.guard_mode())
         );
     }
+    if let Some(b) = bundle {
+        use sepe_core::hash::SynthesizedHash;
+        let spec = SynthesizedHash::new(b.plan.clone(), b.family, Isa::Native);
+        let hasher = GuardedHash::new(&b.pattern, spec, CityHash::new());
+        let mut map: UnorderedMap<Vec<u8>, u64, _> = UnorderedMap::with_hasher(hasher);
+        let mut rng = sepe_keygen::SplitMix64::new(0x91A4);
+        let sample = |rng: &mut sepe_keygen::SplitMix64| -> Vec<u8> {
+            (0..b.pattern.max_len())
+                .map(|i| {
+                    let choices: Vec<u8> = b.pattern.bytes()[i].possible_bytes().collect();
+                    choices[(rng.next_u64() % choices.len() as u64) as usize]
+                })
+                .collect()
+        };
+        for i in 0..clean_keys {
+            map.insert(sample(&mut rng), i as u64);
+        }
+        let clean_drift = map.drift_stats().off_rate();
+        let mut flip_after = None;
+        for i in 0..clean_keys * 2 {
+            // Lengthening past the pattern's maximum is off-format for any
+            // loaded bundle, whatever bytes its format admits.
+            let mut key = sample(&mut rng);
+            key.resize(b.pattern.max_len() + 1 + i % 3, b'!');
+            map.insert(key, i as u64);
+            if map.maybe_degrade(&policy) {
+                flip_after = Some(i + 1);
+                break;
+            }
+        }
+        let stats = map.drift_stats();
+        let _ = writeln!(
+            out,
+            "{:<9} {:>10.1}% {:>11} {:>13.1}% {:>11}",
+            format!("plan/{}", b.family),
+            clean_drift * 100.0,
+            flip_after.map_or_else(|| "never".to_owned(), |n| n.to_string()),
+            stats.off_rate() * 100.0,
+            format!("{:?}", map.guard_mode())
+        );
+    }
     out.push_str(
         "(Off-format keys route to CityHash under a separated tag until the drift\n\
-         threshold trips; then the whole table rehashes with the fallback hasher.)\n",
+         threshold trips; then the table re-files its entries to the fallback\n\
+         hasher through an incremental epoch migration — no stop-the-world rebuild.)\n",
     );
     out
 }
 
 /// **Benchmark baseline** — the `sepe-bench/v1` JSON document: batched vs
-/// scalar ns/key for every family × format × width cell. `sepe-repro`
-/// writes it as `BENCH_<date>.json`, the machine-readable perf trajectory.
+/// scalar ns/key for every family × format × width cell, plus the
+/// migration scenario (churn ops/sec at steady state, while an epoch
+/// drain is in flight, and after it completes). `sepe-repro` writes it as
+/// `BENCH_<date>.json`, the machine-readable perf trajectory.
 #[must_use]
 pub fn bench_json(scale: &RunScale) -> String {
-    use sepe_driver::bench_json::{run_suite, to_json, today_utc, BenchConfig};
+    use sepe_driver::bench_json::{migration_records, run_suite, to_json, today_utc, BenchConfig};
     let config = BenchConfig::from_scale(scale);
     let records = run_suite(scale, &config);
-    to_json(&today_utc(), &records).to_string()
+    let migration = migration_records(scale, &config);
+    to_json(&today_utc(), &records, &migration).to_string()
 }
 
 #[cfg(test)]
@@ -648,7 +704,7 @@ mod tests {
         let mut s = tiny_scale();
         s.formats = vec![KeyFormat::Ssn, KeyFormat::Ipv4];
         s.collision_keys = 200;
-        let t = guard(&s, 0.10);
+        let t = guard(&s, 0.10, None);
         assert!(t.contains("Format-drift degradation"), "{t}");
         for line in t.lines().filter(|l| l.contains("Degraded")) {
             assert!(!line.contains("never"), "{line}");

@@ -23,12 +23,18 @@ fn run_with_stdin(mut cmd: Command, input: &str) -> (String, String, bool) {
         .stderr(Stdio::piped())
         .spawn()
         .expect("binary spawns");
-    child
+    // A child that rejects its arguments exits before reading stdin; the
+    // resulting BrokenPipe is expected, not a test failure.
+    match child
         .stdin
         .as_mut()
         .expect("stdin piped")
         .write_all(input.as_bytes())
-        .expect("write stdin");
+    {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => {}
+        Err(e) => panic!("write stdin: {e}"),
+    }
     let out = child.wait_with_output().expect("binary finishes");
     (
         String::from_utf8_lossy(&out.stdout).into_owned(),
@@ -424,5 +430,160 @@ fn sepe_repro_bench_json_writes_a_dated_parseable_baseline() {
             other => panic!("non-numeric measurements: {other:?}"),
         }
     }
+
+    // The migration scenario rides in the same document: three phases per
+    // format, fields pinned by the fixture, all measurements positive.
+    let migration_fields: Vec<&str> = schema
+        .get("migration_fields")
+        .as_arr()
+        .expect("migration_fields list")
+        .iter()
+        .filter_map(|j| j.as_str())
+        .collect();
+    let migration = doc.get("migration").as_arr().expect("migration array");
+    assert!(!migration.is_empty(), "baseline has no migration rows");
+    assert_eq!(
+        migration.len() % 3,
+        0,
+        "phases come in steady/migrating/drained triples"
+    );
+    for row in migration {
+        if let sepe_core::plan_io::Json::Obj(map) = row {
+            let keys: Vec<&str> = map.keys().map(String::as_str).collect();
+            assert_eq!(
+                keys, migration_fields,
+                "migration fields drifted from the fixture"
+            );
+        } else {
+            panic!("migration row is not a JSON object");
+        }
+        let phase = row.get("phase").as_str().expect("phase string");
+        assert!(
+            ["steady", "migrating", "drained"].contains(&phase),
+            "unknown phase {phase}"
+        );
+        match row.get("ns_per_op") {
+            sepe_core::plan_io::Json::Num(ns) => {
+                assert!(*ns > 0.0 && ns.is_finite(), "ns_per_op {ns}");
+            }
+            other => panic!("non-numeric ns_per_op: {other:?}"),
+        }
+    }
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The four corrupted-plan fixtures, each with the typed error its
+/// corruption must produce. Paths are relative to the crate root.
+const CORRUPTED_PLAN_FIXTURES: [(&str, &str); 4] = [
+    ("plan_truncated.json", "malformed plan"),
+    (
+        "plan_wrong_version.json",
+        "plan schema version 1 is not supported",
+    ),
+    ("plan_bad_checksum.json", "plan checksum mismatch"),
+    ("plan_oob_offset.json", "reads past the 11-byte key"),
+];
+
+fn fixture_path(name: &str) -> String {
+    format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn keysynth_rejects_every_corrupted_plan_fixture_with_a_typed_error() {
+    for (name, needle) in CORRUPTED_PLAN_FIXTURES {
+        let out = keysynth()
+            .args(["--plan", &fixture_path(name), "--lang", "rust"])
+            .output()
+            .expect("keysynth runs");
+        assert!(!out.status.success(), "{name}: corrupted plan was accepted");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(needle),
+            "{name}: expected {needle:?} in stderr, got: {stderr}"
+        );
+        // Typed rejection, not a crash: the binary exits via its error
+        // path, so stdout carries no generated code.
+        assert!(
+            !stderr.contains("panicked"),
+            "{name}: the binary panicked: {stderr}"
+        );
+        assert!(out.stdout.is_empty(), "{name}: code was emitted anyway");
+    }
+}
+
+#[test]
+fn sepe_repro_guard_rejects_every_corrupted_plan_fixture() {
+    for (name, needle) in CORRUPTED_PLAN_FIXTURES {
+        let out = sepe_repro()
+            .args(["--scale", "smoke", "--plan", &fixture_path(name), "guard"])
+            .output()
+            .expect("repro runs");
+        assert!(!out.status.success(), "{name}: corrupted plan was accepted");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("is not a usable synthesis bundle") && stderr.contains(needle),
+            "{name}: expected typed rejection with {needle:?}, got: {stderr}"
+        );
+        assert!(
+            !stderr.contains("panicked"),
+            "{name}: the binary panicked: {stderr}"
+        );
+        // Rejected before any artifact ran: no guard table on stdout.
+        assert!(out.stdout.is_empty(), "{name}: artifact ran anyway");
+    }
+}
+
+#[test]
+fn sepe_repro_guard_drives_a_valid_loaded_plan() {
+    // Emit a pristine bundle, then feed it back through the guard artifact:
+    // the loaded plan gets its own row in the drift table.
+    let out = keysynth()
+        .args(["--family", "offxor", "--emit-plan", r"\d{3}-\d{2}-\d{4}"])
+        .output()
+        .expect("keysynth runs");
+    assert!(out.status.success());
+    let dir = std::env::temp_dir().join(format!("sepe-plan-guard-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let plan = dir.join("plan.json");
+    std::fs::write(&plan, &out.stdout).expect("plan written");
+
+    let out = sepe_repro()
+        .args(["--scale", "smoke", "--plan"])
+        .arg(&plan)
+        .arg("guard")
+        .output()
+        .expect("repro runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let row = stdout
+        .lines()
+        .find(|l| l.starts_with("plan/OffXor"))
+        .unwrap_or_else(|| panic!("no plan row in:\n{stdout}"));
+    assert!(
+        row.contains("Degraded"),
+        "loaded plan never degraded: {row}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn keybench_churn_reports_all_three_phases() {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_keybench"));
+    cmd.args(["--churn", "5000"]);
+    let keys: String = (0..64)
+        .map(|i| format!("{:03}-{:02}-{:04}\n", i * 7 % 1000, i % 100, i * 13 % 10000))
+        .collect();
+    let (stdout, stderr, ok) = run_with_stdin(cmd, &keys);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("steady state"), "{stdout}");
+    assert!(stdout.contains("migration in flight"), "{stdout}");
+    assert!(stdout.contains("degraded steady state"), "{stdout}");
+    assert!(
+        stdout.contains("no stop-the-world rebuild"),
+        "drain never completed:\n{stdout}"
+    );
 }

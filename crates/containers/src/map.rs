@@ -182,6 +182,30 @@ where
     pub fn hash_of(&self, key: &[u8]) -> u64 {
         self.table.hash_of(key)
     }
+
+    /// Advances any in-flight hash-function migration by up to `n` entries
+    /// (a no-op otherwise). Mutating operations already drain a bounded
+    /// stride each; this lets idle callers drain faster.
+    pub fn migrate(&mut self, n: usize) {
+        self.table.migrate(n);
+    }
+
+    /// Drains an in-flight migration completely, so every entry is filed
+    /// under the live hash function.
+    pub fn finish_migration(&mut self) {
+        self.table.finish_migration();
+    }
+
+    /// Whether a hash-function migration epoch is currently being drained.
+    pub fn migration_in_flight(&self) -> bool {
+        self.table.migration_in_flight()
+    }
+
+    /// Fraction of the current migration already drained: 1.0 when no
+    /// migration is in flight, monotone non-decreasing while one is.
+    pub fn migration_progress(&self) -> f64 {
+        self.table.migration_progress()
+    }
 }
 
 /// Width of a lookup/insert batch chunk: matches the widest hash kernel, and
@@ -264,45 +288,71 @@ where
     pub fn guard_mode(&self) -> GuardMode {
         self.hasher().mode()
     }
+}
 
+impl<K, V, F, G> UnorderedMap<K, V, GuardedHash<F, G>>
+where
+    K: Eq + AsRef<[u8]>,
+    F: ByteHash + Clone,
+    G: ByteHash + Clone,
+{
     /// Degrades unconditionally: flips the hasher to fallback-for-all-keys
-    /// and rebuilds the stored hashes so lookups stay consistent.
+    /// and opens a migration epoch so stored entries re-file incrementally
+    /// instead of in one stop-the-world rebuild. Lookups stay consistent
+    /// throughout — they probe both epochs until the drain completes.
     pub fn degrade_now(&mut self) {
+        if self.hasher().is_degraded() {
+            return;
+        }
+        // Snapshot the pre-flip routing first: the epoch's entries were
+        // filed under it. Both frozen copies are counter-silent, so an
+        // amortized drain and an eager rebuild leave identical drift stats.
+        let old = self.table.hasher().epoch_frozen(GuardMode::Guarded);
         self.table.hasher().degrade();
-        self.table.rebuild_hashes();
+        let rehasher = self.table.hasher().epoch_frozen(GuardMode::Degraded);
+        self.table.begin_migration(old, rehasher);
     }
 
-    /// Checks the drift counters against `policy` and degrades when the
-    /// off-format rate exceeds its threshold. Returns whether a transition
-    /// happened during this call. Idempotent once degraded.
+    /// Checks the *windowed* drift counters against `policy` and degrades
+    /// when the off-format rate of the current observation window exceeds
+    /// the threshold; full clean windows are rolled away, so early clean
+    /// traffic cannot mask a later drift burst. Returns whether a
+    /// transition happened during this call. Idempotent once degraded.
     pub fn maybe_degrade(&mut self, policy: &DriftPolicy) -> bool {
-        let stats = self.drift_stats();
-        if self.hasher().is_degraded() || !policy.should_degrade(stats.off_format(), stats.total())
-        {
+        if self.hasher().is_degraded() {
             return false;
         }
-        self.degrade_now();
-        true
+        let (off, total) = self.drift_stats().window_counts();
+        if policy.should_degrade(off, total) {
+            self.degrade_now();
+            return true;
+        }
+        if policy.window_full(total) {
+            self.drift_stats().roll_window();
+        }
+        false
     }
 }
 
 impl<K, V, G> UnorderedMap<K, V, GuardedHash<sepe_core::SynthesizedHash, G>>
 where
     K: Eq + AsRef<[u8]>,
-    G: ByteHash,
+    G: ByteHash + Clone,
 {
     /// Re-synthesizes the specialized hash from the reservoir of off-format
-    /// keys the guard sampled, re-arms the guard, and rebuilds the stored
-    /// hashes. Returns `false` (and changes nothing) when no off-format
-    /// keys were observed.
+    /// keys the guard sampled, re-arms the guard (counters and reservoir
+    /// reset), and opens a migration epoch that re-files stored entries
+    /// incrementally. Returns `false` (and changes nothing) when no
+    /// off-format keys were observed.
     pub fn resynthesize(&mut self) -> bool {
+        // Snapshot the current routing before the plan is replaced: entries
+        // are filed under it, whatever mode the map is in right now.
+        let old = self.table.hasher().epoch_frozen(self.table.hasher().mode());
         if !self.table.hasher_mut().resynthesize() {
             return false;
         }
-        self.table.rebuild_hashes();
-        // Rebuilding re-hashed every stored key through the guard; those are
-        // not observed traffic, so start drift accounting from zero.
-        self.drift_stats().reset();
+        let rehasher = self.table.hasher().epoch_frozen(GuardMode::Guarded);
+        self.table.begin_migration(old, rehasher);
         true
     }
 }
@@ -443,6 +493,7 @@ mod tests {
         let policy = DriftPolicy {
             threshold: 0.10,
             min_samples: 16,
+            ..DriftPolicy::default()
         };
         for i in 0..64u32 {
             m.insert(format!("{:03}-{:02}-{:04}", i, i % 100, i * 7 % 10_000), i);
@@ -576,6 +627,139 @@ mod tests {
         for (q, got) in queries.iter().zip(m.get_batch(&refs)) {
             assert_eq!(got.copied(), q.parse::<u32>().ok(), "{q}");
         }
+    }
+
+    #[test]
+    fn degradation_migrates_incrementally_not_stop_the_world() {
+        let mut m = guarded_ssn_map(sepe_core::Family::OffXor);
+        for i in 0..500u32 {
+            m.insert(format!("{:03}-{:02}-{:04}", i % 1000, i % 100, i), i);
+        }
+        assert!((m.migration_progress() - 1.0).abs() < 1e-12);
+        m.degrade_now();
+        assert!(m.migration_in_flight(), "degrade opens an epoch");
+        assert!(m.migration_progress() < 1.0);
+        // Every key is visible mid-migration, from either epoch.
+        for i in 0..500u32 {
+            let key = format!("{:03}-{:02}-{:04}", i % 1000, i % 100, i);
+            assert_eq!(m.get(key.as_str()), Some(&i), "{key} mid-migration");
+        }
+        // Mutating traffic drains the epoch a bounded stride at a time.
+        let mut last = m.migration_progress();
+        let mut i = 0u32;
+        while m.migration_in_flight() {
+            m.insert(format!("new-{i:05}"), i);
+            let now = m.migration_progress();
+            assert!(now >= last, "progress is monotone");
+            last = now;
+            i += 1;
+        }
+        assert!(i > 1, "the drain took more than one operation");
+        for i in 0..500u32 {
+            let key = format!("{:03}-{:02}-{:04}", i % 1000, i % 100, i);
+            assert_eq!(m.get(key.as_str()), Some(&i), "{key} after drain");
+        }
+    }
+
+    #[test]
+    fn removals_reach_entries_still_in_the_old_epoch() {
+        let mut m = guarded_ssn_map(sepe_core::Family::Pext);
+        for i in 0..300u32 {
+            m.insert(format!("{:03}-{:02}-{:04}", i % 1000, i % 100, i), i);
+        }
+        m.degrade_now();
+        assert!(m.migration_in_flight());
+        // Remove from the tail of the key space so some targets are still
+        // in the old epoch when their removal arrives.
+        for i in (0..300u32).rev() {
+            let key = format!("{:03}-{:02}-{:04}", i % 1000, i % 100, i);
+            assert_eq!(m.remove(key.as_str()), Some(i), "{key}");
+        }
+        assert!(m.is_empty());
+        assert!(!m.migration_in_flight(), "empty old epoch is dropped");
+    }
+
+    #[test]
+    fn finish_migration_drains_explicitly() {
+        let mut m = guarded_ssn_map(sepe_core::Family::Naive);
+        for i in 0..200u32 {
+            m.insert(format!("{:03}-{:02}-{:04}", i % 1000, i % 100, i), i);
+        }
+        m.degrade_now();
+        m.migrate(7);
+        assert!(m.migration_in_flight());
+        m.finish_migration();
+        assert!(!m.migration_in_flight());
+        assert!((m.migration_progress() - 1.0).abs() < 1e-12);
+        let total: usize = (0..m.bucket_count()).map(|b| m.bucket_len(b)).sum();
+        assert_eq!(total, m.len(), "all entries re-filed in the live epoch");
+    }
+
+    #[test]
+    fn growth_mid_migration_keeps_both_epochs_consistent() {
+        let mut m = guarded_ssn_map(sepe_core::Family::OffXor);
+        for i in 0..100u32 {
+            m.insert(format!("{:03}-{:02}-{:04}", i % 1000, i % 100, i), i);
+        }
+        m.degrade_now();
+        // Force a live-epoch resize while most entries still sit in the old
+        // epoch; old-epoch chains must survive untouched.
+        m.rehash(4099);
+        for i in 0..100u32 {
+            let key = format!("{:03}-{:02}-{:04}", i % 1000, i % 100, i);
+            assert_eq!(
+                m.get(key.as_str()),
+                Some(&i),
+                "{key} after mid-migration rehash"
+            );
+        }
+        m.finish_migration();
+        for i in 0..100u32 {
+            let key = format!("{:03}-{:02}-{:04}", i % 1000, i % 100, i);
+            assert_eq!(m.get(key.as_str()), Some(&i), "{key} after drain");
+        }
+    }
+
+    #[test]
+    fn sliding_window_catches_drift_after_a_long_clean_prefix() {
+        // Regression: with lifetime counters, 10 000 clean observations
+        // pinned the off-rate so low that sustained 100% off-format traffic
+        // could never push it over a 10% threshold until the table had
+        // absorbed over a thousand bad keys. The windowed policy reacts
+        // within ~one window regardless of history length.
+        let mut m = guarded_ssn_map(sepe_core::Family::OffXor);
+        let policy = DriftPolicy {
+            threshold: 0.10,
+            min_samples: 64,
+            window: 512,
+        };
+        for i in 0..5_000u32 {
+            m.insert(format!("{:03}-{:02}-{:04}", i % 1000, i % 100, i), i);
+            assert!(!m.maybe_degrade(&policy), "clean traffic never degrades");
+        }
+        let clean_total = m.drift_stats().total();
+        let mut flipped_after = None;
+        for i in 0..2_000u32 {
+            m.insert(format!("drifted key {i}"), i);
+            if m.maybe_degrade(&policy) {
+                flipped_after = Some(i + 1);
+                break;
+            }
+        }
+        let flipped_after = flipped_after.expect("windowed policy must degrade");
+        // Lifetime rate at the flip stays under the threshold — the old
+        // lifetime-counter policy would still be waiting.
+        let stats = m.drift_stats();
+        assert!(
+            stats.off_rate() < policy.threshold,
+            "lifetime rate {} should still be below the threshold (clean prefix {clean_total})",
+            stats.off_rate()
+        );
+        assert!(
+            u64::from(flipped_after) * 2 <= policy.window * 2,
+            "flip came within ~one window of off-format traffic, got {flipped_after}"
+        );
+        assert_eq!(m.guard_mode(), GuardMode::Degraded);
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! `UnorderedMultiMap` — the analog of `std::unordered_multimap`.
 
-use crate::policy::BucketPolicy;
+use crate::policy::{BucketPolicy, DriftPolicy};
 use crate::table::RawTable;
+use sepe_core::guard::{GuardMode, GuardStats, GuardedHash};
 use sepe_core::hash::ByteHash;
 use std::borrow::Borrow;
 
@@ -130,6 +131,78 @@ where
     /// The paper's bucket-collision count (Section 4.2).
     pub fn bucket_collisions(&self) -> u64 {
         self.table.bucket_collisions()
+    }
+
+    /// Advances any in-flight hash-function migration by up to `n` entries.
+    pub fn migrate(&mut self, n: usize) {
+        self.table.migrate(n);
+    }
+
+    /// Drains an in-flight migration completely.
+    pub fn finish_migration(&mut self) {
+        self.table.finish_migration();
+    }
+
+    /// Whether a hash-function migration epoch is currently being drained.
+    pub fn migration_in_flight(&self) -> bool {
+        self.table.migration_in_flight()
+    }
+
+    /// Fraction of the current migration already drained (`1.0` when idle).
+    pub fn migration_progress(&self) -> f64 {
+        self.table.migration_progress()
+    }
+}
+
+impl<K, V, F, G> UnorderedMultiMap<K, V, GuardedHash<F, G>>
+where
+    K: Eq + AsRef<[u8]>,
+    F: ByteHash,
+    G: ByteHash,
+{
+    /// The drift counters of the guarded hasher.
+    pub fn drift_stats(&self) -> &GuardStats {
+        self.table.hasher().stats()
+    }
+
+    /// The guarded hasher's current routing mode.
+    pub fn guard_mode(&self) -> GuardMode {
+        self.table.hasher().mode()
+    }
+}
+
+impl<K, V, F, G> UnorderedMultiMap<K, V, GuardedHash<F, G>>
+where
+    K: Eq + AsRef<[u8]>,
+    F: ByteHash + Clone,
+    G: ByteHash + Clone,
+{
+    /// Degrades unconditionally and opens an incremental migration epoch.
+    pub fn degrade_now(&mut self) {
+        if self.table.hasher().is_degraded() {
+            return;
+        }
+        let old = self.table.hasher().epoch_frozen(GuardMode::Guarded);
+        self.table.hasher().degrade();
+        let rehasher = self.table.hasher().epoch_frozen(GuardMode::Degraded);
+        self.table.begin_migration(old, rehasher);
+    }
+
+    /// Degrades when windowed drift exceeds `policy`; returns whether this
+    /// call performed the transition.
+    pub fn maybe_degrade(&mut self, policy: &DriftPolicy) -> bool {
+        if self.table.hasher().is_degraded() {
+            return false;
+        }
+        let (off, total) = self.drift_stats().window_counts();
+        if policy.should_degrade(off, total) {
+            self.degrade_now();
+            return true;
+        }
+        if policy.window_full(total) {
+            self.drift_stats().roll_window();
+        }
+        false
     }
 }
 

@@ -1,7 +1,8 @@
 //! `UnorderedMultiSet` — the analog of `std::unordered_multiset`.
 
 use crate::multimap::UnorderedMultiMap;
-use crate::policy::BucketPolicy;
+use crate::policy::{BucketPolicy, DriftPolicy};
+use sepe_core::guard::{GuardMode, GuardStats, GuardedHash};
 use sepe_core::hash::ByteHash;
 use std::borrow::Borrow;
 
@@ -117,6 +118,61 @@ where
     /// The paper's bucket-collision count (Section 4.2).
     pub fn bucket_collisions(&self) -> u64 {
         self.inner.bucket_collisions()
+    }
+
+    /// Advances any in-flight hash-function migration by up to `n` entries.
+    pub fn migrate(&mut self, n: usize) {
+        self.inner.migrate(n);
+    }
+
+    /// Drains an in-flight migration completely.
+    pub fn finish_migration(&mut self) {
+        self.inner.finish_migration();
+    }
+
+    /// Whether a hash-function migration epoch is currently being drained.
+    pub fn migration_in_flight(&self) -> bool {
+        self.inner.migration_in_flight()
+    }
+
+    /// Fraction of the current migration already drained (`1.0` when idle).
+    pub fn migration_progress(&self) -> f64 {
+        self.inner.migration_progress()
+    }
+}
+
+impl<K, F, G> UnorderedMultiSet<K, GuardedHash<F, G>>
+where
+    K: Eq + AsRef<[u8]>,
+    F: ByteHash,
+    G: ByteHash,
+{
+    /// The drift counters of the guarded hasher.
+    pub fn drift_stats(&self) -> &GuardStats {
+        self.inner.drift_stats()
+    }
+
+    /// The guarded hasher's current routing mode.
+    pub fn guard_mode(&self) -> GuardMode {
+        self.inner.guard_mode()
+    }
+}
+
+impl<K, F, G> UnorderedMultiSet<K, GuardedHash<F, G>>
+where
+    K: Eq + AsRef<[u8]>,
+    F: ByteHash + Clone,
+    G: ByteHash + Clone,
+{
+    /// Degrades unconditionally and opens an incremental migration epoch.
+    pub fn degrade_now(&mut self) {
+        self.inner.degrade_now();
+    }
+
+    /// Degrades when windowed drift exceeds `policy`; returns whether this
+    /// call performed the transition.
+    pub fn maybe_degrade(&mut self, policy: &DriftPolicy) -> bool {
+        self.inner.maybe_degrade(policy)
     }
 }
 

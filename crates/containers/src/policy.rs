@@ -42,10 +42,13 @@ impl BucketPolicy {
 /// When a guarded container should give up on its specialized hash.
 ///
 /// A [`sepe_core::GuardedHash`] counts how many observed keys fell outside
-/// the trained format. Once the off-format fraction crosses `threshold`
-/// (after at least `min_samples` observations, so a handful of stray keys
-/// cannot flip a fresh table) the container degrades: it switches every key
-/// to the fallback hasher and rebuilds its stored hashes.
+/// the trained format. The container judges the off-format fraction over a
+/// *sliding window* of the most recent `window` observations (lifetime
+/// counters would let a long clean prefix dilute a later drift burst
+/// forever): once the windowed fraction crosses `threshold` — after at
+/// least `min_samples` observations in the window, so a handful of stray
+/// keys cannot flip a fresh table — the container degrades, switching every
+/// key to the fallback hasher and migrating its stored hashes.
 ///
 /// # Examples
 ///
@@ -63,14 +66,20 @@ pub struct DriftPolicy {
     pub threshold: f64,
     /// Minimum number of observed keys before the threshold applies.
     pub min_samples: u64,
+    /// Observation-window length: once a window accumulates this many keys
+    /// without tripping the threshold, the counters snapshot and the next
+    /// window starts fresh.
+    pub window: u64,
 }
 
 impl Default for DriftPolicy {
-    /// Degrade at 10% off-format traffic, judged over at least 64 keys.
+    /// Degrade at 10% off-format traffic, judged over at least 64 keys in
+    /// sliding windows of 1024.
     fn default() -> Self {
         DriftPolicy {
             threshold: 0.10,
             min_samples: 64,
+            window: 1024,
         }
     }
 }
@@ -94,10 +103,19 @@ impl DriftPolicy {
     }
 
     /// Whether `off_format` failures out of `total` observed keys warrant
-    /// degradation.
+    /// degradation. Callers pass the counts of the *current window*
+    /// ([`sepe_core::guard::GuardStats::window_counts`]); lifetime totals
+    /// would reintroduce the dilution bug this policy exists to avoid.
     #[must_use]
     pub fn should_degrade(&self, off_format: u64, total: u64) -> bool {
         total >= self.min_samples.max(1) && off_format as f64 / total as f64 > self.threshold
+    }
+
+    /// Whether a window holding `total` observations is full and should be
+    /// snapshot before the next one starts.
+    #[must_use]
+    pub fn window_full(&self, total: u64) -> bool {
+        total >= self.window.max(self.min_samples).max(1)
     }
 }
 
@@ -153,8 +171,23 @@ mod tests {
         let p = DriftPolicy {
             threshold: 0.0,
             min_samples: 1,
+            ..DriftPolicy::default()
         };
         assert!(p.should_degrade(1, 1));
         assert!(!p.should_degrade(0, 100));
+    }
+
+    #[test]
+    fn window_fills_at_the_larger_of_window_and_min_samples() {
+        let p = DriftPolicy {
+            threshold: 0.10,
+            min_samples: 200,
+            window: 100,
+        };
+        assert!(!p.window_full(199), "min_samples dominates a small window");
+        assert!(p.window_full(200));
+        let q = DriftPolicy::default();
+        assert!(!q.window_full(1023));
+        assert!(q.window_full(1024));
     }
 }

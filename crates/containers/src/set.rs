@@ -144,8 +144,15 @@ where
     pub fn guard_mode(&self) -> GuardMode {
         self.inner.guard_mode()
     }
+}
 
-    /// Degrades unconditionally and rebuilds the stored hashes.
+impl<K, F, G> UnorderedSet<K, GuardedHash<F, G>>
+where
+    K: Eq + AsRef<[u8]>,
+    F: ByteHash + Clone,
+    G: ByteHash + Clone,
+{
+    /// Degrades unconditionally and opens an incremental migration epoch.
     pub fn degrade_now(&mut self) {
         self.inner.degrade_now();
     }
@@ -154,6 +161,32 @@ where
     /// performed the transition.
     pub fn maybe_degrade(&mut self, policy: &DriftPolicy) -> bool {
         self.inner.maybe_degrade(policy)
+    }
+}
+
+impl<K, H> UnorderedSet<K, H>
+where
+    K: Eq + AsRef<[u8]>,
+    H: ByteHash,
+{
+    /// Moves up to `budget` elements out of the in-flight migration epoch.
+    pub fn migrate(&mut self, budget: usize) {
+        self.inner.migrate(budget);
+    }
+
+    /// Drains any in-flight migration epoch completely.
+    pub fn finish_migration(&mut self) {
+        self.inner.finish_migration();
+    }
+
+    /// Whether a migration epoch is currently in flight.
+    pub fn migration_in_flight(&self) -> bool {
+        self.inner.migration_in_flight()
+    }
+
+    /// Fraction of the in-flight epoch already drained (`1.0` when idle).
+    pub fn migration_progress(&self) -> f64 {
+        self.inner.migration_progress()
     }
 }
 

@@ -4,6 +4,14 @@
 //! entry arena; each entry caches its full 64-bit hash (so rehashing never
 //! re-hashes keys) and links to the next entry of its bucket. Removed slots
 //! go on a free list and are reused before the arena grows.
+//!
+//! When the hash *function* changes (a guarded hasher degrades or
+//! resynthesizes), the table does not pause the world to rebuild: it opens
+//! a migration epoch. The superseded bucket array is set aside, lookups
+//! consult both epochs, and every mutating operation drains a bounded
+//! number of entries from the old chains into the new ones — the amortized
+//! rehash of Redis and hashbrown, applied to a change of hash function
+//! rather than of capacity.
 
 use crate::policy::BucketPolicy;
 use crate::primes::grow_bucket_count;
@@ -16,6 +24,12 @@ const NONE: u32 = u32::MAX;
 /// table grows beyond its singleton state).
 const INITIAL_BUCKETS: u64 = 13;
 
+/// Entries drained from the old epoch per mutating operation while a
+/// migration is in flight. The bound keeps the latency of any single
+/// `insert`/`remove` O(`MIGRATE_STRIDE`) instead of O(len), and a table
+/// under write traffic fully drains after `len / MIGRATE_STRIDE` ops.
+pub(crate) const MIGRATE_STRIDE: usize = 16;
+
 #[derive(Debug, Clone)]
 struct Entry<K, V> {
     hash: u64,
@@ -23,8 +37,33 @@ struct Entry<K, V> {
     kv: Option<(K, V)>,
 }
 
-/// A separate-chaining hash table with cached hashes and bucket
-/// introspection. `K` must expose its bytes for hashing.
+/// One in-flight migration epoch: the superseded bucket array plus the two
+/// frozen hashers needed to probe it and to drain it.
+///
+/// Every arena entry is linked in exactly one epoch's chains. Entries in
+/// `old_heads` still carry their old-epoch cached hash; draining recomputes
+/// the hash with `rehasher` and relinks into the live bucket array.
+#[derive(Debug, Clone)]
+struct Migration<H> {
+    /// The hash function of the superseded epoch, pinned so lookups can
+    /// locate entries still filed under the old plan.
+    old_hasher: H,
+    /// A counter-silent copy of the live hash function, so draining does
+    /// not pollute drift accounting (an amortized migration must leave the
+    /// same observable counters as a stop-the-world rebuild).
+    rehasher: H,
+    old_heads: Vec<u32>,
+    /// Live entries still linked in `old_heads`.
+    old_len: usize,
+    /// `old_len` when the epoch opened, for progress reporting.
+    initial: usize,
+    /// Next old bucket the drain cursor will inspect.
+    cursor: usize,
+}
+
+/// A separate-chaining hash table with cached hashes, bucket introspection
+/// and incremental hash-function migration. `K` must expose its bytes for
+/// hashing.
 #[derive(Debug, Clone)]
 pub(crate) struct RawTable<K, V, H> {
     heads: Vec<u32>,
@@ -34,6 +73,7 @@ pub(crate) struct RawTable<K, V, H> {
     hasher: H,
     policy: BucketPolicy,
     max_load_factor: f64,
+    migration: Option<Migration<H>>,
 }
 
 impl<K, V, H> RawTable<K, V, H>
@@ -50,6 +90,7 @@ where
             hasher,
             policy,
             max_load_factor: 1.0,
+            migration: None,
         }
     }
 
@@ -61,19 +102,84 @@ where
         &mut self.hasher
     }
 
-    /// Recomputes every cached entry hash from its key and relinks the
-    /// buckets. `rehash` deliberately reuses cached hashes; this is the one
-    /// operation that must not, because the hash *function* itself changed
-    /// (a guarded hasher degraded to its fallback, or was re-synthesized).
-    pub(crate) fn rebuild_hashes(&mut self) {
-        for idx in 0..self.entries.len() {
-            let Some((key, _)) = &self.entries[idx].kv else {
-                continue;
-            };
-            let h = self.hasher.hash_bytes(key.as_ref());
-            self.entries[idx].hash = h;
+    /// Opens a migration epoch: the current bucket array becomes the old
+    /// epoch (probed with `old_hasher`), a fresh one takes live traffic,
+    /// and each subsequent mutating operation drains up to
+    /// [`MIGRATE_STRIDE`] entries by rehashing them with `rehasher`.
+    ///
+    /// `old_hasher` must reproduce the hashes the stored entries were filed
+    /// under; `rehasher` must reproduce the live hasher's values without
+    /// observable side effects (see `GuardedHash::epoch_frozen`). An epoch
+    /// already in flight is drained first, with *its* stored rehasher, so
+    /// stacked degrade/resynthesize transitions never mix plans.
+    pub(crate) fn begin_migration(&mut self, old_hasher: H, rehasher: H) {
+        self.finish_migration();
+        if self.len == 0 {
+            return;
         }
-        self.rehash(self.heads.len());
+        let buckets = self.heads.len();
+        let old_heads = std::mem::replace(&mut self.heads, vec![NONE; buckets]);
+        self.migration = Some(Migration {
+            old_hasher,
+            rehasher,
+            old_heads,
+            old_len: self.len,
+            initial: self.len,
+            cursor: 0,
+        });
+    }
+
+    /// Drains up to `budget` entries from the old epoch into the live one.
+    pub(crate) fn migrate(&mut self, budget: usize) {
+        let Some(mut mig) = self.migration.take() else {
+            return;
+        };
+        let mut moved = 0usize;
+        while moved < budget && mig.old_len > 0 {
+            while mig.cursor < mig.old_heads.len() && mig.old_heads[mig.cursor] == NONE {
+                mig.cursor += 1;
+            }
+            if mig.cursor >= mig.old_heads.len() {
+                break;
+            }
+            let idx = mig.old_heads[mig.cursor];
+            mig.old_heads[mig.cursor] = self.entries[idx as usize].next;
+            let hash = {
+                let (key, _) = self.entries[idx as usize].kv.as_ref().expect("live entry");
+                mig.rehasher.hash_bytes(key.as_ref())
+            };
+            let bucket = self.policy.bucket_of(hash, self.heads.len() as u64) as usize;
+            let e = &mut self.entries[idx as usize];
+            e.hash = hash;
+            e.next = self.heads[bucket];
+            self.heads[bucket] = idx;
+            mig.old_len -= 1;
+            moved += 1;
+        }
+        if mig.old_len > 0 {
+            self.migration = Some(mig);
+        }
+    }
+
+    /// Drains the old epoch completely; afterwards
+    /// [`RawTable::migration_in_flight`] is false.
+    pub(crate) fn finish_migration(&mut self) {
+        self.migrate(usize::MAX);
+        debug_assert!(self.migration.is_none());
+    }
+
+    /// Whether an epoch is currently being drained.
+    pub(crate) fn migration_in_flight(&self) -> bool {
+        self.migration.is_some()
+    }
+
+    /// Fraction of the opened epoch already drained: 1.0 when no migration
+    /// is in flight, monotone non-decreasing while one is.
+    pub(crate) fn migration_progress(&self) -> f64 {
+        match &self.migration {
+            None => 1.0,
+            Some(m) => 1.0 - m.old_len as f64 / m.initial.max(1) as f64,
+        }
     }
 
     pub(crate) fn policy(&self) -> BucketPolicy {
@@ -150,12 +256,10 @@ where
         }
     }
 
-    /// [`RawTable::find`] with the hash already computed (batched lookups
-    /// hash up front). Compares keys by their bytes, which agrees with `Eq`
-    /// for every key type the containers accept.
+    /// Walks the chain starting at `at` for an entry with `hash` whose key
+    /// bytes equal `key_bytes`.
     #[inline]
-    pub(crate) fn find_hashed(&self, hash: u64, key_bytes: &[u8]) -> Option<u32> {
-        let mut at = self.heads[self.bucket_of(hash)];
+    fn find_in_chain(&self, mut at: u32, hash: u64, key_bytes: &[u8]) -> Option<u32> {
         while at != NONE {
             let e = &self.entries[at as usize];
             if e.hash == hash {
@@ -170,9 +274,33 @@ where
         None
     }
 
+    /// The old-epoch chain head for `key_bytes` and the old-epoch hash it
+    /// was filed under, when a migration is in flight.
+    #[inline]
+    fn old_epoch_probe(&self, key_bytes: &[u8]) -> Option<(u32, u64)> {
+        let mig = self.migration.as_ref()?;
+        let old_hash = mig.old_hasher.hash_bytes(key_bytes);
+        let bucket = self.policy.bucket_of(old_hash, mig.old_heads.len() as u64) as usize;
+        Some((mig.old_heads[bucket], old_hash))
+    }
+
+    /// [`RawTable::find`] with the hash already computed (batched lookups
+    /// hash up front). Compares keys by their bytes, which agrees with `Eq`
+    /// for every key type the containers accept. While a migration is in
+    /// flight, a miss in the live epoch falls through to the old one.
+    #[inline]
+    pub(crate) fn find_hashed(&self, hash: u64, key_bytes: &[u8]) -> Option<u32> {
+        if let Some(idx) = self.find_in_chain(self.heads[self.bucket_of(hash)], hash, key_bytes) {
+            return Some(idx);
+        }
+        let (head, old_hash) = self.old_epoch_probe(key_bytes)?;
+        self.find_in_chain(head, old_hash, key_bytes)
+    }
+
     /// [`RawTable::insert_unique`] with the hash already computed. The
     /// caller must have computed `hash` with this table's hasher.
     pub(crate) fn insert_unique_hashed(&mut self, hash: u64, key: K, value: V) -> Option<V> {
+        self.migrate(MIGRATE_STRIDE);
         if let Some(idx) = self.find_hashed(hash, key.as_ref()) {
             let slot = &mut self.get_kv_mut(idx).1;
             return Some(std::mem::replace(slot, value));
@@ -182,27 +310,17 @@ where
         None
     }
 
-    /// Finds the arena index of the first entry matching `key`.
+    /// Finds the arena index of the first entry matching `key`, in either
+    /// epoch. Keys compare by their bytes, which agrees with `Eq` for every
+    /// key type the containers accept.
     #[inline]
     pub(crate) fn find<Q>(&self, key: &Q) -> Option<u32>
     where
         Q: ?Sized + Eq + AsRef<[u8]>,
         K: Borrow<Q>,
     {
-        let hash = self.hash_of(key.as_ref());
-        let mut at = self.heads[self.bucket_of(hash)];
-        while at != NONE {
-            let e = &self.entries[at as usize];
-            if e.hash == hash {
-                if let Some((k, _)) = &e.kv {
-                    if k.borrow() == key {
-                        return Some(at);
-                    }
-                }
-            }
-            at = e.next;
-        }
-        None
+        let bytes = key.as_ref();
+        self.find_hashed(self.hash_of(bytes), bytes)
     }
 
     pub(crate) fn get_kv(&self, idx: u32) -> &(K, V) {
@@ -216,6 +334,7 @@ where
     /// Inserts without checking for an existing equal key (multimap
     /// semantics).
     pub(crate) fn insert_multi(&mut self, key: K, value: V) {
+        self.migrate(MIGRATE_STRIDE);
         self.reserve_one();
         let hash = self.hash_of(key.as_ref());
         self.link_new(hash, key, value);
@@ -223,6 +342,7 @@ where
 
     /// Map semantics: replaces the value of an existing equal key.
     pub(crate) fn insert_unique(&mut self, key: K, value: V) -> Option<V> {
+        self.migrate(MIGRATE_STRIDE);
         if let Some(idx) = self.find(&key) {
             let slot = &mut self.get_kv_mut(idx).1;
             return Some(std::mem::replace(slot, value));
@@ -263,12 +383,14 @@ where
         self.len += 1;
     }
 
-    /// Removes the first entry matching `key`, returning its pair.
+    /// Removes the first entry matching `key`, returning its pair. Probes
+    /// the live epoch, then (during a migration) the old one.
     pub(crate) fn remove_one<Q>(&mut self, key: &Q) -> Option<(K, V)>
     where
         Q: ?Sized + Eq + AsRef<[u8]>,
         K: Borrow<Q>,
     {
+        self.migrate(MIGRATE_STRIDE);
         let hash = self.hash_of(key.as_ref());
         let bucket = self.bucket_of(hash);
         let mut prev = NONE;
@@ -285,16 +407,58 @@ where
                 } else {
                     self.entries[prev as usize].next = next;
                 }
-                let kv = self.entries[at as usize].kv.take().expect("live entry");
-                self.entries[at as usize].next = self.free_head;
-                self.free_head = at;
-                self.len -= 1;
-                return Some(kv);
+                return Some(self.free_entry(at));
             }
             prev = at;
             at = self.entries[at as usize].next;
         }
-        None
+        self.remove_one_old_epoch(key)
+    }
+
+    /// Unlinks `at` into the free list and returns its pair.
+    fn free_entry(&mut self, at: u32) -> (K, V) {
+        let kv = self.entries[at as usize].kv.take().expect("live entry");
+        self.entries[at as usize].next = self.free_head;
+        self.free_head = at;
+        self.len -= 1;
+        kv
+    }
+
+    /// The old-epoch leg of [`RawTable::remove_one`].
+    fn remove_one_old_epoch<Q>(&mut self, key: &Q) -> Option<(K, V)>
+    where
+        Q: ?Sized + Eq + AsRef<[u8]>,
+        K: Borrow<Q>,
+    {
+        let mut mig = self.migration.take()?;
+        let old_hash = mig.old_hasher.hash_bytes(key.as_ref());
+        let bucket = self.policy.bucket_of(old_hash, mig.old_heads.len() as u64) as usize;
+        let mut prev = NONE;
+        let mut at = mig.old_heads[bucket];
+        let mut found = None;
+        while at != NONE {
+            let matches = {
+                let e = &self.entries[at as usize];
+                e.hash == old_hash && e.kv.as_ref().is_some_and(|(k, _)| k.borrow() == key)
+            };
+            if matches {
+                let next = self.entries[at as usize].next;
+                if prev == NONE {
+                    mig.old_heads[bucket] = next;
+                } else {
+                    self.entries[prev as usize].next = next;
+                }
+                mig.old_len -= 1;
+                found = Some(self.free_entry(at));
+                break;
+            }
+            prev = at;
+            at = self.entries[at as usize].next;
+        }
+        if mig.old_len > 0 {
+            self.migration = Some(mig);
+        }
+        found
     }
 
     /// Removes every entry matching `key` (multimap `erase(key)`), returning
@@ -311,14 +475,12 @@ where
         removed
     }
 
-    /// Number of live entries equal to `key`.
-    pub(crate) fn count<Q>(&self, key: &Q) -> usize
+    /// Counts chain entries equal to `key` under `hash` starting at `at`.
+    fn count_in_chain<Q>(&self, mut at: u32, hash: u64, key: &Q) -> usize
     where
-        Q: ?Sized + Eq + AsRef<[u8]>,
+        Q: ?Sized + Eq,
         K: Borrow<Q>,
     {
-        let hash = self.hash_of(key.as_ref());
-        let mut at = self.heads[self.bucket_of(hash)];
         let mut n = 0;
         while at != NONE {
             let e = &self.entries[at as usize];
@@ -330,15 +492,54 @@ where
         n
     }
 
+    /// Number of live entries equal to `key`, summed over both epochs.
+    pub(crate) fn count<Q>(&self, key: &Q) -> usize
+    where
+        Q: ?Sized + Eq + AsRef<[u8]>,
+        K: Borrow<Q>,
+    {
+        let hash = self.hash_of(key.as_ref());
+        let mut n = self.count_in_chain(self.heads[self.bucket_of(hash)], hash, key);
+        if let Some((head, old_hash)) = self.old_epoch_probe(key.as_ref()) {
+            n += self.count_in_chain(head, old_hash, key);
+        }
+        n
+    }
+
     pub(crate) fn clear(&mut self) {
         self.heads.iter_mut().for_each(|h| *h = NONE);
         self.entries.clear();
         self.free_head = NONE;
         self.len = 0;
+        self.migration = None;
     }
 
     pub(crate) fn rehash(&mut self, bucket_count: usize) {
         let bucket_count = bucket_count.max(1);
+        if self.migration.is_some() {
+            // Old-epoch entries keep their old-plan hashes, so a full-arena
+            // relink would file them in the wrong buckets of the wrong
+            // epoch. Resize the live epoch only: collect its members by
+            // walking the live chains, then relink just those. The free
+            // list is untouched (only removals mutate it).
+            let mut members = Vec::with_capacity(self.len);
+            for &head in &self.heads {
+                let mut at = head;
+                while at != NONE {
+                    members.push(at);
+                    at = self.entries[at as usize].next;
+                }
+            }
+            self.heads = vec![NONE; bucket_count];
+            let policy = self.policy;
+            for &idx in members.iter().rev() {
+                let bucket =
+                    policy.bucket_of(self.entries[idx as usize].hash, bucket_count as u64) as usize;
+                self.entries[idx as usize].next = self.heads[bucket];
+                self.heads[bucket] = idx;
+            }
+            return;
+        }
         self.heads = vec![NONE; bucket_count];
         let policy = self.policy;
         for idx in 0..self.entries.len() {
@@ -359,7 +560,9 @@ where
         }
     }
 
-    /// Number of live entries in bucket `i`.
+    /// Number of live entries in bucket `i` of the *live* epoch (entries
+    /// still awaiting migration are not counted — finish the migration
+    /// first for whole-table bucket statistics).
     pub(crate) fn bucket_len(&self, i: usize) -> usize {
         let mut at = self.heads[i];
         let mut n = 0;

@@ -212,6 +212,11 @@ fn word_test(pattern: &KeyPattern, offset: usize) -> (u64, u64) {
 pub struct GuardStats {
     in_format: AtomicU64,
     off_format: AtomicU64,
+    /// Lifetime totals at the start of the current observation window —
+    /// [`GuardStats::window_counts`] judges drift over the delta, so early
+    /// clean traffic cannot dilute a later burst forever.
+    win_in_base: AtomicU64,
+    win_off_base: AtomicU64,
 }
 
 impl GuardStats {
@@ -259,10 +264,34 @@ impl GuardStats {
         }
     }
 
-    /// Resets both counters (used after a degradation or resynthesis).
+    /// Off-format and total counts observed since the last
+    /// [`GuardStats::roll_window`] (or reset). Saturating: a racing reset
+    /// can only shrink the deltas, never underflow them.
+    #[must_use]
+    pub fn window_counts(&self) -> (u64, u64) {
+        let in_delta = self
+            .in_format()
+            .saturating_sub(self.win_in_base.load(Ordering::Relaxed));
+        let off_delta = self
+            .off_format()
+            .saturating_sub(self.win_off_base.load(Ordering::Relaxed));
+        (off_delta, in_delta + off_delta)
+    }
+
+    /// Starts a new observation window at the current lifetime totals.
+    pub fn roll_window(&self) {
+        self.win_in_base.store(self.in_format(), Ordering::Relaxed);
+        self.win_off_base
+            .store(self.off_format(), Ordering::Relaxed);
+    }
+
+    /// Resets all counters, window bases included (used after a
+    /// degradation or resynthesis).
     pub fn reset(&self) {
         self.in_format.store(0, Ordering::Relaxed);
         self.off_format.store(0, Ordering::Relaxed);
+        self.win_in_base.store(0, Ordering::Relaxed);
+        self.win_off_base.store(0, Ordering::Relaxed);
     }
 }
 
@@ -367,6 +396,14 @@ pub struct GuardedHash<F, G> {
     stats: Arc<GuardStats>,
     mode: Arc<AtomicU8>,
     reservoir: Arc<Mutex<Reservoir>>,
+    /// When set, routing ignores the shared mode — an epoch-frozen copy
+    /// must keep reproducing the hashes of the epoch it was taken in even
+    /// after the live hasher flips (see [`GuardedHash::epoch_frozen`]).
+    forced_mode: Option<GuardMode>,
+    /// When set, hashing skips the drift counters and the reservoir, so an
+    /// incremental migration rehashing old entries leaves the observable
+    /// drift accounting identical to a stop-the-world rebuild.
+    silent: bool,
 }
 
 impl<F, G> GuardedHash<F, G> {
@@ -381,6 +418,8 @@ impl<F, G> GuardedHash<F, G> {
             stats: Arc::new(GuardStats::default()),
             mode: Arc::new(AtomicU8::new(GuardMode::Guarded as u8)),
             reservoir: Arc::new(Mutex::new(Reservoir::default())),
+            forced_mode: None,
+            silent: false,
         }
     }
 
@@ -408,14 +447,37 @@ impl<F, G> GuardedHash<F, G> {
         &self.stats
     }
 
-    /// The current routing mode.
+    /// The current routing mode (the pinned one for epoch-frozen copies).
     #[must_use]
     pub fn mode(&self) -> GuardMode {
+        if let Some(m) = self.forced_mode {
+            return m;
+        }
         if self.mode.load(Ordering::Relaxed) == GuardMode::Degraded as u8 {
             GuardMode::Degraded
         } else {
             GuardMode::Guarded
         }
+    }
+
+    /// A copy of this hasher pinned to `mode`, with drift accounting and
+    /// reservoir sampling disabled.
+    ///
+    /// The copy owns the current guard and specialized function (clones do
+    /// not track later `resynthesize` calls), so it reproduces this epoch's
+    /// hash of every key forever — exactly what an incremental migration
+    /// needs to locate entries stored under a superseded plan, without
+    /// double-counting them as live traffic.
+    #[must_use]
+    pub fn epoch_frozen(&self, mode: GuardMode) -> Self
+    where
+        F: Clone,
+        G: Clone,
+    {
+        let mut frozen = self.clone();
+        frozen.forced_mode = Some(mode);
+        frozen.silent = true;
+        frozen
     }
 
     /// Whether the hasher has flipped to fallback-for-everything.
@@ -530,17 +592,21 @@ impl<G> GuardedHash<SynthesizedHash, G> {
 impl<F: ByteHash, G: ByteHash> ByteHash for GuardedHash<F, G> {
     #[inline]
     fn hash_bytes(&self, key: &[u8]) -> u64 {
-        if self.mode.load(Ordering::Relaxed) == GuardMode::Degraded as u8 {
+        if self.mode() == GuardMode::Degraded {
             return self.off_format_hash(key);
         }
         if self.guard.matches(key) {
-            GuardStats::bump(&self.stats.in_format);
+            if !self.silent {
+                GuardStats::bump(&self.stats.in_format);
+            }
             self.specialized.hash_bytes(key)
         } else {
-            GuardStats::bump(&self.stats.off_format);
-            // Sampling must never block the hash path: skip when contended.
-            if let Ok(mut r) = self.reservoir.try_lock() {
-                r.offer(key);
+            if !self.silent {
+                GuardStats::bump(&self.stats.off_format);
+                // Sampling must never block the hash path: skip when contended.
+                if let Ok(mut r) = self.reservoir.try_lock() {
+                    r.offer(key);
+                }
             }
             self.off_format_hash(key)
         }
@@ -560,7 +626,7 @@ impl<F: crate::hash::HashBatch, G: ByteHash> crate::hash::HashBatch for GuardedH
     /// exactly the scalar path's.
     fn hash_batch(&self, keys: &[&[u8]], out: &mut [u64]) {
         assert_eq!(keys.len(), out.len(), "batch output length mismatch");
-        if self.mode.load(Ordering::Relaxed) == GuardMode::Degraded as u8 {
+        if self.mode() == GuardMode::Degraded {
             for (key, slot) in keys.iter().zip(out.iter_mut()) {
                 *slot = self.off_format_hash(key);
             }
@@ -573,18 +639,24 @@ impl<F: crate::hash::HashBatch, G: ByteHash> crate::hash::HashBatch for GuardedH
             let chunk = &keys[start..start + n];
             self.guard.check_batch(chunk, &mut verdicts[..n]);
             if verdicts[..n].iter().all(|&v| v) {
-                GuardStats::bump_many(&self.stats.in_format, n as u64);
+                if !self.silent {
+                    GuardStats::bump_many(&self.stats.in_format, n as u64);
+                }
                 self.specialized
                     .hash_batch(chunk, &mut out[start..start + n]);
             } else {
                 for (lane, (&key, &ok)) in chunk.iter().zip(&verdicts[..n]).enumerate() {
                     out[start + lane] = if ok {
-                        GuardStats::bump(&self.stats.in_format);
+                        if !self.silent {
+                            GuardStats::bump(&self.stats.in_format);
+                        }
                         self.specialized.hash_bytes(key)
                     } else {
-                        GuardStats::bump(&self.stats.off_format);
-                        if let Ok(mut r) = self.reservoir.try_lock() {
-                            r.offer(key);
+                        if !self.silent {
+                            GuardStats::bump(&self.stats.off_format);
+                            if let Ok(mut r) = self.reservoir.try_lock() {
+                                r.offer(key);
+                            }
                         }
                         self.off_format_hash(key)
                     };
@@ -838,5 +910,54 @@ mod tests {
         let mut guarded = GuardedHash::from_pattern(&pattern, Family::OffXor, Stl);
         let _ = guarded.hash_bytes(b"12345678");
         assert!(!guarded.resynthesize());
+    }
+
+    #[test]
+    fn window_counts_cover_only_traffic_since_the_last_roll() {
+        let stats = GuardStats::default();
+        GuardStats::bump_many(&stats.in_format, 100);
+        GuardStats::bump_many(&stats.off_format, 3);
+        assert_eq!(stats.window_counts(), (3, 103));
+        stats.roll_window();
+        assert_eq!(stats.window_counts(), (0, 0));
+        GuardStats::bump_many(&stats.off_format, 7);
+        GuardStats::bump_many(&stats.in_format, 13);
+        assert_eq!(stats.window_counts(), (7, 20));
+        assert_eq!(stats.total(), 123, "lifetime totals are untouched");
+        stats.reset();
+        assert_eq!(stats.window_counts(), (0, 0));
+        assert_eq!(stats.total(), 0);
+    }
+
+    #[test]
+    fn epoch_frozen_copies_pin_routing_and_stay_silent() {
+        let pattern = Regex::compile(r"\d{3}-\d{2}-\d{4}").unwrap();
+        let inner = SynthesizedHash::from_pattern(&pattern, Family::OffXor);
+        let live = GuardedHash::new(&pattern, inner.clone(), Stl);
+        let frozen_guarded = live.epoch_frozen(GuardMode::Guarded);
+        let frozen_degraded = live.epoch_frozen(GuardMode::Degraded);
+        let key: &[u8] = b"123-45-6789";
+        let off: &[u8] = b"not an ssn!";
+
+        // The pinned copies ignore the shared flip.
+        live.degrade();
+        assert_eq!(frozen_guarded.mode(), GuardMode::Guarded);
+        assert_eq!(frozen_guarded.hash_bytes(key), inner.hash_bytes(key));
+        assert_eq!(
+            frozen_degraded.hash_bytes(key),
+            live.hash_bytes(key),
+            "degraded-pinned copy matches the live degraded hash"
+        );
+
+        // Silent copies never touch the shared counters or the reservoir.
+        let before = live.stats().total();
+        let _ = frozen_guarded.hash_bytes(off);
+        let _ = frozen_degraded.hash_bytes(off);
+        use crate::hash::HashBatch;
+        let mut out = [0u64; 2];
+        frozen_guarded.hash_batch(&[key, off], &mut out);
+        assert_eq!(out[0], inner.hash_bytes(key));
+        assert_eq!(live.stats().total(), before);
+        assert!(frozen_guarded.reservoir_keys().is_empty());
     }
 }

@@ -33,6 +33,51 @@ pub enum SynthError {
     /// oversized `{n}` repetition past the expansion limit, or an optional
     /// part before a mandatory one.
     Expand(ExpandError),
+    /// A serialized plan was not syntactically valid JSON, or not the JSON
+    /// shape of a plan/bundle. Carries the parser's position and message.
+    MalformedPlan {
+        /// Byte offset of the failure in the input.
+        at: usize,
+        /// What the parser expected or found.
+        message: String,
+    },
+    /// A serialized bundle declared a schema version this build does not
+    /// speak.
+    PlanVersion {
+        /// Version stored in the bundle.
+        found: u64,
+        /// Version this build reads and writes.
+        supported: u64,
+    },
+    /// A serialized bundle's payload does not match its stored checksum —
+    /// the plan was truncated, bit-flipped, or hand-edited in transit.
+    PlanChecksum {
+        /// Checksum stored in the bundle.
+        stored: u64,
+        /// Checksum recomputed over the payload actually received.
+        computed: u64,
+    },
+    /// A plan contains a load that reads past the key length its pattern
+    /// admits, which the unchecked batch kernels must never see.
+    PlanLoadOutOfBounds {
+        /// Byte offset of the offending load.
+        offset: u32,
+        /// Width of the load in bytes (8 for words, 16 for blocks).
+        width: u32,
+        /// Key length the plan's region admits.
+        key_len: usize,
+    },
+    /// A plan's extraction masks disagree with its pattern: a pext mask
+    /// selects bits the pattern marks constant, or a non-pext op carries a
+    /// mask other than the full word.
+    PlanMaskConstBits,
+    /// A bundle's plan shape disagrees with its declared family or pattern
+    /// (for example a block plan under a word family, or word offsets that
+    /// could never have been synthesized for the pattern's length).
+    PlanPatternMismatch {
+        /// What disagreed, in one phrase.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SynthError {
@@ -46,6 +91,40 @@ impl fmt::Display for SynthError {
             }
             SynthError::Parse(e) => write!(f, "regex parse error: {e}"),
             SynthError::Expand(e) => write!(f, "regex expansion error: {e}"),
+            SynthError::MalformedPlan { at, message } => {
+                write!(f, "malformed plan at byte {at}: {message}")
+            }
+            SynthError::PlanVersion { found, supported } => {
+                write!(
+                    f,
+                    "plan schema version {found} is not supported (this build reads version {supported})"
+                )
+            }
+            SynthError::PlanChecksum { stored, computed } => {
+                write!(
+                    f,
+                    "plan checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+                )
+            }
+            SynthError::PlanLoadOutOfBounds {
+                offset,
+                width,
+                key_len,
+            } => {
+                write!(
+                    f,
+                    "plan load at offset {offset} ({width} bytes) reads past the {key_len}-byte key its pattern admits"
+                )
+            }
+            SynthError::PlanMaskConstBits => {
+                write!(
+                    f,
+                    "plan extraction masks are inconsistent with the pattern's constant bits"
+                )
+            }
+            SynthError::PlanPatternMismatch { detail } => {
+                write!(f, "plan does not fit its declared family/pattern: {detail}")
+            }
         }
     }
 }

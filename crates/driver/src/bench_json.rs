@@ -11,11 +11,15 @@
 //! ratio of the two is the headline number of this subsystem.
 
 use crate::analysis::RunScale;
+use sepe_baselines::CityHash;
+use sepe_containers::UnorderedMap;
+use sepe_core::guard::GuardedHash;
 use sepe_core::hash::{ByteHash, HashBatch};
 use sepe_core::plan_io::Json;
+use sepe_core::regex::Regex;
 use sepe_core::synth::Family;
 use sepe_core::SynthesizedHash;
-use sepe_keygen::{Distribution, KeySampler};
+use sepe_keygen::{Distribution, KeySampler, SplitMix64};
 use std::collections::BTreeMap;
 use std::time::Instant;
 
@@ -165,9 +169,116 @@ pub fn run_suite(scale: &RunScale, config: &BenchConfig) -> Vec<BenchRecord> {
     records
 }
 
+/// One (format, phase) measurement of the migration scenario: the same
+/// mixed get/insert/remove workload timed at steady state, while an epoch
+/// migration is draining entries to the fallback hasher, and after the
+/// drain completes. `migrating` vs `steady` is the amortization tax the
+/// incremental scheme pays instead of a stop-the-world rebuild.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationRecord {
+    /// Key format name (`ssn`, `ipv4`, …).
+    pub format: String,
+    /// `steady`, `migrating` (epoch drain in flight) or `drained`.
+    pub phase: String,
+    /// Nanoseconds per map operation, median over the sample runs.
+    pub ns_per_op: f64,
+    /// Million operations per second (1000 / ns_per_op).
+    pub throughput_mops: f64,
+}
+
+type GuardedMap = UnorderedMap<String, u64, GuardedHash<SynthesizedHash, CityHash>>;
+
+/// Runs `ops` mixed operations against `map`: 50% lookups, 30% value
+/// overwrites, 20% remove-then-reinsert, all over the shared key pool.
+fn churn(map: &mut GuardedMap, keys: &[String], rng: &mut SplitMix64, ops: usize) {
+    for _ in 0..ops {
+        let r = rng.next_u64();
+        let key = &keys[(r >> 8) as usize % keys.len()];
+        match r % 10 {
+            0..=4 => {
+                std::hint::black_box(map.get(key));
+            }
+            5..=7 => {
+                map.insert(key.clone(), r);
+            }
+            _ => {
+                map.remove(key);
+                map.insert(key.clone(), r);
+            }
+        }
+    }
+}
+
+fn churn_ns_per_op(map: &mut GuardedMap, keys: &[String], rng: &mut SplitMix64, ops: usize) -> f64 {
+    let start = Instant::now();
+    churn(map, keys, rng, ops);
+    start.elapsed().as_secs_f64() * 1e9 / ops as f64
+}
+
+/// Measures the three phases of the migration scenario for every format in
+/// `scale.formats`. A migration is observable exactly once per degrade, so
+/// every sample rebuilds the map and re-triggers the epoch flip; the
+/// `migrating` phase times operations only while the drain is in flight.
+#[must_use]
+pub fn migration_records(scale: &RunScale, config: &BenchConfig) -> Vec<MigrationRecord> {
+    let mut records = Vec::new();
+    for &format in &scale.formats {
+        let cap = usize::try_from(format.space()).unwrap_or(usize::MAX).max(1);
+        let pool_size = config.pool_size.min(cap).max(1);
+        let mut sampler = KeySampler::new(format, Distribution::Normal, 0x517A);
+        let keys = sampler.distinct_pool(pool_size);
+        let pattern = Regex::compile(&format.regex()).expect("paper formats compile");
+        let mut phases: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        for sample in 0..config.samples.max(1) {
+            let hasher = GuardedHash::from_pattern(&pattern, Family::OffXor, CityHash::new());
+            let mut map: GuardedMap = UnorderedMap::with_hasher(hasher);
+            let mut rng = SplitMix64::new(0x9E1C ^ sample as u64);
+            for (i, key) in keys.iter().enumerate() {
+                map.insert(key.clone(), i as u64);
+            }
+            churn(&mut map, &keys, &mut rng, config.iterations.min(4096));
+            phases[0].push(churn_ns_per_op(
+                &mut map,
+                &keys,
+                &mut rng,
+                config.iterations,
+            ));
+            map.degrade_now();
+            let start = Instant::now();
+            let mut ops = 0usize;
+            while map.migration_in_flight() && ops < config.iterations {
+                churn(&mut map, &keys, &mut rng, 64);
+                ops += 64;
+            }
+            phases[1].push(start.elapsed().as_secs_f64() * 1e9 / ops as f64);
+            map.finish_migration();
+            phases[2].push(churn_ns_per_op(
+                &mut map,
+                &keys,
+                &mut rng,
+                config.iterations,
+            ));
+        }
+        for (phase, runs) in ["steady", "migrating", "drained"]
+            .iter()
+            .zip(phases.iter_mut())
+        {
+            runs.sort_by(f64::total_cmp);
+            let ns = runs[runs.len() / 2];
+            records.push(MigrationRecord {
+                format: format.name().to_string(),
+                phase: (*phase).to_string(),
+                ns_per_op: ns,
+                throughput_mops: if ns > 0.0 { 1e3 / ns } else { 0.0 },
+            });
+        }
+    }
+    records
+}
+
 /// Renders records as the `sepe-bench/v1` JSON document.
 #[must_use]
-pub fn to_json(date: &str, records: &[BenchRecord]) -> Json {
+pub fn to_json(date: &str, records: &[BenchRecord], migration: &[MigrationRecord]) -> Json {
     let rows: Vec<Json> = records
         .iter()
         .map(|r| {
@@ -183,10 +294,22 @@ pub fn to_json(date: &str, records: &[BenchRecord]) -> Json {
             Json::Obj(obj)
         })
         .collect();
+    let migration_rows: Vec<Json> = migration
+        .iter()
+        .map(|m| {
+            let mut obj = BTreeMap::new();
+            obj.insert("format".to_string(), Json::Str(m.format.clone()));
+            obj.insert("phase".to_string(), Json::Str(m.phase.clone()));
+            obj.insert("ns_per_op".to_string(), Json::Num(m.ns_per_op));
+            obj.insert("throughput_mops".to_string(), Json::Num(m.throughput_mops));
+            Json::Obj(obj)
+        })
+        .collect();
     let mut doc = BTreeMap::new();
     doc.insert("schema".to_string(), Json::Str("sepe-bench/v1".to_string()));
     doc.insert("date".to_string(), Json::Str(date.to_string()));
     doc.insert("records".to_string(), Json::Arr(rows));
+    doc.insert("migration".to_string(), Json::Arr(migration_rows));
     Json::Obj(doc)
 }
 
@@ -250,7 +373,13 @@ mod tests {
             ns_per_key: 1.25,
             throughput_mkeys: 800.0,
         }];
-        let doc = to_json("2026-01-01", &records);
+        let migration = vec![MigrationRecord {
+            format: "ssn".to_string(),
+            phase: "migrating".to_string(),
+            ns_per_op: 42.0,
+            throughput_mops: 1e3 / 42.0,
+        }];
+        let doc = to_json("2026-01-01", &records, &migration);
         let parsed = Json::parse(&doc.to_string()).expect("emitted JSON parses");
         assert_eq!(parsed.get("schema").as_str(), Some("sepe-bench/v1"));
         assert_eq!(parsed.get("date").as_str(), Some("2026-01-01"));
@@ -258,6 +387,26 @@ mod tests {
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].get("width").as_u64(), Some(8));
         assert_eq!(rows[0].get("family").as_str(), Some("pext"));
+        let migr = parsed.get("migration").as_arr().expect("migration array");
+        assert_eq!(migr.len(), 1);
+        assert_eq!(migr[0].get("phase").as_str(), Some("migrating"));
+        assert_eq!(migr[0].get("format").as_str(), Some("ssn"));
+    }
+
+    #[test]
+    fn migration_scenario_measures_all_three_phases_per_format() {
+        let scale = tiny_scale();
+        let config = BenchConfig::from_scale(&scale);
+        let records = migration_records(&scale, &config);
+        assert_eq!(records.len(), scale.formats.len() * 3);
+        for phase in ["steady", "migrating", "drained"] {
+            let row = records
+                .iter()
+                .find(|r| r.phase == phase)
+                .unwrap_or_else(|| panic!("missing phase {phase}"));
+            assert!(row.ns_per_op > 0.0 && row.ns_per_op.is_finite(), "{row:?}");
+            assert!(row.throughput_mops > 0.0, "{row:?}");
+        }
     }
 
     #[test]

@@ -303,7 +303,7 @@ pub fn faulted_pool(
 /// # Errors
 ///
 /// Returns a description of the first divergence from the model.
-pub fn check_guarded_container<G: ByteHash>(
+pub fn check_guarded_container<G: ByteHash + Clone>(
     hasher: GuardedHash<SynthesizedHash, G>,
     pool: &[Vec<u8>],
     policy: &DriftPolicy,
@@ -408,7 +408,7 @@ fn check_contents<H: ByteHash>(
 /// Drives a guarded map over the drift threshold with ≥10% injected
 /// off-format keys and asserts the full degradation state machine:
 /// `Guarded` before the threshold, exactly one transition to `Degraded`,
-/// and no key lost across the wholesale rehash.
+/// and no key lost while the epoch migration is in flight.
 ///
 /// # Errors
 ///
@@ -424,6 +424,7 @@ pub fn check_degradation<G: ByteHash + Clone>(
     let policy = DriftPolicy {
         threshold: 0.10,
         min_samples: 32,
+        ..DriftPolicy::default()
     };
     let hasher = GuardedHash::from_pattern(pattern, family, fallback);
     let mut map: UnorderedMap<Vec<u8>, u64, _> = UnorderedMap::with_hasher(hasher);
@@ -460,10 +461,20 @@ pub fn check_degradation<G: ByteHash + Clone>(
     if map.maybe_degrade(&policy) {
         return Err("degradation transition was not idempotent".to_owned());
     }
-    // Every key must survive the flip-and-rebuild.
+    // Every key must survive the flip, both mid-migration and after an
+    // explicit drain.
     for key in clean.iter().chain(&pool) {
         if !map.contains_key(key.as_slice()) {
-            return Err(format!("key {key:?} lost across the degradation rehash"));
+            return Err(format!("key {key:?} lost mid-migration"));
+        }
+    }
+    map.finish_migration();
+    if map.migration_in_flight() {
+        return Err("finish_migration left the epoch in flight".to_owned());
+    }
+    for key in clean.iter().chain(&pool) {
+        if !map.contains_key(key.as_slice()) {
+            return Err(format!("key {key:?} lost across the degradation drain"));
         }
     }
     Ok(())

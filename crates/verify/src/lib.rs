@@ -28,7 +28,12 @@
 //! * [`faults`] — a fault injector that mutates pool keys off-format
 //!   (length edits, byte flips out of the allowed ranges) and model-checks
 //!   `GuardedHash`-backed containers, including the drift-triggered
-//!   degradation transition, under injected faults.
+//!   degradation transition, under injected faults;
+//! * [`migration`] — a chaos harness for the incremental migration state
+//!   machine: interrupted epochs with drift bursts model-checked against an
+//!   eagerly drained twin and `std::collections::HashMap` (contents *and*
+//!   drift counters must agree exactly), batched operations across epoch
+//!   boundaries, and typed rejection of corrupted plan bundles.
 //!
 //! [`Plan`]: sepe_core::synth::Plan
 
@@ -41,4 +46,5 @@ pub mod faults;
 pub mod formats;
 pub mod interp;
 pub mod invariants;
+pub mod migration;
 pub mod model;

@@ -12,8 +12,13 @@
 //! inversion, lattice soundness), `model` (container operations vs.
 //! `std::collections::HashMap`), `faults` (fault-injected guarded
 //! containers and the degradation state machine, including batched guard
-//! checks; `--inject-faults` is a shorthand), or `all` (default, faults
-//! included). Exits non-zero on the first failing suite.
+//! checks), `migration` (interrupted incremental migrations with drift
+//! bursts, model-checked against an eagerly drained twin for content *and*
+//! counter equivalence, plus typed rejection of corrupted plan bundles),
+//! or `all` (default, faults and migration included). `--inject-faults`
+//! alone is a shorthand for `--suite faults`; combined with an explicit
+//! `--suite` it keeps that suite. Exits non-zero on the first failing
+//! suite.
 
 use sepe_baselines::CityHash;
 use sepe_core::guard::GuardedHash;
@@ -22,7 +27,9 @@ use sepe_core::regex::Regex;
 use sepe_core::synth::{synthesize, Family};
 use sepe_core::Isa;
 use sepe_keygen::{KeyFormat, SplitMix64};
-use sepe_verify::{batch, differential, faults, formats::RandomFormat, invariants, model};
+use sepe_verify::{
+    batch, differential, faults, formats::RandomFormat, invariants, migration, model,
+};
 
 struct Options {
     formats: usize,
@@ -40,6 +47,8 @@ fn parse_args() -> Result<Options, String> {
         seed: 0x5E9E,
         suite: "all".to_owned(),
     };
+    let mut suite_chosen = false;
+    let mut inject_faults = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
@@ -59,17 +68,27 @@ fn parse_args() -> Result<Options, String> {
                 let v = value("--seed")?;
                 opts.seed = parse_u64(&v).map_err(|e| format!("--seed: {e}"))?;
             }
-            "--suite" => opts.suite = value("--suite")?,
-            "--inject-faults" => opts.suite = "faults".to_owned(),
+            "--suite" => {
+                opts.suite = value("--suite")?;
+                suite_chosen = true;
+            }
+            "--inject-faults" => inject_faults = true,
             "--help" | "-h" => {
                 println!(
                     "usage: sepe-verify [--formats N] [--keys N] [--ops N] [--seed S] \
-                     [--suite differential|batch|invariants|model|faults|all] [--inject-faults]"
+                     [--suite differential|batch|invariants|model|faults|migration|all] \
+                     [--inject-faults]"
                 );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument {other}")),
         }
+    }
+    // `--inject-faults` alone selects the faults suite; next to an explicit
+    // `--suite` (e.g. `--suite migration --inject-faults`) it must not
+    // clobber the choice — the migration suite injects faults regardless.
+    if inject_faults && !suite_chosen {
+        opts.suite = "faults".to_owned();
     }
     Ok(opts)
 }
@@ -344,6 +363,70 @@ fn run_faults(opts: &Options) -> Result<String, String> {
     ))
 }
 
+fn run_migration(opts: &Options) -> Result<String, String> {
+    let mut rng = SplitMix64::new(opts.seed ^ 0xE90C);
+    let mut stats = migration::MigrationStats::default();
+    let mut lanes = 0usize;
+    let mut rejected = 0usize;
+
+    // Interrupted migrations, batched epoch crossings and corrupted-bundle
+    // rejection over the paper formats, all four families.
+    for format in [KeyFormat::Ssn, KeyFormat::Ipv4, KeyFormat::Uuid] {
+        let pattern = Regex::compile(&format.regex()).expect("compiles");
+        let clean = sample_pattern_keys(&pattern, &mut rng, 64);
+        for (i, family) in Family::ALL.into_iter().enumerate() {
+            let s = migration::check_interrupted_migration(
+                &pattern,
+                family,
+                CityHash::new(),
+                &clean,
+                opts.ops,
+                opts.seed ^ (i as u64) << 8,
+            )
+            .map_err(|e| format!("{} {family}: {e}", format.name()))?;
+            stats.absorb(s);
+            lanes += migration::check_batched_epoch_boundary(
+                &pattern,
+                family,
+                CityHash::new(),
+                &clean,
+                opts.seed ^ (i as u64) << 8,
+            )
+            .map_err(|e| format!("{} {family} (batched): {e}", format.name()))?;
+            rejected += migration::check_corrupted_plans_rejected(&pattern, family)
+                .map_err(|e| format!("{} {family} (corrupted plans): {e}", format.name()))?;
+        }
+    }
+
+    // A slice of seeded random formats, families rotated.
+    for i in 0..(opts.formats / 10).max(3) {
+        let format = RandomFormat::generate(&mut rng);
+        let pattern = format.pattern();
+        let clean = format.sample_keys(&mut rng, 48);
+        let family = Family::ALL[i % Family::ALL.len()];
+        let s = migration::check_interrupted_migration(
+            &pattern,
+            family,
+            CityHash::new(),
+            &clean,
+            opts.ops / 2,
+            opts.seed ^ (i as u64),
+        )
+        .map_err(|e| format!("random format {i} {family}: {e}"))?;
+        stats.absorb(s);
+        rejected += migration::check_corrupted_plans_rejected(&pattern, family)
+            .map_err(|e| format!("random format {i} {family} (corrupted plans): {e}"))?;
+    }
+
+    Ok(format!(
+        "{} ops across interrupted migrations ({} interruptions, {} epoch transitions, \
+         {} drift bursts, {} checkpoints), {lanes} batched lanes across epoch boundaries, \
+         {rejected} corrupted bundles rejected with typed errors — contents and drift \
+         counters matched the eagerly drained twin and std::collections::HashMap throughout",
+        stats.ops, stats.interruptions, stats.transitions, stats.bursts, stats.checkpoints
+    ))
+}
+
 fn main() {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -359,12 +442,14 @@ fn main() {
         "invariants" => vec![("invariants", run_invariants)],
         "model" => vec![("model", run_model)],
         "faults" => vec![("faults", run_faults)],
+        "migration" => vec![("migration", run_migration)],
         "all" => vec![
             ("differential", run_differential),
             ("batch", run_batch),
             ("invariants", run_invariants),
             ("model", run_model),
             ("faults", run_faults),
+            ("migration", run_migration),
         ],
         other => {
             eprintln!("sepe-verify: unknown suite {other}");

@@ -1,0 +1,121 @@
+//! Property-based tests for the epoch migration machinery: `resynthesize`
+//! must reset the drift counters and the reservoir *exactly* (a guard that
+//! keeps stale counts re-degrades on phantom drift), and `hash_of` must
+//! agree with a freshly constructed scalar [`SynthesizedHash`] across an
+//! epoch boundary — the live hasher routes through the new plan even while
+//! stored entries still sit in the old epoch's buckets.
+
+use proptest::prelude::*;
+use sepe_containers::UnorderedMap;
+use sepe_core::guard::{GuardMode, GuardedHash};
+use sepe_core::hash::{stl_hash_bytes, ByteHash};
+use sepe_core::synth::Family;
+use sepe_core::SynthesizedHash;
+use sepe_keygen::SplitMix64;
+use sepe_verify::faults::mutate_off_format;
+use sepe_verify::formats::RandomFormat;
+
+#[derive(Clone)]
+struct Stl;
+impl ByteHash for Stl {
+    fn hash_bytes(&self, key: &[u8]) -> u64 {
+        stl_hash_bytes(key, 0)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `resynthesize()` rearms the guard completely: lifetime counters,
+    /// window counters, reservoir and mode all return to their fresh
+    /// state, no matter what traffic preceded the call.
+    #[test]
+    fn resynthesize_resets_stats_and_reservoir_exactly(seed in any::<u64>()) {
+        let mut rng = SplitMix64::new(seed);
+        let format = RandomFormat::generate(&mut rng);
+        let pattern = format.pattern();
+        for family in Family::ALL {
+            let hasher = GuardedHash::from_pattern(&pattern, family, Stl);
+            let mut map: UnorderedMap<Vec<u8>, u64, _> = UnorderedMap::with_hasher(hasher);
+            let mut inserted = std::collections::HashSet::new();
+            let mut i = 0u64;
+            for key in format.sample_keys(&mut rng, 24) {
+                map.insert(key.clone(), i);
+                inserted.insert(key.clone());
+                i += 1;
+                // Off-format traffic populates both counters and reservoir.
+                let off = mutate_off_format(&pattern, &key, &mut rng);
+                inserted.insert(off.clone());
+                map.insert(off, i);
+                i += 1;
+            }
+            prop_assert!(map.drift_stats().off_format() > 0, "{family}: no drift recorded");
+            prop_assert!(
+                !map.hasher().reservoir_keys().is_empty(),
+                "{family}: empty reservoir"
+            );
+            prop_assert!(map.resynthesize(), "{family}: resynthesize refused");
+            let stats = map.drift_stats();
+            prop_assert_eq!(stats.in_format(), 0, "{} lifetime in_format survived", family);
+            prop_assert_eq!(stats.off_format(), 0, "{} lifetime off_format survived", family);
+            prop_assert_eq!(stats.window_counts(), (0, 0), "{} window survived", family);
+            prop_assert!(
+                map.hasher().reservoir_keys().is_empty(),
+                "{family}: reservoir survived resynthesize"
+            );
+            prop_assert_eq!(map.guard_mode(), GuardMode::Guarded, "{} mode", family);
+            // The epoch the resynthesize opened must drain losslessly.
+            map.finish_migration();
+            prop_assert_eq!(map.len(), inserted.len(), "{} entries lost across the epoch", family);
+        }
+    }
+
+    /// Mid-migration, `hash_of` agrees with an independently constructed
+    /// scalar `SynthesizedHash` over the widened pattern, for every family:
+    /// the epoch boundary changes where entries *live*, never how live
+    /// traffic is hashed.
+    #[test]
+    fn hash_of_matches_scalar_hash_across_an_epoch_boundary(seed in any::<u64>()) {
+        let mut rng = SplitMix64::new(seed);
+        let format = RandomFormat::generate(&mut rng);
+        let pattern = format.pattern();
+        let clean = format.sample_keys(&mut rng, 24);
+        for family in Family::ALL {
+            let hasher = GuardedHash::from_pattern(&pattern, family, Stl);
+            let mut map: UnorderedMap<Vec<u8>, u64, _> = UnorderedMap::with_hasher(hasher);
+            for (i, key) in clean.iter().enumerate() {
+                map.insert(key.clone(), i as u64);
+                map.insert(mutate_off_format(&pattern, key, &mut rng), i as u64);
+            }
+            prop_assert!(map.resynthesize(), "{family}: resynthesize refused");
+            prop_assert!(map.migration_in_flight(), "{family}: no epoch in flight");
+
+            // The widened pattern the guard now enforces, and a scalar
+            // hash built from scratch for it, must reproduce `hash_of` on
+            // every in-format key while the old epoch still holds entries.
+            let widened = map.hasher().guard().pattern().clone();
+            let scalar = SynthesizedHash::from_pattern(&widened, family);
+            for key in &clean {
+                prop_assert!(widened.matches(key), "{family}: widening dropped {key:?}");
+                prop_assert_eq!(
+                    map.hash_of(key),
+                    scalar.hash_bytes(key),
+                    "{} diverged from the scalar hash mid-migration on {:?}",
+                    family,
+                    key
+                );
+            }
+            // Same agreement after the drain: the boundary is invisible.
+            map.finish_migration();
+            for key in &clean {
+                prop_assert_eq!(
+                    map.hash_of(key),
+                    scalar.hash_bytes(key),
+                    "{} diverged from the scalar hash after the drain on {:?}",
+                    family,
+                    key
+                );
+            }
+        }
+    }
+}
