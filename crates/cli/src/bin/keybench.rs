@@ -30,6 +30,7 @@ struct Options {
     drift_threshold: Option<f64>,
     batch: Option<usize>,
     churn: Option<usize>,
+    threads: Option<usize>,
     path: Option<String>,
 }
 
@@ -39,6 +40,7 @@ fn parse_args() -> Result<Options, String> {
     let mut drift_threshold = None;
     let mut batch = None;
     let mut churn = None;
+    let mut threads = None;
     let mut path = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -50,6 +52,17 @@ fn parse_args() -> Result<Options, String> {
                     .ok_or("--iterations needs a value")?
                     .parse()
                     .map_err(|e| format!("bad iteration count: {e}"))?;
+            }
+            "--threads" | "-t" => {
+                let n: usize = args
+                    .next()
+                    .ok_or("--threads needs a count")?
+                    .parse()
+                    .map_err(|e| format!("bad thread count: {e}"))?;
+                if n == 0 {
+                    return Err("thread count must be positive".to_owned());
+                }
+                threads = Some(n);
             }
             "--batch" | "-b" => {
                 let w: usize = args
@@ -97,8 +110,98 @@ fn parse_args() -> Result<Options, String> {
         drift_threshold,
         batch,
         churn,
+        threads,
         path,
     })
+}
+
+/// `--threads N`: machine-readable thread-scaling report. Prints a
+/// pure-JSON `sepe-keybench/v1` document with a `concurrency` array in the
+/// bench-json row schema: the churn workload (get/insert/remove mix over
+/// the user's keys) fanned across 1, 2, 4, … up to `N` worker threads over
+/// a lock-striped `ShardedMap`, with aggregate ns/op, Mops/s, and speedup
+/// relative to the single-thread row.
+fn threads_report(pattern: &KeyPattern, keys: &[String], max_threads: usize, iterations: usize) {
+    use sepe_containers::ShardedMap;
+    use sepe_core::plan_io::Json;
+    use sepe_keygen::SplitMix64;
+    use std::collections::BTreeMap;
+
+    type Map = ShardedMap<String, usize, SynthesizedHash, CityHash>;
+    let shards = 8usize;
+
+    let churn = |map: &Map, seed: u64, ops: usize| {
+        let mut rng = SplitMix64::new(seed);
+        for i in 0..ops {
+            let key = &keys[(rng.next_u64() % keys.len() as u64) as usize];
+            match rng.next_u64() % 10 {
+                0..=4 => {
+                    std::hint::black_box(map.get(key.as_str()));
+                }
+                5..=7 => {
+                    map.insert(key.clone(), i);
+                }
+                _ => {
+                    map.remove(key.as_str());
+                    map.insert(key.clone(), i);
+                }
+            }
+        }
+    };
+
+    // Doubling thread counts up to the requested maximum (always ending on
+    // the maximum itself, so `--threads 6` measures 1, 2, 4, 6).
+    let mut counts = vec![1usize];
+    while counts.last().copied().unwrap_or(1) * 2 < max_threads {
+        counts.push(counts.last().unwrap() * 2);
+    }
+    if max_threads > 1 {
+        counts.push(max_threads);
+    }
+
+    let mut rows = Vec::new();
+    let mut baseline_ns = None;
+    for threads in counts {
+        let hasher = GuardedHash::from_pattern(pattern, Family::OffXor, CityHash::new());
+        let map: Map = ShardedMap::with_hasher(hasher, shards);
+        for (i, key) in keys.iter().enumerate() {
+            map.insert(key.clone(), i);
+        }
+        let per_thread_ops = (iterations / threads).max(256);
+        churn(&map, 0x5EED, per_thread_ops.min(10_000)); // warm-up
+        let start = Instant::now();
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let map = &map;
+                let churn = &churn;
+                s.spawn(move || churn(map, 0xC4A0 ^ t as u64, per_thread_ops));
+            }
+        });
+        let ns = start.elapsed().as_secs_f64() * 1e9 / (per_thread_ops * threads) as f64;
+        let baseline = *baseline_ns.get_or_insert(ns);
+        let mut row = BTreeMap::new();
+        row.insert("threads".to_string(), Json::Num(threads as f64));
+        row.insert("shards".to_string(), Json::Num(shards as f64));
+        row.insert("ns_per_op".to_string(), Json::Num(ns));
+        row.insert(
+            "throughput_mops".to_string(),
+            Json::Num(if ns > 0.0 { 1e3 / ns } else { 0.0 }),
+        );
+        row.insert(
+            "speedup".to_string(),
+            Json::Num(if ns > 0.0 { baseline / ns } else { 0.0 }),
+        );
+        rows.push(Json::Obj(row));
+    }
+    let mut doc = BTreeMap::new();
+    doc.insert(
+        "schema".to_string(),
+        Json::Str("sepe-keybench/v1".to_string()),
+    );
+    doc.insert("max_threads".to_string(), Json::Num(max_threads as f64));
+    doc.insert("keys".to_string(), Json::Num(keys.len() as f64));
+    doc.insert("concurrency".to_string(), Json::Arr(rows));
+    println!("{}", Json::Obj(doc));
 }
 
 /// `--batch W`: machine-readable batched-vs-scalar comparison. Prints a
@@ -182,7 +285,7 @@ fn main() -> ExitCode {
             }
             eprintln!(
                 "usage: keybench [--iterations N] [--guard] [--drift-threshold T] \
-                 [--batch W] [--churn N] [FILE]\n\
+                 [--batch W] [--churn N] [--threads N] [FILE]\n\
                  \x20      (keys on stdin or FILE, one per line)"
             );
             return if msg.is_empty() {
@@ -242,6 +345,10 @@ fn main() -> ExitCode {
     }
     if let Some(n_ops) = opts.churn {
         churn_report(&pattern, &key_strings, n_ops);
+        return ExitCode::SUCCESS;
+    }
+    if let Some(n_threads) = opts.threads {
+        threads_report(&pattern, &key_strings, n_threads, opts.iterations);
         return ExitCode::SUCCESS;
     }
 

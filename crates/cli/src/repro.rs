@@ -633,15 +633,22 @@ pub fn guard(
 /// **Benchmark baseline** — the `sepe-bench/v1` JSON document: batched vs
 /// scalar ns/key for every family × format × width cell, plus the
 /// migration scenario (churn ops/sec at steady state, while an epoch
-/// drain is in flight, and after it completes). `sepe-repro` writes it as
-/// `BENCH_<date>.json`, the machine-readable perf trajectory.
+/// drain is in flight, and after it completes) and the concurrency
+/// scenario (the same churn fanned over a lock-striped [`ShardedMap`] at
+/// 1/2/4/8 threads). `sepe-repro` writes it as `BENCH_<date>.json`, the
+/// machine-readable perf trajectory.
+///
+/// [`ShardedMap`]: sepe_containers::ShardedMap
 #[must_use]
 pub fn bench_json(scale: &RunScale) -> String {
-    use sepe_driver::bench_json::{migration_records, run_suite, to_json, today_utc, BenchConfig};
+    use sepe_driver::bench_json::{
+        concurrency_records, migration_records, run_suite, to_json, today_utc, BenchConfig,
+    };
     let config = BenchConfig::from_scale(scale);
     let records = run_suite(scale, &config);
     let migration = migration_records(scale, &config);
-    to_json(&today_utc(), &records, &migration).to_string()
+    let concurrency = concurrency_records(scale, &config);
+    to_json(&today_utc(), &records, &migration, &concurrency).to_string()
 }
 
 #[cfg(test)]

@@ -469,6 +469,41 @@ fn sepe_repro_bench_json_writes_a_dated_parseable_baseline() {
             other => panic!("non-numeric ns_per_op: {other:?}"),
         }
     }
+
+    // The concurrency scenario rides in the same document: one row per
+    // format x thread count, fields pinned by the fixture.
+    let concurrency_fields: Vec<&str> = schema
+        .get("concurrency_fields")
+        .as_arr()
+        .expect("concurrency_fields list")
+        .iter()
+        .filter_map(|j| j.as_str())
+        .collect();
+    let concurrency = doc.get("concurrency").as_arr().expect("concurrency array");
+    assert!(!concurrency.is_empty(), "baseline has no concurrency rows");
+    for row in concurrency {
+        if let sepe_core::plan_io::Json::Obj(map) = row {
+            let keys: Vec<&str> = map.keys().map(String::as_str).collect();
+            assert_eq!(
+                keys, concurrency_fields,
+                "concurrency fields drifted from the fixture"
+            );
+        } else {
+            panic!("concurrency row is not a JSON object");
+        }
+        match (row.get("threads"), row.get("ns_per_op"), row.get("speedup")) {
+            (
+                sepe_core::plan_io::Json::Num(threads),
+                sepe_core::plan_io::Json::Num(ns),
+                sepe_core::plan_io::Json::Num(speedup),
+            ) => {
+                assert!(*threads >= 1.0, "threads {threads}");
+                assert!(*ns > 0.0 && ns.is_finite(), "ns_per_op {ns}");
+                assert!(*speedup > 0.0 && speedup.is_finite(), "speedup {speedup}");
+            }
+            other => panic!("non-numeric concurrency measurements: {other:?}"),
+        }
+    }
     let _ = std::fs::remove_dir_all(&dir);
 }
 

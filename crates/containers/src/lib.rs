@@ -41,6 +41,7 @@ mod multiset;
 pub mod policy;
 pub mod primes;
 mod set;
+pub mod sharded;
 mod table;
 
 pub use direct::DirectMap;
@@ -49,3 +50,4 @@ pub use multimap::UnorderedMultiMap;
 pub use multiset::UnorderedMultiSet;
 pub use policy::{BucketPolicy, DriftPolicy};
 pub use set::UnorderedSet;
+pub use sharded::{ShardedMap, ShardedSet};

@@ -82,11 +82,17 @@ where
     }
 
     /// Looks up a key, returning a mutable value reference.
+    ///
+    /// Having mutable access anyway, this also drains an in-flight
+    /// hash-function migration by a small bounded stride (see
+    /// [`UnorderedMap::drain_on_read`]), so lookup-only workloads that go
+    /// through `get_mut` still converge out of the dual-epoch state.
     pub fn get_mut<Q>(&mut self, key: &Q) -> Option<&mut V>
     where
         Q: ?Sized + Eq + AsRef<[u8]>,
         K: Borrow<Q>,
     {
+        self.table.drain_on_read();
         self.table
             .find(key)
             .map(|i| &mut self.table.get_kv_mut(i).1)
@@ -205,6 +211,27 @@ where
     /// migration is in flight, monotone non-decreasing while one is.
     pub fn migration_progress(&self) -> f64 {
         self.table.migration_progress()
+    }
+
+    /// Opportunistic migration drain for read-heavy callers.
+    ///
+    /// Historically the old epoch drained only from *mutating* operations,
+    /// so a table that served nothing but `get`s after a degrade paid the
+    /// dual-epoch probe on every lookup forever. Read-only lookups now
+    /// record their starvation (each `get` that probes an open epoch bumps
+    /// an internal relaxed counter); this call — a no-op when no migration
+    /// is in flight — drains a couple of entries, or the *whole* epoch once
+    /// the staleness threshold has been crossed. `get_mut` calls it
+    /// automatically; `ShardedMap` calls it from plain `get`s whenever it
+    /// can take a shard's write lock without blocking readers.
+    pub fn drain_on_read(&mut self) {
+        self.table.drain_on_read();
+    }
+
+    /// Read-only lookups served while a migration epoch was in flight
+    /// (resets to 0 when the epoch drains).
+    pub fn stale_reads(&self) -> u64 {
+        self.table.stale_reads()
     }
 }
 
@@ -760,6 +787,74 @@ mod tests {
             "flip came within ~one window of off-format traffic, got {flipped_after}"
         );
         assert_eq!(m.guard_mode(), GuardMode::Degraded);
+    }
+
+    #[test]
+    fn read_only_lookups_drain_a_starving_migration() {
+        // Regression: `RawTable::migrate` used to run only from mutating
+        // ops, so a read-heavy table kept its old epoch (and paid the
+        // dual-epoch probe) forever. Lookup-shaped calls with mutable
+        // access now drain a small stride each.
+        let mut m = guarded_ssn_map(sepe_core::Family::OffXor);
+        for i in 0..300u32 {
+            m.insert(format!("{:03}-{:02}-{:04}", i % 1000, i % 100, i), i);
+        }
+        m.degrade_now();
+        assert!(m.migration_in_flight());
+        let mut last = m.migration_progress();
+        let mut lookups = 0u32;
+        while m.migration_in_flight() && lookups < 100_000 {
+            let key = format!(
+                "{:03}-{:02}-{:04}",
+                lookups % 1000,
+                lookups % 100,
+                lookups % 300
+            );
+            let _ = m.get_mut(key.as_str());
+            let now = m.migration_progress();
+            assert!(now >= last, "progress is monotone under lookups");
+            last = now;
+            lookups += 1;
+        }
+        assert!(
+            !m.migration_in_flight(),
+            "read-only traffic drained the epoch"
+        );
+        for i in 0..300u32 {
+            let key = format!("{:03}-{:02}-{:04}", i % 1000, i % 100, i);
+            assert_eq!(m.get(key.as_str()), Some(&i), "{key} after read drain");
+        }
+    }
+
+    #[test]
+    fn stale_reads_trigger_a_full_drain() {
+        // Pure `&self` gets cannot drain, but they record starvation; once
+        // the staleness threshold is crossed, the next drain opportunity
+        // finishes the epoch outright instead of amortizing.
+        let mut m = guarded_ssn_map(sepe_core::Family::Pext);
+        for i in 0..200u32 {
+            m.insert(format!("{:03}-{:02}-{:04}", i % 1000, i % 100, i), i);
+        }
+        m.degrade_now();
+        assert!(m.migration_in_flight());
+        assert_eq!(m.stale_reads(), 0);
+        for round in 0..6u32 {
+            for i in 0..200u32 {
+                let key = format!("{:03}-{:02}-{:04}", i % 1000, i % 100, i);
+                assert_eq!(m.get(key.as_str()), Some(&i), "round {round} {key}");
+            }
+        }
+        assert!(
+            m.migration_in_flight(),
+            "immutable gets alone cannot relink chains"
+        );
+        assert!(m.stale_reads() >= 1024, "starvation was recorded");
+        m.drain_on_read();
+        assert!(
+            !m.migration_in_flight(),
+            "a stale epoch is drained outright, not stride by stride"
+        );
+        assert_eq!(m.stale_reads(), 0, "counter resets with the epoch");
     }
 
     #[test]

@@ -152,6 +152,17 @@ where
     pub fn migration_progress(&self) -> f64 {
         self.table.migration_progress()
     }
+
+    /// Opportunistic migration drain for read-heavy callers — see
+    /// [`UnorderedMap::drain_on_read`](crate::UnorderedMap::drain_on_read).
+    pub fn drain_on_read(&mut self) {
+        self.table.drain_on_read();
+    }
+
+    /// Read-only lookups served while a migration epoch was in flight.
+    pub fn stale_reads(&self) -> u64 {
+        self.table.stale_reads()
+    }
 }
 
 impl<K, V, F, G> UnorderedMultiMap<K, V, GuardedHash<F, G>>

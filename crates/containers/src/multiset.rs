@@ -139,6 +139,17 @@ where
     pub fn migration_progress(&self) -> f64 {
         self.inner.migration_progress()
     }
+
+    /// Opportunistic migration drain for read-heavy callers — see
+    /// [`UnorderedMap::drain_on_read`](crate::UnorderedMap::drain_on_read).
+    pub fn drain_on_read(&mut self) {
+        self.inner.drain_on_read();
+    }
+
+    /// Read-only lookups served while a migration epoch was in flight.
+    pub fn stale_reads(&self) -> u64 {
+        self.inner.stale_reads()
+    }
 }
 
 impl<K, F, G> UnorderedMultiSet<K, GuardedHash<F, G>>

@@ -17,6 +17,7 @@ use crate::policy::BucketPolicy;
 use crate::primes::grow_bucket_count;
 use sepe_core::hash::ByteHash;
 use std::borrow::Borrow;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 const NONE: u32 = u32::MAX;
 
@@ -29,6 +30,47 @@ const INITIAL_BUCKETS: u64 = 13;
 /// `insert`/`remove` O(`MIGRATE_STRIDE`) instead of O(len), and a table
 /// under write traffic fully drains after `len / MIGRATE_STRIDE` ops.
 pub(crate) const MIGRATE_STRIDE: usize = 16;
+
+/// Entries drained per *lookup* that reaches the table with mutable access
+/// (`get_mut`, or a sharded read that wins its shard's write lock). Smaller
+/// than [`MIGRATE_STRIDE`] so read latency stays flat, but enough that a
+/// read-heavy table converges instead of paying dual-epoch probes forever.
+pub(crate) const LOOKUP_MIGRATE_STRIDE: usize = 2;
+
+/// Read-only lookups observed while a migration was in flight before the
+/// epoch is declared *stale*: the next operation with mutable access stops
+/// amortizing and drains it outright. Bounds the dual-epoch tax of a
+/// read-dominated workload to one bounded burst instead of forever.
+pub(crate) const STALE_READ_LIMIT: u64 = 1024;
+
+/// Interior-mutable counter of lookups served while an epoch was in
+/// flight. `&self` lookups cannot drain (draining relinks chains), but
+/// they *can* record starvation so the next `&mut` caller knows the old
+/// epoch has overstayed. Relaxed ordering suffices: the count only gates a
+/// heuristic. Cloning a table snapshots the current value.
+#[derive(Debug, Default)]
+struct StaleReads(AtomicU64);
+
+impl StaleReads {
+    #[inline]
+    fn record(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Clone for StaleReads {
+    fn clone(&self) -> Self {
+        StaleReads(AtomicU64::new(self.get()))
+    }
+}
 
 #[derive(Debug, Clone)]
 struct Entry<K, V> {
@@ -74,6 +116,7 @@ pub(crate) struct RawTable<K, V, H> {
     policy: BucketPolicy,
     max_load_factor: f64,
     migration: Option<Migration<H>>,
+    stale_reads: StaleReads,
 }
 
 impl<K, V, H> RawTable<K, V, H>
@@ -91,6 +134,7 @@ where
             policy,
             max_load_factor: 1.0,
             migration: None,
+            stale_reads: StaleReads::default(),
         }
     }
 
@@ -158,6 +202,8 @@ where
         }
         if mig.old_len > 0 {
             self.migration = Some(mig);
+        } else {
+            self.stale_reads.reset();
         }
     }
 
@@ -166,6 +212,29 @@ where
     pub(crate) fn finish_migration(&mut self) {
         self.migrate(usize::MAX);
         debug_assert!(self.migration.is_none());
+    }
+
+    /// Opportunistic drain for lookup-shaped callers that happen to hold
+    /// mutable access: a no-op when no epoch is in flight; a full
+    /// [`RawTable::finish_migration`] once [`STALE_READ_LIMIT`] read-only
+    /// lookups have probed both epochs (the migration is starving — no
+    /// mutating traffic is coming to amortize it); a bounded
+    /// [`LOOKUP_MIGRATE_STRIDE`]-entry drain otherwise.
+    pub(crate) fn drain_on_read(&mut self) {
+        if self.migration.is_none() {
+            return;
+        }
+        if self.stale_reads.get() >= STALE_READ_LIMIT {
+            self.finish_migration();
+        } else {
+            self.migrate(LOOKUP_MIGRATE_STRIDE);
+        }
+    }
+
+    /// Read-only lookups that probed a still-open epoch (0 when none is in
+    /// flight — the counter resets when the epoch drains).
+    pub(crate) fn stale_reads(&self) -> u64 {
+        self.stale_reads.get()
     }
 
     /// Whether an epoch is currently being drained.
@@ -290,6 +359,9 @@ where
     /// flight, a miss in the live epoch falls through to the old one.
     #[inline]
     pub(crate) fn find_hashed(&self, hash: u64, key_bytes: &[u8]) -> Option<u32> {
+        if self.migration.is_some() {
+            self.stale_reads.record();
+        }
         if let Some(idx) = self.find_in_chain(self.heads[self.bucket_of(hash)], hash, key_bytes) {
             return Some(idx);
         }
@@ -457,6 +529,8 @@ where
         }
         if mig.old_len > 0 {
             self.migration = Some(mig);
+        } else {
+            self.stale_reads.reset();
         }
         found
     }
@@ -512,6 +586,7 @@ where
         self.free_head = NONE;
         self.len = 0;
         self.migration = None;
+        self.stale_reads.reset();
     }
 
     pub(crate) fn rehash(&mut self, bucket_count: usize) {

@@ -203,11 +203,19 @@ fn word_test(pattern: &KeyPattern, offset: usize) -> (u64, u64) {
 
 /// Drift counters shared by every clone of a [`GuardedHash`].
 ///
-/// The counters are updated with relaxed load/store pairs rather than
-/// `fetch_add`: a locked read-modify-write per hash would dominate the cost
-/// of the cheap families, and drift accounting only needs to be
-/// *statistically* accurate — concurrent increments may occasionally
-/// coalesce, which biases the rate by at most the thread count.
+/// The counters are lock-free atomics updated with relaxed `fetch_add`, so
+/// any number of concurrent readers (the sharded containers hash under a
+/// shared read lock) can record drift without losing increments; relaxed
+/// ordering is enough because no other memory depends on a counter value.
+///
+/// **Overflow semantics are pinned as *saturating*:** a counter that
+/// reaches `u64::MAX` stays there, [`GuardStats::total`] saturates instead
+/// of wrapping, and [`GuardStats::window_counts`] subtracts saturating — a
+/// long-lived process can never report a wrapped (tiny) lifetime count or
+/// an underflowed window delta. Under concurrent increments right at the
+/// saturation boundary a racing add may briefly be visible before the
+/// clamp lands, but counters are monotone non-decreasing below `u64::MAX`
+/// either way, which is the property the drift policies rely on.
 #[derive(Debug, Default)]
 pub struct GuardStats {
     in_format: AtomicU64,
@@ -222,17 +230,19 @@ pub struct GuardStats {
 impl GuardStats {
     #[inline]
     fn bump(counter: &AtomicU64) {
-        let v = counter.load(Ordering::Relaxed);
-        counter.store(v + 1, Ordering::Relaxed);
+        Self::bump_many(counter, 1);
     }
 
-    /// Adds `n` with one load/store pair — what `n` [`GuardStats::bump`]s
-    /// would do single-threaded, at a fraction of the cost on the batched
-    /// fast path.
+    /// Adds `n` with one atomic read-modify-write — what `n`
+    /// [`GuardStats::bump`]s would do, at a fraction of the cost on the
+    /// batched fast path — saturating at `u64::MAX`.
     #[inline]
     fn bump_many(counter: &AtomicU64, n: u64) {
-        let v = counter.load(Ordering::Relaxed);
-        counter.store(v + n, Ordering::Relaxed);
+        let prev = counter.fetch_add(n, Ordering::Relaxed);
+        if prev > u64::MAX - n {
+            // The add wrapped; clamp back to the saturation point.
+            counter.store(u64::MAX, Ordering::Relaxed);
+        }
     }
 
     /// Keys that passed the guard.
@@ -247,10 +257,10 @@ impl GuardStats {
         self.off_format.load(Ordering::Relaxed)
     }
 
-    /// Total keys observed.
+    /// Total keys observed (saturating, like the counters themselves).
     #[must_use]
     pub fn total(&self) -> u64 {
-        self.in_format() + self.off_format()
+        self.in_format().saturating_add(self.off_format())
     }
 
     /// Fraction of observed keys that were off-format (0 when none seen).
@@ -478,6 +488,31 @@ impl<F, G> GuardedHash<F, G> {
         frozen.forced_mode = Some(mode);
         frozen.silent = true;
         frozen
+    }
+
+    /// A copy with *private* drift state: the same guard, specialized and
+    /// fallback hashers, but fresh statistics, mode and reservoir shared
+    /// with no one (ordinary clones share all three through [`Arc`]s).
+    ///
+    /// The sharded containers hand each shard a detached copy so one
+    /// shard's drift accounting — and its degradation decision — cannot
+    /// flip its siblings.
+    #[must_use]
+    pub fn detached(&self) -> Self
+    where
+        F: Clone,
+        G: Clone,
+    {
+        GuardedHash {
+            guard: self.guard.clone(),
+            specialized: self.specialized.clone(),
+            fallback: self.fallback.clone(),
+            stats: Arc::new(GuardStats::default()),
+            mode: Arc::new(AtomicU8::new(self.mode() as u8)),
+            reservoir: Arc::new(Mutex::new(Reservoir::default())),
+            forced_mode: self.forced_mode,
+            silent: self.silent,
+        }
     }
 
     /// Whether the hasher has flipped to fallback-for-everything.
@@ -927,6 +962,68 @@ mod tests {
         stats.reset();
         assert_eq!(stats.window_counts(), (0, 0));
         assert_eq!(stats.total(), 0);
+    }
+
+    #[test]
+    fn counters_saturate_instead_of_wrapping() {
+        // Pinned semantics: every counter saturates at u64::MAX. A wrapped
+        // counter would report a near-zero lifetime total after centuries
+        // of uptime — worse, a wrapped window base could make the window
+        // delta exceed the lifetime count.
+        let stats = GuardStats::default();
+        GuardStats::bump_many(&stats.in_format, u64::MAX - 1);
+        assert_eq!(stats.in_format(), u64::MAX - 1);
+        GuardStats::bump(&stats.in_format);
+        assert_eq!(stats.in_format(), u64::MAX);
+        GuardStats::bump(&stats.in_format);
+        assert_eq!(stats.in_format(), u64::MAX, "bump saturates");
+        GuardStats::bump_many(&stats.in_format, 1 << 40);
+        assert_eq!(stats.in_format(), u64::MAX, "bump_many saturates");
+        // total() saturates instead of wrapping past 2^64.
+        GuardStats::bump_many(&stats.off_format, 7);
+        assert_eq!(stats.total(), u64::MAX);
+        // Window deltas never underflow, even against a saturated base.
+        stats.roll_window();
+        assert_eq!(stats.window_counts(), (0, 0));
+        GuardStats::bump_many(&stats.off_format, 5);
+        assert_eq!(stats.window_counts(), (5, 5));
+    }
+
+    #[test]
+    fn concurrent_bumps_are_not_lost() {
+        // The counters are true atomic read-modify-writes: N threads each
+        // recording M keys must account for exactly N*M observations.
+        let stats = std::sync::Arc::new(GuardStats::default());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let stats = std::sync::Arc::clone(&stats);
+                scope.spawn(move || {
+                    for _ in 0..10_000 {
+                        GuardStats::bump(&stats.in_format);
+                    }
+                });
+            }
+        });
+        assert_eq!(stats.in_format(), 40_000);
+    }
+
+    #[test]
+    fn detached_copies_share_no_drift_state() {
+        let pattern = Regex::compile(r"\d{3}-\d{2}-\d{4}").unwrap();
+        let inner = SynthesizedHash::from_pattern(&pattern, Family::OffXor);
+        let original = GuardedHash::new(&pattern, inner.clone(), Stl);
+        let detached = original.detached();
+        // Hashes agree; accounting does not flow between the copies.
+        let key: &[u8] = b"123-45-6789";
+        assert_eq!(original.hash_bytes(key), detached.hash_bytes(key));
+        let _ = original.hash_bytes(b"off-format!");
+        assert_eq!(original.stats().total(), 2);
+        assert_eq!(detached.stats().total(), 1);
+        // Degrading one side leaves the other guarded.
+        original.degrade();
+        assert!(original.is_degraded());
+        assert!(!detached.is_degraded(), "detached copy keeps its own mode");
+        assert_eq!(detached.hash_bytes(key), inner.hash_bytes(key));
     }
 
     #[test]

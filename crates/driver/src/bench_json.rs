@@ -12,7 +12,7 @@
 
 use crate::analysis::RunScale;
 use sepe_baselines::CityHash;
-use sepe_containers::UnorderedMap;
+use sepe_containers::{ShardedMap, UnorderedMap};
 use sepe_core::guard::GuardedHash;
 use sepe_core::hash::{ByteHash, HashBatch};
 use sepe_core::plan_io::Json;
@@ -43,6 +43,10 @@ pub struct BenchRecord {
 pub struct BenchConfig {
     /// Batch widths to measure (1 = scalar reference).
     pub widths: Vec<usize>,
+    /// Thread counts for the concurrency scenario (1 = serial reference).
+    pub threads: Vec<usize>,
+    /// Shards of the [`ShardedMap`] in the concurrency scenario.
+    pub shards: usize,
     /// Distinct keys in the measurement pool (power of two, so chaining can
     /// mask instead of mod).
     pub pool_size: usize,
@@ -59,6 +63,8 @@ impl BenchConfig {
     pub fn from_scale(scale: &RunScale) -> Self {
         BenchConfig {
             widths: vec![1, 4, 8, 32],
+            threads: vec![1, 2, 4, 8],
+            shards: 8,
             pool_size: 1024,
             iterations: (scale.affectations * 16).max(1024),
             samples: (scale.samples * 2).clamp(3, 9) | 1,
@@ -276,9 +282,125 @@ pub fn migration_records(scale: &RunScale, config: &BenchConfig) -> Vec<Migratio
     records
 }
 
-/// Renders records as the `sepe-bench/v1` JSON document.
+/// One (format, threads) measurement of the concurrency scenario: the
+/// migration-style churn workload fanned across `threads` workers over a
+/// shared [`ShardedMap`]. `speedup` is relative to the single-thread cell
+/// of the same format; on a single-core runner it hovers near (or below)
+/// 1.0 — the scenario is about lock-striping overhead and correctness
+/// under contention, and the JSON records whatever the machine actually
+/// delivers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConcurrencyRecord {
+    /// Key format name (`ssn`, `ipv4`, …).
+    pub format: String,
+    /// Worker threads churning the shared map.
+    pub threads: usize,
+    /// Shard (lock stripe) count of the map.
+    pub shards: usize,
+    /// Nanoseconds per map operation across all threads, median over the
+    /// sample runs.
+    pub ns_per_op: f64,
+    /// Million operations per second aggregate (1000 / ns_per_op).
+    pub throughput_mops: f64,
+    /// Aggregate throughput relative to the 1-thread cell.
+    pub speedup: f64,
+}
+
+type GuardedSharded = ShardedMap<String, u64, SynthesizedHash, CityHash>;
+
+/// The [`churn`] workload against a shared sharded map: same op mix, same
+/// key-pool addressing, but through `&self` (lock-striped) entry points.
+fn sharded_churn(map: &GuardedSharded, keys: &[String], seed: u64, ops: usize) {
+    let mut rng = SplitMix64::new(seed);
+    for _ in 0..ops {
+        let r = rng.next_u64();
+        let key = &keys[(r >> 8) as usize % keys.len()];
+        match r % 10 {
+            0..=4 => {
+                std::hint::black_box(map.get(key.as_str()));
+            }
+            5..=7 => {
+                map.insert(key.clone(), r);
+            }
+            _ => {
+                map.remove(key.as_str());
+                map.insert(key.clone(), r);
+            }
+        }
+    }
+}
+
+/// Measures the concurrency scenario for every format in `scale.formats`
+/// and every thread count in `config.threads`.
 #[must_use]
-pub fn to_json(date: &str, records: &[BenchRecord], migration: &[MigrationRecord]) -> Json {
+pub fn concurrency_records(scale: &RunScale, config: &BenchConfig) -> Vec<ConcurrencyRecord> {
+    let mut records = Vec::new();
+    for &format in &scale.formats {
+        let cap = usize::try_from(format.space()).unwrap_or(usize::MAX).max(1);
+        let pool_size = config.pool_size.min(cap).max(1);
+        let mut sampler = KeySampler::new(format, Distribution::Normal, 0xC0CC);
+        let keys = sampler.distinct_pool(pool_size);
+        let pattern = Regex::compile(&format.regex()).expect("paper formats compile");
+        let mut baseline_ns = None;
+        for &threads in &config.threads {
+            let threads = threads.max(1);
+            let per_thread_ops = (config.iterations / threads).max(256);
+            let mut runs: Vec<f64> = Vec::with_capacity(config.samples.max(1));
+            for sample in 0..config.samples.max(1) {
+                let hasher = GuardedHash::from_pattern(&pattern, Family::OffXor, CityHash::new());
+                let map: GuardedSharded = ShardedMap::with_hasher(hasher, config.shards);
+                for (i, key) in keys.iter().enumerate() {
+                    map.insert(key.clone(), i as u64);
+                }
+                let start = Instant::now();
+                std::thread::scope(|s| {
+                    for t in 0..threads {
+                        let map = &map;
+                        let keys = keys.as_slice();
+                        let seed = 0xCAB1 ^ (sample as u64) << 8 ^ t as u64;
+                        s.spawn(move || sharded_churn(map, keys, seed, per_thread_ops));
+                    }
+                });
+                let elapsed = start.elapsed();
+                runs.push(elapsed.as_secs_f64() * 1e9 / (per_thread_ops * threads) as f64);
+            }
+            runs.sort_by(f64::total_cmp);
+            let ns = runs[runs.len() / 2];
+            let baseline = *baseline_ns.get_or_insert(ns);
+            records.push(ConcurrencyRecord {
+                format: format.name().to_string(),
+                threads,
+                shards: config.shards,
+                ns_per_op: ns,
+                throughput_mops: if ns > 0.0 { 1e3 / ns } else { 0.0 },
+                speedup: if ns > 0.0 { baseline / ns } else { 0.0 },
+            });
+        }
+    }
+    records
+}
+
+/// Renders records as the `sepe-bench/v1` JSON document.
+///
+/// Every section is emitted in a **canonical sort order** — `records` by
+/// (family, format, width), `migration` by (format, phase), `concurrency`
+/// by (format, threads) — and object keys are alphabetical (`BTreeMap`),
+/// so two runs over the same measurements produce byte-identical documents
+/// regardless of measurement order, and dated bench files diff cleanly
+/// across commits.
+#[must_use]
+pub fn to_json(
+    date: &str,
+    records: &[BenchRecord],
+    migration: &[MigrationRecord],
+    concurrency: &[ConcurrencyRecord],
+) -> Json {
+    let mut records: Vec<&BenchRecord> = records.iter().collect();
+    records.sort_by(|a, b| (&a.family, &a.format, a.width).cmp(&(&b.family, &b.format, b.width)));
+    let mut migration: Vec<&MigrationRecord> = migration.iter().collect();
+    migration.sort_by(|a, b| (&a.format, &a.phase).cmp(&(&b.format, &b.phase)));
+    let mut concurrency: Vec<&ConcurrencyRecord> = concurrency.iter().collect();
+    concurrency.sort_by(|a, b| (&a.format, a.threads).cmp(&(&b.format, b.threads)));
     let rows: Vec<Json> = records
         .iter()
         .map(|r| {
@@ -305,11 +427,25 @@ pub fn to_json(date: &str, records: &[BenchRecord], migration: &[MigrationRecord
             Json::Obj(obj)
         })
         .collect();
+    let concurrency_rows: Vec<Json> = concurrency
+        .iter()
+        .map(|c| {
+            let mut obj = BTreeMap::new();
+            obj.insert("format".to_string(), Json::Str(c.format.clone()));
+            obj.insert("threads".to_string(), Json::Num(c.threads as f64));
+            obj.insert("shards".to_string(), Json::Num(c.shards as f64));
+            obj.insert("ns_per_op".to_string(), Json::Num(c.ns_per_op));
+            obj.insert("throughput_mops".to_string(), Json::Num(c.throughput_mops));
+            obj.insert("speedup".to_string(), Json::Num(c.speedup));
+            Json::Obj(obj)
+        })
+        .collect();
     let mut doc = BTreeMap::new();
     doc.insert("schema".to_string(), Json::Str("sepe-bench/v1".to_string()));
     doc.insert("date".to_string(), Json::Str(date.to_string()));
     doc.insert("records".to_string(), Json::Arr(rows));
     doc.insert("migration".to_string(), Json::Arr(migration_rows));
+    doc.insert("concurrency".to_string(), Json::Arr(concurrency_rows));
     Json::Obj(doc)
 }
 
@@ -379,7 +515,15 @@ mod tests {
             ns_per_op: 42.0,
             throughput_mops: 1e3 / 42.0,
         }];
-        let doc = to_json("2026-01-01", &records, &migration);
+        let concurrency = vec![ConcurrencyRecord {
+            format: "ssn".to_string(),
+            threads: 4,
+            shards: 8,
+            ns_per_op: 100.0,
+            throughput_mops: 10.0,
+            speedup: 2.5,
+        }];
+        let doc = to_json("2026-01-01", &records, &migration, &concurrency);
         let parsed = Json::parse(&doc.to_string()).expect("emitted JSON parses");
         assert_eq!(parsed.get("schema").as_str(), Some("sepe-bench/v1"));
         assert_eq!(parsed.get("date").as_str(), Some("2026-01-01"));
@@ -391,6 +535,69 @@ mod tests {
         assert_eq!(migr.len(), 1);
         assert_eq!(migr[0].get("phase").as_str(), Some("migrating"));
         assert_eq!(migr[0].get("format").as_str(), Some("ssn"));
+        let conc = parsed
+            .get("concurrency")
+            .as_arr()
+            .expect("concurrency array");
+        assert_eq!(conc.len(), 1);
+        assert_eq!(conc[0].get("threads").as_u64(), Some(4));
+        assert_eq!(conc[0].get("shards").as_u64(), Some(8));
+        assert_eq!(conc[0].get("format").as_str(), Some("ssn"));
+    }
+
+    #[test]
+    fn json_row_order_is_independent_of_measurement_order() {
+        let mk = |family: &str, width: usize| BenchRecord {
+            family: family.to_string(),
+            format: "ssn".to_string(),
+            width,
+            ns_per_key: 1.0,
+            throughput_mkeys: 1000.0,
+        };
+        let mkc = |threads: usize| ConcurrencyRecord {
+            format: "ssn".to_string(),
+            threads,
+            shards: 8,
+            ns_per_op: 1.0,
+            throughput_mops: 1000.0,
+            speedup: 1.0,
+        };
+        let forward = to_json(
+            "2026-01-01",
+            &[mk("aes", 1), mk("aes", 8), mk("pext", 1)],
+            &[],
+            &[mkc(1), mkc(2), mkc(8)],
+        );
+        let shuffled = to_json(
+            "2026-01-01",
+            &[mk("pext", 1), mk("aes", 8), mk("aes", 1)],
+            &[],
+            &[mkc(8), mkc(1), mkc(2)],
+        );
+        assert_eq!(
+            forward.to_string(),
+            shuffled.to_string(),
+            "canonical order makes the document byte-identical"
+        );
+    }
+
+    #[test]
+    fn concurrency_scenario_covers_every_thread_count() {
+        let scale = tiny_scale();
+        let mut config = BenchConfig::from_scale(&scale);
+        config.threads = vec![1, 2];
+        config.iterations = 2048;
+        config.samples = 1;
+        let records = concurrency_records(&scale, &config);
+        assert_eq!(records.len(), scale.formats.len() * config.threads.len());
+        for r in &records {
+            assert!(r.ns_per_op > 0.0 && r.ns_per_op.is_finite(), "{r:?}");
+            assert!(r.throughput_mops > 0.0, "{r:?}");
+            assert!(r.speedup > 0.0, "{r:?}");
+            assert_eq!(r.shards, config.shards);
+        }
+        let single = records.iter().find(|r| r.threads == 1).expect("1-thread");
+        assert!((single.speedup - 1.0).abs() < f64::EPSILON, "{single:?}");
     }
 
     #[test]

@@ -1,0 +1,358 @@
+//! Concurrent model checking for the lock-striped containers.
+//!
+//! A [`ShardedMap`] is exercised by several real OS threads at once and
+//! model-checked against a `Mutex<HashMap>` twin fed the identical
+//! operations. Determinism under true interleaving comes from **disjoint
+//! key partitions**: thread `t` owns the pool keys with `index % threads
+//! == t`, so every per-key observation (the previous value an insert
+//! returns, what a get sees, what a remove yields) is decided by its owner
+//! thread alone — any disagreement with the twin is a real bug, not a
+//! race in the test. The *interleaving* is still genuinely concurrent:
+//! threads contend on the shard locks and the twin mutex continuously.
+//!
+//! The chaos variant adds a drift-burst thread that degrades shards one at
+//! a time (hammering them with off-format keys first, so the degradation
+//! is earned, not just injected) while the other threads keep reading —
+//! the blast radius of a degrading shard must stay confined to that shard.
+
+use sepe_containers::sharded::ShardedMap;
+use sepe_containers::DriftPolicy;
+use sepe_core::guard::GuardedHash;
+use sepe_core::hash::ByteHash;
+use sepe_core::pattern::KeyPattern;
+use sepe_core::synth::Family;
+use sepe_core::SynthesizedHash;
+use sepe_keygen::SplitMix64;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Aggregate statistics of one concurrent model-checking run.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ConcurrentStats {
+    /// Map operations executed across all threads.
+    pub ops: usize,
+    /// Worker threads that ran.
+    pub threads: usize,
+    /// Shards degraded by drift bursts during the run.
+    pub degradations: usize,
+    /// Full-content comparisons against the twin (and `HashMap` union).
+    pub checkpoints: usize,
+}
+
+impl ConcurrentStats {
+    /// Accumulates another run's counters into this one.
+    pub fn absorb(&mut self, other: ConcurrentStats) {
+        self.ops += other.ops;
+        self.threads += other.threads;
+        self.degradations += other.degradations;
+        self.checkpoints += other.checkpoints;
+    }
+}
+
+type Guarded<G> = GuardedHash<SynthesizedHash, G>;
+
+/// Shape of one concurrent model-checking run: how many threads, how much
+/// work per thread, which seed, and whether drift-burst chaos is on.
+#[derive(Debug, Clone, Copy)]
+pub struct ConcurrentRun {
+    /// Worker threads to spawn (clamped to at least 1).
+    pub threads: usize,
+    /// Map operations each thread executes over its key partition.
+    pub ops_per_thread: usize,
+    /// Seed for the per-thread operation streams.
+    pub seed: u64,
+    /// Fire drift bursts from thread 0 that degrade individual shards.
+    pub chaos: bool,
+}
+
+/// Key partition owned by thread `t`: every key whose pool index is
+/// congruent to `t` modulo the thread count.
+fn partition(pool: &[Vec<u8>], t: usize, threads: usize) -> Vec<Vec<u8>> {
+    pool.iter()
+        .enumerate()
+        .filter(|(i, _)| i % threads == t)
+        .map(|(_, k)| k.clone())
+        .collect()
+}
+
+/// Runs [`ConcurrentRun::threads`] worker threads over one shared
+/// [`ShardedMap`] and a shared `Mutex<HashMap>` twin, each thread
+/// interleaving inserts, gets and removes over its own key partition and
+/// asserting per-operation agreement with the twin. When
+/// [`ConcurrentRun::chaos`] is set, thread 0 additionally fires drift
+/// bursts — off-format traffic aimed at one shard, followed by a
+/// policy-driven degradation of that shard — while the others keep
+/// serving reads.
+///
+/// # Errors
+///
+/// Returns the first disagreement between the sharded map and the twin
+/// (or a structural violation) as a human-readable message.
+pub fn check_concurrent_map<G>(
+    pattern: &KeyPattern,
+    family: Family,
+    fallback: G,
+    pool: &[Vec<u8>],
+    run: ConcurrentRun,
+) -> Result<ConcurrentStats, String>
+where
+    G: ByteHash + Clone + Send + Sync,
+{
+    let ConcurrentRun {
+        threads,
+        ops_per_thread,
+        seed,
+        chaos,
+    } = run;
+    let threads = threads.max(1);
+    let hasher: Guarded<G> = GuardedHash::from_pattern(pattern, family, fallback);
+    let map: ShardedMap<Vec<u8>, u64, SynthesizedHash, G> = ShardedMap::with_hasher(hasher, 8);
+    let twin: Mutex<HashMap<Vec<u8>, u64>> = Mutex::new(HashMap::new());
+    let policy = DriftPolicy::default();
+
+    let worker = |t: usize| -> Result<(usize, usize), String> {
+        let mine = partition(pool, t, threads);
+        if mine.is_empty() {
+            return Ok((0, 0));
+        }
+        let mut rng = SplitMix64::new(seed ^ (t as u64) << 16);
+        let mut ops = 0usize;
+        let mut degradations = 0usize;
+        // Off-format shadows of this thread's keys ('~' is outside every
+        // byte class the paper formats admit, and lengthening breaks
+        // fixed-length patterns either way).
+        let shadows: Vec<Vec<u8>> = mine
+            .iter()
+            .map(|k| {
+                let mut s = k.clone();
+                s.push(b'~');
+                s
+            })
+            .collect();
+        for step in 0..ops_per_thread {
+            let r = rng.next_u64();
+            let chaos_burst = chaos && t == 0 && step % 97 == 96;
+            if chaos_burst {
+                // Drift burst: hammer one owned shard with off-format
+                // traffic, then let the per-shard policy pull the trigger.
+                // Bursts only ever target the lower half of the stripes, so
+                // the untouched upper half sees zero off-format traffic and
+                // the blast-radius check at the end proves confinement
+                // structurally, at any seed.
+                let half = (map.shard_count() / 2).max(1);
+                let pick = map.shard_of(&shadows[(r % shadows.len() as u64) as usize]);
+                let target = if pick < half {
+                    Some(pick)
+                } else {
+                    shadows.iter().map(|s| map.shard_of(s)).find(|&s| s < half)
+                };
+                let Some(target) = target else {
+                    continue; // no shadow routes into the burstable half
+                };
+                for s in &shadows {
+                    if map.shard_of(s) == target {
+                        let prev = map.insert(s.clone(), r);
+                        let expected = twin
+                            .lock()
+                            .map_err(|_| "twin mutex poisoned".to_string())?
+                            .insert(s.clone(), r);
+                        if prev != expected {
+                            return Err(format!(
+                                "burst insert disagreed on {:?}: {prev:?} vs {expected:?}",
+                                String::from_utf8_lossy(s)
+                            ));
+                        }
+                        ops += 1;
+                    }
+                }
+                let before = map.degraded_shards();
+                // The windowed per-shard policy gets first shot at the
+                // trigger; then the burst lands deterministically on its
+                // target. Only lower-half shards ever see off-format keys,
+                // so neither path can reach the upper half.
+                map.maybe_degrade(&policy);
+                if map.shard_mode(target) == sepe_core::guard::GuardMode::Guarded {
+                    map.degrade_shard(target);
+                }
+                degradations += map.degraded_shards().saturating_sub(before);
+                continue;
+            }
+            let key = &mine[((r >> 8) % mine.len() as u64) as usize];
+            match r % 10 {
+                0..=4 => {
+                    let got = map.get(key.as_slice());
+                    let expected = twin
+                        .lock()
+                        .map_err(|_| "twin mutex poisoned".to_string())?
+                        .get(key)
+                        .copied();
+                    if got != expected {
+                        return Err(format!(
+                            "get disagreed on {:?}: {got:?} vs {expected:?}",
+                            String::from_utf8_lossy(key)
+                        ));
+                    }
+                }
+                5..=7 => {
+                    let prev = map.insert(key.clone(), r);
+                    let expected = twin
+                        .lock()
+                        .map_err(|_| "twin mutex poisoned".to_string())?
+                        .insert(key.clone(), r);
+                    if prev != expected {
+                        return Err(format!(
+                            "insert disagreed on {:?}: {prev:?} vs {expected:?}",
+                            String::from_utf8_lossy(key)
+                        ));
+                    }
+                }
+                _ => {
+                    let removed = map.remove(key.as_slice());
+                    let expected = twin
+                        .lock()
+                        .map_err(|_| "twin mutex poisoned".to_string())?
+                        .remove(key);
+                    if removed != expected {
+                        return Err(format!(
+                            "remove disagreed on {:?}: {removed:?} vs {expected:?}",
+                            String::from_utf8_lossy(key)
+                        ));
+                    }
+                }
+            }
+            ops += 1;
+        }
+        Ok((ops, degradations))
+    };
+
+    let mut stats = ConcurrentStats {
+        threads,
+        ..ConcurrentStats::default()
+    };
+    let results: Vec<Result<(usize, usize), String>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads).map(|t| s.spawn(move || worker(t))).collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err("worker thread panicked".to_string()))
+            })
+            .collect()
+    });
+    for r in results {
+        let (ops, degradations) = r?;
+        stats.ops += ops;
+        stats.degradations += degradations;
+    }
+
+    // Quiescent checkpoint: drain the epochs, then the sharded contents
+    // must equal the twin exactly — count, keys, and values.
+    map.finish_migrations();
+    let twin = twin
+        .into_inner()
+        .map_err(|_| "twin mutex poisoned at checkpoint".to_string())?;
+    if map.len() != twin.len() {
+        return Err(format!(
+            "length diverged at checkpoint: sharded {} vs twin {}",
+            map.len(),
+            twin.len()
+        ));
+    }
+    let mut mismatch = None;
+    let mut seen = 0usize;
+    map.for_each(|k, v| {
+        seen += 1;
+        if mismatch.is_none() && twin.get(k) != Some(v) {
+            mismatch = Some(format!(
+                "content diverged on {:?}: sharded {v} vs twin {:?}",
+                String::from_utf8_lossy(k),
+                twin.get(k)
+            ));
+        }
+    });
+    if let Some(m) = mismatch {
+        return Err(m);
+    }
+    if seen != twin.len() {
+        return Err(format!(
+            "iteration saw {seen} entries, twin holds {}",
+            twin.len()
+        ));
+    }
+    if chaos && stats.degradations == 0 {
+        return Err("chaos run degraded no shard — bursts were ineffective".to_string());
+    }
+    if chaos {
+        // Bursts only ever aim at the lower half of the stripes, and a
+        // shard that never saw an off-format key must not degrade: any
+        // degradation in the upper half means drift leaked across shards
+        // (via routing, shared counters, or the policy).
+        let half = (map.shard_count() / 2).max(1);
+        for shard in half..map.shard_count() {
+            if map.shard_mode(shard) != sepe_core::guard::GuardMode::Guarded {
+                return Err(format!(
+                    "shard {shard} degraded without ever seeing off-format traffic — \
+                     blast radius was not confined"
+                ));
+            }
+        }
+    }
+    stats.checkpoints = 1;
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sepe_baselines::CityHash;
+    use sepe_core::regex::Regex;
+
+    fn ssn_pool(n: usize) -> Vec<Vec<u8>> {
+        (0..n)
+            .map(|i| format!("{:03}-{:02}-{:04}", i % 1000, i % 100, i % 10_000).into_bytes())
+            .collect()
+    }
+
+    #[test]
+    fn concurrent_run_agrees_with_twin() {
+        let pattern = Regex::compile(r"\d{3}-\d{2}-\d{4}").expect("pattern");
+        let pool = ssn_pool(240);
+        let stats = check_concurrent_map(
+            &pattern,
+            Family::Pext,
+            CityHash::new(),
+            &pool,
+            ConcurrentRun {
+                threads: 4,
+                ops_per_thread: 2_000,
+                seed: 0xC0C0,
+                chaos: false,
+            },
+        )
+        .expect("clean run agrees");
+        assert_eq!(stats.threads, 4);
+        assert_eq!(stats.ops, 8_000);
+        assert_eq!(stats.checkpoints, 1);
+        assert_eq!(stats.degradations, 0);
+    }
+
+    #[test]
+    fn chaos_run_degrades_some_but_not_all_shards() {
+        let pattern = Regex::compile(r"\d{3}-\d{2}-\d{4}").expect("pattern");
+        let pool = ssn_pool(240);
+        let stats = check_concurrent_map(
+            &pattern,
+            Family::OffXor,
+            CityHash::new(),
+            &pool,
+            ConcurrentRun {
+                threads: 3,
+                ops_per_thread: 4_000,
+                seed: 0xD1F7,
+                chaos: true,
+            },
+        )
+        .expect("chaos run agrees");
+        assert!(stats.degradations >= 1, "{stats:?}");
+    }
+}

@@ -33,7 +33,11 @@
 //!   machine: interrupted epochs with drift bursts model-checked against an
 //!   eagerly drained twin and `std::collections::HashMap` (contents *and*
 //!   drift counters must agree exactly), batched operations across epoch
-//!   boundaries, and typed rejection of corrupted plan bundles.
+//!   boundaries, and typed rejection of corrupted plan bundles;
+//! * [`concurrent`] — a multi-threaded model checker for the lock-striped
+//!   `ShardedMap`: real OS threads over disjoint key partitions against a
+//!   `Mutex<HashMap>` twin, with chaos-mode drift bursts that degrade one
+//!   shard while its siblings keep serving reads.
 //!
 //! [`Plan`]: sepe_core::synth::Plan
 
@@ -41,6 +45,7 @@
 #![warn(clippy::all)]
 
 pub mod batch;
+pub mod concurrent;
 pub mod differential;
 pub mod faults;
 pub mod formats;

@@ -15,10 +15,14 @@
 //! checks), `migration` (interrupted incremental migrations with drift
 //! bursts, model-checked against an eagerly drained twin for content *and*
 //! counter equivalence, plus typed rejection of corrupted plan bundles),
-//! or `all` (default, faults and migration included). `--inject-faults`
-//! alone is a shorthand for `--suite faults`; combined with an explicit
-//! `--suite` it keeps that suite. Exits non-zero on the first failing
-//! suite.
+//! `concurrent` (multi-threaded operations on the lock-striped
+//! `ShardedMap` model-checked against a `Mutex<HashMap>` twin over
+//! disjoint per-thread key partitions; with `--inject-faults`, drift
+//! bursts degrade individual shards while the other threads keep serving
+//! reads), or `all` (default; faults, migration and concurrent included).
+//! `--inject-faults` alone is a shorthand for `--suite faults`; combined
+//! with an explicit `--suite` it keeps that suite. Exits non-zero on the
+//! first failing suite.
 
 use sepe_baselines::CityHash;
 use sepe_core::guard::GuardedHash;
@@ -28,7 +32,7 @@ use sepe_core::synth::{synthesize, Family};
 use sepe_core::Isa;
 use sepe_keygen::{KeyFormat, SplitMix64};
 use sepe_verify::{
-    batch, differential, faults, formats::RandomFormat, invariants, migration, model,
+    batch, concurrent, differential, faults, formats::RandomFormat, invariants, migration, model,
 };
 
 struct Options {
@@ -37,6 +41,7 @@ struct Options {
     ops: usize,
     seed: u64,
     suite: String,
+    inject_faults: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -46,6 +51,7 @@ fn parse_args() -> Result<Options, String> {
         ops: 4_000,
         seed: 0x5E9E,
         suite: "all".to_owned(),
+        inject_faults: false,
     };
     let mut suite_chosen = false;
     let mut inject_faults = false;
@@ -76,8 +82,8 @@ fn parse_args() -> Result<Options, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: sepe-verify [--formats N] [--keys N] [--ops N] [--seed S] \
-                     [--suite differential|batch|invariants|model|faults|migration|all] \
-                     [--inject-faults]"
+                     [--suite differential|batch|invariants|model|faults|migration|\
+                     concurrent|all] [--inject-faults]"
                 );
                 std::process::exit(0);
             }
@@ -86,10 +92,12 @@ fn parse_args() -> Result<Options, String> {
     }
     // `--inject-faults` alone selects the faults suite; next to an explicit
     // `--suite` (e.g. `--suite migration --inject-faults`) it must not
-    // clobber the choice — the migration suite injects faults regardless.
+    // clobber the choice — the migration suite injects faults regardless,
+    // and the concurrent suite uses the flag to arm its drift bursts.
     if inject_faults && !suite_chosen {
         opts.suite = "faults".to_owned();
     }
+    opts.inject_faults = inject_faults;
     Ok(opts)
 }
 
@@ -427,6 +435,71 @@ fn run_migration(opts: &Options) -> Result<String, String> {
     ))
 }
 
+fn run_concurrent(opts: &Options) -> Result<String, String> {
+    let mut rng = SplitMix64::new(opts.seed ^ 0xC0C);
+    let mut stats = concurrent::ConcurrentStats::default();
+    let mut runs = 0usize;
+
+    // Paper formats × families × thread counts; each cell is one shared
+    // map hammered by real threads against a Mutex<HashMap> twin. With
+    // `--inject-faults`, every cell also fires shard-degrading drift
+    // bursts from one thread while the others keep reading.
+    for format in [KeyFormat::Ssn, KeyFormat::Ipv4, KeyFormat::Uuid] {
+        let pattern = Regex::compile(&format.regex()).expect("compiles");
+        let pool = sample_pattern_keys(&pattern, &mut rng, opts.keys.max(48) * 4);
+        for (i, family) in Family::ALL.into_iter().enumerate() {
+            for threads in [2usize, 4] {
+                let s = concurrent::check_concurrent_map(
+                    &pattern,
+                    family,
+                    CityHash::new(),
+                    &pool,
+                    concurrent::ConcurrentRun {
+                        threads,
+                        ops_per_thread: (opts.ops / 2).max(500),
+                        seed: opts.seed ^ (i as u64) << 8 ^ (threads as u64),
+                        chaos: opts.inject_faults,
+                    },
+                )
+                .map_err(|e| format!("{} {family} x{threads}: {e}", format.name()))?;
+                stats.absorb(s);
+                runs += 1;
+            }
+        }
+    }
+
+    // A slice of seeded random formats, families rotated, chaos always on
+    // (random formats are where the off-format shadows get adversarial).
+    for i in 0..(opts.formats / 20).max(2) {
+        let rf = RandomFormat::generate(&mut rng);
+        let pattern = rf.pattern();
+        let pool = rf.sample_keys(&mut rng, 96);
+        let family = Family::ALL[i % Family::ALL.len()];
+        let s = concurrent::check_concurrent_map(
+            &pattern,
+            family,
+            CityHash::new(),
+            &pool,
+            concurrent::ConcurrentRun {
+                threads: 3,
+                ops_per_thread: (opts.ops / 4).max(500),
+                seed: opts.seed ^ (i as u64) << 4,
+                chaos: true,
+            },
+        )
+        .map_err(|e| format!("random format {i} {family}: {e}"))?;
+        stats.absorb(s);
+        runs += 1;
+    }
+
+    Ok(format!(
+        "{} threaded ops across {runs} runs ({} worker threads total, {} shard \
+         degradations, {} quiescent checkpoints) — every per-key observation and final \
+         content matched the Mutex<HashMap> twin",
+        stats.ops, stats.threads, stats.degradations, stats.checkpoints
+    ))
+}
+
 fn main() {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -443,6 +516,7 @@ fn main() {
         "model" => vec![("model", run_model)],
         "faults" => vec![("faults", run_faults)],
         "migration" => vec![("migration", run_migration)],
+        "concurrent" => vec![("concurrent", run_concurrent)],
         "all" => vec![
             ("differential", run_differential),
             ("batch", run_batch),
@@ -450,6 +524,7 @@ fn main() {
             ("model", run_model),
             ("faults", run_faults),
             ("migration", run_migration),
+            ("concurrent", run_concurrent),
         ],
         other => {
             eprintln!("sepe-verify: unknown suite {other}");
