@@ -635,20 +635,31 @@ pub fn guard(
 /// migration scenario (churn ops/sec at steady state, while an epoch
 /// drain is in flight, and after it completes) and the concurrency
 /// scenario (the same churn fanned over a lock-striped [`ShardedMap`] at
-/// 1/2/4/8 threads). `sepe-repro` writes it as `BENCH_<date>.json`, the
-/// machine-readable perf trajectory.
+/// 1/2/4/8 threads) and the resynthesis scenario (p50/p99/max mutating-op
+/// latency across a resynthesis trigger, synthesis inline on the serving
+/// thread vs handed to the background supervisor). `sepe-repro` writes it
+/// as `BENCH_<date>.json`, the machine-readable perf trajectory.
 ///
 /// [`ShardedMap`]: sepe_containers::ShardedMap
 #[must_use]
 pub fn bench_json(scale: &RunScale) -> String {
     use sepe_driver::bench_json::{
-        concurrency_records, migration_records, run_suite, to_json, today_utc, BenchConfig,
+        concurrency_records, migration_records, resynth_records, run_suite, to_json, today_utc,
+        BenchConfig,
     };
     let config = BenchConfig::from_scale(scale);
     let records = run_suite(scale, &config);
     let migration = migration_records(scale, &config);
     let concurrency = concurrency_records(scale, &config);
-    to_json(&today_utc(), &records, &migration, &concurrency).to_string()
+    let resynthesis = resynth_records(scale, &config);
+    to_json(
+        &today_utc(),
+        &records,
+        &migration,
+        &concurrency,
+        &resynthesis,
+    )
+    .to_string()
 }
 
 #[cfg(test)]

@@ -2,8 +2,9 @@
 
 use crate::policy::{BucketPolicy, DriftPolicy};
 use crate::table::RawTable;
-use sepe_core::guard::{GuardMode, GuardStats, GuardedHash};
+use sepe_core::guard::{GuardMode, GuardStats, GuardedHash, Resynth};
 use sepe_core::hash::{ByteHash, HashBatch};
+use sepe_core::supervisor::{ReadyPlan, SynthRequest};
 use std::borrow::Borrow;
 
 /// A chained hash map with prime bucket counts and bucket introspection,
@@ -369,13 +370,53 @@ where
     /// Re-synthesizes the specialized hash from the reservoir of off-format
     /// keys the guard sampled, re-arms the guard (counters and reservoir
     /// reset), and opens a migration epoch that re-files stored entries
-    /// incrementally. Returns `false` (and changes nothing) when no
-    /// off-format keys were observed.
-    pub fn resynthesize(&mut self) -> bool {
+    /// incrementally. Returns the typed outcome: [`Resynth::NoDrift`] (and
+    /// changes nothing) when no off-format keys were observed,
+    /// [`Resynth::SynthFailed`] (and changes nothing) when synthesis or
+    /// plan validation rejected the widened pattern.
+    pub fn resynthesize(&mut self) -> Resynth {
         // Snapshot the current routing before the plan is replaced: entries
         // are filed under it, whatever mode the map is in right now.
         let old = self.table.hasher().epoch_frozen(self.table.hasher().mode());
-        if !self.table.hasher_mut().resynthesize() {
+        let out = self.table.hasher_mut().resynthesize();
+        if out.is_applied() {
+            let rehasher = self.table.hasher().epoch_frozen(GuardMode::Guarded);
+            self.table.begin_migration(old, rehasher);
+        }
+        out
+    }
+
+    /// Builds the request a background resynthesis job needs: the
+    /// reservoir-widened pattern and its generation snapshot, stamped with
+    /// `tag` (the supervisor's per-hasher breaker identity). `None` when no
+    /// drift was sampled — there is nothing to enqueue.
+    pub fn resynth_request(&self, tag: u64) -> Option<SynthRequest> {
+        let (widened, snapshot_generation) = self.hasher().resynth_snapshot()?;
+        let specialized = self.hasher().specialized();
+        Some(SynthRequest {
+            tag,
+            widened,
+            family: specialized.family(),
+            isa: specialized.isa(),
+            seed: specialized.seed(),
+            snapshot_generation,
+        })
+    }
+
+    /// Applies a plan completed by a background resynthesis job: installs
+    /// the supervisor-validated hash (unless the reservoir generation
+    /// advanced past the job's snapshot — a stale result is discarded) and
+    /// opens a migration epoch to re-file stored entries incrementally.
+    /// The serving path only ever sees this cheap swap; the synthesis
+    /// itself already happened off-thread. Returns whether the plan was
+    /// installed.
+    pub fn apply_resynthesized(&mut self, ready: &ReadyPlan) -> bool {
+        let old = self.table.hasher().epoch_frozen(self.table.hasher().mode());
+        if !self.table.hasher_mut().install_resynthesized(
+            ready.hash.clone(),
+            &ready.widened,
+            ready.snapshot_generation,
+        ) {
             return false;
         }
         let rehasher = self.table.hasher().epoch_frozen(GuardMode::Guarded);
@@ -576,7 +617,7 @@ mod tests {
         for i in 0..50u32 {
             m.insert(format!("{i:03}-11-222x"), i);
         }
-        assert!(m.resynthesize());
+        assert!(m.resynthesize().is_applied());
         assert_eq!(m.guard_mode(), GuardMode::Guarded);
         assert_eq!(m.drift_stats().total(), 0, "counters reset");
         // The widened guard accepts the previously drifted shape...
@@ -586,6 +627,52 @@ mod tests {
             assert_eq!(m.get(format!("{i:03}-11-2222").as_str()), Some(&i));
             assert_eq!(m.get(format!("{i:03}-11-222x").as_str()), Some(&i));
         }
+    }
+
+    #[test]
+    fn resynthesis_without_drift_reports_no_drift() {
+        let mut m = guarded_ssn_map(sepe_core::Family::OffXor);
+        m.insert("123-45-6789".to_owned(), 1);
+        assert_eq!(m.resynthesize(), sepe_core::guard::Resynth::NoDrift);
+        assert!(m.resynth_request(0).is_none(), "nothing to enqueue either");
+    }
+
+    #[test]
+    fn supervised_request_and_apply_round_trip() {
+        use sepe_core::supervisor::{
+            Enqueue, ExecMode, MockClock, ResynthSupervisor, SupervisorConfig,
+        };
+        use std::sync::Arc;
+        let mut m = guarded_ssn_map(sepe_core::Family::OffXor);
+        for i in 0..50u32 {
+            m.insert(format!("{i:03}-11-2222"), i);
+        }
+        for i in 0..50u32 {
+            m.insert(format!("{i:03}-11-222x"), i);
+        }
+        m.degrade_now();
+        let request = m.resynth_request(7).expect("drift was sampled");
+        assert_eq!(request.tag, 7);
+        let clock = Arc::new(MockClock::new());
+        let mut sup = ResynthSupervisor::with_runner(
+            SupervisorConfig::default(),
+            clock,
+            sepe_core::supervisor::default_runner(),
+            ExecMode::Inline,
+        );
+        assert_eq!(sup.enqueue(request), Enqueue::Accepted);
+        sup.pump();
+        let ready = sup.take_ready();
+        assert_eq!(ready.len(), 1);
+        assert!(m.apply_resynthesized(&ready[0]), "fresh result applies");
+        assert_eq!(m.guard_mode(), GuardMode::Guarded);
+        assert!(m.hasher().guard().matches(b"123-11-222x"));
+        for i in 0..50u32 {
+            assert_eq!(m.get(format!("{i:03}-11-2222").as_str()), Some(&i));
+            assert_eq!(m.get(format!("{i:03}-11-222x").as_str()), Some(&i));
+        }
+        // Replaying the same (now stale) result is discarded harmlessly.
+        assert!(!m.apply_resynthesized(&ready[0]), "stale result discarded");
     }
 
     #[test]

@@ -31,6 +31,7 @@ use crate::map::UnorderedMap;
 use crate::policy::{BucketPolicy, DriftPolicy};
 use sepe_core::guard::{GuardMode, GuardedHash};
 use sepe_core::hash::{ByteHash, HashBatch};
+use sepe_core::supervisor::{ReadyPlan, SynthRequest};
 use std::borrow::Borrow;
 use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
@@ -426,6 +427,51 @@ where
     }
 }
 
+impl<K, V, G> ShardedMap<K, V, sepe_core::SynthesizedHash, G>
+where
+    K: Eq + AsRef<[u8]>,
+    G: ByteHash + Clone,
+{
+    /// Re-synthesizes shard `i` inline (synchronously, under the shard
+    /// write lock) — the pre-supervisor path, kept for comparison and for
+    /// callers that accept the stall.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.shard_count()`.
+    pub fn resynthesize_shard(&self, i: usize) -> sepe_core::Resynth {
+        self.write(i).resynthesize()
+    }
+
+    /// Builds the background resynthesis request for shard `i`, tagged
+    /// with the shard index so the supervisor's per-tag circuit breaker
+    /// tracks each shard independently. Takes only the shard *read* lock —
+    /// building a request never stalls concurrent readers behind
+    /// synthesis. `None` when the shard sampled no drift.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.shard_count()`.
+    pub fn resynth_request(&self, i: usize) -> Option<SynthRequest> {
+        self.read(i).resynth_request(i as u64)
+    }
+
+    /// Applies a plan completed by a background job to the shard named by
+    /// its tag: a cheap hash swap plus opening a migration epoch, under
+    /// the shard write lock. Stale results (the shard's reservoir
+    /// generation advanced past the job's snapshot) and out-of-range tags
+    /// are discarded. Returns whether the plan was installed.
+    pub fn apply_ready(&self, ready: &ReadyPlan) -> bool {
+        let Ok(idx) = usize::try_from(ready.tag) else {
+            return false;
+        };
+        if idx >= self.shards.len() {
+            return false;
+        }
+        self.write(idx).apply_resynthesized(ready)
+    }
+}
+
 /// A lock-striped concurrent hash set: a [`ShardedMap`] with unit values.
 ///
 /// # Examples
@@ -800,6 +846,69 @@ mod tests {
         assert_eq!(in_f, twin.drift_stats().in_format());
         assert_eq!(off_f, twin.drift_stats().off_format());
         assert!(off_f > 0, "off-format traffic was observed");
+    }
+
+    #[test]
+    fn supervised_shard_resynthesis_round_trip() {
+        use sepe_core::supervisor::{
+            default_runner, ExecMode, MockClock, ResynthSupervisor, SupervisorConfig,
+        };
+        use std::sync::Arc;
+
+        let m = sharded(4);
+        for i in 0..400 {
+            m.insert(ssn(i), i);
+        }
+        // Drift exactly one shard: keep only the off-format keys the
+        // router sends there, so sibling reservoirs stay empty.
+        let drifted = 0usize;
+        let mut off_format: Vec<(String, u32)> = Vec::new();
+        let mut i = 0u32;
+        while off_format.len() < 40 {
+            let key = format!("drifted-{i:05}");
+            if m.shard_of(key.as_bytes()) == drifted {
+                m.insert(key.clone(), i);
+                off_format.push((key, i));
+            }
+            i += 1;
+        }
+        m.degrade_shard(drifted);
+        m.finish_migrations();
+
+        // Undrifted shards have nothing to enqueue.
+        let clean = (0..4).find(|&i| i != drifted).unwrap();
+        assert!(m.resynth_request(clean).is_none());
+
+        let request = m.resynth_request(drifted).expect("drift was sampled");
+        assert_eq!(request.tag, drifted as u64);
+
+        let clock = Arc::new(MockClock::new());
+        let mut supervisor = ResynthSupervisor::with_runner(
+            SupervisorConfig::default(),
+            clock,
+            default_runner(),
+            ExecMode::Inline,
+        );
+        supervisor.enqueue(request);
+        supervisor.pump();
+        let ready = supervisor.take_ready();
+        assert_eq!(ready.len(), 1);
+
+        assert!(m.apply_ready(&ready[0]), "fresh plan installs");
+        assert!(!m.apply_ready(&ready[0]), "replay is stale and discarded");
+        assert_eq!(m.shard_mode(drifted), GuardMode::Guarded, "shard re-armed");
+        m.finish_migrations();
+        for i in 0..400 {
+            assert_eq!(m.get(ssn(i).as_str()), Some(i), "{} preserved", ssn(i));
+        }
+        for (key, v) in &off_format {
+            assert_eq!(m.get(key.as_str()), Some(*v), "{key} preserved");
+        }
+
+        // A plan whose tag names no shard is discarded, not a panic.
+        let mut bogus = ready.into_iter().next().unwrap();
+        bogus.tag = 1_000;
+        assert!(!m.apply_ready(&bogus));
     }
 
     #[test]

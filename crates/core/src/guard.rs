@@ -14,13 +14,13 @@
 //! crosses a threshold.
 
 use crate::bits::load_u64_le;
-use crate::hash::ByteHash;
+use crate::hash::{ByteHash, SynthError};
 use crate::infer::infer_pattern;
 use crate::pattern::KeyPattern;
 use crate::synth::Family;
 use crate::SynthesizedHash;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, TryLockError};
 
 /// One precompiled 8-byte membership check: the conjunction of eight
 /// [`BytePattern::matches`] tests, evaluated as
@@ -316,19 +316,55 @@ pub enum GuardMode {
     Degraded = 1,
 }
 
+/// Typed outcome of a resynthesis attempt, so callers (and the resynthesis
+/// supervisor) can distinguish "nothing to do" from "search failed" —
+/// a bare `bool` conflated the two.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Resynth {
+    /// A widened plan was synthesized, validated and installed; the guard
+    /// is re-armed and the container must rebuild stored hashes.
+    Applied,
+    /// The reservoir holds no off-format keys: there is no drift to
+    /// resynthesize for, and nothing was changed.
+    NoDrift,
+    /// Synthesis (or plan validation) failed; the hasher's mode, stats and
+    /// reservoir are untouched.
+    SynthFailed(SynthError),
+}
+
+impl Resynth {
+    /// Whether a new plan was installed.
+    #[must_use]
+    pub fn is_applied(&self) -> bool {
+        matches!(self, Resynth::Applied)
+    }
+}
+
 /// Capacity of the off-format reservoir sample.
 const RESERVOIR_CAP: usize = 64;
 
 /// A bounded uniform sample of recently observed off-format keys, kept so a
 /// degraded table can re-synthesize a widened pattern that covers the
 /// drifted traffic.
+///
+/// `generation` counts resets: a background resynthesis job snapshots it
+/// when it starts and a completed plan is only installed if the generation
+/// still matches — a job whose reservoir was cleared under it (by a
+/// competing resynthesis) is stale and discarded.
 #[derive(Debug, Default)]
 struct Reservoir {
     keys: Vec<Vec<u8>>,
     seen: u64,
+    generation: u64,
 }
 
 impl Reservoir {
+    fn clear(&mut self) {
+        self.keys.clear();
+        self.seen = 0;
+        self.generation += 1;
+    }
+
     fn offer(&mut self, key: &[u8]) {
         self.seen += 1;
         if self.keys.len() < RESERVOIR_CAP {
@@ -531,28 +567,64 @@ impl<F, G> GuardedHash<F, G> {
             .store(GuardMode::Degraded as u8, Ordering::Relaxed);
     }
 
+    /// Locks the reservoir, recovering from poison: a panic elsewhere
+    /// (e.g. in synthesis code sharing the mutex through a clone) must not
+    /// silently disable drift sampling forever. The reservoir's state is a
+    /// bag of sampled keys plus counters — every update leaves it
+    /// structurally valid, so the poisoned contents are safe to keep using.
+    fn lock_reservoir(&self) -> MutexGuard<'_, Reservoir> {
+        self.reservoir
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Off-format keys sampled since the last reset, oldest-biased uniform.
     #[must_use]
     pub fn reservoir_keys(&self) -> Vec<Vec<u8>> {
-        self.reservoir
-            .lock()
-            .map(|r| r.keys.clone())
-            .unwrap_or_default()
+        self.lock_reservoir().keys.clone()
+    }
+
+    /// The reservoir's reset generation — the staleness ticket background
+    /// resynthesis jobs carry (see [`Resynth`] and the supervisor).
+    #[must_use]
+    pub fn reservoir_generation(&self) -> u64 {
+        self.lock_reservoir().generation
     }
 
     /// A pattern widened to cover both the original format and the sampled
     /// off-format keys, or `None` when the reservoir is empty.
     #[must_use]
     pub fn resynthesize_pattern(&self) -> Option<KeyPattern> {
-        let sampled = self.reservoir_keys();
-        if sampled.is_empty() {
+        self.resynth_snapshot().map(|(widened, _)| widened)
+    }
+
+    /// One consistent snapshot for a background resynthesis job: the
+    /// reservoir-widened pattern plus the generation it was taken at, read
+    /// under a single reservoir lock. `None` when no drift was sampled.
+    #[must_use]
+    pub fn resynth_snapshot(&self) -> Option<(KeyPattern, u64)> {
+        let r = self.lock_reservoir();
+        if r.keys.is_empty() {
             return None;
         }
         let mut widened = self.guard.pattern().clone();
-        for key in &sampled {
+        for key in &r.keys {
             widened.join_key(key);
         }
-        Some(widened)
+        Some((widened, r.generation))
+    }
+
+    /// Offers one off-format key to the reservoir. Sampling must never
+    /// block the hash path, so contention skips the offer — but a
+    /// *poisoned* lock is recovered, not skipped: treating poison as
+    /// "busy" would silently disable sampling forever after one panic.
+    #[inline]
+    fn offer_to_reservoir(&self, key: &[u8]) {
+        match self.reservoir.try_lock() {
+            Ok(mut r) => r.offer(key),
+            Err(TryLockError::Poisoned(p)) => p.into_inner().offer(key),
+            Err(TryLockError::WouldBlock) => {}
+        }
     }
 
     /// The hash used for off-format keys (and, in degraded mode, for all
@@ -570,29 +642,70 @@ impl<F, G> GuardedHash<F, G> {
 impl<G> GuardedHash<SynthesizedHash, G> {
     /// Re-synthesizes the specialized hash from the reservoir-widened
     /// pattern and arms the guard again (mode returns to
-    /// [`GuardMode::Guarded`], counters reset). Returns `false` when no
-    /// off-format keys have been sampled.
+    /// [`GuardMode::Guarded`], counters reset).
     ///
-    /// As with [`GuardedHash::degrade`], containers must rebuild stored
-    /// hashes after this succeeds.
-    pub fn resynthesize(&mut self) -> bool {
-        let Some(widened) = self.resynthesize_pattern() else {
-            return false;
-        };
+    /// The synthesized plan is validated before anything is mutated, so a
+    /// failure leaves the hasher exactly as it was. As with
+    /// [`GuardedHash::degrade`], containers must rebuild stored hashes
+    /// after this returns [`Resynth::Applied`].
+    pub fn resynthesize(&mut self) -> Resynth {
         let family = self.specialized.family();
         let isa = self.specialized.isa();
         let seed = self.specialized.seed();
-        self.specialized = SynthesizedHash::from_pattern(&widened, family)
-            .with_isa(isa)
-            .with_seed(seed);
-        self.guard = FormatGuard::compile(&widened);
-        if let Ok(mut r) = self.reservoir.lock() {
-            r.keys.clear();
-            r.seen = 0;
+        self.resynthesize_with(|widened| {
+            let plan = crate::synth::synthesize(widened, family);
+            crate::plan_io::validate_plan(&plan)?;
+            Ok(SynthesizedHash::new(plan, family, isa).with_seed(seed))
+        })
+    }
+
+    /// [`GuardedHash::resynthesize`] with a caller-supplied synthesis
+    /// function — the hook the failure-path tests and custom synthesis
+    /// strategies use. `synth` sees the reservoir-widened pattern; an `Err`
+    /// leaves mode, stats and reservoir untouched.
+    pub fn resynthesize_with<S>(&mut self, synth: S) -> Resynth
+    where
+        S: FnOnce(&KeyPattern) -> Result<SynthesizedHash, SynthError>,
+    {
+        let Some((widened, _generation)) = self.resynth_snapshot() else {
+            return Resynth::NoDrift;
+        };
+        match synth(&widened) {
+            Err(e) => Resynth::SynthFailed(e),
+            Ok(hash) => {
+                self.install(hash, &widened);
+                Resynth::Applied
+            }
         }
+    }
+
+    /// Installs a plan produced by a *background* resynthesis job, unless
+    /// it is stale: the job's reservoir-generation snapshot must still
+    /// match (a competing resynthesis bumps the generation when it clears
+    /// the reservoir). Returns whether the plan was installed; a discarded
+    /// stale result changes nothing.
+    pub fn install_resynthesized(
+        &mut self,
+        hash: SynthesizedHash,
+        widened: &KeyPattern,
+        snapshot_generation: u64,
+    ) -> bool {
+        if self.reservoir_generation() != snapshot_generation {
+            return false;
+        }
+        self.install(hash, widened);
+        true
+    }
+
+    /// The shared install step: swap the specialized hash, recompile the
+    /// guard, clear the reservoir (bumping its generation), reset the
+    /// counters, and re-arm. Only called with an already-validated hash.
+    fn install(&mut self, hash: SynthesizedHash, widened: &KeyPattern) {
+        self.specialized = hash;
+        self.guard = FormatGuard::compile(widened);
+        self.lock_reservoir().clear();
         self.stats.reset();
         self.mode.store(GuardMode::Guarded as u8, Ordering::Relaxed);
-        true
     }
 
     /// Builds a guarded hash by synthesizing `family` for `pattern`.
@@ -638,10 +751,7 @@ impl<F: ByteHash, G: ByteHash> ByteHash for GuardedHash<F, G> {
         } else {
             if !self.silent {
                 GuardStats::bump(&self.stats.off_format);
-                // Sampling must never block the hash path: skip when contended.
-                if let Ok(mut r) = self.reservoir.try_lock() {
-                    r.offer(key);
-                }
+                self.offer_to_reservoir(key);
             }
             self.off_format_hash(key)
         }
@@ -689,9 +799,7 @@ impl<F: crate::hash::HashBatch, G: ByteHash> crate::hash::HashBatch for GuardedH
                     } else {
                         if !self.silent {
                             GuardStats::bump(&self.stats.off_format);
-                            if let Ok(mut r) = self.reservoir.try_lock() {
-                                r.offer(key);
-                            }
+                            self.offer_to_reservoir(key);
                         }
                         self.off_format_hash(key)
                     };
@@ -856,7 +964,7 @@ mod tests {
             let _ = guarded.hash_bytes(format!("{i:07}x").as_bytes());
         }
         guarded.degrade();
-        assert!(guarded.resynthesize());
+        assert_eq!(guarded.resynthesize(), Resynth::Applied);
         assert!(!guarded.is_degraded());
         assert_eq!(guarded.stats().total(), 0);
         // Both the original and the drifted shape now pass the guard.
@@ -944,7 +1052,101 @@ mod tests {
         let pattern = Regex::compile(r"\d{8}").unwrap();
         let mut guarded = GuardedHash::from_pattern(&pattern, Family::OffXor, Stl);
         let _ = guarded.hash_bytes(b"12345678");
-        assert!(!guarded.resynthesize());
+        assert_eq!(guarded.resynthesize(), Resynth::NoDrift);
+    }
+
+    #[test]
+    fn failed_resynthesis_leaves_mode_stats_and_reservoir_untouched() {
+        // Satellite regression: a reservoir whose widened pattern the
+        // synthesis function rejects must not half-apply anything.
+        let pattern = Regex::compile(r"\d{8}").unwrap();
+        let mut guarded = GuardedHash::from_pattern(&pattern, Family::Pext, Stl);
+        for i in 0..50u32 {
+            let _ = guarded.hash_bytes(format!("{i:07}x").as_bytes());
+        }
+        guarded.degrade();
+        let keys_before = guarded.reservoir_keys();
+        let gen_before = guarded.reservoir_generation();
+        let stats_before = (guarded.stats().in_format(), guarded.stats().off_format());
+        let guard_before = guarded.guard().clone();
+        let out = guarded.resynthesize_with(|widened| {
+            // Simulate from_examples rejecting the widened pattern with an
+            // out-of-bounds-load shape error.
+            Err(SynthError::PlanLoadOutOfBounds {
+                offset: widened.max_len() as u32,
+                width: 8,
+                key_len: widened.max_len(),
+            })
+        });
+        assert!(matches!(out, Resynth::SynthFailed(_)), "{out:?}");
+        assert!(guarded.is_degraded(), "mode untouched");
+        assert_eq!(
+            (guarded.stats().in_format(), guarded.stats().off_format()),
+            stats_before,
+            "stats untouched"
+        );
+        assert_eq!(guarded.reservoir_keys(), keys_before, "reservoir untouched");
+        assert_eq!(guarded.reservoir_generation(), gen_before);
+        assert_eq!(guarded.guard(), &guard_before, "guard untouched");
+        // The same reservoir still resynthesizes fine with a working
+        // synthesizer afterwards.
+        assert_eq!(guarded.resynthesize(), Resynth::Applied);
+    }
+
+    #[test]
+    fn stale_background_results_are_discarded() {
+        let pattern = Regex::compile(r"\d{8}").unwrap();
+        let mut guarded = GuardedHash::from_pattern(&pattern, Family::OffXor, Stl);
+        for i in 0..50u32 {
+            let _ = guarded.hash_bytes(format!("{i:07}x").as_bytes());
+        }
+        let (widened, generation) = guarded.resynth_snapshot().expect("drift sampled");
+        let replacement = SynthesizedHash::from_pattern(&widened, Family::OffXor);
+        // A competing resynthesis lands first and bumps the generation.
+        assert_eq!(guarded.resynthesize(), Resynth::Applied);
+        assert_ne!(guarded.reservoir_generation(), generation);
+        let guard_after_first = guarded.guard().clone();
+        assert!(
+            !guarded.install_resynthesized(replacement.clone(), &widened, generation),
+            "stale snapshot generation must be discarded"
+        );
+        assert_eq!(
+            guarded.guard(),
+            &guard_after_first,
+            "discard changed nothing"
+        );
+        // With the current generation the same plan installs.
+        let current = guarded.reservoir_generation();
+        assert!(guarded.install_resynthesized(replacement, &widened, current));
+    }
+
+    #[test]
+    fn poisoned_reservoir_recovers_instead_of_disabling_sampling() {
+        // Satellite regression: after a panic poisons the reservoir mutex,
+        // sampling, snapshots and resynthesis must all keep working.
+        let pattern = Regex::compile(r"\d{8}").unwrap();
+        let mut guarded = GuardedHash::from_pattern(&pattern, Family::OffXor, Stl);
+        let _ = guarded.hash_bytes(b"0000000x"); // one sampled key
+        let poisoner = guarded.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.reservoir.lock().unwrap();
+            panic!("poison the reservoir");
+        })
+        .join();
+        assert!(guarded.reservoir.is_poisoned(), "setup: mutex is poisoned");
+        // Scalar and batched sampling still record keys.
+        let _ = guarded.hash_bytes(b"1111111x");
+        use crate::hash::HashBatch;
+        let keys: [&[u8]; 1] = [b"2222222x"];
+        let mut out = [0u64; 1];
+        guarded.hash_batch(&keys, &mut out);
+        let sampled = guarded.reservoir_keys();
+        assert!(sampled.contains(&b"1111111x".to_vec()), "{sampled:?}");
+        assert!(sampled.contains(&b"2222222x".to_vec()), "{sampled:?}");
+        // Snapshots and resynthesis recover the guard too.
+        assert!(guarded.resynth_snapshot().is_some());
+        assert_eq!(guarded.resynthesize(), Resynth::Applied);
+        assert!(guarded.guard().matches(b"1111111x"));
     }
 
     #[test]

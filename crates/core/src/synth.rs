@@ -227,6 +227,33 @@ pub fn synthesize(pattern: &KeyPattern, family: Family) -> Plan {
     synthesize_unchecked(pattern, family)
 }
 
+/// [`synthesize`] with a cooperative cancellation checkpoint threaded
+/// through the synthesis loops (target collection, word cover, mask
+/// construction) — the entry point the resynthesis supervisor runs, so a
+/// deadline or an explicit cancel stops the search between units of work
+/// instead of after the fact.
+///
+/// # Errors
+///
+/// Returns [`crate::hash::SynthError::Cancelled`] once `token` reports
+/// cancellation; the partial plan is discarded.
+pub fn synthesize_with_cancel(
+    pattern: &KeyPattern,
+    family: Family,
+    token: &crate::supervisor::CancelToken,
+) -> Result<Plan, crate::hash::SynthError> {
+    token.check()?;
+    if pattern.max_len() < 8 {
+        return Ok(Plan::StlFallback);
+    }
+    match family {
+        Family::Aes => synthesize_blocks_cancellable(pattern, token),
+        Family::Naive | Family::OffXor | Family::Pext => {
+            synthesize_words_cancellable(pattern, family, token)
+        }
+    }
+}
+
 /// Synthesizes a plan *without* the eight-byte minimum-length guard.
 ///
 /// SEPE normally refuses formats shorter than a machine word (footnote 5
@@ -262,7 +289,38 @@ fn cover_with_loads(targets: &[usize], region_len: usize, width: usize) -> Vec<u
     loads
 }
 
+/// The per-unit-of-work checkpoint threaded through the synthesis loops:
+/// a no-op for plain [`synthesize`], a [`crate::supervisor::CancelToken`]
+/// check for [`synthesize_with_cancel`].
+type SynthCheck<'a> = &'a dyn Fn() -> Result<(), crate::hash::SynthError>;
+
+fn synthesize_words_cancellable(
+    pattern: &KeyPattern,
+    family: Family,
+    token: &crate::supervisor::CancelToken,
+) -> Result<Plan, crate::hash::SynthError> {
+    synthesize_words_impl(pattern, family, &|| Ok(token.check()?))
+}
+
+fn synthesize_blocks_cancellable(
+    pattern: &KeyPattern,
+    token: &crate::supervisor::CancelToken,
+) -> Result<Plan, crate::hash::SynthError> {
+    synthesize_blocks_impl(pattern, &|| Ok(token.check()?))
+}
+
 fn synthesize_words(pattern: &KeyPattern, family: Family) -> Plan {
+    match synthesize_words_impl(pattern, family, &|| Ok(())) {
+        Ok(plan) => plan,
+        Err(_) => unreachable!("uncancellable synthesis cannot fail"),
+    }
+}
+
+fn synthesize_words_impl(
+    pattern: &KeyPattern,
+    family: Family,
+    check: SynthCheck<'_>,
+) -> Result<Plan, crate::hash::SynthError> {
     let min_len = pattern.min_len();
     let fixed = pattern.is_fixed_len();
     // The region word loads may cover. For variable-length formats, loads
@@ -270,14 +328,20 @@ fn synthesize_words(pattern: &KeyPattern, family: Family) -> Plan {
     // than a word, everything goes through the tail loop.
     let region_len = if fixed { pattern.max_len() } else { min_len };
 
-    let targets: Vec<usize> = match family {
-        // Naive ignores the const constraint: every byte is a target.
-        Family::Naive => (0..region_len).collect(),
-        // OffXor/Pext: only bytes with at least one variable bit.
-        _ => (0..region_len)
-            .filter(|&i| !pattern.bytes()[i].is_const())
-            .collect(),
-    };
+    let mut targets: Vec<usize> = Vec::new();
+    for i in 0..region_len {
+        check()?;
+        match family {
+            // Naive ignores the const constraint: every byte is a target.
+            Family::Naive => targets.push(i),
+            // OffXor/Pext: only bytes with at least one variable bit.
+            _ => {
+                if !pattern.bytes()[i].is_const() {
+                    targets.push(i);
+                }
+            }
+        }
+    }
 
     let (offsets, tail_start) = if region_len >= 8 {
         let offsets = cover_with_loads(&targets, region_len, 8);
@@ -301,6 +365,7 @@ fn synthesize_words(pattern: &KeyPattern, family: Family) -> Plan {
     let mut ops = Vec::with_capacity(offsets.len());
     let mut covered_until = 0usize;
     for &offset in &offsets {
+        check()?;
         let offset_us = offset as usize;
         let overlaps = offset_us < covered_until;
         let (mask, shift) = if family == Family::Pext {
@@ -327,7 +392,7 @@ fn synthesize_words(pattern: &KeyPattern, family: Family) -> Plan {
         assign_shifts(&mut ops);
     }
 
-    if fixed {
+    Ok(if fixed {
         Plan::FixedWords {
             len: pattern.max_len(),
             ops,
@@ -338,7 +403,7 @@ fn synthesize_words(pattern: &KeyPattern, family: Family) -> Plan {
             ops,
             tail_start,
         }
-    }
+    })
 }
 
 /// Packs extracted bits: the first load stays at the bottom of the range,
@@ -355,6 +420,16 @@ fn assign_shifts(ops: &mut [WordOp]) {
 }
 
 fn synthesize_blocks(pattern: &KeyPattern) -> Plan {
+    match synthesize_blocks_impl(pattern, &|| Ok(())) {
+        Ok(plan) => plan,
+        Err(_) => unreachable!("uncancellable synthesis cannot fail"),
+    }
+}
+
+fn synthesize_blocks_impl(
+    pattern: &KeyPattern,
+    check: SynthCheck<'_>,
+) -> Result<Plan, crate::hash::SynthError> {
     let min_len = pattern.min_len();
     let fixed = pattern.is_fixed_len();
     let region_len = if fixed { pattern.max_len() } else { min_len };
@@ -363,7 +438,7 @@ fn synthesize_blocks(pattern: &KeyPattern) -> Plan {
         // Keys shorter than one AES block: the key is replicated to fill a
         // block (the paper: "Aes requires two 16 byte values; thus, we
         // replicate the key").
-        return if fixed {
+        return Ok(if fixed {
             Plan::FixedBlocks {
                 len: pattern.max_len(),
                 offsets: Vec::new(),
@@ -374,19 +449,23 @@ fn synthesize_blocks(pattern: &KeyPattern) -> Plan {
                 offsets: Vec::new(),
                 tail_start: 0,
             }
-        };
+        });
     }
 
-    let targets: Vec<usize> = (0..region_len)
-        .filter(|&i| !pattern.bytes()[i].is_const())
-        .collect();
+    let mut targets: Vec<usize> = Vec::new();
+    for i in 0..region_len {
+        check()?;
+        if !pattern.bytes()[i].is_const() {
+            targets.push(i);
+        }
+    }
     let offsets = cover_with_loads(&targets, region_len, 16);
     let tail_start = offsets
         .last()
         .map_or(0, |&o| o as usize + 16)
         .max(min_len.min(region_len));
 
-    if fixed {
+    Ok(if fixed {
         Plan::FixedBlocks {
             len: pattern.max_len(),
             offsets,
@@ -397,7 +476,7 @@ fn synthesize_blocks(pattern: &KeyPattern) -> Plan {
             offsets,
             tail_start,
         }
-    }
+    })
 }
 
 #[cfg(test)]
@@ -555,6 +634,44 @@ mod tests {
             panic!("expected fixed plan");
         };
         assert!(ops.is_empty());
+    }
+
+    #[test]
+    fn cancellable_synthesis_agrees_with_plain_synthesis() {
+        use crate::supervisor::CancelToken;
+        let token = CancelToken::unbounded();
+        for re in [
+            r"\d{3}-\d{2}-\d{4}",
+            r"(([0-9]{3})\.){3}[0-9]{3}",
+            r"[a-z]{8}[0-9]{0,4}",
+            r"[0-9]{100}",
+            r"\d{4}",
+        ] {
+            let p = pattern(re);
+            for f in Family::ALL {
+                assert_eq!(
+                    synthesize_with_cancel(&p, f, &token).expect("uncancelled"),
+                    synthesize(&p, f),
+                    "{re} {f}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cancelled_synthesis_returns_a_typed_error() {
+        use crate::hash::SynthError;
+        use crate::supervisor::CancelToken;
+        let token = CancelToken::unbounded();
+        token.cancel();
+        let p = pattern(r"[0-9]{100}");
+        for f in Family::ALL {
+            assert_eq!(
+                synthesize_with_cancel(&p, f, &token),
+                Err(SynthError::Cancelled),
+                "{f}"
+            );
+        }
     }
 
     #[test]

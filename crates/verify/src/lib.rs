@@ -37,7 +37,12 @@
 //! * [`concurrent`] — a multi-threaded model checker for the lock-striped
 //!   `ShardedMap`: real OS threads over disjoint key partitions against a
 //!   `Mutex<HashMap>` twin, with chaos-mode drift bursts that degrade one
-//!   shard while its siblings keep serving reads.
+//!   shard while its siblings keep serving reads;
+//! * [`supervisor`] — chaos and replay checks for the background
+//!   resynthesis supervisor: scripted synthesis faults (hang, panic,
+//!   typed error, invalid plan) against concurrent container traffic,
+//!   breaker discipline audits, and mock-clock transcript replay
+//!   equality.
 //!
 //! [`Plan`]: sepe_core::synth::Plan
 
@@ -53,3 +58,4 @@ pub mod interp;
 pub mod invariants;
 pub mod migration;
 pub mod model;
+pub mod supervisor;

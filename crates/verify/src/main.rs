@@ -19,10 +19,16 @@
 //! `ShardedMap` model-checked against a `Mutex<HashMap>` twin over
 //! disjoint per-thread key partitions; with `--inject-faults`, drift
 //! bursts degrade individual shards while the other threads keep serving
-//! reads), or `all` (default; faults, migration and concurrent included).
-//! `--inject-faults` alone is a shorthand for `--suite faults`; combined
-//! with an explicit `--suite` it keeps that suite. Exits non-zero on the
-//! first failing suite.
+//! reads), `supervisor` (the background resynthesis supervisor:
+//! mock-clock transcript replay equality and breaker discipline, plus a
+//! supervised chaos run where worker threads hammer a `ShardedMap` while
+//! background synthesis recovers degraded shards; with `--inject-faults`,
+//! the synthesis runner hangs, panics, errors, and returns invalid plans,
+//! and no container op may ever block on it), or `all` (default; faults,
+//! migration, concurrent and supervisor included). `--inject-faults`
+//! alone is a shorthand for `--suite faults`; combined with an explicit
+//! `--suite` it keeps that suite. Exits non-zero on the first failing
+//! suite.
 
 use sepe_baselines::CityHash;
 use sepe_core::guard::GuardedHash;
@@ -33,6 +39,7 @@ use sepe_core::Isa;
 use sepe_keygen::{KeyFormat, SplitMix64};
 use sepe_verify::{
     batch, concurrent, differential, faults, formats::RandomFormat, invariants, migration, model,
+    supervisor,
 };
 
 struct Options {
@@ -83,7 +90,7 @@ fn parse_args() -> Result<Options, String> {
                 println!(
                     "usage: sepe-verify [--formats N] [--keys N] [--ops N] [--seed S] \
                      [--suite differential|batch|invariants|model|faults|migration|\
-                     concurrent|all] [--inject-faults]"
+                     concurrent|supervisor|all] [--inject-faults]"
                 );
                 std::process::exit(0);
             }
@@ -500,6 +507,62 @@ fn run_concurrent(opts: &Options) -> Result<String, String> {
     ))
 }
 
+fn run_supervisor(opts: &Options) -> Result<String, String> {
+    let mut rng = SplitMix64::new(opts.seed ^ 0x5FE);
+
+    // Transcript replay: the whole state machine — backoff schedule,
+    // breaker open/half-open/close, fault absorption — must replay
+    // event-for-event from seed + mock clock alone.
+    let mut events = 0usize;
+    let mut replays = 0usize;
+    for _ in 0..3 {
+        events += supervisor::check_replay_transcripts(rng.next_u64())?;
+        replays += 1;
+    }
+    supervisor::check_policy_breaker(opts.seed)?;
+
+    // Supervised chaos: worker threads hammer a ShardedMap while the
+    // supervisor recovers degraded shards in the background. With
+    // `--inject-faults`, synthesis hangs, panics, errors, and returns
+    // invalid plans — and still no container op may block on it.
+    let mut stats = supervisor::SupervisorStats::default();
+    let mut runs = 0usize;
+    for (format, family) in [
+        (KeyFormat::Ssn, Family::Pext),
+        (KeyFormat::Ipv4, Family::OffXor),
+    ] {
+        let pattern = Regex::compile(&format.regex()).expect("compiles");
+        let pool = sample_pattern_keys(&pattern, &mut rng, opts.keys.max(48) * 4);
+        let s = supervisor::check_supervised_chaos(
+            &pattern,
+            family,
+            CityHash::new(),
+            &pool,
+            supervisor::SupervisedRun {
+                threads: 3,
+                ops_per_thread: (opts.ops / 2).max(500),
+                seed: opts.seed ^ runs as u64,
+                faults: opts.inject_faults,
+            },
+        )
+        .map_err(|e| format!("{} {family}: {e}", format.name()))?;
+        stats.absorb(s);
+        runs += 1;
+    }
+
+    Ok(format!(
+        "{replays} transcript replays identical over {events} events, {} threaded ops \
+         across {runs} supervised runs ({} shards degraded, {} background plans applied, \
+         {} injected faults absorbed, worst mutating-op stall {} ms) — no op ever blocked \
+         on synthesis and final contents matched the Mutex<HashMap> twin",
+        stats.ops,
+        stats.degradations,
+        stats.applied,
+        stats.faults,
+        stats.max_mutating_ns / 1_000_000
+    ))
+}
+
 fn main() {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -517,6 +580,7 @@ fn main() {
         "faults" => vec![("faults", run_faults)],
         "migration" => vec![("migration", run_migration)],
         "concurrent" => vec![("concurrent", run_concurrent)],
+        "supervisor" => vec![("supervisor", run_supervisor)],
         "all" => vec![
             ("differential", run_differential),
             ("batch", run_batch),
@@ -525,6 +589,7 @@ fn main() {
             ("faults", run_faults),
             ("migration", run_migration),
             ("concurrent", run_concurrent),
+            ("supervisor", run_supervisor),
         ],
         other => {
             eprintln!("sepe-verify: unknown suite {other}");

@@ -194,11 +194,11 @@ pub fn check_interrupted_migration<G: ByteHash + Clone>(
             let b = twin.resynthesize();
             if a != b {
                 return Err(format!(
-                    "step {step}: resynthesize diverged — SUT {a}, twin {b} \
+                    "step {step}: resynthesize diverged — SUT {a:?}, twin {b:?} \
                      (reservoirs were fed identical traffic)"
                 ));
             }
-            if a {
+            if a.is_applied() {
                 twin.finish_migration();
                 check_counters(step, &sut, &twin)?;
                 stats.transitions += 1;
@@ -346,8 +346,8 @@ pub fn check_batched_epoch_boundary<G: ByteHash + Clone>(
             twin.degrade_now();
             twin.finish_migration();
         }
-        if round == 2 * rounds / 3 && sut.resynthesize() {
-            if !twin.resynthesize() {
+        if round == 2 * rounds / 3 && sut.resynthesize().is_applied() {
+            if !twin.resynthesize().is_applied() {
                 return Err(format!("round {round}: only the SUT could resynthesize"));
             }
             twin.finish_migration();

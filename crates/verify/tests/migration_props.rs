@@ -54,7 +54,7 @@ proptest! {
                 !map.hasher().reservoir_keys().is_empty(),
                 "{family}: empty reservoir"
             );
-            prop_assert!(map.resynthesize(), "{family}: resynthesize refused");
+            prop_assert!(map.resynthesize().is_applied(), "{family}: resynthesize refused");
             let stats = map.drift_stats();
             prop_assert_eq!(stats.in_format(), 0, "{} lifetime in_format survived", family);
             prop_assert_eq!(stats.off_format(), 0, "{} lifetime off_format survived", family);
@@ -87,7 +87,7 @@ proptest! {
                 map.insert(key.clone(), i as u64);
                 map.insert(mutate_off_format(&pattern, key, &mut rng), i as u64);
             }
-            prop_assert!(map.resynthesize(), "{family}: resynthesize refused");
+            prop_assert!(map.resynthesize().is_applied(), "{family}: resynthesize refused");
             prop_assert!(map.migration_in_flight(), "{family}: no epoch in flight");
 
             // The widened pattern the guard now enforces, and a scalar
