@@ -32,6 +32,7 @@ struct Options {
     churn: Option<usize>,
     threads: Option<usize>,
     resynth: bool,
+    metrics: bool,
     path: Option<String>,
 }
 
@@ -43,6 +44,7 @@ fn parse_args() -> Result<Options, String> {
     let mut churn = None;
     let mut threads = None;
     let mut resynth = false;
+    let mut metrics = false;
     let mut path = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -90,6 +92,7 @@ fn parse_args() -> Result<Options, String> {
             }
             "--guard" | "-g" => guard = true,
             "--resynth" => resynth = true,
+            "--metrics" => metrics = true,
             "--drift-threshold" => {
                 let t: f64 = args
                     .next()
@@ -115,6 +118,7 @@ fn parse_args() -> Result<Options, String> {
         churn,
         threads,
         resynth,
+        metrics,
         path,
     })
 }
@@ -289,7 +293,7 @@ fn main() -> ExitCode {
             }
             eprintln!(
                 "usage: keybench [--iterations N] [--guard] [--drift-threshold T] \
-                 [--batch W] [--churn N] [--threads N] [--resynth] [FILE]\n\
+                 [--batch W] [--churn N] [--threads N] [--resynth] [--metrics] [FILE]\n\
                  \x20      (keys on stdin or FILE, one per line)"
             );
             return if msg.is_empty() {
@@ -357,6 +361,10 @@ fn main() -> ExitCode {
     }
     if opts.resynth {
         resynth_report(&pattern, &key_strings, opts.iterations);
+        return ExitCode::SUCCESS;
+    }
+    if opts.metrics {
+        metrics_report(&pattern, &key_strings, opts.iterations);
         return ExitCode::SUCCESS;
     }
 
@@ -617,6 +625,54 @@ fn resynth_report(pattern: &KeyPattern, keys: &[String], iterations: usize) {
             inline_max / sup_max
         );
     }
+}
+
+/// `--metrics`: machine-readable observability snapshot. Runs a
+/// deterministic, seeded, single-threaded workload over the user's keys —
+/// fill a guarded map, churn (get/insert/remove mix), degrade, drain the
+/// epoch migration with seeded strides, churn again — with the table and
+/// guard metrics exported into a [`sepe_obs::Registry`], then prints the
+/// canonical `sepe-metrics/v1` snapshot as pure JSON. The same keys and
+/// iteration count always print byte-identical output, so the snapshot
+/// diffs cleanly and pipes into `sepe-repro --check-metrics`.
+fn metrics_report(pattern: &KeyPattern, keys: &[String], iterations: usize) {
+    use sepe_keygen::SplitMix64;
+
+    let registry = sepe_obs::Registry::new();
+    let hasher = GuardedHash::from_pattern(pattern, Family::OffXor, CityHash::new());
+    let mut map: UnorderedMap<String, usize, _> = UnorderedMap::with_hasher(hasher);
+    map.export_metrics(&registry, &[])
+        .expect("fresh registry accepts the first export");
+    for (i, key) in keys.iter().enumerate() {
+        map.insert(key.clone(), i);
+    }
+    let ops = iterations.clamp(512, 65_536);
+    let mut rng = SplitMix64::new(0x0B5E_C4A0);
+    let mut churn = |map: &mut UnorderedMap<String, usize, _>, ops: usize| {
+        for i in 0..ops {
+            let key = &keys[(rng.next_u64() % keys.len() as u64) as usize];
+            match rng.next_u64() % 10 {
+                0..=4 => {
+                    std::hint::black_box(map.get(key.as_str()));
+                }
+                5..=7 => {
+                    map.insert(key.clone(), i);
+                }
+                _ => {
+                    map.remove(key.as_str());
+                    map.insert(key.clone(), i);
+                }
+            }
+        }
+    };
+    churn(&mut map, ops);
+    map.degrade_now();
+    let mut drain_rng = SplitMix64::new(0x0B5E_D8A1);
+    while map.migration_in_flight() {
+        map.migrate(1 + (drain_rng.next_u64() % 32) as usize);
+    }
+    churn(&mut map, ops);
+    println!("{}", registry.snapshot().render());
 }
 
 /// Demonstrates the degradation state machine: fills a guarded map with the

@@ -11,7 +11,7 @@ use sepe_cli::repro;
 use sepe_driver::analysis::RunScale;
 use std::process::ExitCode;
 
-const ARTIFACTS: [&str; 17] = [
+const ARTIFACTS: [&str; 18] = [
     "table1",
     "table2",
     "table3",
@@ -29,6 +29,7 @@ const ARTIFACTS: [&str; 17] = [
     "bykey",
     "guard",
     "bench-json",
+    "metrics",
 ];
 
 fn scale_of(name: &str) -> Result<RunScale, String> {
@@ -74,6 +75,7 @@ fn run(
         "bykey" => repro::bykey(scale),
         "guard" => repro::guard(scale, drift_threshold, bundle),
         "bench-json" => repro::bench_json(scale),
+        "metrics" => repro::metrics(scale),
         _ => return None,
     };
     Some(out)
@@ -85,17 +87,28 @@ fn main() -> ExitCode {
     let mut out_dir: Option<std::path::PathBuf> = None;
     let mut drift_threshold = 0.10;
     let mut plan_path: Option<String> = None;
+    let mut check_metrics: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: sepe-repro [--scale smoke|quick|default|paper] [--out DIR] \
-                     [--drift-threshold T] [--plan FILE] ARTIFACT...\n\
+                     [--drift-threshold T] [--plan FILE] [--check-metrics FILE] ARTIFACT...\n\
                      artifacts: {} | all",
                     ARTIFACTS.join(" | ")
                 );
                 return ExitCode::SUCCESS;
+            }
+            "--check-metrics" => {
+                let v = match args.next() {
+                    Some(v) => v,
+                    None => {
+                        eprintln!("sepe-repro: --check-metrics needs a file");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                check_metrics = Some(v);
             }
             "--plan" => {
                 let v = match args.next() {
@@ -152,6 +165,38 @@ fn main() -> ExitCode {
             other => artifacts.push(other.to_owned()),
         }
     }
+    // The snapshot trust boundary: a saved metrics file is re-parsed
+    // through the strict `sepe-metrics/v1` parser. Any corruption —
+    // malformed JSON, wrong schema, non-decimal values, bucket sums that
+    // disagree with their count — is a typed error and a nonzero exit.
+    if let Some(path) = &check_metrics {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("sepe-repro: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match sepe_obs::Snapshot::parse(text.trim_end()) {
+            Ok(snap) => {
+                println!(
+                    "{path}: valid {} snapshot ({} counters, {} gauges, {} histograms)",
+                    sepe_obs::SCHEMA,
+                    snap.counters.len(),
+                    snap.gauges.len(),
+                    snap.histograms.len()
+                );
+                if artifacts.is_empty() {
+                    return ExitCode::SUCCESS;
+                }
+            }
+            Err(e) => {
+                eprintln!("sepe-repro: {path} is not a usable metrics snapshot: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     if artifacts.is_empty() {
         eprintln!("sepe-repro: no artifact given; try `sepe-repro --scale quick all`");
         return ExitCode::FAILURE;

@@ -644,22 +644,36 @@ pub fn guard(
 #[must_use]
 pub fn bench_json(scale: &RunScale) -> String {
     use sepe_driver::bench_json::{
-        concurrency_records, migration_records, resynth_records, run_suite, to_json, today_utc,
-        BenchConfig,
+        concurrency_records, metrics_snapshot, migration_records, resynth_records, run_suite,
+        to_json, today_utc, BenchConfig,
     };
     let config = BenchConfig::from_scale(scale);
     let records = run_suite(scale, &config);
     let migration = migration_records(scale, &config);
     let concurrency = concurrency_records(scale, &config);
     let resynthesis = resynth_records(scale, &config);
+    let metrics = metrics_snapshot(scale, &config);
     to_json(
         &today_utc(),
         &records,
         &migration,
         &concurrency,
         &resynthesis,
+        &metrics,
     )
     .to_string()
+}
+
+/// **Metrics snapshot** — the `sepe-metrics/v1` registry export of a
+/// deterministic, seeded, single-threaded workload (fill, churn, degrade,
+/// drain, churn again — per paper format). Two runs at the same scale
+/// print byte-identical snapshots; `sepe-repro --check-metrics FILE`
+/// re-parses a saved snapshot through the strict typed parser.
+#[must_use]
+pub fn metrics(scale: &RunScale) -> String {
+    use sepe_driver::bench_json::{metrics_snapshot, BenchConfig};
+    let config = BenchConfig::from_scale(scale);
+    metrics_snapshot(scale, &config).render()
 }
 
 #[cfg(test)]

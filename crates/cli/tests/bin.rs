@@ -552,6 +552,26 @@ fn sepe_repro_bench_json_writes_a_dated_parseable_baseline() {
             other => panic!("non-numeric resynthesis measurements: {other:?}"),
         }
     }
+
+    // The observability snapshot rides in the same document: a complete
+    // `sepe-metrics/v1` subtree that must survive the strict typed parser.
+    let metrics_schema = schema
+        .get("metrics_schema")
+        .as_str()
+        .expect("metrics_schema string");
+    let metrics = doc.get("metrics");
+    assert_eq!(metrics.get("schema").as_str(), Some(metrics_schema));
+    let snap = sepe_obs::Snapshot::parse(&metrics.to_string())
+        .expect("metrics section is a valid sepe-metrics/v1 snapshot");
+    assert!(
+        snap.counter_family_total("guard_in_format") > 0,
+        "the seeded workload hashed keys through the guard: {snap:?}"
+    );
+    assert_eq!(
+        snap.counter_family_total("table_epochs_opened"),
+        snap.counter_family_total("table_epochs_finished"),
+        "the quiescent workload drains every epoch it opens"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -668,6 +688,142 @@ fn keybench_resynth_reports_both_modes() {
     assert!(
         stdout.contains("serving thread never runs the synthesis search"),
         "comparison line missing:\n{stdout}"
+    );
+}
+
+#[test]
+fn keybench_metrics_emits_a_deterministic_parseable_snapshot() {
+    let keys: String = (0..128)
+        .map(|i| format!("{:03}-{:02}-{:04}\n", i % 999, i % 97, i))
+        .collect();
+    let run = || {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_keybench"));
+        cmd.args(["--metrics", "--iterations", "2000"]);
+        let (stdout, stderr, ok) = run_with_stdin(cmd, &keys);
+        assert!(ok, "{stderr}");
+        stdout
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first, second, "same keys, same seeds, same snapshot bytes");
+    let snap = sepe_obs::Snapshot::parse(first.trim_end()).expect("stdout is a valid snapshot");
+    assert_eq!(
+        snap.counter("table_epochs_opened"),
+        Some(1),
+        "the workload degrades exactly once: {snap:?}"
+    );
+    assert_eq!(
+        snap.counter("table_epochs_finished"),
+        Some(1),
+        "the drain loop retires the epoch before the snapshot: {snap:?}"
+    );
+    assert_eq!(
+        snap.counter("table_drain_ops"),
+        Some(128),
+        "every resident entry moves exactly once: {snap:?}"
+    );
+    assert!(snap.counter("guard_in_format").unwrap_or(0) > 0, "{snap:?}");
+    assert!(
+        snap.histograms.contains_key("table_probe_len"),
+        "probe lengths recorded: {snap:?}"
+    );
+}
+
+#[test]
+fn sepe_repro_metrics_artifact_is_byte_identical_across_runs() {
+    let run = || {
+        let out = sepe_repro()
+            .args(["--scale", "smoke", "metrics"])
+            .output()
+            .expect("repro runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first, second, "snapshot export is deterministic");
+    let snap = sepe_obs::Snapshot::parse(first.trim_end()).expect("artifact is a valid snapshot");
+    assert_eq!(
+        snap.counter_family_total("table_epochs_opened"),
+        snap.counter_family_total("table_epochs_finished"),
+        "{snap:?}"
+    );
+}
+
+/// The corrupted-snapshot fixtures, each with the typed error its
+/// corruption must produce from `--check-metrics`.
+const CORRUPTED_METRICS_FIXTURES: [(&str, &str); 2] = [
+    ("metrics_wrong_schema.json", "is not \"sepe-metrics/v1\""),
+    (
+        "metrics_bad_bucket_sum.json",
+        "bucket counts sum to 2 but count claims 3",
+    ),
+];
+
+#[test]
+fn sepe_repro_check_metrics_validates_and_rejects() {
+    // A freshly emitted snapshot round-trips through the checker.
+    let out = sepe_repro()
+        .args(["--scale", "smoke", "metrics"])
+        .output()
+        .expect("repro runs");
+    assert!(out.status.success());
+    let dir = std::env::temp_dir().join(format!("sepe-check-metrics-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("snapshot.json");
+    std::fs::write(&path, &out.stdout).expect("snapshot written");
+    let out = sepe_repro()
+        .arg("--check-metrics")
+        .arg(&path)
+        .output()
+        .expect("repro runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("valid sepe-metrics/v1 snapshot"),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Every corruption mode is a typed rejection and a nonzero exit.
+    for (name, needle) in CORRUPTED_METRICS_FIXTURES {
+        let out = sepe_repro()
+            .args(["--check-metrics", &fixture_path(name)])
+            .output()
+            .expect("repro runs");
+        assert!(
+            !out.status.success(),
+            "{name}: corrupted snapshot was accepted"
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("is not a usable metrics snapshot") && stderr.contains(needle),
+            "{name}: expected typed rejection with {needle:?}, got: {stderr}"
+        );
+        assert!(
+            !stderr.contains("panicked"),
+            "{name}: the binary panicked: {stderr}"
+        );
+    }
+
+    // A missing file is an I/O error, not a crash.
+    let out = sepe_repro()
+        .args(["--check-metrics", "/nonexistent/snapshot.json"])
+        .output()
+        .expect("repro runs");
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("cannot read"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
     );
 }
 

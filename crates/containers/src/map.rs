@@ -234,6 +234,27 @@ where
     pub fn stale_reads(&self) -> u64 {
         self.table.stale_reads()
     }
+
+    /// Registers this map's table metrics under `labels`: the
+    /// `table_probe_len` histogram plus the `table_drain_ops`,
+    /// `table_epochs_opened`, `table_epochs_finished`,
+    /// `table_stale_probes`, `table_batch_chunks` and `table_batch_keys`
+    /// counters. The registry reads the live shared handles; nothing is
+    /// copied and the map's hot paths are unaffected.
+    ///
+    /// In `obs`-off builds the ids still register but stay at zero.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`sepe_obs::RegistryError`] on duplicate registration
+    /// (export each map under distinct labels).
+    pub fn export_table_metrics(
+        &self,
+        registry: &sepe_obs::Registry,
+        labels: &[(&str, &str)],
+    ) -> Result<(), sepe_obs::RegistryError> {
+        self.table.obs().export(registry, labels)
+    }
 }
 
 /// Width of a lookup/insert batch chunk: matches the widest hash kernel, and
@@ -253,6 +274,10 @@ where
         let mut results = Vec::with_capacity(keys.len());
         let mut hashes = [0u64; BATCH_CHUNK];
         for chunk in keys.chunks(BATCH_CHUNK) {
+            if sepe_obs::enabled() {
+                self.table.obs().batch_chunks.inc();
+                self.table.obs().batch_keys.add(chunk.len() as u64);
+            }
             let hashes = &mut hashes[..chunk.len()];
             self.table.hasher().hash_batch(chunk, hashes);
             for &h in hashes.iter() {
@@ -285,6 +310,10 @@ where
             if chunk.is_empty() {
                 break;
             }
+            if sepe_obs::enabled() {
+                self.table.obs().batch_chunks.inc();
+                self.table.obs().batch_keys.add(chunk.len() as u64);
+            }
             {
                 let keyrefs: Vec<&[u8]> = chunk.iter().map(|(k, _)| k.as_ref()).collect();
                 let hashes = &mut hashes[..keyrefs.len()];
@@ -315,6 +344,25 @@ where
     /// The guarded hasher's current routing mode.
     pub fn guard_mode(&self) -> GuardMode {
         self.hasher().mode()
+    }
+
+    /// Registers the map's table metrics *and* its guard drift counters
+    /// (`guard_in_format` / `guard_off_format`) under `labels`. The drift
+    /// counters are exported as live reads of the shared [`GuardStats`],
+    /// so a snapshot always agrees with [`UnorderedMap::drift_stats`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`sepe_obs::RegistryError`] on duplicate registration.
+    pub fn export_metrics(
+        &self,
+        registry: &sepe_obs::Registry,
+        labels: &[(&str, &str)],
+    ) -> Result<(), sepe_obs::RegistryError> {
+        self.export_table_metrics(registry, labels)?;
+        self.hasher()
+            .stats_handle()
+            .export_metrics(registry, labels)
     }
 }
 

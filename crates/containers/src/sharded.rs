@@ -32,12 +32,44 @@ use crate::policy::{BucketPolicy, DriftPolicy};
 use sepe_core::guard::{GuardMode, GuardedHash};
 use sepe_core::hash::{ByteHash, HashBatch};
 use sepe_core::supervisor::{ReadyPlan, SynthRequest};
+use sepe_obs::{Counter, EventTrace, ObsEvent};
 use std::borrow::Borrow;
-use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Maximum shard count: 64 shards consume 6 high hash bits, leaving 58
 /// well-mixed bits for bucket indexing inside each shard.
 pub const MAX_SHARDS: usize = 64;
+
+/// Ring capacity for a sharded map's degradation event trace: generous
+/// for `MAX_SHARDS` shards degrading and re-arming many times over.
+const SHARD_EVENT_CAPACITY: usize = 1024;
+
+/// Map-wide observability: lock acquisitions, shard degradations, and a
+/// bounded trace of [`ObsEvent::ShardDegrade`] events. Shared handles so
+/// an exported [`sepe_obs::Registry`] reads live values; bumps are gated
+/// on [`sepe_obs::enabled`].
+#[derive(Debug)]
+struct ShardObs {
+    /// Shard read locks taken (including non-blocking upgrade probes).
+    read_locks: Arc<Counter>,
+    /// Shard write locks taken.
+    write_locks: Arc<Counter>,
+    /// Guarded→Degraded transitions, counted once per actual flip.
+    shard_degrades: Arc<Counter>,
+    /// Degradation events, oldest first.
+    events: Arc<EventTrace<ObsEvent>>,
+}
+
+impl Default for ShardObs {
+    fn default() -> Self {
+        ShardObs {
+            read_locks: Arc::new(Counter::new()),
+            write_locks: Arc::new(Counter::new()),
+            shard_degrades: Arc::new(Counter::new()),
+            events: Arc::new(EventTrace::new(SHARD_EVENT_CAPACITY)),
+        }
+    }
+}
 
 /// A lock-striped concurrent hash map over guarded hashers.
 ///
@@ -81,6 +113,7 @@ pub struct ShardedMap<K, V, F, G> {
     shards: Box<[Shard<K, V, F, G>]>,
     /// `log2(shards.len())`; shard index = top `shard_bits` of the hash.
     shard_bits: u32,
+    obs: ShardObs,
 }
 
 /// One lock-striped shard: a self-healing map behind its own `RwLock`.
@@ -119,6 +152,7 @@ where
             router: hasher.epoch_frozen(GuardMode::Guarded),
             shards: shards.into_boxed_slice(),
             shard_bits: count.trailing_zeros(),
+            obs: ShardObs::default(),
         }
     }
 
@@ -148,6 +182,9 @@ where
         // A poisoned shard saw a panic mid-operation; its chains are still
         // structurally sound (no unsafe in the table), so recover rather
         // than cascade the panic through every thread touching the map.
+        if sepe_obs::enabled() {
+            self.obs.read_locks.inc();
+        }
         self.shards[i]
             .read()
             .unwrap_or_else(PoisonError::into_inner)
@@ -155,6 +192,9 @@ where
 
     #[inline]
     fn write(&self, i: usize) -> RwLockWriteGuard<'_, UnorderedMap<K, V, GuardedHash<F, G>>> {
+        if sepe_obs::enabled() {
+            self.obs.write_locks.inc();
+        }
         self.shards[i]
             .write()
             .unwrap_or_else(PoisonError::into_inner)
@@ -298,13 +338,21 @@ where
     ///
     /// Panics if `i >= self.shard_count()`.
     pub fn degrade_shard(&self, i: usize) {
-        self.write(i).degrade_now();
+        let flipped = {
+            let mut shard = self.write(i);
+            let was_degraded = shard.guard_mode() == GuardMode::Degraded;
+            shard.degrade_now();
+            !was_degraded
+        };
+        if flipped {
+            self.record_degrade(i);
+        }
     }
 
     /// Degrades every shard (mainly for tests and the verify harness).
     pub fn degrade_all(&self) {
         for i in 0..self.shards.len() {
-            self.write(i).degrade_now();
+            self.degrade_shard(i);
         }
     }
 
@@ -313,8 +361,24 @@ where
     /// shards degraded during this call.
     pub fn maybe_degrade(&self, policy: &DriftPolicy) -> usize {
         (0..self.shards.len())
-            .filter(|&i| self.write(i).maybe_degrade(policy))
+            .filter(|&i| {
+                let flipped = self.write(i).maybe_degrade(policy);
+                if flipped {
+                    self.record_degrade(i);
+                }
+                flipped
+            })
             .count()
+    }
+
+    /// Counts one actual Guarded→Degraded flip of shard `i`.
+    fn record_degrade(&self, i: usize) {
+        if sepe_obs::enabled() {
+            self.obs.shard_degrades.inc();
+            self.obs
+                .events
+                .push(ObsEvent::ShardDegrade { shard: i as u64 });
+        }
     }
 
     /// Advances in-flight migrations by up to `budget` entries total,
@@ -354,6 +418,45 @@ where
             .map(|i| self.read(i).migration_progress())
             .sum();
         sum / self.shards.len() as f64
+    }
+
+    /// Lifetime count of shards flipped Guarded→Degraded (each flip
+    /// counted once, however it was triggered).
+    pub fn shard_degrade_count(&self) -> u64 {
+        self.obs.shard_degrades.get()
+    }
+
+    /// The recorded [`ObsEvent::ShardDegrade`] events, oldest first.
+    /// Empty in `obs`-off builds.
+    pub fn degrade_events(&self) -> Vec<ObsEvent> {
+        self.obs.events.snapshot()
+    }
+
+    /// Registers the map-wide families (`shard_read_locks`,
+    /// `shard_write_locks`, `shard_degrades`) plus, per shard `i` under
+    /// label `shard="i"`, the shard's table metrics and guard drift
+    /// counters (see [`UnorderedMap::export_metrics`]).
+    ///
+    /// Takes each shard's read lock once to reach its shared handles;
+    /// snapshots afterwards read live values without locking shards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`sepe_obs::RegistryError`] on duplicate registration
+    /// (export each map into its own registry, or label them apart).
+    pub fn export_metrics(
+        &self,
+        registry: &sepe_obs::Registry,
+    ) -> Result<(), sepe_obs::RegistryError> {
+        registry.register_counter("shard_read_locks", &[], self.obs.read_locks.clone())?;
+        registry.register_counter("shard_write_locks", &[], self.obs.write_locks.clone())?;
+        registry.register_counter("shard_degrades", &[], self.obs.shard_degrades.clone())?;
+        for i in 0..self.shards.len() {
+            let label = i.to_string();
+            let labels = [("shard", label.as_str())];
+            self.read(i).export_metrics(registry, &labels)?;
+        }
+        Ok(())
     }
 }
 

@@ -16,8 +16,10 @@
 use crate::policy::BucketPolicy;
 use crate::primes::grow_bucket_count;
 use sepe_core::hash::ByteHash;
+use sepe_obs::{Counter, Histogram, Registry, RegistryError};
 use std::borrow::Borrow;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 const NONE: u32 = u32::MAX;
 
@@ -72,6 +74,79 @@ impl Clone for StaleReads {
     }
 }
 
+/// Interior-mutable observability channel of one table: probe-length
+/// distribution, migration-epoch accounting, and batch-kernel usage.
+/// Handles are shared (`Arc`) so a [`Registry`] export reads live values
+/// without the hot path paying registry indirection; every bump is gated
+/// on [`sepe_obs::enabled`], so `obs`-off builds compile the channel away
+/// at the call sites.
+#[derive(Debug)]
+pub(crate) struct TableObs {
+    /// Entries examined per lookup, across both epochs.
+    pub(crate) probe_len: Arc<Histogram>,
+    /// Entries drained out of migration epochs (monotone lifetime total).
+    pub(crate) drain_ops: Arc<Counter>,
+    /// Migration epochs opened.
+    pub(crate) epochs_opened: Arc<Counter>,
+    /// Migration epochs retired — fully drained, or discarded by `clear`.
+    pub(crate) epochs_finished: Arc<Counter>,
+    /// Lookups that probed a still-open epoch (monotone, unlike the
+    /// resettable starvation counter in [`StaleReads`]).
+    pub(crate) stale_probes: Arc<Counter>,
+    /// Batch-kernel chunks hashed (`get_batch` / `insert_batch`).
+    pub(crate) batch_chunks: Arc<Counter>,
+    /// Keys that went through those chunks.
+    pub(crate) batch_keys: Arc<Counter>,
+}
+
+impl Default for TableObs {
+    fn default() -> Self {
+        TableObs {
+            probe_len: Arc::new(Histogram::new()),
+            drain_ops: Arc::new(Counter::new()),
+            epochs_opened: Arc::new(Counter::new()),
+            epochs_finished: Arc::new(Counter::new()),
+            stale_probes: Arc::new(Counter::new()),
+            batch_chunks: Arc::new(Counter::new()),
+            batch_keys: Arc::new(Counter::new()),
+        }
+    }
+}
+
+impl Clone for TableObs {
+    /// A cloned table gets a *fresh* channel: twins and snapshots must
+    /// not bump the counters an exported registry reads from the
+    /// original.
+    fn clone(&self) -> Self {
+        TableObs::default()
+    }
+}
+
+impl TableObs {
+    /// Registers every family under `labels`. Ids follow the repo scheme:
+    /// `table_probe_len`, `table_drain_ops`, `table_epochs_opened`,
+    /// `table_epochs_finished`, `table_stale_probes`,
+    /// `table_batch_chunks`, `table_batch_keys`.
+    pub(crate) fn export(
+        &self,
+        registry: &Registry,
+        labels: &[(&str, &str)],
+    ) -> Result<(), RegistryError> {
+        registry.register_histogram("table_probe_len", labels, self.probe_len.clone())?;
+        registry.register_counter("table_drain_ops", labels, self.drain_ops.clone())?;
+        registry.register_counter("table_epochs_opened", labels, self.epochs_opened.clone())?;
+        registry.register_counter(
+            "table_epochs_finished",
+            labels,
+            self.epochs_finished.clone(),
+        )?;
+        registry.register_counter("table_stale_probes", labels, self.stale_probes.clone())?;
+        registry.register_counter("table_batch_chunks", labels, self.batch_chunks.clone())?;
+        registry.register_counter("table_batch_keys", labels, self.batch_keys.clone())?;
+        Ok(())
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Entry<K, V> {
     hash: u64,
@@ -117,6 +192,7 @@ pub(crate) struct RawTable<K, V, H> {
     max_load_factor: f64,
     migration: Option<Migration<H>>,
     stale_reads: StaleReads,
+    obs: TableObs,
 }
 
 impl<K, V, H> RawTable<K, V, H>
@@ -135,11 +211,17 @@ where
             max_load_factor: 1.0,
             migration: None,
             stale_reads: StaleReads::default(),
+            obs: TableObs::default(),
         }
     }
 
     pub(crate) fn hasher(&self) -> &H {
         &self.hasher
+    }
+
+    /// The table's observability channel.
+    pub(crate) fn obs(&self) -> &TableObs {
+        &self.obs
     }
 
     pub(crate) fn hasher_mut(&mut self) -> &mut H {
@@ -160,6 +242,9 @@ where
         self.finish_migration();
         if self.len == 0 {
             return;
+        }
+        if sepe_obs::enabled() {
+            self.obs.epochs_opened.inc();
         }
         let buckets = self.heads.len();
         let old_heads = std::mem::replace(&mut self.heads, vec![NONE; buckets]);
@@ -200,10 +285,16 @@ where
             mig.old_len -= 1;
             moved += 1;
         }
+        if sepe_obs::enabled() && moved > 0 {
+            self.obs.drain_ops.add(moved as u64);
+        }
         if mig.old_len > 0 {
             self.migration = Some(mig);
         } else {
             self.stale_reads.reset();
+            if sepe_obs::enabled() {
+                self.obs.epochs_finished.inc();
+            }
         }
     }
 
@@ -326,10 +417,17 @@ where
     }
 
     /// Walks the chain starting at `at` for an entry with `hash` whose key
-    /// bytes equal `key_bytes`.
+    /// bytes equal `key_bytes`. `probes` counts the entries examined.
     #[inline]
-    fn find_in_chain(&self, mut at: u32, hash: u64, key_bytes: &[u8]) -> Option<u32> {
+    fn find_in_chain(
+        &self,
+        mut at: u32,
+        hash: u64,
+        key_bytes: &[u8],
+        probes: &mut u64,
+    ) -> Option<u32> {
         while at != NONE {
+            *probes += 1;
             let e = &self.entries[at as usize];
             if e.hash == hash {
                 if let Some((k, _)) = &e.kv {
@@ -361,12 +459,26 @@ where
     pub(crate) fn find_hashed(&self, hash: u64, key_bytes: &[u8]) -> Option<u32> {
         if self.migration.is_some() {
             self.stale_reads.record();
+            if sepe_obs::enabled() {
+                self.obs.stale_probes.inc();
+            }
         }
-        if let Some(idx) = self.find_in_chain(self.heads[self.bucket_of(hash)], hash, key_bytes) {
-            return Some(idx);
+        let mut probes = 0u64;
+        let found = self
+            .find_in_chain(
+                self.heads[self.bucket_of(hash)],
+                hash,
+                key_bytes,
+                &mut probes,
+            )
+            .or_else(|| {
+                let (head, old_hash) = self.old_epoch_probe(key_bytes)?;
+                self.find_in_chain(head, old_hash, key_bytes, &mut probes)
+            });
+        if sepe_obs::enabled() {
+            self.obs.probe_len.observe(probes);
         }
-        let (head, old_hash) = self.old_epoch_probe(key_bytes)?;
-        self.find_in_chain(head, old_hash, key_bytes)
+        found
     }
 
     /// [`RawTable::insert_unique`] with the hash already computed. The
@@ -531,6 +643,9 @@ where
             self.migration = Some(mig);
         } else {
             self.stale_reads.reset();
+            if sepe_obs::enabled() {
+                self.obs.epochs_finished.inc();
+            }
         }
         found
     }
@@ -585,6 +700,11 @@ where
         self.entries.clear();
         self.free_head = NONE;
         self.len = 0;
+        // A discarded epoch still counts as retired, so opened/finished
+        // stay balanced for metric cross-checks.
+        if sepe_obs::enabled() && self.migration.is_some() {
+            self.obs.epochs_finished.inc();
+        }
         self.migration = None;
         self.stale_reads.reset();
     }

@@ -19,7 +19,7 @@ use crate::infer::infer_pattern;
 use crate::pattern::KeyPattern;
 use crate::synth::Family;
 use crate::SynthesizedHash;
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError, TryLockError};
 
 /// One precompiled 8-byte membership check: the conjunction of eight
@@ -216,45 +216,34 @@ fn word_test(pattern: &KeyPattern, offset: usize) -> (u64, u64) {
 /// saturation boundary a racing add may briefly be visible before the
 /// clamp lands, but counters are monotone non-decreasing below `u64::MAX`
 /// either way, which is the property the drift policies rely on.
+///
+/// Since the observability layer landed, the counters *are*
+/// [`sepe_obs`] primitives — [`Counter`](sepe_obs::Counter) carries the
+/// exact saturating semantics this type pinned when it went lock-free,
+/// and a registry can export the live values without copying (see
+/// [`GuardStats::export_metrics`]). The public accessors are unchanged.
 #[derive(Debug, Default)]
 pub struct GuardStats {
-    in_format: AtomicU64,
-    off_format: AtomicU64,
+    in_format: sepe_obs::Counter,
+    off_format: sepe_obs::Counter,
     /// Lifetime totals at the start of the current observation window —
     /// [`GuardStats::window_counts`] judges drift over the delta, so early
     /// clean traffic cannot dilute a later burst forever.
-    win_in_base: AtomicU64,
-    win_off_base: AtomicU64,
+    win_in_base: sepe_obs::Gauge,
+    win_off_base: sepe_obs::Gauge,
 }
 
 impl GuardStats {
-    #[inline]
-    fn bump(counter: &AtomicU64) {
-        Self::bump_many(counter, 1);
-    }
-
-    /// Adds `n` with one atomic read-modify-write — what `n`
-    /// [`GuardStats::bump`]s would do, at a fraction of the cost on the
-    /// batched fast path — saturating at `u64::MAX`.
-    #[inline]
-    fn bump_many(counter: &AtomicU64, n: u64) {
-        let prev = counter.fetch_add(n, Ordering::Relaxed);
-        if prev > u64::MAX - n {
-            // The add wrapped; clamp back to the saturation point.
-            counter.store(u64::MAX, Ordering::Relaxed);
-        }
-    }
-
     /// Keys that passed the guard.
     #[must_use]
     pub fn in_format(&self) -> u64 {
-        self.in_format.load(Ordering::Relaxed)
+        self.in_format.get()
     }
 
     /// Keys that failed the guard and were routed to the fallback.
     #[must_use]
     pub fn off_format(&self) -> u64 {
-        self.off_format.load(Ordering::Relaxed)
+        self.off_format.get()
     }
 
     /// Total keys observed (saturating, like the counters themselves).
@@ -279,29 +268,44 @@ impl GuardStats {
     /// can only shrink the deltas, never underflow them.
     #[must_use]
     pub fn window_counts(&self) -> (u64, u64) {
-        let in_delta = self
-            .in_format()
-            .saturating_sub(self.win_in_base.load(Ordering::Relaxed));
-        let off_delta = self
-            .off_format()
-            .saturating_sub(self.win_off_base.load(Ordering::Relaxed));
+        let in_delta = self.in_format().saturating_sub(self.win_in_base.get());
+        let off_delta = self.off_format().saturating_sub(self.win_off_base.get());
         (off_delta, in_delta + off_delta)
     }
 
     /// Starts a new observation window at the current lifetime totals.
     pub fn roll_window(&self) {
-        self.win_in_base.store(self.in_format(), Ordering::Relaxed);
-        self.win_off_base
-            .store(self.off_format(), Ordering::Relaxed);
+        self.win_in_base.set(self.in_format());
+        self.win_off_base.set(self.off_format());
     }
 
     /// Resets all counters, window bases included (used after a
     /// degradation or resynthesis).
     pub fn reset(&self) {
-        self.in_format.store(0, Ordering::Relaxed);
-        self.off_format.store(0, Ordering::Relaxed);
-        self.win_in_base.store(0, Ordering::Relaxed);
-        self.win_off_base.store(0, Ordering::Relaxed);
+        self.in_format.reset();
+        self.off_format.reset();
+        self.win_in_base.set(0);
+        self.win_off_base.set(0);
+    }
+
+    /// Exports the live drift counters into `registry` as the
+    /// `guard_in_format` / `guard_off_format` families with `labels`.
+    /// The snapshot reads this very instance — the hot path pays nothing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`sepe_obs::RegistryError`] on duplicate ids or
+    /// malformed label fragments.
+    pub fn export_metrics(
+        self: &std::sync::Arc<Self>,
+        registry: &sepe_obs::Registry,
+        labels: &[(&str, &str)],
+    ) -> Result<(), sepe_obs::RegistryError> {
+        let stats = self.clone();
+        registry.export_counter("guard_in_format", labels, move || stats.in_format())?;
+        let stats = self.clone();
+        registry.export_counter("guard_off_format", labels, move || stats.off_format())?;
+        Ok(())
     }
 }
 
@@ -491,6 +495,14 @@ impl<F, G> GuardedHash<F, G> {
     #[must_use]
     pub fn stats(&self) -> &GuardStats {
         &self.stats
+    }
+
+    /// An owning handle to the shared drift counters, suitable for
+    /// exporting into a [`sepe_obs::Registry`] that outlives this view
+    /// (see [`GuardStats::export_metrics`]).
+    #[must_use]
+    pub fn stats_handle(&self) -> Arc<GuardStats> {
+        self.stats.clone()
     }
 
     /// The current routing mode (the pinned one for epoch-frozen copies).
@@ -745,12 +757,12 @@ impl<F: ByteHash, G: ByteHash> ByteHash for GuardedHash<F, G> {
         }
         if self.guard.matches(key) {
             if !self.silent {
-                GuardStats::bump(&self.stats.in_format);
+                self.stats.in_format.inc();
             }
             self.specialized.hash_bytes(key)
         } else {
             if !self.silent {
-                GuardStats::bump(&self.stats.off_format);
+                self.stats.off_format.inc();
                 self.offer_to_reservoir(key);
             }
             self.off_format_hash(key)
@@ -785,7 +797,7 @@ impl<F: crate::hash::HashBatch, G: ByteHash> crate::hash::HashBatch for GuardedH
             self.guard.check_batch(chunk, &mut verdicts[..n]);
             if verdicts[..n].iter().all(|&v| v) {
                 if !self.silent {
-                    GuardStats::bump_many(&self.stats.in_format, n as u64);
+                    self.stats.in_format.add(n as u64);
                 }
                 self.specialized
                     .hash_batch(chunk, &mut out[start..start + n]);
@@ -793,12 +805,12 @@ impl<F: crate::hash::HashBatch, G: ByteHash> crate::hash::HashBatch for GuardedH
                 for (lane, (&key, &ok)) in chunk.iter().zip(&verdicts[..n]).enumerate() {
                     out[start + lane] = if ok {
                         if !self.silent {
-                            GuardStats::bump(&self.stats.in_format);
+                            self.stats.in_format.inc();
                         }
                         self.specialized.hash_bytes(key)
                     } else {
                         if !self.silent {
-                            GuardStats::bump(&self.stats.off_format);
+                            self.stats.off_format.inc();
                             self.offer_to_reservoir(key);
                         }
                         self.off_format_hash(key)
@@ -1152,13 +1164,13 @@ mod tests {
     #[test]
     fn window_counts_cover_only_traffic_since_the_last_roll() {
         let stats = GuardStats::default();
-        GuardStats::bump_many(&stats.in_format, 100);
-        GuardStats::bump_many(&stats.off_format, 3);
+        stats.in_format.add(100);
+        stats.off_format.add(3);
         assert_eq!(stats.window_counts(), (3, 103));
         stats.roll_window();
         assert_eq!(stats.window_counts(), (0, 0));
-        GuardStats::bump_many(&stats.off_format, 7);
-        GuardStats::bump_many(&stats.in_format, 13);
+        stats.off_format.add(7);
+        stats.in_format.add(13);
         assert_eq!(stats.window_counts(), (7, 20));
         assert_eq!(stats.total(), 123, "lifetime totals are untouched");
         stats.reset();
@@ -1173,21 +1185,21 @@ mod tests {
         // of uptime — worse, a wrapped window base could make the window
         // delta exceed the lifetime count.
         let stats = GuardStats::default();
-        GuardStats::bump_many(&stats.in_format, u64::MAX - 1);
+        stats.in_format.add(u64::MAX - 1);
         assert_eq!(stats.in_format(), u64::MAX - 1);
-        GuardStats::bump(&stats.in_format);
+        stats.in_format.inc();
         assert_eq!(stats.in_format(), u64::MAX);
-        GuardStats::bump(&stats.in_format);
+        stats.in_format.inc();
         assert_eq!(stats.in_format(), u64::MAX, "bump saturates");
-        GuardStats::bump_many(&stats.in_format, 1 << 40);
+        stats.in_format.add(1 << 40);
         assert_eq!(stats.in_format(), u64::MAX, "bump_many saturates");
         // total() saturates instead of wrapping past 2^64.
-        GuardStats::bump_many(&stats.off_format, 7);
+        stats.off_format.add(7);
         assert_eq!(stats.total(), u64::MAX);
         // Window deltas never underflow, even against a saturated base.
         stats.roll_window();
         assert_eq!(stats.window_counts(), (0, 0));
-        GuardStats::bump_many(&stats.off_format, 5);
+        stats.off_format.add(5);
         assert_eq!(stats.window_counts(), (5, 5));
     }
 
@@ -1201,7 +1213,7 @@ mod tests {
                 let stats = std::sync::Arc::clone(&stats);
                 scope.spawn(move || {
                     for _ in 0..10_000 {
-                        GuardStats::bump(&stats.in_format);
+                        stats.in_format.inc();
                     }
                 });
             }

@@ -31,10 +31,20 @@ use crate::hash::{SynthError, SynthesizedHash};
 use crate::pattern::KeyPattern;
 use crate::synth::Family;
 use crate::Isa;
+use sepe_obs::{EventTrace, ObsEvent, TransitionKind};
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
+
+/// Bound on retained transcript events. Far above what any chaos run
+/// produces, but a hard ceiling: a supervisor pumped for months cannot
+/// grow its transcript without bound. Overflow is counted, not silent
+/// (see [`ResynthSupervisor::transcript_dropped`]).
+const TRANSCRIPT_CAPACITY: usize = 1 << 16;
+
+/// Bound on retained synthesis-search events ([`ObsEvent::SynthSearch`]).
+const SEARCH_TRACE_CAPACITY: usize = 4096;
 
 /// A monotonic millisecond clock the supervisor reads time from.
 ///
@@ -342,9 +352,28 @@ pub type SynthRunner =
 /// installed hash.
 #[must_use]
 pub fn default_runner() -> SynthRunner {
-    Arc::new(|req, token| {
-        let plan = crate::synth::synthesize_with_cancel(&req.widened, req.family, token)?;
+    default_runner_with_trace(None)
+}
+
+/// [`default_runner`], recording an [`ObsEvent::SynthSearch`] per
+/// successful synthesis (nodes expanded, candidates rejected, wall-clock
+/// time to plan) into `trace` when instrumentation is compiled in.
+#[must_use]
+pub fn default_runner_with_trace(trace: Option<Arc<EventTrace<ObsEvent>>>) -> SynthRunner {
+    Arc::new(move |req, token| {
+        let t0 = std::time::Instant::now();
+        let (plan, stats) =
+            crate::synth::synthesize_with_stats_cancel(&req.widened, req.family, token)?;
         crate::plan_io::validate_plan(&plan)?;
+        if sepe_obs::enabled() {
+            if let Some(trace) = &trace {
+                trace.push(ObsEvent::SynthSearch {
+                    nodes_expanded: stats.nodes_expanded,
+                    candidates_rejected: stats.candidates_rejected,
+                    time_to_plan_ms: t0.elapsed().as_millis() as u64,
+                });
+            }
+        }
         Ok(SynthesizedHash::new(plan, req.family, req.isa).with_seed(req.seed))
     })
 }
@@ -390,6 +419,27 @@ pub enum Transition {
     BreakerClosed,
     /// A request arrived while the breaker was open and was refused.
     Rejected,
+}
+
+impl Transition {
+    /// The payload-free [`TransitionKind`] of this transition — the label
+    /// its per-kind metric counter is registered under.
+    #[must_use]
+    pub fn kind(&self) -> TransitionKind {
+        match self {
+            Transition::Enqueued => TransitionKind::Enqueued,
+            Transition::Started(_) => TransitionKind::Started,
+            Transition::Succeeded(_) => TransitionKind::Succeeded,
+            Transition::Failed(..) => TransitionKind::Failed,
+            Transition::TimedOut(_) => TransitionKind::TimedOut,
+            Transition::Panicked(_) => TransitionKind::Panicked,
+            Transition::BackoffScheduled(..) => TransitionKind::BackoffScheduled,
+            Transition::BreakerOpened(_) => TransitionKind::BreakerOpened,
+            Transition::BreakerHalfOpen => TransitionKind::BreakerHalfOpen,
+            Transition::BreakerClosed => TransitionKind::BreakerClosed,
+            Transition::Rejected => TransitionKind::Rejected,
+        }
+    }
 }
 
 /// A timestamped, tagged transcript entry.
@@ -507,7 +557,20 @@ pub struct ResynthSupervisor {
     exec: ExecMode,
     tags: BTreeMap<u64, TagState>,
     ready: Vec<ReadyPlan>,
-    transcript: Vec<Event>,
+    /// Bounded transcript ring (shared so metric exports can read its
+    /// drop accounting without holding the supervisor).
+    transcript: Arc<EventTrace<Event>>,
+    /// Per-[`TransitionKind`] counters, bumped alongside every recorded
+    /// transition.
+    transitions: Arc<TransitionCounters>,
+    /// Synthesis search telemetry recorded by the production runner.
+    search_trace: Arc<EventTrace<ObsEvent>>,
+}
+
+/// One saturating counter per [`TransitionKind`].
+#[derive(Debug, Default)]
+struct TransitionCounters {
+    counts: [sepe_obs::Counter; TransitionKind::COUNT],
 }
 
 impl std::fmt::Debug for ResynthSupervisor {
@@ -525,11 +588,18 @@ impl ResynthSupervisor {
     /// A supervisor with the production runner and threaded execution.
     #[must_use]
     pub fn new(config: SupervisorConfig, clock: Arc<dyn Clock>) -> Self {
-        ResynthSupervisor::with_runner(config, clock, default_runner(), ExecMode::Thread)
+        let search_trace = Arc::new(EventTrace::new(SEARCH_TRACE_CAPACITY));
+        let runner = default_runner_with_trace(Some(search_trace.clone()));
+        let mut sup = ResynthSupervisor::with_runner(config, clock, runner, ExecMode::Thread);
+        sup.search_trace = search_trace;
+        sup
     }
 
     /// A supervisor with a custom runner and execution mode — the chaos
-    /// and replay harnesses build themselves with this.
+    /// and replay harnesses build themselves with this. The search trace
+    /// stays empty unless the runner was built with
+    /// [`default_runner_with_trace`] over
+    /// [`ResynthSupervisor::search_events`]' backing trace.
     #[must_use]
     pub fn with_runner(
         config: SupervisorConfig,
@@ -544,7 +614,9 @@ impl ResynthSupervisor {
             exec,
             tags: BTreeMap::new(),
             ready: Vec::new(),
-            transcript: Vec::new(),
+            transcript: Arc::new(EventTrace::new(TRANSCRIPT_CAPACITY)),
+            transitions: Arc::new(TransitionCounters::default()),
+            search_trace: Arc::new(EventTrace::new(SEARCH_TRACE_CAPACITY)),
         }
     }
 
@@ -556,6 +628,7 @@ impl ResynthSupervisor {
 
     fn record(&mut self, tag: u64, transition: Transition) {
         let at_ms = self.clock.now_ms();
+        self.transitions.counts[transition.kind().index()].inc();
         self.transcript.push(Event {
             at_ms,
             tag,
@@ -616,11 +689,68 @@ impl ResynthSupervisor {
         std::mem::take(&mut self.ready)
     }
 
-    /// The full transition transcript (timestamped, tagged), for
-    /// replay-equality assertions.
+    /// The retained transition transcript (timestamped, tagged, oldest
+    /// first), for replay-equality assertions. Backed by a bounded ring:
+    /// past [`TRANSCRIPT_CAPACITY`] events the newest are dropped and
+    /// counted in [`ResynthSupervisor::transcript_dropped`].
     #[must_use]
-    pub fn transcript(&self) -> &[Event] {
-        &self.transcript
+    pub fn transcript(&self) -> Vec<Event> {
+        self.transcript.snapshot()
+    }
+
+    /// Transcript events rejected because the ring was full.
+    #[must_use]
+    pub fn transcript_dropped(&self) -> u64 {
+        self.transcript.dropped()
+    }
+
+    /// Lifetime count of transitions recorded for `kind` (unaffected by
+    /// transcript-ring overflow).
+    #[must_use]
+    pub fn transition_count(&self, kind: TransitionKind) -> u64 {
+        self.transitions.counts[kind.index()].get()
+    }
+
+    /// Synthesis search telemetry ([`ObsEvent::SynthSearch`]) recorded by
+    /// the production runner, oldest first. Empty for custom runners not
+    /// built with [`default_runner_with_trace`], and in `obs`-off builds.
+    #[must_use]
+    pub fn search_events(&self) -> Vec<ObsEvent> {
+        self.search_trace.snapshot()
+    }
+
+    /// Exports the supervisor's metric families into `registry`:
+    /// `supervisor_transitions{kind=...}` per [`TransitionKind`], plus
+    /// transcript ring accounting (`supervisor_transcript_events`,
+    /// `supervisor_transcript_dropped`) and the search-event count.
+    /// Values are read live at snapshot time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`sepe_obs::RegistryError`] on duplicate registration.
+    pub fn export_metrics(
+        &self,
+        registry: &sepe_obs::Registry,
+    ) -> Result<(), sepe_obs::RegistryError> {
+        for kind in TransitionKind::ALL {
+            let counts = self.transitions.clone();
+            registry.export_counter(
+                "supervisor_transitions",
+                &[("kind", kind.name())],
+                move || counts.counts[kind.index()].get(),
+            )?;
+        }
+        let transcript = self.transcript.clone();
+        registry.export_counter("supervisor_transcript_events", &[], move || {
+            transcript.pushed()
+        })?;
+        let transcript = self.transcript.clone();
+        registry.export_counter("supervisor_transcript_dropped", &[], move || {
+            transcript.dropped()
+        })?;
+        let search = self.search_trace.clone();
+        registry.export_counter("supervisor_search_events", &[], move || search.pushed())?;
+        Ok(())
     }
 
     /// Drives every tag's state machine one step against the current clock
@@ -855,8 +985,8 @@ mod tests {
         (s, clock)
     }
 
-    fn kinds(sup: &ResynthSupervisor) -> Vec<&Transition> {
-        sup.transcript().iter().map(|e| &e.transition).collect()
+    fn kinds(sup: &ResynthSupervisor) -> Vec<Transition> {
+        sup.transcript().into_iter().map(|e| e.transition).collect()
     }
 
     #[test]
@@ -873,11 +1003,14 @@ mod tests {
         assert_eq!(
             kinds(&s),
             vec![
-                &Transition::Enqueued,
-                &Transition::Started(1),
-                &Transition::Succeeded(1)
+                Transition::Enqueued,
+                Transition::Started(1),
+                Transition::Succeeded(1)
             ]
         );
+        assert_eq!(s.transition_count(TransitionKind::Enqueued), 1);
+        assert_eq!(s.transition_count(TransitionKind::Succeeded), 1);
+        assert_eq!(s.transition_count(TransitionKind::Failed), 0);
     }
 
     #[test]
@@ -924,15 +1057,71 @@ mod tests {
         s.pump(); // attempt 3 fails -> breaker opens
         assert!(s.breaker_open(0));
         assert_eq!(s.active_jobs(), 0, "breaker clears the job");
-        let opened: Vec<_> = s
+        let opened = s
             .transcript()
             .iter()
             .filter(|e| matches!(e.transition, Transition::BreakerOpened(3)))
-            .collect();
-        assert_eq!(opened.len(), 1, "breaker opened exactly once, at 3");
+            .count();
+        assert_eq!(opened, 1, "breaker opened exactly once, at 3");
         // Permanently open: later requests are refused.
         clock.advance(1 << 40);
         assert_eq!(s.enqueue(request(0)), Enqueue::BreakerOpen);
+    }
+
+    #[test]
+    fn transition_counters_agree_with_the_transcript_and_export_cleanly() {
+        // Drive three failing tags through backoff and breaker opening,
+        // then require that every per-kind counter equals the
+        // transcript-derived count — both via the direct accessor and
+        // through a `Registry` snapshot wired by `export_metrics`.
+        let config = SupervisorConfig {
+            breaker_failures: 2,
+            breaker_cooldown_ms: None,
+            ..SupervisorConfig::default()
+        };
+        let (mut s, clock) = sup(failing_runner(), config);
+        for tag in 0..3 {
+            assert_eq!(s.enqueue(request(tag)), Enqueue::Accepted);
+        }
+        for _ in 0..8 {
+            s.pump();
+            clock.advance(config.backoff.cap_ms * 2);
+        }
+        assert!(s.breaker_open(0) && s.breaker_open(1) && s.breaker_open(2));
+        let transcript = s.transcript();
+        assert_eq!(s.transcript_dropped(), 0, "scenario fits in the ring");
+        for kind in TransitionKind::ALL {
+            let derived = transcript
+                .iter()
+                .filter(|e| e.transition.kind() == kind)
+                .count() as u64;
+            assert_eq!(s.transition_count(kind), derived, "kind {}", kind.name());
+        }
+        let registry = sepe_obs::Registry::new();
+        s.export_metrics(&registry).expect("first export succeeds");
+        let snap = registry.snapshot();
+        for kind in TransitionKind::ALL {
+            let id = sepe_obs::metric_id("supervisor_transitions", &[("kind", kind.name())])
+                .expect("metric id");
+            assert_eq!(
+                snap.counter(&id),
+                Some(s.transition_count(kind)),
+                "kind {}",
+                kind.name()
+            );
+        }
+        assert_eq!(
+            snap.counter_family_total("supervisor_transitions"),
+            transcript.len() as u64,
+            "every transcript event is counted exactly once"
+        );
+        assert_eq!(
+            snap.counter("supervisor_transcript_events"),
+            Some(transcript.len() as u64)
+        );
+        assert_eq!(snap.counter("supervisor_transcript_dropped"), Some(0));
+        // Re-exporting into the same registry is a duplicate registration.
+        assert!(s.export_metrics(&registry).is_err());
     }
 
     #[test]

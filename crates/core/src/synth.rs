@@ -242,16 +242,66 @@ pub fn synthesize_with_cancel(
     family: Family,
     token: &crate::supervisor::CancelToken,
 ) -> Result<Plan, crate::hash::SynthError> {
-    token.check()?;
+    synthesize_with_stats_cancel(pattern, family, token).map(|(plan, _)| plan)
+}
+
+/// Search statistics of one synthesis run — the solver telemetry that
+/// makes synthesis strategies comparable (SyGuS-style node counts), fed
+/// into the observability layer as `SynthSearch` events.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Byte positions the target scan expanded (one per candidate
+    /// position examined, across every synthesis loop).
+    pub nodes_expanded: u64,
+    /// Candidate targets skipped by the greedy cover because an earlier
+    /// load already covered them.
+    pub candidates_rejected: u64,
+}
+
+/// [`synthesize`], also returning the [`SearchStats`] of the run.
+#[must_use]
+pub fn synthesize_with_stats(pattern: &KeyPattern, family: Family) -> (Plan, SearchStats) {
+    let mut stats = SearchStats::default();
     if pattern.max_len() < 8 {
-        return Ok(Plan::StlFallback);
+        return (Plan::StlFallback, stats);
     }
-    match family {
-        Family::Aes => synthesize_blocks_cancellable(pattern, token),
+    let result = match family {
+        Family::Aes => synthesize_blocks_impl(pattern, &|| Ok(()), &mut stats),
         Family::Naive | Family::OffXor | Family::Pext => {
-            synthesize_words_cancellable(pattern, family, token)
+            synthesize_words_impl(pattern, family, &|| Ok(()), &mut stats)
         }
+    };
+    match result {
+        Ok(plan) => (plan, stats),
+        Err(_) => unreachable!("uncancellable synthesis cannot fail"),
     }
+}
+
+/// [`synthesize_with_cancel`], also returning the [`SearchStats`] of the
+/// (possibly aborted) run.
+///
+/// # Errors
+///
+/// Returns [`crate::hash::SynthError::Cancelled`] once `token` reports
+/// cancellation; the partial plan and its statistics are discarded.
+pub fn synthesize_with_stats_cancel(
+    pattern: &KeyPattern,
+    family: Family,
+    token: &crate::supervisor::CancelToken,
+) -> Result<(Plan, SearchStats), crate::hash::SynthError> {
+    token.check()?;
+    let mut stats = SearchStats::default();
+    if pattern.max_len() < 8 {
+        return Ok((Plan::StlFallback, stats));
+    }
+    let check: &dyn Fn() -> Result<(), crate::hash::SynthError> = &|| Ok(token.check()?);
+    let plan = match family {
+        Family::Aes => synthesize_blocks_impl(pattern, check, &mut stats)?,
+        Family::Naive | Family::OffXor | Family::Pext => {
+            synthesize_words_impl(pattern, family, check, &mut stats)?
+        }
+    };
+    Ok((plan, stats))
 }
 
 /// Synthesizes a plan *without* the eight-byte minimum-length guard.
@@ -274,12 +324,18 @@ pub fn synthesize_unchecked(pattern: &KeyPattern, family: Family) -> Plan {
 /// past `region_len` (this produces the overlapping loads of Section 3.2.2:
 /// "the last load of a non-constant sequence of n bits always starts at
 /// position n − 8").
-fn cover_with_loads(targets: &[usize], region_len: usize, width: usize) -> Vec<u32> {
+fn cover_with_loads(
+    targets: &[usize],
+    region_len: usize,
+    width: usize,
+    stats: &mut SearchStats,
+) -> Vec<u32> {
     debug_assert!(region_len >= width);
     let mut loads = Vec::new();
     let mut covered_until = 0usize; // everything below this is covered
     for &t in targets {
         if t < covered_until {
+            stats.candidates_rejected += 1;
             continue;
         }
         let offset = t.min(region_len - width);
@@ -294,23 +350,8 @@ fn cover_with_loads(targets: &[usize], region_len: usize, width: usize) -> Vec<u
 /// check for [`synthesize_with_cancel`].
 type SynthCheck<'a> = &'a dyn Fn() -> Result<(), crate::hash::SynthError>;
 
-fn synthesize_words_cancellable(
-    pattern: &KeyPattern,
-    family: Family,
-    token: &crate::supervisor::CancelToken,
-) -> Result<Plan, crate::hash::SynthError> {
-    synthesize_words_impl(pattern, family, &|| Ok(token.check()?))
-}
-
-fn synthesize_blocks_cancellable(
-    pattern: &KeyPattern,
-    token: &crate::supervisor::CancelToken,
-) -> Result<Plan, crate::hash::SynthError> {
-    synthesize_blocks_impl(pattern, &|| Ok(token.check()?))
-}
-
 fn synthesize_words(pattern: &KeyPattern, family: Family) -> Plan {
-    match synthesize_words_impl(pattern, family, &|| Ok(())) {
+    match synthesize_words_impl(pattern, family, &|| Ok(()), &mut SearchStats::default()) {
         Ok(plan) => plan,
         Err(_) => unreachable!("uncancellable synthesis cannot fail"),
     }
@@ -320,6 +361,7 @@ fn synthesize_words_impl(
     pattern: &KeyPattern,
     family: Family,
     check: SynthCheck<'_>,
+    stats: &mut SearchStats,
 ) -> Result<Plan, crate::hash::SynthError> {
     let min_len = pattern.min_len();
     let fixed = pattern.is_fixed_len();
@@ -331,6 +373,7 @@ fn synthesize_words_impl(
     let mut targets: Vec<usize> = Vec::new();
     for i in 0..region_len {
         check()?;
+        stats.nodes_expanded += 1;
         match family {
             // Naive ignores the const constraint: every byte is a target.
             Family::Naive => targets.push(i),
@@ -344,7 +387,7 @@ fn synthesize_words_impl(
     }
 
     let (offsets, tail_start) = if region_len >= 8 {
-        let offsets = cover_with_loads(&targets, region_len, 8);
+        let offsets = cover_with_loads(&targets, region_len, 8, stats);
         let tail = offsets
             .last()
             .map_or(0, |&o| o as usize + 8)
@@ -420,7 +463,7 @@ fn assign_shifts(ops: &mut [WordOp]) {
 }
 
 fn synthesize_blocks(pattern: &KeyPattern) -> Plan {
-    match synthesize_blocks_impl(pattern, &|| Ok(())) {
+    match synthesize_blocks_impl(pattern, &|| Ok(()), &mut SearchStats::default()) {
         Ok(plan) => plan,
         Err(_) => unreachable!("uncancellable synthesis cannot fail"),
     }
@@ -429,6 +472,7 @@ fn synthesize_blocks(pattern: &KeyPattern) -> Plan {
 fn synthesize_blocks_impl(
     pattern: &KeyPattern,
     check: SynthCheck<'_>,
+    stats: &mut SearchStats,
 ) -> Result<Plan, crate::hash::SynthError> {
     let min_len = pattern.min_len();
     let fixed = pattern.is_fixed_len();
@@ -455,11 +499,12 @@ fn synthesize_blocks_impl(
     let mut targets: Vec<usize> = Vec::new();
     for i in 0..region_len {
         check()?;
+        stats.nodes_expanded += 1;
         if !pattern.bytes()[i].is_const() {
             targets.push(i);
         }
     }
-    let offsets = cover_with_loads(&targets, region_len, 16);
+    let offsets = cover_with_loads(&targets, region_len, 16, stats);
     let tail_start = offsets
         .last()
         .map_or(0, |&o| o as usize + 16)

@@ -517,11 +517,49 @@ pub fn concurrency_records(scale: &RunScale, config: &BenchConfig) -> Vec<Concur
     records
 }
 
+/// Deterministic observability counts from a seeded, single-threaded
+/// workload: per format, a guarded map is filled from the key pool,
+/// churned at steady state, degraded (opening one epoch migration),
+/// drained with seeded random strides, and churned again — with the
+/// table and guard metrics exported into one [`sepe_obs::Registry`]
+/// under a `format` label. Because the workload is single-threaded and
+/// every input is seeded, the resulting [`sepe_obs::Snapshot`] is
+/// byte-identical across runs at the same scale (with the `obs` feature
+/// off the counters stay registered at zero, still deterministically).
+#[must_use]
+pub fn metrics_snapshot(scale: &RunScale, config: &BenchConfig) -> sepe_obs::Snapshot {
+    let registry = sepe_obs::Registry::new();
+    for &format in &scale.formats {
+        let cap = usize::try_from(format.space()).unwrap_or(usize::MAX).max(1);
+        let pool_size = config.pool_size.min(cap).max(1);
+        let mut sampler = KeySampler::new(format, Distribution::Normal, 0x0B5E);
+        let keys = sampler.distinct_pool(pool_size);
+        let pattern = Regex::compile(&format.regex()).expect("paper formats compile");
+        let hasher = GuardedHash::from_pattern(&pattern, Family::OffXor, CityHash::new());
+        let mut map: GuardedMap = UnorderedMap::with_hasher(hasher);
+        map.export_metrics(&registry, &[("format", format.name())])
+            .expect("format labels are distinct");
+        for (i, key) in keys.iter().enumerate() {
+            map.insert(key.clone(), i as u64);
+        }
+        let ops = config.iterations.clamp(256, 4096);
+        let mut rng = SplitMix64::new(0x0B5E_C0DE);
+        churn(&mut map, &keys, &mut rng, ops);
+        map.degrade_now();
+        while map.migration_in_flight() {
+            map.migrate(1 + (rng.next_u64() % 32) as usize);
+        }
+        churn(&mut map, &keys, &mut rng, ops);
+    }
+    registry.snapshot()
+}
+
 /// Renders records as the `sepe-bench/v1` JSON document.
 ///
 /// Every section is emitted in a **canonical sort order** — `records` by
 /// (family, format, width), `migration` by (format, phase), `concurrency`
-/// by (format, threads), `resynthesis` by (format, mode) — and object keys
+/// by (format, threads), `resynthesis` by (format, mode), `metrics` in the
+/// canonical `sepe-metrics/v1` spelling — and object keys
 /// are alphabetical (`BTreeMap`),
 /// so two runs over the same measurements produce byte-identical documents
 /// regardless of measurement order, and dated bench files diff cleanly
@@ -533,6 +571,7 @@ pub fn to_json(
     migration: &[MigrationRecord],
     concurrency: &[ConcurrencyRecord],
     resynthesis: &[ResynthRecord],
+    metrics: &sepe_obs::Snapshot,
 ) -> Json {
     let mut records: Vec<&BenchRecord> = records.iter().collect();
     records.sort_by(|a, b| (&a.family, &a.format, a.width).cmp(&(&b.family, &b.format, b.width)));
@@ -600,6 +639,12 @@ pub fn to_json(
     doc.insert("migration".to_string(), Json::Arr(migration_rows));
     doc.insert("concurrency".to_string(), Json::Arr(concurrency_rows));
     doc.insert("resynthesis".to_string(), Json::Arr(resynthesis_rows));
+    // The snapshot's canonical spelling is itself JSON built from strings
+    // and objects only, so it embeds as a subtree without re-encoding.
+    doc.insert(
+        "metrics".to_string(),
+        Json::parse(&metrics.render()).expect("snapshot renders valid JSON"),
+    );
     Json::Obj(doc)
 }
 
@@ -684,12 +729,15 @@ mod tests {
             p99_ns: 480.0,
             max_ns: 950.0,
         }];
+        let mut metrics = sepe_obs::Snapshot::default();
+        metrics.counters.insert("table_drain_ops".to_string(), 64);
         let doc = to_json(
             "2026-01-01",
             &records,
             &migration,
             &concurrency,
             &resynthesis,
+            &metrics,
         );
         let parsed = Json::parse(&doc.to_string()).expect("emitted JSON parses");
         assert_eq!(parsed.get("schema").as_str(), Some("sepe-bench/v1"));
@@ -718,6 +766,13 @@ mod tests {
         assert_eq!(resy[0].get("mode").as_str(), Some("supervised"));
         assert_eq!(resy[0].get("format").as_str(), Some("ssn"));
         assert_eq!(resy[0].get("p99_ns").as_u64(), Some(480));
+        let met = parsed.get("metrics");
+        assert_eq!(met.get("schema").as_str(), Some("sepe-metrics/v1"));
+        assert_eq!(
+            met.get("counters").get("table_drain_ops").as_str(),
+            Some("64"),
+            "counters ride as decimal strings for full u64 range"
+        );
     }
 
     #[test]
@@ -744,12 +799,14 @@ mod tests {
             p99_ns: 20.0,
             max_ns: 30.0,
         };
+        let metrics = sepe_obs::Snapshot::default();
         let forward = to_json(
             "2026-01-01",
             &[mk("aes", 1), mk("aes", 8), mk("pext", 1)],
             &[],
             &[mkc(1), mkc(2), mkc(8)],
             &[mkr("inline"), mkr("supervised")],
+            &metrics,
         );
         let shuffled = to_json(
             "2026-01-01",
@@ -757,6 +814,7 @@ mod tests {
             &[],
             &[mkc(8), mkc(1), mkc(2)],
             &[mkr("supervised"), mkr("inline")],
+            &metrics,
         );
         assert_eq!(
             forward.to_string(),
@@ -816,6 +874,30 @@ mod tests {
             assert!(row.p50_ns > 0.0 && row.p50_ns.is_finite(), "{row:?}");
             assert!(row.p99_ns >= row.p50_ns, "{row:?}");
             assert!(row.max_ns >= row.p99_ns, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn metrics_snapshot_is_deterministic_and_balanced() {
+        let scale = tiny_scale();
+        let mut config = BenchConfig::from_scale(&scale);
+        config.iterations = 512;
+        let a = metrics_snapshot(&scale, &config);
+        let b = metrics_snapshot(&scale, &config);
+        assert_eq!(
+            a.render(),
+            b.render(),
+            "same scale, same seeds, same snapshot bytes"
+        );
+        if sepe_obs::enabled() {
+            // One degrade per format: the epoch opened, drained completely,
+            // and every resident entry moved.
+            let opened = a.counter_family_total("table_epochs_opened");
+            let finished = a.counter_family_total("table_epochs_finished");
+            assert_eq!(opened, scale.formats.len() as u64, "{a:?}");
+            assert_eq!(opened, finished, "quiescent snapshot balances epochs");
+            assert!(a.counter_family_total("table_drain_ops") > 0);
+            assert!(a.counter_family_total("guard_in_format") > 0);
         }
     }
 

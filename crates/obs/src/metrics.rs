@@ -1,0 +1,131 @@
+//! Relaxed-atomic metric primitives.
+//!
+//! Both primitives are a single `AtomicU64` and are wait-free on the
+//! write path. [`Counter`] pins the saturating-overflow contract the
+//! guard drift counters have always had: a bump that would wrap stores
+//! `u64::MAX` instead, and every later bump re-pins it, so a saturated
+//! counter can never be observed small again. The transient where another
+//! thread reads the wrapped value before the pinning store lands is
+//! accepted — drift policy treats any huge count identically.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotone (except for explicit [`reset`](Counter::reset)) event
+/// counter with relaxed ordering and saturating overflow.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter starting at zero.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds one observation.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` observations, saturating at `u64::MAX` instead of
+    /// wrapping — the pinned `GuardStats` semantics.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        let prev = self.value.fetch_add(n, Ordering::Relaxed);
+        if prev > u64::MAX - n {
+            self.value.store(u64::MAX, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    #[inline]
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Resets the counter to zero. Racing bumps may survive the reset;
+    /// callers that need exact windows should record bases instead (see
+    /// the guard's windowed drift counters).
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-write-wins instantaneous value (window bases, queue depths).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// A gauge starting at zero.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Stores a new value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_count() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn counters_saturate_instead_of_wrapping() {
+        let c = Counter::new();
+        c.add(u64::MAX - 1);
+        c.add(5);
+        assert_eq!(c.get(), u64::MAX);
+        c.inc();
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn zero_sized_bumps_are_noops() {
+        let c = Counter::new();
+        c.add(0);
+        assert_eq!(c.get(), 0);
+        c.add(u64::MAX);
+        c.add(0);
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn gauges_take_the_last_write() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0);
+        g.set(7);
+        g.set(3);
+        assert_eq!(g.get(), 3);
+    }
+}

@@ -1,0 +1,470 @@
+//! Labeled metric families with canonical identifiers.
+//!
+//! A metric id is `name{key="value",...}` with labels sorted by key (or
+//! bare `name` when unlabeled), so ids — and therefore snapshots — have
+//! one canonical spelling. The registry plays two roles:
+//!
+//! * **Owner**: [`Registry::counter`] / [`gauge`](Registry::gauge) /
+//!   [`histogram`](Registry::histogram) get-or-create a shared handle
+//!   (`Arc`) that hot paths bump directly, without going back through
+//!   the registry.
+//! * **Exporter**: load-bearing state that lives elsewhere — a guard's
+//!   drift counters, a table's epoch counters — is exposed through
+//!   [`Registry::export_counter`]-style closures (or by registering the
+//!   existing shared handle), so a snapshot reads live values without
+//!   the hot path paying any extra indirection.
+//!
+//! The registry's own mutex is touched only on registration and
+//! snapshot, never per-operation.
+
+use crate::histogram::Histogram;
+use crate::metrics::{Counter, Gauge};
+use crate::snapshot::{HistogramSnapshot, Snapshot};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Typed registration failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// The id is already registered (for registrations that demand a
+    /// fresh slot).
+    Duplicate {
+        /// The canonical metric id.
+        id: String,
+    },
+    /// The id exists as an exported read-only source, so no shared
+    /// handle can be produced for it.
+    External {
+        /// The canonical metric id.
+        id: String,
+    },
+    /// The name or a label contains a character that would corrupt the
+    /// canonical id syntax.
+    InvalidName {
+        /// The offending name or label fragment.
+        fragment: String,
+    },
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::Duplicate { id } => write!(f, "metric {id} is already registered"),
+            RegistryError::External { id } => {
+                write!(
+                    f,
+                    "metric {id} is an exported source; no shared handle exists"
+                )
+            }
+            RegistryError::InvalidName { fragment } => {
+                write!(f, "invalid metric name fragment {fragment:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// Builds the canonical id for `name` with `labels` (sorted by key).
+///
+/// # Errors
+///
+/// Returns [`RegistryError::InvalidName`] when the name is empty or any
+/// fragment contains `{`, `}`, `"`, `=`, `,`, `\` or control characters.
+pub fn metric_id(name: &str, labels: &[(&str, &str)]) -> Result<String, RegistryError> {
+    check_fragment(name)?;
+    if name.is_empty() {
+        return Err(RegistryError::InvalidName {
+            fragment: String::new(),
+        });
+    }
+    if labels.is_empty() {
+        return Ok(name.to_owned());
+    }
+    let mut sorted: Vec<(&str, &str)> = labels.to_vec();
+    sorted.sort_unstable();
+    let mut id = String::with_capacity(name.len() + 16 * sorted.len());
+    id.push_str(name);
+    id.push('{');
+    for (i, (k, v)) in sorted.iter().enumerate() {
+        check_fragment(k)?;
+        check_fragment(v)?;
+        if k.is_empty() {
+            return Err(RegistryError::InvalidName {
+                fragment: String::new(),
+            });
+        }
+        if i > 0 {
+            id.push(',');
+        }
+        id.push_str(k);
+        id.push_str("=\"");
+        id.push_str(v);
+        id.push('"');
+    }
+    id.push('}');
+    Ok(id)
+}
+
+fn check_fragment(s: &str) -> Result<(), RegistryError> {
+    if s.chars()
+        .any(|c| matches!(c, '{' | '}' | '"' | '=' | ',' | '\\') || c.is_control())
+    {
+        return Err(RegistryError::InvalidName {
+            fragment: s.to_owned(),
+        });
+    }
+    Ok(())
+}
+
+enum CounterSource {
+    Shared(Arc<Counter>),
+    External(Box<dyn Fn() -> u64 + Send + Sync>),
+}
+
+impl CounterSource {
+    fn read(&self) -> u64 {
+        match self {
+            CounterSource::Shared(c) => c.get(),
+            CounterSource::External(f) => f(),
+        }
+    }
+}
+
+enum GaugeSource {
+    Shared(Arc<Gauge>),
+    External(Box<dyn Fn() -> u64 + Send + Sync>),
+}
+
+impl GaugeSource {
+    fn read(&self) -> u64 {
+        match self {
+            GaugeSource::Shared(g) => g.get(),
+            GaugeSource::External(f) => f(),
+        }
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, CounterSource>,
+    gauges: BTreeMap<String, GaugeSource>,
+    histograms: BTreeMap<String, Arc<Histogram>>,
+}
+
+/// A set of labeled metric families with deterministic snapshot export.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+impl fmt::Debug for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.lock();
+        f.debug_struct("Registry")
+            .field("counters", &inner.counters.len())
+            .field("gauges", &inner.gauges.len())
+            .field("histograms", &inner.histograms.len())
+            .finish()
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Gets or creates an owned counter for `name{labels}`.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::External`] when the id is an exported source;
+    /// [`RegistryError::InvalidName`] on malformed fragments.
+    pub fn counter(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+    ) -> Result<Arc<Counter>, RegistryError> {
+        let id = metric_id(name, labels)?;
+        let mut inner = self.lock();
+        match inner
+            .counters
+            .entry(id.clone())
+            .or_insert_with(|| CounterSource::Shared(Arc::new(Counter::new())))
+        {
+            CounterSource::Shared(c) => Ok(c.clone()),
+            CounterSource::External(_) => Err(RegistryError::External { id }),
+        }
+    }
+
+    /// Gets or creates an owned gauge for `name{labels}`.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Registry::counter`].
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Result<Arc<Gauge>, RegistryError> {
+        let id = metric_id(name, labels)?;
+        let mut inner = self.lock();
+        match inner
+            .gauges
+            .entry(id.clone())
+            .or_insert_with(|| GaugeSource::Shared(Arc::new(Gauge::new())))
+        {
+            GaugeSource::Shared(g) => Ok(g.clone()),
+            GaugeSource::External(_) => Err(RegistryError::External { id }),
+        }
+    }
+
+    /// Gets or creates an owned histogram for `name{labels}`.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::InvalidName`] on malformed fragments.
+    pub fn histogram(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+    ) -> Result<Arc<Histogram>, RegistryError> {
+        let id = metric_id(name, labels)?;
+        let mut inner = self.lock();
+        Ok(inner
+            .histograms
+            .entry(id)
+            .or_insert_with(|| Arc::new(Histogram::new()))
+            .clone())
+    }
+
+    /// Registers an existing shared counter under `name{labels}`.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::Duplicate`] when the id already exists.
+    pub fn register_counter(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        counter: Arc<Counter>,
+    ) -> Result<(), RegistryError> {
+        let id = metric_id(name, labels)?;
+        let mut inner = self.lock();
+        if inner.counters.contains_key(&id) {
+            return Err(RegistryError::Duplicate { id });
+        }
+        inner.counters.insert(id, CounterSource::Shared(counter));
+        Ok(())
+    }
+
+    /// Registers an existing shared histogram under `name{labels}`.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::Duplicate`] when the id already exists.
+    pub fn register_histogram(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        histogram: Arc<Histogram>,
+    ) -> Result<(), RegistryError> {
+        let id = metric_id(name, labels)?;
+        let mut inner = self.lock();
+        if inner.histograms.contains_key(&id) {
+            return Err(RegistryError::Duplicate { id });
+        }
+        inner.histograms.insert(id, histogram);
+        Ok(())
+    }
+
+    /// Exports a counter whose value lives elsewhere; `read` is invoked
+    /// at snapshot time.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::Duplicate`] when the id already exists.
+    pub fn export_counter(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        read: impl Fn() -> u64 + Send + Sync + 'static,
+    ) -> Result<(), RegistryError> {
+        let id = metric_id(name, labels)?;
+        let mut inner = self.lock();
+        if inner.counters.contains_key(&id) {
+            return Err(RegistryError::Duplicate { id });
+        }
+        inner
+            .counters
+            .insert(id, CounterSource::External(Box::new(read)));
+        Ok(())
+    }
+
+    /// Exports a gauge whose value lives elsewhere.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::Duplicate`] when the id already exists.
+    pub fn export_gauge(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        read: impl Fn() -> u64 + Send + Sync + 'static,
+    ) -> Result<(), RegistryError> {
+        let id = metric_id(name, labels)?;
+        let mut inner = self.lock();
+        if inner.gauges.contains_key(&id) {
+            return Err(RegistryError::Duplicate { id });
+        }
+        inner
+            .gauges
+            .insert(id, GaugeSource::External(Box::new(read)));
+        Ok(())
+    }
+
+    /// Number of registered metrics across all kinds.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        let inner = self.lock();
+        inner.counters.len() + inner.gauges.len() + inner.histograms.len()
+    }
+
+    /// Whether no metrics are registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reads every metric into a deterministic [`Snapshot`]: ids in
+    /// canonical (sorted) order, histograms reduced to occupied buckets.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.lock();
+        let counters = inner
+            .counters
+            .iter()
+            .map(|(id, src)| (id.clone(), src.read()))
+            .collect();
+        let gauges = inner
+            .gauges
+            .iter()
+            .map(|(id, src)| (id.clone(), src.read()))
+            .collect();
+        let histograms = inner
+            .histograms
+            .iter()
+            .map(|(id, h)| {
+                let mut buckets = BTreeMap::new();
+                for (i, c) in h.bucket_counts().iter().enumerate() {
+                    if *c > 0 {
+                        buckets.insert(i as u8, *c);
+                    }
+                }
+                (
+                    id.clone(),
+                    HistogramSnapshot {
+                        count: h.count(),
+                        sum: h.sum(),
+                        buckets,
+                    },
+                )
+            })
+            .collect();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_canonical_and_sorted() {
+        assert_eq!(metric_id("ops", &[]).unwrap(), "ops");
+        assert_eq!(
+            metric_id("ops", &[("z", "1"), ("a", "2")]).unwrap(),
+            "ops{a=\"2\",z=\"1\"}"
+        );
+        assert!(matches!(
+            metric_id("bad{name", &[]),
+            Err(RegistryError::InvalidName { .. })
+        ));
+        assert!(matches!(
+            metric_id("ops", &[("k", "v\"quote")]),
+            Err(RegistryError::InvalidName { .. })
+        ));
+        assert!(matches!(
+            metric_id("", &[]),
+            Err(RegistryError::InvalidName { .. })
+        ));
+    }
+
+    #[test]
+    fn owned_handles_are_shared_per_id() {
+        let reg = Registry::new();
+        let a = reg.counter("hits", &[("shard", "0")]).unwrap();
+        let b = reg.counter("hits", &[("shard", "0")]).unwrap();
+        let other = reg.counter("hits", &[("shard", "1")]).unwrap();
+        a.add(3);
+        b.inc();
+        other.inc();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["hits{shard=\"0\"}"], 4);
+        assert_eq!(snap.counters["hits{shard=\"1\"}"], 1);
+    }
+
+    #[test]
+    fn exports_read_live_values_and_reject_duplicates() {
+        let reg = Registry::new();
+        let source = Arc::new(Counter::new());
+        let reader = source.clone();
+        reg.export_counter("drift", &[], move || reader.get())
+            .unwrap();
+        source.add(9);
+        assert_eq!(reg.snapshot().counters["drift"], 9);
+        assert!(matches!(
+            reg.export_counter("drift", &[], || 0),
+            Err(RegistryError::Duplicate { .. })
+        ));
+        assert!(matches!(
+            reg.counter("drift", &[]),
+            Err(RegistryError::External { .. })
+        ));
+    }
+
+    #[test]
+    fn registered_shared_handles_keep_counting() {
+        let reg = Registry::new();
+        let c = Arc::new(Counter::new());
+        reg.register_counter("applied", &[], c.clone()).unwrap();
+        c.add(2);
+        assert_eq!(reg.snapshot().counters["applied"], 2);
+        assert!(matches!(
+            reg.register_counter("applied", &[], c),
+            Err(RegistryError::Duplicate { .. })
+        ));
+        let h = Arc::new(crate::Histogram::new());
+        reg.register_histogram("probe_len", &[], h.clone()).unwrap();
+        h.observe(5);
+        assert_eq!(reg.snapshot().histograms["probe_len"].count, 1);
+    }
+
+    #[test]
+    fn gauges_export_and_own() {
+        let reg = Registry::new();
+        let g = reg.gauge("depth", &[]).unwrap();
+        g.set(12);
+        reg.export_gauge("base", &[], || 7).unwrap();
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauges["depth"], 12);
+        assert_eq!(snap.gauges["base"], 7);
+    }
+}

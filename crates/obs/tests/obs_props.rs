@@ -1,0 +1,121 @@
+//! Property tests for the observability primitives.
+//!
+//! The pinned contracts: counters are monotone and saturate exactly like
+//! the historical `GuardStats` atomics; histograms never lose an
+//! observation (bucket counts sum to the observation count and every
+//! value lands in the bucket whose bounds contain it); snapshots of the
+//! same op sequence render byte-identically and round-trip through the
+//! strict parser.
+
+use proptest::prelude::*;
+use sepe_obs::histogram::{bucket_bounds, bucket_index};
+use sepe_obs::{Counter, Histogram, Registry, Snapshot, BUCKETS};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The verbatim pre-migration `GuardStats::bump_many` semantics, kept
+/// here as the reference the shared [`Counter`] must match bump for bump.
+fn reference_bump(counter: &AtomicU64, n: u64) {
+    let prev = counter.fetch_add(n, Ordering::Relaxed);
+    if prev > u64::MAX - n {
+        counter.store(u64::MAX, Ordering::Relaxed);
+    }
+}
+
+proptest! {
+    #[test]
+    fn counters_are_monotone(increments in prop::collection::vec(0u64..1 << 40, 0..64)) {
+        let counter = Counter::new();
+        let mut last = 0u64;
+        let mut expected = 0u64;
+        for n in increments {
+            counter.add(n);
+            expected = expected.saturating_add(n);
+            let now = counter.get();
+            prop_assert!(now >= last, "counter moved backwards: {last} -> {now}");
+            prop_assert_eq!(now, expected);
+            last = now;
+        }
+    }
+
+    #[test]
+    fn counter_saturation_matches_pinned_guardstats_semantics(
+        start in prop_oneof![Just(0u64), Just(u64::MAX - 16), Just(u64::MAX)],
+        increments in prop::collection::vec(any::<u64>(), 1..32),
+    ) {
+        let counter = Counter::new();
+        counter.add(start);
+        let reference = AtomicU64::new(0);
+        reference_bump(&reference, start);
+        for n in increments {
+            counter.add(n);
+            reference_bump(&reference, n);
+            prop_assert_eq!(counter.get(), reference.load(Ordering::Relaxed));
+        }
+    }
+
+    #[test]
+    fn histogram_bucket_sums_equal_observation_counts(
+        values in prop::collection::vec(any::<u64>(), 0..200),
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.observe(v);
+        }
+        let counts = h.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        prop_assert_eq!(total, values.len() as u64);
+        prop_assert_eq!(h.count(), values.len() as u64);
+        let expected_sum = values.iter().fold(0u64, |a, &v| a.saturating_add(v));
+        prop_assert_eq!(h.sum(), expected_sum);
+        for &v in &values {
+            let i = bucket_index(v);
+            let (lo, hi) = bucket_bounds(i);
+            prop_assert!(lo <= v && v <= hi, "{v} outside bucket {i} [{lo}, {hi}]");
+            prop_assert!(counts[i] > 0);
+        }
+    }
+
+    #[test]
+    fn snapshots_are_deterministic_for_a_fixed_op_sequence(
+        ops in prop::collection::vec((0u8..3, 0u64..4, any::<u64>()), 0..128),
+    ) {
+        // Replay the same typed op sequence into two independent
+        // registries; the rendered exports must be byte-identical, and
+        // the strict parser must round-trip them losslessly.
+        let render = |reg: &Registry| -> String {
+            for (kind, slot, value) in &ops {
+                let label = slot.to_string();
+                let labels = [("slot", label.as_str())];
+                match kind {
+                    0 => reg.counter("ops", &labels).expect("counter").add(*value),
+                    1 => reg.gauge("depth", &labels).expect("gauge").set(*value),
+                    _ => reg.histogram("sizes", &labels).expect("histogram").observe(*value),
+                }
+            }
+            reg.snapshot().render()
+        };
+        let first = render(&Registry::new());
+        let second = render(&Registry::new());
+        prop_assert_eq!(&first, &second);
+        let parsed = Snapshot::parse(&first).expect("canonical render parses");
+        prop_assert_eq!(parsed.render(), first);
+    }
+
+    #[test]
+    fn parsed_histograms_validate_their_bucket_sums(
+        values in prop::collection::vec(0u64..1 << 20, 1..64),
+    ) {
+        let reg = Registry::new();
+        let h = reg.histogram("lat", &[]).expect("histogram");
+        for &v in &values {
+            h.observe(v);
+        }
+        let snap = reg.snapshot();
+        let parsed = Snapshot::parse(&snap.render()).expect("parses");
+        let hist = &parsed.histograms["lat"];
+        prop_assert_eq!(hist.count, values.len() as u64);
+        prop_assert!(hist.buckets.len() <= BUCKETS);
+        let total: u64 = hist.buckets.values().sum();
+        prop_assert_eq!(total, hist.count);
+    }
+}

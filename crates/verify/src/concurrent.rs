@@ -297,8 +297,74 @@ where
             }
         }
     }
+    check_metrics_against_ground_truth(&map, &stats)?;
     stats.checkpoints = 1;
     Ok(stats)
+}
+
+/// Cross-checks an exported metrics snapshot against the model-checked
+/// ground truth the run itself established: guard drift totals must equal
+/// [`ShardedMap::drift_counts`], the `shard_degrades` counter (and the
+/// degrade event trace) must equal the worker-observed degradations, and
+/// after the quiescent drain every opened migration epoch must be
+/// finished. A no-op in `obs`-off builds, where the counters stay zero.
+fn check_metrics_against_ground_truth<G>(
+    map: &ShardedMap<Vec<u8>, u64, SynthesizedHash, G>,
+    stats: &ConcurrentStats,
+) -> Result<(), String>
+where
+    G: ByteHash + Clone + Send + Sync,
+{
+    if !sepe_obs::enabled() {
+        return Ok(());
+    }
+    let registry = sepe_obs::Registry::new();
+    map.export_metrics(&registry)
+        .map_err(|e| format!("metrics export failed: {e}"))?;
+    let snap = registry.snapshot();
+    let (in_f, off_f) = map.drift_counts();
+    let exported_in = snap.counter_family_total("guard_in_format");
+    if exported_in != in_f {
+        return Err(format!(
+            "metrics drift: guard_in_format family totals {exported_in}, \
+             drift_counts says {in_f}"
+        ));
+    }
+    let exported_off = snap.counter_family_total("guard_off_format");
+    if exported_off != off_f {
+        return Err(format!(
+            "metrics drift: guard_off_format family totals {exported_off}, \
+             drift_counts says {off_f}"
+        ));
+    }
+    let degrades = snap.counter("shard_degrades");
+    if degrades != Some(stats.degradations as u64) {
+        return Err(format!(
+            "metrics drift: shard_degrades reads {degrades:?}, workers \
+             observed {} degradations",
+            stats.degradations
+        ));
+    }
+    let events = map.degrade_events().len();
+    if events != stats.degradations {
+        return Err(format!(
+            "metrics drift: degrade event trace holds {events} events, \
+             workers observed {} degradations",
+            stats.degradations
+        ));
+    }
+    let opened = snap.counter_family_total("table_epochs_opened");
+    let finished = snap.counter_family_total("table_epochs_finished");
+    if opened != finished {
+        return Err(format!(
+            "metrics drift: {opened} epochs opened but {finished} finished \
+             after the quiescent drain"
+        ));
+    }
+    if stats.degradations > 0 && opened == 0 {
+        return Err("metrics drift: shards degraded but no epoch was counted".to_string());
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -383,6 +383,7 @@ fn run_migration(opts: &Options) -> Result<String, String> {
     let mut stats = migration::MigrationStats::default();
     let mut lanes = 0usize;
     let mut rejected = 0usize;
+    let mut drain_metrics = 0usize;
 
     // Interrupted migrations, batched epoch crossings and corrupted-bundle
     // rejection over the paper formats, all four families.
@@ -410,6 +411,14 @@ fn run_migration(opts: &Options) -> Result<String, String> {
             .map_err(|e| format!("{} {family} (batched): {e}", format.name()))?;
             rejected += migration::check_corrupted_plans_rejected(&pattern, family)
                 .map_err(|e| format!("{} {family} (corrupted plans): {e}", format.name()))?;
+            drain_metrics += migration::check_drain_accounting(
+                &pattern,
+                family,
+                CityHash::new(),
+                &clean,
+                opts.seed ^ (i as u64) << 8,
+            )
+            .map_err(|e| format!("{} {family} (drain metrics): {e}", format.name()))?;
         }
     }
 
@@ -436,8 +445,9 @@ fn run_migration(opts: &Options) -> Result<String, String> {
     Ok(format!(
         "{} ops across interrupted migrations ({} interruptions, {} epoch transitions, \
          {} drift bursts, {} checkpoints), {lanes} batched lanes across epoch boundaries, \
-         {rejected} corrupted bundles rejected with typed errors — contents and drift \
-         counters matched the eagerly drained twin and std::collections::HashMap throughout",
+         {rejected} corrupted bundles rejected with typed errors, {drain_metrics} drain-metric \
+         assertions against registry snapshots — contents and drift counters matched the \
+         eagerly drained twin and std::collections::HashMap throughout",
         stats.ops, stats.interruptions, stats.transitions, stats.bursts, stats.checkpoints
     ))
 }

@@ -408,6 +408,103 @@ pub fn check_batched_epoch_boundary<G: ByteHash + Clone>(
     Ok(lanes)
 }
 
+/// Cross-checks the table's exported drain metrics against exact ground
+/// truth on a deterministic scenario: seed a map with `clean`, degrade it
+/// (one epoch over exactly `len` entries), drain it in seeded random
+/// strides, then probe every key once. The registry snapshot must show
+/// exactly one epoch opened and finished, exactly `len` entries drained,
+/// and exactly `len` additional probe-length observations. Returns the
+/// number of metric assertions checked (0 in `obs`-off builds, where the
+/// counters are compiled out).
+///
+/// # Errors
+///
+/// Describes the first counter that disagrees with the ground truth.
+pub fn check_drain_accounting<G: ByteHash + Clone>(
+    pattern: &KeyPattern,
+    family: Family,
+    fallback: G,
+    clean: &[Vec<u8>],
+    seed: u64,
+) -> Result<usize, String> {
+    if !sepe_obs::enabled() {
+        return Ok(0);
+    }
+    let mut rng = SplitMix64::new(seed ^ 0xD8A1_4ACC);
+    let mut map: Guarded<G> =
+        UnorderedMap::with_hasher(GuardedHash::from_pattern(pattern, family, fallback));
+    for (i, key) in clean.iter().enumerate() {
+        map.insert(key.clone(), i as u64);
+    }
+    let registry = sepe_obs::Registry::new();
+    map.export_metrics(&registry, &[])
+        .map_err(|e| format!("metrics export failed: {e}"))?;
+    let entries = map.len() as u64;
+    if entries == 0 {
+        return Err("empty clean pool".to_owned());
+    }
+    map.degrade_now();
+    let mut checked = 0usize;
+    let expect = |what: &str, got: Option<u64>, want: u64| -> Result<(), String> {
+        if got != Some(want) {
+            return Err(format!(
+                "drain accounting: {what} reads {got:?}, ground truth {want}"
+            ));
+        }
+        Ok(())
+    };
+    let snap = registry.snapshot();
+    expect(
+        "table_epochs_opened",
+        snap.counter("table_epochs_opened"),
+        1,
+    )?;
+    expect(
+        "table_epochs_finished",
+        snap.counter("table_epochs_finished"),
+        0,
+    )?;
+    checked += 2;
+    while map.migration_in_flight() {
+        map.migrate(1 + (rng.next_u64() % 16) as usize);
+    }
+    let snap = registry.snapshot();
+    expect("table_drain_ops", snap.counter("table_drain_ops"), entries)?;
+    expect(
+        "table_epochs_finished",
+        snap.counter("table_epochs_finished"),
+        1,
+    )?;
+    checked += 2;
+    let probes_before = snap
+        .histograms
+        .get("table_probe_len")
+        .map_or(0, |h| h.count);
+    // Probe each *stored* key once (the pool may hold duplicates).
+    let keys: Vec<Vec<u8>> = map.iter().map(|(k, _)| k.clone()).collect();
+    for key in &keys {
+        if map.get(key.as_slice()).is_none() {
+            return Err(format!(
+                "drain accounting: key {:?} lost across the drain",
+                String::from_utf8_lossy(key)
+            ));
+        }
+    }
+    let snap = registry.snapshot();
+    let probes_after = snap
+        .histograms
+        .get("table_probe_len")
+        .map_or(0, |h| h.count);
+    if probes_after != probes_before + entries {
+        return Err(format!(
+            "drain accounting: probe histogram grew {} for {entries} lookups",
+            probes_after - probes_before
+        ));
+    }
+    checked += 1;
+    Ok(checked)
+}
+
 /// Synthesizes a pristine plan bundle for `pattern`/`family`, derives
 /// corrupted variants, and asserts every one is rejected by
 /// [`bundle_from_str`] with the *right* typed error — never a panic, and

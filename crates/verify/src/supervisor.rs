@@ -611,6 +611,40 @@ where
     if let Some(m) = mismatch {
         return Err(m);
     }
+
+    // Metrics cross-check: the per-kind transition counters exported via
+    // the registry must agree, kind for kind, with the transcript all of
+    // the structural checks above were made against — and the ring
+    // accounting must add up. A no-op in `obs`-off builds.
+    if sepe_obs::enabled() {
+        let registry = sepe_obs::Registry::new();
+        supervisor
+            .export_metrics(&registry)
+            .map_err(|e| format!("metrics export failed: {e}"))?;
+        let snap = registry.snapshot();
+        for kind in sepe_obs::TransitionKind::ALL {
+            let derived = transcript
+                .iter()
+                .filter(|e| e.transition.kind() == kind)
+                .count() as u64;
+            let id = sepe_obs::metric_id("supervisor_transitions", &[("kind", kind.name())])
+                .map_err(|e| format!("metric id: {e}"))?;
+            if snap.counter(&id) != Some(derived) {
+                return Err(format!(
+                    "metrics drift: {id} reads {:?}, transcript holds {derived}",
+                    snap.counter(&id)
+                ));
+            }
+        }
+        let pushed = transcript.len() as u64 + supervisor.transcript_dropped();
+        if snap.counter("supervisor_transcript_events") != Some(pushed) {
+            return Err(format!(
+                "metrics drift: supervisor_transcript_events reads {:?}, \
+                 ring accounting says {pushed}",
+                snap.counter("supervisor_transcript_events")
+            ));
+        }
+    }
     stats.checkpoints = 1;
     Ok(stats)
 }
