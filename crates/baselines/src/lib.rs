@@ -10,6 +10,8 @@
 //!   low-level hash;
 //! * [`GperfHash`] — a gperf-style perfect-hash function trained on example
 //!   keys (keyword-position selection + associated-values search);
+//! * [`SipHash13`] — a secret-keyed SipHash-1-3, the HashDoS-resistant
+//!   rung of the container escalation ladder (not a paper baseline);
 //! * [`gpt`] — handwritten per-format hashes standing in for the paper's
 //!   ChatGPT-generated baselines.
 //!
@@ -26,6 +28,7 @@ pub mod fnv;
 pub mod gperf;
 pub mod gpt;
 pub mod handwritten;
+pub mod siphash;
 pub mod stl;
 
 pub use abseil::AbseilHash;
@@ -34,4 +37,5 @@ pub use entropy::EntropyLearnedHash;
 pub use fnv::FnvHash;
 pub use gperf::GperfHash;
 pub use gpt::GptHash;
+pub use siphash::SipHash13;
 pub use stl::StlHash;

@@ -1,0 +1,109 @@
+//! SipHash-1-3 as a keyed baseline — the HashDoS-resistant rung of the
+//! escalation ladder.
+//!
+//! Every other baseline in this crate is *unkeyed*: an adversary holding
+//! the binary can evaluate it offline and precompute colliding keys
+//! (`tests/adversarial.rs` does exactly that for the linear synthesized
+//! families, and CityHash is no harder). [`SipHash13`] carries a 128-bit
+//! secret, so collision precomputation requires key recovery first. It is
+//! the hash the containers escalate to when the collision-storm detector
+//! trips, and — with rotated keys — the final rung when an escalated seed
+//! is suspected leaked.
+
+use sepe_core::hash::keyed::{siphash13, SeedSource};
+use sepe_core::hash::ByteHash;
+
+/// SipHash-1-3 keyed by a 128-bit secret.
+///
+/// # Examples
+///
+/// ```
+/// use sepe_baselines::SipHash13;
+/// use sepe_core::hash::keyed::FixedSeedSource;
+/// use sepe_core::ByteHash;
+///
+/// let a = SipHash13::with_keys(1, 2);
+/// assert_eq!(a.hash_bytes(b"10.0.0.1"), a.hash_bytes(b"10.0.0.1"));
+///
+/// // Fresh seeds come from a SeedSource; a rotated key changes the codes.
+/// let src = FixedSeedSource::new(42);
+/// let b = SipHash13::from_source(&src);
+/// let c = SipHash13::from_source(&src);
+/// assert_ne!(b.hash_bytes(b"10.0.0.1"), c.hash_bytes(b"10.0.0.1"));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct SipHash13 {
+    k0: u64,
+    k1: u64,
+}
+
+impl SipHash13 {
+    /// SipHash-1-3 with an explicit key pair.
+    #[must_use]
+    pub fn with_keys(k0: u64, k1: u64) -> Self {
+        SipHash13 { k0, k1 }
+    }
+
+    /// SipHash-1-3 keyed from the next seed of `source`.
+    #[must_use]
+    pub fn from_source(source: &impl SeedSource) -> Self {
+        let (k0, k1) = source.next_seed();
+        SipHash13 { k0, k1 }
+    }
+
+    /// The key pair this instance hashes under.
+    #[must_use]
+    pub fn keys(&self) -> (u64, u64) {
+        (self.k0, self.k1)
+    }
+}
+
+// Keyed hashing has no per-key op schedule to interleave; the scalar
+// batch loop is the honest baseline shape.
+impl sepe_core::hash::HashBatch for SipHash13 {}
+
+impl ByteHash for SipHash13 {
+    #[inline]
+    fn hash_bytes(&self, key: &[u8]) -> u64 {
+        siphash13(self.k0, self.k1, key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sepe_core::hash::keyed::FixedSeedSource;
+    use sepe_core::hash::HashBatch;
+
+    #[test]
+    fn matches_the_core_primitive() {
+        let h = SipHash13::with_keys(0x5E9E, 0xC4A05);
+        assert_eq!(h.hash_bytes(b"abc"), siphash13(0x5E9E, 0xC4A05, b"abc"));
+    }
+
+    #[test]
+    fn different_keys_give_different_codes() {
+        let a = SipHash13::with_keys(1, 2);
+        let b = SipHash13::with_keys(1, 3);
+        assert_ne!(a.hash_bytes(b"198.51.100.7"), b.hash_bytes(b"198.51.100.7"));
+    }
+
+    #[test]
+    fn from_source_draws_fresh_keys() {
+        let src = FixedSeedSource::new(7);
+        let a = SipHash13::from_source(&src);
+        let b = SipHash13::from_source(&src);
+        assert_ne!(a.keys(), b.keys());
+    }
+
+    #[test]
+    fn batch_agrees_with_scalar() {
+        let h = SipHash13::with_keys(3, 4);
+        let keys: Vec<&[u8]> = vec![b"a", b"bb", b"ccc", b"123-45-6789"];
+        let mut out = vec![0u64; keys.len()];
+        h.hash_batch(&keys, &mut out);
+        for (key, code) in keys.iter().zip(&out) {
+            assert_eq!(h.hash_bytes(key), *code);
+        }
+    }
+}

@@ -33,6 +33,7 @@ struct Options {
     threads: Option<usize>,
     resynth: bool,
     metrics: bool,
+    adversarial: bool,
     path: Option<String>,
 }
 
@@ -45,6 +46,7 @@ fn parse_args() -> Result<Options, String> {
     let mut threads = None;
     let mut resynth = false;
     let mut metrics = false;
+    let mut adversarial = false;
     let mut path = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -93,6 +95,7 @@ fn parse_args() -> Result<Options, String> {
             "--guard" | "-g" => guard = true,
             "--resynth" => resynth = true,
             "--metrics" => metrics = true,
+            "--adversarial" => adversarial = true,
             "--drift-threshold" => {
                 let t: f64 = args
                     .next()
@@ -119,6 +122,7 @@ fn parse_args() -> Result<Options, String> {
         threads,
         resynth,
         metrics,
+        adversarial,
         path,
     })
 }
@@ -293,7 +297,8 @@ fn main() -> ExitCode {
             }
             eprintln!(
                 "usage: keybench [--iterations N] [--guard] [--drift-threshold T] \
-                 [--batch W] [--churn N] [--threads N] [--resynth] [--metrics] [FILE]\n\
+                 [--batch W] [--churn N] [--threads N] [--resynth] [--metrics] \
+                 [--adversarial] [FILE]\n\
                  \x20      (keys on stdin or FILE, one per line)"
             );
             return if msg.is_empty() {
@@ -365,6 +370,10 @@ fn main() -> ExitCode {
     }
     if opts.metrics {
         metrics_report(&pattern, &key_strings, opts.iterations);
+        return ExitCode::SUCCESS;
+    }
+    if opts.adversarial {
+        adversarial_report(&pattern, &key_strings, opts.iterations);
         return ExitCode::SUCCESS;
     }
 
@@ -673,6 +682,174 @@ fn metrics_report(pattern: &KeyPattern, keys: &[String], iterations: usize) {
     }
     churn(&mut map, ops);
     println!("{}", registry.snapshot().render());
+}
+
+/// `--adversarial`: demonstrates the HashDoS defense on the user's keys.
+/// Fills a guarded map, measures benign churn at steady state (ticking the
+/// collision-storm detector, which must stay quiet), then brute-forces a
+/// collision flood against the map's own hash — the strongest attacker
+/// model for the unkeyed rungs — and lets the detector climb the
+/// escalation ladder to the keyed hasher. Reports ns/op benign vs. under
+/// attack vs. after escalation, the flooded-chain lengths, the wall-clock
+/// escalation latency (detector ticks plus the incremental re-key drain),
+/// and the quiet-window recovery back to the specialized hasher.
+fn adversarial_report(pattern: &KeyPattern, keys: &[String], iterations: usize) {
+    use sepe_containers::AttackPolicy;
+    use sepe_core::guard::GuardMode;
+    use sepe_core::hash::FixedSeedSource;
+    use sepe_keygen::SplitMix64;
+    use sepe_verify::attacker::bucket_flood;
+
+    const FLOOD_KEYS: usize = 64;
+    let ops = iterations.clamp(512, 65_536);
+    let policy = AttackPolicy {
+        min_len: 32,
+        trip_streak: 2,
+        quiet_streak: 2,
+        ..AttackPolicy::default()
+    };
+    let seeds = FixedSeedSource::new(0xADE5_EED5);
+
+    let hasher = GuardedHash::from_pattern(pattern, Family::OffXor, CityHash::new());
+    let mut map: UnorderedMap<String, usize, _> = UnorderedMap::with_hasher(hasher);
+    for (i, key) in keys.iter().enumerate() {
+        map.insert(key.clone(), i);
+    }
+    // Pin the bucket count before forging: the flood collides modulo the
+    // *current* table size, so the attack inserts must never resize it.
+    map.reserve(FLOOD_KEYS + 16);
+
+    let mut rng = SplitMix64::new(0xADE5_C4A0);
+    let mut churn = |map: &mut UnorderedMap<String, usize, _>, ops: usize| -> f64 {
+        let start = Instant::now();
+        for i in 0..ops {
+            let key = &keys[(rng.next_u64() % keys.len() as u64) as usize];
+            match rng.next_u64() % 10 {
+                0..=4 => {
+                    std::hint::black_box(map.get(key.as_str()));
+                }
+                5..=7 => {
+                    map.insert(key.clone(), i);
+                }
+                _ => {
+                    map.remove(key.as_str());
+                    map.insert(key.clone(), i);
+                }
+            }
+        }
+        start.elapsed().as_secs_f64() * 1e9 / ops as f64
+    };
+    let probe = |map: &UnorderedMap<String, usize, _>, flood: &[String], iters: usize| -> f64 {
+        let mut acc = 0usize;
+        let start = Instant::now();
+        for i in 0..iters {
+            if map.get(flood[i % flood.len()].as_str()).is_some() {
+                acc += 1;
+            }
+        }
+        std::hint::black_box(acc);
+        start.elapsed().as_secs_f64() * 1e9 / iters as f64
+    };
+
+    println!(
+        "adversarial workload: {} keys resident, {ops} ops per phase, \
+         flood of {FLOOD_KEYS} forged collisions",
+        map.len()
+    );
+    churn(&mut map, ops.min(10_000)); // warm-up
+    let steady_ns = churn(&mut map, ops);
+    let benign_chain = map.max_bucket_len();
+    let mut benign_trips = 0usize;
+    for _ in 0..4 {
+        if map.maybe_escalate(&policy, &seeds) {
+            benign_trips += 1;
+        }
+    }
+    println!(
+        "  benign steady state   {steady_ns:>10.1} ns/op  ({:.2} Mops/s), \
+         max chain {benign_chain}, detector trips {benign_trips}/4 ticks",
+        1e3 / steady_ns
+    );
+
+    // The flood: distinct keys brute-forced onto one bucket of this map.
+    let flood: Vec<String> = bucket_flood(
+        |k| map.hash_of(k),
+        map.bucket_count() as u64,
+        FLOOD_KEYS,
+        0xADE5,
+    )
+    .into_iter()
+    .map(|k| String::from_utf8(k).expect("forged keys are ascii"))
+    .collect();
+    for (i, key) in flood.iter().enumerate() {
+        map.insert(key.clone(), 1_000_000 + i);
+    }
+    let attack_chain = map.max_bucket_len();
+    let attack_probe_ns = probe(&map, &flood, ops);
+    let attack_churn_ns = churn(&mut map, ops);
+    println!(
+        "  under attack          {attack_churn_ns:>10.1} ns/op  ({:.2} Mops/s), \
+         max chain {attack_chain}, forged-key probe {attack_probe_ns:.1} ns/get",
+        1e3 / attack_churn_ns
+    );
+
+    // Let the detector climb the ladder; the off-format flood survives the
+    // unkeyed fallback rung, so it must reach the keyed hasher.
+    let start = Instant::now();
+    let mut rungs = 0usize;
+    let mut ticks = 0usize;
+    while map.guard_mode() != GuardMode::Keyed && ticks < 16 {
+        ticks += 1;
+        if map.maybe_escalate(&policy, &seeds) {
+            rungs += 1;
+            while map.migration_in_flight() {
+                map.migrate(1024);
+            }
+        }
+    }
+    let escalation_us = start.elapsed().as_secs_f64() * 1e6;
+    let keyed_chain = map.max_bucket_len();
+    let keyed_probe_ns = probe(&map, &flood, ops);
+    let keyed_churn_ns = churn(&mut map, ops);
+    println!(
+        "  escalation: {rungs} rungs over {ticks} detector ticks to mode {:?} \
+         in {escalation_us:.0} us (incremental re-key included)",
+        map.guard_mode()
+    );
+    println!(
+        "  keyed steady state    {keyed_churn_ns:>10.1} ns/op  ({:.2} Mops/s), \
+         max chain {keyed_chain}, forged-key probe {keyed_probe_ns:.1} ns/get",
+        1e3 / keyed_churn_ns
+    );
+
+    // Recovery: drop the flood and let a quiet window re-arm the
+    // specialized hasher.
+    for key in &flood {
+        map.remove(key.as_str());
+    }
+    let mut rearm_ticks = 0usize;
+    while map.guard_mode() != GuardMode::Guarded && rearm_ticks < 8 {
+        rearm_ticks += 1;
+        if map.maybe_deescalate(&policy) {
+            while map.migration_in_flight() {
+                map.migrate(1024);
+            }
+        }
+    }
+    println!(
+        "  recovery: mode {:?} after {rearm_ticks} quiet ticks, \
+         {} entries intact",
+        map.guard_mode(),
+        map.len()
+    );
+    if sepe_obs::enabled() {
+        println!(
+            "  counters: {} escalations, {} seed rotations, {} de-escalations",
+            map.escalations(),
+            map.seed_rotations(),
+            map.deescalations()
+        );
+    }
 }
 
 /// Demonstrates the degradation state machine: fills a guarded map with the

@@ -637,21 +637,26 @@ pub fn guard(
 /// scenario (the same churn fanned over a lock-striped [`ShardedMap`] at
 /// 1/2/4/8 threads) and the resynthesis scenario (p50/p99/max mutating-op
 /// latency across a resynthesis trigger, synthesis inline on the serving
-/// thread vs handed to the background supervisor). `sepe-repro` writes it
-/// as `BENCH_<date>.json`, the machine-readable perf trajectory.
+/// thread vs handed to the background supervisor) and the adversarial
+/// scenario (churn ns/op and worst chain length benign, under a
+/// brute-forced collision flood, and after the collision-storm detector
+/// escalates to the keyed hasher, plus the escalation latency).
+/// `sepe-repro` writes it as `BENCH_<date>.json`, the machine-readable
+/// perf trajectory.
 ///
 /// [`ShardedMap`]: sepe_containers::ShardedMap
 #[must_use]
 pub fn bench_json(scale: &RunScale) -> String {
     use sepe_driver::bench_json::{
-        concurrency_records, metrics_snapshot, migration_records, resynth_records, run_suite,
-        to_json, today_utc, BenchConfig,
+        adversarial_records, concurrency_records, metrics_snapshot, migration_records,
+        resynth_records, run_suite, to_json, today_utc, BenchConfig,
     };
     let config = BenchConfig::from_scale(scale);
     let records = run_suite(scale, &config);
     let migration = migration_records(scale, &config);
     let concurrency = concurrency_records(scale, &config);
     let resynthesis = resynth_records(scale, &config);
+    let adversarial = adversarial_records(scale, &config);
     let metrics = metrics_snapshot(scale, &config);
     to_json(
         &today_utc(),
@@ -659,6 +664,7 @@ pub fn bench_json(scale: &RunScale) -> String {
         &migration,
         &concurrency,
         &resynthesis,
+        &adversarial,
         &metrics,
     )
     .to_string()

@@ -553,6 +553,62 @@ fn sepe_repro_bench_json_writes_a_dated_parseable_baseline() {
         }
     }
 
+    // The adversarial scenario rides in the same document: a benign, an
+    // attack, and an escalated row per format, fields pinned by the
+    // fixture. The attack row must show the flood landing (long chain),
+    // the escalated row must show the keyed rung breaking it apart and
+    // carry a positive escalation latency.
+    let adversarial_fields: Vec<&str> = schema
+        .get("adversarial_fields")
+        .as_arr()
+        .expect("adversarial_fields list")
+        .iter()
+        .filter_map(|j| j.as_str())
+        .collect();
+    let adversarial = doc.get("adversarial").as_arr().expect("adversarial array");
+    assert!(!adversarial.is_empty(), "baseline has no adversarial rows");
+    assert_eq!(
+        adversarial.len() % 3,
+        0,
+        "phases come in benign/attack/escalated triples"
+    );
+    for row in adversarial {
+        if let sepe_core::plan_io::Json::Obj(map) = row {
+            let keys: Vec<&str> = map.keys().map(String::as_str).collect();
+            assert_eq!(
+                keys, adversarial_fields,
+                "adversarial fields drifted from the fixture"
+            );
+        } else {
+            panic!("adversarial row is not a JSON object");
+        }
+        let phase = row.get("phase").as_str().expect("phase string");
+        assert!(
+            ["benign", "attack", "escalated"].contains(&phase),
+            "unknown phase {phase}"
+        );
+        match (
+            row.get("ns_per_op"),
+            row.get("max_chain"),
+            row.get("escalation_us"),
+        ) {
+            (
+                sepe_core::plan_io::Json::Num(ns),
+                sepe_core::plan_io::Json::Num(chain),
+                sepe_core::plan_io::Json::Num(esc),
+            ) => {
+                assert!(*ns > 0.0 && ns.is_finite(), "ns_per_op {ns}");
+                assert!(*chain >= 1.0, "max_chain {chain}");
+                match phase {
+                    "attack" => assert!(*chain >= 64.0, "flood chain {chain}"),
+                    "escalated" => assert!(*esc > 0.0, "escalation_us {esc}"),
+                    _ => assert_eq!(*esc, 0.0, "benign rows carry no latency"),
+                }
+            }
+            other => panic!("non-numeric adversarial measurements: {other:?}"),
+        }
+    }
+
     // The observability snapshot rides in the same document: a complete
     // `sepe-metrics/v1` subtree that must survive the strict typed parser.
     let metrics_schema = schema

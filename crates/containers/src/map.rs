@@ -1,11 +1,68 @@
 //! `UnorderedMap` — the analog of `std::unordered_map`.
 
-use crate::policy::{BucketPolicy, DriftPolicy};
+use crate::policy::{AttackPolicy, AttackSignals, BucketPolicy, DriftPolicy};
 use crate::table::RawTable;
 use sepe_core::guard::{GuardMode, GuardStats, GuardedHash, Resynth};
+use sepe_core::hash::keyed::SeedSource;
 use sepe_core::hash::{ByteHash, HashBatch};
 use sepe_core::supervisor::{ReadyPlan, SynthRequest};
 use std::borrow::Borrow;
+
+/// Hysteresis state of the collision-storm detector: consecutive stormy
+/// and calm observations, plus the probe-histogram baseline that turns
+/// the cumulative [`sepe_obs::Histogram`] into a per-tick window.
+/// [`AttackPolicy`] is the pure judgment; this is the memory that keeps
+/// one noisy snapshot from flipping the hasher.
+#[derive(Debug, Clone, Copy)]
+pub struct AttackState {
+    /// Consecutive observations that looked like a storm.
+    storm_streak: u32,
+    /// Consecutive observations that looked calm (only counted while on
+    /// an escalated rung).
+    quiet_streak: u32,
+    /// Probe-length bucket counts at the previous detector tick. The
+    /// histogram is monotone, so judging its lifetime p99 would keep a
+    /// long-past storm "visible" forever; each tick diffs against this
+    /// baseline and judges only the probes since the last one.
+    probe_baseline: [u64; sepe_obs::histogram::BUCKETS],
+}
+
+impl Default for AttackState {
+    fn default() -> Self {
+        AttackState {
+            storm_streak: 0,
+            quiet_streak: 0,
+            probe_baseline: [0; sepe_obs::histogram::BUCKETS],
+        }
+    }
+}
+
+/// Upper bound on the `q`-quantile of the probe-length observations
+/// between two bucket-count snapshots (same semantics as
+/// [`sepe_obs::Histogram::quantile`], over the delta). `None` when the
+/// window saw nothing.
+fn windowed_quantile(
+    before: &[u64; sepe_obs::histogram::BUCKETS],
+    after: &[u64; sepe_obs::histogram::BUCKETS],
+    q: f64,
+) -> Option<u64> {
+    let mut total = 0u64;
+    for (b, a) in before.iter().zip(after.iter()) {
+        total = total.saturating_add(a.saturating_sub(*b));
+    }
+    if total == 0 {
+        return None;
+    }
+    let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+    let mut seen = 0u64;
+    for (i, (b, a)) in before.iter().zip(after.iter()).enumerate() {
+        seen = seen.saturating_add(a.saturating_sub(*b));
+        if seen >= rank {
+            return Some(sepe_obs::histogram::bucket_bounds(i).1);
+        }
+    }
+    Some(u64::MAX)
+}
 
 /// A chained hash map with prime bucket counts and bucket introspection,
 /// hashing keys through a [`ByteHash`].
@@ -26,6 +83,7 @@ use std::borrow::Borrow;
 #[derive(Debug, Clone)]
 pub struct UnorderedMap<K, V, H> {
     table: RawTable<K, V, H>,
+    attack: AttackState,
 }
 
 impl<K, V, H> UnorderedMap<K, V, H>
@@ -37,6 +95,7 @@ where
     pub fn with_hasher(hasher: H) -> Self {
         UnorderedMap {
             table: RawTable::new(hasher, BucketPolicy::Modulo),
+            attack: AttackState::default(),
         }
     }
 
@@ -45,6 +104,7 @@ where
     pub fn with_hasher_and_policy(hasher: H, policy: BucketPolicy) -> Self {
         UnorderedMap {
             table: RawTable::new(hasher, policy),
+            attack: AttackState::default(),
         }
     }
 
@@ -145,6 +205,14 @@ where
     /// collision count (Section 4.2).
     pub fn bucket_collisions(&self) -> u64 {
         self.table.bucket_collisions()
+    }
+
+    /// Length of the longest live bucket chain — the occupancy-skew
+    /// signal the collision-storm detector judges, and the quantity the
+    /// adversarial harness bounds (a lookup's probe length never exceeds
+    /// its bucket's chain length).
+    pub fn max_bucket_len(&self) -> usize {
+        self.table.max_bucket_len()
     }
 
     /// Current load factor.
@@ -407,6 +475,148 @@ where
             self.drift_stats().roll_window();
         }
         false
+    }
+
+    /// Takes one upward rung on the escalation ladder, opening a
+    /// migration epoch so the re-keying is an incremental rehash:
+    ///
+    /// * `Specialized (Guarded)` → `GuardedFallback (Degraded)` — format
+    ///   drift handling doubles as the first escalation step;
+    /// * `Degraded` → `Keyed(seed)` — the fallback is unkeyed and
+    ///   precomputable, so a detected storm moves to a secret seed;
+    /// * `Keyed` → `Keyed(rotated seed)` — a storm *while keyed* means
+    ///   the seed leaked; rotate it.
+    ///
+    /// Each call bumps the `table_escalations` counter (rotations also
+    /// bump `table_seed_rotations`), which the adversarial harness checks
+    /// against its own transcript.
+    pub fn escalate_now(&mut self, seeds: &impl SeedSource) {
+        let mode = self.guard_mode();
+        // Pin the pre-transition routing first: stored entries were filed
+        // under it, and for the keyed rung the frozen copy must keep the
+        // *old* seed through the rotation below.
+        let old = self.table.hasher().epoch_frozen(mode);
+        let next = match mode {
+            GuardMode::Guarded => {
+                self.table.hasher().degrade();
+                GuardMode::Degraded
+            }
+            GuardMode::Degraded => {
+                self.table.hasher().escalate_keyed(seeds);
+                GuardMode::Keyed
+            }
+            GuardMode::Keyed => {
+                self.table.hasher().rotate_seed(seeds);
+                if sepe_obs::enabled() {
+                    self.table.obs().seed_rotations.inc();
+                }
+                GuardMode::Keyed
+            }
+        };
+        let rehasher = self.table.hasher().epoch_frozen(next);
+        self.table.begin_migration(old, rehasher);
+        if sepe_obs::enabled() {
+            self.table.obs().escalations.inc();
+        }
+    }
+
+    /// Gathers one [`AttackSignals`] snapshot from the table's own
+    /// accounting and escalates when `policy` has judged it stormy
+    /// [`AttackPolicy::trip_streak`] times in a row. Returns whether an
+    /// escalation happened during this call.
+    ///
+    /// Call this from the same maintenance cadence as
+    /// [`UnorderedMap::maybe_degrade`]; the streak state makes the cadence
+    /// itself part of the hysteresis.
+    pub fn maybe_escalate(&mut self, policy: &AttackPolicy, seeds: &impl SeedSource) -> bool {
+        let signals = self.attack_signals();
+        if !policy.storm(&signals) {
+            self.attack.storm_streak = 0;
+            return false;
+        }
+        self.attack.quiet_streak = 0;
+        self.attack.storm_streak += 1;
+        if self.attack.storm_streak < policy.trip_streak.max(1) {
+            return false;
+        }
+        self.attack.storm_streak = 0;
+        self.escalate_now(seeds);
+        true
+    }
+
+    /// Counts one calm observation and, after
+    /// [`AttackPolicy::quiet_streak`] of them on an escalated rung,
+    /// de-escalates all the way back to the specialized hasher (guard
+    /// re-armed, counters reset, reservoir cleared) under an incremental
+    /// migration. Returns whether the de-escalation happened.
+    pub fn maybe_deescalate(&mut self, policy: &AttackPolicy) -> bool {
+        if self.guard_mode() == GuardMode::Guarded {
+            return false;
+        }
+        if policy.storm(&self.attack_signals()) {
+            self.attack.quiet_streak = 0;
+            return false;
+        }
+        self.attack.quiet_streak += 1;
+        if self.attack.quiet_streak < policy.quiet_streak.max(1) {
+            return false;
+        }
+        self.attack.quiet_streak = 0;
+        let old = self.table.hasher().epoch_frozen(self.guard_mode());
+        self.table.hasher().rearm();
+        let rehasher = self.table.hasher().epoch_frozen(GuardMode::Guarded);
+        self.table.begin_migration(old, rehasher);
+        if sepe_obs::enabled() {
+            self.table.obs().deescalations.inc();
+        }
+        true
+    }
+
+    /// The detector's view of the table right now. Public so harnesses
+    /// and benchmarks can log exactly what the policy judged.
+    ///
+    /// Takes `&mut self` because reading the probe tail advances the
+    /// per-tick histogram window: `probe_p99` covers the probes since the
+    /// *previous* call, so a long-past storm cannot keep the signal hot.
+    pub fn attack_signals(&mut self) -> AttackSignals {
+        let (window_off, window_total) = self.drift_stats().window_counts();
+        let probe_p99 = if sepe_obs::enabled() {
+            let counts = self.table.obs().probe_len.bucket_counts();
+            let p99 = windowed_quantile(&self.attack.probe_baseline, &counts, 0.99);
+            self.attack.probe_baseline = counts;
+            if let Some(p) = p99 {
+                self.table
+                    .obs()
+                    .probe_tail
+                    .store(p, std::sync::atomic::Ordering::Relaxed);
+            }
+            p99
+        } else {
+            None
+        };
+        AttackSignals {
+            max_bucket_len: self.table.max_bucket_len(),
+            len: self.len(),
+            bucket_count: self.bucket_count(),
+            window_off,
+            window_total,
+            probe_p99,
+        }
+    }
+
+    /// Escalation-ladder rungs taken (lifetime, `obs` builds only).
+    pub fn escalations(&self) -> u64 {
+        self.table.obs().escalations.get()
+    }
+
+    /// Quiet-window de-escalations (lifetime, `obs` builds only).
+    pub fn deescalations(&self) -> u64 {
+        self.table.obs().deescalations.get()
+    }
+
+    /// Keyed-rung seed rotations (lifetime, `obs` builds only).
+    pub fn seed_rotations(&self) -> u64 {
+        self.table.obs().seed_rotations.get()
     }
 }
 
@@ -1023,5 +1233,85 @@ mod tests {
             model.iter().map(|(k, v)| (k.clone(), *v)).collect();
         model_sorted.sort();
         assert_eq!(ours_sorted, model_sorted);
+    }
+
+    #[test]
+    fn escalation_ladder_climbs_rung_by_rung() {
+        let mut m = guarded_ssn_map(sepe_core::Family::OffXor);
+        let seeds = sepe_core::hash::keyed::FixedSeedSource::new(0x5E9E);
+        for i in 0..200u32 {
+            m.insert(format!("{:03}-{:02}-{:04}", i % 900, i % 90, i), i);
+        }
+        assert_eq!(m.guard_mode(), GuardMode::Guarded);
+        m.escalate_now(&seeds);
+        assert_eq!(m.guard_mode(), GuardMode::Degraded);
+        m.escalate_now(&seeds);
+        assert_eq!(m.guard_mode(), GuardMode::Keyed);
+        let seed_before = m.hasher().current_seed();
+        m.escalate_now(&seeds);
+        assert_eq!(m.guard_mode(), GuardMode::Keyed);
+        assert_ne!(m.hasher().current_seed(), seed_before, "rotation rung");
+        if sepe_obs::enabled() {
+            assert_eq!(m.escalations(), 3);
+            assert_eq!(m.seed_rotations(), 1);
+        }
+        // Contents survive every rung; lookups probe both epochs.
+        for i in 0..200u32 {
+            let key = format!("{:03}-{:02}-{:04}", i % 900, i % 90, i);
+            assert_eq!(m.get(&key), Some(&i), "{key} lost during escalation");
+        }
+        m.finish_migration();
+        assert_eq!(m.len(), 200);
+    }
+
+    #[test]
+    fn storm_trips_the_detector_and_quiet_rearms_it() {
+        let mut m = guarded_ssn_map(sepe_core::Family::Pext);
+        let seeds = sepe_core::hash::keyed::FixedSeedSource::new(7);
+        let policy = AttackPolicy {
+            min_len: 32,
+            trip_streak: 2,
+            quiet_streak: 2,
+            ..AttackPolicy::default()
+        };
+        // Benign fill: detector stays quiet on every tick.
+        for i in 0..200u32 {
+            m.insert(format!("{:03}-{:02}-{:04}", i % 900, i % 90, i), i);
+            assert!(!m.maybe_escalate(&policy, &seeds));
+        }
+        assert_eq!(m.guard_mode(), GuardMode::Guarded);
+        // Flood one bucket, brute-forcing collisions against the live
+        // (adversary-computable) hash — family-agnostic forgery.
+        let target = m.hash_of(b"000-00-0000!") % m.bucket_count() as u64;
+        let mut attack_keys = Vec::new();
+        let mut i = 0u64;
+        while attack_keys.len() < 48 {
+            let key = format!("atk-{i:016x}");
+            if m.hash_of(key.as_bytes()) % m.bucket_count() as u64 == target {
+                m.insert(key.clone(), 0);
+                attack_keys.push(key);
+            }
+            i += 1;
+        }
+        // First stormy tick arms the streak, second trips it.
+        assert!(!m.maybe_escalate(&policy, &seeds));
+        assert!(m.maybe_escalate(&policy, &seeds));
+        assert_eq!(m.guard_mode(), GuardMode::Degraded);
+        // The storm subsides: the crafted keys age out of the table and
+        // the escalation migration drains. Quiet ticks then de-escalate.
+        for key in &attack_keys {
+            m.remove(key);
+        }
+        m.finish_migration();
+        assert!(!m.maybe_deescalate(&policy));
+        assert!(m.maybe_deescalate(&policy));
+        assert_eq!(m.guard_mode(), GuardMode::Guarded);
+        m.finish_migration();
+        if sepe_obs::enabled() {
+            assert_eq!(m.escalations(), 1);
+            assert_eq!(m.deescalations(), 1);
+        }
+        // The drift counters were reset by the re-arm.
+        assert_eq!(m.drift_stats().total(), 0);
     }
 }

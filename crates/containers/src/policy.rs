@@ -119,6 +119,122 @@ impl DriftPolicy {
     }
 }
 
+/// One observation of the signals the collision-storm detector consumes.
+///
+/// Everything here is already maintained by the containers: the longest
+/// bucket chain and table shape from `RawTable`, the drift-window counts
+/// from [`sepe_core::guard::GuardStats`], and (when the `obs` feature is
+/// on) the p99 of the probe-length histogram. [`AttackPolicy::storm`] is a
+/// pure function of one such snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AttackSignals {
+    /// Length of the longest live bucket chain.
+    pub max_bucket_len: usize,
+    /// Number of entries in the table.
+    pub len: usize,
+    /// Number of buckets in the table.
+    pub bucket_count: usize,
+    /// Off-format keys in the current drift window.
+    pub window_off: u64,
+    /// Total keys observed in the current drift window.
+    pub window_total: u64,
+    /// p99 of the probe-length histogram, when instrumentation is on.
+    pub probe_p99: Option<u64>,
+}
+
+/// When a container should treat collisions as an *attack* rather than
+/// bad luck or format drift.
+///
+/// [`DriftPolicy`] watches the guard's format verdicts; this policy
+/// watches the *shape of the table*. A HashDoS flood is visible as
+/// bucket-occupancy skew — one chain growing far beyond the expected
+/// `len / bucket_count` — and as a heavy probe-length tail, long before
+/// lookups degenerate to O(n). A single snapshot tripping the detector is
+/// not enough: callers escalate only after [`AttackPolicy::trip_streak`]
+/// consecutive stormy observations, and de-escalate only after
+/// [`AttackPolicy::quiet_streak`] consecutive calm ones, so benign churn
+/// (a resize racing a burst of inserts, a short-lived hot bucket) never
+/// flips the hasher.
+///
+/// # Examples
+///
+/// ```
+/// use sepe_containers::{AttackPolicy, AttackSignals};
+///
+/// let policy = AttackPolicy::default();
+/// let benign = AttackSignals {
+///     max_bucket_len: 4,
+///     len: 1000,
+///     bucket_count: 1543,
+///     ..AttackSignals::default()
+/// };
+/// assert!(!policy.storm(&benign));
+///
+/// let flooded = AttackSignals {
+///     max_bucket_len: 64, // one bucket holds 64 of 200 keys
+///     len: 200,
+///     bucket_count: 1543,
+///     ..AttackSignals::default()
+/// };
+/// assert!(policy.storm(&flooded));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttackPolicy {
+    /// A chain this many times the expected length counts as skewed.
+    pub skew_factor: f64,
+    /// Absolute chain-length floor below which skew is never an attack —
+    /// healthy tables keep their longest chain in the single digits, so a
+    /// floor of 32 leaves orders of magnitude of headroom for benign
+    /// clustering.
+    pub min_chain: usize,
+    /// Minimum table size before the detector judges anything: tiny
+    /// tables have noisy shapes.
+    pub min_len: usize,
+    /// Consecutive stormy observations required before escalating.
+    pub trip_streak: u32,
+    /// Consecutive calm observations required before de-escalating.
+    pub quiet_streak: u32,
+    /// A probe-length p99 above this is stormy regardless of chain shape.
+    pub probe_p99_limit: u64,
+}
+
+impl Default for AttackPolicy {
+    /// Escalate on a chain ≥ 32 entries *and* ≥ 8× the expected length
+    /// (or a probe p99 past 32), observed twice in a row in a table of at
+    /// least 128 entries; de-escalate after 3 calm observations.
+    fn default() -> Self {
+        AttackPolicy {
+            skew_factor: 8.0,
+            min_chain: 32,
+            min_len: 128,
+            trip_streak: 2,
+            quiet_streak: 3,
+            probe_p99_limit: 32,
+        }
+    }
+}
+
+impl AttackPolicy {
+    /// Whether one snapshot of the table looks like a collision storm.
+    ///
+    /// Pure and stateless — the hysteresis streaks live with the caller
+    /// (`UnorderedMap` keeps one `AttackState` per table, `ShardedMap`
+    /// one per shard).
+    #[must_use]
+    pub fn storm(&self, signals: &AttackSignals) -> bool {
+        if signals.len < self.min_len.max(1) || signals.bucket_count == 0 {
+            return false;
+        }
+        let expected = (signals.len as f64 / signals.bucket_count as f64).max(1.0);
+        let skewed = signals.max_bucket_len >= self.min_chain
+            && signals.max_bucket_len as f64 >= self.skew_factor * expected;
+        let heavy_tail = signals
+            .probe_p99
+            .is_some_and(|p99| p99 > self.probe_p99_limit);
+        skewed || heavy_tail
+    }
+}
+
 /// Tunables for *supervised* background resynthesis.
 ///
 /// Where [`DriftPolicy`] decides *when* a container gives up on its
@@ -257,6 +373,69 @@ mod tests {
         };
         assert!(p.should_degrade(1, 1));
         assert!(!p.should_degrade(0, 100));
+    }
+
+    #[test]
+    fn attack_policy_ignores_small_tables() {
+        let p = AttackPolicy::default();
+        let s = AttackSignals {
+            max_bucket_len: 60,
+            len: 64, // below min_len
+            bucket_count: 250,
+            ..AttackSignals::default()
+        };
+        assert!(!p.storm(&s));
+        assert!(p.storm(&AttackSignals { len: 128, ..s }));
+    }
+
+    #[test]
+    fn attack_policy_requires_both_floor_and_skew() {
+        let p = AttackPolicy::default();
+        // Skewed relative to expectation but under the absolute floor.
+        let short_chain = AttackSignals {
+            max_bucket_len: 31,
+            len: 1000,
+            bucket_count: 100_000,
+            ..AttackSignals::default()
+        };
+        assert!(!p.storm(&short_chain));
+        // Long chain but plausible for a dense table: 40 ≈ 4× expected 10.
+        let dense = AttackSignals {
+            max_bucket_len: 40,
+            len: 10_000,
+            bucket_count: 1_000,
+            ..AttackSignals::default()
+        };
+        assert!(!p.storm(&dense));
+        // Long *and* skewed.
+        let flooded = AttackSignals {
+            max_bucket_len: 80,
+            len: 10_000,
+            bucket_count: 10_000,
+            ..AttackSignals::default()
+        };
+        assert!(p.storm(&flooded));
+    }
+
+    #[test]
+    fn probe_tail_alone_can_trip_the_detector() {
+        let p = AttackPolicy::default();
+        let s = AttackSignals {
+            max_bucket_len: 2,
+            len: 1000,
+            bucket_count: 1543,
+            probe_p99: Some(33),
+            ..AttackSignals::default()
+        };
+        assert!(p.storm(&s));
+        assert!(!p.storm(&AttackSignals {
+            probe_p99: Some(32),
+            ..s
+        }));
+        assert!(!p.storm(&AttackSignals {
+            probe_p99: None,
+            ..s
+        }));
     }
 
     #[test]

@@ -28,8 +28,9 @@
 //! prefetch sweep per chunk) inside the lock.
 
 use crate::map::UnorderedMap;
-use crate::policy::{BucketPolicy, DriftPolicy};
+use crate::policy::{AttackPolicy, BucketPolicy, DriftPolicy};
 use sepe_core::guard::{GuardMode, GuardedHash};
+use sepe_core::hash::keyed::SeedSource;
 use sepe_core::hash::{ByteHash, HashBatch};
 use sepe_core::supervisor::{ReadyPlan, SynthRequest};
 use sepe_obs::{Counter, EventTrace, ObsEvent};
@@ -56,7 +57,14 @@ struct ShardObs {
     write_locks: Arc<Counter>,
     /// Guarded→Degraded transitions, counted once per actual flip.
     shard_degrades: Arc<Counter>,
-    /// Degradation events, oldest first.
+    /// Upward escalation-ladder rungs taken across shards (rotations
+    /// included).
+    shard_escalations: Arc<Counter>,
+    /// Quiet-window de-escalations back to specialized hashing.
+    shard_deescalations: Arc<Counter>,
+    /// Keyed-rung seed rotations (a subset of `shard_escalations`).
+    shard_seed_rotations: Arc<Counter>,
+    /// Degradation and escalation events, oldest first.
     events: Arc<EventTrace<ObsEvent>>,
 }
 
@@ -66,6 +74,9 @@ impl Default for ShardObs {
             read_locks: Arc::new(Counter::new()),
             write_locks: Arc::new(Counter::new()),
             shard_degrades: Arc::new(Counter::new()),
+            shard_escalations: Arc::new(Counter::new()),
+            shard_deescalations: Arc::new(Counter::new()),
+            shard_seed_rotations: Arc::new(Counter::new()),
             events: Arc::new(EventTrace::new(SHARD_EVENT_CAPACITY)),
         }
     }
@@ -324,6 +335,27 @@ where
         self.read(i).guard_mode()
     }
 
+    /// The bucket count of shard `i`'s live epoch — a diagnostic for
+    /// harnesses and capacity planning (the adversarial suite uses it to
+    /// craft worst-case key streams with full knowledge of the layout).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.shard_count()`.
+    pub fn shard_bucket_count(&self, i: usize) -> usize {
+        self.read(i).bucket_count()
+    }
+
+    /// The longest live bucket chain in shard `i` — the per-shard twin of
+    /// [`UnorderedMap::max_bucket_len`], and the detector's skew signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.shard_count()`.
+    pub fn shard_max_bucket_len(&self, i: usize) -> usize {
+        self.read(i).max_bucket_len()
+    }
+
     /// How many shards have degraded to fallback-for-all-keys.
     pub fn degraded_shards(&self) -> usize {
         (0..self.shards.len())
@@ -379,6 +411,95 @@ where
                 .events
                 .push(ObsEvent::ShardDegrade { shard: i as u64 });
         }
+    }
+
+    /// Takes one upward escalation rung on shard `i` — see
+    /// [`UnorderedMap::escalate_now`] for the ladder — leaving its
+    /// siblings untouched. The per-shard blast radius that bounds drift
+    /// degradation bounds HashDoS escalation the same way: a flood aimed
+    /// at one shard re-keys that shard only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.shard_count()`.
+    pub fn escalate_shard(&self, i: usize, seeds: &impl SeedSource) {
+        let from = {
+            let mut shard = self.write(i);
+            let from = shard.guard_mode();
+            shard.escalate_now(seeds);
+            from
+        };
+        self.record_escalate(i, from);
+    }
+
+    /// Applies `policy` to each shard's own collision-storm signals,
+    /// escalating the shards whose streaks tripped it. Returns how many
+    /// shards escalated during this call.
+    pub fn maybe_escalate(&self, policy: &AttackPolicy, seeds: &impl SeedSource) -> usize {
+        (0..self.shards.len())
+            .filter(|&i| {
+                let (escalated, from) = {
+                    let mut shard = self.write(i);
+                    let from = shard.guard_mode();
+                    (shard.maybe_escalate(policy, seeds), from)
+                };
+                if escalated {
+                    self.record_escalate(i, from);
+                }
+                escalated
+            })
+            .count()
+    }
+
+    /// Counts one calm observation per shard and de-escalates the shards
+    /// whose quiet streaks satisfied `policy`. Returns how many shards
+    /// re-armed during this call.
+    pub fn maybe_deescalate(&self, policy: &AttackPolicy) -> usize {
+        (0..self.shards.len())
+            .filter(|&i| {
+                let rearmed = self.write(i).maybe_deescalate(policy);
+                if rearmed && sepe_obs::enabled() {
+                    self.obs.shard_deescalations.inc();
+                    self.obs
+                        .events
+                        .push(ObsEvent::ShardDeescalate { shard: i as u64 });
+                }
+                rearmed
+            })
+            .count()
+    }
+
+    /// Counts one escalation of shard `i`; a rung taken *from* the keyed
+    /// mode is a seed rotation and is recorded as such.
+    fn record_escalate(&self, i: usize, from: GuardMode) {
+        if sepe_obs::enabled() {
+            self.obs.shard_escalations.inc();
+            if from == GuardMode::Keyed {
+                self.obs.shard_seed_rotations.inc();
+                self.obs
+                    .events
+                    .push(ObsEvent::SeedRotation { shard: i as u64 });
+            } else {
+                self.obs
+                    .events
+                    .push(ObsEvent::ShardEscalate { shard: i as u64 });
+            }
+        }
+    }
+
+    /// Lifetime count of escalation rungs taken across shards.
+    pub fn shard_escalation_count(&self) -> u64 {
+        self.obs.shard_escalations.get()
+    }
+
+    /// Lifetime count of quiet-window de-escalations across shards.
+    pub fn shard_deescalation_count(&self) -> u64 {
+        self.obs.shard_deescalations.get()
+    }
+
+    /// Lifetime count of keyed-rung seed rotations across shards.
+    pub fn shard_seed_rotation_count(&self) -> u64 {
+        self.obs.shard_seed_rotations.get()
     }
 
     /// Advances in-flight migrations by up to `budget` entries total,
@@ -451,6 +572,17 @@ where
         registry.register_counter("shard_read_locks", &[], self.obs.read_locks.clone())?;
         registry.register_counter("shard_write_locks", &[], self.obs.write_locks.clone())?;
         registry.register_counter("shard_degrades", &[], self.obs.shard_degrades.clone())?;
+        registry.register_counter("shard_escalations", &[], self.obs.shard_escalations.clone())?;
+        registry.register_counter(
+            "shard_deescalations",
+            &[],
+            self.obs.shard_deescalations.clone(),
+        )?;
+        registry.register_counter(
+            "shard_seed_rotations",
+            &[],
+            self.obs.shard_seed_rotations.clone(),
+        )?;
         for i in 0..self.shards.len() {
             let label = i.to_string();
             let labels = [("shard", label.as_str())];
@@ -1012,6 +1144,54 @@ mod tests {
         let mut bogus = ready.into_iter().next().unwrap();
         bogus.tag = 1_000;
         assert!(!m.apply_ready(&bogus));
+    }
+
+    #[test]
+    fn escalation_is_contained_to_the_targeted_shard() {
+        let m = sharded(8);
+        let seeds = sepe_core::hash::keyed::FixedSeedSource::new(0x5E9E);
+        for i in 0..400 {
+            m.insert(ssn(i), i);
+        }
+        let target = m.shard_of(ssn(0).as_bytes());
+        // Climb the whole ladder on one shard: degrade, key, rotate.
+        m.escalate_shard(target, &seeds);
+        m.escalate_shard(target, &seeds);
+        m.escalate_shard(target, &seeds);
+        assert_eq!(m.shard_mode(target), GuardMode::Keyed);
+        for i in 0..m.shard_count() {
+            if i != target {
+                assert_eq!(m.shard_mode(i), GuardMode::Guarded, "sibling {i} flipped");
+            }
+        }
+        if sepe_obs::enabled() {
+            assert_eq!(m.shard_escalation_count(), 3);
+            assert_eq!(m.shard_seed_rotation_count(), 1);
+            let names: Vec<&str> = m.degrade_events().iter().map(ObsEvent::name).collect();
+            assert_eq!(
+                names,
+                vec!["shard_escalate", "shard_escalate", "seed_rotation"]
+            );
+        }
+        // Contents survive; de-escalation restores the specialized hash.
+        m.finish_migrations();
+        for i in 0..400 {
+            assert_eq!(m.get(ssn(i).as_str()), Some(i), "{} lost", ssn(i));
+        }
+        let policy = AttackPolicy {
+            quiet_streak: 2,
+            ..AttackPolicy::default()
+        };
+        assert_eq!(m.maybe_deescalate(&policy), 0, "first calm tick arms only");
+        assert_eq!(m.maybe_deescalate(&policy), 1, "second calm tick re-arms");
+        assert_eq!(m.shard_mode(target), GuardMode::Guarded);
+        m.finish_migrations();
+        for i in 0..400 {
+            assert_eq!(m.get(ssn(i).as_str()), Some(i), "{} lost", ssn(i));
+        }
+        if sepe_obs::enabled() {
+            assert_eq!(m.shard_deescalation_count(), 1);
+        }
     }
 
     #[test]

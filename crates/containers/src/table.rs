@@ -97,6 +97,16 @@ pub(crate) struct TableObs {
     pub(crate) batch_chunks: Arc<Counter>,
     /// Keys that went through those chunks.
     pub(crate) batch_keys: Arc<Counter>,
+    /// Upward rungs taken on the escalation ladder (degrade, keyed,
+    /// rotation all count — every call to `escalate_now` that changed
+    /// routing).
+    pub(crate) escalations: Arc<Counter>,
+    /// Quiet-window de-escalations back to the specialized hasher.
+    pub(crate) deescalations: Arc<Counter>,
+    /// Seed rotations on the keyed rung (a subset of `escalations`).
+    pub(crate) seed_rotations: Arc<Counter>,
+    /// Last sampled probe-length p99, published by the storm detector.
+    pub(crate) probe_tail: Arc<AtomicU64>,
 }
 
 impl Default for TableObs {
@@ -109,6 +119,10 @@ impl Default for TableObs {
             stale_probes: Arc::new(Counter::new()),
             batch_chunks: Arc::new(Counter::new()),
             batch_keys: Arc::new(Counter::new()),
+            escalations: Arc::new(Counter::new()),
+            deescalations: Arc::new(Counter::new()),
+            seed_rotations: Arc::new(Counter::new()),
+            probe_tail: Arc::new(AtomicU64::new(0)),
         }
     }
 }
@@ -143,6 +157,15 @@ impl TableObs {
         registry.register_counter("table_stale_probes", labels, self.stale_probes.clone())?;
         registry.register_counter("table_batch_chunks", labels, self.batch_chunks.clone())?;
         registry.register_counter("table_batch_keys", labels, self.batch_keys.clone())?;
+        registry.register_counter("table_escalations", labels, self.escalations.clone())?;
+        registry.register_counter("table_deescalations", labels, self.deescalations.clone())?;
+        registry.register_counter("table_seed_rotations", labels, self.seed_rotations.clone())?;
+        // The probe tail is a point-in-time sample, not a monotone count:
+        // exported as a gauge reading the latest detector snapshot.
+        let tail = self.probe_tail.clone();
+        registry.export_gauge("table_probe_tail", labels, move || {
+            tail.load(Ordering::Relaxed)
+        })?;
         Ok(())
     }
 }
@@ -769,6 +792,18 @@ where
             at = e.next;
         }
         n
+    }
+
+    /// Length of the longest live bucket chain — the bucket-occupancy
+    /// skew signal of the collision-storm detector. A flood lands its
+    /// crafted keys in the live epoch (they are fresh inserts), so
+    /// ignoring a draining old epoch keeps the signal honest during an
+    /// escalation migration.
+    pub(crate) fn max_bucket_len(&self) -> usize {
+        (0..self.heads.len())
+            .map(|i| self.bucket_len(i))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Σ over buckets of `max(0, bucket_len - 1)` — the bucket-collision

@@ -14,12 +14,13 @@
 //! crosses a threshold.
 
 use crate::bits::load_u64_le;
+use crate::hash::keyed::{siphash13, SeedSource};
 use crate::hash::{ByteHash, SynthError};
 use crate::infer::infer_pattern;
 use crate::pattern::KeyPattern;
 use crate::synth::Family;
 use crate::SynthesizedHash;
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError, TryLockError};
 
 /// One precompiled 8-byte membership check: the conjunction of eight
@@ -318,6 +319,12 @@ pub enum GuardMode {
     Guarded = 0,
     /// Every key uses the tagged fallback (the table has flipped).
     Degraded = 1,
+    /// Every key uses the secret-keyed hash — the HashDoS rung. Unlike
+    /// [`GuardMode::Degraded`], which still evaluates an *unkeyed*
+    /// fallback an adversary with the binary can precompute collisions
+    /// against, this mode is parameterized by a 128-bit seed held only in
+    /// process memory (see [`GuardedHash::escalate_keyed`]).
+    Keyed = 2,
 }
 
 /// Typed outcome of a resynthesis attempt, so callers (and the resynthesis
@@ -393,6 +400,11 @@ impl Reservoir {
 /// hash (the two domains go through different finalizers).
 const OFF_FORMAT_TAG: u64 = 0x0FF0_F0E5_EC7E_D000;
 
+/// Domain-separation tag for the keyed escalation rung, distinct from
+/// [`OFF_FORMAT_TAG`] so keyed hashes live in their own domain even if a
+/// seed were ever (0, 0).
+const KEYED_TAG: u64 = 0x5EED_5EED_5EED_5EED;
+
 /// Murmur3-style finalizer applied to tagged fallback hashes.
 #[inline]
 fn fmix64(mut h: u64) -> u64 {
@@ -454,6 +466,16 @@ pub struct GuardedHash<F, G> {
     /// incremental migration rehashing old entries leaves the observable
     /// drift accounting identical to a stop-the-world rebuild.
     silent: bool,
+    /// The 128-bit key of the [`GuardMode::Keyed`] rung, shared by every
+    /// clone. Stored as two atomics so `&self` rotation works through the
+    /// shared containers; the pair is only ever written under the owning
+    /// container's exclusive access (a shard write lock or `&mut self`),
+    /// so readers cannot observe a torn (half-rotated) pair.
+    seed: Arc<(AtomicU64, AtomicU64)>,
+    /// When set, keyed hashing ignores the shared seed — an epoch-frozen
+    /// copy taken in a keyed epoch must keep reproducing that epoch's
+    /// hashes even after the live seed rotates.
+    forced_seed: Option<(u64, u64)>,
 }
 
 impl<F, G> GuardedHash<F, G> {
@@ -470,6 +492,8 @@ impl<F, G> GuardedHash<F, G> {
             reservoir: Arc::new(Mutex::new(Reservoir::default())),
             forced_mode: None,
             silent: false,
+            seed: Arc::new((AtomicU64::new(0), AtomicU64::new(0))),
+            forced_seed: None,
         }
     }
 
@@ -511,10 +535,10 @@ impl<F, G> GuardedHash<F, G> {
         if let Some(m) = self.forced_mode {
             return m;
         }
-        if self.mode.load(Ordering::Relaxed) == GuardMode::Degraded as u8 {
-            GuardMode::Degraded
-        } else {
-            GuardMode::Guarded
+        match self.mode.load(Ordering::Relaxed) {
+            m if m == GuardMode::Degraded as u8 => GuardMode::Degraded,
+            m if m == GuardMode::Keyed as u8 => GuardMode::Keyed,
+            _ => GuardMode::Guarded,
         }
     }
 
@@ -535,6 +559,9 @@ impl<F, G> GuardedHash<F, G> {
         let mut frozen = self.clone();
         frozen.forced_mode = Some(mode);
         frozen.silent = true;
+        // Pin the seed too: a frozen keyed epoch must survive later
+        // rotations of the live key.
+        frozen.forced_seed = Some(self.current_seed());
         frozen
     }
 
@@ -560,6 +587,11 @@ impl<F, G> GuardedHash<F, G> {
             reservoir: Arc::new(Mutex::new(Reservoir::default())),
             forced_mode: self.forced_mode,
             silent: self.silent,
+            seed: {
+                let (k0, k1) = self.current_seed();
+                Arc::new((AtomicU64::new(k0), AtomicU64::new(k1)))
+            },
+            forced_seed: self.forced_seed,
         }
     }
 
@@ -577,6 +609,80 @@ impl<F, G> GuardedHash<F, G> {
     pub fn degrade(&self) {
         self.mode
             .store(GuardMode::Degraded as u8, Ordering::Relaxed);
+    }
+
+    /// Whether the hasher is on a secret-keyed rung.
+    #[must_use]
+    pub fn is_keyed(&self) -> bool {
+        self.mode() == GuardMode::Keyed
+    }
+
+    /// The seed the keyed rung hashes under (the pinned one for
+    /// epoch-frozen copies). Meaningful only in [`GuardMode::Keyed`]; other
+    /// modes never consult it.
+    #[must_use]
+    pub fn current_seed(&self) -> (u64, u64) {
+        if let Some(s) = self.forced_seed {
+            return s;
+        }
+        // Two relaxed loads: rotation only happens under the owning
+        // container's exclusive access, so the pair is never torn in
+        // practice (see the `seed` field docs).
+        (
+            self.seed.0.load(Ordering::Relaxed),
+            self.seed.1.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Escalates this hasher (and every clone) to the secret-keyed rung
+    /// under a fresh seed from `seeds`.
+    ///
+    /// Like [`GuardedHash::degrade`], this only flips the routing —
+    /// callers owning a container keyed by this hasher must rebuild stored
+    /// hashes afterwards (`UnorderedMap::escalate_now` pairs the flip with
+    /// an incremental migration). Call only with exclusive access to the
+    /// owning container, so no reader observes a torn seed pair.
+    pub fn escalate_keyed(&self, seeds: &impl SeedSource) {
+        let (k0, k1) = seeds.next_seed();
+        self.seed.0.store(k0, Ordering::Relaxed);
+        self.seed.1.store(k1, Ordering::Relaxed);
+        self.mode.store(GuardMode::Keyed as u8, Ordering::Relaxed);
+    }
+
+    /// Rotates the keyed rung's seed in place (mode stays
+    /// [`GuardMode::Keyed`]) — the response to a suspected seed leak. The
+    /// same exclusive-access and rebuild obligations as
+    /// [`GuardedHash::escalate_keyed`] apply.
+    pub fn rotate_seed(&self, seeds: &impl SeedSource) {
+        let (k0, k1) = seeds.next_seed();
+        self.seed.0.store(k0, Ordering::Relaxed);
+        self.seed.1.store(k1, Ordering::Relaxed);
+    }
+
+    /// De-escalates back to [`GuardMode::Guarded`]: the specialized hash
+    /// takes over again, the drift counters reset, and the reservoir is
+    /// cleared.
+    ///
+    /// Clearing the reservoir is deliberate: during an attack it fills
+    /// with the attacker's crafted keys, and resynthesizing a widened
+    /// pattern over those would hand the adversary control of the next
+    /// plan. The quiet window that justifies re-arming also invalidates
+    /// the sample.
+    pub fn rearm(&self) {
+        self.lock_reservoir().clear();
+        self.stats.reset();
+        self.mode.store(GuardMode::Guarded as u8, Ordering::Relaxed);
+    }
+
+    /// The hash of the secret-keyed rung: SipHash-1-3 over the raw key
+    /// bytes under the current seed, tag-separated and finalized like the
+    /// other routing domains. Deliberately *not* layered over the fallback
+    /// hash — collapsing first through an unkeyed function would let
+    /// precomputed fallback collisions survive into the keyed domain.
+    #[inline]
+    fn keyed_hash(&self, key: &[u8]) -> u64 {
+        let (k0, k1) = self.current_seed();
+        fmix64(siphash13(k0, k1, key) ^ KEYED_TAG)
     }
 
     /// Locks the reservoir, recovering from poison: a panic elsewhere
@@ -752,8 +858,10 @@ impl<G> GuardedHash<SynthesizedHash, G> {
 impl<F: ByteHash, G: ByteHash> ByteHash for GuardedHash<F, G> {
     #[inline]
     fn hash_bytes(&self, key: &[u8]) -> u64 {
-        if self.mode() == GuardMode::Degraded {
-            return self.off_format_hash(key);
+        match self.mode() {
+            GuardMode::Degraded => return self.off_format_hash(key),
+            GuardMode::Keyed => return self.keyed_hash(key),
+            GuardMode::Guarded => {}
         }
         if self.guard.matches(key) {
             if !self.silent {
@@ -783,11 +891,20 @@ impl<F: crate::hash::HashBatch, G: ByteHash> crate::hash::HashBatch for GuardedH
     /// exactly the scalar path's.
     fn hash_batch(&self, keys: &[&[u8]], out: &mut [u64]) {
         assert_eq!(keys.len(), out.len(), "batch output length mismatch");
-        if self.mode() == GuardMode::Degraded {
-            for (key, slot) in keys.iter().zip(out.iter_mut()) {
-                *slot = self.off_format_hash(key);
+        match self.mode() {
+            GuardMode::Degraded => {
+                for (key, slot) in keys.iter().zip(out.iter_mut()) {
+                    *slot = self.off_format_hash(key);
+                }
+                return;
             }
-            return;
+            GuardMode::Keyed => {
+                for (key, slot) in keys.iter().zip(out.iter_mut()) {
+                    *slot = self.keyed_hash(key);
+                }
+                return;
+            }
+            GuardMode::Guarded => {}
         }
         let mut verdicts = [false; 8];
         let mut start = 0usize;
@@ -914,7 +1031,8 @@ mod tests {
 
     #[test]
     fn guarded_hash_routes_and_counts() {
-        let pattern = Regex::compile(r"\d{3}-\d{2}-\d{4}").unwrap();
+        let pattern =
+            Regex::compile(r"\d{3}-\d{2}-\d{4}").expect("test regex is valid by construction");
         let inner = SynthesizedHash::from_pattern(&pattern, Family::OffXor);
         let guarded = GuardedHash::new(&pattern, inner.clone(), Stl);
         assert_eq!(
@@ -930,7 +1048,7 @@ mod tests {
 
     #[test]
     fn off_format_domain_is_tagged() {
-        let pattern = Regex::compile(r"\d{11}").unwrap();
+        let pattern = Regex::compile(r"\d{11}").expect("test regex is valid by construction");
         let guarded = GuardedHash::from_pattern(&pattern, Family::Naive, Stl);
         let key = b"hello world"; // same length as the format, off-format bytes
         assert_ne!(guarded.hash_bytes(key), stl_hash_bytes(key, 0));
@@ -938,7 +1056,8 @@ mod tests {
 
     #[test]
     fn degraded_mode_uses_the_fallback_for_everything() {
-        let pattern = Regex::compile(r"\d{3}-\d{2}-\d{4}").unwrap();
+        let pattern =
+            Regex::compile(r"\d{3}-\d{2}-\d{4}").expect("test regex is valid by construction");
         let inner = SynthesizedHash::from_pattern(&pattern, Family::Pext);
         let guarded = GuardedHash::new(&pattern, inner.clone(), Stl);
         let clone = guarded.clone();
@@ -957,7 +1076,7 @@ mod tests {
 
     #[test]
     fn reservoir_samples_off_format_keys() {
-        let pattern = Regex::compile(r"\d{8}").unwrap();
+        let pattern = Regex::compile(r"\d{8}").expect("test regex is valid by construction");
         let guarded = GuardedHash::from_pattern(&pattern, Family::Naive, Stl);
         for i in 0..200u32 {
             let key = format!("drift-{i:04}");
@@ -970,7 +1089,7 @@ mod tests {
 
     #[test]
     fn resynthesis_widens_the_pattern_and_rearms() {
-        let pattern = Regex::compile(r"\d{8}").unwrap();
+        let pattern = Regex::compile(r"\d{8}").expect("test regex is valid by construction");
         let mut guarded = GuardedHash::from_pattern(&pattern, Family::OffXor, Stl);
         for i in 0..50u32 {
             let _ = guarded.hash_bytes(format!("{i:07}x").as_bytes());
@@ -1021,7 +1140,8 @@ mod tests {
     #[test]
     fn guarded_hash_batch_matches_scalar_routing_and_counters() {
         use crate::hash::HashBatch;
-        let pattern = Regex::compile(r"\d{3}-\d{2}-\d{4}").unwrap();
+        let pattern =
+            Regex::compile(r"\d{3}-\d{2}-\d{4}").expect("test regex is valid by construction");
         let inner = SynthesizedHash::from_pattern(&pattern, Family::Pext);
         let batched = GuardedHash::new(&pattern, inner.clone(), Stl);
         let scalar = GuardedHash::new(&pattern, inner, Stl);
@@ -1047,7 +1167,8 @@ mod tests {
     #[test]
     fn degraded_hash_batch_uses_the_fallback_for_everything() {
         use crate::hash::HashBatch;
-        let pattern = Regex::compile(r"\d{3}-\d{2}-\d{4}").unwrap();
+        let pattern =
+            Regex::compile(r"\d{3}-\d{2}-\d{4}").expect("test regex is valid by construction");
         let guarded = GuardedHash::from_pattern(&pattern, Family::OffXor, Stl);
         guarded.degrade();
         let keys: [&[u8]; 2] = [b"123-45-6789", b"off format"];
@@ -1061,7 +1182,7 @@ mod tests {
 
     #[test]
     fn resynthesize_without_drift_is_a_no_op() {
-        let pattern = Regex::compile(r"\d{8}").unwrap();
+        let pattern = Regex::compile(r"\d{8}").expect("test regex is valid by construction");
         let mut guarded = GuardedHash::from_pattern(&pattern, Family::OffXor, Stl);
         let _ = guarded.hash_bytes(b"12345678");
         assert_eq!(guarded.resynthesize(), Resynth::NoDrift);
@@ -1071,7 +1192,7 @@ mod tests {
     fn failed_resynthesis_leaves_mode_stats_and_reservoir_untouched() {
         // Satellite regression: a reservoir whose widened pattern the
         // synthesis function rejects must not half-apply anything.
-        let pattern = Regex::compile(r"\d{8}").unwrap();
+        let pattern = Regex::compile(r"\d{8}").expect("test regex is valid by construction");
         let mut guarded = GuardedHash::from_pattern(&pattern, Family::Pext, Stl);
         for i in 0..50u32 {
             let _ = guarded.hash_bytes(format!("{i:07}x").as_bytes());
@@ -1107,7 +1228,7 @@ mod tests {
 
     #[test]
     fn stale_background_results_are_discarded() {
-        let pattern = Regex::compile(r"\d{8}").unwrap();
+        let pattern = Regex::compile(r"\d{8}").expect("test regex is valid by construction");
         let mut guarded = GuardedHash::from_pattern(&pattern, Family::OffXor, Stl);
         for i in 0..50u32 {
             let _ = guarded.hash_bytes(format!("{i:07}x").as_bytes());
@@ -1136,12 +1257,15 @@ mod tests {
     fn poisoned_reservoir_recovers_instead_of_disabling_sampling() {
         // Satellite regression: after a panic poisons the reservoir mutex,
         // sampling, snapshots and resynthesis must all keep working.
-        let pattern = Regex::compile(r"\d{8}").unwrap();
+        let pattern = Regex::compile(r"\d{8}").expect("test regex is valid by construction");
         let mut guarded = GuardedHash::from_pattern(&pattern, Family::OffXor, Stl);
         let _ = guarded.hash_bytes(b"0000000x"); // one sampled key
         let poisoner = guarded.clone();
         let _ = std::thread::spawn(move || {
-            let _guard = poisoner.reservoir.lock().unwrap();
+            let _guard = poisoner
+                .reservoir
+                .lock()
+                .expect("first lock of a not-yet-poisoned mutex");
             panic!("poison the reservoir");
         })
         .join();
@@ -1159,6 +1283,116 @@ mod tests {
         assert!(guarded.resynth_snapshot().is_some());
         assert_eq!(guarded.resynthesize(), Resynth::Applied);
         assert!(guarded.guard().matches(b"1111111x"));
+    }
+
+    #[test]
+    fn keyed_mode_routes_everything_through_the_secret() {
+        let pattern =
+            Regex::compile(r"\d{3}-\d{2}-\d{4}").expect("test regex is valid by construction");
+        let inner = SynthesizedHash::from_pattern(&pattern, Family::OffXor);
+        let guarded = GuardedHash::new(&pattern, inner.clone(), Stl);
+        let clone = guarded.clone();
+        let seeds = crate::hash::keyed::FixedSeedSource::new(0x5E9E);
+        guarded.escalate_keyed(&seeds);
+        assert!(clone.is_keyed(), "mode is shared across clones");
+        // In-format keys no longer take the specialized route, and the
+        // code is exactly the tagged keyed domain.
+        let (k0, k1) = guarded.current_seed();
+        assert_eq!(
+            clone.hash_bytes(b"123-45-6789"),
+            fmix64(siphash13(k0, k1, b"123-45-6789") ^ KEYED_TAG)
+        );
+        assert_ne!(
+            clone.hash_bytes(b"123-45-6789"),
+            inner.hash_bytes(b"123-45-6789")
+        );
+        // Keyed hashing bumps no drift counters and samples nothing: the
+        // traffic is presumed adversarial, not drifted.
+        let _ = clone.hash_bytes(b"attack key!");
+        assert_eq!(clone.stats().total(), 0);
+        assert!(clone.reservoir_keys().is_empty());
+    }
+
+    #[test]
+    fn keyed_batch_agrees_with_scalar() {
+        use crate::hash::HashBatch;
+        let pattern = Regex::compile(r"\d{8}").expect("test regex is valid by construction");
+        let guarded = GuardedHash::from_pattern(&pattern, Family::Naive, Stl);
+        guarded.escalate_keyed(&crate::hash::keyed::FixedSeedSource::new(9));
+        let keys: Vec<&[u8]> = vec![b"12345678", b"attack!", b"00000000", b"x"];
+        let mut out = vec![0u64; keys.len()];
+        guarded.hash_batch(&keys, &mut out);
+        for (key, code) in keys.iter().zip(&out) {
+            assert_eq!(guarded.hash_bytes(key), *code);
+        }
+    }
+
+    #[test]
+    fn epoch_frozen_pins_the_keyed_seed_across_rotation() {
+        let pattern = Regex::compile(r"\d{8}").expect("test regex is valid by construction");
+        let guarded = GuardedHash::from_pattern(&pattern, Family::OffXor, Stl);
+        let seeds = crate::hash::keyed::FixedSeedSource::new(42);
+        guarded.escalate_keyed(&seeds);
+        let before = guarded.hash_bytes(b"12345678");
+        let frozen = guarded.epoch_frozen(GuardMode::Keyed);
+        guarded.rotate_seed(&seeds);
+        assert_ne!(
+            guarded.hash_bytes(b"12345678"),
+            before,
+            "rotation must change live hashes"
+        );
+        assert_eq!(
+            frozen.hash_bytes(b"12345678"),
+            before,
+            "frozen epoch must reproduce the pre-rotation hashes"
+        );
+    }
+
+    #[test]
+    fn rearm_restores_the_specialized_route() {
+        let pattern =
+            Regex::compile(r"\d{3}-\d{2}-\d{4}").expect("test regex is valid by construction");
+        let inner = SynthesizedHash::from_pattern(&pattern, Family::Pext);
+        let guarded = GuardedHash::new(&pattern, inner.clone(), Stl);
+        let _ = guarded.hash_bytes(b"not an ssn"); // sampled + counted
+        guarded.escalate_keyed(&crate::hash::keyed::FixedSeedSource::new(7));
+        guarded.rearm();
+        assert_eq!(guarded.mode(), GuardMode::Guarded);
+        assert_eq!(
+            guarded.hash_bytes(b"123-45-6789"),
+            inner.hash_bytes(b"123-45-6789")
+        );
+        // Counters reset and the (possibly attacker-filled) sample is gone.
+        assert_eq!(guarded.stats().off_format(), 0);
+        assert!(guarded.reservoir_keys().is_empty());
+    }
+
+    #[test]
+    fn escalation_path_survives_a_poisoned_reservoir() {
+        // Satellite regression: the ladder must work even after a panic
+        // poisons the reservoir mutex — `rearm` clears it through the
+        // recovering lock, and sampling resumes afterwards.
+        let pattern = Regex::compile(r"\d{8}").expect("test regex is valid by construction");
+        let guarded = GuardedHash::from_pattern(&pattern, Family::Naive, Stl);
+        let poisoner = guarded.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner
+                .reservoir
+                .lock()
+                .expect("first lock of a not-yet-poisoned mutex");
+            panic!("poison the reservoir");
+        })
+        .join();
+        assert!(guarded.reservoir.is_poisoned(), "setup: mutex is poisoned");
+        let seeds = crate::hash::keyed::FixedSeedSource::new(3);
+        guarded.escalate_keyed(&seeds);
+        guarded.rotate_seed(&seeds);
+        let keyed = guarded.hash_bytes(b"12345678");
+        assert_eq!(keyed, guarded.hash_bytes(b"12345678"));
+        guarded.rearm();
+        assert_eq!(guarded.mode(), GuardMode::Guarded);
+        let _ = guarded.hash_bytes(b"off format"); // sampling works again
+        assert!(guarded.reservoir_keys().contains(&b"off format".to_vec()));
     }
 
     #[test]
@@ -1223,7 +1457,8 @@ mod tests {
 
     #[test]
     fn detached_copies_share_no_drift_state() {
-        let pattern = Regex::compile(r"\d{3}-\d{2}-\d{4}").unwrap();
+        let pattern =
+            Regex::compile(r"\d{3}-\d{2}-\d{4}").expect("test regex is valid by construction");
         let inner = SynthesizedHash::from_pattern(&pattern, Family::OffXor);
         let original = GuardedHash::new(&pattern, inner.clone(), Stl);
         let detached = original.detached();
@@ -1242,7 +1477,8 @@ mod tests {
 
     #[test]
     fn epoch_frozen_copies_pin_routing_and_stay_silent() {
-        let pattern = Regex::compile(r"\d{3}-\d{2}-\d{4}").unwrap();
+        let pattern =
+            Regex::compile(r"\d{3}-\d{2}-\d{4}").expect("test regex is valid by construction");
         let inner = SynthesizedHash::from_pattern(&pattern, Family::OffXor);
         let live = GuardedHash::new(&pattern, inner.clone(), Stl);
         let frozen_guarded = live.epoch_frozen(GuardMode::Guarded);

@@ -10,10 +10,12 @@
 
 pub mod adapter;
 mod batch;
+pub mod keyed;
 mod stl;
 mod synthesized;
 
 pub use batch::HashBatch;
+pub use keyed::{siphash13, EntropySeedSource, FixedSeedSource, SeedSource};
 pub use stl::{stl_hash_bytes, DEFAULT_STL_SEED};
 pub use synthesized::{SynthError, SynthesizedHash};
 

@@ -12,9 +12,9 @@
 
 use crate::analysis::RunScale;
 use sepe_baselines::CityHash;
-use sepe_containers::{ShardedMap, UnorderedMap};
-use sepe_core::guard::GuardedHash;
-use sepe_core::hash::{ByteHash, HashBatch};
+use sepe_containers::{AttackPolicy, ShardedMap, UnorderedMap};
+use sepe_core::guard::{GuardMode, GuardedHash};
+use sepe_core::hash::{ByteHash, FixedSeedSource, HashBatch};
 use sepe_core::plan_io::Json;
 use sepe_core::regex::Regex;
 use sepe_core::synth::Family;
@@ -517,6 +517,144 @@ pub fn concurrency_records(scale: &RunScale, config: &BenchConfig) -> Vec<Concur
     records
 }
 
+/// One (format, phase) measurement of the HashDoS scenario: churn ns/op
+/// and worst bucket-chain length at three points of the attack timeline —
+/// `benign` (steady state before the flood), `attack` (a brute-forced
+/// collision flood resident, the specialized route still serving), and
+/// `escalated` (the collision-storm detector climbed the ladder to the
+/// keyed hasher and the incremental re-key drained). The `attack` and
+/// `escalated` phases churn over the benign pool *plus* the forged keys,
+/// so their ns/op compare directly: the gap is what the defense buys
+/// back. The keyed-fallback overhead is the `escalated` vs `benign` gap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdversarialRecord {
+    /// Key format name (`ssn`, `ipv4`, …).
+    pub format: String,
+    /// `benign`, `attack`, or `escalated`.
+    pub phase: String,
+    /// Nanoseconds per map operation, median over the sample runs.
+    pub ns_per_op: f64,
+    /// Longest bucket chain at the end of the phase, median over samples.
+    pub max_chain: usize,
+    /// Wall-clock microseconds from the first detector tick under attack
+    /// to the drained keyed table — median over samples, and zero on the
+    /// `benign` and `attack` rows (nothing escalates there).
+    pub escalation_us: f64,
+}
+
+/// Measures the HashDoS scenario for every format in `scale.formats`:
+/// fill, churn at steady state, land a collision flood brute-forced
+/// against the map's own hash with [`sepe_verify::attacker::bucket_flood`]
+/// (the strongest attacker model for the unkeyed rungs), churn under
+/// attack, then let the collision-storm detector escalate to the keyed
+/// hasher and churn once more.
+#[must_use]
+pub fn adversarial_records(scale: &RunScale, config: &BenchConfig) -> Vec<AdversarialRecord> {
+    const FLOOD_KEYS: usize = 64;
+    let policy = AttackPolicy {
+        min_len: 32,
+        trip_streak: 2,
+        quiet_streak: 2,
+        ..AttackPolicy::default()
+    };
+    let mut records = Vec::new();
+    for &format in &scale.formats {
+        let cap = usize::try_from(format.space()).unwrap_or(usize::MAX).max(1);
+        let pool_size = config.pool_size.min(cap).max(1);
+        let mut sampler = KeySampler::new(format, Distribution::Normal, 0xADE5);
+        let keys = sampler.distinct_pool(pool_size);
+        let pattern = Regex::compile(&format.regex()).expect("paper formats compile");
+        let mut phases: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        let mut chains: [Vec<usize>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        let mut esc_us: Vec<f64> = Vec::new();
+        for sample in 0..config.samples.max(1) {
+            let hasher = GuardedHash::from_pattern(&pattern, Family::OffXor, CityHash::new());
+            let mut map: GuardedMap = UnorderedMap::with_hasher(hasher);
+            let mut rng = SplitMix64::new(0xADE5 ^ sample as u64);
+            for (i, key) in keys.iter().enumerate() {
+                map.insert(key.clone(), i as u64);
+            }
+            // Pin the bucket count before forging: the flood collides
+            // modulo the *current* table size, so the attack inserts must
+            // never trigger a resize.
+            map.reserve(FLOOD_KEYS + 16);
+            churn(&mut map, &keys, &mut rng, config.iterations.min(4096));
+            phases[0].push(churn_ns_per_op(
+                &mut map,
+                &keys,
+                &mut rng,
+                config.iterations,
+            ));
+            chains[0].push(map.max_bucket_len());
+
+            let flood: Vec<String> = sepe_verify::attacker::bucket_flood(
+                |k| map.hash_of(k),
+                map.bucket_count() as u64,
+                FLOOD_KEYS,
+                0xADE5 ^ sample as u64,
+            )
+            .into_iter()
+            .map(|k| String::from_utf8(k).expect("forged keys are ascii"))
+            .collect();
+            for (i, key) in flood.iter().enumerate() {
+                map.insert(key.clone(), i as u64);
+            }
+            let mut attacked = keys.clone();
+            attacked.extend(flood.iter().cloned());
+            phases[1].push(churn_ns_per_op(
+                &mut map,
+                &attacked,
+                &mut rng,
+                config.iterations,
+            ));
+            chains[1].push(map.max_bucket_len());
+
+            let seeds = FixedSeedSource::new(0x5EED_0001 ^ sample as u64);
+            let start = Instant::now();
+            let mut ticks = 0usize;
+            while map.guard_mode() != GuardMode::Keyed && ticks < 16 {
+                ticks += 1;
+                if map.maybe_escalate(&policy, &seeds) {
+                    while map.migration_in_flight() {
+                        map.migrate(1024);
+                    }
+                }
+            }
+            esc_us.push(start.elapsed().as_secs_f64() * 1e6);
+            assert_eq!(
+                map.guard_mode(),
+                GuardMode::Keyed,
+                "the flood must force the keyed rung"
+            );
+            phases[2].push(churn_ns_per_op(
+                &mut map,
+                &attacked,
+                &mut rng,
+                config.iterations,
+            ));
+            chains[2].push(map.max_bucket_len());
+        }
+        esc_us.sort_by(f64::total_cmp);
+        let esc_median = esc_us[esc_us.len() / 2];
+        for (i, phase) in ["benign", "attack", "escalated"].iter().enumerate() {
+            phases[i].sort_by(f64::total_cmp);
+            chains[i].sort_unstable();
+            records.push(AdversarialRecord {
+                format: format.name().to_string(),
+                phase: (*phase).to_string(),
+                ns_per_op: phases[i][phases[i].len() / 2],
+                max_chain: chains[i][chains[i].len() / 2],
+                escalation_us: if *phase == "escalated" {
+                    esc_median
+                } else {
+                    0.0
+                },
+            });
+        }
+    }
+    records
+}
+
 /// Deterministic observability counts from a seeded, single-threaded
 /// workload: per format, a guarded map is filled from the key pool,
 /// churned at steady state, degraded (opening one epoch migration),
@@ -558,7 +696,8 @@ pub fn metrics_snapshot(scale: &RunScale, config: &BenchConfig) -> sepe_obs::Sna
 ///
 /// Every section is emitted in a **canonical sort order** — `records` by
 /// (family, format, width), `migration` by (format, phase), `concurrency`
-/// by (format, threads), `resynthesis` by (format, mode), `metrics` in the
+/// by (format, threads), `resynthesis` by (format, mode), `adversarial`
+/// by (format, phase), `metrics` in the
 /// canonical `sepe-metrics/v1` spelling — and object keys
 /// are alphabetical (`BTreeMap`),
 /// so two runs over the same measurements produce byte-identical documents
@@ -571,6 +710,7 @@ pub fn to_json(
     migration: &[MigrationRecord],
     concurrency: &[ConcurrencyRecord],
     resynthesis: &[ResynthRecord],
+    adversarial: &[AdversarialRecord],
     metrics: &sepe_obs::Snapshot,
 ) -> Json {
     let mut records: Vec<&BenchRecord> = records.iter().collect();
@@ -581,6 +721,8 @@ pub fn to_json(
     concurrency.sort_by(|a, b| (&a.format, a.threads).cmp(&(&b.format, b.threads)));
     let mut resynthesis: Vec<&ResynthRecord> = resynthesis.iter().collect();
     resynthesis.sort_by(|a, b| (&a.format, &a.mode).cmp(&(&b.format, &b.mode)));
+    let mut adversarial: Vec<&AdversarialRecord> = adversarial.iter().collect();
+    adversarial.sort_by(|a, b| (&a.format, &a.phase).cmp(&(&b.format, &b.phase)));
     let rows: Vec<Json> = records
         .iter()
         .map(|r| {
@@ -632,6 +774,18 @@ pub fn to_json(
             Json::Obj(obj)
         })
         .collect();
+    let adversarial_rows: Vec<Json> = adversarial
+        .iter()
+        .map(|a| {
+            let mut obj = BTreeMap::new();
+            obj.insert("format".to_string(), Json::Str(a.format.clone()));
+            obj.insert("phase".to_string(), Json::Str(a.phase.clone()));
+            obj.insert("ns_per_op".to_string(), Json::Num(a.ns_per_op));
+            obj.insert("max_chain".to_string(), Json::Num(a.max_chain as f64));
+            obj.insert("escalation_us".to_string(), Json::Num(a.escalation_us));
+            Json::Obj(obj)
+        })
+        .collect();
     let mut doc = BTreeMap::new();
     doc.insert("schema".to_string(), Json::Str("sepe-bench/v1".to_string()));
     doc.insert("date".to_string(), Json::Str(date.to_string()));
@@ -639,6 +793,7 @@ pub fn to_json(
     doc.insert("migration".to_string(), Json::Arr(migration_rows));
     doc.insert("concurrency".to_string(), Json::Arr(concurrency_rows));
     doc.insert("resynthesis".to_string(), Json::Arr(resynthesis_rows));
+    doc.insert("adversarial".to_string(), Json::Arr(adversarial_rows));
     // The snapshot's canonical spelling is itself JSON built from strings
     // and objects only, so it embeds as a subtree without re-encoding.
     doc.insert(
@@ -729,6 +884,13 @@ mod tests {
             p99_ns: 480.0,
             max_ns: 950.0,
         }];
+        let adversarial = vec![AdversarialRecord {
+            format: "ssn".to_string(),
+            phase: "escalated".to_string(),
+            ns_per_op: 90.0,
+            max_chain: 4,
+            escalation_us: 35.0,
+        }];
         let mut metrics = sepe_obs::Snapshot::default();
         metrics.counters.insert("table_drain_ops".to_string(), 64);
         let doc = to_json(
@@ -737,6 +899,7 @@ mod tests {
             &migration,
             &concurrency,
             &resynthesis,
+            &adversarial,
             &metrics,
         );
         let parsed = Json::parse(&doc.to_string()).expect("emitted JSON parses");
@@ -766,6 +929,15 @@ mod tests {
         assert_eq!(resy[0].get("mode").as_str(), Some("supervised"));
         assert_eq!(resy[0].get("format").as_str(), Some("ssn"));
         assert_eq!(resy[0].get("p99_ns").as_u64(), Some(480));
+        let adv = parsed
+            .get("adversarial")
+            .as_arr()
+            .expect("adversarial array");
+        assert_eq!(adv.len(), 1);
+        assert_eq!(adv[0].get("phase").as_str(), Some("escalated"));
+        assert_eq!(adv[0].get("format").as_str(), Some("ssn"));
+        assert_eq!(adv[0].get("max_chain").as_u64(), Some(4));
+        assert_eq!(adv[0].get("escalation_us").as_u64(), Some(35));
         let met = parsed.get("metrics");
         assert_eq!(met.get("schema").as_str(), Some("sepe-metrics/v1"));
         assert_eq!(
@@ -799,6 +971,13 @@ mod tests {
             p99_ns: 20.0,
             max_ns: 30.0,
         };
+        let mka = |phase: &str| AdversarialRecord {
+            format: "ssn".to_string(),
+            phase: phase.to_string(),
+            ns_per_op: 10.0,
+            max_chain: 3,
+            escalation_us: 0.0,
+        };
         let metrics = sepe_obs::Snapshot::default();
         let forward = to_json(
             "2026-01-01",
@@ -806,6 +985,7 @@ mod tests {
             &[],
             &[mkc(1), mkc(2), mkc(8)],
             &[mkr("inline"), mkr("supervised")],
+            &[mka("benign"), mka("attack"), mka("escalated")],
             &metrics,
         );
         let shuffled = to_json(
@@ -814,6 +994,7 @@ mod tests {
             &[],
             &[mkc(8), mkc(1), mkc(2)],
             &[mkr("supervised"), mkr("inline")],
+            &[mka("escalated"), mka("attack"), mka("benign")],
             &metrics,
         );
         assert_eq!(
@@ -875,6 +1056,40 @@ mod tests {
             assert!(row.p99_ns >= row.p50_ns, "{row:?}");
             assert!(row.max_ns >= row.p99_ns, "{row:?}");
         }
+    }
+
+    #[test]
+    fn adversarial_scenario_measures_all_three_phases_per_format() {
+        let scale = tiny_scale();
+        let mut config = BenchConfig::from_scale(&scale);
+        config.iterations = 1024;
+        config.samples = 1;
+        let records = adversarial_records(&scale, &config);
+        assert_eq!(records.len(), scale.formats.len() * 3);
+        for phase in ["benign", "attack", "escalated"] {
+            let row = records
+                .iter()
+                .find(|r| r.phase == phase)
+                .unwrap_or_else(|| panic!("missing phase {phase}"));
+            assert!(row.ns_per_op > 0.0 && row.ns_per_op.is_finite(), "{row:?}");
+        }
+        let benign = records.iter().find(|r| r.phase == "benign").unwrap();
+        let attack = records.iter().find(|r| r.phase == "attack").unwrap();
+        let escalated = records.iter().find(|r| r.phase == "escalated").unwrap();
+        assert!(
+            attack.max_chain >= 64,
+            "the flood must land in one bucket: {attack:?}"
+        );
+        assert!(
+            escalated.max_chain <= (benign.max_chain.max(1) * 4).max(8),
+            "the keyed rung must break the flood apart: {escalated:?}"
+        );
+        assert!(
+            escalated.escalation_us > 0.0,
+            "escalation latency rides on the escalated row: {escalated:?}"
+        );
+        assert_eq!(benign.escalation_us, 0.0, "{benign:?}");
+        assert_eq!(attack.escalation_us, 0.0, "{attack:?}");
     }
 
     #[test]

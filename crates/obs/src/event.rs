@@ -99,6 +99,25 @@ pub enum ObsEvent {
         /// Index of the degraded shard.
         shard: u64,
     },
+    /// A shard's collision-storm detector took an upward rung on the
+    /// HashDoS escalation ladder (degrade or keyed; seed rotations are
+    /// recorded as [`ObsEvent::SeedRotation`]).
+    ShardEscalate {
+        /// Index of the escalated shard.
+        shard: u64,
+    },
+    /// A shard de-escalated back to its specialized hash after a quiet
+    /// window.
+    ShardDeescalate {
+        /// Index of the re-armed shard.
+        shard: u64,
+    },
+    /// A shard rotated the secret seed of its keyed hash (the response to
+    /// a storm persisting on the keyed rung).
+    SeedRotation {
+        /// Index of the rotating shard.
+        shard: u64,
+    },
     /// The resynthesis supervisor recorded a state transition.
     SupervisorTransition {
         /// Tag (shard id) the transition belongs to.
@@ -127,6 +146,9 @@ impl ObsEvent {
             ObsEvent::EpochDrain { .. } => "epoch_drain",
             ObsEvent::EpochFinish => "epoch_finish",
             ObsEvent::ShardDegrade { .. } => "shard_degrade",
+            ObsEvent::ShardEscalate { .. } => "shard_escalate",
+            ObsEvent::ShardDeescalate { .. } => "shard_deescalate",
+            ObsEvent::SeedRotation { .. } => "seed_rotation",
             ObsEvent::SupervisorTransition { .. } => "supervisor_transition",
             ObsEvent::SynthSearch { .. } => "synth_search",
         }
@@ -155,6 +177,9 @@ mod tests {
             ObsEvent::EpochDrain { entries: 2 },
             ObsEvent::EpochFinish,
             ObsEvent::ShardDegrade { shard: 0 },
+            ObsEvent::ShardEscalate { shard: 0 },
+            ObsEvent::ShardDeescalate { shard: 0 },
+            ObsEvent::SeedRotation { shard: 0 },
             ObsEvent::SupervisorTransition {
                 tag: 0,
                 kind: TransitionKind::Enqueued,

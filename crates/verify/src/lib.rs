@@ -38,6 +38,16 @@
 //!   `ShardedMap`: real OS threads over disjoint key partitions against a
 //!   `Mutex<HashMap>` twin, with chaos-mode drift bursts that degrade one
 //!   shard while its siblings keep serving reads;
+//! * [`attacker`] — scripted HashDoS attackers: the linear OffXor
+//!   forgeries promoted from the repository's adversarial tests, plus a
+//!   brute-force bucket-flood generator that works against any
+//!   adversary-computable hash;
+//! * [`adversarial`] — the HashDoS chaos harness: crafted collision
+//!   storms (including a simulated seed leak) against single maps, the
+//!   batched paths, and a concurrently hammered `ShardedMap`, asserting
+//!   bounded chains after escalation, twin agreement throughout, exact
+//!   escalation-counter transcripts, and that benign churn never trips
+//!   the detector;
 //! * [`supervisor`] — chaos and replay checks for the background
 //!   resynthesis supervisor: scripted synthesis faults (hang, panic,
 //!   typed error, invalid plan) against concurrent container traffic,
@@ -49,6 +59,8 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod adversarial;
+pub mod attacker;
 pub mod batch;
 pub mod concurrent;
 pub mod differential;

@@ -24,8 +24,14 @@
 //! supervised chaos run where worker threads hammer a `ShardedMap` while
 //! background synthesis recovers degraded shards; with `--inject-faults`,
 //! the synthesis runner hangs, panics, errors, and returns invalid plans,
-//! and no container op may ever block on it), or `all` (default; faults,
-//! migration, concurrent and supervisor included). `--inject-faults`
+//! and no container op may ever block on it), `adversarial` (the HashDoS
+//! chaos harness: crafted collision storms — including a simulated seed
+//! leak — drive the escalation ladder on single maps, the batched paths,
+//! and a concurrently hammered `ShardedMap`, asserting bounded chains
+//! after escalation, `Mutex<HashMap>`-twin agreement throughout, exact
+//! escalation/rotation/de-escalation counter transcripts, and that
+//! benign churn never escalates), or `all` (default; faults, migration,
+//! concurrent, supervisor and adversarial included). `--inject-faults`
 //! alone is a shorthand for `--suite faults`; combined with an explicit
 //! `--suite` it keeps that suite. Exits non-zero on the first failing
 //! suite.
@@ -38,8 +44,8 @@ use sepe_core::synth::{synthesize, Family};
 use sepe_core::Isa;
 use sepe_keygen::{KeyFormat, SplitMix64};
 use sepe_verify::{
-    batch, concurrent, differential, faults, formats::RandomFormat, invariants, migration, model,
-    supervisor,
+    adversarial, batch, concurrent, differential, faults, formats::RandomFormat, invariants,
+    migration, model, supervisor,
 };
 
 struct Options {
@@ -90,7 +96,7 @@ fn parse_args() -> Result<Options, String> {
                 println!(
                     "usage: sepe-verify [--formats N] [--keys N] [--ops N] [--seed S] \
                      [--suite differential|batch|invariants|model|faults|migration|\
-                     concurrent|supervisor|all] [--inject-faults]"
+                     concurrent|supervisor|adversarial|all] [--inject-faults]"
                 );
                 std::process::exit(0);
             }
@@ -573,6 +579,108 @@ fn run_supervisor(opts: &Options) -> Result<String, String> {
     ))
 }
 
+fn run_adversarial(opts: &Options) -> Result<String, String> {
+    let mut rng = SplitMix64::new(opts.seed ^ 0xADE);
+    let mut stats = adversarial::AdversarialStats::default();
+    let mut ladders = 0usize;
+
+    // The full ladder — storm, keyed re-hash, seed leak, rotation, quiet
+    // re-arm — over the paper formats, families rotated so each seed in a
+    // matrix exercises a different specialized plan.
+    for (i, format) in [KeyFormat::Ssn, KeyFormat::Ipv4, KeyFormat::Uuid]
+        .into_iter()
+        .enumerate()
+    {
+        let pattern = Regex::compile(&format.regex()).expect("compiles");
+        let pool = sample_pattern_keys(&pattern, &mut rng, opts.keys.max(48) * 4);
+        let family = Family::ALL[(i + opts.seed as usize) % Family::ALL.len()];
+        let s = adversarial::check_escalation_ladder(
+            &pattern,
+            family,
+            CityHash::new(),
+            &pool,
+            opts.seed ^ (i as u64) << 8,
+        )
+        .map_err(|e| format!("{} {family}: {e}", format.name()))?;
+        stats.absorb(s);
+        ladders += 1;
+    }
+
+    // Hysteresis: benign churn over paper and random keygen formats with
+    // the production policy must never escalate.
+    let mut calm_ticks = 0u64;
+    for format in [KeyFormat::Ssn, KeyFormat::Ipv4, KeyFormat::Uuid] {
+        let pattern = Regex::compile(&format.regex()).expect("compiles");
+        let pool = sample_pattern_keys(&pattern, &mut rng, opts.keys.max(40) * 5);
+        calm_ticks += adversarial::check_benign_stays_specialized(
+            &pattern,
+            Family::Pext,
+            CityHash::new(),
+            &pool,
+            opts.seed,
+        )
+        .map_err(|e| format!("{} (benign): {e}", format.name()))?;
+    }
+    for i in 0..(opts.formats / 10).max(3) {
+        let rf = RandomFormat::generate(&mut rng);
+        let pattern = rf.pattern();
+        let pool = rf.sample_keys(&mut rng, 160);
+        let family = Family::ALL[i % Family::ALL.len()];
+        calm_ticks += adversarial::check_benign_stays_specialized(
+            &pattern,
+            family,
+            CityHash::new(),
+            &pool,
+            opts.seed ^ (i as u64),
+        )
+        .map_err(|e| format!("random format {i} {family} (benign): {e}"))?;
+    }
+
+    // Batched paths under flood, including mid-migration batches.
+    let mut batched_ops = 0u64;
+    for (format, family) in [
+        (KeyFormat::Ipv4, Family::OffXor),
+        (KeyFormat::Ssn, Family::Pext),
+    ] {
+        let pattern = Regex::compile(&format.regex()).expect("compiles");
+        let pool = sample_pattern_keys(&pattern, &mut rng, opts.keys.max(48) * 3);
+        batched_ops +=
+            adversarial::check_batched_attack(&pattern, family, CityHash::new(), &pool, opts.seed)
+                .map_err(|e| format!("{} {family} (batched): {e}", format.name()))?;
+    }
+
+    // The concurrent integration check: one shard flooded while worker
+    // threads churn the rest against a Mutex<HashMap> twin.
+    let pattern = Regex::compile(&KeyFormat::Ipv4.regex()).expect("compiles");
+    let pool = sample_pattern_keys(&pattern, &mut rng, opts.keys.max(48) * 6);
+    let s = adversarial::check_sharded_attack(
+        &pattern,
+        Family::OffXor,
+        CityHash::new(),
+        &pool,
+        adversarial::ShardedAttackRun {
+            threads: 3,
+            ops_per_thread: (opts.ops / 2).max(500),
+            seed: opts.seed,
+        },
+    )
+    .map_err(|e| format!("ipv4 OffXor (sharded): {e}"))?;
+    stats.absorb(s);
+
+    Ok(format!(
+        "{ladders} full ladders + 1 sharded attack ({} ops, {} escalations, {} seed \
+         rotations, {} de-escalations, {} twin checkpoints, {} worker threads), \
+         {calm_ticks} benign detector ticks without an escalation, {batched_ops} batched \
+         ops under flood — chains stayed bounded and every counter matched the transcript",
+        stats.ops,
+        stats.escalations,
+        stats.rotations,
+        stats.deescalations,
+        stats.checkpoints,
+        stats.threads
+    ))
+}
+
 fn main() {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -591,6 +699,7 @@ fn main() {
         "migration" => vec![("migration", run_migration)],
         "concurrent" => vec![("concurrent", run_concurrent)],
         "supervisor" => vec![("supervisor", run_supervisor)],
+        "adversarial" => vec![("adversarial", run_adversarial)],
         "all" => vec![
             ("differential", run_differential),
             ("batch", run_batch),
@@ -600,6 +709,7 @@ fn main() {
             ("migration", run_migration),
             ("concurrent", run_concurrent),
             ("supervisor", run_supervisor),
+            ("adversarial", run_adversarial),
         ],
         other => {
             eprintln!("sepe-verify: unknown suite {other}");

@@ -11,7 +11,10 @@
 //! * [`keygen`] — the eight key formats and three distributions of the
 //!   evaluation;
 //! * [`stats`] — the statistics behind the paper's tables;
-//! * [`driver`] — the experiment driver reproducing the evaluation grid.
+//! * [`driver`] — the experiment driver reproducing the evaluation grid;
+//! * [`verify`] — the differential-correctness and chaos harness,
+//!   including the scripted HashDoS attackers of
+//!   [`verify::attacker`](sepe_verify::attacker).
 //!
 //! ## Quick start
 //!
@@ -32,3 +35,4 @@ pub use sepe_core as core;
 pub use sepe_driver as driver;
 pub use sepe_keygen as keygen;
 pub use sepe_stats as stats;
+pub use sepe_verify as verify;

@@ -3,28 +3,17 @@
 //!
 //! The xor-combining families are *linear*: flipping the same bit in two
 //! bytes that land at the same position of two different loads cancels
-//! exactly. These tests construct such collisions deterministically, and
-//! show the general-purpose baselines resist the same manipulation.
+//! exactly. The forged keys themselves are built by
+//! [`sepe::verify::attacker`] (shared with the `sepe-verify` adversarial
+//! chaos suite, which drives the escalation-ladder *defense* against
+//! them); these tests pin the plan shapes the forgeries assume and show
+//! the general-purpose baselines resist the same manipulation.
 
 use sepe::baselines::{CityHash, StlHash};
 use sepe::core::hash::{ByteHash, SynthesizedHash};
 use sepe::core::synth::{Family, Plan};
 use sepe::keygen::KeyFormat;
-
-/// Builds a pair of distinct 15-byte keys that collide under the IPv4
-/// OffXor plan (loads at offsets 0 and 7, the second rotated left by 4 for
-/// being clamped): the rotation stops *in-format* differences from
-/// cancelling, but the combination stays linear over GF(2), so an adversary
-/// free to flip arbitrary bits simply pre-rotates the second flip — bit 4
-/// of byte `i` (lane `i` of load 0) cancels against bit 0 of byte `i + 8`
-/// (lane `i + 1` of load 1, rotated onto the same position).
-fn forged_ipv4_pair() -> (Vec<u8>, Vec<u8>) {
-    let base = b"000.000.000.000".to_vec();
-    let mut forged = base.clone();
-    forged[1] ^= 0x10; // '0' -> ' ' — bit 12 of load 0
-    forged[8] ^= 0x01; // '0' -> '1' — bit 8 of load 1, bit 12 after rotation
-    (base, forged)
-}
+use sepe::verify::attacker::{forged_ipv4_pair, offxor_flood_keys};
 
 #[test]
 fn offxor_collides_on_the_forged_pair() {
@@ -93,26 +82,7 @@ fn forged_keys_flood_one_bucket() {
     use sepe::containers::UnorderedMap;
     let hash = SynthesizedHash::from_regex(&KeyFormat::Ipv4.regex(), Family::OffXor)
         .expect("ipv4 regex compiles");
-    let mut keys: Vec<Vec<u8>> = Vec::new();
-    let base = b"000.000.000.000".to_vec();
-    // Flip rotation-compensated bit pairs across bytes 1..=6 in all
-    // combinations: bit 4 of byte `p` cancels bit 0 of byte `p + 7` once
-    // the clamped load's rotation is accounted for (byte 7 sits in *both*
-    // overlapping loads, so byte 0's pair — which lands there — is
-    // unusable).
-    for mask in 0..64u32 {
-        let mut k = base.clone();
-        for bit in 0..6 {
-            if (mask >> bit) & 1 == 1 {
-                let p = bit + 1;
-                k[p] ^= 0x10;
-                k[p + 7] ^= 0x01;
-            }
-        }
-        keys.push(k);
-    }
-    keys.sort();
-    keys.dedup();
+    let keys = offxor_flood_keys();
     assert_eq!(keys.len(), 64);
 
     let h0 = hash.hash_bytes(&keys[0]);
