@@ -775,7 +775,7 @@ pub struct SynthBundle {
 /// it catches truncation, bit rot and hand-edits, not a deliberate forger
 /// (who could regenerate it; the semantic validation is what stops a
 /// hostile plan).
-fn fnv1a64(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         h ^= u64::from(b);

@@ -360,16 +360,37 @@ pub fn default_runner() -> SynthRunner {
 /// time to plan) into `trace` when instrumentation is compiled in.
 #[must_use]
 pub fn default_runner_with_trace(trace: Option<Arc<EventTrace<ObsEvent>>>) -> SynthRunner {
+    runner_with_trace(trace, 1)
+}
+
+/// The production runner over the scoped-thread candidate search:
+/// identical plans to [`default_runner`] (the search winner is selected
+/// under a schedule-independent total order), with cost evaluation spread
+/// across up to `jobs` workers. `jobs` of 0 or 1 is the sequential path.
+#[must_use]
+pub fn parallel_runner(jobs: usize) -> SynthRunner {
+    runner_with_trace(None, jobs)
+}
+
+/// [`parallel_runner`] recording an [`ObsEvent::SynthSearch`] per
+/// successful synthesis into `trace` when instrumentation is compiled in.
+#[must_use]
+pub fn runner_with_trace(trace: Option<Arc<EventTrace<ObsEvent>>>, jobs: usize) -> SynthRunner {
     Arc::new(move |req, token| {
         let t0 = std::time::Instant::now();
-        let (plan, stats) =
-            crate::synth::synthesize_with_stats_cancel(&req.widened, req.family, token)?;
+        let (plan, stats) = crate::synth::synthesize_parallel_with_stats_cancel(
+            &req.widened,
+            req.family,
+            jobs,
+            token,
+        )?;
         crate::plan_io::validate_plan(&plan)?;
         if sepe_obs::enabled() {
             if let Some(trace) = &trace {
                 trace.push(ObsEvent::SynthSearch {
                     nodes_expanded: stats.nodes_expanded,
                     candidates_rejected: stats.candidates_rejected,
+                    candidates_considered: stats.candidates_considered,
                     time_to_plan_ms: t0.elapsed().as_millis() as u64,
                 });
             }
@@ -565,6 +586,9 @@ pub struct ResynthSupervisor {
     transitions: Arc<TransitionCounters>,
     /// Synthesis search telemetry recorded by the production runner.
     search_trace: Arc<EventTrace<ObsEvent>>,
+    /// Memoized plans: a hit on enqueue-start satisfies the attempt
+    /// without spawning a worker or re-running the search.
+    cache: Option<Arc<crate::cache::PlanCache>>,
 }
 
 /// One saturating counter per [`TransitionKind`].
@@ -617,7 +641,35 @@ impl ResynthSupervisor {
             transcript: Arc::new(EventTrace::new(TRANSCRIPT_CAPACITY)),
             transitions: Arc::new(TransitionCounters::default()),
             search_trace: Arc::new(EventTrace::new(SEARCH_TRACE_CAPACITY)),
+            cache: None,
         }
+    }
+
+    /// A supervisor with the production runner spread over `jobs` search
+    /// workers and a shared [`crate::cache::PlanCache`]. Plans are
+    /// bit-identical to [`ResynthSupervisor::new`]'s at any `jobs` value.
+    #[must_use]
+    pub fn new_parallel(
+        config: SupervisorConfig,
+        clock: Arc<dyn Clock>,
+        jobs: usize,
+        cache: Option<Arc<crate::cache::PlanCache>>,
+    ) -> Self {
+        let search_trace = Arc::new(EventTrace::new(SEARCH_TRACE_CAPACITY));
+        let runner = runner_with_trace(Some(search_trace.clone()), jobs);
+        let mut sup = ResynthSupervisor::with_runner(config, clock, runner, ExecMode::Thread);
+        sup.search_trace = search_trace;
+        sup.cache = cache;
+        sup
+    }
+
+    /// Attaches a plan cache: attempts whose `(pattern, family)` is
+    /// already memoized succeed at start without spawning a worker, and
+    /// every successful synthesis populates the cache.
+    #[must_use]
+    pub fn cached(mut self, cache: Arc<crate::cache::PlanCache>) -> Self {
+        self.cache = Some(cache);
+        self
     }
 
     /// The configuration in effect.
@@ -801,6 +853,35 @@ impl ResynthSupervisor {
             state.job = JobState::Idle;
             return;
         };
+        // A memoized plan satisfies the attempt synchronously: record the
+        // same Started → Succeeded transitions a worker would produce, but
+        // never spawn one and never re-run the search.
+        if let Some(plan) = self
+            .cache
+            .as_ref()
+            .and_then(|c| c.lookup(&request.widened, request.family))
+        {
+            let hash =
+                SynthesizedHash::new(plan, request.family, request.isa).with_seed(request.seed);
+            self.record(tag, Transition::Started(attempt));
+            self.record(tag, Transition::Succeeded(attempt));
+            let state = self.tags.get_mut(&tag).expect("tag state exists");
+            let request = state.request.take().expect("pending job has a request");
+            state.job = JobState::Idle;
+            let was_half_open = state.breaker == Breaker::HalfOpen;
+            state.breaker = Breaker::Closed { failures: 0 };
+            if was_half_open {
+                self.record(tag, Transition::BreakerClosed);
+            }
+            self.ready.push(ReadyPlan {
+                tag,
+                hash,
+                widened: request.widened,
+                snapshot_generation: request.snapshot_generation,
+                attempts: attempt,
+            });
+            return;
+        }
         let deadline_ms = now.saturating_add(self.config.deadline_ms);
         let token = CancelToken::with_deadline(Arc::clone(&self.clock), deadline_ms);
         self.record(tag, Transition::Started(attempt));
@@ -856,6 +937,9 @@ impl ResynthSupervisor {
                 let state = self.tags.get_mut(&tag).expect("tag state exists");
                 let request = state.request.take().expect("running job has a request");
                 state.job = JobState::Idle;
+                if let Some(cache) = &self.cache {
+                    cache.insert(&request.widened, request.family, hash.plan().clone());
+                }
                 let was_half_open = state.breaker == Breaker::HalfOpen;
                 state.breaker = Breaker::Closed { failures: 0 };
                 if was_half_open {
@@ -1306,5 +1390,126 @@ mod tests {
         clone.cancel();
         assert_eq!(token.check(), Err(SynthCancelled));
         assert!(token.is_cancelled());
+    }
+
+    /// Patterns a seed-derived drift schedule picks from.
+    const REPLAY_PATTERNS: &[&str] = &[
+        r"[0-9]{3}-[0-9]{2}-[0-9]{4}",
+        r"[0-9]{20}",
+        r"[a-z]{16}",
+        r"[A-Z]{2}[0-9]{10}",
+    ];
+
+    fn seeded_request(seed: u64, i: u64) -> SynthRequest {
+        let pick = ((seed >> (8 * i)) as usize) % REPLAY_PATTERNS.len();
+        let family = Family::ALL[((seed >> (8 * i + 4)) as usize) % Family::ALL.len()];
+        SynthRequest {
+            tag: i,
+            widened: Regex::compile(REPLAY_PATTERNS[pick]).expect("pattern"),
+            family,
+            isa: Isa::Portable,
+            seed,
+            snapshot_generation: 0,
+        }
+    }
+
+    #[test]
+    fn parallel_synthesis_transcripts_replay_identically_across_seeds() {
+        // Under MockClock + inline pumping, a supervisor running the
+        // parallel search must replay byte-identically — and produce the
+        // same ready plans as the sequential production runner.
+        for seed in [0x5E9Eu64, 0xC4A05, 0xD1F7] {
+            let run_once = |runner: SynthRunner| {
+                let (mut s, clock) = sup(runner, SupervisorConfig::default());
+                for i in 0..4 {
+                    s.enqueue(seeded_request(seed, i));
+                    s.pump();
+                    clock.advance(1);
+                }
+                let plans: Vec<String> = s
+                    .take_ready()
+                    .iter()
+                    .map(|r| crate::plan_io::plan_to_string(r.hash.plan()))
+                    .collect();
+                (s.transcript(), plans)
+            };
+            let (t1, p1) = run_once(parallel_runner(4));
+            let (t2, p2) = run_once(parallel_runner(4));
+            let (t3, p3) = run_once(default_runner());
+            assert_eq!(t1, t2, "seed {seed:#x}: parallel replay");
+            assert_eq!(p1, p2, "seed {seed:#x}: parallel plans replay");
+            assert_eq!(t1, t3, "seed {seed:#x}: parallel vs sequential transcript");
+            assert_eq!(p1, p3, "seed {seed:#x}: parallel vs sequential plans");
+            assert_eq!(p1.len(), 4, "seed {seed:#x}: all four tags resynthesized");
+        }
+    }
+
+    #[test]
+    fn cache_hit_applies_without_spawning_a_worker() {
+        // Regression: a memoized plan must satisfy Pending → Running →
+        // Applied synchronously. The runner panics if ever invoked, and we
+        // run in Thread mode — any spawn would record a Panicked
+        // transition.
+        let cache = Arc::new(crate::cache::PlanCache::new(8));
+        let req = request(9);
+        cache.insert(
+            &req.widened,
+            req.family,
+            crate::synth::synthesize(&req.widened, req.family),
+        );
+        let clock = Arc::new(MockClock::new());
+        let runner: SynthRunner = Arc::new(|_, _| panic!("cache hit must not spawn a worker"));
+        let mut s = ResynthSupervisor::with_runner(
+            SupervisorConfig::default(),
+            clock as Arc<dyn Clock>,
+            runner,
+            ExecMode::Thread,
+        )
+        .cached(cache.clone());
+        assert_eq!(s.enqueue(req), Enqueue::Accepted);
+        s.pump();
+        let ready = s.take_ready();
+        assert_eq!(ready.len(), 1);
+        assert_eq!(ready[0].attempts, 1);
+        assert_eq!(
+            kinds(&s),
+            vec![
+                Transition::Enqueued,
+                Transition::Started(1),
+                Transition::Succeeded(1)
+            ]
+        );
+        assert_eq!(s.transition_count(TransitionKind::Panicked), 0);
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn successful_synthesis_populates_the_cache_for_the_next_drift() {
+        let cache = Arc::new(crate::cache::PlanCache::new(8));
+        let clock = Arc::new(MockClock::new());
+        let mut s = ResynthSupervisor::with_runner(
+            SupervisorConfig::default(),
+            clock as Arc<dyn Clock>,
+            default_runner(),
+            ExecMode::Inline,
+        )
+        .cached(cache.clone());
+        s.enqueue(request(5));
+        s.pump();
+        let first = s.take_ready();
+        assert_eq!(first.len(), 1);
+        assert_eq!(cache.insertions(), 1);
+        assert_eq!(cache.hits(), 0);
+        // Second drift on the same format: served from the cache.
+        s.enqueue(request(5));
+        s.pump();
+        let second = s.take_ready();
+        assert_eq!(second.len(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.insertions(), 1, "a hit is not re-inserted");
+        assert_eq!(
+            crate::plan_io::plan_to_string(first[0].hash.plan()),
+            crate::plan_io::plan_to_string(second[0].hash.plan()),
+        );
     }
 }

@@ -52,7 +52,12 @@
 //!   resynthesis supervisor: scripted synthesis faults (hang, panic,
 //!   typed error, invalid plan) against concurrent container traffic,
 //!   breaker discipline audits, and mock-clock transcript replay
-//!   equality.
+//!   equality;
+//! * [`synthesis`] — the search-equivalence suite: the parallel
+//!   candidate search must produce byte-identical plans (and identical
+//!   deterministic search statistics) to the sequential search at every
+//!   thread count, a cancelled mid-flight search must leave no poisoned
+//!   state, and a `PlanCache` hit must equal a fresh search.
 //!
 //! [`Plan`]: sepe_core::synth::Plan
 
@@ -71,3 +76,4 @@ pub mod invariants;
 pub mod migration;
 pub mod model;
 pub mod supervisor;
+pub mod synthesis;

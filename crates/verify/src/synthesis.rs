@@ -1,0 +1,250 @@
+//! Search-equivalence checks for the parallel synthesis search.
+//!
+//! The tentpole claim of the parallel search is *determinism*: because the
+//! winning candidate is selected under the `(cost, index)` total order,
+//! the plan is a pure function of the pattern and family — never of the
+//! thread count or the schedule. This module checks that claim the blunt
+//! way: run the sequential search, run the parallel search at several
+//! thread counts, and require byte-identical serialized plans plus
+//! identical deterministic search statistics. It also checks that a
+//! search cancelled mid-flight leaves no poisoned state (the next search
+//! over the same pattern still wins with the exact sequential plan), and
+//! that a [`PlanCache`] hit is indistinguishable from a fresh search.
+
+use sepe_core::cache::PlanCache;
+use sepe_core::pattern::KeyPattern;
+use sepe_core::plan_io::plan_to_string;
+use sepe_core::supervisor::CancelToken;
+use sepe_core::synth::{
+    synthesize, synthesize_parallel_with_cancel, synthesize_parallel_with_stats,
+    synthesize_with_stats, Family,
+};
+use sepe_core::SynthError;
+
+/// Thread counts the equivalence sweep runs at when the caller does not
+/// pin one with `--jobs`.
+pub const DEFAULT_JOBS: &[usize] = &[1, 2, 4, 8];
+
+/// Runs the sequential search once and the parallel search at every
+/// thread count in `jobs_list`, for every family, over one pattern.
+/// Returns the number of (family × jobs) plan comparisons performed.
+///
+/// # Errors
+///
+/// Describes the first divergence: a plan whose serialized bytes differ
+/// from the sequential search's, or a deterministic statistic
+/// (`candidates_considered`, `nodes_expanded`, `candidates_rejected`,
+/// `work_units`) that depends on the schedule.
+pub fn check_search_equivalence(
+    name: &str,
+    pattern: &KeyPattern,
+    jobs_list: &[usize],
+) -> Result<usize, String> {
+    let mut compared = 0usize;
+    for family in Family::ALL {
+        let (seq_plan, seq_stats) = synthesize_with_stats(pattern, family);
+        let seq_bytes = plan_to_string(&seq_plan);
+        for &jobs in jobs_list {
+            let (par_plan, par_stats) = synthesize_parallel_with_stats(pattern, family, jobs);
+            let par_bytes = plan_to_string(&par_plan);
+            if par_bytes != seq_bytes {
+                return Err(format!(
+                    "{name} {family} jobs={jobs}: parallel plan diverged from sequential\n\
+                     sequential: {seq_bytes}\n\
+                     parallel:   {par_bytes}"
+                ));
+            }
+            for (stat, seq, par) in [
+                (
+                    "candidates_considered",
+                    seq_stats.candidates_considered,
+                    par_stats.candidates_considered,
+                ),
+                (
+                    "nodes_expanded",
+                    seq_stats.nodes_expanded,
+                    par_stats.nodes_expanded,
+                ),
+                (
+                    "candidates_rejected",
+                    seq_stats.candidates_rejected,
+                    par_stats.candidates_rejected,
+                ),
+                ("work_units", seq_stats.work_units, par_stats.work_units),
+            ] {
+                if seq != par {
+                    return Err(format!(
+                        "{name} {family} jobs={jobs}: {stat} diverged \
+                         (sequential {seq}, parallel {par})"
+                    ));
+                }
+            }
+            compared += 1;
+        }
+    }
+    Ok(compared)
+}
+
+/// Cancels parallel searches both before entry and from a racing thread
+/// mid-flight, then requires a fresh search over the same pattern to
+/// still produce the exact sequential plan — an aborted search must
+/// leave no poisoned state behind. Returns the number of cancelled (or
+/// raced) runs.
+///
+/// # Errors
+///
+/// Reports a pre-cancelled search that did not return
+/// [`SynthError::Cancelled`], a raced search that returned any error
+/// other than `Cancelled`, or a post-abort search whose plan diverged.
+pub fn check_cancel_no_poison(
+    name: &str,
+    pattern: &KeyPattern,
+    jobs: usize,
+) -> Result<usize, String> {
+    let mut aborted = 0usize;
+    for family in Family::ALL {
+        let expected = plan_to_string(&synthesize(pattern, family));
+
+        // Cancellation observed at entry: typed error, nothing else.
+        let token = CancelToken::unbounded();
+        token.cancel();
+        match synthesize_parallel_with_cancel(pattern, family, jobs, &token) {
+            Err(SynthError::Cancelled) => aborted += 1,
+            Ok(_) => {
+                return Err(format!(
+                    "{name} {family}: pre-cancelled search returned a plan"
+                ))
+            }
+            Err(e) => {
+                return Err(format!(
+                    "{name} {family}: pre-cancelled search returned {e} instead of Cancelled"
+                ))
+            }
+        }
+
+        // A racing cancel: the search either finishes first (and must
+        // match the sequential plan) or observes the cancel (and must
+        // report it as the typed error). Either way the *next* search
+        // must be pristine.
+        let token = CancelToken::unbounded();
+        let racer = {
+            let token = token.clone();
+            std::thread::spawn(move || token.cancel())
+        };
+        let raced = synthesize_parallel_with_cancel(pattern, family, jobs, &token);
+        racer.join().map_err(|_| "cancel racer panicked")?;
+        match raced {
+            Ok(plan) => {
+                if plan_to_string(&plan) != expected {
+                    return Err(format!(
+                        "{name} {family}: race-completed plan diverged from sequential"
+                    ));
+                }
+            }
+            Err(SynthError::Cancelled) => aborted += 1,
+            Err(e) => {
+                return Err(format!(
+                    "{name} {family}: raced search failed with {e} instead of Cancelled"
+                ))
+            }
+        }
+
+        // No poisoned state: a fresh search still wins with the exact
+        // sequential plan and a fresh token.
+        let token = CancelToken::unbounded();
+        let fresh = synthesize_parallel_with_cancel(pattern, family, jobs, &token)
+            .map_err(|e| format!("{name} {family}: post-abort search failed: {e}"))?;
+        if plan_to_string(&fresh) != expected {
+            return Err(format!(
+                "{name} {family}: post-abort search diverged from sequential"
+            ));
+        }
+    }
+    Ok(aborted)
+}
+
+/// Feeds a pattern through a [`PlanCache`] and requires the memoized
+/// plan to serialize identically to a fresh sequential search, with the
+/// hit/miss counters advancing exactly as the probe sequence dictates.
+/// Returns the number of verified cache hits.
+///
+/// # Errors
+///
+/// Reports an unexpected cold-cache hit, a memoized plan that diverged
+/// from a fresh search, or counters that disagree with the probe
+/// sequence.
+pub fn check_cache_equivalence(
+    name: &str,
+    pattern: &KeyPattern,
+    cache: &PlanCache,
+) -> Result<usize, String> {
+    let mut hits = 0usize;
+    for family in Family::ALL {
+        let fresh = synthesize(pattern, family);
+        if let Some(stale) = cache.lookup(pattern, family) {
+            // A prior pattern with the same fingerprint would be a
+            // fingerprint collision — surface it instead of masking it.
+            if plan_to_string(&stale) != plan_to_string(&fresh) {
+                return Err(format!(
+                    "{name} {family}: cold lookup returned a different pattern's plan \
+                     (fingerprint collision?)"
+                ));
+            }
+            continue;
+        }
+        cache.insert(pattern, family, fresh.clone());
+        let Some(memoized) = cache.lookup(pattern, family) else {
+            return Err(format!("{name} {family}: plan vanished after insert"));
+        };
+        if plan_to_string(&memoized) != plan_to_string(&fresh) {
+            return Err(format!(
+                "{name} {family}: memoized plan diverged from a fresh search\n\
+                 fresh:    {}\n\
+                 memoized: {}",
+                plan_to_string(&fresh),
+                plan_to_string(&memoized)
+            ));
+        }
+        hits += 1;
+    }
+    Ok(hits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sepe_core::regex::Regex;
+
+    fn pattern(re: &str) -> KeyPattern {
+        Regex::compile(re).expect("test regex compiles")
+    }
+
+    #[test]
+    fn equivalence_holds_for_the_ssn_pattern() {
+        let p = pattern(r"[0-9]{3}-[0-9]{2}-[0-9]{4}");
+        let compared =
+            check_search_equivalence("ssn", &p, DEFAULT_JOBS).expect("equivalence holds");
+        assert_eq!(compared, Family::ALL.len() * DEFAULT_JOBS.len());
+    }
+
+    #[test]
+    fn cancel_checks_pass_for_a_deep_pattern() {
+        let p = pattern(r"[0-9]{100}");
+        let aborted = check_cancel_no_poison("ints", &p, 4).expect("no poisoned state");
+        // The pre-cancelled run always aborts; the raced one may or may
+        // not, so the floor is one abort per family.
+        assert!(aborted >= Family::ALL.len());
+    }
+
+    #[test]
+    fn cache_round_trip_matches_fresh_search() {
+        let cache = PlanCache::new(16);
+        let p = pattern(r"[0-9]{20}");
+        let hits = check_cache_equivalence("ints20", &p, &cache).expect("cache agrees");
+        assert_eq!(hits, Family::ALL.len());
+        // A second pass over the same pattern hits the memoized entries.
+        let rehits = check_cache_equivalence("ints20", &p, &cache).expect("cache still agrees");
+        assert_eq!(rehits, 0, "already memoized");
+        assert!(cache.hits() >= Family::ALL.len() as u64);
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests for the parallel candidate search and the plan
+//! cache: over seeded random formats, the parallel search must return the
+//! exact bytes (and the exact deterministic statistics) of the sequential
+//! search at any thread count, and a [`PlanCache`] hit must be
+//! indistinguishable from a fresh search.
+
+use proptest::prelude::*;
+use sepe_core::cache::PlanCache;
+use sepe_core::plan_io::plan_to_string;
+use sepe_core::synth::{synthesize, synthesize_parallel_with_stats, synthesize_with_stats, Family};
+use sepe_keygen::SplitMix64;
+use sepe_verify::formats::RandomFormat;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Parallel and sequential searches agree bit-for-bit on random
+    /// formats: identical serialized `Plan` bytes and identical
+    /// `candidates_considered`, at every thread count.
+    #[test]
+    fn parallel_plan_bytes_equal_sequential(seed in any::<u64>(), jobs in 1usize..=8) {
+        let mut rng = SplitMix64::new(seed);
+        let format = RandomFormat::generate(&mut rng);
+        let pattern = format.pattern();
+        for family in Family::ALL {
+            let (seq_plan, seq_stats) = synthesize_with_stats(&pattern, family);
+            let (par_plan, par_stats) = synthesize_parallel_with_stats(&pattern, family, jobs);
+            prop_assert_eq!(
+                plan_to_string(&par_plan),
+                plan_to_string(&seq_plan),
+                "{} jobs={}: plan bytes diverged",
+                family,
+                jobs
+            );
+            prop_assert_eq!(
+                par_stats.candidates_considered,
+                seq_stats.candidates_considered,
+                "{} jobs={}: candidates_considered diverged",
+                family,
+                jobs
+            );
+            prop_assert_eq!(
+                par_stats.work_units,
+                seq_stats.work_units,
+                "{} jobs={}: work_units diverged",
+                family,
+                jobs
+            );
+        }
+    }
+
+    /// A cache hit is semantically equal to a fresh search, for any
+    /// random format and any family — and re-probing never mutates the
+    /// memoized plan.
+    #[test]
+    fn cache_hit_equals_fresh_search(seed in any::<u64>()) {
+        let cache = PlanCache::new(Family::ALL.len());
+        let mut rng = SplitMix64::new(seed);
+        let format = RandomFormat::generate(&mut rng);
+        let pattern = format.pattern();
+        for family in Family::ALL {
+            let fresh = synthesize(&pattern, family);
+            prop_assert!(
+                cache.lookup(&pattern, family).is_none(),
+                "{}: cold cache must miss",
+                family
+            );
+            cache.insert(&pattern, family, fresh.clone());
+            for probe in 0..2 {
+                let hit = cache.lookup(&pattern, family);
+                prop_assert_eq!(
+                    hit.as_ref().map(plan_to_string),
+                    Some(plan_to_string(&fresh)),
+                    "{} probe {}: memoized plan diverged",
+                    family,
+                    probe
+                );
+            }
+        }
+        prop_assert_eq!(cache.misses(), Family::ALL.len() as u64);
+        prop_assert_eq!(cache.hits(), 2 * Family::ALL.len() as u64);
+    }
+}
